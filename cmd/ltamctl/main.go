@@ -1,0 +1,355 @@
+// Command ltamctl administers a running ltamd over its JSON API.
+//
+// Usage:
+//
+//	ltamctl [-server http://localhost:8525] <command> [args]
+//
+// Commands:
+//
+//	subject <id> [supervisor]          upsert a subject profile
+//	subjects                           list subjects
+//	grant <subject> <location> <entry> <exit> [times]
+//	                                   add an authorization, e.g.
+//	                                   grant Alice CAIS "[5, 40]" "[20, 100]" 1
+//	revoke <auth-id>                   revoke an authorization (+derived)
+//	auths [subject] [location]         list authorizations
+//	rule <name> <base-id> <valid-from> [entry] [exit] [subject] [location] [times]
+//	                                   add a rule; "-" keeps a default
+//	droprule <name>                    remove a rule
+//	request <t> <subject> <location>   evaluate an access request
+//	enter <t> <subject> <location>     record a movement in
+//	leave <t> <subject>                record a movement out
+//	tick <t>                           advance the monitor clock
+//	inaccessible <subject>             run the Algorithm-1 query
+//	contacts <subject> [from] [to]     contact tracing
+//	where <subject>                    current location
+//	occupants <location>               who is inside now
+//	alerts [since]                     alert log
+//	graph                              fetch the site graph
+//	snapshot                           persist and compact
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltamctl: ")
+	server := flag.String("server", "http://localhost:8525", "ltamd base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	c := wire.NewClient(*server)
+	if err := run(c, args); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(c *wire.Client, args []string) error {
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "subject":
+		if len(rest) < 1 {
+			return fmt.Errorf("subject <id> [supervisor]")
+		}
+		s := profile.Subject{ID: profile.SubjectID(rest[0])}
+		if len(rest) > 1 {
+			s.Supervisor = profile.SubjectID(rest[1])
+		}
+		if err := c.PutSubject(s); err != nil {
+			return err
+		}
+		fmt.Printf("subject %s stored\n", s.ID)
+	case "subjects":
+		subs, err := c.Subjects()
+		if err != nil {
+			return err
+		}
+		for _, s := range subs {
+			fmt.Println(s)
+		}
+	case "grant":
+		if len(rest) < 4 {
+			return fmt.Errorf("grant <subject> <location> <entry> <exit> [times]")
+		}
+		entry, err := interval.Parse(rest[2])
+		if err != nil {
+			return err
+		}
+		exit, err := interval.Parse(rest[3])
+		if err != nil {
+			return err
+		}
+		times := authz.Unlimited
+		if len(rest) > 4 {
+			if times, err = strconv.ParseInt(rest[4], 10, 64); err != nil {
+				return fmt.Errorf("bad times: %w", err)
+			}
+		}
+		a, err := c.AddAuthorization(authz.New(entry, exit, profile.SubjectID(rest[0]), graph.ID(rest[1]), times))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("a%d: %s\n", a.ID, a)
+	case "revoke":
+		if len(rest) != 1 {
+			return fmt.Errorf("revoke <auth-id>")
+		}
+		id, err := strconv.ParseUint(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		n, err := c.RevokeAuthorization(authz.ID(id))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("revoked %d authorization(s)\n", n)
+	case "auths":
+		var subject profile.SubjectID
+		var location graph.ID
+		if len(rest) > 0 {
+			subject = profile.SubjectID(rest[0])
+		}
+		if len(rest) > 1 {
+			location = graph.ID(rest[1])
+		}
+		auths, err := c.Authorizations(subject, location)
+		if err != nil {
+			return err
+		}
+		for _, a := range auths {
+			fmt.Printf("a%d: %s\n", a.ID, a)
+		}
+	case "rule":
+		if len(rest) < 3 {
+			return fmt.Errorf("rule <name> <base-id> <valid-from> [entry] [exit] [subject] [location] [times]")
+		}
+		base, err := strconv.ParseUint(rest[1], 10, 64)
+		if err != nil {
+			return err
+		}
+		from, err := strconv.ParseInt(rest[2], 10, 64)
+		if err != nil {
+			return err
+		}
+		spec := rules.Spec{Name: rest[0], Base: authz.ID(base), ValidFrom: interval.Time(from)}
+		opt := func(i int) string {
+			if len(rest) > i && rest[i] != "-" {
+				return rest[i]
+			}
+			return ""
+		}
+		spec.Entry, spec.Exit, spec.Subject, spec.Location, spec.Entries =
+			opt(3), opt(4), opt(5), opt(6), opt(7)
+		rep, err := c.AddRule(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rule %s derived %d authorization(s)\n", spec.Name, len(rep.Derived))
+		for _, a := range rep.Derived {
+			fmt.Printf("  a%d: %s\n", a.ID, a)
+		}
+	case "droprule":
+		if len(rest) != 1 {
+			return fmt.Errorf("droprule <name>")
+		}
+		if err := c.RemoveRule(rest[0]); err != nil {
+			return err
+		}
+		fmt.Printf("rule %s removed\n", rest[0])
+	case "request", "enter":
+		if len(rest) != 3 {
+			return fmt.Errorf("%s <t> <subject> <location>", cmd)
+		}
+		t, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		var d wire.DecisionResponse
+		if cmd == "request" {
+			d, err = c.Request(interval.Time(t), profile.SubjectID(rest[1]), graph.ID(rest[2]))
+		} else {
+			d, err = c.Enter(interval.Time(t), profile.SubjectID(rest[1]), graph.ID(rest[2]))
+		}
+		if err != nil {
+			return err
+		}
+		if d.Granted {
+			fmt.Printf("granted (a%d)\n", d.Auth)
+		} else {
+			fmt.Printf("denied: %s\n", d.Reason)
+		}
+	case "leave":
+		if len(rest) != 2 {
+			return fmt.Errorf("leave <t> <subject>")
+		}
+		t, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		if err := c.Leave(interval.Time(t), profile.SubjectID(rest[1])); err != nil {
+			return err
+		}
+		fmt.Println("ok")
+	case "tick":
+		if len(rest) != 1 {
+			return fmt.Errorf("tick <t>")
+		}
+		t, err := strconv.ParseInt(rest[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		raised, err := c.Tick(interval.Time(t))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d alert(s) raised\n", len(raised))
+		for _, a := range raised {
+			fmt.Printf("  %s\n", a)
+		}
+	case "inaccessible":
+		if len(rest) != 1 {
+			return fmt.Errorf("inaccessible <subject>")
+		}
+		resp, err := c.Inaccessible(profile.SubjectID(rest[0]))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("inaccessible (%d): %v\naccessible (%d): %v\n",
+			len(resp.Inaccessible), resp.Inaccessible, len(resp.Accessible), resp.Accessible)
+	case "contacts":
+		if len(rest) < 1 {
+			return fmt.Errorf("contacts <subject> [from] [to]")
+		}
+		window := interval.From(0)
+		if len(rest) >= 3 {
+			from, err1 := strconv.ParseInt(rest[1], 10, 64)
+			to, err2 := strconv.ParseInt(rest[2], 10, 64)
+			if err1 != nil || err2 != nil {
+				return fmt.Errorf("bad window")
+			}
+			window = interval.New(interval.Time(from), interval.Time(to))
+		}
+		contacts, err := c.Contacts(profile.SubjectID(rest[0]), window)
+		if err != nil {
+			return err
+		}
+		for _, ct := range contacts {
+			fmt.Printf("%s in %s during %s\n", ct.Other, ct.Location, ct.Overlap)
+		}
+	case "where":
+		if len(rest) != 1 {
+			return fmt.Errorf("where <subject>")
+		}
+		w, err := c.Where(profile.SubjectID(rest[0]))
+		if err != nil {
+			return err
+		}
+		if w.Inside {
+			fmt.Println(w.Location)
+		} else {
+			fmt.Println("<outside>")
+		}
+	case "occupants":
+		if len(rest) != 1 {
+			return fmt.Errorf("occupants <location>")
+		}
+		occ, err := c.Occupants(graph.ID(rest[0]))
+		if err != nil {
+			return err
+		}
+		for _, s := range occ {
+			fmt.Println(s)
+		}
+	case "alerts":
+		since := uint64(0)
+		if len(rest) > 0 {
+			var err error
+			if since, err = strconv.ParseUint(rest[0], 10, 64); err != nil {
+				return err
+			}
+		}
+		alerts, err := c.Alerts(since)
+		if err != nil {
+			return err
+		}
+		for _, a := range alerts {
+			fmt.Printf("#%d %s\n", a.Seq, a)
+		}
+	case "reach":
+		if len(rest) != 2 {
+			return fmt.Errorf("reach <subject> <location>")
+		}
+		r, err := c.Reach(profile.SubjectID(rest[0]), graph.ID(rest[1]))
+		if err != nil {
+			return err
+		}
+		if r.Reachable {
+			fmt.Printf("%s can first be in %s at t=%s\n", rest[0], rest[1], r.Earliest)
+		} else {
+			fmt.Printf("%s cannot reach %s\n", rest[0], rest[1])
+		}
+	case "whocan":
+		if len(rest) != 1 {
+			return fmt.Errorf("whocan <location>")
+		}
+		who, err := c.WhoCan(graph.ID(rest[0]))
+		if err != nil {
+			return err
+		}
+		for _, s := range who {
+			fmt.Println(s)
+		}
+	case "conflicts":
+		conflicts, err := c.Conflicts()
+		if err != nil {
+			return err
+		}
+		for _, cf := range conflicts {
+			fmt.Printf("%s: a%d %s vs a%d %s\n", cf.Kind, cf.A.ID, cf.A, cf.B.ID, cf.B)
+		}
+	case "resolve":
+		if len(rest) != 1 {
+			return fmt.Errorf("resolve <combine|keep-first|keep-last>")
+		}
+		res, err := c.ResolveConflicts(rest[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("resolved %d conflict(s)\n", len(res))
+		for _, r := range res {
+			fmt.Printf("  kept a%d %s (removed %v)\n", r.Kept.ID, r.Kept, r.Removed)
+		}
+	case "graph":
+		spec, err := c.GraphSpec()
+		if err != nil {
+			return err
+		}
+		out, _ := json.MarshalIndent(spec, "", "  ")
+		fmt.Println(string(out))
+	case "snapshot":
+		if err := c.Snapshot(); err != nil {
+			return err
+		}
+		fmt.Println("snapshot written")
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func testClient(t *testing.T) *wire.Client {
+	t.Helper()
+	sys, err := core.Open(core.Config{Graph: graph.NTUCampus(), AutoDerive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	ts := httptest.NewServer(server.New(sys))
+	t.Cleanup(ts.Close)
+	return wire.NewClient(ts.URL)
+}
+
+func TestRunFullAdminFlow(t *testing.T) {
+	c := testClient(t)
+	steps := [][]string{
+		{"subject", "Alice", "Bob"},
+		{"subject", "Bob"},
+		{"subjects"},
+		{"grant", "Alice", "CAIS", "[5, 20]", "[15, 50]", "2"},
+		{"rule", "r1", "1", "7", "-", "-", "Supervisor_Of", "-", "2"},
+		{"auths", "Bob"},
+		{"auths", "Bob", "CAIS"},
+		{"auths"},
+		{"request", "10", "Bob", "CAIS"},
+		{"enter", "10", "Bob", "CAIS"},
+		{"where", "Bob"},
+		{"occupants", "CAIS"},
+		{"leave", "20", "Bob"},
+		{"tick", "100"},
+		{"contacts", "Bob"},
+		{"inaccessible", "Alice"},
+		{"alerts"},
+		{"alerts", "1"},
+		{"graph"},
+		{"reach", "Bob", "CAIS"},
+		{"whocan", "CAIS"},
+		{"conflicts"},
+		{"resolve", "combine"},
+		{"droprule", "r1"},
+		{"revoke", "1"},
+	}
+	for _, args := range steps {
+		if err := run(c, args); err != nil {
+			t.Fatalf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunGrantUnlimitedDefault(t *testing.T) {
+	c := testClient(t)
+	if err := run(c, []string{"subject", "x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(c, []string{"grant", "x", "CAIS", "[5, 20]", "[15, 50]"}); err != nil {
+		t.Fatal(err)
+	}
+	auths, err := c.Authorizations("x", "CAIS")
+	if err != nil || len(auths) != 1 {
+		t.Fatalf("auths = %v, %v", auths, err)
+	}
+	if auths[0].MaxEntries != 0 {
+		t.Errorf("default times = %d, want unlimited", auths[0].MaxEntries)
+	}
+}
+
+func TestRunContactsWindow(t *testing.T) {
+	c := testClient(t)
+	_ = run(c, []string{"subject", "a"})
+	_ = run(c, []string{"grant", "a", "SCE.GO", "[1, 100]", "[1, 200]"})
+	_ = run(c, []string{"enter", "5", "a", "SCE.GO"})
+	if err := run(c, []string{"contacts", "a", "0", "100"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(c, []string{"contacts", "a", "x", "y"}); err == nil {
+		t.Error("bad window should fail")
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	c := testClient(t)
+	bad := [][]string{
+		{"nonsense"},
+		{"subject"},
+		{"grant", "a"},
+		{"grant", "a", "CAIS", "nope", "[1, 2]"},
+		{"grant", "a", "CAIS", "[1, 2]", "[1, 5]", "zz"},
+		{"revoke"},
+		{"revoke", "zz"},
+		{"rule", "r"},
+		{"rule", "r", "zz", "7"},
+		{"rule", "r", "1", "zz"},
+		{"droprule"},
+		{"request", "10", "a"},
+		{"request", "zz", "a", "CAIS"},
+		{"leave", "1"},
+		{"leave", "zz", "a"},
+		{"tick"},
+		{"tick", "zz"},
+		{"inaccessible"},
+		{"contacts"},
+		{"where"},
+		{"occupants"},
+		{"alerts", "zz"},
+		{"reach", "a"},
+		{"whocan"},
+		{"resolve"},
+		{"resolve", "coin-flip"},
+	}
+	for _, args := range bad {
+		if err := run(c, args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunServerSideFailures(t *testing.T) {
+	c := testClient(t)
+	// Revoking an unknown id reaches the server and fails there.
+	if err := run(c, []string{"revoke", "999"}); err == nil {
+		t.Error("revoke 999 should fail")
+	}
+	// Granting at an unknown location fails server-side.
+	if err := run(c, []string{"grant", "a", "Mars", "[1, 2]", "[1, 5]"}); err == nil {
+		t.Error("grant at Mars should fail")
+	}
+	// Rule with a bad operator fails server-side.
+	if err := run(c, []string{"rule", "r", "1", "7", "-", "-", "Nope_Of"}); err == nil {
+		t.Error("bad rule should fail")
+	}
+}

@@ -1,0 +1,81 @@
+// Command ltamd runs the LTAM central control station as an HTTP daemon:
+// the Fig. 3 architecture with the authorization, movement and profile
+// databases, the access control engine, the query engine, and durable
+// storage, exposed over a JSON API (see internal/wire for the client).
+//
+// Usage:
+//
+//	ltamd [-addr :8525] [-data /var/lib/ltam] [-graph site.json]
+//
+// Without -graph the NTU campus of the paper's Fig. 2 is served, which is
+// handy for demos; -data enables write-ahead logging and snapshots.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltamd: ")
+	addr := flag.String("addr", ":8525", "listen address")
+	data := flag.String("data", "", "data directory (enables durability)")
+	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
+	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *graphPath != "" {
+		data, err := os.ReadFile(*graphPath)
+		if err != nil {
+			log.Fatalf("read graph: %v", err)
+		}
+		g, err = graph.UnmarshalGraph(data)
+		if err != nil {
+			log.Fatalf("parse graph: %v", err)
+		}
+	} else if *data == "" || !snapshotExists(*data) {
+		g = graph.NTUCampus()
+	}
+
+	sys, err := core.Open(core.Config{
+		Graph:      g,
+		DataDir:    *data,
+		SyncEvery:  *syncEvery,
+		AutoDerive: true,
+	})
+	if err != nil {
+		log.Fatalf("open system: %v", err)
+	}
+	defer sys.Close()
+
+	fmt.Printf("ltamd: serving %q (%d primitive locations) on %s\n",
+		sys.Graph().Name(), len(sys.Flat().Nodes), *addr)
+	if *data != "" {
+		fmt.Printf("ltamd: durable storage in %s\n", *data)
+	}
+	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+}
+
+// snapshotExists reports whether the data directory already holds a
+// snapshot to recover the graph from.
+func snapshotExists(dir string) bool {
+	ents, err := os.ReadDir(dir + "/snapshots")
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && e.Name() != "snap.tmp" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,95 @@
+// Command ltamquery runs LTAM query-language scripts against a local
+// system — the administrator console of the Fig. 3 architecture, built on
+// the query language the paper lists as future work.
+//
+// Usage:
+//
+//	ltamquery [-graph site.json] [-data dir] [script.ltam ...]
+//
+// With no script arguments, statements are read from stdin, one per line.
+// Example session:
+//
+//	SUBJECT Alice SUPERVISOR Bob
+//	GRANT Alice AT CAIS ENTRY [5, 20] EXIT [15, 50] TIMES 2
+//	RULE r1 FROM 7 BASE 1 SUBJECT Supervisor_Of
+//	INACCESSIBLE FOR Bob
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/querylang"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltamquery: ")
+	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
+	data := flag.String("data", "", "data directory (enables durability)")
+	flag.Parse()
+
+	var g *graph.Graph
+	if *graphPath != "" {
+		raw, err := os.ReadFile(*graphPath)
+		if err != nil {
+			log.Fatalf("read graph: %v", err)
+		}
+		if g, err = graph.UnmarshalGraph(raw); err != nil {
+			log.Fatalf("parse graph: %v", err)
+		}
+	} else {
+		g = graph.NTUCampus()
+	}
+
+	sys, err := core.Open(core.Config{Graph: g, DataDir: *data, AutoDerive: true})
+	if err != nil {
+		log.Fatalf("open system: %v", err)
+	}
+	defer sys.Close()
+
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			script, err := os.ReadFile(path)
+			if err != nil {
+				log.Fatalf("read script: %v", err)
+			}
+			outputs, err := querylang.Run(sys, string(script))
+			for _, out := range outputs {
+				fmt.Println(out)
+			}
+			if err != nil {
+				log.Fatalf("%s: %v", path, err)
+			}
+		}
+		return
+	}
+
+	// Interactive / piped stdin: evaluate statement by statement so an
+	// error does not end the session.
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, stmtSrc := range querylang.SplitStatements(line) {
+			stmt, err := querylang.Parse(stmtSrc)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			out, err := querylang.Eval(sys, stmt)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Println(out)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+// Command ltamsim drives an LTAM system with a synthetic crowd — the
+// load generator behind the benchmark harness, usable standalone to watch
+// the enforcement engine work at building scale. It builds a grid
+// building, populates it with authorized staff, a fraction of visitors
+// whose exit windows are short (overstay candidates), and a fraction of
+// tailgaters with no authorizations at all, then random-walks everyone
+// through the rooms while the monitor ticks.
+//
+// Usage:
+//
+//	ltamsim [-side 8] [-users 200] [-steps 500] [-seed 1]
+//	        [-overstayers 0.1] [-tailgaters 0.05]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ltamsim: ")
+	side := flag.Int("side", 8, "grid building side (side*side rooms)")
+	users := flag.Int("users", 200, "number of users")
+	steps := flag.Int("steps", 500, "movement steps per user")
+	seed := flag.Int64("seed", 1, "random seed (deterministic runs)")
+	overstayers := flag.Float64("overstayers", 0.1, "fraction of users with short exit windows")
+	tailgaters := flag.Float64("tailgaters", 0.05, "fraction of users with no authorizations")
+	flag.Parse()
+
+	g, rooms := GridBuilding(*side)
+	sys, err := core.Open(core.Config{Graph: g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	rng := rand.New(rand.NewSource(*seed))
+	horizon := interval.Time(int64(*steps) * 4)
+	stats := Populate(sys, rng, rooms, *users, *overstayers, *tailgaters, horizon)
+
+	start := time.Now()
+	granted, denied := RunCrowd(sys, rng, rooms, stats.Walkers, *steps)
+	elapsed := time.Since(start)
+
+	events := sys.Movements().Len()
+	fmt.Printf("building: %dx%d grid (%d rooms)\n", *side, *side, len(rooms))
+	fmt.Printf("users: %d (%d overstay-prone, %d tailgaters)\n", *users, stats.Overstayers, stats.Tailgaters)
+	fmt.Printf("movements: %d events in %v (%.0f events/sec)\n",
+		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds())
+	fmt.Printf("entries granted: %d, denied: %d\n", granted, denied)
+	counts := sys.Alerts().Counts()
+	fmt.Printf("alerts: overstay=%d unauthorized=%d illegal=%d denied=%d exhausted=%d\n",
+		counts[audit.Overstay], counts[audit.UnauthorizedEntry],
+		counts[audit.IllegalMovement], counts[audit.DeniedRequest], counts[audit.EntryExhausted])
+}
+
+// GridBuilding builds a side×side grid of rooms with 4-neighbour
+// corridors and the corner room as the entry location.
+func GridBuilding(side int) (*graph.Graph, []graph.ID) {
+	g := graph.New("grid")
+	var rooms []graph.ID
+	id := func(r, c int) graph.ID { return graph.ID(fmt.Sprintf("r%02d_%02d", r, c)) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			rooms = append(rooms, id(r, c))
+			if err := g.AddLocation(id(r, c)); err != nil {
+				panic(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				_ = g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < side {
+				_ = g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	if err := g.SetEntry(id(0, 0)); err != nil {
+		panic(err)
+	}
+	return g, rooms
+}
+
+// Walker is one synthetic user.
+type Walker struct {
+	ID   profile.SubjectID
+	Room int // index into rooms; -1 = outside
+}
+
+// PopulateStats reports the crowd composition.
+type PopulateStats struct {
+	Walkers     []Walker
+	Overstayers int
+	Tailgaters  int
+}
+
+// Populate registers subjects and their authorizations. Regular users get
+// unlimited entries over the whole horizon; overstay-prone users get an
+// exit window that closes at horizon/4; tailgaters get nothing.
+func Populate(sys *core.System, rng *rand.Rand, rooms []graph.ID, users int, overstayFrac, tailgateFrac float64, horizon interval.Time) PopulateStats {
+	var st PopulateStats
+	for i := 0; i < users; i++ {
+		w := Walker{ID: profile.SubjectID(fmt.Sprintf("u%04d", i)), Room: -1}
+		if err := sys.PutSubject(profile.Subject{ID: w.ID}); err != nil {
+			panic(err)
+		}
+		roll := rng.Float64()
+		switch {
+		case roll < tailgateFrac:
+			st.Tailgaters++
+		case roll < tailgateFrac+overstayFrac:
+			// Overstay-prone: both windows close at horizon/4 (the
+			// paper requires toe >= tie), so anyone still inside after
+			// that trips the monitor.
+			st.Overstayers++
+			for _, room := range rooms {
+				mustAdd(sys, authz.New(interval.New(1, horizon/4), interval.New(1, horizon/4), w.ID, room, authz.Unlimited))
+			}
+		default:
+			for _, room := range rooms {
+				mustAdd(sys, authz.New(interval.New(1, horizon), interval.New(1, horizon), w.ID, room, authz.Unlimited))
+			}
+		}
+		st.Walkers = append(st.Walkers, w)
+	}
+	return st
+}
+
+func mustAdd(sys *core.System, a authz.Authorization) {
+	if _, err := sys.AddAuthorization(a); err != nil {
+		panic(err)
+	}
+}
+
+// RunCrowd random-walks every walker for steps rounds, ticking the
+// monitor every 16 rounds, and returns granted/denied entry counts.
+func RunCrowd(sys *core.System, rng *rand.Rand, rooms []graph.ID, walkers []Walker, steps int) (granted, denied int) {
+	flat := sys.Flat()
+	clock := interval.Time(1)
+	for s := 0; s < steps; s++ {
+		for i := range walkers {
+			w := &walkers[i]
+			var target graph.ID
+			if w.Room < 0 {
+				target = rooms[0] // enter at the entry room
+			} else {
+				ns := flat.Adj[w.Room]
+				target = flat.Nodes[ns[rng.Intn(len(ns))]]
+			}
+			d, err := sys.Enter(clock, w.ID, target)
+			if err != nil {
+				panic(err)
+			}
+			if d.Granted {
+				granted++
+			} else {
+				denied++
+			}
+			w.Room = flat.MustIndex(target)
+		}
+		clock++
+		if s%16 == 15 {
+			if _, err := sys.Tick(clock); err != nil {
+				panic(err)
+			}
+			clock++
+		}
+	}
+	return granted, denied
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+func TestGridBuilding(t *testing.T) {
+	g, rooms := GridBuilding(3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rooms) != 9 {
+		t.Errorf("rooms = %d", len(rooms))
+	}
+	// Corner room is the entry; interior room has 4 neighbours.
+	if !g.IsEntry("r00_00") {
+		t.Error("corner must be the entry")
+	}
+	if got := len(g.Neighbors("r01_01")); got != 4 {
+		t.Errorf("interior degree = %d", got)
+	}
+	if got := len(g.Neighbors("r00_00")); got != 2 {
+		t.Errorf("corner degree = %d", got)
+	}
+}
+
+func TestPopulateComposition(t *testing.T) {
+	g, rooms := GridBuilding(3)
+	sys, err := core.Open(core.Config{Graph: g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+	rng := rand.New(rand.NewSource(5))
+	st := Populate(sys, rng, rooms, 40, 0.25, 0.25, 400)
+	if len(st.Walkers) != 40 {
+		t.Errorf("walkers = %d", len(st.Walkers))
+	}
+	if st.Tailgaters == 0 || st.Overstayers == 0 {
+		t.Errorf("composition = %+v", st)
+	}
+	// Tailgaters have no authorizations; everyone else covers all rooms.
+	total := 0
+	for _, w := range st.Walkers {
+		total += len(sys.AuthStore().BySubject(w.ID))
+	}
+	want := (40 - st.Tailgaters) * len(rooms)
+	if total != want {
+		t.Errorf("auth count = %d, want %d", total, want)
+	}
+}
+
+func TestRunCrowdDeterministicAndAlerting(t *testing.T) {
+	run := func() (int, int, map[audit.Kind]int) {
+		g, rooms := GridBuilding(3)
+		sys, err := core.Open(core.Config{Graph: g})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		rng := rand.New(rand.NewSource(9))
+		st := Populate(sys, rng, rooms, 20, 0.3, 0.2, interval.Time(200))
+		granted, denied := RunCrowd(sys, rng, rooms, st.Walkers, 50)
+		return granted, denied, sys.Alerts().Counts()
+	}
+	g1, d1, c1 := run()
+	g2, d2, c2 := run()
+	if g1 != g2 || d1 != d2 {
+		t.Errorf("non-deterministic: %d/%d vs %d/%d", g1, d1, g2, d2)
+	}
+	for k, v := range c1 {
+		if c2[k] != v {
+			t.Errorf("alert counts differ for %s: %d vs %d", k, v, c2[k])
+		}
+	}
+	if d1 == 0 {
+		t.Error("tailgaters should be denied")
+	}
+	if c1[audit.UnauthorizedEntry] == 0 {
+		t.Error("tailgating should raise alerts")
+	}
+	if c1[audit.Overstay] == 0 {
+		t.Error("overstayers should trip the monitor")
+	}
+	if g1 == 0 {
+		t.Error("regular users should be granted")
+	}
+}

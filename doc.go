@@ -1,0 +1,13 @@
+// Package repro is a from-scratch Go reproduction of "LTAM: A
+// Location-Temporal Authorization Model" (Hai Yu and Ee-Peng Lim, Secure
+// Data Management — VLDB 2004 Workshop, LNCS 3178, pp. 172–186).
+//
+// The implementation lives under internal/: the time-interval algebra,
+// (multilevel) location graphs, location-temporal authorizations,
+// authorization rules with the paper's operator tuple, the continuous
+// enforcement engine, the inaccessible-location query engine
+// (Algorithm 1), a query language, durable storage, and a synthetic
+// positioning substrate. Executables live under cmd/, runnable scenarios
+// under examples/, and the benchmark harness regenerating every paper
+// artifact in bench_test.go. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,90 @@
+// Quickstart: the smallest useful LTAM program. It builds a three-room
+// site, grants one authorization with entry/exit windows and an entry
+// cap (Definition 4), walks a user through it, and runs the two queries
+// the paper centres on: the access decision (Definition 7) and the
+// inaccessible-location analysis (Algorithm 1).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+func main() {
+	// A lobby connected to a lab and a store room; the lobby is the
+	// entry location.
+	g := graph.New("office")
+	for _, room := range []graph.ID{"lobby", "lab", "store"} {
+		if err := g.AddLocation(room); err != nil {
+			log.Fatal(err)
+		}
+	}
+	check(g.AddEdge("lobby", "lab"))
+	check(g.AddEdge("lobby", "store"))
+	check(g.SetEntry("lobby"))
+
+	sys, err := core.Open(core.Config{Graph: g})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	// Alice may enter the lobby any time in [1, 100] and must be gone by
+	// 200; she may enter the lab once during [10, 50].
+	mustGrant(sys, authz.New(interval.New(1, 100), interval.New(1, 200), "alice", "lobby", authz.Unlimited))
+	mustGrant(sys, authz.New(interval.New(10, 50), interval.New(10, 120), "alice", "lab", 1))
+
+	// Definition 7 in action.
+	fmt.Println("-- access requests --")
+	fmt.Printf("t=5  (alice, lab):   %s\n", sys.Request(5, "alice", "lab"))
+	fmt.Printf("t=15 (alice, lab):   %s\n", sys.Request(15, "alice", "lab"))
+	fmt.Printf("t=15 (alice, store): %s\n", sys.Request(15, "alice", "store"))
+
+	// Movement monitoring: enter, move, leave — all checked.
+	fmt.Println("-- movements --")
+	d, err := sys.Enter(16, "alice", "lobby")
+	check(err)
+	fmt.Printf("t=16 alice enters lobby: %s\n", d)
+	d, err = sys.Enter(18, "alice", "lab")
+	check(err)
+	fmt.Printf("t=18 alice enters lab:   %s\n", d)
+	// The single lab entry is now consumed (Definition 7's count check).
+	fmt.Printf("t=20 (alice, lab) again: %s\n", sys.Query(20, "alice", "lab"))
+	check(sys.Leave(30, "alice"))
+	fmt.Println("t=30 alice leaves")
+
+	// Algorithm 1: the store has no authorization, so it is inaccessible;
+	// everything else is reachable.
+	fmt.Println("-- inaccessible locations (Algorithm 1) --")
+	fmt.Printf("inaccessible to alice: %v\n", sys.Inaccessible("alice"))
+	fmt.Printf("accessible to alice:   %v\n", sys.Accessible("alice"))
+
+	// The alert log shows what the continuous monitor saw (the lab exit
+	// at t=30 is fine; leaving the facility from the lab would not be —
+	// the lab is not an entry location, so the monitor flagged the walk
+	// end if it happened there; here alice left from the lab, which is
+	// flagged).
+	fmt.Println("-- alerts --")
+	for _, a := range sys.Alerts().All() {
+		fmt.Println(" ", a)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustGrant(sys *core.System, a authz.Authorization) {
+	if _, err := sys.AddAuthorization(a); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example program end to end and checks
+// for the key lines each scenario must produce. This keeps the examples
+// from rotting: they are part of the test suite, not just documentation.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples compile+run; skipped in -short")
+	}
+	cases := []struct {
+		dir   string
+		wants []string
+	}{
+		{"./examples/quickstart", []string{
+			"granted (a2)",
+			"alice has used all permitted entries to lab",
+			"inaccessible to alice: [store]",
+		}},
+		{"./examples/ntu-campus", []string{
+			"r1 (Example 1) derived: ([5, 20], [15, 50], (Bob, CAIS), 2)",
+			"r2 (Example 2) derived: ([10, 20], [15, 50], (Bob, CAIS), 2)",
+			"inaccessible: [C] (the paper's answer: [C])",
+		}},
+		{"./examples/hospital-sars", []string{
+			"EXPOSED: nurse-tan shared",
+			"overstay subject=nurse-tan location=isolation",
+			"inaccessible to visitor-ng: [isolation]",
+		}},
+		{"./examples/office-visitor", []string{
+			"escort-route derived",
+			"inaccessible to visitor: [office server-room]",
+			"revoked 5 authorizations in one call",
+		}},
+		{"./examples/datacenter", []string{
+			"conflicts remaining: 0",
+			"earliest cage-a access: t=80",
+			"entered the facility at egress, which is not an entry location",
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out, err := exec.Command("go", "run", tc.dir).CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s failed: %v\n%s", tc.dir, err, out)
+			}
+			for _, want := range tc.wants {
+				if !strings.Contains(string(out), want) {
+					t.Errorf("%s output missing %q", tc.dir, want)
+				}
+			}
+		})
+	}
+}
+
+// TestPaperScriptRuns drives the bundled query-language script through
+// the ltamquery binary — the §4/§5 story in the administrator language.
+func TestPaperScriptRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles and runs ltamquery; skipped in -short")
+	}
+	out, err := exec.Command("go", "run", "./cmd/ltamquery", "examples/scripts/paper.ltam").CombinedOutput()
+	if err != nil {
+		t.Fatalf("ltamquery failed: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		"rule r1 derived 1 authorization(s)",
+		"(Bob, CAIS), 2)",
+		"(10, Alice, CAIS): granted (a1)",
+		"Alice can first be in CAIS at t=15",
+		"can access CAIS: Alice",
+		"itinerary feasible for Alice",
+		"accessible to Alice: SCE.GO",
+	} {
+		if !strings.Contains(string(out), want) {
+			t.Errorf("script output missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package audit implements LTAM's alerting channel: the "warning signal to
+// the security guards" the paper raises when, e.g., a subject fails to
+// leave a location within its exit duration (§3.2), plus the audit trail
+// of denied requests and unauthorized movements that makes security
+// shortfalls visible.
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// Kind classifies an alert.
+type Kind int
+
+// The alert kinds raised by the enforcement engine.
+const (
+	// Overstay: the subject is still inside after its exit duration
+	// ended (§3.2's warning-signal example).
+	Overstay Kind = iota
+	// UnauthorizedEntry: a movement into a location with no granting
+	// authorization — e.g. tailgating behind an authorized user, the
+	// situation LTAM's continuous monitoring is designed to catch
+	// ("a group of users enters a restricted location based on a
+	// single user authorization").
+	UnauthorizedEntry
+	// EarlyExit: the subject left before its exit duration began
+	// (the exit window is a constraint on when leaving is allowed).
+	EarlyExit
+	// DeniedRequest: an access request was rejected.
+	DeniedRequest
+	// EntryExhausted: a request was rejected specifically because the
+	// entry count reached n.
+	EntryExhausted
+	// IllegalMovement: a movement that violates the location graph's
+	// topology — entering the facility anywhere but an entry location,
+	// teleporting between non-adjacent rooms, or leaving the facility
+	// from a non-entry location ("an entry location also serves as the
+	// last location where the user may visit before his/her exit").
+	IllegalMovement
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Overstay:
+		return "overstay"
+	case UnauthorizedEntry:
+		return "unauthorized-entry"
+	case EarlyExit:
+		return "early-exit"
+	case DeniedRequest:
+		return "denied-request"
+	case EntryExhausted:
+		return "entry-exhausted"
+	case IllegalMovement:
+		return "illegal-movement"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Alert is one security event.
+type Alert struct {
+	Seq      uint64
+	Time     interval.Time
+	Kind     Kind
+	Subject  profile.SubjectID
+	Location graph.ID
+	Detail   string
+}
+
+// String renders the alert as a log line.
+func (a Alert) String() string {
+	return fmt.Sprintf("t=%s %s subject=%s location=%s: %s",
+		a.Time, a.Kind, a.Subject, a.Location, a.Detail)
+}
+
+// Subscriber receives alerts synchronously as they are raised.
+type Subscriber func(Alert)
+
+// Log is a bounded in-memory alert log with subscriptions. It is safe for
+// concurrent use.
+type Log struct {
+	mu      sync.RWMutex
+	alerts  []Alert
+	nextSeq uint64
+	limit   int
+	subs    []Subscriber
+}
+
+// DefaultLimit bounds the retained alerts when NewLog is given a
+// non-positive limit.
+const DefaultLimit = 4096
+
+// NewLog returns an alert log retaining at most limit alerts (oldest
+// evicted first).
+func NewLog(limit int) *Log {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Log{limit: limit, nextSeq: 1}
+}
+
+// Subscribe registers a subscriber for future alerts.
+func (l *Log) Subscribe(s Subscriber) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.subs = append(l.subs, s)
+}
+
+// Raise appends an alert and notifies subscribers, returning the stored
+// alert with its sequence number.
+func (l *Log) Raise(a Alert) Alert {
+	l.mu.Lock()
+	a.Seq = l.nextSeq
+	l.nextSeq++
+	l.alerts = append(l.alerts, a)
+	if len(l.alerts) > l.limit {
+		l.alerts = l.alerts[len(l.alerts)-l.limit:]
+	}
+	subs := l.subs
+	l.mu.Unlock()
+	for _, s := range subs {
+		s(a)
+	}
+	return a
+}
+
+// All returns the retained alerts in order.
+func (l *Log) All() []Alert {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make([]Alert, len(l.alerts))
+	copy(out, l.alerts)
+	return out
+}
+
+// ByKind returns retained alerts of the given kind.
+func (l *Log) ByKind(k Kind) []Alert {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Alert
+	for _, a := range l.alerts {
+		if a.Kind == k {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// BySubject returns retained alerts concerning the given subject.
+func (l *Log) BySubject(s profile.SubjectID) []Alert {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Alert
+	for _, a := range l.alerts {
+		if a.Subject == s {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Since returns retained alerts with Seq > seq.
+func (l *Log) Since(seq uint64) []Alert {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	i := sort.Search(len(l.alerts), func(i int) bool { return l.alerts[i].Seq > seq })
+	out := make([]Alert, len(l.alerts)-i)
+	copy(out, l.alerts[i:])
+	return out
+}
+
+// Len returns the number of retained alerts.
+func (l *Log) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.alerts)
+}
+
+// Counts returns the number of retained alerts per kind.
+func (l *Log) Counts() map[Kind]int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	out := make(map[Kind]int)
+	for _, a := range l.alerts {
+		out[a.Kind]++
+	}
+	return out
+}

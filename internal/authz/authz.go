@@ -1,0 +1,192 @@
+// Package authz implements LTAM's location-temporal authorizations
+// (Definitions 3 and 4) and the authorization database of the system
+// architecture (Fig. 3).
+//
+// A location authorization (s, l) says subject s may enter primitive
+// location l. A location-temporal authorization augments it with an entry
+// duration (when s may enter), an exit duration (when s may leave), and a
+// maximum number of entries within the entry duration.
+package authz
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// ID identifies an authorization within a store. IDs are assigned by the
+// store and never reused.
+type ID uint64
+
+// Unlimited is the MaxEntries value standing for the paper's default of ∞
+// accesses.
+const Unlimited int64 = 0
+
+// Authorization is a location-temporal authorization
+// ([tis, tie], [tos, toe], (s, l), n) — Definition 4.
+type Authorization struct {
+	// ID is the store-assigned identity; zero before insertion.
+	ID ID
+
+	// Subject and Location form the Def.-3 location authorization (s, l).
+	Subject  profile.SubjectID
+	Location graph.ID
+
+	// Entry is the entry duration [tis, tie] during which the subject
+	// may enter the location. The zero (empty) interval means
+	// "unspecified": the subject may enter at any time after the
+	// creation of the authorization (the paper's default), which
+	// Normalize resolves to [CreatedAt, ∞].
+	Entry interval.Interval
+
+	// Exit is the exit duration [tos, toe] during which the subject may
+	// leave. Empty means unspecified, which Normalize resolves to the
+	// paper's default [tis, ∞].
+	Exit interval.Interval
+
+	// MaxEntries is the paper's "entry" component: the number of
+	// accesses the subject can exercise within the entry duration, range
+	// [1, ∞). Unlimited (0) encodes the default ∞.
+	MaxEntries int64
+
+	// CreatedAt is the time the authorization was created; it anchors
+	// the default entry duration.
+	CreatedAt interval.Time
+
+	// DerivedBy names the rule that derived this authorization; empty
+	// for administrator-defined (base) authorizations. BaseID is the
+	// authorization the rule was applied to.
+	DerivedBy string
+	BaseID    ID
+}
+
+// New builds an administrator-defined authorization in the paper's
+// positional notation: ([entry], [exit], (subject, location), n).
+func New(entry, exit interval.Interval, subject profile.SubjectID, location graph.ID, n int64) Authorization {
+	return Authorization{
+		Subject:    subject,
+		Location:   location,
+		Entry:      entry,
+		Exit:       exit,
+		MaxEntries: n,
+	}
+}
+
+// IsDerived reports whether the authorization was produced by a rule.
+func (a Authorization) IsDerived() bool { return a.DerivedBy != "" }
+
+// Normalize fills in the paper's defaults (missing entry duration, missing
+// exit duration, missing entry count) and returns the completed value.
+//
+// A duration is "unspecified" when it is the empty interval or the zero
+// value Interval{} — the latter so that zero-struct literals and JSON
+// payloads with omitted fields get the defaults. (The zero value denotes
+// the point interval [0, 0] in pure interval algebra; an authorization
+// window of exactly chronon zero is not expressible, which matches the
+// paper, whose timelines start at positive chronons.)
+func (a Authorization) Normalize() Authorization {
+	if isUnspecified(a.Entry) {
+		a.Entry = interval.From(a.CreatedAt)
+	}
+	if isUnspecified(a.Exit) {
+		a.Exit = interval.From(a.Entry.Start)
+	}
+	if a.MaxEntries < 0 {
+		a.MaxEntries = Unlimited
+	}
+	return a
+}
+
+func isUnspecified(iv interval.Interval) bool {
+	return iv == interval.Interval{} || iv.IsEmpty()
+}
+
+// Validate checks Definition 4's constraints on a normalized
+// authorization: non-empty subject and location, tos >= tis and toe >= tie
+// (one cannot be required to leave before one may arrive, nor lose the
+// right to leave before the right to enter ends).
+func (a Authorization) Validate() error {
+	if a.Subject == "" {
+		return errors.New("authz: empty subject")
+	}
+	if a.Location == "" {
+		return errors.New("authz: empty location")
+	}
+	if isUnspecified(a.Entry) {
+		return errors.New("authz: empty entry duration (call Normalize first)")
+	}
+	if isUnspecified(a.Exit) {
+		return errors.New("authz: empty exit duration (call Normalize first)")
+	}
+	if a.Exit.Start < a.Entry.Start {
+		return fmt.Errorf("authz: exit start %s before entry start %s (need tos >= tis)", a.Exit.Start, a.Entry.Start)
+	}
+	if a.Exit.End < a.Entry.End {
+		return fmt.Errorf("authz: exit end %s before entry end %s (need toe >= tie)", a.Exit.End, a.Entry.End)
+	}
+	if a.MaxEntries < 0 {
+		return fmt.Errorf("authz: negative entry count %d", a.MaxEntries)
+	}
+	return nil
+}
+
+// PermitsEntryAt reports whether the entry duration covers time t (the
+// temporal half of Definition 7; the count half needs the movement
+// database and lives in the enforcement engine).
+func (a Authorization) PermitsEntryAt(t interval.Time) bool {
+	return a.Entry.Contains(t)
+}
+
+// PermitsExitAt reports whether the exit duration covers time t.
+func (a Authorization) PermitsExitAt(t interval.Time) bool {
+	return a.Exit.Contains(t)
+}
+
+// GrantDuring returns the grant duration of the authorization within the
+// access request duration [tp, tq]: [max(tp, tis), min(tq, tie)] (§6).
+func (a Authorization) GrantDuring(window interval.Interval) interval.Interval {
+	if window.IsEmpty() {
+		return interval.Empty
+	}
+	return interval.New(
+		interval.Max(window.Start, a.Entry.Start),
+		interval.Min(window.End, a.Entry.End),
+	)
+}
+
+// DepartureDuring returns the departure duration within the access request
+// duration [tp, tq]: [max(tp, tos), toe] (§6).
+func (a Authorization) DepartureDuring(window interval.Interval) interval.Interval {
+	if window.IsEmpty() {
+		return interval.Empty
+	}
+	return interval.New(
+		interval.Max(window.Start, a.Exit.Start),
+		a.Exit.End,
+	)
+}
+
+// String renders the authorization in the paper's notation, e.g.
+// "([5, 40], [20, 100], (Alice, CAIS), 1)"; unlimited entry counts render
+// as ∞.
+func (a Authorization) String() string {
+	n := "∞"
+	if a.MaxEntries != Unlimited {
+		n = fmt.Sprintf("%d", a.MaxEntries)
+	}
+	return fmt.Sprintf("(%s, %s, (%s, %s), %s)", a.Entry, a.Exit, a.Subject, a.Location, n)
+}
+
+// Equivalent reports whether two authorizations grant exactly the same
+// privilege (ignoring identity and provenance). The conflict detector uses
+// it to spot exact duplicates.
+func (a Authorization) Equivalent(b Authorization) bool {
+	return a.Subject == b.Subject &&
+		a.Location == b.Location &&
+		a.Entry.Equal(b.Entry) &&
+		a.Exit.Equal(b.Exit) &&
+		a.MaxEntries == b.MaxEntries
+}

@@ -1,0 +1,145 @@
+package authz
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+)
+
+func iv(s string) interval.Interval { return interval.MustParse(s) }
+
+func TestNormalizeDefaults(t *testing.T) {
+	// "If the entry duration is not specified ... the subject can enter a
+	// location at any time after the creation of the authorization."
+	a := Authorization{Subject: "alice", Location: "CAIS", CreatedAt: 7}
+	n := a.Normalize()
+	if !n.Entry.Equal(interval.From(7)) {
+		t.Errorf("default entry = %v, want [7, inf]", n.Entry)
+	}
+	// "If the exit duration is not specified, the default value will be
+	// [ti1, ∞]."
+	if !n.Exit.Equal(interval.From(7)) {
+		t.Errorf("default exit = %v, want [7, inf]", n.Exit)
+	}
+	// "The default entry value is ∞."
+	if n.MaxEntries != Unlimited {
+		t.Errorf("default max entries = %d", n.MaxEntries)
+	}
+	// Exit default anchors at the *entry* start, not CreatedAt.
+	a = Authorization{Subject: "a", Location: "l", Entry: iv("[10, 20]"), CreatedAt: 7}
+	n = a.Normalize()
+	if !n.Exit.Equal(interval.From(10)) {
+		t.Errorf("exit default = %v, want [10, inf]", n.Exit)
+	}
+	// Negative counts normalise to unlimited.
+	a = Authorization{Subject: "a", Location: "l", MaxEntries: -3}
+	if a.Normalize().MaxEntries != Unlimited {
+		t.Error("negative count should normalise to Unlimited")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "CAIS", 1).Normalize()
+	if err := good.Validate(); err != nil {
+		t.Errorf("paper's example authorization should validate: %v", err)
+	}
+	cases := []struct {
+		name string
+		a    Authorization
+		want string
+	}{
+		{"no subject", New(iv("[5, 40]"), iv("[20, 100]"), "", "CAIS", 1), "subject"},
+		{"no location", New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "", 1), "location"},
+		{"exit starts before entry", New(iv("[5, 40]"), iv("[2, 100]"), "Alice", "CAIS", 1), "tos >= tis"},
+		{"exit ends before entry ends", New(iv("[5, 40]"), iv("[20, 30]"), "Alice", "CAIS", 1), "toe >= tie"},
+		{"negative count", Authorization{Subject: "a", Location: "l", Entry: iv("[0, 1]"), Exit: iv("[0, 1]"), MaxEntries: -1}, "negative"},
+	}
+	for _, tc := range cases {
+		if err := tc.a.Validate(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: got %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+	// Un-normalized (empty) durations are rejected with a hint.
+	if err := (Authorization{Subject: "a", Location: "l"}).Validate(); err == nil {
+		t.Error("empty durations should fail validation")
+	}
+}
+
+func TestPermits(t *testing.T) {
+	a := New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "CAIS", 1)
+	if !a.PermitsEntryAt(5) || !a.PermitsEntryAt(40) || a.PermitsEntryAt(4) || a.PermitsEntryAt(41) {
+		t.Error("entry window broken")
+	}
+	if !a.PermitsExitAt(20) || !a.PermitsExitAt(100) || a.PermitsExitAt(19) || a.PermitsExitAt(101) {
+		t.Error("exit window broken")
+	}
+}
+
+func TestGrantAndDepartureDurations(t *testing.T) {
+	// §6: grant = [max(tp, tis), min(tq, tie)], departure = [max(tp, tos), toe].
+	a := New(iv("[40, 60]"), iv("[55, 80]"), "Alice", "B", 1)
+	// From Table 2's Update B step: window = A's departure [20, 50].
+	win := iv("[20, 50]")
+	if got := a.GrantDuring(win); !got.Equal(iv("[40, 50]")) {
+		t.Errorf("grant = %v, want [40, 50]", got)
+	}
+	if got := a.DepartureDuring(win); !got.Equal(iv("[55, 80]")) {
+		t.Errorf("departure = %v, want [55, 80]", got)
+	}
+	// Disjoint window: null grant.
+	c := New(iv("[38, 45]"), iv("[70, 90]"), "Alice", "C", 1)
+	if got := c.GrantDuring(iv("[55, 80]")); !got.IsEmpty() {
+		t.Errorf("C grant from B's departure = %v, want null", got)
+	}
+	if got := c.GrantDuring(iv("[20, 30]")); !got.IsEmpty() {
+		t.Errorf("C grant from D's departure = %v, want null", got)
+	}
+	// Empty windows propagate.
+	if !a.GrantDuring(interval.Empty).IsEmpty() || !a.DepartureDuring(interval.Empty).IsEmpty() {
+		t.Error("empty request duration must yield null durations")
+	}
+}
+
+func TestString(t *testing.T) {
+	a := New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "CAIS", 1)
+	want := "([5, 40], [20, 100], (Alice, CAIS), 1)"
+	if a.String() != want {
+		t.Errorf("String = %s, want %s", a, want)
+	}
+	u := New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "CAIS", Unlimited)
+	if !strings.Contains(u.String(), "∞") {
+		t.Errorf("unlimited should render ∞: %s", u)
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	a := New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "CAIS", 1)
+	b := a
+	b.ID = 99
+	b.DerivedBy = "r1"
+	if !a.Equivalent(b) {
+		t.Error("identity/provenance must not affect equivalence")
+	}
+	c := a
+	c.MaxEntries = 2
+	if a.Equivalent(c) {
+		t.Error("different counts are not equivalent")
+	}
+	d := a
+	d.Entry = iv("[5, 41]")
+	if a.Equivalent(d) {
+		t.Error("different entry windows are not equivalent")
+	}
+}
+
+func TestIsDerived(t *testing.T) {
+	a := New(iv("[5, 40]"), iv("[20, 100]"), "Alice", "CAIS", 1)
+	if a.IsDerived() {
+		t.Error("base auth is not derived")
+	}
+	a.DerivedBy = "r1"
+	if !a.IsDerived() {
+		t.Error("derived auth should report so")
+	}
+}

@@ -1,0 +1,158 @@
+package authz
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+)
+
+// The paper (§4) notes that authorization rules may introduce conflicts —
+// e.g. one authorization admitting Alice to CAIS during [5, 10] and
+// another during [10, 11] — and defers resolution to future work,
+// sketching the two options: "combining the two authorizations, or
+// discarding one of them." This file implements both as pluggable
+// strategies over the conflicts FindConflicts detects.
+
+// Strategy selects how a detected conflict is resolved.
+type Strategy int
+
+// The resolution strategies.
+const (
+	// Combine merges the two authorizations into one covering both
+	// entry windows (hull) and both exit windows, with the larger entry
+	// count — the paper's "combining" option. Only applied when the
+	// windows overlap or touch; disjoint windows are left alone (they
+	// are not really in conflict, just adjacent grants).
+	Combine Strategy = iota
+	// KeepFirst discards the newer authorization (higher ID) — the
+	// paper's "discarding one of them", biased to the earlier grant.
+	KeepFirst
+	// KeepLast discards the older authorization.
+	KeepLast
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case Combine:
+		return "combine"
+	case KeepFirst:
+		return "keep-first"
+	case KeepLast:
+		return "keep-last"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Resolution records one applied fix.
+type Resolution struct {
+	Conflict Conflict
+	Strategy Strategy
+	// Kept is the surviving (possibly merged) authorization; Removed
+	// the IDs revoked.
+	Kept    Authorization
+	Removed []ID
+}
+
+// ResolveConflicts detects conflicts and applies the strategy to each,
+// returning what was done. Resolution iterates to a fixpoint: merging two
+// authorizations can bring the survivor into conflict with a third, which
+// is then resolved in a later pass. Derived authorizations are skipped —
+// they are owned by their rule and would reappear at the next
+// re-derivation; resolving them means fixing the rule, which is the
+// administrator's decision (the paper's human-error analysis goal).
+func (st *Store) ResolveConflicts(strategy Strategy) ([]Resolution, error) {
+	var out []Resolution
+	for pass := 0; pass < 64; pass++ {
+		conflicts := st.FindConflicts()
+		applied := false
+		for _, c := range conflicts {
+			if c.A.IsDerived() || c.B.IsDerived() {
+				continue
+			}
+			res, ok, err := st.resolveOne(c, strategy)
+			if err != nil {
+				return out, err
+			}
+			if ok {
+				out = append(out, res)
+				applied = true
+				break // indexes changed: re-detect
+			}
+		}
+		if !applied {
+			return out, nil
+		}
+	}
+	return out, fmt.Errorf("authz: conflict resolution did not converge")
+}
+
+func (st *Store) resolveOne(c Conflict, strategy Strategy) (Resolution, bool, error) {
+	res := Resolution{Conflict: c, Strategy: strategy}
+	switch strategy {
+	case Combine:
+		merged, ok := combine(c.A, c.B)
+		if !ok {
+			return res, false, nil
+		}
+		if err := st.Revoke(c.A.ID); err != nil {
+			return res, false, err
+		}
+		if err := st.Revoke(c.B.ID); err != nil {
+			return res, false, err
+		}
+		stored, err := st.Add(merged)
+		if err != nil {
+			return res, false, fmt.Errorf("authz: merged authorization invalid: %w", err)
+		}
+		res.Kept = stored
+		res.Removed = []ID{c.A.ID, c.B.ID}
+		return res, true, nil
+	case KeepFirst, KeepLast:
+		keep, drop := c.A, c.B
+		if keep.ID > drop.ID {
+			keep, drop = drop, keep
+		}
+		if strategy == KeepLast {
+			keep, drop = drop, keep
+		}
+		if err := st.Revoke(drop.ID); err != nil {
+			return res, false, err
+		}
+		res.Kept = keep
+		res.Removed = []ID{drop.ID}
+		return res, true, nil
+	default:
+		return res, false, fmt.Errorf("authz: unknown strategy %d", strategy)
+	}
+}
+
+// combine merges two authorizations on the same (subject, location) whose
+// entry windows overlap or touch. The merged entry window is the union
+// (a single interval, since they touch); the merged exit window likewise
+// uses the hull, so neither original right-to-leave is lost; the entry
+// count is the larger (Unlimited dominating).
+func combine(a, b Authorization) (Authorization, bool) {
+	if a.Subject != b.Subject || a.Location != b.Location {
+		return Authorization{}, false
+	}
+	if !a.Entry.Overlaps(b.Entry) && !a.Entry.Adjacent(b.Entry) {
+		return Authorization{}, false
+	}
+	merged := Authorization{
+		Subject:   a.Subject,
+		Location:  a.Location,
+		Entry:     a.Entry.Hull(b.Entry),
+		Exit:      a.Exit.Hull(b.Exit),
+		CreatedAt: interval.Min(a.CreatedAt, b.CreatedAt),
+	}
+	switch {
+	case a.MaxEntries == Unlimited || b.MaxEntries == Unlimited:
+		merged.MaxEntries = Unlimited
+	case a.MaxEntries > b.MaxEntries:
+		merged.MaxEntries = a.MaxEntries
+	default:
+		merged.MaxEntries = b.MaxEntries
+	}
+	return merged, true
+}

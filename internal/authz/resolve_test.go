@@ -1,0 +1,132 @@
+package authz
+
+import "testing"
+
+func TestResolveCombinePaperExample(t *testing.T) {
+	// The paper's §4 example: [5, 10] and [10, 11] on (Alice, CAIS).
+	st := NewStore()
+	addOK(t, st, New(iv("[5, 10]"), iv("[5, 20]"), "Alice", "CAIS", 1))
+	addOK(t, st, New(iv("[10, 11]"), iv("[10, 30]"), "Alice", "CAIS", 2))
+	res, err := st.ResolveConflicts(Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("resolutions = %v", res)
+	}
+	kept := res[0].Kept
+	if !kept.Entry.Equal(iv("[5, 11]")) {
+		t.Errorf("merged entry = %v", kept.Entry)
+	}
+	if !kept.Exit.Equal(iv("[5, 30]")) {
+		t.Errorf("merged exit = %v", kept.Exit)
+	}
+	if kept.MaxEntries != 2 {
+		t.Errorf("merged count = %d", kept.MaxEntries)
+	}
+	if st.Len() != 1 {
+		t.Errorf("store len = %d", st.Len())
+	}
+	if len(st.FindConflicts()) != 0 {
+		t.Error("conflicts remain after resolution")
+	}
+}
+
+func TestResolveCombineChain(t *testing.T) {
+	// Three pairwise-touching windows collapse to one via the fixpoint.
+	st := NewStore()
+	addOK(t, st, New(iv("[1, 5]"), iv("[1, 9]"), "u", "l", 1))
+	addOK(t, st, New(iv("[6, 10]"), iv("[6, 19]"), "u", "l", 1))
+	addOK(t, st, New(iv("[11, 15]"), iv("[11, 29]"), "u", "l", 1))
+	res, err := st.ResolveConflicts(Combine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || st.Len() != 1 {
+		t.Fatalf("resolutions = %d, len = %d", len(res), st.Len())
+	}
+	final := st.All()[0]
+	if !final.Entry.Equal(iv("[1, 15]")) || !final.Exit.Equal(iv("[1, 29]")) {
+		t.Errorf("final = %s", final)
+	}
+}
+
+func TestResolveCombineUnlimitedDominates(t *testing.T) {
+	st := NewStore()
+	addOK(t, st, New(iv("[1, 5]"), iv("[1, 9]"), "u", "l", 3))
+	addOK(t, st, New(iv("[4, 8]"), iv("[4, 19]"), "u", "l", Unlimited))
+	res, _ := st.ResolveConflicts(Combine)
+	if len(res) != 1 || res[0].Kept.MaxEntries != Unlimited {
+		t.Errorf("res = %+v", res)
+	}
+}
+
+func TestResolveKeepFirstAndLast(t *testing.T) {
+	mk := func() *Store {
+		st := NewStore()
+		addOK(t, st, New(iv("[5, 10]"), iv("[5, 20]"), "Alice", "CAIS", 1))
+		addOK(t, st, New(iv("[8, 12]"), iv("[8, 30]"), "Alice", "CAIS", 1))
+		return st
+	}
+	st := mk()
+	res, err := st.ResolveConflicts(KeepFirst)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+	if res[0].Kept.ID != 1 || st.Len() != 1 || st.All()[0].ID != 1 {
+		t.Errorf("keep-first kept %d", res[0].Kept.ID)
+	}
+	st = mk()
+	res, _ = st.ResolveConflicts(KeepLast)
+	if res[0].Kept.ID != 2 || st.All()[0].ID != 2 {
+		t.Errorf("keep-last kept %d", res[0].Kept.ID)
+	}
+}
+
+func TestResolveSkipsDerived(t *testing.T) {
+	st := NewStore()
+	addOK(t, st, New(iv("[5, 10]"), iv("[5, 20]"), "Alice", "CAIS", 1))
+	d := New(iv("[8, 12]"), iv("[8, 30]"), "Alice", "CAIS", 1)
+	d.DerivedBy = "r1"
+	addOK(t, st, d)
+	res, err := st.ResolveConflicts(Combine)
+	if err != nil || len(res) != 0 {
+		t.Errorf("derived conflicts must be left for the rule owner: %v %v", res, err)
+	}
+	if st.Len() != 2 {
+		t.Error("nothing should be revoked")
+	}
+}
+
+func TestResolveNoConflictsNoop(t *testing.T) {
+	st := NewStore()
+	addOK(t, st, New(iv("[1, 5]"), iv("[1, 9]"), "u", "l", 1))
+	addOK(t, st, New(iv("[20, 25]"), iv("[20, 29]"), "u", "l", 1))
+	res, err := st.ResolveConflicts(Combine)
+	if err != nil || len(res) != 0 || st.Len() != 2 {
+		t.Errorf("res = %v, %v, len = %d", res, err, st.Len())
+	}
+}
+
+func TestResolveOverlapKeepsExitHull(t *testing.T) {
+	// Merging must not lose either right-to-leave: hull of exits.
+	st := NewStore()
+	addOK(t, st, New(iv("[1, 10]"), iv("[5, 15]"), "u", "l", 1))
+	addOK(t, st, New(iv("[5, 12]"), iv("[20, 40]"), "u", "l", 1))
+	res, err := st.ResolveConflicts(Combine)
+	if err != nil || len(res) != 1 {
+		t.Fatalf("res = %v, %v", res, err)
+	}
+	if !res[0].Kept.Exit.Equal(iv("[5, 40]")) {
+		t.Errorf("exit hull = %v", res[0].Kept.Exit)
+	}
+}
+
+func TestStrategyString(t *testing.T) {
+	if Combine.String() != "combine" || KeepFirst.String() != "keep-first" || KeepLast.String() != "keep-last" {
+		t.Error("strategy strings broken")
+	}
+	if Strategy(9).String() != "Strategy(9)" {
+		t.Error("unknown strategy string broken")
+	}
+}

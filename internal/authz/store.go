@@ -1,0 +1,295 @@
+package authz
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/profile"
+)
+
+// ErrNotFound is returned for unknown authorization IDs.
+var ErrNotFound = errors.New("authz: authorization not found")
+
+// subjectLocation is the composite index key for Def.-7 lookups.
+type subjectLocation struct {
+	s profile.SubjectID
+	l graph.ID
+}
+
+// Store is the authorization database of Fig. 3: all authorizations
+// defined by administrators plus those derived by rules, indexed for the
+// three access paths the engine needs — by (subject, location) for access
+// checks, by location for Algorithm 1, and by subject for per-user
+// queries. Store is safe for concurrent use.
+type Store struct {
+	mu         sync.RWMutex
+	nextID     ID
+	byID       map[ID]Authorization
+	bySubject  map[profile.SubjectID][]ID
+	byLocation map[graph.ID][]ID
+	byPair     map[subjectLocation][]ID
+}
+
+// NewStore returns an empty authorization database.
+func NewStore() *Store {
+	return &Store{
+		nextID:     1,
+		byID:       make(map[ID]Authorization),
+		bySubject:  make(map[profile.SubjectID][]ID),
+		byLocation: make(map[graph.ID][]ID),
+		byPair:     make(map[subjectLocation][]ID),
+	}
+}
+
+// Add normalizes, validates and inserts the authorization, returning the
+// stored value with its assigned ID.
+func (st *Store) Add(a Authorization) (Authorization, error) {
+	a = a.Normalize()
+	if err := a.Validate(); err != nil {
+		return Authorization{}, err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a.ID = st.nextID
+	st.nextID++
+	st.insertLocked(a)
+	return a, nil
+}
+
+func (st *Store) insertLocked(a Authorization) {
+	st.byID[a.ID] = a
+	st.bySubject[a.Subject] = append(st.bySubject[a.Subject], a.ID)
+	st.byLocation[a.Location] = append(st.byLocation[a.Location], a.ID)
+	key := subjectLocation{a.Subject, a.Location}
+	st.byPair[key] = append(st.byPair[key], a.ID)
+}
+
+// Get returns the authorization with the given ID.
+func (st *Store) Get(id ID) (Authorization, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	a, ok := st.byID[id]
+	if !ok {
+		return Authorization{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	return a, nil
+}
+
+// Revoke removes the authorization with the given ID.
+func (st *Store) Revoke(id ID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	a, ok := st.byID[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNotFound, id)
+	}
+	st.removeLocked(a)
+	return nil
+}
+
+func (st *Store) removeLocked(a Authorization) {
+	delete(st.byID, a.ID)
+	st.bySubject[a.Subject] = dropID(st.bySubject[a.Subject], a.ID)
+	st.byLocation[a.Location] = dropID(st.byLocation[a.Location], a.ID)
+	key := subjectLocation{a.Subject, a.Location}
+	st.byPair[key] = dropID(st.byPair[key], a.ID)
+}
+
+func dropID(ids []ID, id ID) []ID {
+	for i, v := range ids {
+		if v == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// RevokeDerivedBy removes every authorization derived by the named rule
+// and returns how many were removed. The rule engine calls this before
+// re-deriving, implementing Example 1's automatic revocation when the
+// underlying profile changes.
+func (st *Store) RevokeDerivedBy(rule string) int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var victims []Authorization
+	for _, a := range st.byID {
+		if a.DerivedBy == rule {
+			victims = append(victims, a)
+		}
+	}
+	for _, a := range victims {
+		st.removeLocked(a)
+	}
+	return len(victims)
+}
+
+// For returns the authorizations for subject s at location l, sorted by
+// ID — the lookup behind every access request (Def. 7 checks "there
+// exists at least one location temporal authorization" for the pair).
+func (st *Store) For(s profile.SubjectID, l graph.ID) []Authorization {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.collectLocked(st.byPair[subjectLocation{s, l}])
+}
+
+// BySubject returns all authorizations for subject s, sorted by ID.
+func (st *Store) BySubject(s profile.SubjectID) []Authorization {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.collectLocked(st.bySubject[s])
+}
+
+// ByLocation returns all authorizations on location l, sorted by ID —
+// Algorithm 1 iterates "for each location-temporal authorization a of l".
+func (st *Store) ByLocation(l graph.ID) []Authorization {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.collectLocked(st.byLocation[l])
+}
+
+func (st *Store) collectLocked(ids []ID) []Authorization {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]Authorization, 0, len(ids))
+	for _, id := range ids {
+		if a, ok := st.byID[id]; ok {
+			out = append(out, a)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Subjects returns every subject holding at least one authorization,
+// sorted — the domain of per-subject analyses like "who can access l".
+func (st *Store) Subjects() []profile.SubjectID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]profile.SubjectID, 0, len(st.bySubject))
+	for s, ids := range st.bySubject {
+		if len(ids) > 0 {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// All returns every authorization sorted by ID.
+func (st *Store) All() []Authorization {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := make([]Authorization, 0, len(st.byID))
+	for _, a := range st.byID {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Len returns the number of stored authorizations.
+func (st *Store) Len() int {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return len(st.byID)
+}
+
+// Snapshot returns all authorizations plus the next-ID watermark for
+// persistence.
+func (st *Store) Snapshot() ([]Authorization, ID) {
+	return st.All(), st.peekNextID()
+}
+
+func (st *Store) peekNextID() ID {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	return st.nextID
+}
+
+// Restore replaces the store contents. Authorizations keep their IDs;
+// nextID resumes above the largest restored ID (or the provided watermark
+// if higher), so IDs are never reused after recovery.
+func (st *Store) Restore(auths []Authorization, nextID ID) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.byID = make(map[ID]Authorization, len(auths))
+	st.bySubject = make(map[profile.SubjectID][]ID)
+	st.byLocation = make(map[graph.ID][]ID)
+	st.byPair = make(map[subjectLocation][]ID)
+	st.nextID = 1
+	for _, a := range auths {
+		if a.ID == 0 {
+			return errors.New("authz: restore: authorization without ID")
+		}
+		if _, dup := st.byID[a.ID]; dup {
+			return fmt.Errorf("authz: restore: duplicate ID %d", a.ID)
+		}
+		a = a.Normalize()
+		if err := a.Validate(); err != nil {
+			return fmt.Errorf("authz: restore %d: %w", a.ID, err)
+		}
+		st.insertLocked(a)
+		if a.ID >= st.nextID {
+			st.nextID = a.ID + 1
+		}
+	}
+	if nextID > st.nextID {
+		st.nextID = nextID
+	}
+	return nil
+}
+
+// Conflict describes two authorizations for the same (subject, location)
+// whose windows interact in a way the paper flags as needing resolution
+// (§4: "the authorization rules may introduce conflicts ... This conflict
+// should be resolved either by combining the two authorizations, or
+// discarding one of them").
+type Conflict struct {
+	A, B Authorization
+	// Kind is "duplicate" (identical privilege), "overlap" (entry
+	// windows overlap) or "adjacent" (entry windows touch, the paper's
+	// [5,10] vs [10,11] example is overlap at a point; [5,9] vs [10,11]
+	// is adjacency that could be combined).
+	Kind string
+}
+
+// FindConflicts scans the store for pairs of authorizations on the same
+// (subject, location) with duplicate, overlapping, or adjacent entry
+// durations. The paper leaves *resolution* to future work; detection makes
+// human error visible (one of LTAM's stated goals).
+func (st *Store) FindConflicts() []Conflict {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	var out []Conflict
+	keys := make([]subjectLocation, 0, len(st.byPair))
+	for k := range st.byPair {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].s != keys[j].s {
+			return keys[i].s < keys[j].s
+		}
+		return keys[i].l < keys[j].l
+	})
+	for _, k := range keys {
+		auths := st.collectLocked(st.byPair[k])
+		for i := 0; i < len(auths); i++ {
+			for j := i + 1; j < len(auths); j++ {
+				a, b := auths[i], auths[j]
+				switch {
+				case a.Equivalent(b):
+					out = append(out, Conflict{A: a, B: b, Kind: "duplicate"})
+				case a.Entry.Overlaps(b.Entry):
+					out = append(out, Conflict{A: a, B: b, Kind: "overlap"})
+				case a.Entry.Adjacent(b.Entry):
+					out = append(out, Conflict{A: a, B: b, Kind: "adjacent"})
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,626 @@
+// Package core assembles the LTAM central control station of Fig. 3: the
+// authorization database, the location & movements database, the user
+// profile database, the access control engine and the query engine behind
+// one System facade, with optional durability (write-ahead logging plus
+// snapshots) and an optional positioning front-end.
+//
+// The privacy stance of §1 is enforced structurally: raw coordinates
+// entering through ObserveReading are resolved to primitive locations
+// inside the System and discarded; only movement events are stored or
+// exposed.
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/audit"
+	"repro/internal/authz"
+	"repro/internal/enforce"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/movement"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/rules"
+	"repro/internal/storage"
+)
+
+// Config configures a System.
+type Config struct {
+	// Graph is the site's (multilevel) location graph. It may be nil
+	// when DataDir holds a snapshot to recover it from.
+	Graph *graph.Graph
+	// Boundaries optionally enables the coordinate front-end
+	// (ObserveReading); each primitive location used in readings needs a
+	// boundary.
+	Boundaries []geometry.Boundary
+	// DataDir enables durability when non-empty: a WAL and snapshots
+	// are kept there and recovered from on Open.
+	DataDir string
+	// SyncEvery is the WAL fsync cadence (1 = every mutation; 0 uses 1).
+	SyncEvery int
+	// AlertLimit bounds the in-memory alert log (0 = default).
+	AlertLimit int
+	// AutoDerive re-runs all rules after profile changes (Example 1's
+	// automatic re-derivation). Defaults to true via Open.
+	AutoDerive bool
+}
+
+// System is the central control station.
+type System struct {
+	mu sync.Mutex // serialises mutations so WAL order equals apply order
+
+	root     *graph.Graph
+	flat     *graph.Flat
+	profiles *profile.DB
+	store    *authz.Store
+	moves    *movement.DB
+	alerts   *audit.Log
+	engine   *enforce.Engine
+	ruleEng  *rules.Engine
+	resolver *geometry.Resolver
+
+	wal       *storage.WAL
+	snaps     *storage.SnapshotStore
+	replaying bool
+}
+
+// record payloads.
+type (
+	idPayload   struct{ ID authz.ID }
+	namePayload struct{ Name string }
+	subjPayload struct{ ID profile.SubjectID }
+	movePayload struct {
+		T interval.Time
+		S profile.SubjectID
+		L graph.ID
+	}
+	tickPayload     struct{ T interval.Time }
+	strategyPayload struct{ Strategy int }
+)
+
+// snapshotState is the persisted full state.
+type snapshotState struct {
+	Graph      graph.Spec            `json:"graph"`
+	Profiles   []profile.Subject     `json:"profiles"`
+	Auths      []authz.Authorization `json:"auths"`
+	NextAuthID authz.ID              `json:"next_auth_id"`
+	Rules      []rules.Spec          `json:"rules"`
+	Events     []movement.Event      `json:"events"`
+	Clock      interval.Time         `json:"clock"`
+}
+
+// Open builds a System from cfg, recovering from DataDir when set.
+func Open(cfg Config) (*System, error) {
+	s := &System{
+		profiles: profile.NewDB(),
+		store:    authz.NewStore(),
+		moves:    movement.NewDB(),
+		alerts:   audit.NewLog(cfg.AlertLimit),
+	}
+
+	var snap snapshotState
+	haveSnap := false
+	if cfg.DataDir != "" {
+		var err error
+		s.snaps, err = storage.NewSnapshotStore(filepath.Join(cfg.DataDir, "snapshots"))
+		if err != nil {
+			return nil, err
+		}
+		if _, ok, err := s.snaps.Latest(&snap); err != nil {
+			return nil, err
+		} else if ok {
+			haveSnap = true
+		}
+	}
+
+	// Resolve the graph: explicit config wins; otherwise the snapshot.
+	switch {
+	case cfg.Graph != nil:
+		s.root = cfg.Graph
+	case haveSnap:
+		g, err := graph.FromSpec(snap.Graph)
+		if err != nil {
+			return nil, fmt.Errorf("core: recover graph: %w", err)
+		}
+		s.root = g
+	default:
+		return nil, errors.New("core: no location graph (set Config.Graph or recover from a snapshot)")
+	}
+	if err := s.root.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.flat = graph.Expand(s.root)
+
+	if len(cfg.Boundaries) > 0 {
+		r, err := geometry.NewResolver(cfg.Boundaries)
+		if err != nil {
+			return nil, err
+		}
+		s.resolver = r
+	}
+
+	eng, err := enforce.New(s.root, s.store, s.moves, s.alerts)
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
+	s.ruleEng = rules.NewEngine(s.store, s.profiles, s.root, cfg.AutoDerive)
+
+	// Restore the snapshot state.
+	if haveSnap {
+		if err := s.profiles.Restore(snap.Profiles); err != nil {
+			return nil, fmt.Errorf("core: recover profiles: %w", err)
+		}
+		if err := s.store.Restore(snap.Auths, snap.NextAuthID); err != nil {
+			return nil, fmt.Errorf("core: recover auths: %w", err)
+		}
+		for _, spec := range snap.Rules {
+			r, err := spec.Compile()
+			if err != nil {
+				return nil, fmt.Errorf("core: recover rule %q: %w", spec.Name, err)
+			}
+			if err := s.ruleEng.RestoreRule(r); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.moves.Restore(snap.Events); err != nil {
+			return nil, fmt.Errorf("core: recover movements: %w", err)
+		}
+		if err := s.engine.SetClock(snap.Clock); err != nil {
+			return nil, err
+		}
+	}
+
+	// Replay the WAL suffix, then open it for appending.
+	if cfg.DataDir != "" {
+		walPath := filepath.Join(cfg.DataDir, "wal.log")
+		s.replaying = true
+		_, err := storage.Replay(walPath, s.apply)
+		s.replaying = false
+		if err != nil {
+			return nil, fmt.Errorf("core: replay: %w", err)
+		}
+		sync := cfg.SyncEvery
+		if sync <= 0 {
+			sync = 1
+		}
+		s.wal, err = storage.OpenWAL(walPath, sync)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Close flushes and closes the WAL.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal != nil {
+		return s.wal.Close()
+	}
+	return nil
+}
+
+// apply dispatches one WAL record during recovery.
+func (s *System) apply(rec storage.Record) error {
+	switch rec.Type {
+	case "profile.put":
+		var sub profile.Subject
+		if err := json.Unmarshal(rec.Data, &sub); err != nil {
+			return err
+		}
+		return s.PutSubject(sub)
+	case "profile.remove":
+		var p subjPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.RemoveSubject(p.ID)
+	case "authz.add":
+		var a authz.Authorization
+		if err := json.Unmarshal(rec.Data, &a); err != nil {
+			return err
+		}
+		a.ID = 0 // re-assigned deterministically
+		_, err := s.AddAuthorization(a)
+		return err
+	case "authz.resolve":
+		var p strategyPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.ResolveConflicts(authz.Strategy(p.Strategy))
+		return err
+	case "authz.revoke":
+		var p idPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.RevokeAuthorization(p.ID)
+		return err
+	case "rule.add":
+		var spec rules.Spec
+		if err := json.Unmarshal(rec.Data, &spec); err != nil {
+			return err
+		}
+		_, err := s.AddRule(spec)
+		return err
+	case "rule.remove":
+		var p namePayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.RemoveRule(p.Name)
+	case "move.enter":
+		var p movePayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.Enter(p.T, p.S, p.L)
+		return err
+	case "move.leave":
+		var p movePayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		return s.Leave(p.T, p.S)
+	case "tick":
+		var p tickPayload
+		if err := json.Unmarshal(rec.Data, &p); err != nil {
+			return err
+		}
+		_, err := s.Tick(p.T)
+		return err
+	default:
+		return fmt.Errorf("core: unknown record type %q", rec.Type)
+	}
+}
+
+// log appends a mutation record unless durability is off or we are
+// replaying.
+func (s *System) log(typ string, v any) error {
+	if s.wal == nil || s.replaying {
+		return nil
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	return s.wal.Append(storage.Record{Type: typ, Data: data})
+}
+
+// --- Profile administration -------------------------------------------
+
+// PutSubject inserts or updates a user profile.
+func (s *System) PutSubject(sub profile.Subject) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.profiles.Put(sub); err != nil {
+		return err
+	}
+	return s.log("profile.put", sub)
+}
+
+// RemoveSubject deletes a user profile.
+func (s *System) RemoveSubject(id profile.SubjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.profiles.Remove(id); err != nil {
+		return err
+	}
+	return s.log("profile.remove", subjPayload{ID: id})
+}
+
+// GetSubject returns a user profile.
+func (s *System) GetSubject(id profile.SubjectID) (profile.Subject, error) {
+	return s.profiles.Get(id)
+}
+
+// Subjects lists all subject IDs.
+func (s *System) Subjects() []profile.SubjectID { return s.profiles.Subjects() }
+
+// --- Authorization administration ---------------------------------------
+
+// AddAuthorization validates that the location is a primitive location of
+// the site graph, stores the authorization, and logs it.
+func (s *System) AddAuthorization(a authz.Authorization) (authz.Authorization, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.flat.Index[a.Location]; !ok {
+		return authz.Authorization{}, fmt.Errorf("core: %q is not a primitive location of %q", a.Location, s.root.Name())
+	}
+	stored, err := s.store.Add(a)
+	if err != nil {
+		return authz.Authorization{}, err
+	}
+	if err := s.log("authz.add", stored); err != nil {
+		return authz.Authorization{}, err
+	}
+	return stored, nil
+}
+
+// RevokeAuthorization revokes an authorization and everything derived
+// from it, returning how many were removed.
+func (s *System) RevokeAuthorization(id authz.ID) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n, err := s.ruleEng.RevokeBase(id)
+	if err != nil {
+		return 0, err
+	}
+	return n, s.log("authz.revoke", idPayload{ID: id})
+}
+
+// Authorizations lists every stored authorization.
+func (s *System) Authorizations() []authz.Authorization { return s.store.All() }
+
+// AuthorizationsFor lists the authorizations of subject sub at location l.
+func (s *System) AuthorizationsFor(sub profile.SubjectID, l graph.ID) []authz.Authorization {
+	return s.store.For(sub, l)
+}
+
+// Conflicts reports duplicate/overlapping/adjacent authorization pairs.
+func (s *System) Conflicts() []authz.Conflict { return s.store.FindConflicts() }
+
+// ResolveConflicts applies the strategy to every detected conflict among
+// administrator-defined authorizations (the paper's two §4 options:
+// combining, or discarding one). The resolution is durably logged.
+func (s *System) ResolveConflicts(strategy authz.Strategy) ([]authz.Resolution, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res, err := s.store.ResolveConflicts(strategy)
+	if err != nil {
+		return res, err
+	}
+	if len(res) == 0 {
+		return res, nil
+	}
+	return res, s.log("authz.resolve", strategyPayload{Strategy: int(strategy)})
+}
+
+// --- Rules ---------------------------------------------------------------
+
+// AddRule compiles, registers and immediately derives the rule.
+func (s *System) AddRule(spec rules.Spec) (rules.Report, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, err := spec.Compile()
+	if err != nil {
+		return rules.Report{}, err
+	}
+	rep, err := s.ruleEng.AddRule(r)
+	if err != nil {
+		return rules.Report{}, err
+	}
+	return rep, s.log("rule.add", spec)
+}
+
+// RemoveRule deletes a rule and revokes its derivations.
+func (s *System) RemoveRule(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.ruleEng.RemoveRule(name); err != nil {
+		return err
+	}
+	return s.log("rule.remove", namePayload{Name: name})
+}
+
+// Rules lists the registered rules.
+func (s *System) Rules() []rules.Rule { return s.ruleEng.Rules() }
+
+// RuleEngine exposes the rule engine for programmatic (non-persistent)
+// customized operators.
+func (s *System) RuleEngine() *rules.Engine { return s.ruleEng }
+
+// --- Enforcement -----------------------------------------------------------
+
+// Request evaluates the access request (t, sub, l) — Definition 6/7.
+func (s *System) Request(t interval.Time, sub profile.SubjectID, l graph.ID) enforce.Decision {
+	return s.engine.Request(t, sub, l)
+}
+
+// Query is Request without side effects.
+func (s *System) Query(t interval.Time, sub profile.SubjectID, l graph.ID) enforce.Decision {
+	return s.engine.Query(t, sub, l)
+}
+
+// Enter records subject sub entering location l at time t.
+func (s *System) Enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enforce.Decision, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := s.engine.Enter(t, sub, l)
+	if err != nil {
+		return d, err
+	}
+	return d, s.log("move.enter", movePayload{T: t, S: sub, L: l})
+}
+
+// Leave records subject sub leaving its current location at time t.
+func (s *System) Leave(t interval.Time, sub profile.SubjectID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.engine.Leave(t, sub); err != nil {
+		return err
+	}
+	return s.log("move.leave", movePayload{T: t, S: sub})
+}
+
+// Tick advances the clock and runs the overstay monitor.
+func (s *System) Tick(t interval.Time) ([]audit.Alert, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	raised, err := s.engine.Tick(t)
+	if err != nil {
+		return nil, err
+	}
+	return raised, s.log("tick", tickPayload{T: t})
+}
+
+// ObserveReading ingests one positioning sample: the coordinate is
+// resolved to a primitive location (or outside) and converted into the
+// corresponding movement, if any. The coordinate itself is discarded —
+// the §1 privacy boundary.
+func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geometry.Point) (enforce.Decision, bool, error) {
+	if s.resolver == nil {
+		return enforce.Decision{}, false, errors.New("core: no boundaries configured")
+	}
+	loc := graph.ID(s.resolver.Resolve(at))
+	cur, inside := s.moves.CurrentLocation(sub)
+	switch {
+	case loc == "" && !inside:
+		return enforce.Decision{}, false, nil
+	case loc == "" && inside:
+		return enforce.Decision{}, true, s.Leave(t, sub)
+	case inside && loc == cur:
+		return enforce.Decision{}, false, nil
+	default:
+		d, err := s.Enter(t, sub, loc)
+		return d, err == nil, err
+	}
+}
+
+// --- Queries -----------------------------------------------------------------
+
+// Inaccessible runs Algorithm 1 for the subject over the whole site.
+func (s *System) Inaccessible(sub profile.SubjectID) []graph.ID {
+	return query.FindInaccessible(s.flat, s.store, sub, query.Options{}).Inaccessible
+}
+
+// InaccessibleTrace runs Algorithm 1 with a Table-2-style trace.
+func (s *System) InaccessibleTrace(sub profile.SubjectID) query.Result {
+	return query.FindInaccessible(s.flat, s.store, sub, query.Options{Trace: true})
+}
+
+// InaccessibleDuring restricts Algorithm 1 to visits starting within
+// window (§6's access request duration).
+func (s *System) InaccessibleDuring(sub profile.SubjectID, window interval.Interval) []graph.ID {
+	return query.FindInaccessible(s.flat, s.store, sub, query.Options{Window: window}).Inaccessible
+}
+
+// Accessible is the complement query of §5.
+func (s *System) Accessible(sub profile.SubjectID) []graph.ID {
+	return query.Accessible(s.flat, s.store, sub)
+}
+
+// EarliestAccess returns the earliest time sub can be inside l via an
+// authorized route, and whether l is reachable at all.
+func (s *System) EarliestAccess(sub profile.SubjectID, l graph.ID) (interval.Time, bool) {
+	return query.EarliestAccess(s.flat, s.store, sub, l)
+}
+
+// WhoCanAccess returns every known subject (profiles plus authorization
+// holders) who can reach location l via an authorized route.
+func (s *System) WhoCanAccess(l graph.ID) []profile.SubjectID {
+	seen := map[profile.SubjectID]bool{}
+	var subjects []profile.SubjectID
+	for _, sub := range s.profiles.Subjects() {
+		if !seen[sub] {
+			seen[sub] = true
+			subjects = append(subjects, sub)
+		}
+	}
+	for _, sub := range s.store.Subjects() {
+		if !seen[sub] {
+			seen[sub] = true
+			subjects = append(subjects, sub)
+		}
+	}
+	out := query.WhoCanAccess(s.flat, s.store, subjects, l)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// InaccessibleMultilevel runs the Lemma-1 hierarchical solver.
+func (s *System) InaccessibleMultilevel(sub profile.SubjectID) query.MultilevelResult {
+	return query.FindInaccessibleMultilevel(s.root, s.store, sub)
+}
+
+// CheckRoute evaluates the §6 authorized-route definition.
+func (s *System) CheckRoute(sub profile.SubjectID, r graph.Route, window interval.Interval) query.RouteCheck {
+	return query.CheckRoute(s.store, sub, r, window)
+}
+
+// CheckItinerary validates a concrete visit schedule (explicit arrive and
+// depart times per location) against topology and authorizations.
+func (s *System) CheckItinerary(sub profile.SubjectID, visits []query.Visit) query.ItineraryCheck {
+	return query.CheckItinerary(s.flat, s.store, sub, visits)
+}
+
+// WhereIs reports a subject's current location.
+func (s *System) WhereIs(sub profile.SubjectID) (graph.ID, bool) { return s.engine.WhereIs(sub) }
+
+// Occupants reports who is inside a location now.
+func (s *System) Occupants(l graph.ID) []profile.SubjectID { return s.engine.Occupants(l) }
+
+// ContactsOf runs the §1 contact-tracing query.
+func (s *System) ContactsOf(sub profile.SubjectID, window interval.Interval) []movement.Contact {
+	return s.moves.ContactsOf(sub, window)
+}
+
+// History returns a subject's stints.
+func (s *System) History(sub profile.SubjectID) []movement.Stint { return s.moves.History(sub) }
+
+// WhoWasIn returns the subjects present in l during window.
+func (s *System) WhoWasIn(l graph.ID, window interval.Interval) []profile.SubjectID {
+	return s.moves.WhoWasIn(l, window)
+}
+
+// Alerts returns the alert log.
+func (s *System) Alerts() *audit.Log { return s.alerts }
+
+// Graph returns the site graph; Flat its expansion.
+func (s *System) Graph() *graph.Graph { return s.root }
+
+// Flat returns the expanded primitive-location graph.
+func (s *System) Flat() *graph.Flat { return s.flat }
+
+// Movements exposes the movement database (read-side).
+func (s *System) Movements() *movement.DB { return s.moves }
+
+// AuthStore exposes the authorization database (read-side and benches).
+func (s *System) AuthStore() *authz.Store { return s.store }
+
+// Profiles exposes the profile database. Mutate via System methods when
+// durability matters.
+func (s *System) Profiles() *profile.DB { return s.profiles }
+
+// Clock returns the engine's logical time.
+func (s *System) Clock() interval.Time { return s.engine.Now() }
+
+// Snapshot persists the full state and compacts the WAL. It requires
+// durability to be enabled.
+func (s *System) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.snaps == nil || s.wal == nil {
+		return errors.New("core: durability not enabled")
+	}
+	auths, next := s.store.Snapshot()
+	snap := snapshotState{
+		Graph:      graph.ToSpec(s.root),
+		Profiles:   s.profiles.Snapshot(),
+		Auths:      auths,
+		NextAuthID: next,
+		Events:     s.moves.Snapshot(),
+		Clock:      s.engine.Now(),
+	}
+	for _, r := range s.ruleEng.Rules() {
+		spec, ok := rules.SpecOf(r)
+		if !ok {
+			return fmt.Errorf("core: rule %q uses customized operators and cannot be persisted", r.Name)
+		}
+		snap.Rules = append(snap.Rules, spec)
+	}
+	if err := s.snaps.Save(s.wal.Len(), snap, 2); err != nil {
+		return err
+	}
+	return s.wal.Truncate()
+}

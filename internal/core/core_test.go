@@ -1,0 +1,385 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/authz"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/rules"
+)
+
+func iv(s string) interval.Interval { return interval.MustParse(s) }
+
+func openMem(t *testing.T) *System {
+	t.Helper()
+	s, err := Open(Config{Graph: graph.NTUCampus(), AutoDerive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestOpenRequiresGraph(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Error("no graph, no snapshot: Open must fail")
+	}
+	bad := graph.New("bad")
+	if _, err := Open(Config{Graph: bad}); err == nil {
+		t.Error("invalid graph must fail")
+	}
+}
+
+func TestEndToEndScenario(t *testing.T) {
+	// The full §4/§5 story through the facade.
+	s := openMem(t)
+	defer s.Close()
+
+	if err := s.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSubject(profile.Subject{ID: "Bob"}); err != nil {
+		t.Fatal(err)
+	}
+	a1, err := s.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.AddRule(rules.Spec{
+		Name: "r1", ValidFrom: 7, Base: a1.ID,
+		Subject: "Supervisor_Of", Location: "CAIS", Entries: "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Derived) != 1 || rep.Derived[0].Subject != "Bob" {
+		t.Fatalf("derived = %v", rep.Derived)
+	}
+	// Bob's access request is granted by the derived authorization.
+	d := s.Request(10, "Bob", graph.CAIS)
+	if !d.Granted {
+		t.Errorf("decision = %v", d)
+	}
+	if len(s.Authorizations()) != 2 || len(s.AuthorizationsFor("Bob", graph.CAIS)) != 1 {
+		t.Error("store contents wrong")
+	}
+	if len(s.Rules()) != 1 {
+		t.Error("rules missing")
+	}
+}
+
+func TestAddAuthorizationRejectsUnknownLocation(t *testing.T) {
+	s := openMem(t)
+	if _, err := s.AddAuthorization(authz.New(iv("[1, 2]"), iv("[1, 5]"), "x", "Mars", 1)); err == nil {
+		t.Error("unknown location must be rejected")
+	}
+	// Composite locations are not grantable (Def. 3: primitive only).
+	if _, err := s.AddAuthorization(authz.New(iv("[1, 2]"), iv("[1, 5]"), "x", graph.SCE, 1)); err == nil {
+		t.Error("composite location must be rejected")
+	}
+}
+
+func TestQueriesThroughFacade(t *testing.T) {
+	s := openMem(t)
+	for _, loc := range []graph.ID{graph.SCEGO, graph.SCESectionA, graph.SCESectionB, graph.CAIS} {
+		if _, err := s.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", loc, 2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inacc := s.Inaccessible("Alice")
+	acc := s.Accessible("Alice")
+	if len(inacc)+len(acc) != len(s.Flat().Nodes) {
+		t.Error("inaccessible + accessible must partition the site")
+	}
+	if len(acc) != 4 {
+		t.Errorf("accessible = %v", acc)
+	}
+	res := s.InaccessibleTrace("Alice")
+	if len(res.Trace) == 0 {
+		t.Error("trace missing")
+	}
+	rc := s.CheckRoute("Alice", graph.Route{graph.SCEGO, graph.SCESectionA}, interval.From(0))
+	if !rc.Authorized {
+		t.Errorf("route check = %+v", rc)
+	}
+}
+
+func TestMovementAndContactsThroughFacade(t *testing.T) {
+	s := openMem(t)
+	_, _ = s.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "alice", graph.SCEGO, 0))
+	_, _ = s.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "bob", graph.SCEGO, 0))
+	if _, err := s.Enter(5, "alice", graph.SCEGO); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Enter(6, "bob", graph.SCEGO); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Leave(9, "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if loc, in := s.WhereIs("bob"); !in || loc != graph.SCEGO {
+		t.Error("bob should be in SCE.GO")
+	}
+	if occ := s.Occupants(graph.SCEGO); len(occ) != 1 || occ[0] != "bob" {
+		t.Errorf("occupants = %v", occ)
+	}
+	contacts := s.ContactsOf("alice", interval.From(0))
+	if len(contacts) != 1 || contacts[0].Other != "bob" || !contacts[0].Overlap.Equal(iv("[6, 9]")) {
+		t.Errorf("contacts = %v", contacts)
+	}
+	if len(s.History("alice")) != 1 {
+		t.Error("history missing")
+	}
+	if got := s.WhoWasIn(graph.SCEGO, iv("[0, 100]")); len(got) != 2 {
+		t.Errorf("who was in = %v", got)
+	}
+	if s.Clock() != 9 {
+		t.Errorf("clock = %v", s.Clock())
+	}
+}
+
+func TestObserveReading(t *testing.T) {
+	// One room with a boundary; readings drive enter/leave.
+	g := graph.New("site")
+	_ = g.AddLocation("room")
+	_ = g.SetEntry("room")
+	s, err := Open(Config{
+		Graph: g,
+		Boundaries: []geometry.Boundary{
+			{Location: "room", Shape: geometry.NewRect(geometry.Point{X: 0, Y: 0}, geometry.Point{X: 10, Y: 10}).Polygon()},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = s.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "alice", "room", 0))
+
+	// Outside -> outside: nothing.
+	if _, moved, err := s.ObserveReading(1, "alice", geometry.Point{X: 50, Y: 50}); err != nil || moved {
+		t.Errorf("outside reading: %v %v", moved, err)
+	}
+	// Outside -> room.
+	d, moved, err := s.ObserveReading(2, "alice", geometry.Point{X: 5, Y: 5})
+	if err != nil || !moved || !d.Granted {
+		t.Errorf("enter reading: %v %v %v", d, moved, err)
+	}
+	// Same room: deduplicated.
+	if _, moved, _ := s.ObserveReading(3, "alice", geometry.Point{X: 6, Y: 6}); moved {
+		t.Error("same-room reading must not move")
+	}
+	// Room -> outside.
+	if _, moved, err := s.ObserveReading(4, "alice", geometry.Point{X: 99, Y: 99}); err != nil || !moved {
+		t.Errorf("leave reading: %v %v", moved, err)
+	}
+	if _, inside := s.WhereIs("alice"); inside {
+		t.Error("alice should be outside")
+	}
+}
+
+func TestObserveReadingWithoutBoundaries(t *testing.T) {
+	s := openMem(t)
+	if _, _, err := s.ObserveReading(1, "x", geometry.Point{}); err == nil {
+		t.Error("no boundaries configured: must error")
+	}
+}
+
+func TestDurabilityRecoverFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Graph: graph.NTUCampus(), DataDir: dir, AutoDerive: true}
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"})
+	_ = s.PutSubject(profile.Subject{ID: "Bob"})
+	a1, _ := s.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	_, _ = s.AddRule(rules.Spec{Name: "r1", ValidFrom: 7, Base: a1.ID, Subject: "Supervisor_Of"})
+	_, _ = s.Enter(6, "Alice", graph.SCEGO) // unauthorized (no auth), still recorded
+	_ = s.Close()
+
+	// Reopen: full state reconstructed from the log.
+	s2, err := Open(Config{Graph: graph.NTUCampus(), DataDir: dir, AutoDerive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.Subjects()) != 2 {
+		t.Errorf("subjects = %v", s2.Subjects())
+	}
+	auths := s2.Authorizations()
+	if len(auths) != 2 { // base + derived
+		t.Fatalf("auths = %v", auths)
+	}
+	if auths[0].ID != a1.ID {
+		t.Error("IDs must be reassigned deterministically")
+	}
+	if got := s2.AuthorizationsFor("Bob", graph.CAIS); len(got) != 1 || got[0].DerivedBy != "r1" {
+		t.Errorf("derived = %v", got)
+	}
+	if loc, in := s2.WhereIs("Alice"); !in || loc != graph.SCEGO {
+		t.Error("movement state lost")
+	}
+	if s2.Clock() != 6 {
+		t.Errorf("clock = %v", s2.Clock())
+	}
+	// Replay regenerated the alert for the unauthorized entry.
+	if s2.Alerts().ByKind(audit.UnauthorizedEntry) == nil {
+		t.Error("alerts should be rebuilt during replay")
+	}
+}
+
+func TestDurabilitySnapshotAndSuffix(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Graph: graph.Fig4Graph(), DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s.PutSubject(profile.Subject{ID: "u"})
+	a, _ := s.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "u", "A", 0))
+	_, _ = s.Enter(5, "u", "A")
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot mutations land in the WAL suffix.
+	_, _ = s.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "u", "B", 0))
+	_, _ = s.Enter(7, "u", "B")
+	_ = s.Close()
+
+	// Recover without passing a graph: it comes from the snapshot.
+	s2, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Graph().Name() != "Fig4" {
+		t.Error("graph should be recovered from snapshot")
+	}
+	if len(s2.Authorizations()) != 2 {
+		t.Errorf("auths = %v", s2.Authorizations())
+	}
+	if loc, in := s2.WhereIs("u"); !in || loc != "B" {
+		t.Errorf("where = %v %v", loc, in)
+	}
+	if got := s2.Movements().EntryCount("u", "A", iv("[1, 100]")); got != 1 {
+		t.Errorf("pre-snapshot count = %d", got)
+	}
+	// IDs continue beyond the snapshot watermark.
+	a3, err := s2.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "u", "C", 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a3.ID <= a.ID+1 {
+		t.Errorf("id = %d, must exceed replayed ids", a3.ID)
+	}
+}
+
+func TestSnapshotRequiresDurability(t *testing.T) {
+	s := openMem(t)
+	if err := s.Snapshot(); err == nil {
+		t.Error("snapshot without DataDir must fail")
+	}
+}
+
+func TestRevokeCascadesAndLogs(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Config{Graph: graph.NTUCampus(), DataDir: dir, AutoDerive: true})
+	_ = s.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"})
+	_ = s.PutSubject(profile.Subject{ID: "Bob"})
+	a1, _ := s.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	_, _ = s.AddRule(rules.Spec{Name: "r1", ValidFrom: 7, Base: a1.ID, Subject: "Supervisor_Of"})
+	n, err := s.RevokeAuthorization(a1.ID)
+	if err != nil || n != 2 {
+		t.Fatalf("revoked %d, %v", n, err)
+	}
+	_ = s.Close()
+	s2, err := Open(Config{Graph: graph.NTUCampus(), DataDir: dir, AutoDerive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if len(s2.Authorizations()) != 0 {
+		t.Errorf("auths after replayed revoke = %v", s2.Authorizations())
+	}
+	// Rule survives (dormant).
+	if len(s2.Rules()) != 1 {
+		t.Error("rule should survive")
+	}
+}
+
+func TestRemoveRulePersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Config{Graph: graph.NTUCampus(), DataDir: dir, AutoDerive: true})
+	_ = s.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"})
+	_ = s.PutSubject(profile.Subject{ID: "Bob"})
+	a1, _ := s.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	_, _ = s.AddRule(rules.Spec{Name: "r1", ValidFrom: 7, Base: a1.ID, Subject: "Supervisor_Of"})
+	if err := s.RemoveRule("r1"); err != nil {
+		t.Fatal(err)
+	}
+	_ = s.Close()
+	s2, _ := Open(Config{Graph: graph.NTUCampus(), DataDir: dir, AutoDerive: true})
+	defer s2.Close()
+	if len(s2.Rules()) != 0 {
+		t.Error("removed rule resurrected")
+	}
+	if len(s2.Authorizations()) != 1 {
+		t.Errorf("auths = %v", s2.Authorizations())
+	}
+}
+
+func TestTickPersisted(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Config{Graph: graph.Fig4Graph(), DataDir: dir})
+	_, _ = s.AddAuthorization(authz.New(iv("[1, 10]"), iv("[1, 20]"), "u", "A", 0))
+	_, _ = s.Enter(5, "u", "A")
+	raised, err := s.Tick(30)
+	if err != nil || len(raised) != 1 {
+		t.Fatalf("tick = %v %v", raised, err)
+	}
+	_ = s.Close()
+	s2, err := Open(Config{Graph: graph.Fig4Graph(), DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Clock() != 30 {
+		t.Errorf("clock = %v", s2.Clock())
+	}
+	if got := s2.Alerts().ByKind(audit.Overstay); len(got) != 1 {
+		t.Errorf("overstay alerts after replay = %v", got)
+	}
+}
+
+func TestConflictsSurface(t *testing.T) {
+	s := openMem(t)
+	_, _ = s.AddAuthorization(authz.New(iv("[5, 10]"), iv("[5, 20]"), "Alice", graph.CAIS, 1))
+	_, _ = s.AddAuthorization(authz.New(iv("[10, 11]"), iv("[10, 30]"), "Alice", graph.CAIS, 1))
+	got := s.Conflicts()
+	if len(got) != 1 || got[0].Kind != "overlap" {
+		t.Errorf("conflicts = %v", got)
+	}
+}
+
+func TestCustomRuleNotPersistable(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := Open(Config{Graph: graph.NTUCampus(), DataDir: dir})
+	_ = s.PutSubject(profile.Subject{ID: "Alice"})
+	a1, _ := s.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	// Programmatic custom rule through the engine directly.
+	_, err := s.RuleEngine().AddRule(rules.Rule{
+		Name: "custom", Base: a1.ID,
+		Ops: rules.Ops{Subject: rules.SubjectFunc{Name: "Buddy", Fn: func(b profile.SubjectID, _ *profile.DB) ([]profile.SubjectID, error) {
+			return []profile.SubjectID{b + "-buddy"}, nil
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err == nil || !strings.Contains(err.Error(), "customized operators") {
+		t.Errorf("snapshot with custom rule: %v", err)
+	}
+}

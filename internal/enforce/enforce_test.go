@@ -1,0 +1,365 @@
+package enforce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/movement"
+)
+
+func iv(s string) interval.Interval { return interval.MustParse(s) }
+
+func newEngine(t *testing.T, g *graph.Graph) (*Engine, *authz.Store, *audit.Log, *movement.DB) {
+	t.Helper()
+	store := authz.NewStore()
+	moves := movement.NewDB()
+	alerts := audit.NewLog(0)
+	eng, err := New(g, store, moves, alerts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, store, alerts, moves
+}
+
+func TestNewRejectsInvalidGraph(t *testing.T) {
+	g := graph.New("bad") // no locations
+	if _, err := New(g, authz.NewStore(), movement.NewDB(), audit.NewLog(0)); err == nil {
+		t.Error("invalid graph must be rejected")
+	}
+}
+
+func TestExperimentSection5Trace(t *testing.T) {
+	// E3: the paper's §5 worked enforcement trace with
+	//   A1: ([10, 20], [10, 50], (Alice, CAIS), 2)
+	//   A2: ([5, 35], [20, 100], (Bob, CHIPES), 1)
+	eng, store, _, _ := newEngine(t, graph.NTUCampus())
+	a1, err := store.Add(authz.New(iv("[10, 20]"), iv("[10, 50]"), "Alice", graph.CAIS, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := store.Add(authz.New(iv("[5, 35]"), iv("[20, 100]"), "Bob", graph.CHIPES, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "At time 10, access request (10, Alice, CAIS) is granted according
+	// to A1."
+	d := eng.Request(10, "Alice", graph.CAIS)
+	if !d.Granted || d.Auth != a1.ID {
+		t.Errorf("step 1: %v", d)
+	}
+	t.Logf("t=10 (Alice, CAIS): %s", d)
+
+	// "At time 15, access request (15, Bob, CAIS) is not authorized
+	// because there is no authorization specifies Bob's access to CAIS."
+	d = eng.Request(15, "Bob", graph.CAIS)
+	if d.Granted || d.Exhausted {
+		t.Errorf("step 2: %v", d)
+	}
+	if !strings.Contains(d.Reason, "no authorization specifies") {
+		t.Errorf("step 2 reason: %s", d.Reason)
+	}
+	t.Logf("t=15 (Bob, CAIS): %s", d)
+
+	// "At time 16, access request (Bob, CHIPES) is authorized based on
+	// A2." Bob enters on the grant.
+	d = eng.Request(16, "Bob", graph.CHIPES)
+	if !d.Granted || d.Auth != a2.ID {
+		t.Errorf("step 3: %v", d)
+	}
+	t.Logf("t=16 (Bob, CHIPES): %s", d)
+	if _, err := eng.Enter(16, "Bob", graph.CHIPES); err != nil {
+		t.Fatal(err)
+	}
+
+	// "At time 20, Bob leaves CHIPES." — within exit duration [20, 100].
+	if err := eng.Leave(20, "Bob"); err != nil {
+		t.Fatal(err)
+	}
+	t.Log("t=20 Bob leaves CHIPES")
+
+	// "At time 30, access request (30, Bob, CHIPES) is not authorized
+	// because Bob has only one entry to CHIPES."
+	d = eng.Request(30, "Bob", graph.CHIPES)
+	if d.Granted || !d.Exhausted {
+		t.Errorf("step 5: %v", d)
+	}
+	t.Logf("t=30 (Bob, CHIPES): %s", d)
+}
+
+func TestEntryCountingAcrossWindows(t *testing.T) {
+	// Two authorizations with different windows count independently.
+	eng, store, _, _ := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[0, 10]"), iv("[0, 20]"), "u", "A", 1))
+	_, _ = store.Add(authz.New(iv("[30, 40]"), iv("[30, 60]"), "u", "A", 1))
+
+	if d, _ := eng.Enter(5, "u", "A"); !d.Granted {
+		t.Fatalf("first entry: %v", d)
+	}
+	_ = eng.Leave(6, "u")
+	// First window exhausted.
+	if d := eng.Request(7, "u", "A"); d.Granted || !d.Exhausted {
+		t.Errorf("second request in window 1: %v", d)
+	}
+	// Second window unaffected.
+	if d := eng.Request(33, "u", "A"); !d.Granted {
+		t.Errorf("request in window 2: %v", d)
+	}
+}
+
+func TestUnlimitedEntriesNeverExhaust(t *testing.T) {
+	eng, store, _, _ := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "A", authz.Unlimited))
+	for i := 0; i < 5; i++ {
+		tm := interval.Time(i * 2)
+		if d, err := eng.Enter(tm, "u", "A"); err != nil || !d.Granted {
+			t.Fatalf("entry %d: %v %v", i, d, err)
+		}
+		if err := eng.Leave(tm+1, "u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTailgatingRaisesUnauthorizedEntry(t *testing.T) {
+	// Mallory follows an authorized user in: the movement is recorded
+	// (LTAM tracks everyone) and an alert is raised.
+	eng, store, alerts, moves := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "alice", "A", authz.Unlimited))
+	if d, _ := eng.Enter(1, "alice", "A"); !d.Granted {
+		t.Fatal("alice should get in")
+	}
+	d, err := eng.Enter(1, "mallory", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Granted {
+		t.Error("mallory must not be granted")
+	}
+	got := alerts.ByKind(audit.UnauthorizedEntry)
+	if len(got) != 1 || got[0].Subject != "mallory" || got[0].Location != "A" {
+		t.Errorf("alerts = %v", got)
+	}
+	// The movement is still recorded, with no granting auth.
+	if loc, inside := moves.CurrentLocation("mallory"); !inside || loc != "A" {
+		t.Error("mallory's movement must be recorded")
+	}
+	if moves.History("mallory")[0].Auth != 0 {
+		t.Error("ungranted stint must have zero auth")
+	}
+}
+
+func TestTopologyViolations(t *testing.T) {
+	eng, store, alerts, _ := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "A", authz.Unlimited))
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "B", authz.Unlimited))
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "C", authz.Unlimited))
+
+	// Entering the facility at B (not an entry location).
+	if _, err := eng.Enter(1, "u", "B"); err != nil {
+		t.Fatal(err)
+	}
+	ill := alerts.ByKind(audit.IllegalMovement)
+	if len(ill) != 1 || !strings.Contains(ill[0].Detail, "not an entry location") {
+		t.Fatalf("alerts = %v", ill)
+	}
+	// Teleporting B -> D (no edge).
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "D", authz.Unlimited))
+	if _, err := eng.MoveTo(2, "u", "D"); err != nil {
+		t.Fatal(err)
+	}
+	ill = alerts.ByKind(audit.IllegalMovement)
+	if len(ill) != 2 || !strings.Contains(ill[1].Detail, "no direct connection") {
+		t.Fatalf("alerts = %v", ill)
+	}
+	// Leaving the facility from D (not an entry location).
+	if err := eng.Leave(3, "u"); err != nil {
+		t.Fatal(err)
+	}
+	ill = alerts.ByKind(audit.IllegalMovement)
+	if len(ill) != 3 || !strings.Contains(ill[2].Detail, "left the facility") {
+		t.Fatalf("alerts = %v", ill)
+	}
+	// Legal walk raises nothing new: enter A, move to B, back to A, leave.
+	n := alerts.Len()
+	_, _ = eng.Enter(4, "u", "A")
+	_, _ = eng.MoveTo(5, "u", "B")
+	_, _ = eng.MoveTo(6, "u", "A")
+	_ = eng.Leave(7, "u")
+	if alerts.Len() != n {
+		t.Errorf("legal walk raised alerts: %v", alerts.All()[n:])
+	}
+}
+
+func TestUnknownLocationEnter(t *testing.T) {
+	eng, _, _, _ := newEngine(t, graph.Fig4Graph())
+	if _, err := eng.Enter(1, "u", "Mars"); err == nil {
+		t.Error("entering an unknown location must error")
+	}
+}
+
+func TestLeaveWhileOutside(t *testing.T) {
+	eng, _, _, _ := newEngine(t, graph.Fig4Graph())
+	if err := eng.Leave(1, "ghost"); err == nil {
+		t.Error("leaving while outside must error")
+	}
+}
+
+func TestExperimentOverstayAlert(t *testing.T) {
+	// E9: §3.2 — "If she does not exit CAIS during the exit duration, a
+	// warning signal to the security guards will be generated."
+	// Authorization: ([5, 40], [20, 100], (Alice, CAIS), 1).
+	eng, store, alerts, _ := newEngine(t, graph.NTUCampus())
+	_, _ = store.Add(authz.New(iv("[5, 40]"), iv("[20, 100]"), "Alice", graph.CAIS, 1))
+	if _, err := eng.Enter(10, "Alice", graph.CAIS); err != nil {
+		t.Fatal(err)
+	}
+	// Within the exit window: no alert.
+	raised, err := eng.Tick(100)
+	if err != nil || len(raised) != 0 {
+		t.Fatalf("tick at 100: %v %v", raised, err)
+	}
+	// Past the exit window: one overstay alert.
+	raised, _ = eng.Tick(101)
+	if len(raised) != 1 || raised[0].Kind != audit.Overstay || raised[0].Subject != "Alice" {
+		t.Fatalf("tick at 101: %v", raised)
+	}
+	t.Logf("overstay warning: %s", raised[0])
+	// The same violation is not re-raised.
+	raised, _ = eng.Tick(150)
+	if len(raised) != 0 {
+		t.Errorf("duplicate overstay alert: %v", raised)
+	}
+	if got := alerts.ByKind(audit.Overstay); len(got) != 1 {
+		t.Errorf("overstay alerts = %v", got)
+	}
+	// Leaving now also flags the late exit.
+	_ = eng.Leave(160, "Alice")
+	if got := alerts.ByKind(audit.Overstay); len(got) != 2 {
+		t.Errorf("late leave should add an overstay alert, got %v", got)
+	}
+}
+
+func TestEarlyExitAlert(t *testing.T) {
+	eng, store, alerts, _ := newEngine(t, graph.NTUCampus())
+	_, _ = store.Add(authz.New(iv("[5, 40]"), iv("[20, 100]"), "Alice", graph.CAIS, 1))
+	_, _ = eng.Enter(10, "Alice", graph.CAIS)
+	_ = eng.Leave(15, "Alice") // before exit window [20, 100] begins
+	got := alerts.ByKind(audit.EarlyExit)
+	if len(got) != 1 || !strings.Contains(got[0].Detail, "before exit duration") {
+		t.Errorf("early exit alerts = %v", got)
+	}
+}
+
+func TestTickSkipsUngrantedAndUnboundedStints(t *testing.T) {
+	eng, store, _, _ := newEngine(t, graph.Fig4Graph())
+	// Tailgater: no granting auth, never flagged by the overstay monitor
+	// (the unauthorized-entry alert already fired).
+	_, _ = eng.Enter(1, "mallory", "A")
+	// Unbounded exit window: can stay forever.
+	_, _ = store.Add(authz.New(iv("[0, 10]"), interval.From(0), "u", "A", authz.Unlimited))
+	_, _ = eng.Enter(2, "u", "A")
+	raised, err := eng.Tick(1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raised) != 0 {
+		t.Errorf("raised = %v", raised)
+	}
+}
+
+func TestClockMonotonicity(t *testing.T) {
+	eng, store, alerts, _ := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "A", authz.Unlimited))
+	_, _ = eng.Enter(10, "u", "A")
+	if eng.Now() != 10 {
+		t.Errorf("now = %v", eng.Now())
+	}
+	// A request in the past is denied and logged, not silently evaluated.
+	d := eng.Request(5, "u", "A")
+	if d.Granted {
+		t.Error("past request must not be granted")
+	}
+	if _, err := eng.Enter(5, "u", "A"); err == nil {
+		t.Error("past enter must error")
+	}
+	if err := eng.Leave(5, "u"); err == nil {
+		t.Error("past leave must error")
+	}
+	if _, err := eng.Tick(5); err == nil {
+		t.Error("past tick must error")
+	}
+	_ = alerts
+}
+
+func TestQueryHasNoSideEffects(t *testing.T) {
+	eng, store, alerts, _ := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[10, 20]"), iv("[10, 50]"), "u", "A", 1))
+	d := eng.Query(15, "u", "A")
+	if !d.Granted {
+		t.Errorf("query = %v", d)
+	}
+	// Denied queries raise no alerts and do not advance the clock.
+	d = eng.Query(99, "u", "A")
+	if d.Granted {
+		t.Error("out-of-window query granted")
+	}
+	if alerts.Len() != 0 {
+		t.Error("query must not raise alerts")
+	}
+	if eng.Now() != 0 {
+		t.Error("query must not advance the clock")
+	}
+}
+
+func TestWhereIsAndOccupants(t *testing.T) {
+	eng, store, _, _ := newEngine(t, graph.Fig4Graph())
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "A", authz.Unlimited))
+	_, _ = store.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "v", "A", authz.Unlimited))
+	if _, inside := eng.WhereIs("u"); inside {
+		t.Error("u starts outside")
+	}
+	_, _ = eng.Enter(1, "u", "A")
+	_, _ = eng.Enter(2, "v", "A")
+	if loc, inside := eng.WhereIs("u"); !inside || loc != "A" {
+		t.Errorf("WhereIs = %v %v", loc, inside)
+	}
+	occ := eng.Occupants("A")
+	if len(occ) != 2 || occ[0] != "u" || occ[1] != "v" {
+		t.Errorf("occupants = %v", occ)
+	}
+}
+
+func TestDecisionString(t *testing.T) {
+	d := Decision{Granted: true, Auth: 7}
+	if d.String() != "granted (a7)" {
+		t.Errorf("granted string = %q", d)
+	}
+	d = Decision{Reason: "nope"}
+	if d.String() != "denied: nope" {
+		t.Errorf("denied string = %q", d)
+	}
+}
+
+func TestRevokedAuthMidStay(t *testing.T) {
+	// If the granting authorization is revoked while the subject is
+	// inside, the exit check is skipped gracefully.
+	eng, store, alerts, _ := newEngine(t, graph.Fig4Graph())
+	a, _ := store.Add(authz.New(iv("[0, 100]"), iv("[50, 60]"), "u", "A", authz.Unlimited))
+	_, _ = eng.Enter(1, "u", "A")
+	_ = store.Revoke(a.ID)
+	if err := eng.Leave(2, "u"); err != nil {
+		t.Fatal(err)
+	}
+	if alerts.ByKind(audit.EarlyExit) != nil {
+		t.Error("no exit-window alert after revocation")
+	}
+	// Tick also skips the revoked auth.
+	if raised, _ := eng.Tick(1000); len(raised) != 0 {
+		t.Errorf("raised = %v", raised)
+	}
+}

@@ -1,0 +1,73 @@
+package enforce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/authz"
+	"repro/internal/graph"
+)
+
+// station builds the enter-only/exit-only fixture and an engine over it.
+func station(t *testing.T) (*Engine, *audit.Log) {
+	t.Helper()
+	g := graph.New("station")
+	for _, l := range []graph.ID{"turnstile", "platform", "exitgate"} {
+		if err := g.AddLocation(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.AddEdge("turnstile", "platform")
+	_ = g.AddEdge("platform", "exitgate")
+	_ = g.SetEntryOnly("turnstile")
+	_ = g.SetExitOnly("exitgate")
+	eng, store, alerts, _ := newEngine(t, g)
+	for _, l := range []graph.ID{"turnstile", "platform", "exitgate"} {
+		if _, err := store.Add(authz.New(iv("[1, 1000]"), iv("[1, 2000]"), "rider", l, authz.Unlimited)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = eng
+	return eng, alerts
+}
+
+func TestEnterExitDirectionality(t *testing.T) {
+	eng, alerts := station(t)
+	// Correct flow: in at the turnstile, out at the exit gate.
+	if _, err := eng.Enter(1, "rider", "turnstile"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MoveTo(2, "rider", "platform"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.MoveTo(3, "rider", "exitgate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Leave(4, "rider"); err != nil {
+		t.Fatal(err)
+	}
+	if got := alerts.ByKind(audit.IllegalMovement); len(got) != 0 {
+		t.Fatalf("correct flow raised: %v", got)
+	}
+
+	// Entering through the exit gate is illegal.
+	if _, err := eng.Enter(5, "rider", "exitgate"); err != nil {
+		t.Fatal(err)
+	}
+	got := alerts.ByKind(audit.IllegalMovement)
+	if len(got) != 1 || !strings.Contains(got[0].Detail, "not an entry location") {
+		t.Fatalf("alerts = %v", got)
+	}
+
+	// Leaving through the turnstile is illegal.
+	_, _ = eng.MoveTo(6, "rider", "platform")
+	_, _ = eng.MoveTo(7, "rider", "turnstile")
+	if err := eng.Leave(8, "rider"); err != nil {
+		t.Fatal(err)
+	}
+	got = alerts.ByKind(audit.IllegalMovement)
+	if len(got) != 2 || !strings.Contains(got[1].Detail, "not an exit location") {
+		t.Fatalf("alerts = %v", got)
+	}
+}

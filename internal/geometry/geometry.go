@@ -1,0 +1,343 @@
+// Package geometry provides the physical-location substrate of LTAM.
+//
+// The paper (§3.1) states that locations are "both semantic and physical":
+// each semantic location has an absolute spatial boundary used to track
+// which primitive location a user is currently in. The paper assumes
+// positioning hardware (RFID readers etc.); this package supplies the
+// geometric half of that substitution — polygonal boundaries, point-in-
+// polygon tests, and a uniform grid index that resolves a coordinate to the
+// primitive location containing it. internal/tracking supplies the other
+// half (the synthetic positioning feed).
+package geometry
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Point is a 2-D position in metres within a site-local coordinate frame.
+type Point struct {
+	X, Y float64
+}
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Scale returns p scaled by k.
+func (p Point) Scale(k float64) Point { return Point{p.X * k, p.Y * k} }
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+// Lerp linearly interpolates from p to q by fraction t in [0,1].
+func (p Point) Lerp(q Point, t float64) Point {
+	return Point{p.X + (q.X-p.X)*t, p.Y + (q.Y-p.Y)*t}
+}
+
+// String renders the point as "(x, y)".
+func (p Point) String() string { return fmt.Sprintf("(%.2f, %.2f)", p.X, p.Y) }
+
+// Rect is an axis-aligned rectangle, the most common room boundary.
+type Rect struct {
+	Min, Max Point
+}
+
+// NewRect builds the rectangle spanning the two corner points in any order.
+func NewRect(a, b Point) Rect {
+	return Rect{
+		Min: Point{math.Min(a.X, b.X), math.Min(a.Y, b.Y)},
+		Max: Point{math.Max(a.X, b.X), math.Max(a.Y, b.Y)},
+	}
+}
+
+// Contains reports whether p lies in the closed rectangle.
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Min.X && p.X <= r.Max.X && p.Y >= r.Min.Y && p.Y <= r.Max.Y
+}
+
+// Intersects reports whether the two rectangles share any area or boundary.
+func (r Rect) Intersects(o Rect) bool {
+	return r.Min.X <= o.Max.X && o.Min.X <= r.Max.X &&
+		r.Min.Y <= o.Max.Y && o.Min.Y <= r.Max.Y
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() Point {
+	return Point{(r.Min.X + r.Max.X) / 2, (r.Min.Y + r.Max.Y) / 2}
+}
+
+// Width and Height return the side lengths.
+func (r Rect) Width() float64  { return r.Max.X - r.Min.X }
+func (r Rect) Height() float64 { return r.Max.Y - r.Min.Y }
+
+// Area returns the rectangle's area.
+func (r Rect) Area() float64 { return r.Width() * r.Height() }
+
+// Polygon returns the rectangle as a counter-clockwise polygon.
+func (r Rect) Polygon() Polygon {
+	return Polygon{
+		{r.Min.X, r.Min.Y},
+		{r.Max.X, r.Min.Y},
+		{r.Max.X, r.Max.Y},
+		{r.Min.X, r.Max.Y},
+	}
+}
+
+// Polygon is a simple polygon given as an ordered vertex ring (either
+// winding). It must have at least three vertices to have area.
+type Polygon []Point
+
+// ErrDegenerate is returned for polygons with fewer than three vertices.
+var ErrDegenerate = errors.New("geometry: polygon needs at least 3 vertices")
+
+// Validate checks that the polygon is usable as a location boundary.
+func (pg Polygon) Validate() error {
+	if len(pg) < 3 {
+		return ErrDegenerate
+	}
+	if math.Abs(pg.Area()) == 0 {
+		return fmt.Errorf("geometry: polygon has zero area")
+	}
+	return nil
+}
+
+// Area returns the signed area (positive for counter-clockwise winding).
+func (pg Polygon) Area() float64 {
+	if len(pg) < 3 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < len(pg); i++ {
+		j := (i + 1) % len(pg)
+		s += pg[i].X*pg[j].Y - pg[j].X*pg[i].Y
+	}
+	return s / 2
+}
+
+// Centroid returns the area centroid of the polygon.
+func (pg Polygon) Centroid() Point {
+	a := pg.Area()
+	if a == 0 {
+		// Degenerate: average the vertices.
+		var c Point
+		for _, p := range pg {
+			c = c.Add(p)
+		}
+		return c.Scale(1 / float64(len(pg)))
+	}
+	var cx, cy float64
+	for i := 0; i < len(pg); i++ {
+		j := (i + 1) % len(pg)
+		cross := pg[i].X*pg[j].Y - pg[j].X*pg[i].Y
+		cx += (pg[i].X + pg[j].X) * cross
+		cy += (pg[i].Y + pg[j].Y) * cross
+	}
+	k := 1 / (6 * a)
+	return Point{cx * k, cy * k}
+}
+
+// Bounds returns the axis-aligned bounding rectangle.
+func (pg Polygon) Bounds() Rect {
+	if len(pg) == 0 {
+		return Rect{}
+	}
+	r := Rect{Min: pg[0], Max: pg[0]}
+	for _, p := range pg[1:] {
+		r.Min.X = math.Min(r.Min.X, p.X)
+		r.Min.Y = math.Min(r.Min.Y, p.Y)
+		r.Max.X = math.Max(r.Max.X, p.X)
+		r.Max.Y = math.Max(r.Max.Y, p.Y)
+	}
+	return r
+}
+
+// Contains reports whether p is inside the polygon (boundary counts as
+// inside), using the even-odd ray-casting rule with an explicit edge test
+// so that users standing exactly on a wall resolve deterministically.
+func (pg Polygon) Contains(p Point) bool {
+	if len(pg) < 3 {
+		return false
+	}
+	for i := 0; i < len(pg); i++ {
+		j := (i + 1) % len(pg)
+		if onSegment(pg[i], pg[j], p) {
+			return true
+		}
+	}
+	inside := false
+	for i, j := 0, len(pg)-1; i < len(pg); j, i = i, i+1 {
+		a, b := pg[i], pg[j]
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xCross := (b.X-a.X)*(p.Y-a.Y)/(b.Y-a.Y) + a.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+const segEps = 1e-9
+
+func onSegment(a, b, p Point) bool {
+	cross := (b.X-a.X)*(p.Y-a.Y) - (b.Y-a.Y)*(p.X-a.X)
+	if math.Abs(cross) > segEps*math.Max(1, a.Dist(b)) {
+		return false
+	}
+	dot := (p.X-a.X)*(b.X-a.X) + (p.Y-a.Y)*(b.Y-a.Y)
+	if dot < -segEps {
+		return false
+	}
+	lenSq := (b.X-a.X)*(b.X-a.X) + (b.Y-a.Y)*(b.Y-a.Y)
+	return dot <= lenSq+segEps
+}
+
+// Boundary associates a named primitive location with its polygon.
+type Boundary struct {
+	Location string
+	Shape    Polygon
+}
+
+// Resolver maps coordinates to primitive locations. The paper's tracking
+// infrastructure performs exactly this resolution before the access control
+// engine ever sees a movement; keeping it here preserves the privacy
+// boundary (raw coordinates never leave the resolver).
+//
+// The resolver uses a uniform grid over the site bounding box so lookups
+// touch only the boundaries overlapping one cell, giving near-O(1)
+// resolution for building-scale maps.
+type Resolver struct {
+	bounds     Rect
+	cellW      float64
+	cellH      float64
+	cols, rows int
+	cells      [][]int // cell -> indices into boundaries
+	boundaries []Boundary
+}
+
+// DefaultGridSize is the grid resolution used by NewResolver.
+const DefaultGridSize = 32
+
+// NewResolver indexes the given boundaries. Boundaries may not be empty and
+// each polygon must validate. Overlapping boundaries are permitted (e.g.
+// nested rooms are modelled as separate primitive locations in LTAM, so a
+// well-formed map should not overlap; Resolve breaks ties by smallest
+// area, i.e. the most specific location wins).
+func NewResolver(boundaries []Boundary) (*Resolver, error) {
+	if len(boundaries) == 0 {
+		return nil, errors.New("geometry: no boundaries")
+	}
+	r := &Resolver{boundaries: boundaries, cols: DefaultGridSize, rows: DefaultGridSize}
+	r.bounds = boundaries[0].Shape.Bounds()
+	for i, b := range boundaries {
+		if b.Location == "" {
+			return nil, fmt.Errorf("geometry: boundary %d has no location name", i)
+		}
+		if err := b.Shape.Validate(); err != nil {
+			return nil, fmt.Errorf("geometry: boundary %q: %w", b.Location, err)
+		}
+		bb := b.Shape.Bounds()
+		r.bounds.Min.X = math.Min(r.bounds.Min.X, bb.Min.X)
+		r.bounds.Min.Y = math.Min(r.bounds.Min.Y, bb.Min.Y)
+		r.bounds.Max.X = math.Max(r.bounds.Max.X, bb.Max.X)
+		r.bounds.Max.Y = math.Max(r.bounds.Max.Y, bb.Max.Y)
+	}
+	r.cellW = (r.bounds.Width()) / float64(r.cols)
+	r.cellH = (r.bounds.Height()) / float64(r.rows)
+	if r.cellW <= 0 {
+		r.cellW = 1
+	}
+	if r.cellH <= 0 {
+		r.cellH = 1
+	}
+	r.cells = make([][]int, r.cols*r.rows)
+	for i, b := range boundaries {
+		bb := b.Shape.Bounds()
+		c0, r0 := r.cellOf(bb.Min)
+		c1, r1 := r.cellOf(bb.Max)
+		for cc := c0; cc <= c1; cc++ {
+			for rr := r0; rr <= r1; rr++ {
+				idx := rr*r.cols + cc
+				r.cells[idx] = append(r.cells[idx], i)
+			}
+		}
+	}
+	return r, nil
+}
+
+func (r *Resolver) cellOf(p Point) (col, row int) {
+	col = int((p.X - r.bounds.Min.X) / r.cellW)
+	row = int((p.Y - r.bounds.Min.Y) / r.cellH)
+	if col < 0 {
+		col = 0
+	}
+	if col >= r.cols {
+		col = r.cols - 1
+	}
+	if row < 0 {
+		row = 0
+	}
+	if row >= r.rows {
+		row = r.rows - 1
+	}
+	return col, row
+}
+
+// Resolve returns the name of the primitive location containing p, or ""
+// when p is outside every boundary (e.g. outdoors). When boundaries
+// overlap, the smallest-area match wins.
+func (r *Resolver) Resolve(p Point) string {
+	if !r.bounds.Contains(p) {
+		return ""
+	}
+	col, row := r.cellOf(p)
+	best, bestArea := "", math.Inf(1)
+	for _, i := range r.cells[row*r.cols+col] {
+		b := r.boundaries[i]
+		if b.Shape.Contains(p) {
+			if a := math.Abs(b.Shape.Area()); a < bestArea {
+				best, bestArea = b.Location, a
+			}
+		}
+	}
+	return best
+}
+
+// Locations returns the indexed location names in sorted order.
+func (r *Resolver) Locations() []string {
+	out := make([]string, len(r.boundaries))
+	for i, b := range r.boundaries {
+		out[i] = b.Location
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BoundaryOf returns the polygon registered for the named location and
+// whether it exists.
+func (r *Resolver) BoundaryOf(location string) (Polygon, bool) {
+	for _, b := range r.boundaries {
+		if b.Location == location {
+			return b.Shape, true
+		}
+	}
+	return nil, false
+}
+
+// CenterOf returns the centroid of the named location's boundary, used by
+// the tracking simulator to route synthetic users between rooms.
+func (r *Resolver) CenterOf(location string) (Point, bool) {
+	pg, ok := r.BoundaryOf(location)
+	if !ok {
+		return Point{}, false
+	}
+	return pg.Centroid(), true
+}

@@ -1,0 +1,275 @@
+package geometry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func sq(x, y, side float64) Polygon {
+	return NewRect(Point{x, y}, Point{x + side, y + side}).Polygon()
+}
+
+func TestPointOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{3, 5}
+	if got := p.Add(q); got != (Point{4, 7}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{2, 3}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Scale(2); got != (Point{2, 4}) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := (Point{0, 0}).Dist(Point{3, 4}); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := p.Lerp(q, 0.5); got != (Point{2, 3.5}) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := p.String(); got != "(1.00, 2.00)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestRect(t *testing.T) {
+	r := NewRect(Point{10, 10}, Point{0, 0})
+	if r.Min != (Point{0, 0}) || r.Max != (Point{10, 10}) {
+		t.Fatalf("NewRect should normalise corners, got %+v", r)
+	}
+	if !r.Contains(Point{5, 5}) || !r.Contains(Point{0, 0}) || !r.Contains(Point{10, 10}) {
+		t.Error("closed rect containment broken")
+	}
+	if r.Contains(Point{10.01, 5}) {
+		t.Error("point outside contained")
+	}
+	if r.Width() != 10 || r.Height() != 10 || r.Area() != 100 {
+		t.Error("dimensions broken")
+	}
+	if r.Center() != (Point{5, 5}) {
+		t.Error("center broken")
+	}
+	if !r.Intersects(NewRect(Point{9, 9}, Point{20, 20})) {
+		t.Error("overlapping rects should intersect")
+	}
+	if r.Intersects(NewRect(Point{11, 11}, Point{20, 20})) {
+		t.Error("disjoint rects should not intersect")
+	}
+}
+
+func TestPolygonAreaWinding(t *testing.T) {
+	ccw := Polygon{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	if got := ccw.Area(); got != 16 {
+		t.Errorf("ccw area = %v, want 16", got)
+	}
+	cw := Polygon{{0, 0}, {0, 4}, {4, 4}, {4, 0}}
+	if got := cw.Area(); got != -16 {
+		t.Errorf("cw area = %v, want -16", got)
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if err := (Polygon{{0, 0}, {1, 1}}).Validate(); err == nil {
+		t.Error("2-vertex polygon must not validate")
+	}
+	if err := (Polygon{{0, 0}, {1, 1}, {2, 2}}).Validate(); err == nil {
+		t.Error("collinear polygon must not validate")
+	}
+	if err := sq(0, 0, 1).Validate(); err != nil {
+		t.Errorf("unit square should validate: %v", err)
+	}
+}
+
+func TestPolygonContains(t *testing.T) {
+	p := sq(0, 0, 10)
+	inside := []Point{{5, 5}, {0.01, 0.01}, {9.99, 9.99}}
+	for _, pt := range inside {
+		if !p.Contains(pt) {
+			t.Errorf("square should contain %v", pt)
+		}
+	}
+	outside := []Point{{-1, 5}, {11, 5}, {5, -0.5}, {5, 10.5}}
+	for _, pt := range outside {
+		if p.Contains(pt) {
+			t.Errorf("square should not contain %v", pt)
+		}
+	}
+	// Boundary points count as inside (wall-standing users resolve).
+	boundary := []Point{{0, 0}, {10, 10}, {5, 0}, {0, 5}}
+	for _, pt := range boundary {
+		if !p.Contains(pt) {
+			t.Errorf("boundary point %v should count as inside", pt)
+		}
+	}
+}
+
+func TestPolygonContainsConcave(t *testing.T) {
+	// L-shaped room.
+	l := Polygon{{0, 0}, {10, 0}, {10, 4}, {4, 4}, {4, 10}, {0, 10}}
+	if !l.Contains(Point{2, 8}) || !l.Contains(Point{8, 2}) {
+		t.Error("L-shape should contain points in both arms")
+	}
+	if l.Contains(Point{8, 8}) {
+		t.Error("L-shape must not contain the notch")
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	c := sq(2, 2, 4).Centroid()
+	if math.Abs(c.X-4) > 1e-9 || math.Abs(c.Y-4) > 1e-9 {
+		t.Errorf("centroid = %v, want (4,4)", c)
+	}
+	// Degenerate polygon falls back to vertex average.
+	deg := Polygon{{0, 0}, {2, 2}, {4, 4}}
+	c = deg.Centroid()
+	if math.Abs(c.X-2) > 1e-9 || math.Abs(c.Y-2) > 1e-9 {
+		t.Errorf("degenerate centroid = %v", c)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	pg := Polygon{{3, 7}, {-2, 1}, {5, -4}}
+	b := pg.Bounds()
+	if b.Min != (Point{-2, -4}) || b.Max != (Point{5, 7}) {
+		t.Errorf("bounds = %+v", b)
+	}
+	if (Polygon{}).Bounds() != (Rect{}) {
+		t.Error("empty polygon bounds should be zero rect")
+	}
+}
+
+func buildResolver(t *testing.T) *Resolver {
+	t.Helper()
+	r, err := NewResolver([]Boundary{
+		{Location: "roomA", Shape: sq(0, 0, 10)},
+		{Location: "roomB", Shape: sq(10, 0, 10)},
+		{Location: "hall", Shape: sq(0, 10, 20)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestResolverResolve(t *testing.T) {
+	r := buildResolver(t)
+	cases := []struct {
+		p    Point
+		want string
+	}{
+		{Point{5, 5}, "roomA"},
+		{Point{15, 5}, "roomB"},
+		{Point{10, 15}, "hall"},
+		{Point{50, 50}, ""},
+		{Point{-5, 5}, ""},
+	}
+	for _, tc := range cases {
+		if got := r.Resolve(tc.p); got != tc.want {
+			t.Errorf("Resolve(%v) = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestResolverSmallestWins(t *testing.T) {
+	r, err := NewResolver([]Boundary{
+		{Location: "building", Shape: sq(0, 0, 100)},
+		{Location: "closet", Shape: sq(40, 40, 5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Resolve(Point{42, 42}); got != "closet" {
+		t.Errorf("nested resolve = %q, want closet (most specific)", got)
+	}
+	if got := r.Resolve(Point{10, 10}); got != "building" {
+		t.Errorf("outer resolve = %q, want building", got)
+	}
+}
+
+func TestResolverErrors(t *testing.T) {
+	if _, err := NewResolver(nil); err == nil {
+		t.Error("empty resolver should fail")
+	}
+	if _, err := NewResolver([]Boundary{{Location: "", Shape: sq(0, 0, 1)}}); err == nil {
+		t.Error("unnamed boundary should fail")
+	}
+	if _, err := NewResolver([]Boundary{{Location: "x", Shape: Polygon{{0, 0}}}}); err == nil {
+		t.Error("degenerate boundary should fail")
+	}
+}
+
+func TestResolverAccessors(t *testing.T) {
+	r := buildResolver(t)
+	locs := r.Locations()
+	if len(locs) != 3 || locs[0] != "hall" || locs[1] != "roomA" || locs[2] != "roomB" {
+		t.Errorf("Locations = %v", locs)
+	}
+	if _, ok := r.BoundaryOf("roomA"); !ok {
+		t.Error("BoundaryOf roomA missing")
+	}
+	if _, ok := r.BoundaryOf("nope"); ok {
+		t.Error("BoundaryOf nope should miss")
+	}
+	c, ok := r.CenterOf("roomB")
+	if !ok || math.Abs(c.X-15) > 1e-9 || math.Abs(c.Y-5) > 1e-9 {
+		t.Errorf("CenterOf roomB = %v, %v", c, ok)
+	}
+	if _, ok := r.CenterOf("nope"); ok {
+		t.Error("CenterOf nope should miss")
+	}
+}
+
+// Property: grid-indexed resolution agrees with brute-force polygon scan.
+func TestPropResolverMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var bs []Boundary
+	for i := 0; i < 25; i++ {
+		x, y := rng.Float64()*90, rng.Float64()*90
+		bs = append(bs, Boundary{
+			Location: string(rune('a' + i)),
+			Shape:    sq(x, y, 2+rng.Float64()*8),
+		})
+	}
+	r, err := NewResolver(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute := func(p Point) string {
+		best, bestArea := "", math.Inf(1)
+		for _, b := range bs {
+			if b.Shape.Contains(p) {
+				if a := math.Abs(b.Shape.Area()); a < bestArea {
+					best, bestArea = b.Location, a
+				}
+			}
+		}
+		return best
+	}
+	for i := 0; i < 5000; i++ {
+		p := Point{rng.Float64()*110 - 5, rng.Float64()*110 - 5}
+		if got, want := r.Resolve(p), brute(p); got != want {
+			t.Fatalf("Resolve(%v) = %q, brute = %q", p, got, want)
+		}
+	}
+}
+
+// Property (testing/quick): a point strictly inside a generated rectangle is
+// always contained by the rectangle's polygon.
+func TestPropQuickRectPolygonAgree(t *testing.T) {
+	f := func(x, y uint8, w, h uint8, fx, fy uint8) bool {
+		if w == 0 || h == 0 {
+			return true
+		}
+		r := NewRect(Point{float64(x), float64(y)},
+			Point{float64(x) + float64(w), float64(y) + float64(h)})
+		p := Point{
+			r.Min.X + float64(fx)/256*r.Width(),
+			r.Min.Y + float64(fy)/256*r.Height(),
+		}
+		return r.Contains(p) == r.Polygon().Contains(p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ToDOT renders the multilevel location graph in Graphviz DOT form:
+// nested graphs become clusters, entry locations are drawn as double
+// circles (matching Fig. 2's double-lined entries), enter-only and
+// exit-only locations carry arrow glyphs, and the undirected edges of
+// Definition 1 render with dir=none. Pipe the output through
+// `dot -Tsvg` to get the paper's Fig. 2 layout for any site.
+func ToDOT(g *Graph) string {
+	var b strings.Builder
+	b.WriteString("graph ")
+	b.WriteString(quoteDOT(string(g.Name())))
+	b.WriteString(" {\n  layout=fdp;\n  node [shape=box, fontname=\"Helvetica\"];\n")
+	writeDOTBody(&b, g, "  ")
+	// Top-level and cross-cluster edges are emitted per level inside
+	// writeDOTBody; nothing else to do.
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func writeDOTBody(b *strings.Builder, g *Graph, indent string) {
+	for _, id := range g.Locations() {
+		if c := g.Child(id); c != nil {
+			fmt.Fprintf(b, "%ssubgraph %s {\n", indent, quoteDOT("cluster_"+string(id)))
+			fmt.Fprintf(b, "%s  label=%s;\n", indent, quoteDOT(string(id)))
+			if g.IsEntry(id) || g.IsExit(id) {
+				fmt.Fprintf(b, "%s  style=bold;\n", indent)
+			}
+			writeDOTBody(b, c, indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+			continue
+		}
+		attrs := []string{}
+		switch {
+		case g.IsEntry(id) && g.IsExit(id):
+			attrs = append(attrs, "peripheries=2")
+		case g.IsEntry(id):
+			attrs = append(attrs, "peripheries=2", `xlabel="in"`)
+		case g.IsExit(id):
+			attrs = append(attrs, "peripheries=2", `xlabel="out"`)
+		}
+		if len(attrs) > 0 {
+			fmt.Fprintf(b, "%s%s [%s];\n", indent, quoteDOT(string(id)), strings.Join(attrs, ", "))
+		} else {
+			fmt.Fprintf(b, "%s%s;\n", indent, quoteDOT(string(id)))
+		}
+	}
+	for _, e := range g.Edges() {
+		a, c := dotEndpoint(g, e[0]), dotEndpoint(g, e[1])
+		fmt.Fprintf(b, "%s%s -- %s%s;\n", indent, a.name, c.name, a.attrs(c))
+	}
+}
+
+// dotEndpoint picks a representative primitive node for composite edge
+// endpoints (DOT edges must join nodes; lhead/ltail point at the
+// clusters so the rendering shows a cluster-to-cluster connection).
+type endpoint struct {
+	name    string
+	cluster string
+}
+
+func dotEndpoint(g *Graph, id ID) endpoint {
+	if c := g.Child(id); c != nil {
+		eps := c.EntryPrimitives()
+		rep := string(id)
+		if len(eps) > 0 {
+			rep = string(eps[0])
+		}
+		return endpoint{name: quoteDOT(rep), cluster: "cluster_" + string(id)}
+	}
+	return endpoint{name: quoteDOT(string(id))}
+}
+
+func (e endpoint) attrs(other endpoint) string {
+	var parts []string
+	if e.cluster != "" {
+		parts = append(parts, "ltail="+quoteDOT(e.cluster))
+	}
+	if other.cluster != "" {
+		parts = append(parts, "lhead="+quoteDOT(other.cluster))
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return " [" + strings.Join(parts, ", ") + "]"
+}
+
+func quoteDOT(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `\"`) + `"`
+}

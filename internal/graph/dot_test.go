@@ -1,0 +1,56 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestToDOTNTU(t *testing.T) {
+	out := ToDOT(NTUCampus())
+	for _, frag := range []string{
+		`graph "NTU" {`,
+		`subgraph "cluster_SCE"`,
+		`subgraph "cluster_EEE"`,
+		`"SCE.GO" [peripheries=2]`,  // entry location: double border
+		`"CAIS";`,                   // plain room
+		`"CAIS" -- "SCE.SectionB";`, // intra-school edge (sorted endpoints)
+		`ltail="cluster_EEE"`,       // school-to-school edge
+		`lhead="cluster_SCE"`,
+	} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("DOT output missing %q\n%s", frag, out)
+		}
+	}
+	// Every primitive appears exactly once as a node declaration.
+	if strings.Count(out, `"CHIPES"`) < 1 {
+		t.Error("CHIPES missing")
+	}
+}
+
+func TestToDOTEntryExitGlyphs(t *testing.T) {
+	g := New("station")
+	for _, l := range []ID{"turnstile", "platform", "exitgate"} {
+		_ = g.AddLocation(l)
+	}
+	_ = g.AddEdge("turnstile", "platform")
+	_ = g.AddEdge("platform", "exitgate")
+	_ = g.SetEntryOnly("turnstile")
+	_ = g.SetExitOnly("exitgate")
+	out := ToDOT(g)
+	if !strings.Contains(out, `"turnstile" [peripheries=2, xlabel="in"]`) {
+		t.Errorf("enter-only glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, `"exitgate" [peripheries=2, xlabel="out"]`) {
+		t.Errorf("exit-only glyph missing:\n%s", out)
+	}
+}
+
+func TestToDOTQuotesSpecialNames(t *testing.T) {
+	g := New("g")
+	_ = g.AddLocation(`room "A"`)
+	_ = g.SetEntry(`room "A"`)
+	out := ToDOT(g)
+	if !strings.Contains(out, `"room \"A\""`) {
+		t.Errorf("quoting broken:\n%s", out)
+	}
+}

@@ -1,0 +1,149 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+// turnstile builds a metro-station-like graph: enter through the
+// turnstile (entry-only), leave through the one-way exit gate
+// (exit-only), with a platform in between.
+func turnstile(t *testing.T) *Graph {
+	t.Helper()
+	g := New("station")
+	for _, l := range []ID{"turnstile", "platform", "exitgate"} {
+		if err := g.AddLocation(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.AddEdge("turnstile", "platform")
+	_ = g.AddEdge("platform", "exitgate")
+	if err := g.SetEntryOnly("turnstile"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetExitOnly("exitgate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestEntryExitSplit(t *testing.T) {
+	g := turnstile(t)
+	if !g.IsEntry("turnstile") || g.IsExit("turnstile") {
+		t.Error("turnstile should be enter-only")
+	}
+	if g.IsEntry("exitgate") || !g.IsExit("exitgate") {
+		t.Error("exitgate should be exit-only")
+	}
+	if got := g.Entries(); len(got) != 1 || got[0] != "turnstile" {
+		t.Errorf("entries = %v", got)
+	}
+	if got := g.Exits(); len(got) != 1 || got[0] != "exitgate" {
+		t.Errorf("exits = %v", got)
+	}
+}
+
+func TestSetEntryMarksBoth(t *testing.T) {
+	g := Fig4Graph()
+	if !g.IsEntry("A") || !g.IsExit("A") {
+		t.Error("SetEntry must mark both directions (paper default)")
+	}
+	if len(g.Entries()) != len(g.Exits()) {
+		t.Error("default graphs have symmetric entries/exits")
+	}
+}
+
+func TestValidateRequiresBothDirections(t *testing.T) {
+	g := New("in-only")
+	_ = g.AddLocation("a")
+	_ = g.SetEntryOnly("a")
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "exit") {
+		t.Errorf("entry-only graph must fail validation: %v", err)
+	}
+	g2 := New("out-only")
+	_ = g2.AddLocation("a")
+	_ = g2.SetExitOnly("a")
+	if err := g2.Validate(); err == nil || !strings.Contains(err.Error(), "entry") {
+		t.Errorf("exit-only graph must fail validation: %v", err)
+	}
+}
+
+func TestSetEntryOnlyErrors(t *testing.T) {
+	g := New("g")
+	if err := g.SetEntryOnly("zzz"); err == nil {
+		t.Error("unknown location should fail")
+	}
+	if err := g.SetExitOnly("zzz"); err == nil {
+		t.Error("unknown location should fail")
+	}
+}
+
+func TestExpandCarriesExits(t *testing.T) {
+	f := Expand(turnstile(t))
+	if !f.IsEntry("turnstile") || f.IsExit("turnstile") {
+		t.Error("flat entry flags wrong")
+	}
+	if f.IsEntry("exitgate") || !f.IsExit("exitgate") {
+		t.Error("flat exit flags wrong")
+	}
+	if got := f.ExitIDs(); len(got) != 1 || got[0] != "exitgate" {
+		t.Errorf("exit ids = %v", got)
+	}
+	if f.IsExit("Mars") {
+		t.Error("unknown location cannot be an exit")
+	}
+}
+
+func TestExitPrimitivesNested(t *testing.T) {
+	inner := turnstile(t)
+	outer := New("city")
+	_ = outer.AddComposite(inner)
+	_ = outer.AddLocation("plaza")
+	_ = outer.AddEdge("station", "plaza")
+	_ = outer.SetEntry("station")
+	if err := outer.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Entering the city through the station resolves to the turnstile;
+	// leaving resolves to the exit gate.
+	if got := outer.EntryPrimitives(); len(got) != 1 || got[0] != "turnstile" {
+		t.Errorf("entry primitives = %v", got)
+	}
+	if got := outer.ExitPrimitives(); len(got) != 1 || got[0] != "exitgate" {
+		t.Errorf("exit primitives = %v", got)
+	}
+}
+
+func TestEntryExitSpecRoundTrip(t *testing.T) {
+	g := turnstile(t)
+	data, err := MarshalGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalGraph(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.IsEntry("turnstile") || back.IsExit("turnstile") {
+		t.Error("entry-only flag lost in round trip")
+	}
+	if back.IsEntry("exitgate") || !back.IsExit("exitgate") {
+		t.Error("exit-only flag lost in round trip")
+	}
+}
+
+func TestStringMarksKinds(t *testing.T) {
+	s := turnstile(t).String()
+	if !strings.Contains(s, "turnstile+") {
+		t.Errorf("enter-only marker missing: %s", s)
+	}
+	if !strings.Contains(s, "exitgate-") {
+		t.Errorf("exit-only marker missing: %s", s)
+	}
+	if !strings.Contains(Fig4Graph().String(), "A*") {
+		t.Error("both-ways marker missing")
+	}
+}

@@ -1,0 +1,168 @@
+package graph
+
+import "fmt"
+
+// Flat is the expansion of a multilevel location graph into a graph over
+// primitive locations only. Intra-graph edges survive unchanged; an edge
+// between two composite locations l'ᵢ and l'ᵢ₊₁ becomes the complete
+// bipartite join of the two graphs' entry primitives — exactly the complex
+// route condition of §3.1 ("lᵢ and lᵢ₊₁ are entry locations in two
+// different location graphs ... such that (l'ᵢ, l'ᵢ₊₁) is an edge").
+//
+// All route finding and Algorithm 1 run on the Flat form.
+type Flat struct {
+	// Nodes lists every primitive location in deterministic order.
+	Nodes []ID
+	// Index maps a location ID to its position in Nodes.
+	Index map[ID]int
+	// Adj is the adjacency list in node-index space.
+	Adj [][]int
+	// Entries are the indices of the root graph's entry primitives;
+	// Exits the indices of its exit primitives (equal to Entries for
+	// graphs built with SetEntry alone).
+	Entries []int
+	Exits   []int
+}
+
+// Expand flattens the multilevel graph. The graph should Validate first;
+// Expand itself only panics on impossible internal states.
+func Expand(g *Graph) *Flat {
+	f := &Flat{Index: make(map[ID]int)}
+	for _, id := range g.Primitives() {
+		f.Index[id] = len(f.Nodes)
+		f.Nodes = append(f.Nodes, id)
+	}
+	f.Adj = make([][]int, len(f.Nodes))
+	addEdges(f, g)
+	for _, id := range g.EntryPrimitives() {
+		f.Entries = append(f.Entries, f.Index[id])
+	}
+	for _, id := range g.ExitPrimitives() {
+		f.Exits = append(f.Exits, f.Index[id])
+	}
+	return f
+}
+
+func addEdges(f *Flat, g *Graph) {
+	for _, e := range g.Edges() {
+		a, b := g.nodes[e[0]], g.nodes[e[1]]
+		var as, bs []ID
+		if a.child == nil {
+			as = []ID{a.id}
+		} else {
+			as = a.child.EntryPrimitives()
+		}
+		if b.child == nil {
+			bs = []ID{b.id}
+		} else {
+			bs = b.child.EntryPrimitives()
+		}
+		for _, x := range as {
+			for _, y := range bs {
+				f.addEdge(f.Index[x], f.Index[y])
+			}
+		}
+	}
+	for _, id := range g.order {
+		if c := g.nodes[id].child; c != nil {
+			addEdges(f, c)
+		}
+	}
+}
+
+func (f *Flat) addEdge(a, b int) {
+	for _, n := range f.Adj[a] {
+		if n == b {
+			return
+		}
+	}
+	f.Adj[a] = append(f.Adj[a], b)
+	f.Adj[b] = append(f.Adj[b], a)
+}
+
+// NeighborsOf returns the primitive locations adjacent to id in the
+// expansion.
+func (f *Flat) NeighborsOf(id ID) []ID {
+	i, ok := f.Index[id]
+	if !ok {
+		return nil
+	}
+	out := make([]ID, len(f.Adj[i]))
+	for k, n := range f.Adj[i] {
+		out[k] = f.Nodes[n]
+	}
+	return out
+}
+
+// HasEdge reports whether the expansion contains the edge (a, b).
+func (f *Flat) HasEdge(a, b ID) bool {
+	i, ok := f.Index[a]
+	if !ok {
+		return false
+	}
+	j, ok := f.Index[b]
+	if !ok {
+		return false
+	}
+	for _, n := range f.Adj[i] {
+		if n == j {
+			return true
+		}
+	}
+	return false
+}
+
+// IsEntry reports whether id is an entry primitive of the root graph.
+func (f *Flat) IsEntry(id ID) bool { return f.hasIndex(f.Entries, id) }
+
+// IsExit reports whether id is an exit primitive of the root graph.
+func (f *Flat) IsExit(id ID) bool { return f.hasIndex(f.Exits, id) }
+
+func (f *Flat) hasIndex(set []int, id ID) bool {
+	i, ok := f.Index[id]
+	if !ok {
+		return false
+	}
+	for _, e := range set {
+		if e == i {
+			return true
+		}
+	}
+	return false
+}
+
+// EntryIDs returns the entry primitives by name.
+func (f *Flat) EntryIDs() []ID { return f.names(f.Entries) }
+
+// ExitIDs returns the exit primitives by name.
+func (f *Flat) ExitIDs() []ID { return f.names(f.Exits) }
+
+func (f *Flat) names(set []int) []ID {
+	out := make([]ID, len(set))
+	for i, e := range set {
+		out[i] = f.Nodes[e]
+	}
+	return out
+}
+
+// MustIndex returns the node index of id, panicking when absent; it is a
+// convenience for code paths that have already validated their inputs.
+func (f *Flat) MustIndex(id ID) int {
+	i, ok := f.Index[id]
+	if !ok {
+		panic(fmt.Sprintf("graph: location %q not in expansion", id))
+	}
+	return i
+}
+
+// MaxDegree returns the largest number of neighbours of any node — the N_d
+// of the paper's complexity bound.
+func (f *Flat) MaxDegree() int {
+	max := 0
+	for _, a := range f.Adj {
+		if len(a) > max {
+			max = len(a)
+		}
+	}
+	return max
+}

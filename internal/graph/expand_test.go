@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func TestExpandFig4(t *testing.T) {
+	f := Expand(Fig4Graph())
+	if len(f.Nodes) != 4 {
+		t.Fatalf("nodes = %v", f.Nodes)
+	}
+	if !f.HasEdge("A", "B") || !f.HasEdge("A", "D") || !f.HasEdge("B", "C") || !f.HasEdge("C", "D") {
+		t.Error("Fig4 edges missing in expansion")
+	}
+	if f.HasEdge("A", "C") {
+		t.Error("phantom edge A–C")
+	}
+	if got := f.EntryIDs(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("entries = %v", got)
+	}
+	if !f.IsEntry("A") || f.IsEntry("B") {
+		t.Error("IsEntry broken")
+	}
+	if f.MaxDegree() != 2 {
+		t.Errorf("max degree = %d, want 2", f.MaxDegree())
+	}
+}
+
+func TestExpandNTUCrossSchoolEdges(t *testing.T) {
+	f := Expand(NTUCampus())
+	if len(f.Nodes) != 17 {
+		t.Fatalf("expanded nodes = %d, want 17", len(f.Nodes))
+	}
+	// The SCE–EEE campus edge joins every entry of SCE with every entry
+	// of EEE: {SCE.GO, SCE.SectionC} × {EEE.GO, EEE.SectionC}.
+	for _, a := range []ID{SCEGO, SCESectionC} {
+		for _, b := range []ID{EEEGO, EEESectionC} {
+			if !f.HasEdge(a, b) {
+				t.Errorf("missing cross-school edge %s–%s", a, b)
+			}
+		}
+	}
+	// Interior rooms never connect across schools.
+	if f.HasEdge(CAIS, Lab1) || f.HasEdge(SCEDean, EEEDean) {
+		t.Error("interior rooms must not be joined across schools")
+	}
+	// NTU's entry composites are SCE and EEE, resolving to four rooms.
+	entries := f.EntryIDs()
+	if len(entries) != 4 {
+		t.Errorf("campus entry primitives = %v", entries)
+	}
+	// Intra-school edges survive expansion.
+	if !f.HasEdge(SCESectionB, CAIS) {
+		t.Error("intra-school edge lost")
+	}
+}
+
+func TestExpandUnknownLookups(t *testing.T) {
+	f := Expand(Fig4Graph())
+	if f.NeighborsOf("Mars") != nil {
+		t.Error("unknown location should have nil neighbours")
+	}
+	if f.HasEdge("Mars", "A") || f.HasEdge("A", "Mars") {
+		t.Error("edges to unknown locations must be false")
+	}
+	if f.ShortestRoute("Mars", "A") != nil || f.ShortestRoute("A", "Mars") != nil {
+		t.Error("routes involving unknown locations must be nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex should panic on unknown id")
+		}
+	}()
+	f.MustIndex("Mars")
+}
+
+func TestShortestRoute(t *testing.T) {
+	f := Expand(NTUCampus())
+	r := f.ShortestRoute(SCEDean, CAIS)
+	want := Route{SCEDean, SCESectionA, SCESectionB, CAIS}
+	if fmt.Sprint(r) != fmt.Sprint(want) {
+		t.Errorf("route = %v, want %v", r, want)
+	}
+	// Cross-school shortest route uses an entry pair.
+	r = f.ShortestRoute(EEEDean, SCEDean)
+	if len(r) != 6 {
+		t.Errorf("cross-school route = %v (len %d), want 6 hops", r, len(r))
+	}
+	if !IsComplexRoute(NTUCampus(), r) {
+		t.Error("shortest route must be a valid complex route")
+	}
+	if got := f.ShortestRoute(CAIS, CAIS); len(got) != 1 || got[0] != CAIS {
+		t.Errorf("self route = %v", got)
+	}
+}
+
+func TestAllRoutes(t *testing.T) {
+	f := Expand(Fig4Graph())
+	routes := f.AllRoutes("A", "C", 0)
+	if len(routes) != 2 {
+		t.Fatalf("A→C simple routes = %v, want 2", routes)
+	}
+	for _, r := range routes {
+		if r.Source() != "A" || r.Destination() != "C" {
+			t.Errorf("bad endpoints in %v", r)
+		}
+	}
+	// Cap respected.
+	if got := f.AllRoutes("A", "C", 1); len(got) != 1 {
+		t.Errorf("limit ignored: %v", got)
+	}
+	if f.AllRoutes("Mars", "C", 0) != nil || f.AllRoutes("A", "Mars", 0) != nil {
+		t.Error("unknown endpoints should yield nil")
+	}
+}
+
+func TestRouteLocationsExample3(t *testing.T) {
+	// Example 3: all_route_from(SCE.GO) with destination CAIS returns
+	// {SCE.GO, SCE.SectionA, SCE.SectionB, SCE.SectionC, CHIPES} plus the
+	// destination CAIS itself. (The paper's printed set omits CAIS, but
+	// every route ends there and rule r3 derives an authorization for
+	// each route location, so we include both endpoints.) The paper
+	// scopes the operator to the school: on the whole campus there are
+	// additional simple routes detouring through EEE's entries.
+	f := Expand(NTUCampus().Child(SCE))
+	got := map[ID]bool{}
+	for _, id := range f.RouteLocations(SCEGO, CAIS) {
+		got[id] = true
+	}
+	if len(got) != 6 {
+		t.Errorf("RouteLocations returned %d locations: %v", len(got), got)
+	}
+	for _, want := range []ID{SCEGO, SCESectionA, SCESectionB, SCESectionC, CHIPES, CAIS} {
+		if !got[want] {
+			t.Errorf("RouteLocations misses %s (got %v)", want, got)
+		}
+	}
+	if got[SCEDean] {
+		t.Error("Dean's Office is on no simple SCE.GO→CAIS route")
+	}
+}
+
+func TestRouteLocationsSelf(t *testing.T) {
+	f := Expand(Fig4Graph())
+	if got := f.RouteLocations("B", "B"); len(got) != 1 || got[0] != "B" {
+		t.Errorf("self RouteLocations = %v", got)
+	}
+	if f.RouteLocations("Mars", "B") != nil {
+		t.Error("unknown source should be nil")
+	}
+}
+
+// buildRandomGraph produces a random connected flat(ish) location graph for
+// property tests: a spanning tree plus extra random edges.
+func buildRandomGraph(rng *rand.Rand, n, extraEdges int) *Graph {
+	g := New("R")
+	ids := make([]ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = ID(fmt.Sprintf("r%02d", i))
+		must(g.AddLocation(ids[i]))
+	}
+	for i := 1; i < n; i++ {
+		must(g.AddEdge(ids[i], ids[rng.Intn(i)]))
+	}
+	for k := 0; k < extraEdges; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b && !g.HasEdge(ids[a], ids[b]) {
+			must(g.AddEdge(ids[a], ids[b]))
+		}
+	}
+	must(g.SetEntry(ids[0]))
+	return g
+}
+
+// Property: RouteLocations (block-cut-tree based) equals the brute-force
+// union of all simple routes, on random small graphs.
+func TestPropRouteLocationsMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 120; trial++ {
+		n := 3 + rng.Intn(8)
+		g := buildRandomGraph(rng, n, rng.Intn(4))
+		f := Expand(g)
+		src := f.Nodes[rng.Intn(n)]
+		dst := f.Nodes[rng.Intn(n)]
+		brute := map[ID]bool{}
+		for _, r := range f.AllRoutes(src, dst, 0) {
+			for _, id := range r {
+				brute[id] = true
+			}
+		}
+		got := map[ID]bool{}
+		for _, id := range f.RouteLocations(src, dst) {
+			got[id] = true
+		}
+		if len(got) != len(brute) {
+			t.Fatalf("trial %d (%s→%s on %s): got %v, brute %v", trial, src, dst, g, got, brute)
+		}
+		for id := range brute {
+			if !got[id] {
+				t.Fatalf("trial %d: RouteLocations misses %s", trial, id)
+			}
+		}
+	}
+}
+
+// Property: every hop of the expansion corresponds to a legal complex-route
+// step and vice versa, on the NTU fixture and nested random graphs.
+func TestPropExpansionEdgesAreComplexSteps(t *testing.T) {
+	ntu := NTUCampus()
+	f := Expand(ntu)
+	for i, id := range f.Nodes {
+		for _, j := range f.Adj[i] {
+			pair := Route{id, f.Nodes[j]}
+			if !IsComplexRoute(ntu, pair) {
+				t.Errorf("expansion edge %v is not a complex step", pair)
+			}
+		}
+	}
+	// Conversely, sample non-edges: they must not be complex steps.
+	for _, a := range f.Nodes {
+		for _, b := range f.Nodes {
+			if a == b || f.HasEdge(a, b) {
+				continue
+			}
+			if IsComplexRoute(ntu, Route{a, b}) {
+				t.Errorf("non-edge %s–%s accepted as complex step", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package graph
+
+// This file builds the paper's two running examples as reusable fixtures:
+// the NTU campus multilevel location graph of Fig. 1/Fig. 2, and the
+// four-location graph of Fig. 4 used by the FindInaccessible example
+// (Tables 1 and 2). They are exported because the rules, query, enforce
+// and example packages all reproduce experiments against them.
+
+// Location names of the NTU fixture, as printed in Fig. 2.
+const (
+	NTU         ID = "NTU"
+	SCE         ID = "SCE"
+	EEE         ID = "EEE"
+	CEE         ID = "CEE"
+	SME         ID = "SME"
+	NBS         ID = "NBS"
+	SCEGO       ID = "SCE.GO"
+	SCEDean     ID = "SCE.Dean's Office"
+	SCESectionA ID = "SCE.SectionA"
+	SCESectionB ID = "SCE.SectionB"
+	SCESectionC ID = "SCE.SectionC"
+	CAIS        ID = "CAIS"
+	CHIPES      ID = "CHIPES"
+	EEEGO       ID = "EEE.GO"
+	EEEDean     ID = "EEE.Dean's Office"
+	EEESectionA ID = "EEE.SectionA"
+	EEESectionB ID = "EEE.SectionB"
+	EEESectionC ID = "EEE.SectionC"
+	Lab1        ID = "Lab1"
+	Lab2        ID = "Lab2"
+	CEEEntrance ID = "CEE.Entrance"
+	SMEEntrance ID = "SME.Entrance"
+	NBSEntrance ID = "NBS.Entrance"
+)
+
+// NTUCampus builds the multilevel location graph of Fig. 2. SCE and EEE
+// are fully detailed per the figure; CEE, SME and NBS appear in the figure
+// as opaque schools, so each is modelled as a single-room school (one
+// entrance location), which preserves the top-level topology
+// SCE–EEE–CEE–SME–NBS.
+//
+// Within SCE (per Fig. 2): GO–SectionA, SectionA–Dean's Office,
+// SectionA–SectionB, SectionB–CAIS, SectionB–SectionC, SectionC–CHIPES,
+// CHIPES–CAIS, with entry locations SCE.GO and SCE.SectionC. The
+// CHIPES–CAIS edge is required by Example 3, whose all_route_from(SCE.GO)
+// → CAIS result includes SectionC and CHIPES — both lie on a simple route
+// to CAIS only if CHIPES and CAIS are directly connected. EEE mirrors SCE
+// with its labs: GO–SectionA, SectionA–Dean's Office, SectionA–SectionB,
+// SectionB–Lab1, SectionB–SectionC, SectionC–Lab2, Lab2–Lab1, entries
+// EEE.GO and EEE.SectionC.
+func NTUCampus() *Graph {
+	sce := New(SCE)
+	must(sce.AddLocation(SCEGO))
+	must(sce.AddLocation(SCEDean))
+	must(sce.AddLocation(SCESectionA))
+	must(sce.AddLocation(SCESectionB))
+	must(sce.AddLocation(SCESectionC))
+	must(sce.AddLocation(CAIS))
+	must(sce.AddLocation(CHIPES))
+	must(sce.AddEdge(SCEGO, SCESectionA))
+	must(sce.AddEdge(SCESectionA, SCEDean))
+	must(sce.AddEdge(SCESectionA, SCESectionB))
+	must(sce.AddEdge(SCESectionB, CAIS))
+	must(sce.AddEdge(SCESectionB, SCESectionC))
+	must(sce.AddEdge(SCESectionC, CHIPES))
+	must(sce.AddEdge(CHIPES, CAIS))
+	must(sce.SetEntry(SCEGO, SCESectionC))
+
+	eee := New(EEE)
+	must(eee.AddLocation(EEEGO))
+	must(eee.AddLocation(EEEDean))
+	must(eee.AddLocation(EEESectionA))
+	must(eee.AddLocation(EEESectionB))
+	must(eee.AddLocation(EEESectionC))
+	must(eee.AddLocation(Lab1))
+	must(eee.AddLocation(Lab2))
+	must(eee.AddEdge(EEEGO, EEESectionA))
+	must(eee.AddEdge(EEESectionA, EEEDean))
+	must(eee.AddEdge(EEESectionA, EEESectionB))
+	must(eee.AddEdge(EEESectionB, Lab1))
+	must(eee.AddEdge(EEESectionB, EEESectionC))
+	must(eee.AddEdge(EEESectionC, Lab2))
+	must(eee.AddEdge(Lab2, Lab1))
+	must(eee.SetEntry(EEEGO, EEESectionC))
+
+	cee := singleRoomSchool(CEE, CEEEntrance)
+	sme := singleRoomSchool(SME, SMEEntrance)
+	nbs := singleRoomSchool(NBS, NBSEntrance)
+
+	ntu := New(NTU)
+	must(ntu.AddComposite(sce))
+	must(ntu.AddComposite(eee))
+	must(ntu.AddComposite(cee))
+	must(ntu.AddComposite(sme))
+	must(ntu.AddComposite(nbs))
+	must(ntu.AddEdge(SCE, EEE))
+	must(ntu.AddEdge(EEE, CEE))
+	must(ntu.AddEdge(CEE, SME))
+	must(ntu.AddEdge(SME, NBS))
+	must(ntu.SetEntry(SCE, EEE))
+	return ntu
+}
+
+func singleRoomSchool(name, room ID) *Graph {
+	g := New(name)
+	must(g.AddLocation(room))
+	must(g.SetEntry(room))
+	return g
+}
+
+// Fig4Graph builds the four-location graph of Fig. 4: A–B, A–D, B–C, C–D,
+// with A the entry location. Together with the Table 1 authorizations it
+// is the fixture for the Table 2 trace.
+func Fig4Graph() *Graph {
+	g := New("Fig4")
+	must(g.AddLocation("A"))
+	must(g.AddLocation("B"))
+	must(g.AddLocation("C"))
+	must(g.AddLocation("D"))
+	must(g.AddEdge("A", "B"))
+	must(g.AddEdge("A", "D"))
+	must(g.AddEdge("B", "C"))
+	must(g.AddEdge("C", "D"))
+	must(g.SetEntry("A"))
+	return g
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,424 @@
+// Package graph implements LTAM's location model: location graphs
+// (Definition 1), multilevel location graphs (Definition 2), entry
+// locations, simple and complex routes (§3.1), and the expansion of a
+// multilevel graph into a flat primitive-location graph on which route
+// finding and the inaccessible-location algorithm operate.
+//
+// A composite location *is* a (multilevel) location graph, so a single
+// recursive Graph type represents both: a Def.-1 location graph is a Graph
+// whose nodes are all primitive, and a Def.-2 multilevel graph is a Graph
+// some of whose nodes carry child graphs.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ID names a location — primitive or composite. IDs must be unique across
+// an entire multilevel graph (the paper requires the constituent graphs to
+// have mutually disjoint locations).
+type ID string
+
+// node is a single vertex of a graph: a primitive location (child == nil)
+// or a composite location carrying its own graph.
+type node struct {
+	id    ID
+	child *Graph
+}
+
+// Graph is a (multilevel) location graph. The zero value is unusable; use
+// New. Graphs are built once and then treated as immutable by the rest of
+// the system; none of the methods mutate after Freeze/Validate.
+// accessKind is the bitmask of roles an entry/exit location plays.
+type accessKind uint8
+
+const (
+	kindEntry accessKind = 1 << iota // users may enter the graph here
+	kindExit                         // users may leave the graph here
+)
+
+type Graph struct {
+	name    ID
+	nodes   map[ID]*node
+	order   []ID // insertion order, for deterministic iteration
+	adj     map[ID][]ID
+	entries map[ID]accessKind
+}
+
+// New creates an empty graph named name (the name doubles as the composite
+// location's ID when the graph is nested inside a parent).
+func New(name ID) *Graph {
+	return &Graph{
+		name:    name,
+		nodes:   make(map[ID]*node),
+		adj:     make(map[ID][]ID),
+		entries: make(map[ID]accessKind),
+	}
+}
+
+// Name returns the graph's (composite location's) name.
+func (g *Graph) Name() ID { return g.name }
+
+// AddLocation adds a primitive location to the graph.
+func (g *Graph) AddLocation(id ID) error {
+	if id == "" {
+		return errors.New("graph: empty location id")
+	}
+	if _, dup := g.nodes[id]; dup {
+		return fmt.Errorf("graph: duplicate location %q in %q", id, g.name)
+	}
+	g.nodes[id] = &node{id: id}
+	g.order = append(g.order, id)
+	return nil
+}
+
+// AddComposite nests child as a composite location of g. The child's name
+// becomes the composite location's ID within g.
+func (g *Graph) AddComposite(child *Graph) error {
+	if child == nil || child.name == "" {
+		return errors.New("graph: nil or unnamed child graph")
+	}
+	if _, dup := g.nodes[child.name]; dup {
+		return fmt.Errorf("graph: duplicate location %q in %q", child.name, g.name)
+	}
+	g.nodes[child.name] = &node{id: child.name, child: child}
+	g.order = append(g.order, child.name)
+	return nil
+}
+
+// AddEdge records the bidirectional edge (a, b): b can be reached from a
+// directly without going through other locations, and vice versa (Def. 1).
+func (g *Graph) AddEdge(a, b ID) error {
+	if a == b {
+		return fmt.Errorf("graph: self-edge on %q", a)
+	}
+	for _, id := range []ID{a, b} {
+		if _, ok := g.nodes[id]; !ok {
+			return fmt.Errorf("graph: edge endpoint %q not in %q", id, g.name)
+		}
+	}
+	for _, n := range g.adj[a] {
+		if n == b {
+			return fmt.Errorf("graph: duplicate edge (%q, %q)", a, b)
+		}
+	}
+	g.adj[a] = append(g.adj[a], b)
+	g.adj[b] = append(g.adj[b], a)
+	return nil
+}
+
+// SetEntry designates the given locations of g as entry locations in the
+// paper's default sense: the first location a user must visit before
+// visiting others in the graph, AND the last before exiting (§3.1).
+func (g *Graph) SetEntry(ids ...ID) error { return g.mark(kindEntry|kindExit, ids) }
+
+// SetEntryOnly designates locations through which users may enter the
+// graph but not leave it — the separate-entry/exit treatment the paper
+// flags as a straightforward extension ("it is possible that the entry
+// and exit locations have to be treated separately").
+func (g *Graph) SetEntryOnly(ids ...ID) error { return g.mark(kindEntry, ids) }
+
+// SetExitOnly designates locations through which users may leave the
+// graph but not enter it (e.g. one-way emergency exits).
+func (g *Graph) SetExitOnly(ids ...ID) error { return g.mark(kindExit, ids) }
+
+func (g *Graph) mark(kind accessKind, ids []ID) error {
+	for _, id := range ids {
+		if _, ok := g.nodes[id]; !ok {
+			return fmt.Errorf("graph: entry %q not in %q", id, g.name)
+		}
+		g.entries[id] |= kind
+	}
+	return nil
+}
+
+// Locations returns the graph's direct member locations (primitive and
+// composite) in insertion order.
+func (g *Graph) Locations() []ID {
+	out := make([]ID, len(g.order))
+	copy(out, g.order)
+	return out
+}
+
+// Neighbors returns the direct neighbours of id within g, in edge
+// insertion order.
+func (g *Graph) Neighbors(id ID) []ID {
+	out := make([]ID, len(g.adj[id]))
+	copy(out, g.adj[id])
+	return out
+}
+
+// HasEdge reports whether (a,b) is an edge of g (in either direction).
+func (g *Graph) HasEdge(a, b ID) bool {
+	for _, n := range g.adj[a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Entries returns the locations users may enter g through, in insertion
+// order.
+func (g *Graph) Entries() []ID { return g.byKind(kindEntry) }
+
+// Exits returns the locations users may leave g through, in insertion
+// order. For graphs built with SetEntry alone, Exits equals Entries.
+func (g *Graph) Exits() []ID { return g.byKind(kindExit) }
+
+func (g *Graph) byKind(kind accessKind) []ID {
+	var out []ID
+	for _, id := range g.order {
+		if g.entries[id]&kind != 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// IsEntry reports whether users may enter g at id.
+func (g *Graph) IsEntry(id ID) bool { return g.entries[id]&kindEntry != 0 }
+
+// IsExit reports whether users may leave g at id.
+func (g *Graph) IsExit(id ID) bool { return g.entries[id]&kindExit != 0 }
+
+// Child returns the graph nested under the composite location id, or nil
+// when id is primitive or absent.
+func (g *Graph) Child(id ID) *Graph {
+	if n, ok := g.nodes[id]; ok {
+		return n.child
+	}
+	return nil
+}
+
+// IsComposite reports whether id names a composite member of g.
+func (g *Graph) IsComposite(id ID) bool { return g.Child(id) != nil }
+
+// HasLocation reports whether id is a direct member of g.
+func (g *Graph) HasLocation(id ID) bool {
+	_, ok := g.nodes[id]
+	return ok
+}
+
+// Contains reports whether id is "part of" g in the paper's sense: a
+// primitive or composite location that directly or indirectly belongs to g.
+func (g *Graph) Contains(id ID) bool {
+	if _, ok := g.nodes[id]; ok {
+		return true
+	}
+	for _, nid := range g.order {
+		if c := g.nodes[nid].child; c != nil && c.Contains(id) {
+			return true
+		}
+	}
+	return false
+}
+
+// Primitives returns every primitive location that is part of g, in
+// depth-first insertion order.
+func (g *Graph) Primitives() []ID {
+	var out []ID
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.child == nil {
+			out = append(out, id)
+		} else {
+			out = append(out, n.child.Primitives()...)
+		}
+	}
+	return out
+}
+
+// FindGraphOf returns the graph that directly contains the primitive
+// location id (which may be g itself or a descendant), or nil.
+func (g *Graph) FindGraphOf(id ID) *Graph {
+	if n, ok := g.nodes[id]; ok && n.child == nil {
+		return g
+	}
+	for _, nid := range g.order {
+		if c := g.nodes[nid].child; c != nil {
+			if found := c.FindGraphOf(id); found != nil {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+// FindComposite returns the descendant graph named id (possibly g itself),
+// or nil.
+func (g *Graph) FindComposite(id ID) *Graph {
+	if g.name == id {
+		return g
+	}
+	for _, nid := range g.order {
+		if c := g.nodes[nid].child; c != nil {
+			if found := c.FindComposite(id); found != nil {
+				return found
+			}
+		}
+	}
+	return nil
+}
+
+// EntryPrimitives resolves g's entry locations down to primitive
+// locations: a primitive entry stands for itself; a composite entry stands
+// for the entry primitives of its child graph. These are exactly the
+// locations through which a complex route may enter g.
+func (g *Graph) EntryPrimitives() []ID { return g.kindPrimitives(kindEntry) }
+
+// ExitPrimitives resolves g's exit locations down to primitives — the
+// locations through which a user may leave g.
+func (g *Graph) ExitPrimitives() []ID { return g.kindPrimitives(kindExit) }
+
+func (g *Graph) kindPrimitives(kind accessKind) []ID {
+	var out []ID
+	for _, id := range g.order {
+		if g.entries[id]&kind == 0 {
+			continue
+		}
+		if c := g.nodes[id].child; c != nil {
+			out = append(out, c.kindPrimitives(kind)...)
+		} else {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Validate checks the structural invariants the paper requires:
+//   - at least one location;
+//   - at least one entry location at every level;
+//   - connectivity at every level ("location graphs are connected graphs");
+//   - globally unique location IDs ("mutually disjoint locations");
+//   - every nested graph validates recursively.
+func (g *Graph) Validate() error {
+	seen := map[ID]bool{}
+	return g.validate(seen, true)
+}
+
+func (g *Graph) validate(seen map[ID]bool, root bool) error {
+	if len(g.order) == 0 {
+		return fmt.Errorf("graph %q: no locations", g.name)
+	}
+	if len(g.byKind(kindEntry)) == 0 {
+		return fmt.Errorf("graph %q: no entry location", g.name)
+	}
+	if len(g.byKind(kindExit)) == 0 {
+		return fmt.Errorf("graph %q: no exit location (mark one with SetEntry or SetExitOnly)", g.name)
+	}
+	if !root {
+		if seen[g.name] {
+			return fmt.Errorf("graph: duplicate location id %q", g.name)
+		}
+		seen[g.name] = true
+	}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.child == nil {
+			if seen[id] {
+				return fmt.Errorf("graph: duplicate location id %q", id)
+			}
+			seen[id] = true
+		} else {
+			if n.child.name != id {
+				return fmt.Errorf("graph %q: composite node %q does not match child name %q", g.name, id, n.child.name)
+			}
+			if err := n.child.validate(seen, false); err != nil {
+				return err
+			}
+		}
+	}
+	// Connectivity at this level.
+	if len(g.order) > 1 {
+		visited := map[ID]bool{}
+		stack := []ID{g.order[0]}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[cur] {
+				continue
+			}
+			visited[cur] = true
+			stack = append(stack, g.adj[cur]...)
+		}
+		for _, id := range g.order {
+			if !visited[id] {
+				return fmt.Errorf("graph %q: location %q unreachable (graphs must be connected)", g.name, id)
+			}
+		}
+	}
+	return nil
+}
+
+// String renders a compact textual form for debugging, e.g.
+// "NTU{SCE{...}, EEE{...}; edges=...}".
+func (g *Graph) String() string {
+	var b strings.Builder
+	g.write(&b)
+	return b.String()
+}
+
+func (g *Graph) write(b *strings.Builder) {
+	fmt.Fprintf(b, "%s{", g.name)
+	for i, id := range g.order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if c := g.nodes[id].child; c != nil {
+			c.write(b)
+		} else {
+			b.WriteString(string(id))
+			switch g.entries[id] {
+			case kindEntry | kindExit:
+				b.WriteString("*")
+			case kindEntry:
+				b.WriteString("+") // enter-only
+			case kindExit:
+				b.WriteString("-") // exit-only
+			}
+		}
+	}
+	b.WriteString("}")
+}
+
+// entriesExact returns the locations whose access kind is exactly kind,
+// for canonical serialisation.
+func (g *Graph) entriesExact(kind accessKind) []ID {
+	var out []ID
+	for _, id := range g.order {
+		if g.entries[id] == kind {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Edges returns every edge of this level once, with endpoints ordered
+// lexicographically and the list sorted, for deterministic serialisation.
+func (g *Graph) Edges() [][2]ID {
+	var out [][2]ID
+	seen := map[[2]ID]bool{}
+	for _, a := range g.order {
+		for _, b := range g.adj[a] {
+			e := [2]ID{a, b}
+			if e[0] > e[1] {
+				e[0], e[1] = e[1], e[0]
+			}
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

@@ -1,0 +1,353 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddLocationErrors(t *testing.T) {
+	g := New("G")
+	if err := g.AddLocation(""); err == nil {
+		t.Error("empty id should fail")
+	}
+	if err := g.AddLocation("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddLocation("a"); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestAddCompositeErrors(t *testing.T) {
+	g := New("G")
+	if err := g.AddComposite(nil); err == nil {
+		t.Error("nil child should fail")
+	}
+	if err := g.AddComposite(New("")); err == nil {
+		t.Error("unnamed child should fail")
+	}
+	child := New("C")
+	if err := g.AddComposite(child); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddComposite(New("C")); err == nil {
+		t.Error("duplicate composite name should fail")
+	}
+	if !g.IsComposite("C") || g.Child("C") != child {
+		t.Error("composite lookup broken")
+	}
+	if g.Child("zzz") != nil {
+		t.Error("missing child should be nil")
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New("G")
+	_ = g.AddLocation("a")
+	_ = g.AddLocation("b")
+	if err := g.AddEdge("a", "a"); err == nil {
+		t.Error("self edge should fail")
+	}
+	if err := g.AddEdge("a", "zzz"); err == nil {
+		t.Error("unknown endpoint should fail")
+	}
+	if err := g.AddEdge("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddEdge("b", "a"); err == nil {
+		t.Error("duplicate (reversed) edge should fail")
+	}
+	if !g.HasEdge("a", "b") || !g.HasEdge("b", "a") {
+		t.Error("edges must be bidirectional (Def. 1)")
+	}
+}
+
+func TestSetEntryErrors(t *testing.T) {
+	g := New("G")
+	_ = g.AddLocation("a")
+	if err := g.SetEntry("zzz"); err == nil {
+		t.Error("unknown entry should fail")
+	}
+	if err := g.SetEntry("a"); err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsEntry("a") {
+		t.Error("entry flag lost")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	g := New("G")
+	if err := g.Validate(); err == nil {
+		t.Error("empty graph should not validate")
+	}
+	_ = g.AddLocation("a")
+	if err := g.Validate(); err == nil {
+		t.Error("graph without entry should not validate")
+	}
+	_ = g.SetEntry("a")
+	if err := g.Validate(); err != nil {
+		t.Errorf("single-room graph should validate: %v", err)
+	}
+	_ = g.AddLocation("b")
+	if err := g.Validate(); err == nil {
+		t.Error("disconnected graph should not validate")
+	}
+	_ = g.AddEdge("a", "b")
+	if err := g.Validate(); err != nil {
+		t.Errorf("connected graph should validate: %v", err)
+	}
+}
+
+func TestValidateDisjointness(t *testing.T) {
+	// The paper requires constituent graphs to have mutually disjoint
+	// locations; a primitive name reused inside a nested graph must fail.
+	inner := New("Inner")
+	_ = inner.AddLocation("dup")
+	_ = inner.SetEntry("dup")
+	outer := New("Outer")
+	_ = outer.AddLocation("dup")
+	_ = outer.AddComposite(inner)
+	_ = outer.AddEdge("dup", "Inner")
+	_ = outer.SetEntry("dup")
+	if err := outer.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate primitive across levels should fail, got %v", err)
+	}
+}
+
+func TestValidateNestedEntryRequired(t *testing.T) {
+	inner := New("Inner")
+	_ = inner.AddLocation("x")
+	// No entry set on inner.
+	outer := New("Outer")
+	_ = outer.AddComposite(inner)
+	_ = outer.SetEntry("Inner")
+	if err := outer.Validate(); err == nil {
+		t.Error("nested graph without entry should fail validation")
+	}
+}
+
+func TestNTUCampusStructure(t *testing.T) {
+	ntu := NTUCampus()
+	if err := ntu.Validate(); err != nil {
+		t.Fatalf("NTU fixture should validate: %v", err)
+	}
+	// Fig. 2: NTU contains five schools.
+	locs := ntu.Locations()
+	if len(locs) != 5 {
+		t.Fatalf("NTU has %d members, want 5", len(locs))
+	}
+	// SCE's entry locations are SCE.GO and SCE.SectionC (double-lined in
+	// the figure).
+	sce := ntu.Child(SCE)
+	entries := sce.Entries()
+	if len(entries) != 2 || entries[0] != SCEGO || entries[1] != SCESectionC {
+		t.Errorf("SCE entries = %v", entries)
+	}
+	// "The edge between SCE.SectionB and CAIS shows one to go from
+	// SCE.SectionB to CAIS directly and vice versa."
+	if !sce.HasEdge(SCESectionB, CAIS) || !sce.HasEdge(CAIS, SCESectionB) {
+		t.Error("SectionB–CAIS edge missing")
+	}
+	// Part-of relation: CAIS is part of NTU (indirectly).
+	if !ntu.Contains(CAIS) || !ntu.Contains(SCE) || ntu.Contains("Mars") {
+		t.Error("Contains (part-of) broken")
+	}
+	// 7 + 7 + 3 singles = 17 primitive locations.
+	if got := len(ntu.Primitives()); got != 17 {
+		t.Errorf("NTU primitives = %d, want 17", got)
+	}
+	if g := ntu.FindGraphOf(CAIS); g == nil || g.Name() != SCE {
+		t.Errorf("FindGraphOf(CAIS) = %v", g)
+	}
+	if g := ntu.FindComposite(EEE); g == nil || g.Name() != EEE {
+		t.Error("FindComposite(EEE) broken")
+	}
+	if ntu.FindGraphOf("Mars") != nil || ntu.FindComposite("Mars") != nil {
+		t.Error("lookups of unknown ids should be nil")
+	}
+}
+
+func TestSimpleRoutePaperExample(t *testing.T) {
+	// ⟨SCE.Dean's Office, SCE.SectionA, SCE.SectionB, CAIS⟩ is a simple
+	// route (§3.1).
+	sce := NTUCampus().Child(SCE)
+	r := Route{SCEDean, SCESectionA, SCESectionB, CAIS}
+	if !IsSimpleRoute(sce, r) {
+		t.Error("paper's simple route rejected")
+	}
+	// Not a route: skips a location.
+	if IsSimpleRoute(sce, Route{SCEDean, CAIS}) {
+		t.Error("non-adjacent hop accepted")
+	}
+	// Composite members disqualify a simple route.
+	ntu := NTUCampus()
+	if IsSimpleRoute(ntu, Route{SCE, EEE}) {
+		t.Error("composite locations cannot form a simple route")
+	}
+	if IsSimpleRoute(sce, Route{}) {
+		t.Error("empty route accepted")
+	}
+}
+
+func TestComplexRoutePaperExample(t *testing.T) {
+	// ⟨EEE.Dean's Office, EEE.SectionA, EEE.GO, SCE.GO, SCE.SectionA,
+	// SCE.Dean's Office⟩ is a complex route (§3.1).
+	ntu := NTUCampus()
+	r := Route{EEEDean, EEESectionA, EEEGO, SCEGO, SCESectionA, SCEDean}
+	if !IsComplexRoute(ntu, r) {
+		t.Error("paper's complex route rejected")
+	}
+	// Crossing between non-entry locations of two schools is illegal.
+	bad := Route{EEEDean, SCEDean}
+	if IsComplexRoute(ntu, bad) {
+		t.Error("non-entry school crossing accepted")
+	}
+	// Crossing at entries of non-adjacent schools is illegal.
+	bad2 := Route{SCEGO, CEEEntrance}
+	if IsComplexRoute(ntu, bad2) {
+		t.Error("crossing between non-adjacent schools accepted")
+	}
+	// Unknown location.
+	if IsComplexRoute(ntu, Route{"Mars"}) {
+		t.Error("unknown location accepted")
+	}
+	if IsComplexRoute(ntu, Route{}) {
+		t.Error("empty route accepted")
+	}
+	// SectionC is also an entry, so EEE.SectionC → SCE.SectionC crossing
+	// is legal under Def. complex route.
+	if !IsComplexRoute(ntu, Route{Lab2, EEESectionC, SCESectionC, CHIPES}) {
+		t.Error("entry-to-entry crossing via SectionC rejected")
+	}
+	if !IsComplexRoute(ntu, Route{EEEGO, SCESectionC}) {
+		t.Error("cross-entry pair GO→SectionC rejected")
+	}
+}
+
+func TestRouteAccessors(t *testing.T) {
+	r := Route{SCEGO, SCESectionA, CAIS}
+	if r.Source() != SCEGO || r.Destination() != CAIS {
+		t.Error("source/destination broken")
+	}
+	var empty Route
+	if empty.Source() != "" || empty.Destination() != "" {
+		t.Error("empty route accessors should return empty id")
+	}
+	want := "⟨SCE.GO, SCE.SectionA, CAIS⟩"
+	if r.String() != want {
+		t.Errorf("String = %s, want %s", r, want)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	g := Fig4Graph()
+	s := g.String()
+	if !strings.Contains(s, "A*") {
+		t.Errorf("entry A should be starred in %q", s)
+	}
+	if !strings.HasPrefix(s, "Fig4{") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestEdgesDeterministic(t *testing.T) {
+	g := Fig4Graph()
+	e1 := g.Edges()
+	e2 := g.Edges()
+	if len(e1) != 4 {
+		t.Fatalf("Fig4 has %d edges, want 4", len(e1))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatal("Edges must be deterministic")
+		}
+		if e1[i][0] > e1[i][1] {
+			t.Fatal("edge endpoints must be ordered")
+		}
+	}
+}
+
+func TestEntryPrimitivesNested(t *testing.T) {
+	// A campus whose entry is a composite building: entries resolve
+	// recursively to the building's entry rooms.
+	building := New("B1")
+	_ = building.AddLocation("lobby")
+	_ = building.AddLocation("office")
+	_ = building.AddEdge("lobby", "office")
+	_ = building.SetEntry("lobby")
+	campus := New("Campus")
+	_ = campus.AddComposite(building)
+	_ = campus.AddLocation("yard")
+	_ = campus.AddEdge("B1", "yard")
+	_ = campus.SetEntry("B1")
+	if err := campus.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	eps := campus.EntryPrimitives()
+	if len(eps) != 1 || eps[0] != "lobby" {
+		t.Errorf("EntryPrimitives = %v, want [lobby]", eps)
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, g := range []*Graph{NTUCampus(), Fig4Graph()} {
+		data, err := MarshalGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalGraph(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.String() != g.String() {
+			t.Errorf("round trip changed graph:\n got %s\nwant %s", back, g)
+		}
+		data2, _ := MarshalGraph(back)
+		if string(data) != string(data2) {
+			t.Error("second marshal differs: serialisation not canonical")
+		}
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	if _, err := FromSpec(Spec{}); err == nil {
+		t.Error("unnamed spec should fail")
+	}
+	if _, err := FromSpec(Spec{Name: "g", Primitives: []ID{"a", "a"}}); err == nil {
+		t.Error("duplicate primitive should fail")
+	}
+	if _, err := FromSpec(Spec{Name: "g", Primitives: []ID{"a"}, Entries: []ID{"zzz"}}); err == nil {
+		t.Error("unknown entry should fail")
+	}
+	if _, err := FromSpec(Spec{Name: "g", Primitives: []ID{"a"}, Edges: [][2]ID{{"a", "zzz"}}}); err == nil {
+		t.Error("bad edge should fail")
+	}
+	if _, err := UnmarshalGraph([]byte("{nope")); err == nil {
+		t.Error("bad json should fail")
+	}
+	// Spec that fails validation (no entries).
+	if _, err := FromSpec(Spec{Name: "g", Primitives: []ID{"a"}}); err == nil {
+		t.Error("entry-less spec should fail validation")
+	}
+}
+
+func TestLocationsAndNeighborsCopy(t *testing.T) {
+	g := Fig4Graph()
+	locs := g.Locations()
+	locs[0] = "mutated"
+	if g.Locations()[0] != "A" {
+		t.Error("Locations must return a copy")
+	}
+	ns := g.Neighbors("A")
+	if len(ns) != 2 {
+		t.Fatalf("A neighbours = %v", ns)
+	}
+	ns[0] = "mutated"
+	if g.Neighbors("A")[0] != "B" {
+		t.Error("Neighbors must return a copy")
+	}
+	if g.Neighbors("zzz") != nil && len(g.Neighbors("zzz")) != 0 {
+		t.Error("unknown location has no neighbours")
+	}
+}

@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildRandomCampus nests random buildings under a campus, exercising the
+// full recursive structure.
+func buildRandomCampus(rng *rand.Rand, trial int) *Graph {
+	campus := New(ID(fmt.Sprintf("campus%d", trial)))
+	nb := 1 + rng.Intn(4)
+	var names []ID
+	for b := 0; b < nb; b++ {
+		bld := New(ID(fmt.Sprintf("c%d_b%d", trial, b)))
+		rooms := 1 + rng.Intn(5)
+		var ids []ID
+		for r := 0; r < rooms; r++ {
+			id := ID(fmt.Sprintf("c%d_b%d_r%d", trial, b, r))
+			ids = append(ids, id)
+			_ = bld.AddLocation(id)
+			if r > 0 {
+				_ = bld.AddEdge(ids[rng.Intn(r)], id)
+			}
+		}
+		_ = bld.SetEntry(ids[rng.Intn(rooms)])
+		if rng.Intn(3) == 0 && rooms > 1 {
+			_ = bld.SetEntryOnly(ids[rng.Intn(rooms)])
+			_ = bld.SetExitOnly(ids[rng.Intn(rooms)])
+		}
+		_ = campus.AddComposite(bld)
+		names = append(names, bld.Name())
+	}
+	for b := 1; b < nb; b++ {
+		_ = campus.AddEdge(names[rng.Intn(b)], names[b])
+	}
+	_ = campus.SetEntry(names[rng.Intn(nb)])
+	return campus
+}
+
+// Property: Spec round-trips preserve structure, entry kinds and the
+// expansion, and the serialisation is canonical (stable under a second
+// round trip).
+func TestPropSpecRoundTripRandomCampuses(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 150; trial++ {
+		g := buildRandomCampus(rng, trial)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("trial %d: fixture invalid: %v", trial, err)
+		}
+		data, err := MarshalGraph(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := UnmarshalGraph(data)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if back.String() != g.String() {
+			t.Fatalf("trial %d: structure changed\n got %s\nwant %s", trial, back, g)
+		}
+		data2, _ := MarshalGraph(back)
+		if string(data) != string(data2) {
+			t.Fatalf("trial %d: serialisation not canonical", trial)
+		}
+		// Expansions agree node-for-node and edge-for-edge.
+		f1, f2 := Expand(g), Expand(back)
+		if fmt.Sprint(f1.Nodes) != fmt.Sprint(f2.Nodes) ||
+			fmt.Sprint(f1.EntryIDs()) != fmt.Sprint(f2.EntryIDs()) ||
+			fmt.Sprint(f1.ExitIDs()) != fmt.Sprint(f2.ExitIDs()) {
+			t.Fatalf("trial %d: expansion differs", trial)
+		}
+		for i, id := range f1.Nodes {
+			if fmt.Sprint(f1.NeighborsOf(id)) != fmt.Sprint(f2.NeighborsOf(id)) {
+				t.Fatalf("trial %d: adjacency differs at %s (%d)", trial, id, i)
+			}
+		}
+	}
+}
+
+// Property: ShortestRoute on a validated campus expansion always exists
+// between any two primitives (connectivity), is a valid complex route,
+// and has minimal length among AllRoutes on small instances.
+func TestPropShortestRouteValidAndMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for trial := 0; trial < 60; trial++ {
+		g := buildRandomCampus(rng, 1000+trial)
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		f := Expand(g)
+		n := len(f.Nodes)
+		src := f.Nodes[rng.Intn(n)]
+		dst := f.Nodes[rng.Intn(n)]
+		r := f.ShortestRoute(src, dst)
+		if r == nil {
+			t.Fatalf("trial %d: no route %s→%s in connected graph", trial, src, dst)
+		}
+		if !IsComplexRoute(g, r) {
+			t.Fatalf("trial %d: shortest route %v is not a complex route", trial, r)
+		}
+		if n <= 10 {
+			best := -1
+			for _, alt := range f.AllRoutes(src, dst, 0) {
+				if best < 0 || len(alt) < best {
+					best = len(alt)
+				}
+			}
+			if best > 0 && len(r) != best {
+				t.Fatalf("trial %d: shortest %d vs enumerated best %d", trial, len(r), best)
+			}
+		}
+	}
+}

@@ -1,0 +1,425 @@
+package graph
+
+import "fmt"
+
+// Route is an ordered series of primitive locations ⟨l₁, …, l_k⟩ through
+// which a subject moves. l₁ is the source and l_k the destination.
+type Route []ID
+
+// Source returns the first location of the route.
+func (r Route) Source() ID {
+	if len(r) == 0 {
+		return ""
+	}
+	return r[0]
+}
+
+// Destination returns the last location of the route.
+func (r Route) Destination() ID {
+	if len(r) == 0 {
+		return ""
+	}
+	return r[len(r)-1]
+}
+
+// String renders the route in the paper's angle-bracket notation.
+func (r Route) String() string {
+	s := "⟨"
+	for i, id := range r {
+		if i > 0 {
+			s += ", "
+		}
+		s += string(id)
+	}
+	return s + "⟩"
+}
+
+// IsSimpleRoute reports whether r is a simple route of the single location
+// graph g (§3.1): every location is a primitive member of g and every
+// consecutive pair is an edge of g.
+func IsSimpleRoute(g *Graph, r Route) bool {
+	if len(r) == 0 {
+		return false
+	}
+	for _, id := range r {
+		n, ok := g.nodes[id]
+		if !ok || n.child != nil {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(r); i++ {
+		if !g.HasEdge(r[i], r[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsComplexRoute reports whether r is a complex route of the multilevel
+// graph root (§3.1). For every consecutive pair (lᵢ, lᵢ₊₁) either
+//   - the pair is an edge in some single location graph, or
+//   - lᵢ and lᵢ₊₁ are entry locations of two different location graphs
+//     whose composite locations l'ᵢ, l'ᵢ₊₁ are joined by an edge in some
+//     graph containing both (entries resolving recursively through
+//     nested composites).
+func IsComplexRoute(root *Graph, r Route) bool {
+	if len(r) == 0 {
+		return false
+	}
+	for _, id := range r {
+		if root.FindGraphOf(id) == nil {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(r); i++ {
+		if !complexStep(root, r[i], r[i+1]) {
+			return false
+		}
+	}
+	return true
+}
+
+// complexStep checks one hop of the complex-route definition. A hop a→b is
+// legal when (a,b) is an edge of the graph directly containing both, or
+// when some graph has an edge (x,y) such that a is reachable as an entry
+// primitive of x and b as an entry primitive of y (x or y may be the
+// primitives themselves).
+func complexStep(root *Graph, a, b ID) bool {
+	if ga := root.FindGraphOf(a); ga != nil && ga == root.FindGraphOf(b) && ga.HasEdge(a, b) {
+		return true
+	}
+	var walk func(g *Graph) bool
+	walk = func(g *Graph) bool {
+		for _, e := range g.Edges() {
+			xs := entryPrimitivesOrSelf(g, e[0])
+			ys := entryPrimitivesOrSelf(g, e[1])
+			if (idsContain(xs, a) && idsContain(ys, b)) ||
+				(idsContain(xs, b) && idsContain(ys, a)) {
+				return true
+			}
+		}
+		for _, id := range g.order {
+			if c := g.nodes[id].child; c != nil && walk(c) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(root)
+}
+
+// entryPrimitivesOrSelf returns the primitive locations through which the
+// member location id of g can be entered: id itself when primitive, or the
+// recursively resolved entry primitives of its child graph.
+func entryPrimitivesOrSelf(g *Graph, id ID) []ID {
+	n := g.nodes[id]
+	if n == nil {
+		return nil
+	}
+	if n.child == nil {
+		return []ID{id}
+	}
+	return n.child.EntryPrimitives()
+}
+
+func idsContain(ids []ID, want ID) bool {
+	for _, id := range ids {
+		if id == want {
+			return true
+		}
+	}
+	return false
+}
+
+// ShortestRoute returns a minimum-hop route from src to dst in the
+// expansion, or nil when either endpoint is unknown.
+func (f *Flat) ShortestRoute(src, dst ID) Route {
+	s, ok := f.Index[src]
+	if !ok {
+		return nil
+	}
+	d, ok := f.Index[dst]
+	if !ok {
+		return nil
+	}
+	if s == d {
+		return Route{src}
+	}
+	prev := make([]int, len(f.Nodes))
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[s] = s
+	queue := []int{s}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range f.Adj[cur] {
+			if prev[n] != -1 {
+				continue
+			}
+			prev[n] = cur
+			if n == d {
+				return f.buildRoute(prev, s, d)
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil
+}
+
+func (f *Flat) buildRoute(prev []int, s, d int) Route {
+	var rev []int
+	for cur := d; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == s {
+			break
+		}
+	}
+	r := make(Route, len(rev))
+	for i := range rev {
+		r[i] = f.Nodes[rev[len(rev)-1-i]]
+	}
+	return r
+}
+
+// AllRoutes enumerates simple paths (no repeated locations) from src to
+// dst, up to limit routes (limit <= 0 means no cap — beware exponential
+// blowup; the naive baseline in internal/query uses this deliberately).
+func (f *Flat) AllRoutes(src, dst ID, limit int) []Route {
+	s, ok := f.Index[src]
+	if !ok {
+		return nil
+	}
+	d, ok := f.Index[dst]
+	if !ok {
+		return nil
+	}
+	var out []Route
+	onPath := make([]bool, len(f.Nodes))
+	var path []int
+	var dfs func(cur int) bool // reports whether the cap was hit
+	dfs = func(cur int) bool {
+		onPath[cur] = true
+		path = append(path, cur)
+		defer func() {
+			onPath[cur] = false
+			path = path[:len(path)-1]
+		}()
+		if cur == d {
+			r := make(Route, len(path))
+			for i, n := range path {
+				r[i] = f.Nodes[n]
+			}
+			out = append(out, r)
+			return limit > 0 && len(out) >= limit
+		}
+		for _, n := range f.Adj[cur] {
+			if !onPath[n] && dfs(n) {
+				return true
+			}
+		}
+		return false
+	}
+	dfs(s)
+	return out
+}
+
+// RouteLocations returns the set of locations appearing on at least one
+// simple route from src to dst, in node order. This implements the
+// paper's all_route_from location operator (Example 3: all_route_from(
+// SCE.GO) applied to base location CAIS returns every location on routes
+// from SCE.GO to CAIS).
+//
+// A vertex v lies on some simple s–d path iff v's biconnected component
+// lies on the block-cut-tree path between s and d (a consequence of
+// Menger's theorem), so the computation is linear in the graph size
+// rather than enumerating the possibly exponential route set.
+func (f *Flat) RouteLocations(src, dst ID) []ID {
+	s, ok := f.Index[src]
+	if !ok {
+		return nil
+	}
+	d, ok := f.Index[dst]
+	if !ok {
+		return nil
+	}
+	if s == d {
+		return []ID{src}
+	}
+	include := f.onSomePath(s, d)
+	var out []ID
+	for i, in := range include {
+		if in {
+			out = append(out, f.Nodes[i])
+		}
+	}
+	return out
+}
+
+// onSomePath marks every node lying on at least one simple s–d path.
+func (f *Flat) onSomePath(s, d int) []bool {
+	n := len(f.Nodes)
+	include := make([]bool, n)
+	comps := f.biconnected()
+	// Which components contain each vertex (cut vertices appear in >1).
+	vertexComps := make([][]int, n)
+	for ci, comp := range comps {
+		for v := range comp {
+			vertexComps[v] = append(vertexComps[v], ci)
+		}
+	}
+	// Components sharing a vertex are adjacent in the block graph; the
+	// block graph of a connected graph is acyclic across distinct cut
+	// vertices, so the BFS path below visits exactly the blocks on the
+	// unique block-tree path.
+	compAdj := make(map[int][]int)
+	for v := 0; v < n; v++ {
+		cs := vertexComps[v]
+		for i := 0; i < len(cs); i++ {
+			for j := i + 1; j < len(cs); j++ {
+				compAdj[cs[i]] = append(compAdj[cs[i]], cs[j])
+				compAdj[cs[j]] = append(compAdj[cs[j]], cs[i])
+			}
+		}
+	}
+	dstSet := map[int]bool{}
+	for _, c := range vertexComps[d] {
+		dstSet[c] = true
+	}
+	prev := map[int]int{}
+	var queue []int
+	for _, c := range vertexComps[s] {
+		prev[c] = c
+		queue = append(queue, c)
+	}
+	hit := -1
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if dstSet[cur] {
+			hit = cur
+			break
+		}
+		for _, nx := range compAdj[cur] {
+			if _, seen := prev[nx]; !seen {
+				prev[nx] = cur
+				queue = append(queue, nx)
+			}
+		}
+	}
+	if hit < 0 {
+		return include // s and d disconnected: no route at all
+	}
+	for cur := hit; ; cur = prev[cur] {
+		for v := range comps[cur] {
+			include[v] = true
+		}
+		if prev[cur] == cur {
+			break
+		}
+	}
+	include[s], include[d] = true, true
+	return include
+}
+
+// biconnected returns the biconnected components of the flat graph as
+// vertex sets, via an iterative Hopcroft–Tarjan so deep corridor graphs
+// cannot overflow the goroutine stack.
+func (f *Flat) biconnected() []map[int]bool {
+	n := len(f.Nodes)
+	disc := make([]int, n)
+	low := make([]int, n)
+	for i := range disc {
+		disc[i] = -1
+	}
+	var comps []map[int]bool
+	type stackEdge struct{ u, v int }
+	var edgeStack []stackEdge
+	timer := 0
+
+	popComponent := func(u, v int) {
+		comp := map[int]bool{}
+		for len(edgeStack) > 0 {
+			e := edgeStack[len(edgeStack)-1]
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			comp[e.u], comp[e.v] = true, true
+			if e.u == u && e.v == v {
+				break
+			}
+		}
+		if len(comp) > 0 {
+			comps = append(comps, comp)
+		}
+	}
+
+	type frame struct{ v, parent, idx int }
+	for root := 0; root < n; root++ {
+		if disc[root] != -1 {
+			continue
+		}
+		if len(f.Adj[root]) == 0 {
+			disc[root] = timer
+			timer++
+			comps = append(comps, map[int]bool{root: true})
+			continue
+		}
+		disc[root], low[root] = timer, timer
+		timer++
+		stack := []frame{{v: root, parent: -1}}
+		for len(stack) > 0 {
+			fr := &stack[len(stack)-1]
+			if fr.idx < len(f.Adj[fr.v]) {
+				w := f.Adj[fr.v][fr.idx]
+				fr.idx++
+				switch {
+				case w == fr.parent:
+					// Skip the tree edge back to the parent.
+				case disc[w] == -1:
+					edgeStack = append(edgeStack, stackEdge{fr.v, w})
+					disc[w], low[w] = timer, timer
+					timer++
+					stack = append(stack, frame{v: w, parent: fr.v})
+				case disc[w] < disc[fr.v]:
+					edgeStack = append(edgeStack, stackEdge{fr.v, w})
+					if disc[w] < low[fr.v] {
+						low[fr.v] = disc[w]
+					}
+				}
+				continue
+			}
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			parent := &stack[len(stack)-1]
+			if low[fr.v] < low[parent.v] {
+				low[parent.v] = low[fr.v]
+			}
+			if low[fr.v] >= disc[parent.v] {
+				popComponent(parent.v, fr.v)
+			}
+		}
+	}
+	return comps
+}
+
+// ValidateRoute returns a descriptive error when r is not a complex route
+// of root, and nil when it is.
+func ValidateRoute(root *Graph, r Route) error {
+	if len(r) == 0 {
+		return fmt.Errorf("graph: empty route")
+	}
+	f := Expand(root)
+	for _, id := range r {
+		if _, ok := f.Index[id]; !ok {
+			return fmt.Errorf("graph: route location %q is not a primitive location of %q", id, root.Name())
+		}
+	}
+	for i := 0; i+1 < len(r); i++ {
+		if !f.HasEdge(r[i], r[i+1]) {
+			return fmt.Errorf("graph: no direct connection from %q to %q", r[i], r[i+1])
+		}
+	}
+	return nil
+}

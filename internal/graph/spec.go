@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Spec is the serialisable description of a (multilevel) location graph,
+// used by the storage engine, the wire protocol, and configuration files.
+type Spec struct {
+	Name       ID      `json:"name"`
+	Primitives []ID    `json:"primitives,omitempty"`
+	Composites []Spec  `json:"composites,omitempty"`
+	Edges      [][2]ID `json:"edges,omitempty"`
+	// Entries are the paper-default entry locations (enter and exit);
+	// EntryOnly and ExitOnly carry the separate-treatment extension.
+	Entries   []ID `json:"entries,omitempty"`
+	EntryOnly []ID `json:"entry_only,omitempty"`
+	ExitOnly  []ID `json:"exit_only,omitempty"`
+}
+
+// ToSpec converts a built graph into its serialisable form.
+func ToSpec(g *Graph) Spec {
+	s := Spec{Name: g.name}
+	for _, id := range g.order {
+		n := g.nodes[id]
+		if n.child == nil {
+			s.Primitives = append(s.Primitives, id)
+		} else {
+			s.Composites = append(s.Composites, ToSpec(n.child))
+		}
+	}
+	s.Edges = g.Edges()
+	s.Entries = g.entriesExact(kindEntry | kindExit)
+	s.EntryOnly = g.entriesExact(kindEntry)
+	s.ExitOnly = g.entriesExact(kindExit)
+	return s
+}
+
+// FromSpec rebuilds a graph from its serialisable form and validates it.
+func FromSpec(s Spec) (*Graph, error) {
+	g, err := fromSpec(s)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func fromSpec(s Spec) (*Graph, error) {
+	if s.Name == "" {
+		return nil, fmt.Errorf("graph: spec has no name")
+	}
+	g := New(s.Name)
+	for _, p := range s.Primitives {
+		if err := g.AddLocation(p); err != nil {
+			return nil, err
+		}
+	}
+	for _, cs := range s.Composites {
+		child, err := fromSpec(cs)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.AddComposite(child); err != nil {
+			return nil, err
+		}
+	}
+	for _, e := range s.Edges {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.SetEntry(s.Entries...); err != nil {
+		return nil, err
+	}
+	if err := g.SetEntryOnly(s.EntryOnly...); err != nil {
+		return nil, err
+	}
+	if err := g.SetExitOnly(s.ExitOnly...); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// MarshalGraph encodes the graph as canonical JSON.
+func MarshalGraph(g *Graph) ([]byte, error) {
+	return json.Marshal(ToSpec(g))
+}
+
+// UnmarshalGraph decodes a graph from JSON produced by MarshalGraph and
+// validates it.
+func UnmarshalGraph(data []byte) (*Graph, error) {
+	var s Spec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("graph: decode: %w", err)
+	}
+	return FromSpec(s)
+}

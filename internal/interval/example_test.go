@@ -1,0 +1,37 @@
+package interval_test
+
+import (
+	"fmt"
+
+	"repro/internal/interval"
+)
+
+// ExampleInterval_Intersect shows the paper's INTERSECTION operator
+// semantics from Example 2: INTERSECTION([10, 30]) applied to the base
+// entry duration [5, 20] yields [10, 20].
+func ExampleInterval_Intersect() {
+	base := interval.MustParse("[5, 20]")
+	with := interval.MustParse("[10, 30]")
+	fmt.Println(base.Intersect(with))
+	// Output:
+	// [10, 20]
+}
+
+// ExampleWheneverNot shows the WHENEVERNOT rule operator: for a rule
+// valid from tr = 3, the complement of [10, 20] is [3, 9] ∪ [21, ∞].
+func ExampleWheneverNot() {
+	op := interval.WheneverNot{}
+	fmt.Println(op.Apply(interval.MustParse("[10, 20]"), 3))
+	// Output:
+	// [3, 9] ∪ [21, inf]
+}
+
+// ExampleSet_Union shows interval sets staying normalised: overlapping
+// and adjacent intervals coalesce into maximal runs of chronons.
+func ExampleSet_Union() {
+	a := interval.MustParseSet("[1, 5] ∪ [20, 30]")
+	b := interval.MustParseSet("[6, 10]")
+	fmt.Println(a.Union(b))
+	// Output:
+	// [1, 10] ∪ [20, 30]
+}

@@ -1,0 +1,291 @@
+// Package interval implements the LTAM time model: chronons, closed time
+// intervals, and normalised interval sets, together with the temporal
+// operators used by authorization rules (WHENEVER, WHENEVERNOT, UNION,
+// INTERSECTION).
+//
+// Time in LTAM (Yu & Lim, SDM 2004, §3.1) is discrete: a time unit is a
+// chronon or a fixed number of chronons, and a time interval is a set of
+// consecutive time units. All intervals are closed on both ends, exactly as
+// written in the paper ([t0, t1] includes both t0 and t1). The right
+// endpoint may be Inf, standing for the paper's ∞.
+package interval
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Time is a point on the discrete LTAM time line, measured in chronons.
+type Time int64
+
+// Inf is the distinguished "∞" time used for unbounded interval ends.
+// It compares greater than every finite Time.
+const Inf Time = math.MaxInt64
+
+// MinTime is the smallest representable time. It exists so that
+// WHENEVERNOT and complement operations have a well-defined left edge when
+// no rule-validity time is supplied.
+const MinTime Time = math.MinInt64 / 2
+
+// IsInf reports whether t is the infinite time.
+func (t Time) IsInf() bool { return t == Inf }
+
+// String renders the time, using "inf" for the infinite time.
+func (t Time) String() string {
+	if t.IsInf() {
+		return "inf"
+	}
+	return strconv.FormatInt(int64(t), 10)
+}
+
+// Add returns t+d, saturating at Inf so that arithmetic on unbounded
+// windows never wraps around.
+func (t Time) Add(d Time) Time {
+	if t.IsInf() || d.IsInf() {
+		return Inf
+	}
+	s := int64(t) + int64(d)
+	// Saturate on overflow in either direction.
+	if (d > 0 && s < int64(t)) || s >= int64(Inf) {
+		return Inf
+	}
+	if d < 0 && s > int64(t) {
+		return MinTime
+	}
+	return Time(s)
+}
+
+// Max returns the later of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Min returns the earlier of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Interval is a closed interval [Start, End] of chronons. The zero value is
+// the empty interval (it has Start > End is false for [0,0]; use Empty for
+// an explicitly empty value).
+//
+// An Interval is valid when Start <= End. End may be Inf for an unbounded
+// window; Start must be finite.
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// Empty is the canonical empty ("null" in the paper) interval.
+var Empty = Interval{Start: 1, End: 0}
+
+// New returns the interval [start, end]. It panics if start is infinite;
+// an inverted pair yields the canonical Empty interval, matching the
+// paper's convention that max/min constructions produce "null" when the
+// operands do not overlap.
+func New(start, end Time) Interval {
+	if start.IsInf() {
+		panic("interval: start must be finite")
+	}
+	if start > end {
+		return Empty
+	}
+	return Interval{Start: start, End: end}
+}
+
+// From returns the unbounded interval [start, ∞].
+func From(start Time) Interval { return New(start, Inf) }
+
+// Point returns the single-chronon interval [t, t].
+func Point(t Time) Interval { return New(t, t) }
+
+// IsEmpty reports whether iv denotes the null interval.
+func (iv Interval) IsEmpty() bool { return iv.Start > iv.End }
+
+// IsUnbounded reports whether the interval extends to ∞.
+func (iv Interval) IsUnbounded() bool { return !iv.IsEmpty() && iv.End.IsInf() }
+
+// Contains reports whether t lies inside the closed interval.
+func (iv Interval) Contains(t Time) bool {
+	return !iv.IsEmpty() && iv.Start <= t && t <= iv.End
+}
+
+// ContainsInterval reports whether other lies entirely within iv.
+func (iv Interval) ContainsInterval(other Interval) bool {
+	if other.IsEmpty() {
+		return true
+	}
+	return !iv.IsEmpty() && iv.Start <= other.Start && other.End <= iv.End
+}
+
+// Overlaps reports whether the two closed intervals share at least one
+// chronon.
+func (iv Interval) Overlaps(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return false
+	}
+	return iv.Start <= other.End && other.Start <= iv.End
+}
+
+// Adjacent reports whether the two intervals are disjoint but touch, i.e.
+// their union is a single run of consecutive chronons.
+func (iv Interval) Adjacent(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() || iv.Overlaps(other) {
+		return false
+	}
+	if iv.End < other.Start {
+		return !iv.End.IsInf() && iv.End+1 == other.Start
+	}
+	return !other.End.IsInf() && other.End+1 == iv.Start
+}
+
+// Intersect returns the overlap of the two intervals, which is the paper's
+// binary INTERSECTION operator: for [t0,t1] and [t2,t3] with t2 <= t1 it
+// returns [t2,t1] (generalised to [max(t0,t2), min(t1,t3)]), otherwise the
+// null interval.
+func (iv Interval) Intersect(other Interval) Interval {
+	if !iv.Overlaps(other) {
+		return Empty
+	}
+	return Interval{Start: Max(iv.Start, other.Start), End: Min(iv.End, other.End)}
+}
+
+// Hull returns the smallest single interval covering both operands.
+func (iv Interval) Hull(other Interval) Interval {
+	if iv.IsEmpty() {
+		return other
+	}
+	if other.IsEmpty() {
+		return iv
+	}
+	return Interval{Start: Min(iv.Start, other.Start), End: Max(iv.End, other.End)}
+}
+
+// Union implements the paper's binary UNION operator: given [t0,t1] and
+// [t2,t3] (with t0 <= t2 after ordering), it returns a single interval
+// [t0,t3] when t2 <= t1 (they overlap), and the two original intervals
+// otherwise. Touching-but-disjoint intervals are also coalesced, since a
+// set of consecutive time units is one interval by the paper's definition.
+func (iv Interval) Union(other Interval) []Interval {
+	switch {
+	case iv.IsEmpty() && other.IsEmpty():
+		return nil
+	case iv.IsEmpty():
+		return []Interval{other}
+	case other.IsEmpty():
+		return []Interval{iv}
+	}
+	a, b := iv, other
+	if b.Start < a.Start {
+		a, b = b, a
+	}
+	if a.Overlaps(b) || a.Adjacent(b) {
+		return []Interval{a.Hull(b)}
+	}
+	return []Interval{a, b}
+}
+
+// Size returns the number of chronons in the interval, or -1 when the
+// interval is unbounded. The empty interval has size 0. This is the
+// paper's "size of the time interval".
+func (iv Interval) Size() int64 {
+	if iv.IsEmpty() {
+		return 0
+	}
+	if iv.IsUnbounded() {
+		return -1
+	}
+	return int64(iv.End-iv.Start) + 1
+}
+
+// Clamp restricts the interval to the window w, returning the intersection.
+func (iv Interval) Clamp(w Interval) Interval { return iv.Intersect(w) }
+
+// Shift translates the interval by d chronons, saturating at Inf.
+func (iv Interval) Shift(d Time) Interval {
+	if iv.IsEmpty() {
+		return Empty
+	}
+	return Interval{Start: iv.Start.Add(d), End: iv.End.Add(d)}
+}
+
+// Equal reports whether the two intervals denote the same set of chronons.
+// All empty intervals are equal.
+func (iv Interval) Equal(other Interval) bool {
+	if iv.IsEmpty() || other.IsEmpty() {
+		return iv.IsEmpty() && other.IsEmpty()
+	}
+	return iv.Start == other.Start && iv.End == other.End
+}
+
+// String renders the interval in the paper's notation, e.g. "[5, 40]" or
+// "[10, inf]"; the empty interval renders as "null".
+func (iv Interval) String() string {
+	if iv.IsEmpty() {
+		return "null"
+	}
+	return fmt.Sprintf("[%s, %s]", iv.Start, iv.End)
+}
+
+// Parse parses the paper's interval notation: "[a, b]", "[a, inf]", or
+// "null". Whitespace around the endpoints is ignored.
+func Parse(s string) (Interval, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "null") || s == "" || s == "φ" {
+		return Empty, nil
+	}
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return Empty, fmt.Errorf("interval: %q is not of the form [a, b]", s)
+	}
+	body := s[1 : len(s)-1]
+	parts := strings.Split(body, ",")
+	if len(parts) != 2 {
+		return Empty, fmt.Errorf("interval: %q must have exactly two endpoints", s)
+	}
+	start, err := parseTime(parts[0])
+	if err != nil {
+		return Empty, fmt.Errorf("interval %q: %w", s, err)
+	}
+	end, err := parseTime(parts[1])
+	if err != nil {
+		return Empty, fmt.Errorf("interval %q: %w", s, err)
+	}
+	if start.IsInf() {
+		return Empty, fmt.Errorf("interval %q: start may not be inf", s)
+	}
+	if start > end {
+		return Empty, fmt.Errorf("interval %q: start exceeds end", s)
+	}
+	return Interval{Start: start, End: end}, nil
+}
+
+// MustParse is Parse, panicking on malformed input. It is intended for
+// tests and fixtures transcribed from the paper.
+func MustParse(s string) Interval {
+	iv, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return iv
+}
+
+func parseTime(s string) (Time, error) {
+	s = strings.TrimSpace(s)
+	switch strings.ToLower(s) {
+	case "inf", "∞", "+inf":
+		return Inf, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad time %q", s)
+	}
+	return Time(v), nil
+}

@@ -1,0 +1,294 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	if got := Time(42).String(); got != "42" {
+		t.Errorf("Time(42).String() = %q, want 42", got)
+	}
+	if got := Inf.String(); got != "inf" {
+		t.Errorf("Inf.String() = %q, want inf", got)
+	}
+	if got := Time(-7).String(); got != "-7" {
+		t.Errorf("Time(-7).String() = %q", got)
+	}
+}
+
+func TestTimeAddSaturation(t *testing.T) {
+	if got := Inf.Add(5); got != Inf {
+		t.Errorf("Inf.Add(5) = %v, want Inf", got)
+	}
+	if got := Time(5).Add(Inf); got != Inf {
+		t.Errorf("5.Add(Inf) = %v, want Inf", got)
+	}
+	if got := Time(10).Add(-3); got != 7 {
+		t.Errorf("10.Add(-3) = %v, want 7", got)
+	}
+	if got := Time(Inf - 1).Add(100); got != Inf {
+		t.Errorf("near-max add should saturate to Inf, got %v", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(3, 9) != 9 || Max(9, 3) != 9 {
+		t.Error("Max broken")
+	}
+	if Min(3, 9) != 3 || Min(9, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(5, Inf) != Inf || Min(5, Inf) != 5 {
+		t.Error("Min/Max vs Inf broken")
+	}
+}
+
+func TestNewInverted(t *testing.T) {
+	iv := New(10, 5)
+	if !iv.IsEmpty() {
+		t.Errorf("New(10,5) should be empty, got %v", iv)
+	}
+}
+
+func TestNewPanicsOnInfStart(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(Inf, Inf) should panic")
+		}
+	}()
+	New(Inf, Inf)
+}
+
+func TestContains(t *testing.T) {
+	iv := New(5, 40)
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{{4, false}, {5, true}, {20, true}, {40, true}, {41, false}} {
+		if got := iv.Contains(tc.t); got != tc.want {
+			t.Errorf("[5,40].Contains(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+	if Empty.Contains(0) {
+		t.Error("Empty must contain nothing")
+	}
+	if !From(10).Contains(Inf) {
+		t.Error("[10,inf] should contain Inf")
+	}
+}
+
+func TestOverlapsAndIntersect(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want string
+	}{
+		{"[0, 10]", "[5, 15]", "[5, 10]"},
+		{"[0, 10]", "[10, 20]", "[10, 10]"},
+		{"[0, 10]", "[11, 20]", "null"},
+		{"[5, 20]", "[10, 30]", "[10, 20]"}, // paper Example 2
+		{"[0, inf]", "[7, 9]", "[7, 9]"},
+		{"null", "[1, 2]", "null"},
+	}
+	for _, tc := range cases {
+		a, b := MustParse(tc.a), MustParse(tc.b)
+		got := a.Intersect(b)
+		if got.String() != tc.want {
+			t.Errorf("%s ∩ %s = %s, want %s", tc.a, tc.b, got, tc.want)
+		}
+		if got2 := b.Intersect(a); !got.Equal(got2) {
+			t.Errorf("Intersect not commutative for %s, %s", tc.a, tc.b)
+		}
+		if a.Overlaps(b) != (tc.want != "null") {
+			t.Errorf("Overlaps(%s, %s) inconsistent with Intersect", tc.a, tc.b)
+		}
+	}
+}
+
+func TestUnionPaperSemantics(t *testing.T) {
+	// UNION returns [t0,t3] if t2 <= t1; or both intervals if t2 > t1.
+	got := MustParse("[0, 10]").Union(MustParse("[5, 20]"))
+	if len(got) != 1 || !got[0].Equal(MustParse("[0, 20]")) {
+		t.Errorf("overlapping UNION = %v, want [[0,20]]", got)
+	}
+	got = MustParse("[0, 10]").Union(MustParse("[20, 30]"))
+	if len(got) != 2 {
+		t.Fatalf("disjoint UNION = %v, want two intervals", got)
+	}
+	if !got[0].Equal(MustParse("[0, 10]")) || !got[1].Equal(MustParse("[20, 30]")) {
+		t.Errorf("disjoint UNION = %v", got)
+	}
+	// Touching intervals form one run of consecutive chronons.
+	got = MustParse("[0, 10]").Union(MustParse("[11, 30]"))
+	if len(got) != 1 || !got[0].Equal(MustParse("[0, 30]")) {
+		t.Errorf("adjacent UNION = %v, want [[0,30]]", got)
+	}
+	// Order independence.
+	got = MustParse("[20, 30]").Union(MustParse("[0, 10]"))
+	if len(got) != 2 || !got[0].Equal(MustParse("[0, 10]")) {
+		t.Errorf("UNION should order results, got %v", got)
+	}
+}
+
+func TestAdjacent(t *testing.T) {
+	if !MustParse("[0, 10]").Adjacent(MustParse("[11, 12]")) {
+		t.Error("[0,10] and [11,12] are adjacent")
+	}
+	if MustParse("[0, 10]").Adjacent(MustParse("[12, 13]")) {
+		t.Error("[0,10] and [12,13] are not adjacent")
+	}
+	if MustParse("[0, 10]").Adjacent(MustParse("[5, 13]")) {
+		t.Error("overlapping intervals are not adjacent")
+	}
+	if !MustParse("[11, 12]").Adjacent(MustParse("[0, 10]")) {
+		t.Error("Adjacent must be symmetric")
+	}
+	if From(0).Adjacent(MustParse("[5, 6]")) {
+		t.Error("unbounded interval overlapping cannot be adjacent")
+	}
+}
+
+func TestSize(t *testing.T) {
+	if got := MustParse("[5, 40]").Size(); got != 36 {
+		t.Errorf("[5,40].Size() = %d, want 36", got)
+	}
+	if got := Point(9).Size(); got != 1 {
+		t.Errorf("point size = %d, want 1", got)
+	}
+	if got := Empty.Size(); got != 0 {
+		t.Errorf("empty size = %d, want 0", got)
+	}
+	if got := From(0).Size(); got != -1 {
+		t.Errorf("unbounded size = %d, want -1", got)
+	}
+}
+
+func TestHull(t *testing.T) {
+	if got := MustParse("[0, 5]").Hull(MustParse("[20, 30]")); !got.Equal(MustParse("[0, 30]")) {
+		t.Errorf("hull = %v", got)
+	}
+	if got := Empty.Hull(MustParse("[1, 2]")); !got.Equal(MustParse("[1, 2]")) {
+		t.Errorf("hull with empty = %v", got)
+	}
+}
+
+func TestShift(t *testing.T) {
+	if got := MustParse("[5, 10]").Shift(3); !got.Equal(MustParse("[8, 13]")) {
+		t.Errorf("shift = %v", got)
+	}
+	if got := From(5).Shift(3); !got.Equal(From(8)) {
+		t.Errorf("shift unbounded = %v", got)
+	}
+	if !Empty.Shift(3).IsEmpty() {
+		t.Error("shift of empty should stay empty")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{"[5, 40]", "[0, 0]", "[10, inf]", "null"} {
+		iv := MustParse(s)
+		if iv.String() != s {
+			t.Errorf("round trip %q -> %q", s, iv.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"[5]", "5, 40", "[a, b]", "[inf, 5]", "[40, 5]", "[1, 2, 3]"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestContainsInterval(t *testing.T) {
+	iv := MustParse("[10, 50]")
+	if !iv.ContainsInterval(MustParse("[10, 50]")) || !iv.ContainsInterval(MustParse("[20, 30]")) {
+		t.Error("containment of sub-intervals broken")
+	}
+	if iv.ContainsInterval(MustParse("[5, 20]")) || iv.ContainsInterval(MustParse("[40, 60]")) {
+		t.Error("partial overlap must not count as containment")
+	}
+	if !iv.ContainsInterval(Empty) {
+		t.Error("every interval contains the empty interval")
+	}
+}
+
+// genInterval produces a random small interval (possibly empty or unbounded)
+// for property tests.
+func genInterval(r *rand.Rand) Interval {
+	switch r.Intn(10) {
+	case 0:
+		return Empty
+	case 1:
+		return From(Time(r.Intn(100)))
+	default:
+		a, b := Time(r.Intn(100)), Time(r.Intn(100))
+		if a > b {
+			a, b = b, a
+		}
+		return New(a, b)
+	}
+}
+
+func TestPropIntersectCommutesAndShrinks(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		a, b := genInterval(r), genInterval(r)
+		x, y := a.Intersect(b), b.Intersect(a)
+		if !x.Equal(y) {
+			t.Fatalf("intersect not commutative: %v vs %v", x, y)
+		}
+		if !x.IsEmpty() && (!a.ContainsInterval(x) || !b.ContainsInterval(x)) {
+			t.Fatalf("%v ∩ %v = %v escapes operands", a, b, x)
+		}
+	}
+}
+
+func TestPropUnionCoversOperands(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a, b := genInterval(r), genInterval(r)
+		parts := a.Union(b)
+		s := NewSet(parts...)
+		for _, op := range []Interval{a, b} {
+			if !op.IsEmpty() && !s.ContainsInterval(op) {
+				t.Fatalf("union %v of %v,%v misses an operand", parts, a, b)
+			}
+		}
+		// Union never produces more than two pieces and never overlapping.
+		if len(parts) > 2 {
+			t.Fatalf("union produced %d pieces", len(parts))
+		}
+		if len(parts) == 2 && (parts[0].Overlaps(parts[1]) || parts[0].Adjacent(parts[1])) {
+			t.Fatalf("union pieces should be disjoint and separated: %v", parts)
+		}
+	}
+}
+
+func TestPropQuickIntersectAssoc(t *testing.T) {
+	f := func(a0, a1, b0, b1, c0, c1 uint8) bool {
+		a := New(Time(min8(a0, a1)), Time(max8(a0, a1)))
+		b := New(Time(min8(b0, b1)), Time(max8(b0, b1)))
+		c := New(Time(min8(c0, c1)), Time(max8(c0, c1)))
+		return a.Intersect(b).Intersect(c).Equal(a.Intersect(b.Intersect(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func min8(a, b uint8) uint8 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max8(a, b uint8) uint8 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,122 @@
+package interval
+
+import "fmt"
+
+// TemporalOp is one of the paper's temporal operators (Def. 5). An operator
+// maps the base authorization's entry or exit duration to the duration(s)
+// of the derived authorizations. validFrom is the rule's validity time tr,
+// which WHENEVERNOT needs as the left edge of the complement.
+type TemporalOp interface {
+	// Apply maps the base interval to the derived interval set.
+	Apply(base Interval, validFrom Time) Set
+	// String renders the operator in the paper's notation, e.g.
+	// "WHENEVER" or "INTERSECTION([10, 30])".
+	String() string
+}
+
+// Whenever is the paper's unary WHENEVER operator: it returns the same time
+// interval as the input.
+type Whenever struct{}
+
+// Apply implements TemporalOp.
+func (Whenever) Apply(base Interval, _ Time) Set { return NewSet(base) }
+
+func (Whenever) String() string { return "WHENEVER" }
+
+// WheneverNot is the paper's unary WHENEVERNOT operator: given the input
+// interval [t0, t1] and a rule valid from tr, it returns [tr, t0-1] and
+// [t1+1, ∞]. When the base interval is empty the whole window [tr, ∞] is
+// returned; when the base is unbounded only the left piece can exist.
+type WheneverNot struct{}
+
+// Apply implements TemporalOp.
+func (WheneverNot) Apply(base Interval, validFrom Time) Set {
+	universe := From(validFrom)
+	return NewSet(base).Complement(universe)
+}
+
+func (WheneverNot) String() string { return "WHENEVERNOT" }
+
+// UnionOp is the paper's binary UNION operator partially applied to its
+// second operand: UNION(With) applied to base [t0,t1] returns [t0,t3] when
+// the operands overlap or touch, and both intervals otherwise.
+type UnionOp struct {
+	With Interval
+}
+
+// Apply implements TemporalOp.
+func (op UnionOp) Apply(base Interval, _ Time) Set {
+	return NewSet(base.Union(op.With)...)
+}
+
+func (op UnionOp) String() string { return fmt.Sprintf("UNION(%s)", op.With) }
+
+// IntersectionOp is the paper's binary INTERSECTION operator partially
+// applied to its second operand: INTERSECTION(With) applied to base
+// [t0,t1] returns [t2,t1] when t2 <= t1 and NULL otherwise (Example 2 of
+// the paper: INTERSECTION([10,30]) on [5,20] yields [10,20]).
+type IntersectionOp struct {
+	With Interval
+}
+
+// Apply implements TemporalOp.
+func (op IntersectionOp) Apply(base Interval, _ Time) Set {
+	return NewSet(base.Intersect(op.With))
+}
+
+func (op IntersectionOp) String() string { return fmt.Sprintf("INTERSECTION(%s)", op.With) }
+
+// TemporalFunc adapts an ordinary function to the TemporalOp interface,
+// enabling the "customized operators" the paper allows beyond the built-in
+// four.
+type TemporalFunc struct {
+	Name string
+	Fn   func(base Interval, validFrom Time) Set
+}
+
+// Apply implements TemporalOp.
+func (f TemporalFunc) Apply(base Interval, validFrom Time) Set { return f.Fn(base, validFrom) }
+
+func (f TemporalFunc) String() string {
+	if f.Name == "" {
+		return "CUSTOM"
+	}
+	return f.Name
+}
+
+// ParseTemporalOp parses the operator notation used in the paper's rule
+// examples: WHENEVER, WHENEVERNOT, UNION([a, b]), INTERSECTION([a, b]).
+func ParseTemporalOp(s string) (TemporalOp, error) {
+	switch {
+	case s == "WHENEVER":
+		return Whenever{}, nil
+	case s == "WHENEVERNOT":
+		return WheneverNot{}, nil
+	}
+	var name, arg string
+	if i := indexByte(s, '('); i >= 0 && s[len(s)-1] == ')' {
+		name, arg = s[:i], s[i+1:len(s)-1]
+	} else {
+		return nil, fmt.Errorf("interval: unknown temporal operator %q", s)
+	}
+	iv, err := Parse(arg)
+	if err != nil {
+		return nil, fmt.Errorf("interval: operator %s: %w", name, err)
+	}
+	switch name {
+	case "UNION":
+		return UnionOp{With: iv}, nil
+	case "INTERSECTION":
+		return IntersectionOp{With: iv}, nil
+	}
+	return nil, fmt.Errorf("interval: unknown temporal operator %q", name)
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}

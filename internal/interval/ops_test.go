@@ -1,0 +1,120 @@
+package interval
+
+import "testing"
+
+func TestWhenever(t *testing.T) {
+	base := MustParse("[5, 20]")
+	got := Whenever{}.Apply(base, 0)
+	if !got.Equal(NewSet(base)) {
+		t.Errorf("WHENEVER = %v, want %v", got, base)
+	}
+	if (Whenever{}).String() != "WHENEVER" {
+		t.Error("bad name")
+	}
+}
+
+func TestWheneverNot(t *testing.T) {
+	// Paper Def. 5: WHENEVERNOT on [t0, t1] returns [tr, t0-1] and [t1+1, ∞].
+	got := WheneverNot{}.Apply(MustParse("[10, 20]"), 3)
+	if got.String() != "[3, 9] ∪ [21, inf]" {
+		t.Errorf("WHENEVERNOT = %s", got)
+	}
+	// Rule validity after the interval start: left piece shrinks.
+	got = WheneverNot{}.Apply(MustParse("[10, 20]"), 15)
+	if got.String() != "[21, inf]" {
+		t.Errorf("WHENEVERNOT mid = %s", got)
+	}
+	// Empty base: everything from tr on.
+	got = WheneverNot{}.Apply(Empty, 4)
+	if got.String() != "[4, inf]" {
+		t.Errorf("WHENEVERNOT empty = %s", got)
+	}
+	// Unbounded base: only the left piece.
+	got = WheneverNot{}.Apply(From(10), 0)
+	if got.String() != "[0, 9]" {
+		t.Errorf("WHENEVERNOT unbounded = %s", got)
+	}
+}
+
+func TestUnionOp(t *testing.T) {
+	op := UnionOp{With: MustParse("[25, 40]")}
+	got := op.Apply(MustParse("[5, 20]"), 0)
+	if got.String() != "[5, 20] ∪ [25, 40]" {
+		t.Errorf("UNION disjoint = %s", got)
+	}
+	op = UnionOp{With: MustParse("[15, 40]")}
+	got = op.Apply(MustParse("[5, 20]"), 0)
+	if got.String() != "[5, 40]" {
+		t.Errorf("UNION overlap = %s", got)
+	}
+	if op.String() != "UNION([15, 40])" {
+		t.Errorf("bad string %s", op)
+	}
+}
+
+func TestIntersectionOpPaperExample2(t *testing.T) {
+	// r2 uses INTERSECTION([10, 30]) on entry [5, 20] and derives [10, 20].
+	op := IntersectionOp{With: MustParse("[10, 30]")}
+	got := op.Apply(MustParse("[5, 20]"), 7)
+	if got.String() != "[10, 20]" {
+		t.Errorf("INTERSECTION = %s, want [10, 20]", got)
+	}
+	// Disjoint operands yield NULL.
+	got = op.Apply(MustParse("[40, 50]"), 7)
+	if !got.IsEmpty() {
+		t.Errorf("disjoint INTERSECTION = %s, want null", got)
+	}
+	if op.String() != "INTERSECTION([10, 30])" {
+		t.Errorf("bad string %s", op)
+	}
+}
+
+func TestTemporalFunc(t *testing.T) {
+	shift := TemporalFunc{
+		Name: "SHIFT(5)",
+		Fn:   func(base Interval, _ Time) Set { return NewSet(base.Shift(5)) },
+	}
+	got := shift.Apply(MustParse("[0, 10]"), 0)
+	if got.String() != "[5, 15]" {
+		t.Errorf("custom op = %s", got)
+	}
+	if shift.String() != "SHIFT(5)" {
+		t.Error("custom op name")
+	}
+	anon := TemporalFunc{Fn: func(base Interval, _ Time) Set { return NewSet(base) }}
+	if anon.String() != "CUSTOM" {
+		t.Error("anonymous custom op should render as CUSTOM")
+	}
+}
+
+func TestParseTemporalOp(t *testing.T) {
+	cases := map[string]string{
+		"WHENEVER":               "WHENEVER",
+		"WHENEVERNOT":            "WHENEVERNOT",
+		"UNION([1, 2])":          "UNION([1, 2])",
+		"INTERSECTION([10, 30])": "INTERSECTION([10, 30])",
+	}
+	for in, want := range cases {
+		op, err := ParseTemporalOp(in)
+		if err != nil {
+			t.Fatalf("ParseTemporalOp(%q): %v", in, err)
+		}
+		if op.String() != want {
+			t.Errorf("ParseTemporalOp(%q) = %s, want %s", in, op, want)
+		}
+	}
+	for _, bad := range []string{"FOO", "UNION(", "UNION([a,b])", "NOPE([1, 2])", "whenever"} {
+		if _, err := ParseTemporalOp(bad); err == nil {
+			t.Errorf("ParseTemporalOp(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParsedOpsBehaveLikeConstructed(t *testing.T) {
+	base := MustParse("[5, 20]")
+	p, _ := ParseTemporalOp("INTERSECTION([10, 30])")
+	c := IntersectionOp{With: MustParse("[10, 30]")}
+	if !p.Apply(base, 7).Equal(c.Apply(base, 7)) {
+		t.Error("parsed and constructed operators disagree")
+	}
+}

@@ -1,0 +1,304 @@
+package interval
+
+import (
+	"sort"
+	"strings"
+)
+
+// Set is a normalised set of time chronons represented as sorted, disjoint,
+// non-adjacent closed intervals. The zero value is the empty set (the
+// paper's "null"/φ overall grant or departure time).
+//
+// Algorithm 1 of the paper associates a Set-valued overall grant time T^g
+// and overall departure time T^d with every location; the fixpoint
+// termination test compares successive values of T^d, which normalisation
+// makes a cheap structural comparison.
+type Set struct {
+	ivs []Interval
+}
+
+// NewSet builds a normalised set from any collection of intervals; empty
+// intervals are dropped and overlapping or adjacent intervals coalesce.
+func NewSet(ivs ...Interval) Set {
+	var s Set
+	for _, iv := range ivs {
+		s = s.Add(iv)
+	}
+	return s
+}
+
+// SetOf is shorthand for NewSet(New(pairs[0], pairs[1]), ...). It panics if
+// given an odd number of arguments.
+func SetOf(pairs ...Time) Set {
+	if len(pairs)%2 != 0 {
+		panic("interval: SetOf needs an even number of times")
+	}
+	var s Set
+	for i := 0; i < len(pairs); i += 2 {
+		s = s.Add(New(pairs[i], pairs[i+1]))
+	}
+	return s
+}
+
+// IsEmpty reports whether the set contains no chronons.
+func (s Set) IsEmpty() bool { return len(s.ivs) == 0 }
+
+// Len returns the number of maximal intervals in the set.
+func (s Set) Len() int { return len(s.ivs) }
+
+// Intervals returns the maximal intervals in ascending order. The returned
+// slice is a copy and may be mutated freely by the caller.
+func (s Set) Intervals() []Interval {
+	out := make([]Interval, len(s.ivs))
+	copy(out, s.ivs)
+	return out
+}
+
+// At returns the i-th maximal interval.
+func (s Set) At(i int) Interval { return s.ivs[i] }
+
+// Span returns the hull from the earliest to the latest chronon of the set,
+// or the empty interval for the empty set.
+func (s Set) Span() Interval {
+	if s.IsEmpty() {
+		return Empty
+	}
+	return Interval{Start: s.ivs[0].Start, End: s.ivs[len(s.ivs)-1].End}
+}
+
+// Contains reports whether t is in the set.
+func (s Set) Contains(t Time) bool {
+	// Binary search for the first interval with End >= t.
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= t })
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// ContainsInterval reports whether every chronon of iv is in the set.
+// Because the set is normalised, iv must lie within a single maximal
+// interval.
+func (s Set) ContainsInterval(iv Interval) bool {
+	if iv.IsEmpty() {
+		return true
+	}
+	i := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= iv.Start })
+	return i < len(s.ivs) && s.ivs[i].ContainsInterval(iv)
+}
+
+// Add returns the set extended with iv, preserving normalisation.
+func (s Set) Add(iv Interval) Set {
+	if iv.IsEmpty() {
+		return s
+	}
+	if len(s.ivs) == 0 {
+		return Set{ivs: []Interval{iv}}
+	}
+	out := make([]Interval, 0, len(s.ivs)+1)
+	inserted := false
+	for _, cur := range s.ivs {
+		switch {
+		case inserted:
+			out = appendCoalescing(out, cur)
+		case cur.End != Inf && iv.Start > cur.End.Add(1):
+			// cur is entirely before iv with a gap; keep as is.
+			out = append(out, cur)
+		case iv.End != Inf && cur.Start > iv.End.Add(1):
+			// cur is entirely after iv with a gap; emit iv first.
+			out = appendCoalescing(out, iv)
+			out = appendCoalescing(out, cur)
+			inserted = true
+		default:
+			// Overlapping or adjacent: merge into iv and keep scanning.
+			iv = iv.Hull(cur)
+		}
+	}
+	if !inserted {
+		out = appendCoalescing(out, iv)
+	}
+	return Set{ivs: out}
+}
+
+func appendCoalescing(out []Interval, iv Interval) []Interval {
+	if n := len(out); n > 0 {
+		last := out[n-1]
+		if last.Overlaps(iv) || last.Adjacent(iv) {
+			out[n-1] = last.Hull(iv)
+			return out
+		}
+	}
+	return append(out, iv)
+}
+
+// Union returns the set union of s and other.
+func (s Set) Union(other Set) Set {
+	out := s
+	for _, iv := range other.ivs {
+		out = out.Add(iv)
+	}
+	return out
+}
+
+// Intersect returns the set of chronons present in both sets.
+func (s Set) Intersect(other Set) Set {
+	var out Set
+	i, j := 0, 0
+	for i < len(s.ivs) && j < len(other.ivs) {
+		a, b := s.ivs[i], other.ivs[j]
+		if x := a.Intersect(b); !x.IsEmpty() {
+			out = out.Add(x)
+		}
+		if a.End < b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectInterval returns the subset of s lying inside iv.
+func (s Set) IntersectInterval(iv Interval) Set {
+	if iv.IsEmpty() || s.IsEmpty() {
+		return Set{}
+	}
+	var out Set
+	for _, cur := range s.ivs {
+		if cur.Start > iv.End {
+			break
+		}
+		if x := cur.Intersect(iv); !x.IsEmpty() {
+			out = out.Add(x)
+		}
+	}
+	return out
+}
+
+// Subtract returns the chronons of s that are not in other.
+func (s Set) Subtract(other Set) Set {
+	if other.IsEmpty() {
+		return s
+	}
+	var out Set
+	for _, iv := range s.ivs {
+		rem := []Interval{iv}
+		for _, cut := range other.ivs {
+			var next []Interval
+			for _, r := range rem {
+				next = append(next, subtractOne(r, cut)...)
+			}
+			rem = next
+			if len(rem) == 0 {
+				break
+			}
+		}
+		for _, r := range rem {
+			out = out.Add(r)
+		}
+	}
+	return out
+}
+
+func subtractOne(r, cut Interval) []Interval {
+	if !r.Overlaps(cut) {
+		return []Interval{r}
+	}
+	var out []Interval
+	if r.Start < cut.Start {
+		out = append(out, Interval{Start: r.Start, End: cut.Start - 1})
+	}
+	if !cut.End.IsInf() && r.End > cut.End {
+		out = append(out, Interval{Start: cut.End + 1, End: r.End})
+	}
+	return out
+}
+
+// Complement returns the chronons within the universe window that are not
+// in s. It is used by the WHENEVERNOT rule operator, whose universe is
+// [tr, ∞] for a rule valid from tr.
+func (s Set) Complement(universe Interval) Set {
+	return NewSet(universe).Subtract(s)
+}
+
+// Equal reports whether both sets contain exactly the same chronons.
+// Normalisation makes this a structural comparison, which is what makes
+// Algorithm 1's "T^d unchanged" test cheap.
+func (s Set) Equal(other Set) bool {
+	if len(s.ivs) != len(other.ivs) {
+		return false
+	}
+	for i := range s.ivs {
+		if s.ivs[i] != other.ivs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Size returns the total number of chronons, or -1 if the set is unbounded.
+func (s Set) Size() int64 {
+	var total int64
+	for _, iv := range s.ivs {
+		sz := iv.Size()
+		if sz < 0 {
+			return -1
+		}
+		total += sz
+	}
+	return total
+}
+
+// Min returns the earliest chronon of the set; it panics on the empty set.
+func (s Set) Min() Time {
+	if s.IsEmpty() {
+		panic("interval: Min of empty set")
+	}
+	return s.ivs[0].Start
+}
+
+// Earliest returns the earliest chronon and true, or zero and false for the
+// empty set.
+func (s Set) Earliest() (Time, bool) {
+	if s.IsEmpty() {
+		return 0, false
+	}
+	return s.ivs[0].Start, true
+}
+
+// String renders the set as "null" or a "∪"-joined list of intervals in
+// the paper's notation.
+func (s Set) String() string {
+	if s.IsEmpty() {
+		return "null"
+	}
+	parts := make([]string, len(s.ivs))
+	for i, iv := range s.ivs {
+		parts[i] = iv.String()
+	}
+	return strings.Join(parts, " ∪ ")
+}
+
+// ParseSet parses a "∪"- or "u"-joined list of intervals, or "null".
+func ParseSet(s string) (Set, error) {
+	s = strings.TrimSpace(s)
+	if strings.EqualFold(s, "null") || s == "" || s == "φ" {
+		return Set{}, nil
+	}
+	var out Set
+	repl := strings.NewReplacer("∪", "|", " u ", "|", " U ", "|")
+	for _, part := range strings.Split(repl.Replace(s), "|") {
+		iv, err := Parse(part)
+		if err != nil {
+			return Set{}, err
+		}
+		out = out.Add(iv)
+	}
+	return out, nil
+}
+
+// MustParseSet is ParseSet, panicking on malformed input.
+func MustParseSet(s string) Set {
+	out, err := ParseSet(s)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}

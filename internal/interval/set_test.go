@@ -1,0 +1,281 @@
+package interval
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetAddNormalises(t *testing.T) {
+	s := NewSet(MustParse("[10, 20]"), MustParse("[0, 5]"), MustParse("[6, 9]"))
+	if s.Len() != 1 {
+		t.Fatalf("adjacent intervals should coalesce, got %v", s)
+	}
+	if got := s.String(); got != "[0, 20]" {
+		t.Errorf("set = %s, want [0, 20]", got)
+	}
+}
+
+func TestSetAddDisjoint(t *testing.T) {
+	s := NewSet(MustParse("[0, 5]"), MustParse("[10, 15]"), MustParse("[20, 25]"))
+	if s.Len() != 3 {
+		t.Fatalf("want 3 intervals, got %v", s)
+	}
+	s = s.Add(MustParse("[4, 21]"))
+	if s.Len() != 1 || !s.At(0).Equal(MustParse("[0, 25]")) {
+		t.Errorf("bridging add should coalesce all, got %v", s)
+	}
+}
+
+func TestSetAddMiddle(t *testing.T) {
+	s := NewSet(MustParse("[0, 5]"), MustParse("[20, 25]"))
+	s = s.Add(MustParse("[10, 12]"))
+	want := "[0, 5] ∪ [10, 12] ∪ [20, 25]"
+	if s.String() != want {
+		t.Errorf("set = %s, want %s", s, want)
+	}
+}
+
+func TestSetAddEmptyAndUnbounded(t *testing.T) {
+	s := NewSet(Empty)
+	if !s.IsEmpty() {
+		t.Error("set of empty interval should be empty")
+	}
+	s = NewSet(From(50), MustParse("[0, 10]"))
+	if s.Len() != 2 {
+		t.Fatalf("got %v", s)
+	}
+	s = s.Add(MustParse("[5, 60]"))
+	if s.Len() != 1 || !s.At(0).Equal(From(0)) {
+		t.Errorf("got %v, want [0, inf]", s)
+	}
+}
+
+func TestSetContains(t *testing.T) {
+	s := MustParseSet("[0, 5] ∪ [10, 15]")
+	for _, tc := range []struct {
+		t    Time
+		want bool
+	}{{0, true}, {5, true}, {6, false}, {9, false}, {10, true}, {15, true}, {16, false}} {
+		if got := s.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%v) = %v, want %v", tc.t, got, tc.want)
+		}
+	}
+}
+
+func TestSetContainsInterval(t *testing.T) {
+	s := MustParseSet("[0, 5] ∪ [10, 15]")
+	if !s.ContainsInterval(MustParse("[1, 4]")) || !s.ContainsInterval(MustParse("[10, 15]")) {
+		t.Error("containment broken")
+	}
+	if s.ContainsInterval(MustParse("[4, 11]")) {
+		t.Error("interval spanning a gap must not be contained")
+	}
+	if !s.ContainsInterval(Empty) {
+		t.Error("empty interval is contained in everything")
+	}
+}
+
+func TestSetUnionIntersect(t *testing.T) {
+	a := MustParseSet("[0, 10] ∪ [20, 30]")
+	b := MustParseSet("[5, 25] ∪ [40, 50]")
+	if got := a.Union(b).String(); got != "[0, 30] ∪ [40, 50]" {
+		t.Errorf("union = %s", got)
+	}
+	if got := a.Intersect(b).String(); got != "[5, 10] ∪ [20, 25]" {
+		t.Errorf("intersect = %s", got)
+	}
+	if got := b.Intersect(a); !got.Equal(a.Intersect(b)) {
+		t.Error("intersect not commutative")
+	}
+}
+
+func TestSetIntersectInterval(t *testing.T) {
+	s := MustParseSet("[0, 10] ∪ [20, 30] ∪ [40, inf]")
+	if got := s.IntersectInterval(MustParse("[5, 45]")).String(); got != "[5, 10] ∪ [20, 30] ∪ [40, 45]" {
+		t.Errorf("got %s", got)
+	}
+	if !s.IntersectInterval(Empty).IsEmpty() {
+		t.Error("intersect with empty interval should be empty")
+	}
+}
+
+func TestSetSubtract(t *testing.T) {
+	s := MustParseSet("[0, 20]")
+	cut := MustParseSet("[5, 10] ∪ [15, 16]")
+	if got := s.Subtract(cut).String(); got != "[0, 4] ∪ [11, 14] ∪ [17, 20]" {
+		t.Errorf("subtract = %s", got)
+	}
+	// Subtracting an unbounded tail.
+	if got := MustParseSet("[0, inf]").Subtract(MustParseSet("[10, inf]")).String(); got != "[0, 9]" {
+		t.Errorf("subtract unbounded = %s", got)
+	}
+	// Subtract everything.
+	if got := s.Subtract(MustParseSet("[0, inf]")); !got.IsEmpty() {
+		t.Errorf("total subtract = %s", got)
+	}
+	// Subtract nothing.
+	if got := s.Subtract(Set{}); !got.Equal(s) {
+		t.Errorf("empty subtract changed the set: %s", got)
+	}
+}
+
+func TestSetComplementWheneverNotSemantics(t *testing.T) {
+	// WHENEVERNOT on [t0, t1] valid from tr returns [tr, t0-1] and [t1+1, inf].
+	base := MustParse("[5, 20]")
+	got := NewSet(base).Complement(From(0))
+	if got.String() != "[0, 4] ∪ [21, inf]" {
+		t.Errorf("complement = %s", got)
+	}
+	// Rule valid only from time 7 (mid-interval): left piece vanishes partially.
+	got = NewSet(base).Complement(From(7))
+	if got.String() != "[21, inf]" {
+		t.Errorf("complement from 7 = %s", got)
+	}
+}
+
+func TestSetSpanMinSize(t *testing.T) {
+	s := MustParseSet("[5, 10] ∪ [20, 25]")
+	if !s.Span().Equal(MustParse("[5, 25]")) {
+		t.Errorf("span = %v", s.Span())
+	}
+	if s.Min() != 5 {
+		t.Errorf("min = %v", s.Min())
+	}
+	if got := s.Size(); got != 12 {
+		t.Errorf("size = %d, want 12", got)
+	}
+	if got := MustParseSet("[0, inf]").Size(); got != -1 {
+		t.Errorf("unbounded size = %d", got)
+	}
+	if _, ok := (Set{}).Earliest(); ok {
+		t.Error("empty set has no earliest")
+	}
+	if v, ok := s.Earliest(); !ok || v != 5 {
+		t.Errorf("earliest = %v, %v", v, ok)
+	}
+}
+
+func TestSetMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Min of empty set should panic")
+		}
+	}()
+	(Set{}).Min()
+}
+
+func TestSetEqual(t *testing.T) {
+	a := MustParseSet("[0, 5] ∪ [10, 15]")
+	b := NewSet(MustParse("[10, 15]"), MustParse("[0, 5]"))
+	if !a.Equal(b) {
+		t.Error("order of insertion must not matter")
+	}
+	if a.Equal(MustParseSet("[0, 5]")) {
+		t.Error("different sets must not be equal")
+	}
+}
+
+func TestParseSetVariants(t *testing.T) {
+	for _, s := range []string{"null", "", "φ"} {
+		if got := MustParseSet(s); !got.IsEmpty() {
+			t.Errorf("ParseSet(%q) = %v, want empty", s, got)
+		}
+	}
+	got := MustParseSet("[0, 5] u [10, 15]")
+	if got.Len() != 2 {
+		t.Errorf("ascii-u parse failed: %v", got)
+	}
+	if _, err := ParseSet("[bad"); err == nil {
+		t.Error("ParseSet should fail on malformed input")
+	}
+}
+
+func TestIntervalsReturnsCopy(t *testing.T) {
+	s := MustParseSet("[0, 5] ∪ [10, 15]")
+	ivs := s.Intervals()
+	ivs[0] = MustParse("[100, 200]")
+	if !s.At(0).Equal(MustParse("[0, 5]")) {
+		t.Error("Intervals must return a defensive copy")
+	}
+}
+
+// Property: a set built from random intervals contains exactly the chronons
+// covered by at least one of them (checked pointwise on a small domain).
+func TestPropSetMembershipMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		var ivs []Interval
+		naive := map[Time]bool{}
+		for k := 0; k < r.Intn(8); k++ {
+			a, b := Time(r.Intn(60)), Time(r.Intn(60))
+			if a > b {
+				a, b = b, a
+			}
+			ivs = append(ivs, New(a, b))
+			for t := a; t <= b; t++ {
+				naive[t] = true
+			}
+		}
+		s := NewSet(ivs...)
+		for pt := Time(0); pt < 60; pt++ {
+			if s.Contains(pt) != naive[pt] {
+				t.Fatalf("trial %d: point %v mismatch (set=%v)", trial, pt, s)
+			}
+		}
+	}
+}
+
+// Property: normalised invariant — intervals sorted, disjoint, non-adjacent.
+func TestPropSetNormalised(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 500; trial++ {
+		var s Set
+		for k := 0; k < 12; k++ {
+			s = s.Add(genInterval(r))
+		}
+		ivs := s.Intervals()
+		for i := 1; i < len(ivs); i++ {
+			if ivs[i-1].End >= ivs[i].Start {
+				t.Fatalf("unsorted/overlapping set: %v", s)
+			}
+			if ivs[i-1].Adjacent(ivs[i]) {
+				t.Fatalf("adjacent intervals not coalesced: %v", s)
+			}
+		}
+	}
+}
+
+// Property (testing/quick): De Morgan on a bounded universe.
+func TestPropQuickDeMorgan(t *testing.T) {
+	mk := func(a, b uint8) Set {
+		lo, hi := Time(min8(a, b)), Time(max8(a, b))
+		return NewSet(New(lo, hi))
+	}
+	universe := New(0, 255)
+	f := func(a0, a1, b0, b1 uint8) bool {
+		a, b := mk(a0, a1), mk(b0, b1)
+		lhs := a.Union(b).Complement(universe)
+		rhs := a.Complement(universe).Intersect(b.Complement(universe))
+		return lhs.Equal(rhs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property (testing/quick): subtract then union restores a superset
+// relationship: (A \ B) ∪ (A ∩ B) == A.
+func TestPropQuickSubtractPartition(t *testing.T) {
+	mk := func(a, b, c, d uint8) Set {
+		s := NewSet(New(Time(min8(a, b)), Time(max8(a, b))))
+		return s.Add(New(Time(min8(c, d)), Time(max8(c, d))))
+	}
+	f := func(a0, a1, a2, a3, b0, b1, b2, b3 uint8) bool {
+		a, b := mk(a0, a1, a2, a3), mk(b0, b1, b2, b3)
+		return a.Subtract(b).Union(a.Intersect(b)).Equal(a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,135 @@
+package movement
+
+import (
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// This file provides the occupancy analytics a security console needs on
+// top of the raw movement log: instantaneous occupancy, peak occupancy
+// over a window, and per-subject dwell totals. They are read-side
+// derivations over stints, so they stay consistent with everything the
+// enforcement engine records — including ungranted (tailgating) stints,
+// which a security dashboard must count, not hide.
+
+// OccupancyAt returns how many subjects were inside location l at time t.
+func (db *DB) OccupancyAt(l graph.ID, t interval.Time) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, idx := range db.byLocation[l] {
+		if db.stints[idx].Interval().Contains(t) {
+			n++
+		}
+	}
+	return n
+}
+
+// PeakOccupancy returns the maximum simultaneous occupancy of l during
+// window and one time at which it was reached (the earliest). An empty
+// room reports (0, window.Start).
+func (db *DB) PeakOccupancy(l graph.ID, window interval.Interval) (int, interval.Time) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if window.IsEmpty() {
+		return 0, 0
+	}
+	// Sweep entry/exit boundaries clamped to the window.
+	type edge struct {
+		t     interval.Time
+		delta int
+	}
+	var edges []edge
+	for _, idx := range db.byLocation[l] {
+		st := db.stints[idx]
+		span := st.Interval().Intersect(window)
+		if span.IsEmpty() {
+			continue
+		}
+		edges = append(edges, edge{span.Start, +1})
+		if !span.End.IsInf() {
+			// Closed intervals: the subject is still present AT span.End,
+			// so the decrement takes effect just after.
+			edges = append(edges, edge{span.End + 1, -1})
+		}
+	}
+	if len(edges) == 0 {
+		return 0, window.Start
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].t != edges[j].t {
+			return edges[i].t < edges[j].t
+		}
+		return edges[i].delta > edges[j].delta // arrivals before departures
+	})
+	cur, best := 0, 0
+	bestAt := window.Start
+	for _, e := range edges {
+		cur += e.delta
+		if cur > best {
+			best, bestAt = cur, e.t
+		}
+	}
+	return best, bestAt
+}
+
+// DwellTime returns the total number of chronons subject s spent inside
+// location l during window; open stints count up to the window end (or
+// -1 when both the stint and the window are unbounded).
+func (db *DB) DwellTime(s profile.SubjectID, l graph.ID, window interval.Interval) int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var total int64
+	for _, idx := range db.bySubject[s] {
+		st := db.stints[idx]
+		if st.Location != l {
+			continue
+		}
+		span := st.Interval().Intersect(window)
+		if span.IsEmpty() {
+			continue
+		}
+		sz := span.Size()
+		if sz < 0 {
+			return -1
+		}
+		total += sz
+	}
+	return total
+}
+
+// BusiestLocations returns every location that saw at least one stint
+// overlapping window, ordered by descending visit count (ties broken by
+// name) — "where is the traffic" for the security console.
+type LocationTraffic struct {
+	Location graph.ID
+	Visits   int
+}
+
+// BusiestLocations implements the traffic ranking.
+func (db *DB) BusiestLocations(window interval.Interval) []LocationTraffic {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []LocationTraffic
+	for l, idxs := range db.byLocation {
+		n := 0
+		for _, idx := range idxs {
+			if db.stints[idx].Interval().Overlaps(window) {
+				n++
+			}
+		}
+		if n > 0 {
+			out = append(out, LocationTraffic{Location: l, Visits: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Visits != out[j].Visits {
+			return out[i].Visits > out[j].Visits
+		}
+		return out[i].Location < out[j].Location
+	})
+	return out
+}

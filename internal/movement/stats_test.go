@@ -1,0 +1,126 @@
+package movement
+
+import (
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// statsDB: three people through a ward.
+//
+//	a: [1, 10]   b: [5, 20]   c: [8, ∞)
+func statsDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	mustEnter := func(tm interval.Time, s profile.SubjectID) {
+		t.Helper()
+		if _, err := db.RecordEnter(tm, s, "ward", 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustExit := func(tm interval.Time, s profile.SubjectID) {
+		t.Helper()
+		if _, _, err := db.RecordExit(tm, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustEnter(1, "a")
+	mustEnter(5, "b")
+	mustEnter(8, "c")
+	mustExit(10, "a")
+	mustExit(20, "b")
+	return db
+}
+
+func TestOccupancyAt(t *testing.T) {
+	db := statsDB(t)
+	cases := []struct {
+		t    interval.Time
+		want int
+	}{{0, 0}, {1, 1}, {5, 2}, {8, 3}, {10, 3}, {11, 2}, {20, 2}, {21, 1}, {1000, 1}}
+	for _, tc := range cases {
+		if got := db.OccupancyAt("ward", tc.t); got != tc.want {
+			t.Errorf("occupancy at %v = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	if db.OccupancyAt("empty", 5) != 0 {
+		t.Error("unknown room should be empty")
+	}
+}
+
+func TestPeakOccupancy(t *testing.T) {
+	db := statsDB(t)
+	peak, at := db.PeakOccupancy("ward", interval.New(0, 100))
+	if peak != 3 || at != 8 {
+		t.Errorf("peak = %d at %v, want 3 at 8", peak, at)
+	}
+	// Window before anyone arrives.
+	peak, _ = db.PeakOccupancy("ward", interval.New(0, 0))
+	if peak != 0 {
+		t.Errorf("empty-window peak = %d", peak)
+	}
+	// Window covering only the tail: the open stint alone.
+	peak, at = db.PeakOccupancy("ward", interval.New(50, 60))
+	if peak != 1 || at != 50 {
+		t.Errorf("tail peak = %d at %v", peak, at)
+	}
+	if p, _ := db.PeakOccupancy("ward", interval.Empty); p != 0 {
+		t.Error("empty window peak should be 0")
+	}
+}
+
+func TestDwellTime(t *testing.T) {
+	db := statsDB(t)
+	// a: [1, 10] within [0, 100] = 10 chronons.
+	if got := db.DwellTime("a", "ward", interval.New(0, 100)); got != 10 {
+		t.Errorf("a dwell = %d", got)
+	}
+	// b clipped to [10, 15] = 6 chronons (closed interval).
+	if got := db.DwellTime("b", "ward", interval.New(10, 15)); got != 6 {
+		t.Errorf("b clipped dwell = %d", got)
+	}
+	// c is open: bounded window clips it.
+	if got := db.DwellTime("c", "ward", interval.New(0, 100)); got != 93 {
+		t.Errorf("c dwell = %d", got)
+	}
+	// Unbounded window over an open stint: unbounded.
+	if got := db.DwellTime("c", "ward", interval.From(0)); got != -1 {
+		t.Errorf("c unbounded dwell = %d", got)
+	}
+	if got := db.DwellTime("ghost", "ward", interval.From(0)); got != 0 {
+		t.Errorf("ghost dwell = %d", got)
+	}
+}
+
+func TestDwellAcrossMultipleStints(t *testing.T) {
+	db := NewDB()
+	_, _ = db.RecordEnter(1, "a", "x", 0)
+	_, _, _ = db.RecordExit(3, "a")
+	_, _ = db.RecordEnter(10, "a", "x", 0)
+	_, _, _ = db.RecordExit(12, "a")
+	if got := db.DwellTime("a", "x", interval.From(0)); got != 6 { // [1,3]+[10,12]
+		t.Errorf("dwell = %d", got)
+	}
+}
+
+func TestBusiestLocations(t *testing.T) {
+	db := NewDB()
+	_, _ = db.RecordEnter(1, "a", "lobby", 0)
+	_, _, _ = db.RecordExit(2, "a")
+	_, _ = db.RecordEnter(3, "a", "lab", 0)
+	_, _, _ = db.RecordExit(4, "a")
+	_, _ = db.RecordEnter(5, "b", "lobby", 0)
+	_, _, _ = db.RecordExit(6, "b")
+	_, _ = db.RecordEnter(7, "c", "lobby", 0)
+
+	got := db.BusiestLocations(interval.From(0))
+	if len(got) != 2 || got[0].Location != "lobby" || got[0].Visits != 3 || got[1].Location != "lab" {
+		t.Errorf("traffic = %v", got)
+	}
+	// Windowed: only the first two visits.
+	got = db.BusiestLocations(interval.New(0, 2))
+	if len(got) != 1 || got[0].Visits != 1 {
+		t.Errorf("windowed traffic = %v", got)
+	}
+}

@@ -1,0 +1,328 @@
+// Package profile implements LTAM's user profile database (Fig. 3). The
+// profile store holds the subjects known to the system together with the
+// relationships the rule engine's subject operators query: the supervisor
+// relation (Example 1's Supervisor_Of), group membership, and role
+// assignment. Changes are observable so that derived authorizations can be
+// re-derived when, e.g., a user is assigned a different supervisor — the
+// behaviour Example 1 calls out ("the system is able to automatically
+// derive the authorizations for the new supervisor while the authorization
+// for Bob will be revoked").
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SubjectID identifies a user.
+type SubjectID string
+
+// Subject is one user profile record.
+type Subject struct {
+	ID         SubjectID
+	Name       string
+	Supervisor SubjectID // empty when the subject has no supervisor
+	Roles      []string
+	Groups     []string
+	Attributes map[string]string
+}
+
+// clone returns a deep copy so callers can never alias store internals.
+func (s *Subject) clone() *Subject {
+	cp := *s
+	cp.Roles = append([]string(nil), s.Roles...)
+	cp.Groups = append([]string(nil), s.Groups...)
+	if s.Attributes != nil {
+		cp.Attributes = make(map[string]string, len(s.Attributes))
+		for k, v := range s.Attributes {
+			cp.Attributes[k] = v
+		}
+	}
+	return &cp
+}
+
+// ErrNotFound is returned when a subject is unknown.
+var ErrNotFound = errors.New("profile: subject not found")
+
+// ChangeKind classifies a profile mutation for observers.
+type ChangeKind int
+
+// The change kinds reported to watchers.
+const (
+	ChangeAdded ChangeKind = iota
+	ChangeUpdated
+	ChangeRemoved
+)
+
+func (k ChangeKind) String() string {
+	switch k {
+	case ChangeAdded:
+		return "added"
+	case ChangeUpdated:
+		return "updated"
+	case ChangeRemoved:
+		return "removed"
+	default:
+		return fmt.Sprintf("ChangeKind(%d)", int(k))
+	}
+}
+
+// Change describes one profile mutation.
+type Change struct {
+	Kind    ChangeKind
+	Subject SubjectID
+}
+
+// Watcher receives profile changes synchronously (in registration order)
+// after each successful mutation.
+type Watcher func(Change)
+
+// DB is the in-memory user profile database. It is safe for concurrent
+// use.
+type DB struct {
+	mu       sync.RWMutex
+	subjects map[SubjectID]*Subject
+	watchers []Watcher
+}
+
+// NewDB returns an empty profile database.
+func NewDB() *DB {
+	return &DB{subjects: make(map[SubjectID]*Subject)}
+}
+
+// Watch registers w to be called after every mutation. Watch must not be
+// called from inside a watcher.
+func (db *DB) Watch(w Watcher) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.watchers = append(db.watchers, w)
+}
+
+func (db *DB) notify(c Change) {
+	for _, w := range db.watchers {
+		w(c)
+	}
+}
+
+// Put inserts or replaces a subject record.
+func (db *DB) Put(s Subject) error {
+	if s.ID == "" {
+		return errors.New("profile: empty subject id")
+	}
+	db.mu.Lock()
+	_, existed := db.subjects[s.ID]
+	db.subjects[s.ID] = s.clone()
+	watchers := db.watchers
+	db.mu.Unlock()
+	kind := ChangeAdded
+	if existed {
+		kind = ChangeUpdated
+	}
+	for _, w := range watchers {
+		w(Change{Kind: kind, Subject: s.ID})
+	}
+	return nil
+}
+
+// Remove deletes a subject record; removing an unknown subject is an
+// error so that typos in administrative tooling surface.
+func (db *DB) Remove(id SubjectID) error {
+	db.mu.Lock()
+	if _, ok := db.subjects[id]; !ok {
+		db.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(db.subjects, id)
+	watchers := db.watchers
+	db.mu.Unlock()
+	for _, w := range watchers {
+		w(Change{Kind: ChangeRemoved, Subject: id})
+	}
+	return nil
+}
+
+// Get returns a copy of the subject record.
+func (db *DB) Get(id SubjectID) (Subject, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.subjects[id]
+	if !ok {
+		return Subject{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return *s.clone(), nil
+}
+
+// Exists reports whether the subject is known.
+func (db *DB) Exists(id SubjectID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.subjects[id]
+	return ok
+}
+
+// SupervisorOf returns the supervisor of id, implementing the paper's
+// Supervisor_Of subject operator ("returns the supervisor of a user by
+// querying the user profile database"). It returns ErrNotFound for an
+// unknown subject and ok=false when the subject has no supervisor.
+func (db *DB) SupervisorOf(id SubjectID) (SubjectID, bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, okSub := db.subjects[id]
+	if !okSub {
+		return "", false, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	if s.Supervisor == "" {
+		return "", false, nil
+	}
+	return s.Supervisor, true, nil
+}
+
+// DirectReports returns the subjects whose supervisor is id, sorted.
+func (db *DB) DirectReports(id SubjectID) []SubjectID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SubjectID
+	for _, s := range db.subjects {
+		if s.Supervisor == id {
+			out = append(out, s.ID)
+		}
+	}
+	sortSubjects(out)
+	return out
+}
+
+// ManagementChain returns the chain of supervisors of id, nearest first,
+// stopping at the top or at a cycle (a cycle is reported as an error so
+// that bad data is caught rather than looping).
+func (db *DB) ManagementChain(id SubjectID) ([]SubjectID, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.subjects[id]; !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	var out []SubjectID
+	seen := map[SubjectID]bool{id: true}
+	cur := id
+	for {
+		s := db.subjects[cur]
+		if s == nil || s.Supervisor == "" {
+			return out, nil
+		}
+		next := s.Supervisor
+		if seen[next] {
+			return out, fmt.Errorf("profile: supervisor cycle at %s", next)
+		}
+		out = append(out, next)
+		seen[next] = true
+		cur = next
+	}
+}
+
+// MembersOf returns the subjects belonging to the named group, sorted —
+// the membership query behind group-based subject operators.
+func (db *DB) MembersOf(group string) []SubjectID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SubjectID
+	for _, s := range db.subjects {
+		for _, g := range s.Groups {
+			if g == group {
+				out = append(out, s.ID)
+				break
+			}
+		}
+	}
+	sortSubjects(out)
+	return out
+}
+
+// HoldersOf returns the subjects holding the named role, sorted.
+func (db *DB) HoldersOf(role string) []SubjectID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []SubjectID
+	for _, s := range db.subjects {
+		for _, r := range s.Roles {
+			if r == role {
+				out = append(out, s.ID)
+				break
+			}
+		}
+	}
+	sortSubjects(out)
+	return out
+}
+
+// HasRole reports whether the subject holds the role.
+func (db *DB) HasRole(id SubjectID, role string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	s, ok := db.subjects[id]
+	if !ok {
+		return false
+	}
+	for _, r := range s.Roles {
+		if r == role {
+			return true
+		}
+	}
+	return false
+}
+
+// Subjects returns all subject IDs, sorted.
+func (db *DB) Subjects() []SubjectID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]SubjectID, 0, len(db.subjects))
+	for id := range db.subjects {
+		out = append(out, id)
+	}
+	sortSubjects(out)
+	return out
+}
+
+// Len returns the number of subjects.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.subjects)
+}
+
+// Snapshot returns a deep copy of every record, sorted by ID, for
+// persistence.
+func (db *DB) Snapshot() []Subject {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]Subject, 0, len(db.subjects))
+	for _, s := range db.subjects {
+		out = append(out, *s.clone())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Restore replaces the database contents with the given records (e.g.
+// loaded from a snapshot). Watchers are not invoked.
+func (db *DB) Restore(subjects []Subject) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	fresh := make(map[SubjectID]*Subject, len(subjects))
+	for i := range subjects {
+		s := subjects[i]
+		if s.ID == "" {
+			return errors.New("profile: restore: empty subject id")
+		}
+		if _, dup := fresh[s.ID]; dup {
+			return fmt.Errorf("profile: restore: duplicate subject %s", s.ID)
+		}
+		fresh[s.ID] = s.clone()
+	}
+	db.subjects = fresh
+	return nil
+}
+
+func sortSubjects(ids []SubjectID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}

@@ -1,0 +1,220 @@
+package profile
+
+import (
+	"errors"
+	"testing"
+)
+
+func seed(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	for _, s := range []Subject{
+		{ID: "alice", Name: "Alice", Supervisor: "bob", Groups: []string{"cais-staff"}, Roles: []string{"researcher"}},
+		{ID: "bob", Name: "Bob", Supervisor: "carol", Groups: []string{"cais-staff"}, Roles: []string{"supervisor"}},
+		{ID: "carol", Name: "Carol", Roles: []string{"dean", "supervisor"}},
+		{ID: "dave", Name: "Dave", Groups: []string{"visitors"}},
+	} {
+		if err := db.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestPutGet(t *testing.T) {
+	db := seed(t)
+	s, err := db.Get("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "Alice" || s.Supervisor != "bob" {
+		t.Errorf("got %+v", s)
+	}
+	if err := db.Put(Subject{}); err == nil {
+		t.Error("empty id should fail")
+	}
+	if _, err := db.Get("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("want ErrNotFound, got %v", err)
+	}
+	if !db.Exists("bob") || db.Exists("zzz") {
+		t.Error("Exists broken")
+	}
+	if db.Len() != 4 {
+		t.Errorf("Len = %d", db.Len())
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db := seed(t)
+	s, _ := db.Get("alice")
+	s.Roles[0] = "mutated"
+	s.Groups[0] = "mutated"
+	again, _ := db.Get("alice")
+	if again.Roles[0] != "researcher" || again.Groups[0] != "cais-staff" {
+		t.Error("Get must return a deep copy")
+	}
+}
+
+func TestPutClonesInput(t *testing.T) {
+	db := NewDB()
+	roles := []string{"r1"}
+	attrs := map[string]string{"k": "v"}
+	_ = db.Put(Subject{ID: "x", Roles: roles, Attributes: attrs})
+	roles[0] = "mutated"
+	attrs["k"] = "mutated"
+	s, _ := db.Get("x")
+	if s.Roles[0] != "r1" || s.Attributes["k"] != "v" {
+		t.Error("Put must deep-copy its input")
+	}
+}
+
+func TestSupervisorOfPaperExample(t *testing.T) {
+	// Example 1: "Suppose Alice's supervisor is Bob" — Supervisor_Of
+	// queries the user profile database.
+	db := seed(t)
+	sup, ok, err := db.SupervisorOf("alice")
+	if err != nil || !ok || sup != "bob" {
+		t.Errorf("SupervisorOf(alice) = %v %v %v", sup, ok, err)
+	}
+	// Carol has no supervisor.
+	_, ok, err = db.SupervisorOf("carol")
+	if err != nil || ok {
+		t.Errorf("SupervisorOf(carol) should be absent, got ok=%v err=%v", ok, err)
+	}
+	if _, _, err = db.SupervisorOf("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown subject: %v", err)
+	}
+}
+
+func TestDirectReportsAndChain(t *testing.T) {
+	db := seed(t)
+	if got := db.DirectReports("bob"); len(got) != 1 || got[0] != "alice" {
+		t.Errorf("DirectReports(bob) = %v", got)
+	}
+	if got := db.DirectReports("dave"); len(got) != 0 {
+		t.Errorf("DirectReports(dave) = %v", got)
+	}
+	chain, err := db.ManagementChain("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chain) != 2 || chain[0] != "bob" || chain[1] != "carol" {
+		t.Errorf("chain = %v", chain)
+	}
+	if _, err := db.ManagementChain("zzz"); !errors.Is(err, ErrNotFound) {
+		t.Error("unknown subject should fail")
+	}
+}
+
+func TestManagementChainCycle(t *testing.T) {
+	db := NewDB()
+	_ = db.Put(Subject{ID: "a", Supervisor: "b"})
+	_ = db.Put(Subject{ID: "b", Supervisor: "a"})
+	if _, err := db.ManagementChain("a"); err == nil {
+		t.Error("cycle should be reported")
+	}
+}
+
+func TestMembersRolesGroups(t *testing.T) {
+	db := seed(t)
+	if got := db.MembersOf("cais-staff"); len(got) != 2 || got[0] != "alice" || got[1] != "bob" {
+		t.Errorf("MembersOf = %v", got)
+	}
+	if got := db.MembersOf("nobody"); len(got) != 0 {
+		t.Errorf("MembersOf(nobody) = %v", got)
+	}
+	if got := db.HoldersOf("supervisor"); len(got) != 2 || got[0] != "bob" || got[1] != "carol" {
+		t.Errorf("HoldersOf = %v", got)
+	}
+	if !db.HasRole("carol", "dean") || db.HasRole("alice", "dean") || db.HasRole("zzz", "dean") {
+		t.Error("HasRole broken")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	db := seed(t)
+	if err := db.Remove("dave"); err != nil {
+		t.Fatal(err)
+	}
+	if db.Exists("dave") {
+		t.Error("dave should be gone")
+	}
+	if err := db.Remove("dave"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double remove: %v", err)
+	}
+}
+
+func TestWatchers(t *testing.T) {
+	db := NewDB()
+	var got []Change
+	db.Watch(func(c Change) { got = append(got, c) })
+	_ = db.Put(Subject{ID: "x"})
+	_ = db.Put(Subject{ID: "x", Name: "X"})
+	_ = db.Remove("x")
+	if len(got) != 3 {
+		t.Fatalf("changes = %v", got)
+	}
+	if got[0].Kind != ChangeAdded || got[1].Kind != ChangeUpdated || got[2].Kind != ChangeRemoved {
+		t.Errorf("kinds = %v", got)
+	}
+	for _, c := range got {
+		if c.Subject != "x" {
+			t.Errorf("subject = %v", c.Subject)
+		}
+	}
+	// Failed mutations notify nobody.
+	n := len(got)
+	_ = db.Put(Subject{})
+	_ = db.Remove("zzz")
+	if len(got) != n {
+		t.Error("failed mutations must not notify")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	if ChangeAdded.String() != "added" || ChangeUpdated.String() != "updated" || ChangeRemoved.String() != "removed" {
+		t.Error("ChangeKind strings broken")
+	}
+	if ChangeKind(99).String() != "ChangeKind(99)" {
+		t.Error("unknown kind string broken")
+	}
+}
+
+func TestSnapshotRestore(t *testing.T) {
+	db := seed(t)
+	snap := db.Snapshot()
+	if len(snap) != 4 || snap[0].ID != "alice" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	fresh := NewDB()
+	if err := fresh.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 4 {
+		t.Error("restore lost subjects")
+	}
+	s, _ := fresh.Get("alice")
+	if s.Supervisor != "bob" {
+		t.Error("restore lost fields")
+	}
+	// Restore rejects bad data.
+	if err := fresh.Restore([]Subject{{ID: ""}}); err == nil {
+		t.Error("empty id in restore should fail")
+	}
+	if err := fresh.Restore([]Subject{{ID: "a"}, {ID: "a"}}); err == nil {
+		t.Error("duplicate in restore should fail")
+	}
+}
+
+func TestSubjectsSorted(t *testing.T) {
+	db := seed(t)
+	ids := db.Subjects()
+	if len(ids) != 4 {
+		t.Fatalf("ids = %v", ids)
+	}
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] >= ids[i] {
+			t.Errorf("unsorted: %v", ids)
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+func iv(s string) interval.Interval { return interval.MustParse(s) }
+
+// table1Store builds the Table 1 authorization database for Alice over
+// the Fig. 4 graph:
+//
+//	A ([2, 35],  [20, 50], (Alice, A), 1)
+//	B ([40, 60], [55, 80], (Alice, B), 1)
+//	C ([38, 45], [70, 90], (Alice, C), 1)
+//	D ([5, 25],  [10, 30], (Alice, D), 1)
+func table1Store(t testing.TB) *authz.Store {
+	t.Helper()
+	st := authz.NewStore()
+	for _, row := range []struct {
+		loc         graph.ID
+		entry, exit string
+	}{
+		{"A", "[2, 35]", "[20, 50]"},
+		{"B", "[40, 60]", "[55, 80]"},
+		{"C", "[38, 45]", "[70, 90]"},
+		{"D", "[5, 25]", "[10, 30]"},
+	} {
+		if _, err := st.Add(authz.New(iv(row.entry), iv(row.exit), "Alice", row.loc, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st
+}
+
+func TestExperimentTable2Trace(t *testing.T) {
+	// E4: reproduce Table 2 — the step-by-step run of Algorithm 1 on the
+	// Fig. 4 graph with the Table 1 authorizations, ending with C
+	// inaccessible.
+	f := graph.Expand(graph.Fig4Graph())
+	st := table1Store(t)
+	res := FindInaccessible(f, st, "Alice", Options{Trace: true})
+
+	// Final answer: "Return {l | l.T^g = null}" = {C}.
+	if len(res.Inaccessible) != 1 || res.Inaccessible[0] != "C" {
+		t.Fatalf("inaccessible = %v, want [C]", res.Inaccessible)
+	}
+
+	// Final states must equal the last row of Table 2.
+	finals := map[graph.ID][2]string{
+		"A": {"[2, 35]", "[20, 50]"},
+		"B": {"[40, 50]", "[55, 80]"},
+		"C": {"null", "null"},
+		"D": {"[20, 25]", "[20, 30]"},
+	}
+	for loc, want := range finals {
+		st := res.States[loc]
+		if setStr(st.Grant) != want[0] || setStr(st.Depart) != want[1] {
+			t.Errorf("%s: T^g=%s T^d=%s, want %s %s", loc, setStr(st.Grant), setStr(st.Depart), want[0], want[1])
+		}
+	}
+
+	// The trace row labels: Initiation, Update A (entry), round 1 =
+	// {B, D}, round 2 = {A, C}. (The paper prints round 2 as Update C
+	// then Update A; the two are independent, so only the label order
+	// differs — the per-row states below are Table 2's.)
+	var labels []string
+	for _, ts := range res.Trace {
+		labels = append(labels, ts.Label())
+	}
+	want := []string{"Initiation", "Update A", "Update B", "Update D", "Update A", "Update C"}
+	if fmt.Sprint(labels) != fmt.Sprint(want) {
+		t.Fatalf("trace labels = %v, want %v", labels, want)
+	}
+
+	// Row "Initiation": everything false/null.
+	for loc, st := range res.Trace[0].States {
+		if st.Flag || !st.Grant.IsEmpty() || !st.Depart.IsEmpty() {
+			t.Errorf("initiation row: %s = %+v", loc, st)
+		}
+	}
+
+	// Row "Update A" (Table 2 row 2): A F [2,35] [20,50]; B T φ φ;
+	// C F φ φ; D T φ φ.
+	assertRow(t, res.Trace[1], map[graph.ID][3]string{
+		"A": {"F", "[2, 35]", "[20, 50]"},
+		"B": {"T", "null", "null"},
+		"C": {"F", "null", "null"},
+		"D": {"T", "null", "null"},
+	})
+
+	// Row "Update B" (Table 2 row 3): A T [2,35] [20,50]; B F [40,50]
+	// [55,80]; C T φ φ; D T φ φ.
+	assertRow(t, res.Trace[2], map[graph.ID][3]string{
+		"A": {"T", "[2, 35]", "[20, 50]"},
+		"B": {"F", "[40, 50]", "[55, 80]"},
+		"C": {"T", "null", "null"},
+		"D": {"T", "null", "null"},
+	})
+
+	// Row "Update D" (Table 2 row 4): A T; B F; C T; D F [20,25] [20,30].
+	assertRow(t, res.Trace[3], map[graph.ID][3]string{
+		"A": {"T", "[2, 35]", "[20, 50]"},
+		"B": {"F", "[40, 50]", "[55, 80]"},
+		"C": {"T", "null", "null"},
+		"D": {"F", "[20, 25]", "[20, 30]"},
+	})
+
+	// After processing A and C in round 2, A's durations are unchanged
+	// ("Since there is no change to both durations, A will not update
+	// its neighbors") and C remains null, so the loop terminates.
+	last := res.Trace[len(res.Trace)-1]
+	for loc, st := range last.States {
+		if st.Flag {
+			t.Errorf("final row: %s still flagged", loc)
+		}
+	}
+	if res.Rounds != 2 {
+		t.Errorf("rounds = %d, want 2", res.Rounds)
+	}
+
+	t.Logf("Table 2 reproduction:\n%s", FormatTrace(f, res))
+}
+
+func assertRow(t *testing.T, ts TraceStep, want map[graph.ID][3]string) {
+	t.Helper()
+	for loc, w := range want {
+		st := ts.States[loc]
+		flag := "F"
+		if st.Flag {
+			flag = "T"
+		}
+		if flag != w[0] || setStr(st.Grant) != w[1] || setStr(st.Depart) != w[2] {
+			t.Errorf("row %s, %s: got %s %s %s, want %s %s %s",
+				ts.Label(), loc, flag, setStr(st.Grant), setStr(st.Depart), w[0], w[1], w[2])
+		}
+	}
+}
+
+func setStr(s interval.Set) string { return s.String() }
+
+func TestNoAuthorizationsEverythingInaccessible(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	res := FindInaccessible(f, authz.NewStore(), "Alice", Options{})
+	if len(res.Inaccessible) != 4 {
+		t.Errorf("inaccessible = %v", res.Inaccessible)
+	}
+	if res.Rounds != 0 {
+		t.Errorf("no propagation expected, rounds = %d", res.Rounds)
+	}
+}
+
+func TestOtherSubjectSeesNothing(t *testing.T) {
+	// Authorizations are per subject: Bob has none, so everything is
+	// inaccessible to him even though Alice's Table 1 auths exist.
+	f := graph.Expand(graph.Fig4Graph())
+	res := FindInaccessible(f, table1Store(t), "Bob", Options{})
+	if len(res.Inaccessible) != 4 {
+		t.Errorf("Bob's inaccessible = %v", res.Inaccessible)
+	}
+}
+
+func TestBlockedEntryBlocksEverything(t *testing.T) {
+	// Def. 8's corollary: making the entry inaccessible blocks the whole
+	// graph ("a location can be made inaccessible ... by blocking all
+	// routes to the location").
+	f := graph.Expand(graph.Fig4Graph())
+	st := authz.NewStore()
+	// Everyone except the entry A has generous windows.
+	for _, loc := range []graph.ID{"B", "C", "D"} {
+		_, _ = st.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "Alice", loc, 1))
+	}
+	res := FindInaccessible(f, st, "Alice", Options{})
+	if len(res.Inaccessible) != 4 {
+		t.Errorf("inaccessible = %v, want all four", res.Inaccessible)
+	}
+}
+
+func TestTimingBlockade(t *testing.T) {
+	// B is reachable topologically but not temporally: its entry window
+	// closes before A's departure window opens.
+	g := graph.New("line")
+	_ = g.AddLocation("A")
+	_ = g.AddLocation("B")
+	_ = g.AddEdge("A", "B")
+	_ = g.SetEntry("A")
+	f := graph.Expand(g)
+	st := authz.NewStore()
+	_, _ = st.Add(authz.New(iv("[0, 10]"), iv("[20, 30]"), "u", "A", 1))
+	_, _ = st.Add(authz.New(iv("[5, 15]"), iv("[15, 40]"), "u", "B", 1)) // closes at 15 < 20
+	res := FindInaccessible(f, st, "u", Options{})
+	if len(res.Inaccessible) != 1 || res.Inaccessible[0] != "B" {
+		t.Errorf("inaccessible = %v, want [B]", res.Inaccessible)
+	}
+}
+
+func TestAccessibleComplement(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	got := Accessible(f, table1Store(t), "Alice")
+	if fmt.Sprint(got) != "[A B D]" {
+		t.Errorf("accessible = %v", got)
+	}
+}
+
+func TestExperimentFig2NTUGraph(t *testing.T) {
+	// E1: the Fig. 1/2 campus end to end — Alice holds authorizations
+	// only along SCE.GO → CAIS (as rule r3 of Example 3 would derive);
+	// every other campus location is inaccessible, including all of EEE.
+	ntu := graph.NTUCampus()
+	f := graph.Expand(ntu)
+	st := authz.NewStore()
+	for _, loc := range []graph.ID{graph.SCEGO, graph.SCESectionA, graph.SCESectionB, graph.SCESectionC, graph.CHIPES, graph.CAIS} {
+		_, _ = st.Add(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", loc, 2))
+	}
+	res := FindInaccessible(f, st, "Alice", Options{})
+	inacc := map[graph.ID]bool{}
+	for _, id := range res.Inaccessible {
+		inacc[id] = true
+	}
+	for _, id := range []graph.ID{graph.SCEGO, graph.SCESectionA, graph.SCESectionB, graph.CAIS} {
+		if inacc[id] {
+			t.Errorf("%s should be accessible", id)
+		}
+	}
+	for _, id := range []graph.ID{graph.EEEGO, graph.Lab1, graph.SCEDean, graph.CEEEntrance} {
+		if !inacc[id] {
+			t.Errorf("%s should be inaccessible", id)
+		}
+	}
+	t.Logf("NTU campus: %d of %d locations inaccessible to Alice", len(res.Inaccessible), len(f.Nodes))
+}
+
+func TestFormatTraceRendersPhi(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	res := FindInaccessible(f, table1Store(t), "Alice", Options{Trace: true})
+	out := FormatTrace(f, res)
+	for _, frag := range []string{"Initiation", "Update A", "Update B", "φ", "[2, 35]", "[55, 80]"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("trace output missing %q", frag)
+		}
+	}
+}
+
+func TestUpdatesCountedForComplexity(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	res := FindInaccessible(f, table1Store(t), "Alice", Options{})
+	// 1 entry init + round 1 (B, D) + round 2 (A, C) = 5 updates.
+	if res.Updates != 5 {
+		t.Errorf("updates = %d, want 5", res.Updates)
+	}
+}

@@ -1,0 +1,34 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEarliestAccessTable1(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	st := table1Store(t)
+	cases := []struct {
+		loc  graph.ID
+		want int64
+		ok   bool
+	}{
+		{"A", 2, true},  // entry: T^g = [2, 35]
+		{"B", 40, true}, // T^g = [40, 50]
+		{"D", 20, true}, // T^g = [20, 25]
+		{"C", 0, false}, // inaccessible
+	}
+	for _, tc := range cases {
+		at, ok := EarliestAccess(f, st, "Alice", tc.loc)
+		if ok != tc.ok || (ok && int64(at) != tc.want) {
+			t.Errorf("EarliestAccess(%s) = %v, %v; want %v, %v", tc.loc, at, ok, tc.want, tc.ok)
+		}
+	}
+	if _, ok := EarliestAccess(f, st, "Alice", "Mars"); ok {
+		t.Error("unknown location must be unreachable")
+	}
+	if _, ok := EarliestAccess(f, st, "Bob", "A"); ok {
+		t.Error("subject with no auths reaches nothing")
+	}
+}

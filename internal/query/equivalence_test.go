@@ -1,0 +1,286 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+// randomFlatGraph builds a random connected location graph: a spanning
+// tree plus extra edges, entry at a random location.
+func randomFlatGraph(rng *rand.Rand, n, extraEdges, entries int) *graph.Graph {
+	g := graph.New("R")
+	ids := make([]graph.ID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = graph.ID(fmt.Sprintf("r%02d", i))
+		if err := g.AddLocation(ids[i]); err != nil {
+			panic(err)
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := g.AddEdge(ids[i], ids[rng.Intn(i)]); err != nil {
+			panic(err)
+		}
+	}
+	for k := 0; k < extraEdges; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b && !g.HasEdge(ids[a], ids[b]) {
+			_ = g.AddEdge(ids[a], ids[b])
+		}
+	}
+	if entries < 1 {
+		entries = 1
+	}
+	for k := 0; k < entries; k++ {
+		_ = g.SetEntry(ids[rng.Intn(n)])
+	}
+	return g
+}
+
+// randomAuths populates a store with 0–3 random authorizations per
+// location for subject u, with small random windows so that temporal
+// blockades actually occur.
+func randomAuths(rng *rand.Rand, st *authz.Store, locs []graph.ID) {
+	for _, l := range locs {
+		for k := 0; k < rng.Intn(4); k++ {
+			// Positive times: the zero-value interval [0, 0] means
+			// "unspecified" to authz.Normalize.
+			es := interval.Time(1 + rng.Intn(40))
+			ee := es + interval.Time(rng.Intn(30))
+			xs := es + interval.Time(rng.Intn(20))
+			xe := ee + interval.Time(rng.Intn(30))
+			if xe < xs {
+				xe = xs
+			}
+			a := authz.New(interval.New(es, ee), interval.New(xs, xe), "u", l, 1)
+			if _, err := st.Add(a); err != nil {
+				panic(err)
+			}
+		}
+	}
+}
+
+// TestPropFixpointMatchesNaiveFlat: Algorithm 1 and the Def.-8
+// route-enumeration baseline agree on random flat graphs.
+func TestPropFixpointMatchesNaiveFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 250; trial++ {
+		n := 3 + rng.Intn(7)
+		g := randomFlatGraph(rng, n, rng.Intn(4), 1+rng.Intn(2))
+		f := graph.Expand(g)
+		st := authz.NewStore()
+		randomAuths(rng, st, f.Nodes)
+
+		fix := FindInaccessible(f, st, "u", Options{}).Inaccessible
+		naive := NaiveFindInaccessible(f, st, "u", 0)
+		if fmt.Sprint(fix) != fmt.Sprint(naive) {
+			t.Fatalf("trial %d: fixpoint %v != naive %v\ngraph: %s\nauths: %v",
+				trial, fix, naive, g, st.All())
+		}
+	}
+}
+
+// TestPropWindowedFixpointMatchesNaive: the windowed generalisation and
+// the windowed baseline agree on random graphs and random windows.
+func TestPropWindowedFixpointMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4321))
+	for trial := 0; trial < 200; trial++ {
+		n := 3 + rng.Intn(6)
+		g := randomFlatGraph(rng, n, rng.Intn(3), 1+rng.Intn(2))
+		f := graph.Expand(g)
+		st := authz.NewStore()
+		randomAuths(rng, st, f.Nodes)
+		lo := interval.Time(rng.Intn(60))
+		hi := lo + interval.Time(rng.Intn(80))
+		window := interval.New(lo, hi)
+
+		fix := FindInaccessible(f, st, "u", Options{Window: window}).Inaccessible
+		naive := NaiveFindInaccessibleDuring(f, st, "u", window, 0)
+		if fmt.Sprint(fix) != fmt.Sprint(naive) {
+			t.Fatalf("trial %d window %s: fixpoint %v != naive %v\ngraph: %s",
+				trial, window, fix, naive, g)
+		}
+	}
+}
+
+func TestWindowedInaccessibleTable1(t *testing.T) {
+	// Per §6 the access request duration bounds when the visit may
+	// START: the grant of the first location is clamped to
+	// [max(tp,tis), min(tq,tie)], but departures — and hence later
+	// grants — extend beyond tq. So [0, 30] still reaches B (enter A by
+	// 30, depart during [40, 50], B's window [40, 60] is open).
+	f := graph.Expand(graph.Fig4Graph())
+	st := table1Store(t)
+	res := FindInaccessible(f, st, "Alice", Options{Window: iv("[0, 30]")})
+	if fmt.Sprint(res.Inaccessible) != "[C]" {
+		t.Errorf("inaccessible in [0,30] = %v", res.Inaccessible)
+	}
+	// A window beginning after A's entry duration ends ([2, 35]) makes
+	// the entry — and therefore everything — unreachable.
+	res = FindInaccessible(f, st, "Alice", Options{Window: iv("[36, 300]")})
+	if len(res.Inaccessible) != 4 {
+		t.Errorf("inaccessible in [36,300] = %v", res.Inaccessible)
+	}
+	// The zero window means the Def.-8 default [0, ∞).
+	res = FindInaccessible(f, st, "Alice", Options{})
+	if fmt.Sprint(res.Inaccessible) != "[C]" {
+		t.Errorf("default window = %v", res.Inaccessible)
+	}
+}
+
+// TestPropMultilevelMatchesFlat: the Lemma-1 hierarchical solver returns
+// exactly the flat answer on random two-level campuses.
+func TestPropMultilevelMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		// Campus of 2–4 buildings, each 3–6 rooms.
+		campus := graph.New("campus")
+		nb := 2 + rng.Intn(3)
+		var names []graph.ID
+		for b := 0; b < nb; b++ {
+			bld := graph.New(graph.ID(fmt.Sprintf("b%d", b)))
+			rooms := 3 + rng.Intn(4)
+			var ids []graph.ID
+			for r := 0; r < rooms; r++ {
+				id := graph.ID(fmt.Sprintf("b%d.r%d", b, r))
+				ids = append(ids, id)
+				_ = bld.AddLocation(id)
+			}
+			for r := 1; r < rooms; r++ {
+				_ = bld.AddEdge(ids[r], ids[rng.Intn(r)])
+			}
+			_ = bld.SetEntry(ids[rng.Intn(rooms)])
+			if rng.Intn(2) == 0 {
+				_ = bld.SetEntry(ids[rng.Intn(rooms)])
+			}
+			_ = campus.AddComposite(bld)
+			names = append(names, bld.Name())
+		}
+		for b := 1; b < nb; b++ {
+			_ = campus.AddEdge(names[b], names[rng.Intn(b)])
+		}
+		_ = campus.SetEntry(names[rng.Intn(nb)])
+		if err := campus.Validate(); err != nil {
+			t.Fatalf("trial %d: fixture invalid: %v", trial, err)
+		}
+
+		f := graph.Expand(campus)
+		st := authz.NewStore()
+		randomAuths(rng, st, f.Nodes)
+
+		flat := FindInaccessible(f, st, "u", Options{}).Inaccessible
+		multi := FindInaccessibleMultilevel(campus, st, "u").Inaccessible
+		if fmt.Sprint(flat) != fmt.Sprint(multi) {
+			t.Fatalf("trial %d: flat %v != multilevel %v\ncampus: %s",
+				trial, flat, multi, campus)
+		}
+	}
+}
+
+// TestPropRouteCheckConsistentWithAlgorithm: if CheckRoute authorizes any
+// entry→l route, Algorithm 1 must mark l accessible, and vice versa.
+func TestPropRouteCheckConsistentWithAlgorithm(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	for trial := 0; trial < 150; trial++ {
+		n := 3 + rng.Intn(6)
+		g := randomFlatGraph(rng, n, rng.Intn(3), 1)
+		f := graph.Expand(g)
+		st := authz.NewStore()
+		randomAuths(rng, st, f.Nodes)
+		res := FindInaccessible(f, st, "u", Options{})
+		inacc := map[graph.ID]bool{}
+		for _, id := range res.Inaccessible {
+			inacc[id] = true
+		}
+		for _, target := range f.Nodes {
+			anyRoute := false
+			for _, e := range f.EntryIDs() {
+				if e == target {
+					if CheckRoute(st, "u", graph.Route{e}, interval.From(0)).Authorized {
+						anyRoute = true
+					}
+					continue
+				}
+				for _, r := range f.AllRoutes(e, target, 0) {
+					if CheckRoute(st, "u", r, interval.From(0)).Authorized {
+						anyRoute = true
+						break
+					}
+				}
+			}
+			if anyRoute == inacc[target] {
+				t.Fatalf("trial %d: %s anyRoute=%v but inaccessible=%v",
+					trial, target, anyRoute, inacc[target])
+			}
+		}
+	}
+}
+
+func TestLemma1Pruning(t *testing.T) {
+	// E10: a building whose inner rooms are temporally blocked from its
+	// own entrance is settled locally; the global phase then does less
+	// work than the flat solve, and the answers agree.
+	campus := graph.New("campus")
+	main := graph.New("main")
+	for _, l := range []graph.ID{"main.lobby", "main.lab", "main.vault"} {
+		_ = main.AddLocation(l)
+	}
+	_ = main.AddEdge("main.lobby", "main.lab")
+	_ = main.AddEdge("main.lab", "main.vault")
+	_ = main.SetEntry("main.lobby")
+
+	annex := graph.New("annex")
+	for _, l := range []graph.ID{"annex.lobby", "annex.store"} {
+		_ = annex.AddLocation(l)
+	}
+	_ = annex.AddEdge("annex.lobby", "annex.store")
+	_ = annex.SetEntry("annex.lobby")
+
+	_ = campus.AddComposite(main)
+	_ = campus.AddComposite(annex)
+	_ = campus.AddEdge("main", "annex")
+	_ = campus.SetEntry("main")
+
+	st := authz.NewStore()
+	// main.lobby open; main.lab's entry window closes before the lobby
+	// can be departed, blocking lab and vault locally.
+	_, _ = st.Add(authz.New(iv("[0, 10]"), iv("[20, 30]"), "u", "main.lobby", 1))
+	_, _ = st.Add(authz.New(iv("[0, 15]"), iv("[5, 40]"), "u", "main.lab", 1))
+	_, _ = st.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "main.vault", 1))
+	// annex fully open.
+	_, _ = st.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "annex.lobby", 1))
+	_, _ = st.Add(authz.New(iv("[0, 100]"), iv("[0, 200]"), "u", "annex.store", 1))
+
+	multi := FindInaccessibleMultilevel(campus, st, "u")
+	flat := FindInaccessible(graph.Expand(campus), st, "u", Options{})
+	if fmt.Sprint(multi.Inaccessible) != fmt.Sprint(flat.Inaccessible) {
+		t.Fatalf("multi %v != flat %v", multi.Inaccessible, flat.Inaccessible)
+	}
+	if fmt.Sprint(multi.Inaccessible) != "[main.lab main.vault]" {
+		t.Errorf("inaccessible = %v", multi.Inaccessible)
+	}
+	// Lemma 1 settled both blocked rooms in the local phase.
+	if multi.PrunedBy["main.lab"] != "main" || multi.PrunedBy["main.vault"] != "main" {
+		t.Errorf("pruned = %v", multi.PrunedBy)
+	}
+	// The global phase therefore did not have to propagate into them
+	// beyond visiting: its update count is at most the flat solve's.
+	if multi.GlobalUpdates > flat.Updates {
+		t.Errorf("global updates %d > flat %d", multi.GlobalUpdates, flat.Updates)
+	}
+}
+
+func TestNaiveRouteCapGuards(t *testing.T) {
+	// With a tiny route cap the baseline may wrongly call a location
+	// inaccessible (documented behaviour: the cap is a harness guard).
+	f := graph.Expand(graph.Fig4Graph())
+	st := table1Store(t)
+	uncapped := NaiveFindInaccessible(f, st, "Alice", 0)
+	if fmt.Sprint(uncapped) != "[C]" {
+		t.Errorf("uncapped = %v", uncapped)
+	}
+}

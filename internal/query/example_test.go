@@ -1,0 +1,81 @@
+package query_test
+
+import (
+	"fmt"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/query"
+)
+
+// ExampleFindInaccessible reproduces the paper's §6 example: the Fig. 4
+// graph with the Table 1 authorizations leaves location C inaccessible
+// to Alice.
+func ExampleFindInaccessible() {
+	f := graph.Expand(graph.Fig4Graph())
+	st := authz.NewStore()
+	add := func(loc graph.ID, entry, exit string) {
+		a := authz.New(interval.MustParse(entry), interval.MustParse(exit), "Alice", loc, 1)
+		if _, err := st.Add(a); err != nil {
+			panic(err)
+		}
+	}
+	add("A", "[2, 35]", "[20, 50]")
+	add("B", "[40, 60]", "[55, 80]")
+	add("C", "[38, 45]", "[70, 90]")
+	add("D", "[5, 25]", "[10, 30]")
+
+	res := query.FindInaccessible(f, st, "Alice", query.Options{})
+	fmt.Println("inaccessible:", res.Inaccessible)
+	fmt.Println("T^g(B):", res.States["B"].Grant)
+	fmt.Println("T^d(D):", res.States["D"].Depart)
+	// Output:
+	// inaccessible: [C]
+	// T^g(B): [40, 50]
+	// T^d(D): [20, 30]
+}
+
+// ExampleCheckRoute shows the §6 authorized-route check: the route
+// ⟨A, B⟩ is authorized, and its grant duration is A's clamped entry
+// window.
+func ExampleCheckRoute() {
+	st := authz.NewStore()
+	mk := func(loc graph.ID, entry, exit string) {
+		a := authz.New(interval.MustParse(entry), interval.MustParse(exit), "Alice", loc, 1)
+		if _, err := st.Add(a); err != nil {
+			panic(err)
+		}
+	}
+	mk("A", "[2, 35]", "[20, 50]")
+	mk("B", "[40, 60]", "[55, 80]")
+
+	rc := query.CheckRoute(st, "Alice", graph.Route{"A", "B"}, interval.From(0))
+	fmt.Println("authorized:", rc.Authorized)
+	fmt.Println("grant:", rc.GrantDuration())
+	fmt.Println("departure:", rc.DepartureDuration())
+	// Output:
+	// authorized: true
+	// grant: [2, 35]
+	// departure: [55, 80]
+}
+
+// ExampleEarliestAccess answers a scheduling question: the earliest time
+// Alice can be inside D, entering through A.
+func ExampleEarliestAccess() {
+	f := graph.Expand(graph.Fig4Graph())
+	st := authz.NewStore()
+	mk := func(loc graph.ID, entry, exit string) {
+		a := authz.New(interval.MustParse(entry), interval.MustParse(exit), "Alice", loc, 1)
+		if _, err := st.Add(a); err != nil {
+			panic(err)
+		}
+	}
+	mk("A", "[2, 35]", "[20, 50]")
+	mk("D", "[5, 25]", "[10, 30]")
+
+	at, ok := query.EarliestAccess(f, st, "Alice", "D")
+	fmt.Println(at, ok)
+	// Output:
+	// 20 true
+}

@@ -1,0 +1,108 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// Visit is one leg of a planned itinerary: be inside Location from Arrive
+// until Depart (both inclusive chronons).
+type Visit struct {
+	Location graph.ID
+	Arrive   interval.Time
+	Depart   interval.Time
+}
+
+// ItineraryCheck is the outcome of CheckItinerary.
+type ItineraryCheck struct {
+	Feasible bool
+	// FailsAt is the index of the first infeasible visit (-1 when
+	// feasible); Reason explains it.
+	FailsAt int
+	Reason  string
+	// Grants[i] is the authorization selected for visit i (valid only up
+	// to FailsAt).
+	Grants []authz.ID
+}
+
+// CheckItinerary verifies a concrete schedule against the authorization
+// database and the location graph: every consecutive pair of visits must
+// be directly connected (an expansion edge), the first and last visits
+// must use entry/exit locations, each arrival must fall inside some
+// authorization's entry duration, and each departure inside the *same*
+// authorization's exit duration (Definition 4 binds the two windows
+// together). Where CheckRoute reasons about windows ("is there any
+// feasible timing"), CheckItinerary validates one specific timing — the
+// question a visitor-management front desk actually asks.
+//
+// Entry counts are not consumed (this is a what-if query), but a visit
+// is rejected when its authorization's MaxEntries is zero-capped by
+// earlier visits of the same itinerary using the same authorization
+// window more than n times.
+func CheckItinerary(f *graph.Flat, src AuthSource, s profile.SubjectID, visits []Visit) ItineraryCheck {
+	ic := ItineraryCheck{FailsAt: -1}
+	if len(visits) == 0 {
+		return ItineraryCheck{FailsAt: 0, Reason: "empty itinerary"}
+	}
+	used := map[authz.ID]int64{}
+	var prev *Visit
+	for i := range visits {
+		v := visits[i]
+		if _, ok := f.Index[v.Location]; !ok {
+			return ic.fail(i, fmt.Sprintf("unknown location %q", v.Location))
+		}
+		if v.Depart < v.Arrive {
+			return ic.fail(i, fmt.Sprintf("visit %d departs before it arrives", i))
+		}
+		switch {
+		case prev == nil:
+			if !f.IsEntry(v.Location) {
+				return ic.fail(i, fmt.Sprintf("%s is not an entry location", v.Location))
+			}
+		default:
+			if !f.HasEdge(prev.Location, v.Location) {
+				return ic.fail(i, fmt.Sprintf("no direct connection from %s to %s", prev.Location, v.Location))
+			}
+			if v.Arrive < prev.Depart {
+				return ic.fail(i, fmt.Sprintf("visit %d arrives at %s before leaving %s at %s", i, v.Arrive, prev.Location, prev.Depart))
+			}
+		}
+		// Find an authorization whose entry window covers the arrival
+		// AND whose exit window covers the departure, with entries left.
+		var chosen *authz.Authorization
+		for _, a := range src.For(s, v.Location) {
+			a := a
+			if !a.PermitsEntryAt(v.Arrive) || !a.PermitsExitAt(v.Depart) {
+				continue
+			}
+			if a.MaxEntries != authz.Unlimited && used[a.ID] >= a.MaxEntries {
+				continue
+			}
+			chosen = &a
+			break
+		}
+		if chosen == nil {
+			return ic.fail(i, fmt.Sprintf("no authorization admits %s to %s at %s and out at %s",
+				s, v.Location, v.Arrive, v.Depart))
+		}
+		used[chosen.ID]++
+		ic.Grants = append(ic.Grants, chosen.ID)
+		prev = &visits[i]
+	}
+	if last := visits[len(visits)-1]; !f.IsExit(last.Location) {
+		return ic.fail(len(visits)-1, fmt.Sprintf("%s is not an exit location", last.Location))
+	}
+	ic.Feasible = true
+	return ic
+}
+
+func (ic ItineraryCheck) fail(at int, reason string) ItineraryCheck {
+	ic.Feasible = false
+	ic.FailsAt = at
+	ic.Reason = reason
+	return ic
+}

@@ -1,0 +1,117 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+)
+
+func TestItineraryFeasibleTable1(t *testing.T) {
+	// Table 1 timings: enter A in [2,35] / leave in [20,50]; B in
+	// [40,60] / [55,80]. A(10→40 is too late for A's exit? no: exit
+	// window [20,50] contains 45) — plan: A 10..45, B 45..60... B's exit
+	// [55,80] contains 60. Then back is not needed: B is not an exit, so
+	// a feasible itinerary must end at A.
+	f := graph.Expand(graph.Fig4Graph())
+	st := table1Store(t)
+	ic := CheckItinerary(f, st, "Alice", []Visit{
+		{Location: "A", Arrive: 10, Depart: 45},
+		{Location: "B", Arrive: 45, Depart: 60},
+	})
+	if ic.Feasible {
+		t.Error("itinerary ending at non-exit B must be infeasible")
+	}
+	if !strings.Contains(ic.Reason, "not an exit location") {
+		t.Errorf("reason = %q", ic.Reason)
+	}
+	// D's windows are [5,25]/[10,30]: A 3..20, D 20..25, A 25..40 works
+	// only if A's auth admits a second entry — Table 1 grants 1 entry,
+	// so the return leg fails.
+	ic = CheckItinerary(f, st, "Alice", []Visit{
+		{Location: "A", Arrive: 3, Depart: 20},
+		{Location: "D", Arrive: 20, Depart: 25},
+		{Location: "A", Arrive: 25, Depart: 40},
+	})
+	if ic.Feasible {
+		t.Error("single-entry A cannot be entered twice in one itinerary")
+	}
+	if ic.FailsAt != 2 {
+		t.Errorf("fails at %d: %s", ic.FailsAt, ic.Reason)
+	}
+}
+
+func TestItineraryFeasibleWithGenerousAuths(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	st := authz.NewStore()
+	for _, l := range []graph.ID{"A", "B"} {
+		_, _ = st.Add(authz.New(iv("[1, 100]"), iv("[1, 200]"), "u", l, authz.Unlimited))
+	}
+	ic := CheckItinerary(f, st, "u", []Visit{
+		{Location: "A", Arrive: 5, Depart: 10},
+		{Location: "B", Arrive: 10, Depart: 20},
+		{Location: "A", Arrive: 20, Depart: 30},
+	})
+	if !ic.Feasible || ic.FailsAt != -1 {
+		t.Fatalf("ic = %+v", ic)
+	}
+	if len(ic.Grants) != 3 {
+		t.Errorf("grants = %v", ic.Grants)
+	}
+}
+
+func TestItineraryRejections(t *testing.T) {
+	f := graph.Expand(graph.Fig4Graph())
+	st := authz.NewStore()
+	for _, l := range []graph.ID{"A", "B", "C", "D"} {
+		_, _ = st.Add(authz.New(iv("[1, 100]"), iv("[1, 200]"), "u", l, authz.Unlimited))
+	}
+	cases := []struct {
+		name   string
+		visits []Visit
+		reason string
+	}{
+		{"empty", nil, "empty itinerary"},
+		{"unknown location", []Visit{{Location: "Mars", Arrive: 1, Depart: 2}}, "unknown location"},
+		{"time reversal", []Visit{{Location: "A", Arrive: 5, Depart: 2}}, "departs before"},
+		{"starts inside", []Visit{{Location: "B", Arrive: 1, Depart: 2}}, "not an entry location"},
+		{"teleport", []Visit{{Location: "A", Arrive: 1, Depart: 2}, {Location: "C", Arrive: 3, Depart: 4}}, "no direct connection"},
+		{"overlap", []Visit{{Location: "A", Arrive: 1, Depart: 5}, {Location: "B", Arrive: 4, Depart: 6}}, "before leaving"},
+		{"out of window", []Visit{{Location: "A", Arrive: 500, Depart: 600}}, "no authorization admits"},
+	}
+	for _, tc := range cases {
+		ic := CheckItinerary(f, st, "u", tc.visits)
+		if ic.Feasible {
+			t.Errorf("%s: should be infeasible", tc.name)
+			continue
+		}
+		if !strings.Contains(ic.Reason, tc.reason) {
+			t.Errorf("%s: reason = %q, want %q", tc.name, ic.Reason, tc.reason)
+		}
+	}
+}
+
+func TestItineraryPicksAuthCoveringBothWindows(t *testing.T) {
+	// Two authorizations on A: one admits early arrivals but requires an
+	// early departure; the other admits the late departure. A visit
+	// arriving early and departing late needs a single authorization
+	// covering both — neither does, so it fails; shifting the arrival
+	// into the second window succeeds.
+	g := graph.New("solo")
+	_ = g.AddLocation("A")
+	_ = g.SetEntry("A")
+	f := graph.Expand(g)
+	st := authz.NewStore()
+	_, _ = st.Add(authz.New(iv("[1, 10]"), iv("[1, 20]"), "u", "A", authz.Unlimited))
+	a2, _ := st.Add(authz.New(iv("[15, 40]"), iv("[15, 90]"), "u", "A", authz.Unlimited))
+
+	ic := CheckItinerary(f, st, "u", []Visit{{Location: "A", Arrive: 5, Depart: 60}})
+	if ic.Feasible {
+		t.Error("no single authorization covers arrive=5, depart=60")
+	}
+	ic = CheckItinerary(f, st, "u", []Visit{{Location: "A", Arrive: 20, Depart: 60}})
+	if !ic.Feasible || ic.Grants[0] != a2.ID {
+		t.Errorf("ic = %+v", ic)
+	}
+}

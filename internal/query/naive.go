@@ -1,0 +1,52 @@
+package query
+
+import (
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// NaiveFindInaccessible solves the inaccessible location finding problem
+// by brute force, straight from Definition 8: a location l is accessible
+// when some entry location has an authorized simple route to l with access
+// request duration [0, ∞); otherwise it is inaccessible. Every simple
+// route from every entry is enumerated and checked with CheckRoute.
+//
+// This is the comparison baseline for Algorithm 1 (experiment E6): it is
+// exponential in the graph's cycle structure, where the fixpoint algorithm
+// is polynomial — but on small graphs the two must agree exactly, which
+// the equivalence property tests exploit. The routeCap guards the test
+// harness against pathological blowup; 0 means unlimited.
+func NaiveFindInaccessible(f *graph.Flat, src AuthSource, s profile.SubjectID, routeCap int) []graph.ID {
+	return NaiveFindInaccessibleDuring(f, src, s, interval.From(0), routeCap)
+}
+
+// NaiveFindInaccessibleDuring is the brute-force solver for an arbitrary
+// access request duration, mirroring Options.Window on FindInaccessible.
+func NaiveFindInaccessibleDuring(f *graph.Flat, src AuthSource, s profile.SubjectID, window interval.Interval, routeCap int) []graph.ID {
+	var out []graph.ID
+	for _, target := range f.Nodes {
+		if !naiveAccessible(f, src, s, target, window, routeCap) {
+			out = append(out, target)
+		}
+	}
+	return out
+}
+
+func naiveAccessible(f *graph.Flat, src AuthSource, s profile.SubjectID, target graph.ID, window interval.Interval, routeCap int) bool {
+	for _, e := range f.EntryIDs() {
+		if e == target {
+			// Zero-length route: the entry's own grant must be non-null.
+			if !CheckRoute(src, s, graph.Route{e}, window).Authorized {
+				continue
+			}
+			return true
+		}
+		for _, r := range f.AllRoutes(e, target, routeCap) {
+			if CheckRoute(src, s, r, window).Authorized {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package query
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// RouteCheck is the outcome of the §6 authorized-route test for a route
+// ⟨l₁, …, l_k⟩ and an access request duration [tp, tq].
+type RouteCheck struct {
+	// Authorized reports whether the route satisfies every §6 condition.
+	Authorized bool
+	// Grants[i] and Departs[i] are the grant and departure duration sets
+	// of l_{i+1} computed step by step (Departs of the destination is
+	// whatever remains permitted, though §6 does not require it to be
+	// non-null).
+	Grants, Departs []interval.Set
+	// FailsAt is the index of the first location whose grant (or, for a
+	// non-final location, departure) duration is null; -1 when
+	// authorized.
+	FailsAt int
+	// Reason explains a failure.
+	Reason string
+}
+
+// GrantDuration returns the route's grant duration — the grant duration
+// of its first location (§6).
+func (rc RouteCheck) GrantDuration() interval.Set {
+	if len(rc.Grants) == 0 {
+		return interval.Set{}
+	}
+	return rc.Grants[0]
+}
+
+// DepartureDuration returns the route's departure duration — the
+// departure duration of its last location (§6).
+func (rc RouteCheck) DepartureDuration() interval.Set {
+	if len(rc.Departs) == 0 {
+		return interval.Set{}
+	}
+	return rc.Departs[len(rc.Departs)-1]
+}
+
+// CheckRoute evaluates the §6 definition: a route r = ⟨l₁, …, l_k⟩ is
+// authorized for subject s with access request duration window when
+//
+//   - the grant duration of s for l₁ in window is not null,
+//   - the departure duration of s for l₁ in window is not null,
+//   - for each 2 <= i < k, the grant and departure durations of l_i in
+//     the departure duration of l_{i-1} are not null, and
+//   - the grant duration of l_k in the departure duration of l_{k-1} is
+//     not null.
+//
+// The paper defines the durations per single authorization; with several
+// authorizations per location the windows become interval sets, each
+// authorization contributing its grant/departure only when its own grant
+// is non-null in the incoming window — exactly the pairing Algorithm 1
+// lines 19–25 use.
+func CheckRoute(src AuthSource, s profile.SubjectID, r graph.Route, window interval.Interval) RouteCheck {
+	rc := RouteCheck{FailsAt: -1}
+	if len(r) == 0 {
+		rc.Reason = "empty route"
+		rc.FailsAt = 0
+		return rc
+	}
+	in := interval.NewSet(window)
+	for i, loc := range r {
+		var grant, depart interval.Set
+		for _, w := range in.Intervals() {
+			for _, a := range src.For(s, loc) {
+				g := a.GrantDuring(w)
+				if g.IsEmpty() {
+					continue
+				}
+				grant = grant.Add(g)
+				depart = depart.Add(a.DepartureDuring(w))
+			}
+		}
+		rc.Grants = append(rc.Grants, grant)
+		rc.Departs = append(rc.Departs, depart)
+		if grant.IsEmpty() {
+			rc.FailsAt = i
+			rc.Reason = fmt.Sprintf("no grant duration for %s", loc)
+			return rc
+		}
+		if i < len(r)-1 && depart.IsEmpty() {
+			rc.FailsAt = i
+			rc.Reason = fmt.Sprintf("no departure duration for %s", loc)
+			return rc
+		}
+		in = depart
+	}
+	rc.Authorized = true
+	return rc
+}

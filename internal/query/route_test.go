@@ -1,0 +1,111 @@
+package query
+
+import (
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+func TestCheckRouteAuthorized(t *testing.T) {
+	// Route ⟨A, B⟩ with Table 1: grant(A) = [2, 35], departure(A) =
+	// [20, 50]; grant(B) in [20, 50] = [40, 50] — authorized.
+	st := table1Store(t)
+	rc := CheckRoute(st, "Alice", graph.Route{"A", "B"}, interval.From(0))
+	if !rc.Authorized || rc.FailsAt != -1 {
+		t.Fatalf("rc = %+v", rc)
+	}
+	if rc.GrantDuration().String() != "[2, 35]" {
+		t.Errorf("route grant = %s", rc.GrantDuration())
+	}
+	if rc.Grants[1].String() != "[40, 50]" {
+		t.Errorf("B grant = %s", rc.Grants[1])
+	}
+	if rc.DepartureDuration().String() != "[55, 80]" {
+		t.Errorf("route departure = %s", rc.DepartureDuration())
+	}
+}
+
+func TestCheckRouteFailsAtTimedOutLocation(t *testing.T) {
+	// ⟨A, B, C⟩: C's grant in B's departure [55, 80] is [55, 45] = null.
+	st := table1Store(t)
+	rc := CheckRoute(st, "Alice", graph.Route{"A", "B", "C"}, interval.From(0))
+	if rc.Authorized || rc.FailsAt != 2 {
+		t.Fatalf("rc = %+v", rc)
+	}
+	if rc.Reason == "" {
+		t.Error("failure needs a reason")
+	}
+	// ⟨A, D, C⟩ fails too: C's grant in D's departure [20, 30] is null.
+	rc = CheckRoute(st, "Alice", graph.Route{"A", "D", "C"}, interval.From(0))
+	if rc.Authorized || rc.FailsAt != 2 {
+		t.Fatalf("rc = %+v", rc)
+	}
+}
+
+func TestCheckRouteNoAuthAtSource(t *testing.T) {
+	st := table1Store(t)
+	rc := CheckRoute(st, "Bob", graph.Route{"A", "B"}, interval.From(0))
+	if rc.Authorized || rc.FailsAt != 0 {
+		t.Fatalf("rc = %+v", rc)
+	}
+}
+
+func TestCheckRouteWindowedRequest(t *testing.T) {
+	// A request duration starting after A's entry window closes.
+	st := table1Store(t)
+	rc := CheckRoute(st, "Alice", graph.Route{"A"}, iv("[36, 100]"))
+	if rc.Authorized {
+		t.Errorf("rc = %+v", rc)
+	}
+	// A request duration inside the window.
+	rc = CheckRoute(st, "Alice", graph.Route{"A"}, iv("[10, 30]"))
+	if !rc.Authorized || rc.GrantDuration().String() != "[10, 30]" {
+		t.Errorf("rc = %+v", rc)
+	}
+}
+
+func TestCheckRouteEmptyRoute(t *testing.T) {
+	rc := CheckRoute(table1Store(t), "Alice", nil, interval.From(0))
+	if rc.Authorized || rc.Reason != "empty route" {
+		t.Errorf("rc = %+v", rc)
+	}
+	if !rc.GrantDuration().IsEmpty() || !rc.DepartureDuration().IsEmpty() {
+		t.Error("empty route has no durations")
+	}
+}
+
+func TestCheckRouteMultipleAuthsWidenWindows(t *testing.T) {
+	// Two authorizations on the middle room, each covering a different
+	// window; the union lets the route succeed where either alone fails.
+	g := graph.New("line")
+	for _, l := range []graph.ID{"A", "B", "C"} {
+		_ = g.AddLocation(l)
+	}
+	_ = g.AddEdge("A", "B")
+	_ = g.AddEdge("B", "C")
+	_ = g.SetEntry("A")
+
+	st := authz.NewStore()
+	_, _ = st.Add(authz.New(iv("[0, 10]"), iv("[5, 20]"), "u", "A", 1))
+	// B reachable via window [5, 20]; departure early.
+	_, _ = st.Add(authz.New(iv("[5, 8]"), iv("[6, 9]"), "u", "B", 1))
+	// Second B auth departs late, enabling C.
+	_, _ = st.Add(authz.New(iv("[10, 15]"), iv("[30, 40]"), "u", "B", 1))
+	_, _ = st.Add(authz.New(iv("[35, 50]"), iv("[40, 60]"), "u", "C", 1))
+
+	rc := CheckRoute(st, "u", graph.Route{"A", "B", "C"}, interval.From(0))
+	if !rc.Authorized {
+		t.Fatalf("rc = %+v", rc)
+	}
+	// B's departure must be the union of both auths' departures.
+	if rc.Departs[1].String() != "[6, 9] ∪ [30, 40]" {
+		t.Errorf("B departures = %s", rc.Departs[1])
+	}
+	// And the algorithm agrees C is accessible.
+	res := FindInaccessible(graph.Expand(g), st, "u", Options{})
+	if len(res.Inaccessible) != 0 {
+		t.Errorf("algorithm disagrees: %v", res.Inaccessible)
+	}
+}

@@ -1,0 +1,290 @@
+package querylang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/query"
+)
+
+// Eval executes one parsed statement against the system and renders a
+// human-readable result.
+func Eval(sys *core.System, s Stmt) (string, error) {
+	switch s.Kind {
+	case StmtSubject:
+		sub := profile.Subject{ID: s.Subject, Supervisor: s.Supervisor, Groups: s.Groups, Roles: s.Roles}
+		if err := sys.PutSubject(sub); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("subject %s stored", s.Subject), nil
+
+	case StmtGrant:
+		a := authz.Authorization{
+			Subject: s.Subject, Location: s.Location,
+			Entry: s.Entry, Exit: s.Exit,
+			MaxEntries: s.Times, CreatedAt: sys.Clock(),
+		}
+		stored, err := sys.AddAuthorization(a)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("a%d: %s", stored.ID, stored), nil
+
+	case StmtRevoke:
+		n, err := sys.RevokeAuthorization(s.AuthID)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("revoked %d authorization(s)", n), nil
+
+	case StmtRule:
+		rep, err := sys.AddRule(s.RuleSpec)
+		if err != nil {
+			return "", err
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "rule %s derived %d authorization(s)", s.RuleSpec.Name, len(rep.Derived))
+		for _, a := range rep.Derived {
+			fmt.Fprintf(&b, "\n  a%d: %s", a.ID, a)
+		}
+		for _, sk := range rep.Skips {
+			fmt.Fprintf(&b, "\n  skipped: %s", sk.Reason)
+		}
+		return b.String(), nil
+
+	case StmtDropRule:
+		if err := sys.RemoveRule(s.RuleSpec.Name); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("rule %s removed", s.RuleSpec.Name), nil
+
+	case StmtRequest:
+		d := sys.Request(s.Time, s.Subject, s.Location)
+		return fmt.Sprintf("(%s, %s, %s): %s", s.Time, s.Subject, s.Location, d), nil
+
+	case StmtEnter:
+		d, err := sys.Enter(s.Time, s.Subject, s.Location)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s entered %s at %s: %s", s.Subject, s.Location, s.Time, d), nil
+
+	case StmtLeave:
+		if err := sys.Leave(s.Time, s.Subject); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%s left at %s", s.Subject, s.Time), nil
+
+	case StmtTick:
+		raised, err := sys.Tick(s.Time)
+		if err != nil {
+			return "", err
+		}
+		if len(raised) == 0 {
+			return fmt.Sprintf("tick %s: no alerts", s.Time), nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "tick %s raised %d alert(s)", s.Time, len(raised))
+		for _, a := range raised {
+			fmt.Fprintf(&b, "\n  %s", a)
+		}
+		return b.String(), nil
+
+	case StmtInaccessible:
+		if windowGiven(s.Window) {
+			return fmt.Sprintf("inaccessible to %s during %s: %s",
+				s.Subject, s.Window, joinIDs(sys.InaccessibleDuring(s.Subject, s.Window))), nil
+		}
+		return fmt.Sprintf("inaccessible to %s: %s", s.Subject, joinIDs(sys.Inaccessible(s.Subject))), nil
+
+	case StmtAccessible:
+		if windowGiven(s.Window) {
+			inacc := map[string]bool{}
+			for _, id := range sys.InaccessibleDuring(s.Subject, s.Window) {
+				inacc[string(id)] = true
+			}
+			var acc []string
+			for _, id := range sys.Flat().Nodes {
+				if !inacc[string(id)] {
+					acc = append(acc, string(id))
+				}
+			}
+			return fmt.Sprintf("accessible to %s during %s: %s", s.Subject, s.Window, joinIDs(acc)), nil
+		}
+		return fmt.Sprintf("accessible to %s: %s", s.Subject, joinIDs(sys.Accessible(s.Subject))), nil
+
+	case StmtTrace:
+		res := sys.InaccessibleTrace(s.Subject)
+		return query.FormatTrace(sys.Flat(), res) +
+			fmt.Sprintf("inaccessible: %s", joinIDs(res.Inaccessible)), nil
+
+	case StmtRoute:
+		rc := sys.CheckRoute(s.Subject, s.Route, s.Window)
+		if rc.Authorized {
+			return fmt.Sprintf("route %s authorized for %s: grant %s, departure %s",
+				s.Route, s.Subject, rc.GrantDuration(), rc.DepartureDuration()), nil
+		}
+		return fmt.Sprintf("route %s NOT authorized for %s: %s", s.Route, s.Subject, rc.Reason), nil
+
+	case StmtWho:
+		who := sys.WhoWasIn(s.Location, s.Window)
+		return fmt.Sprintf("in %s during %s: %s", s.Location, s.Window, joinSubjects(who)), nil
+
+	case StmtWhere:
+		loc, inside := sys.WhereIs(s.Subject)
+		if !inside {
+			return fmt.Sprintf("%s is outside", s.Subject), nil
+		}
+		return fmt.Sprintf("%s is in %s", s.Subject, loc), nil
+
+	case StmtOccupants:
+		return fmt.Sprintf("occupants of %s: %s", s.Location, joinSubjects(sys.Occupants(s.Location))), nil
+
+	case StmtContacts:
+		contacts := sys.ContactsOf(s.Subject, s.Window)
+		if len(contacts) == 0 {
+			return fmt.Sprintf("no contacts of %s during %s", s.Subject, s.Window), nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "contacts of %s during %s:", s.Subject, s.Window)
+		for _, c := range contacts {
+			fmt.Fprintf(&b, "\n  %s in %s during %s", c.Other, c.Location, c.Overlap)
+		}
+		return b.String(), nil
+
+	case StmtAuths:
+		var auths []authz.Authorization
+		if s.Location != "" {
+			auths = sys.AuthorizationsFor(s.Subject, s.Location)
+		} else {
+			auths = sys.AuthStore().BySubject(s.Subject)
+		}
+		if len(auths) == 0 {
+			return fmt.Sprintf("no authorizations for %s", s.Subject), nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "authorizations for %s:", s.Subject)
+		for _, a := range auths {
+			fmt.Fprintf(&b, "\n  a%d: %s", a.ID, a)
+			if a.IsDerived() {
+				fmt.Fprintf(&b, " [derived by %s from a%d]", a.DerivedBy, a.BaseID)
+			}
+		}
+		return b.String(), nil
+
+	case StmtAlerts:
+		alerts := sys.Alerts().Since(s.Since)
+		if len(alerts) == 0 {
+			return "no alerts", nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d alert(s):", len(alerts))
+		for _, a := range alerts {
+			fmt.Fprintf(&b, "\n  #%d %s", a.Seq, a)
+		}
+		return b.String(), nil
+
+	case StmtConflicts:
+		conflicts := sys.Conflicts()
+		if len(conflicts) == 0 {
+			return "no conflicts", nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d conflict(s):", len(conflicts))
+		for _, c := range conflicts {
+			fmt.Fprintf(&b, "\n  %s between a%d %s and a%d %s", c.Kind, c.A.ID, c.A, c.B.ID, c.B)
+		}
+		return b.String(), nil
+
+	case StmtReach:
+		at, ok := sys.EarliestAccess(s.Subject, s.Location)
+		if !ok {
+			return fmt.Sprintf("%s cannot reach %s", s.Subject, s.Location), nil
+		}
+		return fmt.Sprintf("%s can first be in %s at t=%s", s.Subject, s.Location, at), nil
+
+	case StmtWhoCan:
+		return fmt.Sprintf("can access %s: %s", s.Location, joinSubjects(sys.WhoCanAccess(s.Location))), nil
+
+	case StmtResolve:
+		res, err := sys.ResolveConflicts(s.Strategy)
+		if err != nil {
+			return "", err
+		}
+		if len(res) == 0 {
+			return "no conflicts to resolve", nil
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "resolved %d conflict(s) with %s:", len(res), s.Strategy)
+		for _, r := range res {
+			fmt.Fprintf(&b, "\n  kept a%d %s (removed %v)", r.Kept.ID, r.Kept, r.Removed)
+		}
+		return b.String(), nil
+
+	case StmtSnapshot:
+		if err := sys.Snapshot(); err != nil {
+			return "", err
+		}
+		return "snapshot written", nil
+
+	case StmtDot:
+		return graph.ToDOT(sys.Graph()), nil
+
+	case StmtPlan:
+		ic := sys.CheckItinerary(s.Subject, s.Visits)
+		if ic.Feasible {
+			var b strings.Builder
+			fmt.Fprintf(&b, "itinerary feasible for %s:", s.Subject)
+			for i, v := range s.Visits {
+				fmt.Fprintf(&b, "\n  %s [%s, %s] under a%d", v.Location, v.Arrive, v.Depart, ic.Grants[i])
+			}
+			return b.String(), nil
+		}
+		return fmt.Sprintf("itinerary NOT feasible for %s: visit %d: %s", s.Subject, ic.FailsAt, ic.Reason), nil
+	}
+	return "", fmt.Errorf("querylang: unhandled statement kind %d", s.Kind)
+}
+
+// Run parses and evaluates a whole script, returning one output block per
+// statement. Execution stops at the first error, which is returned along
+// with the outputs so far.
+func Run(sys *core.System, script string) ([]string, error) {
+	var out []string
+	for _, stmt := range SplitStatements(script) {
+		s, err := Parse(stmt)
+		if err != nil {
+			return out, err
+		}
+		res, err := Eval(sys, s)
+		if err != nil {
+			return out, fmt.Errorf("%q: %w", stmt, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// windowGiven distinguishes an explicit DURING window from the zero value
+// left by statements without one (the zero Interval denotes the point
+// [0, 0], which no DURING clause can produce without being meaningless).
+func windowGiven(w interval.Interval) bool {
+	return w != (interval.Interval{}) && !w.IsEmpty()
+}
+
+func joinIDs[T ~string](ids []T) string {
+	if len(ids) == 0 {
+		return "(none)"
+	}
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = string(id)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func joinSubjects(ids []profile.SubjectID) string { return joinIDs(ids) }

@@ -1,0 +1,127 @@
+// Package querylang implements a small administrator query language for
+// LTAM. The paper lists "the design of a query language for our proposed
+// authorization model" as future work (§5, §7); this package supplies
+// one, covering the queries the paper motivates: access checks, the
+// inaccessible/accessible analysis, route authorization, presence,
+// contact tracing, alerts and conflict detection, plus the administration
+// statements needed to drive them (subjects, grants, rules, movements).
+//
+// Statement survey (keywords are case-insensitive; identifiers may be
+// quoted to include spaces, e.g. "SCE.Dean's Office"):
+//
+//	SUBJECT alice [SUPERVISOR bob] [GROUPS g1,g2] [ROLES r1,r2]
+//	GRANT alice AT CAIS ENTRY [5, 40] EXIT [20, 100] [TIMES 1]
+//	REVOKE <auth-id>
+//	RULE r1 FROM 7 BASE 1 [ENTRY <op>] [EXIT <op>] [SUBJECT <op>]
+//	     [LOCATION <op>] [TIMES <expr>]
+//	DROPRULE r1
+//	REQUEST <t> alice CAIS        ENTER <t> alice CAIS
+//	LEAVE <t> alice               TICK <t>
+//	INACCESSIBLE FOR alice        ACCESSIBLE FOR alice
+//	TRACE FOR alice
+//	ROUTE alice VIA A, B, C [DURING [0, inf]]
+//	WHO IN CAIS DURING [10, 20]
+//	WHERE alice                   OCCUPANTS CAIS
+//	CONTACTS alice [DURING [0, inf]]
+//	AUTHS alice [AT CAIS]         ALERTS [SINCE n]
+//	REACH alice CAIS              WHOCAN CAIS
+//	PLAN alice VISIT A [1, 5], B [6, 10]
+//	CONFLICTS                     RESOLVE COMBINE|KEEP-FIRST|KEEP-LAST
+//	DOT                           SNAPSHOT
+//
+// INACCESSIBLE/ACCESSIBLE also accept DURING [tp, tq] to bound the visit
+// start (the §6 access request duration).
+package querylang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokWord     tokenKind = iota // bare identifier or keyword
+	tokInterval                  // [a, b] — kept whole for interval.Parse
+	tokComma
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits one statement into tokens. Comments start with '#' or '--'
+// and run to end of line.
+func lex(src string) ([]token, error) {
+	var out []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '#' || (c == '-' && i+1 < n && src[i+1] == '-'):
+			return out, nil // comment to end of statement
+		case unicode.IsSpace(rune(c)):
+			i++
+		case c == ',':
+			out = append(out, token{kind: tokComma, text: ",", pos: i})
+			i++
+		case c == '[':
+			j := strings.IndexByte(src[i:], ']')
+			if j < 0 {
+				return nil, fmt.Errorf("querylang: unterminated interval at %d", i)
+			}
+			out = append(out, token{kind: tokInterval, text: src[i : i+j+1], pos: i})
+			i += j + 1
+		case c == '"':
+			j := strings.IndexByte(src[i+1:], '"')
+			if j < 0 {
+				return nil, fmt.Errorf("querylang: unterminated string at %d", i)
+			}
+			out = append(out, token{kind: tokWord, text: src[i+1 : i+1+j], pos: i})
+			i += j + 2
+		default:
+			j := i
+			depth := 0
+			for j < n {
+				cj := src[j]
+				if cj == '(' {
+					depth++
+				}
+				if cj == ')' {
+					depth--
+				}
+				if depth == 0 && (unicode.IsSpace(rune(cj)) || cj == ',' || cj == '"') {
+					break
+				}
+				// '[' begins an interval only at word start; inside a
+				// word like UNION([1, 2]) it belongs to the operator.
+				if cj == '[' && depth == 0 {
+					break
+				}
+				j++
+			}
+			out = append(out, token{kind: tokWord, text: src[i:j], pos: i})
+			i = j
+		}
+	}
+	return out, nil
+}
+
+// SplitStatements breaks a script into statements on newlines and
+// semicolons, dropping blanks and comment-only lines.
+func SplitStatements(script string) []string {
+	var out []string
+	for _, line := range strings.FieldsFunc(script, func(r rune) bool { return r == '\n' || r == ';' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "--") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return out
+}

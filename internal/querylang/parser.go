@@ -1,0 +1,549 @@
+package querylang
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/query"
+	"repro/internal/rules"
+)
+
+// StmtKind enumerates the statement forms.
+type StmtKind int
+
+// The statement kinds.
+const (
+	StmtSubject StmtKind = iota
+	StmtGrant
+	StmtRevoke
+	StmtRule
+	StmtDropRule
+	StmtRequest
+	StmtEnter
+	StmtLeave
+	StmtTick
+	StmtInaccessible
+	StmtAccessible
+	StmtTrace
+	StmtRoute
+	StmtWho
+	StmtWhere
+	StmtOccupants
+	StmtContacts
+	StmtAuths
+	StmtAlerts
+	StmtConflicts
+	StmtSnapshot
+	StmtReach
+	StmtWhoCan
+	StmtResolve
+	StmtDot
+	StmtPlan
+)
+
+// Stmt is one parsed statement.
+type Stmt struct {
+	Kind StmtKind
+
+	// Subject administration.
+	Subject    profile.SubjectID
+	Supervisor profile.SubjectID
+	Groups     []string
+	Roles      []string
+
+	// Grants.
+	Location graph.ID
+	Entry    interval.Interval
+	Exit     interval.Interval
+	Times    int64
+
+	// Rules.
+	RuleSpec rules.Spec
+
+	// Enforcement / queries.
+	Time     interval.Time
+	AuthID   authz.ID
+	Route    graph.Route
+	Window   interval.Interval
+	Since    uint64
+	Strategy authz.Strategy
+	Visits   []query.Visit
+}
+
+// parser walks the token list.
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+func (p *parser) done() bool { return p.i >= len(p.toks) }
+
+func (p *parser) peek() (token, bool) {
+	if p.done() {
+		return token{}, false
+	}
+	return p.toks[p.i], true
+}
+
+func (p *parser) next() (token, error) {
+	if p.done() {
+		return token{}, fmt.Errorf("querylang: unexpected end of statement %q", p.src)
+	}
+	t := p.toks[p.i]
+	p.i++
+	return t, nil
+}
+
+func (p *parser) word() (string, error) {
+	t, err := p.next()
+	if err != nil {
+		return "", err
+	}
+	if t.kind != tokWord {
+		return "", fmt.Errorf("querylang: expected a word, got %q in %q", t.text, p.src)
+	}
+	return t.text, nil
+}
+
+func (p *parser) keyword(k string) bool {
+	t, ok := p.peek()
+	if ok && t.kind == tokWord && strings.EqualFold(t.text, k) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k string) error {
+	if !p.keyword(k) {
+		t, _ := p.peek()
+		return fmt.Errorf("querylang: expected %s, got %q in %q", k, t.text, p.src)
+	}
+	return nil
+}
+
+func (p *parser) intervalTok() (interval.Interval, error) {
+	t, err := p.next()
+	if err != nil {
+		return interval.Empty, err
+	}
+	if t.kind != tokInterval {
+		return interval.Empty, fmt.Errorf("querylang: expected an interval, got %q in %q", t.text, p.src)
+	}
+	return interval.Parse(t.text)
+}
+
+func (p *parser) timeTok() (interval.Time, error) {
+	w, err := p.word()
+	if err != nil {
+		return 0, err
+	}
+	if strings.EqualFold(w, "inf") {
+		return interval.Inf, nil
+	}
+	v, err := strconv.ParseInt(w, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("querylang: bad time %q in %q", w, p.src)
+	}
+	return interval.Time(v), nil
+}
+
+// list parses comma-separated words.
+func (p *parser) list() ([]string, error) {
+	var out []string
+	for {
+		w, err := p.word()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, w)
+		if t, ok := p.peek(); !ok || t.kind != tokComma {
+			return out, nil
+		}
+		p.i++ // consume comma
+	}
+}
+
+// Parse parses one statement.
+func Parse(src string) (Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return Stmt{}, err
+	}
+	if len(toks) == 0 {
+		return Stmt{}, fmt.Errorf("querylang: empty statement")
+	}
+	p := &parser{toks: toks, src: src}
+	head, _ := p.word()
+	var s Stmt
+	switch strings.ToUpper(head) {
+	case "SUBJECT":
+		s.Kind = StmtSubject
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		for !p.done() {
+			switch {
+			case p.keyword("SUPERVISOR"):
+				w, err := p.word()
+				if err != nil {
+					return s, err
+				}
+				s.Supervisor = profile.SubjectID(w)
+			case p.keyword("GROUPS"):
+				if s.Groups, err = p.list(); err != nil {
+					return s, err
+				}
+			case p.keyword("ROLES"):
+				if s.Roles, err = p.list(); err != nil {
+					return s, err
+				}
+			default:
+				t, _ := p.peek()
+				return s, fmt.Errorf("querylang: unexpected %q in SUBJECT", t.text)
+			}
+		}
+	case "GRANT":
+		s.Kind = StmtGrant
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		if err := p.expect("AT"); err != nil {
+			return s, err
+		}
+		loc, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Location = graph.ID(loc)
+		s.Times = authz.Unlimited
+		for !p.done() {
+			switch {
+			case p.keyword("ENTRY"):
+				if s.Entry, err = p.intervalTok(); err != nil {
+					return s, err
+				}
+			case p.keyword("EXIT"):
+				if s.Exit, err = p.intervalTok(); err != nil {
+					return s, err
+				}
+			case p.keyword("TIMES"):
+				w, err := p.word()
+				if err != nil {
+					return s, err
+				}
+				if s.Times, err = strconv.ParseInt(w, 10, 64); err != nil {
+					return s, fmt.Errorf("querylang: bad TIMES %q", w)
+				}
+			default:
+				t, _ := p.peek()
+				return s, fmt.Errorf("querylang: unexpected %q in GRANT", t.text)
+			}
+		}
+	case "REVOKE":
+		s.Kind = StmtRevoke
+		w, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		id, err := strconv.ParseUint(w, 10, 64)
+		if err != nil {
+			return s, fmt.Errorf("querylang: bad authorization id %q", w)
+		}
+		s.AuthID = authz.ID(id)
+	case "RULE":
+		s.Kind = StmtRule
+		name, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.RuleSpec.Name = name
+		for !p.done() {
+			switch {
+			case p.keyword("FROM"):
+				t, err := p.timeTok()
+				if err != nil {
+					return s, err
+				}
+				s.RuleSpec.ValidFrom = t
+			case p.keyword("BASE"):
+				w, err := p.word()
+				if err != nil {
+					return s, err
+				}
+				id, err := strconv.ParseUint(w, 10, 64)
+				if err != nil {
+					return s, fmt.Errorf("querylang: bad BASE %q", w)
+				}
+				s.RuleSpec.Base = authz.ID(id)
+			case p.keyword("ENTRY"):
+				if s.RuleSpec.Entry, err = p.word(); err != nil {
+					return s, err
+				}
+			case p.keyword("EXIT"):
+				if s.RuleSpec.Exit, err = p.word(); err != nil {
+					return s, err
+				}
+			case p.keyword("SUBJECT"):
+				if s.RuleSpec.Subject, err = p.word(); err != nil {
+					return s, err
+				}
+			case p.keyword("LOCATION"):
+				if s.RuleSpec.Location, err = p.word(); err != nil {
+					return s, err
+				}
+			case p.keyword("TIMES"):
+				if s.RuleSpec.Entries, err = p.word(); err != nil {
+					return s, err
+				}
+			default:
+				t, _ := p.peek()
+				return s, fmt.Errorf("querylang: unexpected %q in RULE", t.text)
+			}
+		}
+	case "DROPRULE":
+		s.Kind = StmtDropRule
+		name, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.RuleSpec.Name = name
+	case "REQUEST", "ENTER":
+		if strings.EqualFold(head, "REQUEST") {
+			s.Kind = StmtRequest
+		} else {
+			s.Kind = StmtEnter
+		}
+		if s.Time, err = p.timeTok(); err != nil {
+			return s, err
+		}
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		loc, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Location = graph.ID(loc)
+	case "LEAVE":
+		s.Kind = StmtLeave
+		if s.Time, err = p.timeTok(); err != nil {
+			return s, err
+		}
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+	case "TICK":
+		s.Kind = StmtTick
+		if s.Time, err = p.timeTok(); err != nil {
+			return s, err
+		}
+	case "INACCESSIBLE", "ACCESSIBLE", "TRACE":
+		switch strings.ToUpper(head) {
+		case "INACCESSIBLE":
+			s.Kind = StmtInaccessible
+		case "ACCESSIBLE":
+			s.Kind = StmtAccessible
+		default:
+			s.Kind = StmtTrace
+		}
+		if err := p.expect("FOR"); err != nil {
+			return s, err
+		}
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		if p.keyword("DURING") {
+			if s.Kind == StmtTrace {
+				return s, fmt.Errorf("querylang: TRACE does not take DURING")
+			}
+			if s.Window, err = p.intervalTok(); err != nil {
+				return s, err
+			}
+		}
+	case "ROUTE":
+		s.Kind = StmtRoute
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		if err := p.expect("VIA"); err != nil {
+			return s, err
+		}
+		locs, err := p.list()
+		if err != nil {
+			return s, err
+		}
+		for _, l := range locs {
+			s.Route = append(s.Route, graph.ID(l))
+		}
+		s.Window = interval.From(0)
+		if p.keyword("DURING") {
+			if s.Window, err = p.intervalTok(); err != nil {
+				return s, err
+			}
+		}
+	case "PLAN":
+		// PLAN alice VISIT A [1, 5], B [6, 10]
+		s.Kind = StmtPlan
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		if err := p.expect("VISIT"); err != nil {
+			return s, err
+		}
+		for {
+			loc, err := p.word()
+			if err != nil {
+				return s, err
+			}
+			iv, err := p.intervalTok()
+			if err != nil {
+				return s, err
+			}
+			if iv.IsEmpty() {
+				return s, fmt.Errorf("querylang: visit window may not be null")
+			}
+			s.Visits = append(s.Visits, query.Visit{Location: graph.ID(loc), Arrive: iv.Start, Depart: iv.End})
+			if t, ok := p.peek(); !ok || t.kind != tokComma {
+				break
+			}
+			p.i++
+		}
+	case "WHO":
+		s.Kind = StmtWho
+		if err := p.expect("IN"); err != nil {
+			return s, err
+		}
+		loc, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Location = graph.ID(loc)
+		if err := p.expect("DURING"); err != nil {
+			return s, err
+		}
+		if s.Window, err = p.intervalTok(); err != nil {
+			return s, err
+		}
+	case "REACH":
+		s.Kind = StmtReach
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		loc, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Location = graph.ID(loc)
+	case "WHERE":
+		s.Kind = StmtWhere
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+	case "OCCUPANTS":
+		s.Kind = StmtOccupants
+		loc, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Location = graph.ID(loc)
+	case "CONTACTS":
+		s.Kind = StmtContacts
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		s.Window = interval.From(0)
+		if p.keyword("DURING") {
+			if s.Window, err = p.intervalTok(); err != nil {
+				return s, err
+			}
+		}
+	case "AUTHS":
+		s.Kind = StmtAuths
+		id, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Subject = profile.SubjectID(id)
+		if p.keyword("AT") {
+			loc, err := p.word()
+			if err != nil {
+				return s, err
+			}
+			s.Location = graph.ID(loc)
+		}
+	case "ALERTS":
+		s.Kind = StmtAlerts
+		if p.keyword("SINCE") {
+			w, err := p.word()
+			if err != nil {
+				return s, err
+			}
+			if s.Since, err = strconv.ParseUint(w, 10, 64); err != nil {
+				return s, fmt.Errorf("querylang: bad SINCE %q", w)
+			}
+		}
+	case "WHOCAN":
+		s.Kind = StmtWhoCan
+		loc, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		s.Location = graph.ID(loc)
+	case "RESOLVE":
+		s.Kind = StmtResolve
+		w, err := p.word()
+		if err != nil {
+			return s, err
+		}
+		switch strings.ToUpper(w) {
+		case "COMBINE":
+			s.Strategy = authz.Combine
+		case "KEEP-FIRST", "KEEPFIRST":
+			s.Strategy = authz.KeepFirst
+		case "KEEP-LAST", "KEEPLAST":
+			s.Strategy = authz.KeepLast
+		default:
+			return s, fmt.Errorf("querylang: unknown strategy %q (COMBINE, KEEP-FIRST, KEEP-LAST)", w)
+		}
+	case "CONFLICTS":
+		s.Kind = StmtConflicts
+	case "SNAPSHOT":
+		s.Kind = StmtSnapshot
+	case "DOT":
+		s.Kind = StmtDot
+	default:
+		return s, fmt.Errorf("querylang: unknown statement %q", head)
+	}
+	if !p.done() {
+		t, _ := p.peek()
+		return s, fmt.Errorf("querylang: trailing %q in %q", t.text, src)
+	}
+	return s, nil
+}

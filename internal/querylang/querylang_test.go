@@ -1,0 +1,402 @@
+package querylang
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func sys(t *testing.T) *core.System {
+	t.Helper()
+	s, err := core.Open(core.Config{Graph: graph.NTUCampus(), AutoDerive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestLexIntervalAndQuotes(t *testing.T) {
+	toks, err := lex(`GRANT alice AT "SCE.Dean's Office" ENTRY [5, 40]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks {
+		texts = append(texts, tk.text)
+	}
+	want := []string{"GRANT", "alice", "AT", "SCE.Dean's Office", "ENTRY", "[5, 40]"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v", texts)
+	}
+	if toks[5].kind != tokInterval {
+		t.Error("interval token kind wrong")
+	}
+}
+
+func TestLexOperatorWithParens(t *testing.T) {
+	toks, err := lex(`RULE r2 ENTRY INTERSECTION([10, 30]) SUBJECT Supervisor_Of`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tk := range toks {
+		if tk.text == "INTERSECTION([10, 30])" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("operator token split: %v", toks)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lex(`GRANT [5, 40`); err == nil {
+		t.Error("unterminated interval should fail")
+	}
+	if _, err := lex(`GRANT "unterminated`); err == nil {
+		t.Error("unterminated string should fail")
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := lex(`TICK 5 # advance the clock`)
+	if err != nil || len(toks) != 2 {
+		t.Errorf("tokens = %v, %v", toks, err)
+	}
+	toks, _ = lex(`-- whole line comment`)
+	if len(toks) != 0 {
+		t.Errorf("comment-only = %v", toks)
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	script := `
+# header comment
+SUBJECT alice; TICK 5
+-- another comment
+
+WHERE alice
+`
+	got := SplitStatements(script)
+	if len(got) != 3 || got[0] != "SUBJECT alice" || got[1] != "TICK 5" || got[2] != "WHERE alice" {
+		t.Errorf("statements = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"FROBNICATE x",
+		"GRANT alice CAIS",            // missing AT
+		"GRANT alice AT CAIS TIMES x", // bad number
+		"REVOKE xyz",
+		"INACCESSIBLE alice",     // missing FOR
+		"WHO CAIS DURING [1, 2]", // missing IN
+		"ROUTE alice A, B",       // missing VIA
+		"TICK",                   // missing time
+		"REQUEST ten alice CAIS", // bad time
+		"ALERTS SINCE many",      // bad since
+		"SUBJECT alice NONSENSE x",
+		"GRANT alice AT CAIS WAT",
+		"RULE r1 WAT x",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestScriptEndToEndPaperScenario(t *testing.T) {
+	// The §4 + §5 story written in the query language.
+	s := sys(t)
+	script := `
+SUBJECT Alice SUPERVISOR Bob
+SUBJECT Bob
+GRANT Alice AT CAIS ENTRY [5, 20] EXIT [15, 50] TIMES 2
+RULE r1 FROM 7 BASE 1 ENTRY WHENEVER EXIT WHENEVER SUBJECT Supervisor_Of LOCATION CAIS TIMES 2
+AUTHS Bob AT CAIS
+REQUEST 10 Bob CAIS
+INACCESSIBLE FOR Bob
+ACCESSIBLE FOR Bob
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 8 {
+		t.Fatalf("outputs = %d: %v", len(out), out)
+	}
+	if !strings.Contains(out[3], "derived 1 authorization") {
+		t.Errorf("rule output = %q", out[3])
+	}
+	if !strings.Contains(out[4], "[derived by r1 from a1]") {
+		t.Errorf("auths output = %q", out[4])
+	}
+	if !strings.Contains(out[5], "granted") {
+		t.Errorf("request output = %q", out[5])
+	}
+	// Bob holds only the derived CAIS authorization; with no grant on any
+	// entry location, even CAIS is unreachable (Def. 8).
+	if !strings.Contains(out[6], "CAIS") {
+		t.Errorf("inaccessible output = %q", out[6])
+	}
+	if !strings.Contains(out[7], "(none)") {
+		t.Errorf("accessible output = %q", out[7])
+	}
+}
+
+func TestScriptMovementAndMonitoring(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT Alice
+GRANT Alice AT SCE.GO ENTRY [1, 5] EXIT [1, 10] TIMES 0
+ENTER 5 Alice SCE.GO
+WHERE Alice
+OCCUPANTS SCE.GO
+TICK 50
+ALERTS
+LEAVE 60 Alice
+WHERE Alice
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[3], "Alice is in SCE.GO") {
+		t.Errorf("where = %q", out[3])
+	}
+	if !strings.Contains(out[4], "Alice") {
+		t.Errorf("occupants = %q", out[4])
+	}
+	if !strings.Contains(out[5], "overstay") {
+		t.Errorf("tick should raise overstay: %q", out[5])
+	}
+	if !strings.Contains(out[6], "alert") {
+		t.Errorf("alerts = %q", out[6])
+	}
+	if !strings.Contains(out[8], "outside") {
+		t.Errorf("where after leave = %q", out[8])
+	}
+}
+
+func TestScriptRouteWhoContactsConflicts(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT a
+SUBJECT b
+GRANT a AT SCE.GO ENTRY [1, 100] EXIT [1, 200] TIMES 0
+GRANT a AT SCE.SectionA ENTRY [1, 100] EXIT [1, 200] TIMES 0
+GRANT b AT SCE.GO ENTRY [1, 100] EXIT [1, 200] TIMES 0
+GRANT b AT SCE.GO ENTRY [50, 150] EXIT [50, 250] TIMES 0
+ROUTE a VIA SCE.GO, SCE.SectionA DURING [0, inf]
+ROUTE b VIA SCE.GO, SCE.SectionA
+ENTER 5 a SCE.GO
+ENTER 6 b SCE.GO
+LEAVE 9 a
+WHO IN SCE.GO DURING [0, 100]
+CONTACTS a DURING [0, inf]
+CONFLICTS
+TRACE FOR a
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[6], "authorized") || strings.Contains(out[6], "NOT") {
+		t.Errorf("route a = %q", out[6])
+	}
+	if !strings.Contains(out[7], "NOT authorized") {
+		t.Errorf("route b = %q", out[7])
+	}
+	if !strings.Contains(out[11], "a, b") {
+		t.Errorf("who = %q", out[11])
+	}
+	if !strings.Contains(out[12], "b in SCE.GO during [6, 9]") {
+		t.Errorf("contacts = %q", out[12])
+	}
+	if !strings.Contains(out[13], "overlap") {
+		t.Errorf("conflicts = %q", out[13])
+	}
+	if !strings.Contains(out[14], "Initiation") {
+		t.Errorf("trace = %q", out[14])
+	}
+}
+
+func TestScriptRevokeAndDropRule(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT Alice SUPERVISOR Bob
+SUBJECT Bob
+GRANT Alice AT CAIS ENTRY [5, 20] EXIT [15, 50] TIMES 2
+RULE r1 FROM 7 BASE 1 SUBJECT Supervisor_Of
+DROPRULE r1
+REVOKE 1
+AUTHS Alice
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[4], "removed") {
+		t.Errorf("droprule = %q", out[4])
+	}
+	if !strings.Contains(out[5], "revoked 1") {
+		t.Errorf("revoke = %q", out[5])
+	}
+	if !strings.Contains(out[6], "no authorizations") {
+		t.Errorf("auths = %q", out[6])
+	}
+}
+
+func TestReachStatement(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT a
+GRANT a AT SCE.GO ENTRY [7, 100] EXIT [9, 200] TIMES 0
+GRANT a AT SCE.SectionA ENTRY [1, 100] EXIT [1, 200] TIMES 0
+REACH a SCE.SectionA
+REACH a CAIS
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SectionA is reachable only after departing SCE.GO, whose exit
+	// window opens at 9.
+	if !strings.Contains(out[3], "at t=9") {
+		t.Errorf("reach = %q", out[3])
+	}
+	if !strings.Contains(out[4], "cannot reach") {
+		t.Errorf("reach CAIS = %q", out[4])
+	}
+	if _, err := Parse("REACH a"); err == nil {
+		t.Error("REACH needs subject and location")
+	}
+}
+
+func TestWhoCanAndResolveStatements(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT a
+SUBJECT b
+GRANT a AT SCE.GO ENTRY [1, 100] EXIT [1, 200] TIMES 0
+GRANT a AT SCE.GO ENTRY [90, 150] EXIT [90, 250] TIMES 0
+WHOCAN SCE.GO
+RESOLVE COMBINE
+CONFLICTS
+RESOLVE KEEP-FIRST
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[4], "can access SCE.GO: a") {
+		t.Errorf("whocan = %q", out[4])
+	}
+	if !strings.Contains(out[5], "resolved 1 conflict(s) with combine") {
+		t.Errorf("resolve = %q", out[5])
+	}
+	if !strings.Contains(out[6], "no conflicts") {
+		t.Errorf("conflicts = %q", out[6])
+	}
+	if !strings.Contains(out[7], "no conflicts to resolve") {
+		t.Errorf("idempotent resolve = %q", out[7])
+	}
+	if _, err := Parse("RESOLVE COIN-FLIP"); err == nil {
+		t.Error("unknown strategy should fail to parse")
+	}
+	if _, err := Parse("WHOCAN"); err == nil {
+		t.Error("WHOCAN needs a location")
+	}
+}
+
+func TestDotAndWindowedStatements(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT a
+GRANT a AT SCE.GO ENTRY [10, 30] EXIT [10, 60] TIMES 0
+DOT
+INACCESSIBLE FOR a DURING [40, 90]
+ACCESSIBLE FOR a DURING [10, 20]
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[2], `graph "NTU"`) || !strings.Contains(out[2], "cluster_SCE") {
+		t.Errorf("dot = %q", out[2][:60])
+	}
+	// The window [40, 90] starts after the entry duration [10, 30]
+	// closes: even SCE.GO is inaccessible.
+	if !strings.Contains(out[3], "SCE.GO") {
+		t.Errorf("windowed inaccessible = %q", out[3])
+	}
+	if !strings.Contains(out[4], "accessible to a during [10, 20]: SCE.GO") {
+		t.Errorf("windowed accessible = %q", out[4])
+	}
+	if _, err := Parse("TRACE FOR a DURING [1, 2]"); err == nil {
+		t.Error("TRACE DURING should be rejected")
+	}
+}
+
+func TestPlanStatement(t *testing.T) {
+	s := sys(t)
+	script := `
+SUBJECT a
+GRANT a AT SCE.GO ENTRY [1, 100] EXIT [1, 200] TIMES 0
+GRANT a AT SCE.SectionA ENTRY [1, 100] EXIT [1, 200] TIMES 0
+PLAN a VISIT SCE.GO [5, 10], SCE.SectionA [10, 20], SCE.GO [20, 30]
+PLAN a VISIT SCE.GO [5, 10], CAIS [11, 20]
+`
+	out, err := Run(s, script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[3], "itinerary feasible") || !strings.Contains(out[3], "under a1") {
+		t.Errorf("plan = %q", out[3])
+	}
+	if !strings.Contains(out[4], "NOT feasible") || !strings.Contains(out[4], "no direct connection") {
+		t.Errorf("bad plan = %q", out[4])
+	}
+	for _, bad := range []string{"PLAN a", "PLAN a VISIT", "PLAN a VISIT X", "PLAN a VISIT X null"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunStopsAtError(t *testing.T) {
+	s := sys(t)
+	out, err := Run(s, "SUBJECT a\nGRANT a AT Mars ENTRY [1, 2] EXIT [1, 5]\nWHERE a")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(out) != 1 {
+		t.Errorf("outputs before error = %v", out)
+	}
+	if !strings.Contains(err.Error(), "Mars") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestSnapshotStatementWithoutDurability(t *testing.T) {
+	s := sys(t)
+	if _, err := Run(s, "SNAPSHOT"); err == nil {
+		t.Error("snapshot without durability should fail")
+	}
+}
+
+func TestQuotedLocationStatement(t *testing.T) {
+	s := sys(t)
+	out, err := Run(s, `SUBJECT d
+GRANT d AT "SCE.Dean's Office" ENTRY [1, 10] EXIT [1, 20] TIMES 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out[1], "SCE.Dean's Office") {
+		t.Errorf("grant = %q", out[1])
+	}
+}

@@ -1,0 +1,213 @@
+package rules
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/profile"
+)
+
+func profilesFixture(t *testing.T) *profile.DB {
+	t.Helper()
+	db := profile.NewDB()
+	for _, s := range []profile.Subject{
+		{ID: "Alice", Supervisor: "Bob", Groups: []string{"staff"}, Roles: []string{"researcher"}},
+		{ID: "Bob", Supervisor: "Carol", Groups: []string{"staff"}, Roles: []string{"supervisor"}},
+		{ID: "Carol", Roles: []string{"dean"}},
+	} {
+		if err := db.Put(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func TestSubjectOps(t *testing.T) {
+	db := profilesFixture(t)
+	if got, err := (SameSubject{}).Apply("Alice", db); err != nil || len(got) != 1 || got[0] != "Alice" {
+		t.Errorf("SameSubject = %v, %v", got, err)
+	}
+	if got, err := (SupervisorOf{}).Apply("Alice", db); err != nil || len(got) != 1 || got[0] != "Bob" {
+		t.Errorf("SupervisorOf = %v, %v", got, err)
+	}
+	// No supervisor: vacuous, no error.
+	if got, err := (SupervisorOf{}).Apply("Carol", db); err != nil || len(got) != 0 {
+		t.Errorf("SupervisorOf(Carol) = %v, %v", got, err)
+	}
+	// Unknown subject: error.
+	if _, err := (SupervisorOf{}).Apply("Ghost", db); !errors.Is(err, profile.ErrNotFound) {
+		t.Errorf("SupervisorOf(Ghost) err = %v", err)
+	}
+	if got, _ := (DirectReportsOf{}).Apply("Carol", db); len(got) != 1 || got[0] != "Bob" {
+		t.Errorf("DirectReportsOf = %v", got)
+	}
+	if got, _ := (MembersOf{"staff"}).Apply("ignored", db); len(got) != 2 {
+		t.Errorf("MembersOf = %v", got)
+	}
+	if got, _ := (HoldersOf{"dean"}).Apply("ignored", db); len(got) != 1 || got[0] != "Carol" {
+		t.Errorf("HoldersOf = %v", got)
+	}
+	custom := SubjectFunc{Name: "Buddy_Of", Fn: func(base profile.SubjectID, _ *profile.DB) ([]profile.SubjectID, error) {
+		return []profile.SubjectID{base + "-buddy"}, nil
+	}}
+	if got, _ := custom.Apply("Alice", db); got[0] != "Alice-buddy" {
+		t.Errorf("custom = %v", got)
+	}
+}
+
+func TestSubjectOpStrings(t *testing.T) {
+	cases := map[string]string{
+		(SameSubject{}).String():          "SAME",
+		(SupervisorOf{}).String():         "Supervisor_Of",
+		(DirectReportsOf{}).String():      "Direct_Reports_Of",
+		(MembersOf{"staff"}).String():     "Members_Of(staff)",
+		(HoldersOf{"dean"}).String():      "Holders_Of(dean)",
+		(SubjectFunc{}).String():          "CUSTOM",
+		(SubjectFunc{Name: "X"}).String(): "X",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestLocationOps(t *testing.T) {
+	ntu := graph.NTUCampus()
+	if got, err := (SameLocation{}).Apply(graph.CAIS, ntu); err != nil || len(got) != 1 || got[0] != graph.CAIS {
+		t.Errorf("SameLocation = %v, %v", got, err)
+	}
+	if got, err := (FixedLocation{graph.Lab1}).Apply(graph.CAIS, ntu); err != nil || got[0] != graph.Lab1 {
+		t.Errorf("FixedLocation = %v, %v", got, err)
+	}
+	if _, err := (FixedLocation{"Mars"}).Apply(graph.CAIS, ntu); err == nil {
+		t.Error("unknown fixed location should fail")
+	}
+	// Composite names are not primitive locations.
+	if _, err := (FixedLocation{graph.SCE}).Apply(graph.CAIS, ntu); err == nil {
+		t.Error("composite as fixed location should fail")
+	}
+
+	got, err := (AllRouteFrom{Source: graph.SCEGO}).Apply(graph.CAIS, ntu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("AllRouteFrom = %v", got)
+	}
+	if _, err := (AllRouteFrom{Source: "Mars"}).Apply(graph.CAIS, ntu); err == nil {
+		t.Error("unknown source should fail")
+	}
+
+	ns, err := (NeighborsOf{}).Apply(graph.SCESectionB, ntu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 3 { // SectionA, CAIS, SectionC
+		t.Errorf("NeighborsOf = %v", ns)
+	}
+	ns2, _ := (NeighborsOf{IncludeSelf: true}).Apply(graph.SCESectionB, ntu)
+	if len(ns2) != 4 || ns2[0] != graph.SCESectionB {
+		t.Errorf("NeighborsOf self = %v", ns2)
+	}
+	if _, err := (NeighborsOf{}).Apply("Mars", ntu); err == nil {
+		t.Error("unknown base should fail")
+	}
+
+	all, err := (AllIn{graph.SCE}).Apply("ignored", ntu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 7 {
+		t.Errorf("AllIn(SCE) = %v", all)
+	}
+	if _, err := (AllIn{"Mars"}).Apply("x", ntu); err == nil {
+		t.Error("unknown composite should fail")
+	}
+
+	custom := LocationFunc{Name: "l", Fn: func(base graph.ID, _ *graph.Graph) ([]graph.ID, error) {
+		return []graph.ID{base}, nil
+	}}
+	if got, _ := custom.Apply(graph.CAIS, ntu); got[0] != graph.CAIS {
+		t.Errorf("custom = %v", got)
+	}
+}
+
+func TestAllRouteFromScoping(t *testing.T) {
+	// Endpoints in different schools scope to the campus, not a school:
+	// the route EEE.GO → CAIS must cross school entries.
+	ntu := graph.NTUCampus()
+	got, err := (AllRouteFrom{Source: graph.EEEGO}).Apply(graph.CAIS, ntu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asSet := map[graph.ID]bool{}
+	for _, id := range got {
+		asSet[id] = true
+	}
+	if !asSet[graph.EEEGO] || !asSet[graph.SCEGO] || !asSet[graph.CAIS] {
+		t.Errorf("cross-school route locations = %v", got)
+	}
+}
+
+func TestLocationOpStrings(t *testing.T) {
+	cases := map[string]string{
+		(SameLocation{}).String():            "SAME",
+		(FixedLocation{graph.CAIS}).String(): "CAIS",
+		(AllRouteFrom{graph.SCEGO}).String(): "all_route_from(SCE.GO)",
+		(NeighborsOf{}).String():             "neighbors_of",
+		(AllIn{graph.SCE}).String():          "all_in(SCE)",
+		(LocationFunc{}).String():            "CUSTOM",
+		(LocationFunc{Name: "X"}).String():   "X",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEntryExprs(t *testing.T) {
+	if (SameEntries{}).Apply(5) != 5 || (SameEntries{}).Apply(authz.Unlimited) != authz.Unlimited {
+		t.Error("SameEntries broken")
+	}
+	if (ConstEntries{3}).Apply(99) != 3 {
+		t.Error("ConstEntries broken")
+	}
+	if (AddEntries{2}).Apply(3) != 5 {
+		t.Error("AddEntries broken")
+	}
+	if (AddEntries{-10}).Apply(3) != 1 {
+		t.Error("AddEntries must clamp at 1")
+	}
+	if (AddEntries{2}).Apply(authz.Unlimited) != authz.Unlimited {
+		t.Error("unlimited + delta must stay unlimited")
+	}
+	if (ScaleEntries{3}).Apply(4) != 12 {
+		t.Error("ScaleEntries broken")
+	}
+	if (ScaleEntries{0}).Apply(4) != 1 {
+		t.Error("ScaleEntries must clamp at 1")
+	}
+	if (ScaleEntries{3}).Apply(authz.Unlimited) != authz.Unlimited {
+		t.Error("unlimited scale must stay unlimited")
+	}
+	if (SameEntries{}).String() != "SAME" || (ConstEntries{2}).String() != "2" ||
+		(AddEntries{1}).String() != "n+1" || (ScaleEntries{2}).String() != "n*2" {
+		t.Error("entry expr strings broken")
+	}
+}
+
+func TestOpsDefaultsAndString(t *testing.T) {
+	var o Ops
+	d := o.withDefaults()
+	if d.Entry == nil || d.Exit == nil || d.Subject == nil || d.Location == nil || d.Entries == nil {
+		t.Error("defaults not filled")
+	}
+	want := "(WHENEVER, WHENEVER, SAME, SAME, SAME)"
+	if o.String() != want {
+		t.Errorf("Ops string = %q, want %q", o.String(), want)
+	}
+}

@@ -1,0 +1,194 @@
+package rules
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+// Spec is the serialisable form of a rule, used by the storage engine,
+// the wire protocol and the query language. Operators are written in the
+// paper's surface syntax:
+//
+//	entry/exit : WHENEVER | WHENEVERNOT | UNION([a, b]) | INTERSECTION([a, b])
+//	subject    : SAME | Supervisor_Of | Direct_Reports_Of |
+//	             Members_Of(group) | Holders_Of(role)
+//	location   : SAME | all_route_from(SRC) | neighbors_of |
+//	             neighbors_of_self | all_in(COMPOSITE) | a literal
+//	             primitive location name
+//	entries    : SAME | an integer literal | n+K | n-K | n*K
+//
+// Empty strings mean "unspecified" and take the paper's copy-from-base
+// default. Customized operators (Go functions) are available through the
+// Engine API directly but are not serialisable.
+type Spec struct {
+	Name      string        `json:"name"`
+	ValidFrom interval.Time `json:"valid_from"`
+	Base      authz.ID      `json:"base"`
+	Entry     string        `json:"entry,omitempty"`
+	Exit      string        `json:"exit,omitempty"`
+	Subject   string        `json:"subject,omitempty"`
+	Location  string        `json:"location,omitempty"`
+	Entries   string        `json:"entries,omitempty"`
+}
+
+// Compile parses the spec into an executable Rule.
+func (s Spec) Compile() (Rule, error) {
+	r := Rule{Name: s.Name, ValidFrom: s.ValidFrom, Base: s.Base}
+	var err error
+	if s.Entry != "" {
+		if r.Ops.Entry, err = interval.ParseTemporalOp(s.Entry); err != nil {
+			return Rule{}, fmt.Errorf("rules: spec %q entry: %w", s.Name, err)
+		}
+	}
+	if s.Exit != "" {
+		if r.Ops.Exit, err = interval.ParseTemporalOp(s.Exit); err != nil {
+			return Rule{}, fmt.Errorf("rules: spec %q exit: %w", s.Name, err)
+		}
+	}
+	if s.Subject != "" {
+		if r.Ops.Subject, err = ParseSubjectOp(s.Subject); err != nil {
+			return Rule{}, fmt.Errorf("rules: spec %q subject: %w", s.Name, err)
+		}
+	}
+	if s.Location != "" {
+		if r.Ops.Location, err = ParseLocationOp(s.Location); err != nil {
+			return Rule{}, fmt.Errorf("rules: spec %q location: %w", s.Name, err)
+		}
+	}
+	if s.Entries != "" {
+		if r.Ops.Entries, err = ParseEntryExpr(s.Entries); err != nil {
+			return Rule{}, fmt.Errorf("rules: spec %q entries: %w", s.Name, err)
+		}
+	}
+	if err := r.Validate(); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+// ParseSubjectOp parses the subject-operator surface syntax.
+func ParseSubjectOp(s string) (SubjectOp, error) {
+	switch s {
+	case "SAME":
+		return SameSubject{}, nil
+	case "Supervisor_Of":
+		return SupervisorOf{}, nil
+	case "Direct_Reports_Of":
+		return DirectReportsOf{}, nil
+	}
+	if arg, ok := callArg(s, "Members_Of"); ok {
+		return MembersOf{Group: arg}, nil
+	}
+	if arg, ok := callArg(s, "Holders_Of"); ok {
+		return HoldersOf{Role: arg}, nil
+	}
+	return nil, fmt.Errorf("unknown subject operator %q", s)
+}
+
+// ParseLocationOp parses the location-operator surface syntax. Any string
+// that is not an operator form is taken as a literal primitive location.
+func ParseLocationOp(s string) (LocationOp, error) {
+	switch s {
+	case "SAME":
+		return SameLocation{}, nil
+	case "neighbors_of":
+		return NeighborsOf{}, nil
+	case "neighbors_of_self":
+		return NeighborsOf{IncludeSelf: true}, nil
+	}
+	if arg, ok := callArg(s, "all_route_from"); ok {
+		if arg == "" {
+			return nil, fmt.Errorf("all_route_from needs a source location")
+		}
+		return AllRouteFrom{Source: graph.ID(arg)}, nil
+	}
+	if arg, ok := callArg(s, "all_in"); ok {
+		if arg == "" {
+			return nil, fmt.Errorf("all_in needs a composite location")
+		}
+		return AllIn{Composite: graph.ID(arg)}, nil
+	}
+	if strings.ContainsAny(s, "()") {
+		return nil, fmt.Errorf("unknown location operator %q", s)
+	}
+	return FixedLocation{Location: graph.ID(s)}, nil
+}
+
+// ParseEntryExpr parses the entry-count expression syntax.
+func ParseEntryExpr(s string) (EntryExpr, error) {
+	switch {
+	case s == "SAME":
+		return SameEntries{}, nil
+	case strings.HasPrefix(s, "n+") || strings.HasPrefix(s, "n-"):
+		v, err := strconv.ParseInt(s[1:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry delta %q", s)
+		}
+		return AddEntries{Delta: v}, nil
+	case strings.HasPrefix(s, "n*"):
+		v, err := strconv.ParseInt(s[2:], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad entry factor %q", s)
+		}
+		return ScaleEntries{Factor: v}, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad entry expression %q", s)
+	}
+	if v < 0 {
+		return nil, fmt.Errorf("entry count %d must be positive (0 = unlimited)", v)
+	}
+	return ConstEntries{N: v}, nil
+}
+
+// SpecOf reverses Compile for rules built from built-in operators; rules
+// with customized (function) operators return ok=false and must not be
+// persisted.
+func SpecOf(r Rule) (Spec, bool) {
+	s := Spec{Name: r.Name, ValidFrom: r.ValidFrom, Base: r.Base}
+	ops := r.Ops.withDefaults()
+	switch ops.Entry.(type) {
+	case interval.Whenever, interval.WheneverNot, interval.UnionOp, interval.IntersectionOp:
+		s.Entry = ops.Entry.String()
+	default:
+		return Spec{}, false
+	}
+	switch ops.Exit.(type) {
+	case interval.Whenever, interval.WheneverNot, interval.UnionOp, interval.IntersectionOp:
+		s.Exit = ops.Exit.String()
+	default:
+		return Spec{}, false
+	}
+	switch ops.Subject.(type) {
+	case SameSubject, SupervisorOf, DirectReportsOf, MembersOf, HoldersOf:
+		s.Subject = ops.Subject.String()
+	default:
+		return Spec{}, false
+	}
+	switch ops.Location.(type) {
+	case SameLocation, FixedLocation, AllRouteFrom, NeighborsOf, AllIn:
+		s.Location = ops.Location.String()
+	default:
+		return Spec{}, false
+	}
+	switch ops.Entries.(type) {
+	case SameEntries, ConstEntries, AddEntries, ScaleEntries:
+		s.Entries = ops.Entries.String()
+	default:
+		return Spec{}, false
+	}
+	return s, true
+}
+
+func callArg(s, name string) (string, bool) {
+	if !strings.HasPrefix(s, name+"(") || !strings.HasSuffix(s, ")") {
+		return "", false
+	}
+	return strings.TrimSpace(s[len(name)+1 : len(s)-1]), true
+}

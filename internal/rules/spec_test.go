@@ -1,0 +1,221 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+func TestSpecCompileExample2(t *testing.T) {
+	// Rule r2 of the paper in surface syntax.
+	spec := Spec{
+		Name:      "r2",
+		ValidFrom: 7,
+		Base:      1,
+		Entry:     "INTERSECTION([10, 30])",
+		Exit:      "WHENEVER",
+		Subject:   "Supervisor_Of",
+		Location:  "CAIS",
+		Entries:   "2",
+	}
+	r, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "r2" || r.ValidFrom != 7 || r.Base != 1 {
+		t.Errorf("rule = %+v", r)
+	}
+	if _, ok := r.Ops.Entry.(interval.IntersectionOp); !ok {
+		t.Errorf("entry op = %T", r.Ops.Entry)
+	}
+	if _, ok := r.Ops.Subject.(SupervisorOf); !ok {
+		t.Errorf("subject op = %T", r.Ops.Subject)
+	}
+	if fl, ok := r.Ops.Location.(FixedLocation); !ok || fl.Location != "CAIS" {
+		t.Errorf("location op = %#v", r.Ops.Location)
+	}
+	if ce, ok := r.Ops.Entries.(ConstEntries); !ok || ce.N != 2 {
+		t.Errorf("entries = %#v", r.Ops.Entries)
+	}
+}
+
+func TestSpecCompileDefaults(t *testing.T) {
+	r, err := Spec{Name: "r", Base: 1}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Ops.Entry != nil || r.Ops.Subject != nil {
+		t.Error("unspecified fields must stay nil (defaults applied at derivation)")
+	}
+}
+
+func TestSpecCompileErrors(t *testing.T) {
+	bad := []Spec{
+		{Name: "x", Base: 1, Entry: "NOPE"},
+		{Name: "x", Base: 1, Exit: "UNION(zzz)"},
+		{Name: "x", Base: 1, Subject: "Boss_Of"},
+		{Name: "x", Base: 1, Location: "all_route_from()"},
+		{Name: "x", Base: 1, Location: "weird(arg)"},
+		{Name: "x", Base: 1, Entries: "many"},
+		{Name: "x", Base: 1, Entries: "-3"},
+		{Name: "", Base: 1},
+		{Name: "x", Base: 0},
+	}
+	for _, s := range bad {
+		if _, err := s.Compile(); err == nil {
+			t.Errorf("spec %+v should fail", s)
+		}
+	}
+}
+
+func TestParseSubjectOpVariants(t *testing.T) {
+	for in, want := range map[string]string{
+		"SAME":              "SAME",
+		"Supervisor_Of":     "Supervisor_Of",
+		"Direct_Reports_Of": "Direct_Reports_Of",
+		"Members_Of(staff)": "Members_Of(staff)",
+		"Holders_Of(dean)":  "Holders_Of(dean)",
+	} {
+		op, err := ParseSubjectOp(in)
+		if err != nil || op.String() != want {
+			t.Errorf("ParseSubjectOp(%q) = %v, %v", in, op, err)
+		}
+	}
+}
+
+func TestParseLocationOpVariants(t *testing.T) {
+	for in, want := range map[string]string{
+		"SAME":                   "SAME",
+		"neighbors_of":           "neighbors_of",
+		"neighbors_of_self":      "neighbors_of_self",
+		"all_route_from(SCE.GO)": "all_route_from(SCE.GO)",
+		"all_in(SCE)":            "all_in(SCE)",
+		"CAIS":                   "CAIS",
+	} {
+		op, err := ParseLocationOp(in)
+		if err != nil || op.String() != want {
+			t.Errorf("ParseLocationOp(%q) = %v, %v", in, op, err)
+		}
+	}
+	if _, err := ParseLocationOp("all_in()"); err == nil {
+		t.Error("empty all_in should fail")
+	}
+}
+
+func TestParseEntryExprVariants(t *testing.T) {
+	cases := map[string]int64{"5": 5, "0": 0}
+	for in, want := range cases {
+		e, err := ParseEntryExpr(in)
+		if err != nil {
+			t.Fatalf("%q: %v", in, err)
+		}
+		if got := e.Apply(99); got != want {
+			t.Errorf("%q applied = %d, want %d", in, got, want)
+		}
+	}
+	e, _ := ParseEntryExpr("n+3")
+	if e.Apply(2) != 5 {
+		t.Error("n+3 broken")
+	}
+	e, _ = ParseEntryExpr("n-1")
+	if e.Apply(5) != 4 {
+		t.Error("n-1 broken")
+	}
+	e, _ = ParseEntryExpr("n*4")
+	if e.Apply(2) != 8 {
+		t.Error("n*4 broken")
+	}
+	for _, bad := range []string{"n+x", "n*y", "SAMEISH"} {
+		if _, err := ParseEntryExpr(bad); err == nil {
+			t.Errorf("%q should fail", bad)
+		}
+	}
+	e, _ = ParseEntryExpr("SAME")
+	if e.Apply(7) != 7 {
+		t.Error("SAME broken")
+	}
+}
+
+func TestSpecOfRoundTrip(t *testing.T) {
+	spec := Spec{
+		Name: "r2", ValidFrom: 7, Base: 3,
+		Entry: "INTERSECTION([10, 30])", Exit: "WHENEVER",
+		Subject: "Supervisor_Of", Location: "all_route_from(SCE.GO)", Entries: "n+1",
+	}
+	r, err := spec.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, ok := SpecOf(r)
+	if !ok {
+		t.Fatal("built-in rule should round-trip")
+	}
+	if back != spec {
+		t.Errorf("round trip:\n got %+v\nwant %+v", back, spec)
+	}
+}
+
+func TestSpecOfDefaultsRoundTrip(t *testing.T) {
+	r, _ := Spec{Name: "r", Base: 1}.Compile()
+	back, ok := SpecOf(r)
+	if !ok {
+		t.Fatal("default rule should round-trip")
+	}
+	// Defaults serialise explicitly.
+	if back.Entry != "WHENEVER" || back.Subject != "SAME" || back.Entries != "SAME" {
+		t.Errorf("defaults = %+v", back)
+	}
+	if _, err := back.Compile(); err != nil {
+		t.Errorf("re-compile: %v", err)
+	}
+}
+
+func TestSpecOfRejectsCustomOps(t *testing.T) {
+	r := Rule{Name: "c", Base: 1, Ops: Ops{
+		Subject: SubjectFunc{Name: "X", Fn: func(profile.SubjectID, *profile.DB) ([]profile.SubjectID, error) { return nil, nil }},
+	}}
+	if _, ok := SpecOf(r); ok {
+		t.Error("custom subject op must not serialise")
+	}
+	r = Rule{Name: "c", Base: 1, Ops: Ops{
+		Location: LocationFunc{Name: "X", Fn: func(graph.ID, *graph.Graph) ([]graph.ID, error) { return nil, nil }},
+	}}
+	if _, ok := SpecOf(r); ok {
+		t.Error("custom location op must not serialise")
+	}
+	r = Rule{Name: "c", Base: 1, Ops: Ops{
+		Entry: interval.TemporalFunc{Name: "X", Fn: func(interval.Interval, interval.Time) interval.Set { return interval.Set{} }},
+	}}
+	if _, ok := SpecOf(r); ok {
+		t.Error("custom temporal op must not serialise")
+	}
+}
+
+func TestCompiledSpecDerivesLikeHandBuilt(t *testing.T) {
+	// The compiled r1 derives the same a2 as the hand-built rule in
+	// engine_test.go.
+	store := authz.NewStore()
+	profiles := profile.NewDB()
+	_ = profiles.Put(profile.Subject{ID: "Alice", Supervisor: "Bob"})
+	_ = profiles.Put(profile.Subject{ID: "Bob"})
+	a1, _ := store.Add(authz.New(interval.MustParse("[5, 20]"), interval.MustParse("[15, 50]"), "Alice", graph.CAIS, 2))
+	eng := NewEngine(store, profiles, graph.NTUCampus(), false)
+
+	r, err := Spec{
+		Name: "r1", ValidFrom: 7, Base: a1.ID,
+		Subject: "Supervisor_Of", Location: "CAIS", Entries: "2",
+	}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := eng.AddRule(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Derived) != 1 || rep.Derived[0].String() != "([5, 20], [15, 50], (Bob, CAIS), 2)" {
+		t.Errorf("derived = %v", rep.Derived)
+	}
+}

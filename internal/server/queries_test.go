@@ -1,0 +1,71 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+func TestReachAndWhoCanOverWire(t *testing.T) {
+	_, c := testServer(t, "")
+	_ = c.PutSubject(profile.Subject{ID: "a"})
+	_ = c.PutSubject(profile.Subject{ID: "b"})
+	_, _ = c.AddAuthorization(authz.New(iv("[7, 100]"), iv("[9, 200]"), "a", graph.SCEGO, 0))
+	_, _ = c.AddAuthorization(authz.New(iv("[1, 100]"), iv("[1, 200]"), "a", graph.SCESectionA, 0))
+
+	r, err := c.Reach("a", graph.SCESectionA)
+	if err != nil || !r.Reachable || r.Earliest != 9 {
+		t.Fatalf("reach = %+v, %v", r, err)
+	}
+	r, err = c.Reach("b", graph.SCESectionA)
+	if err != nil || r.Reachable {
+		t.Fatalf("b reach = %+v, %v", r, err)
+	}
+	who, err := c.WhoCan(graph.SCESectionA)
+	if err != nil || len(who) != 1 || who[0] != "a" {
+		t.Fatalf("whocan = %v, %v", who, err)
+	}
+	// Missing parameters.
+	for _, path := range []string{"/v1/queries/reach?subject=a", "/v1/queries/reach?location=x", "/v1/queries/whocan"} {
+		resp, _ := http.Get(c.BaseURL + path)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestConflictsOverWire(t *testing.T) {
+	_, c := testServer(t, "")
+	_, _ = c.AddAuthorization(authz.New(iv("[5, 10]"), iv("[5, 20]"), "Alice", graph.CAIS, 1))
+	_, _ = c.AddAuthorization(authz.New(iv("[10, 11]"), iv("[10, 30]"), "Alice", graph.CAIS, 1))
+
+	conflicts, err := c.Conflicts()
+	if err != nil || len(conflicts) != 1 || conflicts[0].Kind != "overlap" {
+		t.Fatalf("conflicts = %v, %v", conflicts, err)
+	}
+	res, err := c.ResolveConflicts("combine")
+	if err != nil || len(res) != 1 {
+		t.Fatalf("resolve = %v, %v", res, err)
+	}
+	if !res[0].Kept.Entry.Equal(interval.MustParse("[5, 11]")) {
+		t.Errorf("kept = %v", res[0].Kept)
+	}
+	conflicts, _ = c.Conflicts()
+	if len(conflicts) != 0 {
+		t.Errorf("conflicts remain: %v", conflicts)
+	}
+	// Unknown strategy.
+	if _, err := c.ResolveConflicts("coin-flip"); err == nil {
+		t.Error("bad strategy should fail")
+	}
+	// No conflicts: empty result, no error.
+	res, err = c.ResolveConflicts("keep-first")
+	if err != nil || len(res) != 0 {
+		t.Errorf("idempotent resolve = %v, %v", res, err)
+	}
+}

@@ -1,0 +1,400 @@
+// Package server exposes a core.System over HTTP/JSON — the network face
+// of the central control station. Handlers are a thin, uniform projection
+// of the System API; all model logic stays in internal/core and below.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+// Server wraps a System with an http.Handler.
+type Server struct {
+	sys *core.System
+	mux *http.ServeMux
+}
+
+// New builds the handler set over sys.
+func New(sys *core.System) *Server {
+	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s.routes()
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/subjects", s.putSubject)
+	s.mux.HandleFunc("GET /v1/subjects", s.listSubjects)
+	s.mux.HandleFunc("GET /v1/subjects/{id}", s.getSubject)
+	s.mux.HandleFunc("DELETE /v1/subjects/{id}", s.removeSubject)
+
+	s.mux.HandleFunc("POST /v1/authorizations", s.addAuthorization)
+	s.mux.HandleFunc("GET /v1/authorizations", s.listAuthorizations)
+	s.mux.HandleFunc("DELETE /v1/authorizations/{id}", s.revokeAuthorization)
+
+	s.mux.HandleFunc("POST /v1/rules", s.addRule)
+	s.mux.HandleFunc("GET /v1/rules", s.listRules)
+	s.mux.HandleFunc("DELETE /v1/rules/{name}", s.removeRule)
+
+	s.mux.HandleFunc("POST /v1/request", s.request)
+	s.mux.HandleFunc("POST /v1/enter", s.enter)
+	s.mux.HandleFunc("POST /v1/leave", s.leave)
+	s.mux.HandleFunc("POST /v1/tick", s.tick)
+
+	s.mux.HandleFunc("GET /v1/queries/inaccessible", s.inaccessible)
+	s.mux.HandleFunc("GET /v1/queries/contacts", s.contacts)
+	s.mux.HandleFunc("GET /v1/queries/reach", s.reach)
+	s.mux.HandleFunc("GET /v1/queries/whocan", s.whocan)
+	s.mux.HandleFunc("GET /v1/conflicts", s.conflicts)
+	s.mux.HandleFunc("POST /v1/conflicts/resolve", s.resolveConflicts)
+	s.mux.HandleFunc("GET /v1/where", s.where)
+	s.mux.HandleFunc("GET /v1/occupants", s.occupants)
+	s.mux.HandleFunc("GET /v1/alerts", s.alerts)
+	s.mux.HandleFunc("GET /v1/graph", s.graphSpec)
+	s.mux.HandleFunc("POST /v1/snapshot", s.snapshot)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, wire.Error{Error: err.Error()})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) putSubject(w http.ResponseWriter, r *http.Request) {
+	var sub profile.Subject
+	if !readJSON(w, r, &sub) {
+		return
+	}
+	if err := s.sys.PutSubject(sub); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sub)
+}
+
+func (s *Server) listSubjects(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sys.Subjects())
+}
+
+func (s *Server) getSubject(w http.ResponseWriter, r *http.Request) {
+	sub, err := s.sys.GetSubject(profile.SubjectID(r.PathValue("id")))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sub)
+}
+
+func (s *Server) removeSubject(w http.ResponseWriter, r *http.Request) {
+	if err := s.sys.RemoveSubject(profile.SubjectID(r.PathValue("id"))); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) addAuthorization(w http.ResponseWriter, r *http.Request) {
+	var a authz.Authorization
+	if !readJSON(w, r, &a) {
+		return
+	}
+	a.ID = 0
+	stored, err := s.sys.AddAuthorization(a)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, stored)
+}
+
+func (s *Server) listAuthorizations(w http.ResponseWriter, r *http.Request) {
+	subject := profile.SubjectID(r.URL.Query().Get("subject"))
+	location := graph.ID(r.URL.Query().Get("location"))
+	var out []authz.Authorization
+	switch {
+	case subject != "" && location != "":
+		out = s.sys.AuthorizationsFor(subject, location)
+	case subject != "":
+		out = s.sys.AuthStore().BySubject(subject)
+	case location != "":
+		out = s.sys.AuthStore().ByLocation(location)
+	default:
+		out = s.sys.Authorizations()
+	}
+	if out == nil {
+		out = []authz.Authorization{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) revokeAuthorization(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad authorization id"))
+		return
+	}
+	n, err := s.sys.RevokeAuthorization(authz.ID(id))
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.RevokeResponse{Removed: n})
+}
+
+func (s *Server) addRule(w http.ResponseWriter, r *http.Request) {
+	var spec rules.Spec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	rep, err := s.sys.AddRule(spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.RuleResponse{Derived: rep.Derived, Skips: rep.Skips})
+}
+
+func (s *Server) listRules(w http.ResponseWriter, _ *http.Request) {
+	var specs []rules.Spec
+	for _, r := range s.sys.Rules() {
+		if spec, ok := rules.SpecOf(r); ok {
+			specs = append(specs, spec)
+		}
+	}
+	if specs == nil {
+		specs = []rules.Spec{}
+	}
+	writeJSON(w, http.StatusOK, specs)
+}
+
+func (s *Server) removeRule(w http.ResponseWriter, r *http.Request) {
+	if err := s.sys.RemoveRule(r.PathValue("name")); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) request(w http.ResponseWriter, r *http.Request) {
+	var m wire.MoveRequest
+	if !readJSON(w, r, &m) {
+		return
+	}
+	d := s.sys.Request(m.Time, m.Subject, m.Location)
+	writeJSON(w, http.StatusOK, wire.DecisionResponse{
+		Granted: d.Granted, Auth: d.Auth, Reason: d.Reason, Exhausted: d.Exhausted,
+	})
+}
+
+func (s *Server) enter(w http.ResponseWriter, r *http.Request) {
+	var m wire.MoveRequest
+	if !readJSON(w, r, &m) {
+		return
+	}
+	d, err := s.sys.Enter(m.Time, m.Subject, m.Location)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.DecisionResponse{
+		Granted: d.Granted, Auth: d.Auth, Reason: d.Reason, Exhausted: d.Exhausted,
+	})
+}
+
+func (s *Server) leave(w http.ResponseWriter, r *http.Request) {
+	var m wire.MoveRequest
+	if !readJSON(w, r, &m) {
+		return
+	}
+	if err := s.sys.Leave(m.Time, m.Subject); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func (s *Server) tick(w http.ResponseWriter, r *http.Request) {
+	var m wire.MoveRequest
+	if !readJSON(w, r, &m) {
+		return
+	}
+	raised, err := s.sys.Tick(m.Time)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.TickResponse{Raised: raised})
+}
+
+func (s *Server) inaccessible(w http.ResponseWriter, r *http.Request) {
+	subject := profile.SubjectID(r.URL.Query().Get("subject"))
+	if subject == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("subject parameter required"))
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.InaccessibleResponse{
+		Subject:      subject,
+		Inaccessible: s.sys.Inaccessible(subject),
+		Accessible:   s.sys.Accessible(subject),
+	})
+}
+
+func (s *Server) contacts(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	subject := profile.SubjectID(q.Get("subject"))
+	if subject == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("subject parameter required"))
+		return
+	}
+	window := interval.From(0)
+	if fs, ts := q.Get("from"), q.Get("to"); fs != "" || ts != "" {
+		from, err := strconv.ParseInt(fs, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from"))
+			return
+		}
+		to := int64(interval.Inf)
+		if ts != "" {
+			if to, err = strconv.ParseInt(ts, 10, 64); err != nil {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("bad to"))
+				return
+			}
+		}
+		window = interval.New(interval.Time(from), interval.Time(to))
+	}
+	writeJSON(w, http.StatusOK, wire.ContactsResponse{Contacts: s.sys.ContactsOf(subject, window)})
+}
+
+func (s *Server) reach(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	subject := profile.SubjectID(q.Get("subject"))
+	location := graph.ID(q.Get("location"))
+	if subject == "" || location == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("subject and location parameters required"))
+		return
+	}
+	at, ok := s.sys.EarliestAccess(subject, location)
+	writeJSON(w, http.StatusOK, wire.ReachResponse{Reachable: ok, Earliest: at})
+}
+
+func (s *Server) whocan(w http.ResponseWriter, r *http.Request) {
+	location := graph.ID(r.URL.Query().Get("location"))
+	if location == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("location parameter required"))
+		return
+	}
+	who := s.sys.WhoCanAccess(location)
+	if who == nil {
+		who = []profile.SubjectID{}
+	}
+	writeJSON(w, http.StatusOK, wire.OccupantsResponse{Occupants: who})
+}
+
+func (s *Server) conflicts(w http.ResponseWriter, _ *http.Request) {
+	out := s.sys.Conflicts()
+	if out == nil {
+		out = []authz.Conflict{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) resolveConflicts(w http.ResponseWriter, r *http.Request) {
+	var req wire.ResolveRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	var strategy authz.Strategy
+	switch req.Strategy {
+	case "combine":
+		strategy = authz.Combine
+	case "keep-first":
+		strategy = authz.KeepFirst
+	case "keep-last":
+		strategy = authz.KeepLast
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown strategy %q", req.Strategy))
+		return
+	}
+	res, err := s.sys.ResolveConflicts(strategy)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if res == nil {
+		res = []authz.Resolution{}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) where(w http.ResponseWriter, r *http.Request) {
+	subject := profile.SubjectID(r.URL.Query().Get("subject"))
+	loc, inside := s.sys.WhereIs(subject)
+	writeJSON(w, http.StatusOK, wire.WhereResponse{Inside: inside, Location: loc})
+}
+
+func (s *Server) occupants(w http.ResponseWriter, r *http.Request) {
+	l := graph.ID(r.URL.Query().Get("location"))
+	occ := s.sys.Occupants(l)
+	if occ == nil {
+		occ = []profile.SubjectID{}
+	}
+	writeJSON(w, http.StatusOK, wire.OccupantsResponse{Occupants: occ})
+}
+
+func (s *Server) alerts(w http.ResponseWriter, r *http.Request) {
+	since := uint64(0)
+	if v := r.URL.Query().Get("since"); v != "" {
+		var err error
+		if since, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad since"))
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, s.sys.Alerts().Since(since))
+}
+
+func (s *Server) graphSpec(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, graph.ToSpec(s.sys.Graph()))
+}
+
+func (s *Server) snapshot(w http.ResponseWriter, _ *http.Request) {
+	if err := s.sys.Snapshot(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct{}{})
+}
+
+func statusFor(err error) int {
+	if errors.Is(err, authz.ErrNotFound) || errors.Is(err, profile.ErrNotFound) {
+		return http.StatusNotFound
+	}
+	return http.StatusBadRequest
+}

@@ -1,0 +1,255 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/rules"
+	"repro/internal/wire"
+)
+
+func iv(s string) interval.Interval { return interval.MustParse(s) }
+
+func testServer(t *testing.T, dataDir string) (*httptest.Server, *wire.Client) {
+	t.Helper()
+	sys, err := core.Open(core.Config{Graph: graph.NTUCampus(), DataDir: dataDir, AutoDerive: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return ts, wire.NewClient(ts.URL)
+}
+
+func TestExperimentArchitectureRoundTrip(t *testing.T) {
+	// E7: the Fig. 3 architecture end to end — admin API → engine → WAL,
+	// then snapshot via the API.
+	ts, c := testServer(t, t.TempDir())
+	_ = ts
+
+	// Subjects.
+	if err := c.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PutSubject(profile.Subject{ID: "Bob"}); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := c.Subjects()
+	if err != nil || len(subs) != 2 {
+		t.Fatalf("subjects = %v, %v", subs, err)
+	}
+	got, err := c.GetSubject("Alice")
+	if err != nil || got.Supervisor != "Bob" {
+		t.Fatalf("get = %+v, %v", got, err)
+	}
+
+	// Authorizations + rule (paper Example 1).
+	a1, err := c.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := c.AddRule(rules.Spec{Name: "r1", ValidFrom: 7, Base: a1.ID, Subject: "Supervisor_Of"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Derived) != 1 || rep.Derived[0].Subject != "Bob" {
+		t.Fatalf("derived = %v", rep.Derived)
+	}
+
+	// Enforcement trace (§5 style).
+	d, err := c.Request(10, "Bob", graph.CAIS)
+	if err != nil || !d.Granted {
+		t.Fatalf("request = %+v, %v", d, err)
+	}
+	d, err = c.Enter(10, "Bob", graph.CAIS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.Where("Bob")
+	if err != nil || !w.Inside || w.Location != graph.CAIS {
+		t.Fatalf("where = %+v, %v", w, err)
+	}
+	occ, err := c.Occupants(graph.CAIS)
+	if err != nil || len(occ) != 1 {
+		t.Fatalf("occupants = %v, %v", occ, err)
+	}
+	if err := c.Leave(20, "Bob"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Queries.
+	inacc, err := c.Inaccessible("Alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inacc.Inaccessible)+len(inacc.Accessible) != 17 {
+		t.Errorf("partition = %d + %d", len(inacc.Inaccessible), len(inacc.Accessible))
+	}
+	alerts, err := c.Alerts(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alerts) == 0 {
+		t.Error("CAIS entry from outside is not an entry location: expected an alert")
+	}
+	spec, err := c.GraphSpec()
+	if err != nil || spec.Name != graph.NTU {
+		t.Fatalf("graph = %+v, %v", spec, err)
+	}
+
+	// Tick + snapshot.
+	raised, err := c.Tick(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = raised
+	if err := c.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuthorizationFiltersAndRevoke(t *testing.T) {
+	_, c := testServer(t, "")
+	_ = c.PutSubject(profile.Subject{ID: "Alice"})
+	a1, _ := c.AddAuthorization(authz.New(iv("[1, 5]"), iv("[1, 9]"), "Alice", graph.CAIS, 1))
+	_, _ = c.AddAuthorization(authz.New(iv("[1, 5]"), iv("[1, 9]"), "Alice", graph.CHIPES, 1))
+
+	all, _ := c.Authorizations("", "")
+	if len(all) != 2 {
+		t.Errorf("all = %v", all)
+	}
+	bySub, _ := c.Authorizations("Alice", "")
+	if len(bySub) != 2 {
+		t.Errorf("by subject = %v", bySub)
+	}
+	byLoc, _ := c.Authorizations("", graph.CAIS)
+	if len(byLoc) != 1 {
+		t.Errorf("by location = %v", byLoc)
+	}
+	byBoth, _ := c.Authorizations("Alice", graph.CHIPES)
+	if len(byBoth) != 1 {
+		t.Errorf("by pair = %v", byBoth)
+	}
+	n, err := c.RevokeAuthorization(a1.ID)
+	if err != nil || n != 1 {
+		t.Errorf("revoke = %d, %v", n, err)
+	}
+	if _, err := c.RevokeAuthorization(9999); err == nil {
+		t.Error("revoking unknown id should fail")
+	}
+}
+
+func TestRuleLifecycleOverWire(t *testing.T) {
+	_, c := testServer(t, "")
+	_ = c.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"})
+	_ = c.PutSubject(profile.Subject{ID: "Bob"})
+	a1, _ := c.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	if _, err := c.AddRule(rules.Spec{Name: "r1", Base: a1.ID, ValidFrom: 7, Subject: "Supervisor_Of"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddRule(rules.Spec{Name: "bad", Base: a1.ID, Subject: "Nope_Of"}); err == nil {
+		t.Error("bad rule spec should fail")
+	}
+	if err := c.RemoveRule("r1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RemoveRule("r1"); err == nil {
+		t.Error("double remove should fail")
+	}
+}
+
+func TestContactsOverWire(t *testing.T) {
+	_, c := testServer(t, "")
+	_, _ = c.AddAuthorization(authz.Authorization{Subject: "a", Location: graph.SCEGO, Entry: iv("[1, 100]"), Exit: iv("[1, 200]")})
+	_, _ = c.AddAuthorization(authz.Authorization{Subject: "b", Location: graph.SCEGO, Entry: iv("[1, 100]"), Exit: iv("[1, 200]")})
+	_, _ = c.Enter(5, "a", graph.SCEGO)
+	_, _ = c.Enter(6, "b", graph.SCEGO)
+	_ = c.Leave(9, "a")
+	contacts, err := c.Contacts("a", iv("[0, 100]"))
+	if err != nil || len(contacts) != 1 || contacts[0].Other != "b" {
+		t.Fatalf("contacts = %v, %v", contacts, err)
+	}
+	// Missing subject parameter.
+	if _, err := c.Contacts("", iv("[0, 1]")); err == nil {
+		t.Error("missing subject should fail")
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	ts, c := testServer(t, "")
+	// Unknown subject.
+	if _, err := c.GetSubject("ghost"); err == nil || !strings.Contains(err.Error(), "not found") {
+		t.Errorf("get ghost: %v", err)
+	}
+	if err := c.RemoveSubject("ghost"); err == nil {
+		t.Error("remove ghost should fail")
+	}
+	// Invalid authorization.
+	if _, err := c.AddAuthorization(authz.New(iv("[5, 40]"), iv("[2, 100]"), "x", graph.CAIS, 1)); err == nil {
+		t.Error("invalid auth should fail")
+	}
+	// Unknown location.
+	if _, err := c.AddAuthorization(authz.New(iv("[1, 2]"), iv("[1, 5]"), "x", "Mars", 1)); err == nil {
+		t.Error("unknown location should fail")
+	}
+	// Bad JSON body.
+	resp, err := http.Post(ts.URL+"/v1/subjects", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", resp.StatusCode)
+	}
+	// Bad id in path.
+	req, _ := http.NewRequest("DELETE", ts.URL+"/v1/authorizations/zzz", nil)
+	resp, _ = http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id status = %d", resp.StatusCode)
+	}
+	// Inaccessible without subject.
+	resp, _ = http.Get(ts.URL + "/v1/queries/inaccessible")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing subject status = %d", resp.StatusCode)
+	}
+	// Snapshot without durability.
+	if err := c.Snapshot(); err == nil {
+		t.Error("snapshot without DataDir should fail")
+	}
+	// Leave while outside.
+	if err := c.Leave(1, "nobody"); err == nil {
+		t.Error("leave outside should fail")
+	}
+	// Bad since parameter.
+	resp, _ = http.Get(ts.URL + "/v1/alerts?since=zzz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad since status = %d", resp.StatusCode)
+	}
+}
+
+func TestListRulesOverWire(t *testing.T) {
+	ts, c := testServer(t, "")
+	_ = c.PutSubject(profile.Subject{ID: "Alice", Supervisor: "Bob"})
+	_ = c.PutSubject(profile.Subject{ID: "Bob"})
+	a1, _ := c.AddAuthorization(authz.New(iv("[5, 20]"), iv("[15, 50]"), "Alice", graph.CAIS, 2))
+	_, _ = c.AddRule(rules.Spec{Name: "r1", Base: a1.ID, ValidFrom: 7, Subject: "Supervisor_Of"})
+	resp, err := http.Get(ts.URL + "/v1/rules")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("list rules status = %d", resp.StatusCode)
+	}
+}

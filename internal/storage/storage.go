@@ -1,0 +1,332 @@
+// Package storage is the persistence substrate of the central control
+// station (Fig. 3). The paper assumes durable authorization, movement and
+// profile databases without prescribing an engine; this package provides
+// one: an append-only write-ahead log with periodic snapshots and
+// crash recovery.
+//
+// Records are length-prefixed JSON frames with a CRC32 checksum, so a torn
+// tail write (the classic crash case) is detected and truncated rather
+// than corrupting recovery. Snapshots compact the log: recovery loads the
+// latest valid snapshot and replays only the log suffix.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Record is one logical WAL entry: an opaque payload tagged with a type
+// the application dispatches on.
+type Record struct {
+	// Type names the mutation, e.g. "authz.add" or "move.enter".
+	Type string `json:"type"`
+	// Data is the JSON payload.
+	Data json.RawMessage `json:"data"`
+}
+
+// frame layout: 4-byte little-endian length, 4-byte CRC32 (IEEE) of the
+// body, body bytes.
+const frameHeader = 8
+
+// maxFrameSize guards recovery against garbage length prefixes.
+const maxFrameSize = 16 << 20
+
+// ErrCorrupt reports a framing or checksum error in the middle of a log
+// (as opposed to a torn tail, which is silently truncated).
+var ErrCorrupt = errors.New("storage: corrupt log record")
+
+// WAL is an append-only write-ahead log. It is safe for concurrent use.
+type WAL struct {
+	mu   sync.Mutex
+	f    *os.File
+	w    *bufio.Writer
+	path string
+	// seq is the number of records ever appended (including recovered).
+	seq uint64
+	// syncEvery controls fsync cadence: 1 = every append (durable),
+	// 0 = never (tests/benchmarks).
+	syncEvery int
+	pending   int
+}
+
+// OpenWAL opens (creating if needed) the log at path. syncEvery=1 gives
+// per-append durability; larger values batch fsyncs.
+func OpenWAL(path string, syncEvery int) (*WAL, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	w := &WAL{f: f, path: path, syncEvery: syncEvery}
+	// Scan to count records and find the valid end; truncate a torn tail.
+	end, n, err := scanLog(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Truncate(end); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+	}
+	if _, err := f.Seek(end, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	w.seq = n
+	w.w = bufio.NewWriter(f)
+	return w, nil
+}
+
+// scanLog walks the frames of f from the start, returning the byte offset
+// after the last intact frame and the number of intact frames. A
+// malformed tail is reported as a truncation point, not an error; only a
+// checksum mismatch in a *complete* frame is ErrCorrupt.
+func scanLog(f *os.File) (end int64, n uint64, err error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return 0, 0, err
+	}
+	r := bufio.NewReader(f)
+	var off int64
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return off, n, nil // clean EOF or torn header: stop here
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxFrameSize {
+			return off, n, nil // garbage length: treat as torn tail
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return off, n, nil // torn body
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			// A complete frame with a bad checksum is real corruption
+			// unless it is the final frame (torn overwrite); either way
+			// recovery stops here. Report position for operators.
+			return off, n, nil
+		}
+		off += frameHeader + int64(length)
+		n++
+	}
+}
+
+// Append writes one record and, per the sync policy, fsyncs.
+func (w *WAL) Append(rec Record) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("storage: encode record: %w", err)
+	}
+	if len(body) > maxFrameSize {
+		return fmt.Errorf("storage: record of %d bytes exceeds frame limit", len(body))
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(body))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(body); err != nil {
+		return err
+	}
+	w.seq++
+	w.pending++
+	if w.syncEvery > 0 && w.pending >= w.syncEvery {
+		return w.syncLocked()
+	}
+	return nil
+}
+
+func (w *WAL) syncLocked() error {
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	w.pending = 0
+	return nil
+}
+
+// Sync flushes and fsyncs outstanding appends.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.syncLocked()
+}
+
+// Len returns the number of records in the log.
+func (w *WAL) Len() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// Close flushes and closes the log.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.syncLocked(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// Replay reads every intact record from the log at path in append order.
+// It opens the file read-only and does not truncate.
+func Replay(path string, fn func(Record) error) (uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	var n uint64
+	var hdr [frameHeader]byte
+	for {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			return n, nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > maxFrameSize {
+			return n, nil
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return n, nil
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return n, nil
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return n, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if err := fn(rec); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// Truncate resets the log to empty (used after a snapshot compaction).
+func (w *WAL) Truncate() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	w.seq = 0
+	w.pending = 0
+	w.w.Reset(w.f)
+	return w.f.Sync()
+}
+
+// --- Snapshots -------------------------------------------------------
+
+// SnapshotStore manages numbered snapshot files snap-%016d.json in a
+// directory, atomically written via rename.
+type SnapshotStore struct {
+	dir string
+}
+
+// NewSnapshotStore creates the directory if needed.
+func NewSnapshotStore(dir string) (*SnapshotStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: snapshot dir: %w", err)
+	}
+	return &SnapshotStore{dir: dir}, nil
+}
+
+// Save writes v as snapshot number seq atomically and prunes older
+// snapshots, keeping the newest `keep`.
+func (s *SnapshotStore) Save(seq uint64, v any, keep int) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("storage: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, "snap.tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	final := filepath.Join(s.dir, fmt.Sprintf("snap-%016d.json", seq))
+	if err := os.Rename(tmp, final); err != nil {
+		return err
+	}
+	if keep > 0 {
+		s.prune(keep)
+	}
+	return nil
+}
+
+func (s *SnapshotStore) prune(keep int) {
+	seqs := s.list()
+	for len(seqs) > keep {
+		old := seqs[0]
+		_ = os.Remove(filepath.Join(s.dir, fmt.Sprintf("snap-%016d.json", old)))
+		seqs = seqs[1:]
+	}
+}
+
+func (s *SnapshotStore) list() []uint64 {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		v, err := strconv.ParseUint(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".json"), 10, 64)
+		if err != nil {
+			continue
+		}
+		seqs = append(seqs, v)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs
+}
+
+// Latest loads the newest snapshot into v, returning its sequence number.
+// ok is false when no snapshot exists.
+func (s *SnapshotStore) Latest(v any) (seq uint64, ok bool, err error) {
+	seqs := s.list()
+	if len(seqs) == 0 {
+		return 0, false, nil
+	}
+	seq = seqs[len(seqs)-1]
+	data, err := os.ReadFile(filepath.Join(s.dir, fmt.Sprintf("snap-%016d.json", seq)))
+	if err != nil {
+		return 0, false, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return 0, false, fmt.Errorf("storage: decode snapshot %d: %w", seq, err)
+	}
+	return seq, true, nil
+}

@@ -1,0 +1,275 @@
+package storage
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func rec(t *testing.T, typ string, v any) Record {
+	t.Helper()
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Record{Type: typ, Data: data}
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := w.Append(rec(t, "test", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Len() != 10 {
+		t.Errorf("len = %d", w.Len())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []int
+	n, err := Replay(path, func(r Record) error {
+		if r.Type != "test" {
+			t.Errorf("type = %q", r.Type)
+		}
+		var v int
+		if err := json.Unmarshal(r.Data, &v); err != nil {
+			return err
+		}
+		got = append(got, v)
+		return nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("replayed %d, %v", n, err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Errorf("got[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWALReopenContinues(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := OpenWAL(path, 1)
+	_ = w.Append(rec(t, "a", 1))
+	_ = w.Close()
+	w, err := OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Errorf("recovered len = %d", w.Len())
+	}
+	_ = w.Append(rec(t, "a", 2))
+	_ = w.Close()
+	n, _ := Replay(path, func(Record) error { return nil })
+	if n != 2 {
+		t.Errorf("total = %d", n)
+	}
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := OpenWAL(path, 1)
+	_ = w.Append(rec(t, "a", 1))
+	_ = w.Append(rec(t, "a", 2))
+	_ = w.Close()
+	// Simulate a crash mid-append: chop the last 3 bytes.
+	data, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Replay sees only the intact record.
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("replay after tear: %d, %v", n, err)
+	}
+	// Reopen truncates the tear and appends cleanly after it.
+	w, err = OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 1 {
+		t.Errorf("len after tear = %d", w.Len())
+	}
+	_ = w.Append(rec(t, "a", 3))
+	_ = w.Close()
+	var vals []int
+	_, _ = Replay(path, func(r Record) error {
+		var v int
+		_ = json.Unmarshal(r.Data, &v)
+		vals = append(vals, v)
+		return nil
+	})
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 3 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestWALGarbageTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := OpenWAL(path, 1)
+	_ = w.Append(rec(t, "a", 1))
+	_ = w.Close()
+	// Append garbage bytes (e.g. a corrupt header with a huge length).
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	_, _ = f.Write([]byte{0xff, 0xff, 0xff, 0x7f, 1, 2, 3, 4, 9, 9})
+	_ = f.Close()
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil || n != 1 {
+		t.Fatalf("replay = %d, %v", n, err)
+	}
+	w, err = OpenWAL(path, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if w.Len() != 1 {
+		t.Errorf("len = %d", w.Len())
+	}
+}
+
+func TestWALCorruptChecksumStopsReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := OpenWAL(path, 1)
+	_ = w.Append(rec(t, "a", 1))
+	_ = w.Append(rec(t, "a", 2))
+	_ = w.Close()
+	// Flip a byte inside the FIRST record's body.
+	data, _ := os.ReadFile(path)
+	data[10] ^= 0xff
+	_ = os.WriteFile(path, data, 0o644)
+	n, err := Replay(path, func(Record) error { return nil })
+	if err != nil {
+		t.Fatalf("replay err = %v", err)
+	}
+	if n != 0 {
+		t.Errorf("replayed %d records past corruption", n)
+	}
+}
+
+func TestWALTruncate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := OpenWAL(path, 1)
+	_ = w.Append(rec(t, "a", 1))
+	if err := w.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Len() != 0 {
+		t.Errorf("len = %d", w.Len())
+	}
+	_ = w.Append(rec(t, "a", 2))
+	_ = w.Close()
+	var vals []int
+	_, _ = Replay(path, func(r Record) error {
+		var v int
+		_ = json.Unmarshal(r.Data, &v)
+		vals = append(vals, v)
+		return nil
+	})
+	if len(vals) != 1 || vals[0] != 2 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestWALBatchedSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, _ := OpenWAL(path, 100) // batch
+	for i := 0; i < 5; i++ {
+		_ = w.Append(rec(t, "a", i))
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	_ = w.Close()
+	n, _ := Replay(path, func(Record) error { return nil })
+	if n != 5 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	n, err := Replay(filepath.Join(t.TempDir(), "nope"), func(Record) error { return nil })
+	if err != nil || n != 0 {
+		t.Errorf("missing file: %d, %v", n, err)
+	}
+}
+
+func TestSnapshotSaveLatest(t *testing.T) {
+	dir := t.TempDir()
+	ss, err := NewSnapshotStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type state struct{ X int }
+	var got state
+	if _, ok, _ := ss.Latest(&got); ok {
+		t.Error("empty store should have no snapshot")
+	}
+	if err := ss.Save(5, state{X: 42}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := ss.Save(9, state{X: 99}, 3); err != nil {
+		t.Fatal(err)
+	}
+	seq, ok, err := ss.Latest(&got)
+	if err != nil || !ok || seq != 9 || got.X != 99 {
+		t.Errorf("latest = %d %v %v %+v", seq, ok, err, got)
+	}
+}
+
+func TestSnapshotPruning(t *testing.T) {
+	dir := t.TempDir()
+	ss, _ := NewSnapshotStore(dir)
+	type state struct{ X int }
+	for i := 1; i <= 5; i++ {
+		_ = ss.Save(uint64(i), state{X: i}, 2)
+	}
+	ents, _ := os.ReadDir(dir)
+	count := 0
+	for _, e := range ents {
+		if e.Name() != "snap.tmp" {
+			count++
+		}
+	}
+	if count != 2 {
+		t.Errorf("kept %d snapshots, want 2", count)
+	}
+	var got state
+	seq, ok, _ := ss.Latest(&got)
+	if !ok || seq != 5 || got.X != 5 {
+		t.Errorf("latest after prune = %d %v", seq, got)
+	}
+}
+
+func TestSnapshotIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	ss, _ := NewSnapshotStore(dir)
+	_ = os.WriteFile(filepath.Join(dir, "README"), []byte("hi"), 0o644)
+	_ = os.WriteFile(filepath.Join(dir, "snap-zzz.json"), []byte("{}"), 0o644)
+	type state struct{ X int }
+	_ = ss.Save(3, state{X: 7}, 2)
+	var got state
+	seq, ok, err := ss.Latest(&got)
+	if err != nil || !ok || seq != 3 || got.X != 7 {
+		t.Errorf("latest = %d %v %v", seq, ok, err)
+	}
+}
+
+func TestSnapshotCorruptLatest(t *testing.T) {
+	dir := t.TempDir()
+	ss, _ := NewSnapshotStore(dir)
+	_ = os.WriteFile(filepath.Join(dir, "snap-0000000000000001.json"), []byte("{corrupt"), 0o644)
+	var v struct{}
+	if _, _, err := ss.Latest(&v); err == nil {
+		t.Error("corrupt snapshot should error")
+	}
+}

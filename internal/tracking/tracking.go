@@ -1,0 +1,194 @@
+// Package tracking is the positioning substrate LTAM assumes: "the
+// ability of user tracking is also assumed in this research" (§1). Real
+// deployments feed the control station from RFID readers or indoor
+// positioning; this package substitutes a synthetic but behaviourally
+// equivalent feed — coordinate readings per tag, resolved against the
+// geometry layer into primitive-location transitions, which drive the
+// enforcement engine exactly as hardware readings would.
+//
+// The privacy boundary of §1 is kept here: raw coordinates never leave
+// the tracker; only location transitions are emitted.
+package tracking
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// Reading is one positioning sample for a tag.
+type Reading struct {
+	Tag  profile.SubjectID
+	At   geometry.Point
+	Time interval.Time
+}
+
+// Transition is a resolved location change. From or To is Outside ("")
+// when the tag enters from or leaves to somewhere with no boundary
+// (outdoors).
+type Transition struct {
+	Tag      profile.SubjectID
+	From, To graph.ID
+	Time     interval.Time
+}
+
+// Outside is the unresolved pseudo-location.
+const Outside graph.ID = ""
+
+// String renders the transition for logs.
+func (tr Transition) String() string {
+	from, to := string(tr.From), string(tr.To)
+	if from == "" {
+		from = "<outside>"
+	}
+	if to == "" {
+		to = "<outside>"
+	}
+	return fmt.Sprintf("t=%s %s: %s -> %s", tr.Time, tr.Tag, from, to)
+}
+
+// Tracker turns raw readings into transitions. It is safe for concurrent
+// use.
+type Tracker struct {
+	mu       sync.Mutex
+	resolver *geometry.Resolver
+	current  map[profile.SubjectID]graph.ID
+	lastSeen map[profile.SubjectID]interval.Time
+}
+
+// NewTracker builds a tracker over the given boundary resolver.
+func NewTracker(resolver *geometry.Resolver) *Tracker {
+	return &Tracker{
+		resolver: resolver,
+		current:  make(map[profile.SubjectID]graph.ID),
+		lastSeen: make(map[profile.SubjectID]interval.Time),
+	}
+}
+
+// Observe ingests one reading. When the reading moves the tag into a
+// different primitive location (or in/out of the facility) the transition
+// is returned with ok=true; readings within the current location are
+// deduplicated. Readings must be non-decreasing in time per tag.
+func (t *Tracker) Observe(r Reading) (Transition, bool, error) {
+	if r.Tag == "" {
+		return Transition{}, false, errors.New("tracking: reading without tag")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if last, seen := t.lastSeen[r.Tag]; seen && r.Time < last {
+		return Transition{}, false, fmt.Errorf("tracking: reading for %s at %s precedes %s", r.Tag, r.Time, last)
+	}
+	t.lastSeen[r.Tag] = r.Time
+	loc := graph.ID(t.resolver.Resolve(r.At))
+	cur := t.current[r.Tag]
+	if loc == cur {
+		return Transition{}, false, nil
+	}
+	t.current[r.Tag] = loc
+	return Transition{Tag: r.Tag, From: cur, To: loc, Time: r.Time}, true, nil
+}
+
+// Where returns the tracker's belief of the tag's location.
+func (t *Tracker) Where(tag profile.SubjectID) graph.ID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.current[tag]
+}
+
+// Tags returns all tags ever observed, sorted.
+func (t *Tracker) Tags() []profile.SubjectID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]profile.SubjectID, 0, len(t.lastSeen))
+	for tag := range t.lastSeen {
+		out = append(out, tag)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// --- Synthetic walkers -------------------------------------------------
+
+// Walk is a scripted movement for one tag: a sequence of waypoints with a
+// start time and a speed in distance units per chronon.
+type Walk struct {
+	Tag      profile.SubjectID
+	Start    interval.Time
+	Speed    float64
+	Waypoint []geometry.Point
+}
+
+// Simulator generates deterministic readings from a set of walks: each
+// tag moves along its waypoint polyline at its speed, sampled once per
+// chronon. The merged reading stream is time-ordered (ties broken by
+// tag), which is what the tracker and engine require.
+type Simulator struct {
+	walks []Walk
+}
+
+// NewSimulator builds a simulator for the given walks.
+func NewSimulator(walks []Walk) *Simulator {
+	return &Simulator{walks: walks}
+}
+
+// Readings materialises the full reading stream.
+func (s *Simulator) Readings() []Reading {
+	var out []Reading
+	for _, w := range s.walks {
+		out = append(out, walkReadings(w)...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Time != out[j].Time {
+			return out[i].Time < out[j].Time
+		}
+		return out[i].Tag < out[j].Tag
+	})
+	return out
+}
+
+func walkReadings(w Walk) []Reading {
+	if len(w.Waypoint) == 0 || w.Speed <= 0 {
+		return nil
+	}
+	var out []Reading
+	tm := w.Start
+	out = append(out, Reading{Tag: w.Tag, At: w.Waypoint[0], Time: tm})
+	for i := 1; i < len(w.Waypoint); i++ {
+		from, to := w.Waypoint[i-1], w.Waypoint[i]
+		dist := from.Dist(to)
+		steps := int(dist / w.Speed)
+		if steps < 1 {
+			steps = 1
+		}
+		for k := 1; k <= steps; k++ {
+			tm++
+			out = append(out, Reading{
+				Tag:  w.Tag,
+				At:   from.Lerp(to, float64(k)/float64(steps)),
+				Time: tm,
+			})
+		}
+	}
+	return out
+}
+
+// RouteWalk builds a Walk visiting the centroid of each location of a
+// route in order — the standard way examples and benches script a user
+// moving through the building.
+func RouteWalk(tag profile.SubjectID, start interval.Time, speed float64, resolver *geometry.Resolver, route []graph.ID) (Walk, error) {
+	w := Walk{Tag: tag, Start: start, Speed: speed}
+	for _, loc := range route {
+		c, ok := resolver.CenterOf(string(loc))
+		if !ok {
+			return Walk{}, fmt.Errorf("tracking: no boundary for %q", loc)
+		}
+		w.Waypoint = append(w.Waypoint, c)
+	}
+	return w, nil
+}

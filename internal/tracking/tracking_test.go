@@ -1,0 +1,182 @@
+package tracking
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geometry"
+	"repro/internal/graph"
+)
+
+// threeRooms builds roomA (0..10), roomB (10..20), each 10x10, with a
+// hall above both.
+func threeRooms(t *testing.T) *geometry.Resolver {
+	t.Helper()
+	r, err := geometry.NewResolver([]geometry.Boundary{
+		{Location: "roomA", Shape: geometry.NewRect(geometry.Point{X: 0, Y: 0}, geometry.Point{X: 10, Y: 10}).Polygon()},
+		{Location: "roomB", Shape: geometry.NewRect(geometry.Point{X: 10.5, Y: 0}, geometry.Point{X: 20, Y: 10}).Polygon()},
+		{Location: "hall", Shape: geometry.NewRect(geometry.Point{X: 0, Y: 10.5}, geometry.Point{X: 20, Y: 20}).Polygon()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestObserveTransitions(t *testing.T) {
+	tr := NewTracker(threeRooms(t))
+	// Outside -> roomA.
+	tran, ok, err := tr.Observe(Reading{Tag: "alice", At: geometry.Point{X: 5, Y: 5}, Time: 1})
+	if err != nil || !ok {
+		t.Fatalf("first reading: %v %v", ok, err)
+	}
+	if tran.From != Outside || tran.To != "roomA" || tran.Time != 1 {
+		t.Errorf("transition = %+v", tran)
+	}
+	// Same room: deduplicated.
+	_, ok, err = tr.Observe(Reading{Tag: "alice", At: geometry.Point{X: 6, Y: 6}, Time: 2})
+	if err != nil || ok {
+		t.Errorf("same-room reading should not transition: %v %v", ok, err)
+	}
+	// roomA -> roomB.
+	tran, ok, _ = tr.Observe(Reading{Tag: "alice", At: geometry.Point{X: 15, Y: 5}, Time: 3})
+	if !ok || tran.From != "roomA" || tran.To != "roomB" {
+		t.Errorf("transition = %+v", tran)
+	}
+	// roomB -> outside.
+	tran, ok, _ = tr.Observe(Reading{Tag: "alice", At: geometry.Point{X: 100, Y: 100}, Time: 4})
+	if !ok || tran.From != "roomB" || tran.To != Outside {
+		t.Errorf("transition = %+v", tran)
+	}
+	if got := tr.Where("alice"); got != Outside {
+		t.Errorf("where = %q", got)
+	}
+}
+
+func TestObserveErrors(t *testing.T) {
+	tr := NewTracker(threeRooms(t))
+	if _, _, err := tr.Observe(Reading{At: geometry.Point{X: 5, Y: 5}, Time: 1}); err == nil {
+		t.Error("missing tag should fail")
+	}
+	_, _, _ = tr.Observe(Reading{Tag: "a", At: geometry.Point{X: 5, Y: 5}, Time: 10})
+	if _, _, err := tr.Observe(Reading{Tag: "a", At: geometry.Point{X: 6, Y: 6}, Time: 5}); err == nil {
+		t.Error("time regression per tag should fail")
+	}
+	// Other tags have independent clocks.
+	if _, _, err := tr.Observe(Reading{Tag: "b", At: geometry.Point{X: 5, Y: 5}, Time: 5}); err != nil {
+		t.Errorf("independent tag clock: %v", err)
+	}
+}
+
+func TestTags(t *testing.T) {
+	tr := NewTracker(threeRooms(t))
+	_, _, _ = tr.Observe(Reading{Tag: "zed", At: geometry.Point{X: 5, Y: 5}, Time: 1})
+	_, _, _ = tr.Observe(Reading{Tag: "amy", At: geometry.Point{X: 15, Y: 5}, Time: 1})
+	tags := tr.Tags()
+	if len(tags) != 2 || tags[0] != "amy" || tags[1] != "zed" {
+		t.Errorf("tags = %v", tags)
+	}
+}
+
+func TestTransitionString(t *testing.T) {
+	s := Transition{Tag: "alice", From: Outside, To: "roomA", Time: 3}.String()
+	if !strings.Contains(s, "<outside>") || !strings.Contains(s, "roomA") {
+		t.Errorf("string = %q", s)
+	}
+	s = Transition{Tag: "alice", From: "roomA", To: Outside, Time: 9}.String()
+	if !strings.Contains(s, "-> <outside>") {
+		t.Errorf("string = %q", s)
+	}
+}
+
+func TestSimulatorDeterministicAndOrdered(t *testing.T) {
+	sim := NewSimulator([]Walk{
+		{Tag: "alice", Start: 0, Speed: 2, Waypoint: []geometry.Point{{X: 5, Y: 5}, {X: 15, Y: 5}}},
+		{Tag: "bob", Start: 1, Speed: 1, Waypoint: []geometry.Point{{X: 15, Y: 5}, {X: 5, Y: 5}}},
+	})
+	r1 := sim.Readings()
+	r2 := sim.Readings()
+	if len(r1) == 0 || len(r1) != len(r2) {
+		t.Fatalf("readings = %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("simulator must be deterministic")
+		}
+	}
+	for i := 1; i < len(r1); i++ {
+		if r1[i].Time < r1[i-1].Time {
+			t.Fatal("readings must be time-ordered")
+		}
+		if r1[i].Time == r1[i-1].Time && r1[i].Tag < r1[i-1].Tag {
+			t.Fatal("ties must be tag-ordered")
+		}
+	}
+}
+
+func TestSimulatorWalksThroughRooms(t *testing.T) {
+	res := threeRooms(t)
+	tr := NewTracker(res)
+	sim := NewSimulator([]Walk{
+		{Tag: "alice", Start: 0, Speed: 1, Waypoint: []geometry.Point{{X: 5, Y: 5}, {X: 15, Y: 5}, {X: 15, Y: 15}}},
+	})
+	var seq []string
+	for _, r := range sim.Readings() {
+		if tran, ok, err := tr.Observe(r); err != nil {
+			t.Fatal(err)
+		} else if ok {
+			seq = append(seq, string(tran.To))
+		}
+	}
+	want := []string{"roomA", "roomB", "hall"}
+	if len(seq) < 3 {
+		t.Fatalf("transitions = %v", seq)
+	}
+	// The walk may clip a corner, but the subsequence of distinct rooms
+	// must contain A then B then hall in order.
+	idx := 0
+	for _, s := range seq {
+		if idx < len(want) && s == want[idx] {
+			idx++
+		}
+	}
+	if idx != len(want) {
+		t.Errorf("room sequence %v does not contain %v in order", seq, want)
+	}
+}
+
+func TestWalkEdgeCases(t *testing.T) {
+	if got := walkReadings(Walk{Tag: "a", Speed: 1}); got != nil {
+		t.Error("no waypoints should yield no readings")
+	}
+	if got := walkReadings(Walk{Tag: "a", Speed: 0, Waypoint: []geometry.Point{{X: 1, Y: 1}}}); got != nil {
+		t.Error("zero speed should yield no readings")
+	}
+	// Single waypoint: one reading.
+	got := walkReadings(Walk{Tag: "a", Speed: 1, Waypoint: []geometry.Point{{X: 1, Y: 1}}, Start: 5})
+	if len(got) != 1 || got[0].Time != 5 {
+		t.Errorf("readings = %v", got)
+	}
+	// Very short hop still produces at least one step.
+	got = walkReadings(Walk{Tag: "a", Speed: 10, Waypoint: []geometry.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}})
+	if len(got) != 2 {
+		t.Errorf("readings = %v", got)
+	}
+}
+
+func TestRouteWalk(t *testing.T) {
+	res := threeRooms(t)
+	w, err := RouteWalk("alice", 3, 2, res, []graph.ID{"roomA", "roomB", "hall"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Waypoint) != 3 || w.Start != 3 || w.Speed != 2 {
+		t.Errorf("walk = %+v", w)
+	}
+	if w.Waypoint[0] != (geometry.Point{X: 5, Y: 5}) {
+		t.Errorf("first waypoint = %v", w.Waypoint[0])
+	}
+	if _, err := RouteWalk("alice", 0, 1, res, []graph.ID{"nowhere"}); err == nil {
+		t.Error("unknown room should fail")
+	}
+}

@@ -1,0 +1,82 @@
+package wire
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+func TestClientSurfacesWireErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"that was bad"}`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	err := c.PutSubject(profile.Subject{ID: "x"})
+	if err == nil || !strings.Contains(err.Error(), "that was bad") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientHandlesNonJSONErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain text panic page", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.Subjects(); err == nil || !strings.Contains(err.Error(), "HTTP 500") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientDecodesSuccess(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`["a","b"]`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	subs, err := c.Subjects()
+	if err != nil || len(subs) != 2 || subs[0] != "a" {
+		t.Errorf("subs = %v, %v", subs, err)
+	}
+}
+
+func TestClientRejectsMalformedSuccessBody(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{nope`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.Subjects(); err == nil || !strings.Contains(err.Error(), "decode") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestClientConnectionFailure(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1") // nothing listens there
+	if _, err := c.Subjects(); err == nil {
+		t.Error("connection failure must surface")
+	}
+}
+
+func TestIntervalJSONRoundTripsInf(t *testing.T) {
+	// The wire protocol carries intervals as {Start, End}; the ∞ sentinel
+	// (MaxInt64) must survive JSON both ways.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _ = w.Write([]byte(`{"reachable":true,"earliest":9223372036854775807}`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	resp, err := c.Reach("a", "l")
+	if err != nil || !resp.Reachable || resp.Earliest != interval.Inf {
+		t.Errorf("resp = %+v, %v", resp, err)
+	}
+}
