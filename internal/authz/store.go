@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/profile"
@@ -31,7 +32,17 @@ type Store struct {
 	bySubject  map[profile.SubjectID][]ID
 	byLocation map[graph.ID][]ID
 	byPair     map[subjectLocation][]ID
+
+	// version counts mutations. Query caches key their memoized results
+	// on it, so it must be bumped by every path that changes the stored
+	// set — including rule-engine derivations and conflict resolution,
+	// which go through Add/Revoke.
+	version atomic.Uint64
 }
+
+// Version returns the store's mutation epoch: it increases on every
+// change to the stored authorization set and is stable between changes.
+func (st *Store) Version() uint64 { return st.version.Load() }
 
 // NewStore returns an empty authorization database.
 func NewStore() *Store {
@@ -56,6 +67,7 @@ func (st *Store) Add(a Authorization) (Authorization, error) {
 	a.ID = st.nextID
 	st.nextID++
 	st.insertLocked(a)
+	st.version.Add(1)
 	return a, nil
 }
 
@@ -87,6 +99,7 @@ func (st *Store) Revoke(id ID) error {
 		return fmt.Errorf("%w: %d", ErrNotFound, id)
 	}
 	st.removeLocked(a)
+	st.version.Add(1)
 	return nil
 }
 
@@ -122,6 +135,9 @@ func (st *Store) RevokeDerivedBy(rule string) int {
 	}
 	for _, a := range victims {
 		st.removeLocked(a)
+	}
+	if len(victims) > 0 {
+		st.version.Add(1)
 	}
 	return len(victims)
 }
@@ -216,6 +232,7 @@ func (st *Store) peekNextID() ID {
 func (st *Store) Restore(auths []Authorization, nextID ID) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	st.version.Add(1) // bump first: even a failed restore mutates the maps
 	st.byID = make(map[ID]Authorization, len(auths))
 	st.bySubject = make(map[profile.SubjectID][]ID)
 	st.byLocation = make(map[graph.ID][]ID)

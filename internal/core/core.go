@@ -53,8 +53,18 @@ type Config struct {
 }
 
 // System is the central control station.
+//
+// Concurrency: mutations take the write lock, which serialises them so
+// that WAL order equals apply order. Pure queries take only the read
+// lock and execute in parallel with each other — they never see a
+// half-applied mutation because every mutation holds the write lock
+// across all the stores it touches. Per-subject Algorithm-1 results are
+// memoized in an epoch-keyed cache; the epoch is derived from the
+// authorization store's and profile database's mutation versions, so
+// any change — including rule re-derivations triggered by profile
+// watchers — invalidates exactly the stale generation.
 type System struct {
-	mu sync.Mutex // serialises mutations so WAL order equals apply order
+	mu sync.RWMutex
 
 	root     *graph.Graph
 	flat     *graph.Flat
@@ -65,10 +75,26 @@ type System struct {
 	engine   *enforce.Engine
 	ruleEng  *rules.Engine
 	resolver *geometry.Resolver
+	cache    *query.Cache
 
 	wal       *storage.WAL
 	snaps     *storage.SnapshotStore
 	replaying bool
+}
+
+// epoch is the cache generation: the sum of the two version counters.
+// Each mutation bumps at least one of them, and both only grow, so the
+// sum strictly increases across any state change that can alter an
+// Algorithm-1 result.
+func (s *System) epoch() uint64 {
+	return s.store.Version() + s.profiles.Version()
+}
+
+// result returns the (memoized) Algorithm-1 result for sub under opts.
+// Callers must treat the returned Result as read-only — it is shared
+// between goroutines.
+func (s *System) result(sub profile.SubjectID, opts query.Options) *query.Result {
+	return s.cache.Result(s.epoch(), s.flat, s.store, sub, opts)
 }
 
 // record payloads.
@@ -103,6 +129,7 @@ func Open(cfg Config) (*System, error) {
 		store:    authz.NewStore(),
 		moves:    movement.NewDB(),
 		alerts:   audit.NewLog(cfg.AlertLimit),
+		cache:    query.NewCache(0),
 	}
 
 	var snap snapshotState
@@ -321,11 +348,17 @@ func (s *System) RemoveSubject(id profile.SubjectID) error {
 
 // GetSubject returns a user profile.
 func (s *System) GetSubject(id profile.SubjectID) (profile.Subject, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.profiles.Get(id)
 }
 
 // Subjects lists all subject IDs.
-func (s *System) Subjects() []profile.SubjectID { return s.profiles.Subjects() }
+func (s *System) Subjects() []profile.SubjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.profiles.Subjects()
+}
 
 // --- Authorization administration ---------------------------------------
 
@@ -360,15 +393,25 @@ func (s *System) RevokeAuthorization(id authz.ID) (int, error) {
 }
 
 // Authorizations lists every stored authorization.
-func (s *System) Authorizations() []authz.Authorization { return s.store.All() }
+func (s *System) Authorizations() []authz.Authorization {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.All()
+}
 
 // AuthorizationsFor lists the authorizations of subject sub at location l.
 func (s *System) AuthorizationsFor(sub profile.SubjectID, l graph.ID) []authz.Authorization {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.store.For(sub, l)
 }
 
 // Conflicts reports duplicate/overlapping/adjacent authorization pairs.
-func (s *System) Conflicts() []authz.Conflict { return s.store.FindConflicts() }
+func (s *System) Conflicts() []authz.Conflict {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.store.FindConflicts()
+}
 
 // ResolveConflicts applies the strategy to every detected conflict among
 // administrator-defined authorizations (the paper's two §4 options:
@@ -414,21 +457,35 @@ func (s *System) RemoveRule(name string) error {
 }
 
 // Rules lists the registered rules.
-func (s *System) Rules() []rules.Rule { return s.ruleEng.Rules() }
+func (s *System) Rules() []rules.Rule {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ruleEng.Rules()
+}
 
 // RuleEngine exposes the rule engine for programmatic (non-persistent)
-// customized operators.
+// customized operators. Mutations through it bypass the System write
+// lock and the WAL: they are epoch-safe (the store bumps its version),
+// but are not atomic with respect to concurrent readers — use it for
+// setup before serving traffic, or mutate via System methods.
 func (s *System) RuleEngine() *rules.Engine { return s.ruleEng }
 
 // --- Enforcement -----------------------------------------------------------
 
 // Request evaluates the access request (t, sub, l) — Definition 6/7.
+// Requests are pure reads of the authorization and movement databases
+// (plus a monotonic clock advance), so they run under the read lock, in
+// parallel with each other and with every other query.
 func (s *System) Request(t interval.Time, sub profile.SubjectID, l graph.ID) enforce.Decision {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.engine.Request(t, sub, l)
 }
 
 // Query is Request without side effects.
 func (s *System) Query(t interval.Time, sub profile.SubjectID, l graph.ID) enforce.Decision {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.engine.Query(t, sub, l)
 }
 
@@ -490,88 +547,136 @@ func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geome
 // --- Queries -----------------------------------------------------------------
 
 // Inaccessible runs Algorithm 1 for the subject over the whole site.
+// Repeated queries between mutations are served from the epoch cache;
+// the returned slice is shared with other callers and must be treated
+// as read-only.
 func (s *System) Inaccessible(sub profile.SubjectID) []graph.ID {
-	return query.FindInaccessible(s.flat, s.store, sub, query.Options{}).Inaccessible
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.result(sub, query.Options{}).Inaccessible
 }
 
-// InaccessibleTrace runs Algorithm 1 with a Table-2-style trace.
+// InaccessibleTrace runs Algorithm 1 with a Table-2-style trace. Traced
+// runs always recompute (the trace is the product, not the answer).
 func (s *System) InaccessibleTrace(sub profile.SubjectID) query.Result {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return query.FindInaccessible(s.flat, s.store, sub, query.Options{Trace: true})
 }
 
 // InaccessibleDuring restricts Algorithm 1 to visits starting within
-// window (§6's access request duration).
+// window (§6's access request duration). Like Inaccessible, the
+// returned slice is shared with other callers — read-only.
 func (s *System) InaccessibleDuring(sub profile.SubjectID, window interval.Interval) []graph.ID {
-	return query.FindInaccessible(s.flat, s.store, sub, query.Options{Window: window}).Inaccessible
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.result(sub, query.Options{Window: window}).Inaccessible
 }
 
-// Accessible is the complement query of §5.
+// Accessible is the complement query of §5. It shares the memoized
+// Algorithm-1 run with Inaccessible rather than recomputing it.
 func (s *System) Accessible(sub profile.SubjectID) []graph.ID {
-	return query.Accessible(s.flat, s.store, sub)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return query.AccessibleFrom(s.flat, s.result(sub, query.Options{}))
 }
 
 // EarliestAccess returns the earliest time sub can be inside l via an
-// authorized route, and whether l is reachable at all.
+// authorized route, and whether l is reachable at all. It reads the
+// memoized Algorithm-1 state: T^g(l) is exactly the set of instants at
+// which sub can be granted entry to l along some authorized route.
 func (s *System) EarliestAccess(sub profile.SubjectID, l graph.ID) (interval.Time, bool) {
-	return query.EarliestAccess(s.flat, s.store, sub, l)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.earliestAccessRLocked(sub, l)
+}
+
+func (s *System) earliestAccessRLocked(sub profile.SubjectID, l graph.ID) (interval.Time, bool) {
+	if _, known := s.flat.Index[l]; !known {
+		return 0, false
+	}
+	return s.result(sub, query.Options{}).States[l].Grant.Earliest()
 }
 
 // WhoCanAccess returns every known subject (profiles plus authorization
-// holders) who can reach location l via an authorized route.
+// holders) who can reach location l via an authorized route. Each
+// subject's reachability comes from its memoized Algorithm-1 run, so on
+// a warm cache the inverse query costs one map lookup per subject.
 func (s *System) WhoCanAccess(l graph.ID) []profile.SubjectID {
-	seen := map[profile.SubjectID]bool{}
-	var subjects []profile.SubjectID
-	for _, sub := range s.profiles.Subjects() {
-		if !seen[sub] {
-			seen[sub] = true
-			subjects = append(subjects, sub)
-		}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if _, known := s.flat.Index[l]; !known {
+		return nil
 	}
-	for _, sub := range s.store.Subjects() {
-		if !seen[sub] {
-			seen[sub] = true
-			subjects = append(subjects, sub)
-		}
-	}
-	out := query.WhoCanAccess(s.flat, s.store, subjects, l)
+	subjects := append(s.profiles.Subjects(), s.store.Subjects()...)
+	out := query.WhoCanAccessBy(subjects, func(sub profile.SubjectID) bool {
+		_, ok := s.earliestAccessRLocked(sub, l)
+		return ok
+	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // InaccessibleMultilevel runs the Lemma-1 hierarchical solver.
 func (s *System) InaccessibleMultilevel(sub profile.SubjectID) query.MultilevelResult {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return query.FindInaccessibleMultilevel(s.root, s.store, sub)
 }
 
 // CheckRoute evaluates the §6 authorized-route definition.
 func (s *System) CheckRoute(sub profile.SubjectID, r graph.Route, window interval.Interval) query.RouteCheck {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return query.CheckRoute(s.store, sub, r, window)
 }
 
 // CheckItinerary validates a concrete visit schedule (explicit arrive and
 // depart times per location) against topology and authorizations.
 func (s *System) CheckItinerary(sub profile.SubjectID, visits []query.Visit) query.ItineraryCheck {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return query.CheckItinerary(s.flat, s.store, sub, visits)
 }
 
 // WhereIs reports a subject's current location.
-func (s *System) WhereIs(sub profile.SubjectID) (graph.ID, bool) { return s.engine.WhereIs(sub) }
+func (s *System) WhereIs(sub profile.SubjectID) (graph.ID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.WhereIs(sub)
+}
 
 // Occupants reports who is inside a location now.
-func (s *System) Occupants(l graph.ID) []profile.SubjectID { return s.engine.Occupants(l) }
+func (s *System) Occupants(l graph.ID) []profile.SubjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.engine.Occupants(l)
+}
 
 // ContactsOf runs the §1 contact-tracing query.
 func (s *System) ContactsOf(sub profile.SubjectID, window interval.Interval) []movement.Contact {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.moves.ContactsOf(sub, window)
 }
 
 // History returns a subject's stints.
-func (s *System) History(sub profile.SubjectID) []movement.Stint { return s.moves.History(sub) }
+func (s *System) History(sub profile.SubjectID) []movement.Stint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.moves.History(sub)
+}
 
 // WhoWasIn returns the subjects present in l during window.
 func (s *System) WhoWasIn(l graph.ID, window interval.Interval) []profile.SubjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return s.moves.WhoWasIn(l, window)
 }
+
+// QueryCacheStats reports the epoch cache's hit/miss/flush counters —
+// the observability hook behind the server's /v1/stats endpoint.
+func (s *System) QueryCacheStats() query.CacheStats { return s.cache.Stats() }
 
 // Alerts returns the alert log.
 func (s *System) Alerts() *audit.Log { return s.alerts }
@@ -586,10 +691,13 @@ func (s *System) Flat() *graph.Flat { return s.flat }
 func (s *System) Movements() *movement.DB { return s.moves }
 
 // AuthStore exposes the authorization database (read-side and benches).
+// Direct mutations are epoch-safe but skip the System write lock and
+// the WAL; prefer System methods.
 func (s *System) AuthStore() *authz.Store { return s.store }
 
 // Profiles exposes the profile database. Mutate via System methods when
-// durability matters.
+// durability matters; direct mutations also skip the System write lock
+// (though they remain epoch-safe).
 func (s *System) Profiles() *profile.DB { return s.profiles }
 
 // Clock returns the engine's logical time.

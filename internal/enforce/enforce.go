@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/audit"
 	"repro/internal/authz"
@@ -49,17 +50,24 @@ func (d Decision) String() string {
 // Engine is the access control engine. It owns a logical clock that only
 // moves forward; all enforcement is deterministic in the event sequence.
 // Engine is safe for concurrent use.
+//
+// Concurrency: movements (Enter, Leave, Tick, SetClock) take the write
+// lock — they must be atomic with respect to each other because a
+// movement is a read-modify-write of the movement database. Pure
+// decisions (Request, Query) take only the read lock and run in parallel
+// with each other; the logical clock they advance is an atomic
+// monotonic maximum, and the stores they read are internally locked.
 type Engine struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex
 	root   *graph.Graph
 	flat   *graph.Flat
 	store  *authz.Store
 	moves  *movement.DB
 	alerts *audit.Log
-	now    interval.Time
+	now    atomic.Int64 // interval.Time, advanced by CAS; never moves back
 	// overstayAlerted remembers stints already flagged so the periodic
 	// monitor raises one alert per violation, keyed by subject and stint
-	// entry time.
+	// entry time. Guarded by mu (write side only).
 	overstayAlerted map[stintKey]bool
 }
 
@@ -80,16 +88,13 @@ func New(root *graph.Graph, store *authz.Store, moves *movement.DB, alerts *audi
 		store:           store,
 		moves:           moves,
 		alerts:          alerts,
-		now:             0,
 		overstayAlerted: make(map[stintKey]bool),
 	}, nil
 }
 
 // Now returns the engine's logical clock (the latest time it has seen).
 func (e *Engine) Now() interval.Time {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.now
+	return interval.Time(e.now.Load())
 }
 
 // SetClock fast-forwards the logical clock without running the monitor —
@@ -98,15 +103,26 @@ func (e *Engine) Now() interval.Time {
 func (e *Engine) SetClock(t interval.Time) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return e.advanceLocked(t)
+	return e.advance(t)
 }
 
-func (e *Engine) advanceLocked(t interval.Time) error {
-	if t < e.now {
-		return fmt.Errorf("enforce: time %s precedes engine clock %s", t, e.now)
+// advance moves the clock forward to t, rejecting regressions. It is a
+// CAS loop so that read-locked decision paths can share it.
+func (e *Engine) advance(t interval.Time) error {
+	for {
+		cur := e.now.Load()
+		if int64(t) < cur {
+			return fmt.Errorf("enforce: time %s precedes engine clock %s", t, interval.Time(cur))
+		}
+		if int64(t) == cur {
+			// Steady state under concurrent readers: the clock is already
+			// there; skip the CAS to avoid cacheline ping-pong.
+			return nil
+		}
+		if e.now.CompareAndSwap(cur, int64(t)) {
+			return nil
+		}
 	}
-	e.now = t
-	return nil
 }
 
 // Request evaluates the access request (t, s, l) — Definition 6 — against
@@ -115,20 +131,21 @@ func (e *Engine) advanceLocked(t interval.Time) error {
 // authorization for (s, l) has tis <= t <= tie and s has entered l during
 // [tis, tie] fewer than n times. Denials are recorded in the alert log.
 func (e *Engine) Request(t interval.Time, s profile.SubjectID, l graph.ID) Decision {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if err := e.advanceLocked(t); err != nil {
-		return e.denyLocked(t, s, l, err.Error(), false)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := e.advance(t); err != nil {
+		return e.deny(t, s, l, err.Error(), false)
 	}
-	return e.evaluateLocked(t, s, l, true)
+	return e.evaluate(t, s, l, true)
 }
 
-// evaluateLocked applies Def. 7. When raiseAlerts is false the evaluation
-// is a pure query (used by what-if tooling).
-func (e *Engine) evaluateLocked(t interval.Time, s profile.SubjectID, l graph.ID, raiseAlerts bool) Decision {
+// evaluate applies Def. 7. When raiseAlerts is false the evaluation is a
+// pure query (used by what-if tooling). It reads only internally-locked
+// stores, so it is safe under either side of e.mu.
+func (e *Engine) evaluate(t interval.Time, s profile.SubjectID, l graph.ID, raiseAlerts bool) Decision {
 	auths := e.store.For(s, l)
 	if len(auths) == 0 {
-		return e.maybeDenyLocked(t, s, l, fmt.Sprintf("no authorization specifies %s's access to %s", s, l), false, raiseAlerts)
+		return e.maybeDeny(t, s, l, fmt.Sprintf("no authorization specifies %s's access to %s", s, l), false, raiseAlerts)
 	}
 	exhausted := false
 	for _, a := range auths {
@@ -145,19 +162,19 @@ func (e *Engine) evaluateLocked(t interval.Time, s profile.SubjectID, l graph.ID
 		return Decision{Granted: true, Auth: a.ID}
 	}
 	if exhausted {
-		return e.maybeDenyLocked(t, s, l, fmt.Sprintf("%s has used all permitted entries to %s", s, l), true, raiseAlerts)
+		return e.maybeDeny(t, s, l, fmt.Sprintf("%s has used all permitted entries to %s", s, l), true, raiseAlerts)
 	}
-	return e.maybeDenyLocked(t, s, l, fmt.Sprintf("no authorization for %s at %s covers time %s", s, l, t), false, raiseAlerts)
+	return e.maybeDeny(t, s, l, fmt.Sprintf("no authorization for %s at %s covers time %s", s, l, t), false, raiseAlerts)
 }
 
-func (e *Engine) maybeDenyLocked(t interval.Time, s profile.SubjectID, l graph.ID, reason string, exhausted, raise bool) Decision {
+func (e *Engine) maybeDeny(t interval.Time, s profile.SubjectID, l graph.ID, reason string, exhausted, raise bool) Decision {
 	if raise {
-		return e.denyLocked(t, s, l, reason, exhausted)
+		return e.deny(t, s, l, reason, exhausted)
 	}
 	return Decision{Reason: reason, Exhausted: exhausted}
 }
 
-func (e *Engine) denyLocked(t interval.Time, s profile.SubjectID, l graph.ID, reason string, exhausted bool) Decision {
+func (e *Engine) deny(t interval.Time, s profile.SubjectID, l graph.ID, reason string, exhausted bool) Decision {
 	kind := audit.DeniedRequest
 	if exhausted {
 		kind = audit.EntryExhausted
@@ -169,9 +186,9 @@ func (e *Engine) denyLocked(t interval.Time, s profile.SubjectID, l graph.ID, re
 // Query evaluates Def. 7 without side effects: no clock movement, no
 // alerts. It answers "would (t, s, l) be authorized right now?".
 func (e *Engine) Query(t interval.Time, s profile.SubjectID, l graph.ID) Decision {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.evaluateLocked(t, s, l, false)
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.evaluate(t, s, l, false)
 }
 
 // Enter records subject s physically entering location l at time t. LTAM
@@ -190,7 +207,7 @@ func (e *Engine) Query(t interval.Time, s profile.SubjectID, l graph.ID) Decisio
 func (e *Engine) Enter(t interval.Time, s profile.SubjectID, l graph.ID) (Decision, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.advanceLocked(t); err != nil {
+	if err := e.advance(t); err != nil {
 		return Decision{}, err
 	}
 	if _, ok := e.flat.Index[l]; !ok {
@@ -217,7 +234,7 @@ func (e *Engine) Enter(t interval.Time, s profile.SubjectID, l graph.ID) (Decisi
 	}
 
 	// Authorization check (Def. 7).
-	d := e.evaluateLocked(t, s, l, false)
+	d := e.evaluate(t, s, l, false)
 	if !d.Granted {
 		kind := audit.UnauthorizedEntry
 		e.alerts.Raise(audit.Alert{Time: t, Kind: kind, Subject: s, Location: l,
@@ -236,7 +253,7 @@ func (e *Engine) Enter(t interval.Time, s profile.SubjectID, l graph.ID) (Decisi
 func (e *Engine) Leave(t interval.Time, s profile.SubjectID) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.advanceLocked(t); err != nil {
+	if err := e.advance(t); err != nil {
 		return err
 	}
 	from, inside := e.moves.CurrentLocation(s)
@@ -289,7 +306,7 @@ func (e *Engine) MoveTo(t interval.Time, s profile.SubjectID, l graph.ID) (Decis
 func (e *Engine) Tick(t interval.Time) ([]audit.Alert, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.advanceLocked(t); err != nil {
+	if err := e.advance(t); err != nil {
 		return nil, err
 	}
 	var raised []audit.Alert

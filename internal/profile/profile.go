@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // SubjectID identifies a user.
@@ -85,7 +86,16 @@ type DB struct {
 	mu       sync.RWMutex
 	subjects map[SubjectID]*Subject
 	watchers []Watcher
+
+	// version counts mutations; query caches key memoized per-subject
+	// results on it (profile changes can re-derive authorizations and
+	// change the known-subject set).
+	version atomic.Uint64
 }
+
+// Version returns the database's mutation epoch: it increases on every
+// successful Put, Remove or Restore and is stable between changes.
+func (db *DB) Version() uint64 { return db.version.Load() }
 
 // NewDB returns an empty profile database.
 func NewDB() *DB {
@@ -115,6 +125,7 @@ func (db *DB) Put(s Subject) error {
 	_, existed := db.subjects[s.ID]
 	db.subjects[s.ID] = s.clone()
 	watchers := db.watchers
+	db.version.Add(1)
 	db.mu.Unlock()
 	kind := ChangeAdded
 	if existed {
@@ -136,6 +147,7 @@ func (db *DB) Remove(id SubjectID) error {
 	}
 	delete(db.subjects, id)
 	watchers := db.watchers
+	db.version.Add(1)
 	db.mu.Unlock()
 	for _, w := range watchers {
 		w(Change{Kind: ChangeRemoved, Subject: id})
@@ -320,6 +332,7 @@ func (db *DB) Restore(subjects []Subject) error {
 		fresh[s.ID] = s.clone()
 	}
 	db.subjects = fresh
+	db.version.Add(1)
 	return nil
 }
 

@@ -200,6 +200,13 @@ func snapshot(updated graph.ID, f *graph.Flat, states []State) TraceStep {
 // (or accessible) to a given subject").
 func Accessible(f *graph.Flat, src AuthSource, s profile.SubjectID) []graph.ID {
 	res := FindInaccessible(f, src, s, Options{})
+	return AccessibleFrom(f, &res)
+}
+
+// AccessibleFrom derives the §5 complement from an already-computed
+// Algorithm-1 result, in node order. The System's cached query path and
+// Accessible share it.
+func AccessibleFrom(f *graph.Flat, res *Result) []graph.ID {
 	inacc := make(map[graph.ID]bool, len(res.Inaccessible))
 	for _, id := range res.Inaccessible {
 		inacc[id] = true
@@ -234,6 +241,16 @@ func WhoCanAccess(f *graph.Flat, src AuthSource, subjects []profile.SubjectID, l
 	if _, known := f.Index[l]; !known {
 		return nil
 	}
+	return WhoCanAccessBy(subjects, func(s profile.SubjectID) bool {
+		_, ok := EarliestAccess(f, src, s, l)
+		return ok
+	})
+}
+
+// WhoCanAccessBy runs the inverse analysis over an arbitrary
+// reachability predicate, keeping input order and de-duplicating.
+// WhoCanAccess and the System's cached path share it.
+func WhoCanAccessBy(subjects []profile.SubjectID, canReach func(profile.SubjectID) bool) []profile.SubjectID {
 	var out []profile.SubjectID
 	seen := map[profile.SubjectID]bool{}
 	for _, s := range subjects {
@@ -241,7 +258,7 @@ func WhoCanAccess(f *graph.Flat, src AuthSource, subjects []profile.SubjectID, l
 			continue
 		}
 		seen[s] = true
-		if _, ok := EarliestAccess(f, src, s, l); ok {
+		if canReach(s) {
 			out = append(out, s)
 		}
 	}

@@ -1,0 +1,131 @@
+package query
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// cacheKey identifies one memoized FindInaccessible run: the subject and
+// the §6 access request window (the zero window is the Def.-8 default
+// [0, ∞)). The epoch is not part of the key — the whole cache is flushed
+// when the epoch moves, so stale generations never accumulate.
+type cacheKey struct {
+	subject profile.SubjectID
+	window  interval.Interval
+}
+
+// Cache memoizes Algorithm-1 results per (subject, window) at a given
+// epoch. The epoch is supplied by the caller — typically the sum of the
+// authorization store's and profile database's mutation versions — and any
+// lookup with a different epoch flushes the memo table first, so a cached
+// Result is always equal to a fresh recomputation at the current state.
+//
+// Cached Results are shared between goroutines and must be treated as
+// read-only by callers (Algorithm 1 never mutates a returned Result, so
+// this falls out naturally for the System query path).
+//
+// The zero Cache is not usable; call NewCache.
+type Cache struct {
+	mu      sync.RWMutex
+	epoch   uint64
+	entries map[cacheKey]*Result
+	limit   int
+
+	hits, misses, flushes atomic.Uint64
+}
+
+// DefaultCacheLimit bounds the number of memoized (subject, window) pairs
+// per epoch when NewCache is given a non-positive limit. One entry holds
+// O(N_L) state, so the bound keeps worst-case memory proportional to the
+// site size times a constant roster of hot subjects.
+const DefaultCacheLimit = 4096
+
+// NewCache returns an empty cache holding at most limit entries per epoch
+// (limit <= 0 selects DefaultCacheLimit).
+func NewCache(limit int) *Cache {
+	if limit <= 0 {
+		limit = DefaultCacheLimit
+	}
+	return &Cache{entries: make(map[cacheKey]*Result), limit: limit}
+}
+
+// Result returns the memoized FindInaccessible result for (s, opts.Window)
+// at the given epoch, computing and storing it on a miss. Traced runs are
+// never cached (the trace is a debugging artifact whose cost dwarfs the
+// fixpoint); they always recompute.
+func (c *Cache) Result(epoch uint64, f *graph.Flat, src AuthSource, s profile.SubjectID, opts Options) *Result {
+	if opts.Trace {
+		res := FindInaccessible(f, src, s, opts)
+		return &res
+	}
+	key := cacheKey{subject: s, window: opts.window()}
+
+	c.mu.RLock()
+	if c.epoch == epoch {
+		if res, ok := c.entries[key]; ok {
+			c.mu.RUnlock()
+			c.hits.Add(1)
+			return res
+		}
+	}
+	c.mu.RUnlock()
+
+	c.misses.Add(1)
+	res := FindInaccessible(f, src, s, opts)
+
+	c.mu.Lock()
+	if c.epoch != epoch {
+		if epoch < c.epoch {
+			// A newer epoch already owns the table; our result is
+			// stale and must not be stored.
+			c.mu.Unlock()
+			return &res
+		}
+		c.flushes.Add(1)
+		c.entries = make(map[cacheKey]*Result)
+		c.epoch = epoch
+	}
+	if len(c.entries) < c.limit {
+		c.entries[key] = &res
+	}
+	c.mu.Unlock()
+	return &res
+}
+
+// Invalidate drops every memoized entry regardless of epoch. The System
+// does not need it (every state change it serves is covered by a
+// version counter); it exists for callers embedding Cache over an
+// AuthSource without one.
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	c.entries = make(map[cacheKey]*Result)
+	c.flushes.Add(1)
+	c.mu.Unlock()
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Hits    uint64 `json:"hits"`
+	Misses  uint64 `json:"misses"`
+	Flushes uint64 `json:"flushes"`
+	Entries int    `json:"entries"`
+	Epoch   uint64 `json:"epoch"`
+}
+
+// Stats reports hit/miss/flush counters and the current table size.
+func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	entries, epoch := len(c.entries), c.epoch
+	c.mu.RUnlock()
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Flushes: c.flushes.Load(),
+		Entries: entries,
+		Epoch:   epoch,
+	}
+}

@@ -1,0 +1,110 @@
+package query
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// TestCacheMatchesDirect: at every epoch, the cached result equals a
+// direct FindInaccessible run — over random graphs, random windows, and
+// mutations between epochs (reusing the equivalence-test fixtures).
+func TestCacheMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 60; trial++ {
+		g := randomFlatGraph(rng, 3+rng.Intn(7), rng.Intn(4), 1+rng.Intn(2))
+		f := graph.Expand(g)
+		st := authz.NewStore()
+		randomAuths(rng, st, f.Nodes)
+		c := NewCache(0)
+
+		for epoch := 0; epoch < 4; epoch++ {
+			opts := Options{}
+			if rng.Intn(2) == 0 {
+				lo := interval.Time(rng.Intn(40))
+				opts.Window = interval.New(lo, lo+interval.Time(rng.Intn(60)))
+			}
+			direct := FindInaccessible(f, st, "u", opts).Inaccessible
+			for rep := 0; rep < 3; rep++ {
+				cached := c.Result(st.Version(), f, st, "u", opts).Inaccessible
+				if fmt.Sprint(cached) != fmt.Sprint(direct) {
+					t.Fatalf("trial %d epoch %d rep %d: cached %v != direct %v",
+						trial, epoch, rep, cached, direct)
+				}
+			}
+			// Mutate for the next epoch.
+			randomAuths(rng, st, f.Nodes[:1+rng.Intn(len(f.Nodes))])
+		}
+	}
+}
+
+// TestCacheStaleEpochNotStored: a result computed under an old epoch
+// must not overwrite the newer generation.
+func TestCacheStaleEpochNotStored(t *testing.T) {
+	f := graph.Expand(randomFlatGraph(rand.New(rand.NewSource(5)), 5, 2, 1))
+	st := authz.NewStore()
+	randomAuths(rand.New(rand.NewSource(6)), st, f.Nodes)
+	c := NewCache(0)
+
+	_ = c.Result(10, f, st, "u", Options{}) // newer generation owns the table
+	_ = c.Result(3, f, st, "u", Options{})  // stale: computed but not stored
+	stats := c.Stats()
+	if stats.Epoch != 10 {
+		t.Errorf("epoch = %d, want 10", stats.Epoch)
+	}
+	if stats.Entries != 1 {
+		t.Errorf("entries = %d, want 1 (stale result must not be stored)", stats.Entries)
+	}
+}
+
+// TestCacheConcurrentEpochRace: concurrent lookups at mixed epochs are
+// race-free and every returned result is correct for the store state it
+// was computed from (the store is not mutated during the race).
+func TestCacheConcurrentEpochRace(t *testing.T) {
+	f := graph.Expand(randomFlatGraph(rand.New(rand.NewSource(7)), 8, 3, 2))
+	st := authz.NewStore()
+	randomAuths(rand.New(rand.NewSource(8)), st, f.Nodes)
+	want := fmt.Sprint(FindInaccessible(f, st, "u", Options{}).Inaccessible)
+
+	c := NewCache(0)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				epoch := uint64(i % 5) // deliberately contend on flushes
+				got := c.Result(epoch, f, st, "u", Options{}).Inaccessible
+				if fmt.Sprint(got) != want {
+					t.Errorf("worker %d: %v != %v", w, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if stats := c.Stats(); stats.Hits == 0 {
+		t.Errorf("expected cache hits under contention, got %+v", stats)
+	}
+}
+
+// TestCacheLimit: the per-epoch table is bounded; overflow entries are
+// computed but not retained.
+func TestCacheLimit(t *testing.T) {
+	f := graph.Expand(randomFlatGraph(rand.New(rand.NewSource(9)), 4, 1, 1))
+	st := authz.NewStore()
+	c := NewCache(2)
+	for i := 0; i < 10; i++ {
+		sub := fmt.Sprintf("u%d", i)
+		_ = c.Result(1, f, st, profile.SubjectID(sub), Options{})
+	}
+	if stats := c.Stats(); stats.Entries > 2 {
+		t.Errorf("entries = %d, want <= 2", stats.Entries)
+	}
+}

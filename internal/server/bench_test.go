@@ -1,0 +1,107 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+)
+
+// benchServer builds an httptest server over a 12×12 grid with full
+// grants for one subject, the read-heavy traffic shape of a deployed
+// control station.
+func benchServer(b *testing.B) *httptest.Server {
+	b.Helper()
+	g := graph.New("grid")
+	id := func(r, c int) graph.ID { return graph.ID(fmt.Sprintf("r%02d_%02d", r, c)) }
+	const side = 12
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if err := g.AddLocation(id(r, c)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				_ = g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < side {
+				_ = g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	_ = g.SetEntry(id(0, 0))
+	sys, err := core.Open(core.Config{Graph: g})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = sys.Close() })
+	for _, room := range sys.Flat().Nodes {
+		if _, err := sys.AddAuthorization(authz.New(
+			interval.New(1, 1<<40), interval.New(1, 1<<41), "u", room, authz.Unlimited)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(New(sys))
+	b.Cleanup(ts.Close)
+	return ts
+}
+
+// BenchmarkServerConcurrentInaccessible measures end-to-end HTTP
+// throughput of the flagship read query under concurrent clients —
+// the server-level view of the reader/writer refactor plus epoch cache.
+func BenchmarkServerConcurrentInaccessible(b *testing.B) {
+	ts := benchServer(b)
+	url := ts.URL + "/v1/queries/inaccessible?subject=u"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServerConcurrentRequest measures the Definition-7 decision
+// endpoint under concurrent clients.
+func BenchmarkServerConcurrentRequest(b *testing.B) {
+	ts := benchServer(b)
+	url := ts.URL + "/v1/request"
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		client := &http.Client{}
+		for pb.Next() {
+			resp, err := client.Post(url, "application/json",
+				strings.NewReader(`{"time": 2, "subject": "u", "location": "r00_01"}`))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			_, _ = io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b.Errorf("HTTP %d", resp.StatusCode)
+				return
+			}
+		}
+	})
+}

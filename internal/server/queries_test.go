@@ -69,3 +69,30 @@ func TestConflictsOverWire(t *testing.T) {
 		t.Errorf("idempotent resolve = %v, %v", res, err)
 	}
 }
+
+func TestStatsOverWire(t *testing.T) {
+	_, c := testServer(t, "")
+
+	if err := c.PutSubject(profile.Subject{ID: "Alice"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AddAuthorization(authz.New(iv("[1, 40]"), iv("[2, 60]"), "Alice", graph.SCEGO, 0)); err != nil {
+		t.Fatal(err)
+	}
+	// Two identical queries: the second must be served from the cache.
+	for i := 0; i < 2; i++ {
+		if _, err := c.Inaccessible("Alice"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache.Hits == 0 {
+		t.Errorf("expected cache hits, got %+v", stats.Cache)
+	}
+	if stats.Cache.Misses == 0 {
+		t.Errorf("expected cache misses, got %+v", stats.Cache)
+	}
+}

@@ -64,6 +64,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/occupants", s.occupants)
 	s.mux.HandleFunc("GET /v1/alerts", s.alerts)
 	s.mux.HandleFunc("GET /v1/graph", s.graphSpec)
+	s.mux.HandleFunc("GET /v1/stats", s.stats)
 	s.mux.HandleFunc("POST /v1/snapshot", s.snapshot)
 }
 
@@ -382,6 +383,13 @@ func (s *Server) alerts(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) graphSpec(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, graph.ToSpec(s.sys.Graph()))
+}
+
+func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, wire.StatsResponse{
+		Clock: s.sys.Clock(),
+		Cache: s.sys.QueryCacheStats(),
+	})
 }
 
 func (s *Server) snapshot(w http.ResponseWriter, _ *http.Request) {

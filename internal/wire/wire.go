@@ -20,6 +20,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/movement"
 	"repro/internal/profile"
+	"repro/internal/query"
 	"repro/internal/rules"
 )
 
@@ -92,6 +93,13 @@ type ReachResponse struct {
 // "keep-first" or "keep-last".
 type ResolveRequest struct {
 	Strategy string `json:"strategy"`
+}
+
+// StatsResponse reports server-side query-engine statistics: the engine
+// clock and the epoch cache's effectiveness counters.
+type StatsResponse struct {
+	Clock interval.Time    `json:"clock"`
+	Cache query.CacheStats `json:"cache"`
 }
 
 // Client is a typed HTTP client for ltamd.
@@ -320,4 +328,11 @@ func (c *Client) GraphSpec() (graph.Spec, error) {
 // Snapshot asks the server to persist and compact.
 func (c *Client) Snapshot() error {
 	return c.do("POST", "/v1/snapshot", nil, nil)
+}
+
+// Stats fetches server-side query-engine statistics.
+func (c *Client) Stats() (StatsResponse, error) {
+	var out StatsResponse
+	err := c.do("GET", "/v1/stats", nil, &out)
+	return out, err
 }
