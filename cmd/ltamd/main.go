@@ -6,12 +6,18 @@
 // Usage:
 //
 //	ltamd [-addr :8525] [-data /var/lib/ltam] [-graph site.json]
+//	      [-bounds bounds.json]
 //
 // Without -graph the NTU campus of the paper's Fig. 2 is served, which is
 // handy for demos; -data enables write-ahead logging and snapshots.
+// -bounds loads physical room boundaries (a JSON array of
+// {"Location": ..., "Shape": [{"X":..,"Y":..}, ...]}), enabling the
+// positioning front-end and the batched ingest endpoint
+// POST /v1/observe/batch.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -19,6 +25,7 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/server"
 )
@@ -29,8 +36,20 @@ func main() {
 	addr := flag.String("addr", ":8525", "listen address")
 	data := flag.String("data", "", "data directory (enables durability)")
 	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
+	boundsPath := flag.String("bounds", "", "room boundary JSON (enables /v1/observe/batch)")
 	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
 	flag.Parse()
+
+	var bounds []geometry.Boundary
+	if *boundsPath != "" {
+		data, err := os.ReadFile(*boundsPath)
+		if err != nil {
+			log.Fatalf("read bounds: %v", err)
+		}
+		if err := json.Unmarshal(data, &bounds); err != nil {
+			log.Fatalf("parse bounds: %v", err)
+		}
+	}
 
 	var g *graph.Graph
 	if *graphPath != "" {
@@ -48,6 +67,7 @@ func main() {
 
 	sys, err := core.Open(core.Config{
 		Graph:      g,
+		Boundaries: bounds,
 		DataDir:    *data,
 		SyncEvery:  *syncEvery,
 		AutoDerive: true,

@@ -10,6 +10,13 @@
 //
 //	ltamsim [-side 8] [-users 200] [-steps 500] [-seed 1]
 //	        [-overstayers 0.1] [-tailgaters 0.05]
+//	        [-batch 0] [-data dir]
+//
+// With -batch N the crowd is driven through the batched positioning
+// pipeline: each step's movements become coordinate readings submitted
+// via System.ObserveBatch in chunks of N, exercising the group-commit
+// write path (one write-lock acquisition and one WAL fsync per chunk).
+// With -data the system is durable, so the fsync amortization is real.
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/authz"
 	"repro/internal/core"
+	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/profile"
@@ -36,10 +44,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed (deterministic runs)")
 	overstayers := flag.Float64("overstayers", 0.1, "fraction of users with short exit windows")
 	tailgaters := flag.Float64("tailgaters", 0.05, "fraction of users with no authorizations")
+	batch := flag.Int("batch", 0, "readings per ObserveBatch call (0 = direct Enter path)")
+	data := flag.String("data", "", "data directory (enables WAL durability + group commit)")
 	flag.Parse()
 
 	g, rooms := GridBuilding(*side)
-	sys, err := core.Open(core.Config{Graph: g})
+	cfg := core.Config{Graph: g, DataDir: *data}
+	if *batch > 0 {
+		cfg.Boundaries = GridBoundaries(*side)
+	}
+	sys, err := core.Open(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,12 +64,22 @@ func main() {
 	stats := Populate(sys, rng, rooms, *users, *overstayers, *tailgaters, horizon)
 
 	start := time.Now()
-	granted, denied := RunCrowd(sys, rng, rooms, stats.Walkers, *steps)
+	var granted, denied int
+	if *batch > 0 {
+		granted, denied = RunCrowdBatch(sys, rng, rooms, stats.Walkers, *steps, *batch)
+	} else {
+		granted, denied = RunCrowd(sys, rng, rooms, stats.Walkers, *steps)
+	}
 	elapsed := time.Since(start)
 
 	events := sys.Movements().Len()
 	fmt.Printf("building: %dx%d grid (%d rooms)\n", *side, *side, len(rooms))
 	fmt.Printf("users: %d (%d overstay-prone, %d tailgaters)\n", *users, stats.Overstayers, stats.Tailgaters)
+	if *batch > 0 {
+		fmt.Printf("ingest: batched positioning readings, %d per ObserveBatch\n", *batch)
+	} else {
+		fmt.Printf("ingest: direct Enter calls\n")
+	}
 	fmt.Printf("movements: %d events in %v (%.0f events/sec)\n",
 		events, elapsed.Round(time.Millisecond), float64(events)/elapsed.Seconds())
 	fmt.Printf("entries granted: %d, denied: %d\n", granted, denied)
@@ -63,6 +87,13 @@ func main() {
 	fmt.Printf("alerts: overstay=%d unauthorized=%d illegal=%d denied=%d exhausted=%d\n",
 		counts[audit.Overstay], counts[audit.UnauthorizedEntry],
 		counts[audit.IllegalMovement], counts[audit.DeniedRequest], counts[audit.EntryExhausted])
+	if *data != "" {
+		cs := sys.CommitStats()
+		if cs.Batches > 0 {
+			fmt.Printf("wal: %d records in %d fsync batches (mean batch %.1f)\n",
+				cs.Records, cs.Batches, float64(cs.Records)/float64(cs.Batches))
+		}
+	}
 }
 
 // GridBuilding builds a side×side grid of rooms with 4-neighbour
@@ -93,6 +124,28 @@ func GridBuilding(side int) (*graph.Graph, []graph.ID) {
 		panic(err)
 	}
 	return g, rooms
+}
+
+// gridRoomName matches GridBuilding's room naming.
+func gridRoomName(r, c int) string { return fmt.Sprintf("r%02d_%02d", r, c) }
+
+// GridBoundaries gives every room of the grid building a unit-square
+// physical boundary (geometry.UnitGrid's layout). Index order matches
+// GridBuilding's rooms slice.
+func GridBoundaries(side int) []geometry.Boundary {
+	bounds, _ := geometry.UnitGrid(side, gridRoomName)
+	return bounds
+}
+
+// RoomCenters maps each room to a reading coordinate strictly inside its
+// unit cell, matching GridBoundaries' layout.
+func RoomCenters(side int, rooms []graph.ID) map[graph.ID]geometry.Point {
+	_, centers := geometry.UnitGrid(side, gridRoomName)
+	byRoom := make(map[graph.ID]geometry.Point, len(rooms))
+	for i, room := range rooms {
+		byRoom[room] = centers[i]
+	}
+	return byRoom
 }
 
 // Walker is one synthetic user.
@@ -172,6 +225,72 @@ func RunCrowd(sys *core.System, rng *rand.Rand, rooms []graph.ID, walkers []Walk
 			}
 			w.Room = flat.MustIndex(target)
 		}
+		clock++
+		if s%16 == 15 {
+			if _, err := sys.Tick(clock); err != nil {
+				panic(err)
+			}
+			clock++
+		}
+	}
+	return granted, denied
+}
+
+// RunCrowdBatch drives the same random walk as RunCrowd, but through the
+// positioning pipeline: each step's movements become coordinate readings
+// submitted via ObserveBatch in chunks of batchSize — one write-lock
+// acquisition and one WAL group (one fsync, when durable) per chunk. It
+// draws the same random sequence as RunCrowd, so the two modes produce
+// identical granted/denied counts and alerts for a given seed.
+func RunCrowdBatch(sys *core.System, rng *rand.Rand, rooms []graph.ID, walkers []Walker, steps, batchSize int) (granted, denied int) {
+	if batchSize <= 0 {
+		batchSize = len(walkers)
+	}
+	flat := sys.Flat()
+	side := 1
+	for side*side < len(rooms) {
+		side++
+	}
+	centers := RoomCenters(side, rooms)
+	clock := interval.Time(1)
+	readings := make([]core.Reading, 0, batchSize)
+	flush := func() {
+		if len(readings) == 0 {
+			return
+		}
+		out, err := sys.ObserveBatch(readings)
+		if err != nil {
+			panic(err)
+		}
+		for _, o := range out {
+			if o.Err != nil {
+				panic(o.Err)
+			}
+			if o.Decision.Granted {
+				granted++
+			} else {
+				denied++
+			}
+		}
+		readings = readings[:0]
+	}
+	for s := 0; s < steps; s++ {
+		for i := range walkers {
+			w := &walkers[i]
+			var target graph.ID
+			if w.Room < 0 {
+				target = rooms[0] // enter at the entry room
+			} else {
+				ns := flat.Adj[w.Room]
+				target = flat.Nodes[ns[rng.Intn(len(ns))]]
+			}
+			readings = append(readings, core.Reading{Time: clock, Subject: w.ID, At: centers[target]})
+			w.Room = flat.MustIndex(target)
+			if len(readings) >= batchSize {
+				flush()
+			}
+		}
+		flush() // a step's readings never straddle a clock tick
 		clock++
 		if s%16 == 15 {
 			if _, err := sys.Tick(clock); err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -52,6 +53,50 @@ func TestPopulateComposition(t *testing.T) {
 	want := (40 - st.Tailgaters) * len(rooms)
 	if total != want {
 		t.Errorf("auth count = %d, want %d", total, want)
+	}
+}
+
+// TestRunCrowdBatchMatchesDirect: the batched positioning pipeline must
+// produce exactly the same grants, denials and alerts as direct Enter
+// calls for the same seed — it is the same walk, ingested through
+// ObserveBatch (readings resolved by boundary) instead of Enter.
+func TestRunCrowdBatchMatchesDirect(t *testing.T) {
+	type result struct {
+		granted, denied int
+		counts          string
+		events          int
+	}
+	run := func(batch int) result {
+		g, rooms := GridBuilding(3)
+		cfg := core.Config{Graph: g}
+		if batch > 0 {
+			cfg.Boundaries = GridBoundaries(3)
+		}
+		sys, err := core.Open(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sys.Close()
+		rng := rand.New(rand.NewSource(21))
+		st := Populate(sys, rng, rooms, 24, 0.3, 0.2, interval.Time(200))
+		var granted, denied int
+		if batch > 0 {
+			granted, denied = RunCrowdBatch(sys, rng, rooms, st.Walkers, 50, batch)
+		} else {
+			granted, denied = RunCrowd(sys, rng, rooms, st.Walkers, 50)
+		}
+		return result{granted, denied, fmt.Sprint(sys.Alerts().Counts()), sys.Movements().Len()}
+	}
+
+	direct := run(0)
+	for _, batch := range []int{1, 7, 64} {
+		batched := run(batch)
+		if direct != batched {
+			t.Errorf("batch=%d diverged from direct:\n direct  %+v\n batched %+v", batch, direct, batched)
+		}
+	}
+	if direct.granted == 0 || direct.denied == 0 {
+		t.Errorf("degenerate crowd: %+v", direct)
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/authz"
@@ -44,21 +45,56 @@ type Config struct {
 	// are kept there and recovered from on Open.
 	DataDir string
 	// SyncEvery is the WAL fsync cadence (1 = every mutation; 0 uses 1).
+	// Group commit engages only at SyncEvery=1 (its acks are durable by
+	// contract, so every batch fsyncs); a relaxed cadence keeps inline
+	// appends with one fsync per N records.
 	SyncEvery int
 	// AlertLimit bounds the in-memory alert log (0 = default).
 	AlertLimit int
 	// AutoDerive re-runs all rules after profile changes (Example 1's
 	// automatic re-derivation). Defaults to true via Open.
 	AutoDerive bool
+	// DisableGroupCommit forces WAL appends back onto the caller's
+	// goroutine (the pre-group-commit semantics: the mutation holds the
+	// write lock across its fsync). By default, when DataDir is set,
+	// mutations enqueue their records onto an asynchronous group
+	// committer and wait for a shared fsync barrier after releasing the
+	// write lock — concurrent mutations share one fsync, and readers are
+	// never blocked behind disk.
+	DisableGroupCommit bool
+	// CommitMaxBatch caps the records one group-commit fsync may cover
+	// (0 = storage.DefaultMaxBatch).
+	CommitMaxBatch int
+	// CommitMaxDelay makes the committer linger for stragglers before
+	// fsyncing a non-full batch (0 = commit as soon as the queue drains;
+	// batching then comes from arrivals during the previous fsync).
+	CommitMaxDelay time.Duration
+	// DisableCacheWarm turns off the background warmer that re-derives
+	// Algorithm-1 results for recently-queried subjects after an
+	// epoch-changing mutation, so the first post-mutation query pays the
+	// fixpoint inline instead. Warming is on by default.
+	DisableCacheWarm bool
+	// WarmSubjects caps how many recently-queried subjects the warmer
+	// re-derives per mutation (0 = DefaultWarmSubjects).
+	WarmSubjects int
 }
+
+// DefaultWarmSubjects is the default size of the post-mutation warm set.
+const DefaultWarmSubjects = 8
 
 // System is the central control station.
 //
 // Concurrency: mutations take the write lock, which serialises them so
-// that WAL order equals apply order. Pure queries take only the read
-// lock and execute in parallel with each other — they never see a
-// half-applied mutation because every mutation holds the write lock
-// across all the stores it touches. Per-subject Algorithm-1 results are
+// that WAL order equals apply order. The write lock covers only the
+// in-memory apply and the enqueue of the WAL record; the fsync happens
+// on the group committer's goroutine, and the mutation waits on its
+// commit barrier after releasing the lock — so concurrent mutations
+// share fsyncs and readers never queue behind disk. Pure queries take
+// only the read lock and execute in parallel with each other — they
+// never see a half-applied mutation because every mutation holds the
+// write lock across all the stores it touches. A mutation is
+// acknowledged (its method returns nil) only after its records are
+// durably on disk. Per-subject Algorithm-1 results are
 // memoized in an epoch-keyed cache; the epoch is derived from the
 // authorization store's and profile database's mutation versions, so
 // any change — including rule re-derivations triggered by profile
@@ -78,8 +114,20 @@ type System struct {
 	cache    *query.Cache
 
 	wal       *storage.WAL
+	committer *storage.Committer
 	snaps     *storage.SnapshotStore
 	replaying bool
+
+	// Cache warming: mutations that move the epoch poke warmCh; a
+	// background goroutine re-derives Algorithm-1 for the hottest
+	// subjects so the first post-mutation query hits the cache.
+	warmK    int
+	warmCh   chan struct{}
+	warmStop chan struct{}
+	warmWG   sync.WaitGroup
+
+	closeOnce sync.Once
+	closeErr  error
 }
 
 // epoch is the cache generation: the sum of the two version counters.
@@ -222,18 +270,53 @@ func Open(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, err
 		}
+		// Group commit amortizes *full-durability* fsyncs: every
+		// committer batch is fsynced before its waiters are released, so
+		// it engages only at SyncEvery=1. A relaxed cadence (SyncEvery >
+		// 1) keeps the pre-group-commit inline appends and its
+		// one-fsync-per-N semantics — turning the committer on there
+		// would silently fsync every batch and defeat the setting.
+		if !cfg.DisableGroupCommit && sync == 1 {
+			s.committer = storage.NewCommitter(s.wal, storage.CommitterConfig{
+				MaxBatch: cfg.CommitMaxBatch,
+				MaxDelay: cfg.CommitMaxDelay,
+			})
+		}
+	}
+
+	if !cfg.DisableCacheWarm {
+		s.warmK = cfg.WarmSubjects
+		if s.warmK <= 0 {
+			s.warmK = DefaultWarmSubjects
+		}
+		s.warmCh = make(chan struct{}, 1)
+		s.warmStop = make(chan struct{})
+		s.warmWG.Add(1)
+		go s.warmLoop()
 	}
 	return s, nil
 }
 
-// Close flushes and closes the WAL.
+// Close stops the cache warmer, drains the group committer, and closes
+// the WAL. It is idempotent.
 func (s *System) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.wal != nil {
-		return s.wal.Close()
-	}
-	return nil
+	s.closeOnce.Do(func() {
+		if s.warmStop != nil {
+			close(s.warmStop)
+			s.warmWG.Wait()
+		}
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if s.committer != nil {
+			s.closeErr = s.committer.Close()
+		}
+		if s.wal != nil {
+			if err := s.wal.Close(); s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
 }
 
 // apply dispatches one WAL record during recovery.
@@ -311,17 +394,109 @@ func (s *System) apply(rec storage.Record) error {
 	}
 }
 
-// log appends a mutation record unless durability is off or we are
-// replaying.
-func (s *System) log(typ string, v any) error {
-	if s.wal == nil || s.replaying {
-		return nil
-	}
+// waitNil and waitErr are ready-made commit barriers for the synchronous
+// paths.
+var waitNil = func() error { return nil }
+
+func waitErr(err error) func() error { return func() error { return err } }
+
+// encodeRecord marshals a typed mutation payload into a WAL record.
+func encodeRecord(typ string, v any) (storage.Record, error) {
 	data, err := json.Marshal(v)
 	if err != nil {
-		return err
+		return storage.Record{}, err
 	}
-	return s.wal.Append(storage.Record{Type: typ, Data: data})
+	return storage.Record{Type: typ, Data: data}, nil
+}
+
+// logLocked stages one mutation record for durability. Callers hold the
+// write lock, which is what makes WAL order equal apply order: records
+// are enqueued (or appended) in lock-hold order. The returned wait
+// function is the commit barrier — call it AFTER releasing the write
+// lock, so the fsync (shared with every other mutation in the same
+// group-commit batch) never blocks readers or other writers.
+//
+// With the committer disabled the append happens inline, preserving the
+// pre-group-commit syncEvery semantics; the barrier then just reports
+// the append's outcome.
+func (s *System) logLocked(typ string, v any) func() error {
+	if s.wal == nil || s.replaying {
+		return waitNil
+	}
+	rec, err := encodeRecord(typ, v)
+	if err != nil {
+		return waitErr(err)
+	}
+	if s.committer != nil {
+		ch := s.committer.Commit(rec)
+		return func() error { return <-ch }
+	}
+	return waitErr(s.wal.Append(rec))
+}
+
+// logGroupLocked is logLocked for a pre-encoded record group: the whole
+// group is enqueued as one unit, costing one fsync.
+func (s *System) logGroupLocked(recs []storage.Record) func() error {
+	if s.wal == nil || s.replaying || len(recs) == 0 {
+		return waitNil
+	}
+	if s.committer != nil {
+		ch := s.committer.Commit(recs...)
+		return func() error { return <-ch }
+	}
+	return waitErr(s.wal.AppendGroup(recs))
+}
+
+// --- Cache warming ------------------------------------------------------
+
+// signalWarm pokes the warmer after a mutation that moved the epoch.
+// Non-blocking: a pending poke already covers this mutation.
+func (s *System) signalWarm() {
+	if s.warmCh == nil || s.replaying {
+		return
+	}
+	select {
+	case s.warmCh <- struct{}{}:
+	default:
+	}
+}
+
+// warmLoop is the background warmer: on each poke it re-derives the
+// Algorithm-1 result for the most recently queried subjects, under the
+// read lock like any other query, so the first post-mutation query for a
+// hot subject is a cache hit instead of an inline fixpoint.
+func (s *System) warmLoop() {
+	defer s.warmWG.Done()
+	for {
+		select {
+		case <-s.warmStop:
+			return
+		case <-s.warmCh:
+			s.WarmNow()
+		}
+	}
+}
+
+// WarmNow synchronously re-derives the default-window Algorithm-1 result
+// for the K most recently queried subjects (K = Config.WarmSubjects).
+// The background warmer calls it on every epoch-changing mutation; it is
+// exported for deterministic tests and for operators who want to pre-heat
+// after bulk administration.
+func (s *System) WarmNow() {
+	k := s.warmK
+	if k <= 0 {
+		k = DefaultWarmSubjects
+	}
+	for _, sub := range s.cache.RecentSubjects(k) {
+		select {
+		case <-s.warmStop:
+			return
+		default:
+		}
+		s.mu.RLock()
+		_ = s.result(sub, query.Options{})
+		s.mu.RUnlock()
+	}
 }
 
 // --- Profile administration -------------------------------------------
@@ -329,21 +504,27 @@ func (s *System) log(typ string, v any) error {
 // PutSubject inserts or updates a user profile.
 func (s *System) PutSubject(sub profile.Subject) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.profiles.Put(sub); err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	return s.log("profile.put", sub)
+	wait := s.logLocked("profile.put", sub)
+	s.mu.Unlock()
+	s.signalWarm()
+	return wait()
 }
 
 // RemoveSubject deletes a user profile.
 func (s *System) RemoveSubject(id profile.SubjectID) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.profiles.Remove(id); err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	return s.log("profile.remove", subjPayload{ID: id})
+	wait := s.logLocked("profile.remove", subjPayload{ID: id})
+	s.mu.Unlock()
+	s.signalWarm()
+	return wait()
 }
 
 // GetSubject returns a user profile.
@@ -366,15 +547,19 @@ func (s *System) Subjects() []profile.SubjectID {
 // the site graph, stores the authorization, and logs it.
 func (s *System) AddAuthorization(a authz.Authorization) (authz.Authorization, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.flat.Index[a.Location]; !ok {
+		s.mu.Unlock()
 		return authz.Authorization{}, fmt.Errorf("core: %q is not a primitive location of %q", a.Location, s.root.Name())
 	}
 	stored, err := s.store.Add(a)
 	if err != nil {
+		s.mu.Unlock()
 		return authz.Authorization{}, err
 	}
-	if err := s.log("authz.add", stored); err != nil {
+	wait := s.logLocked("authz.add", stored)
+	s.mu.Unlock()
+	s.signalWarm()
+	if err := wait(); err != nil {
 		return authz.Authorization{}, err
 	}
 	return stored, nil
@@ -384,12 +569,15 @@ func (s *System) AddAuthorization(a authz.Authorization) (authz.Authorization, e
 // from it, returning how many were removed.
 func (s *System) RevokeAuthorization(id authz.ID) (int, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	n, err := s.ruleEng.RevokeBase(id)
 	if err != nil {
+		s.mu.Unlock()
 		return 0, err
 	}
-	return n, s.log("authz.revoke", idPayload{ID: id})
+	wait := s.logLocked("authz.revoke", idPayload{ID: id})
+	s.mu.Unlock()
+	s.signalWarm()
+	return n, wait()
 }
 
 // Authorizations lists every stored authorization.
@@ -418,15 +606,15 @@ func (s *System) Conflicts() []authz.Conflict {
 // combining, or discarding one). The resolution is durably logged.
 func (s *System) ResolveConflicts(strategy authz.Strategy) ([]authz.Resolution, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	res, err := s.store.ResolveConflicts(strategy)
-	if err != nil {
+	if err != nil || len(res) == 0 {
+		s.mu.Unlock()
 		return res, err
 	}
-	if len(res) == 0 {
-		return res, nil
-	}
-	return res, s.log("authz.resolve", strategyPayload{Strategy: int(strategy)})
+	wait := s.logLocked("authz.resolve", strategyPayload{Strategy: int(strategy)})
+	s.mu.Unlock()
+	s.signalWarm()
+	return res, wait()
 }
 
 // --- Rules ---------------------------------------------------------------
@@ -434,26 +622,33 @@ func (s *System) ResolveConflicts(strategy authz.Strategy) ([]authz.Resolution, 
 // AddRule compiles, registers and immediately derives the rule.
 func (s *System) AddRule(spec rules.Spec) (rules.Report, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	r, err := spec.Compile()
 	if err != nil {
+		s.mu.Unlock()
 		return rules.Report{}, err
 	}
 	rep, err := s.ruleEng.AddRule(r)
 	if err != nil {
+		s.mu.Unlock()
 		return rules.Report{}, err
 	}
-	return rep, s.log("rule.add", spec)
+	wait := s.logLocked("rule.add", spec)
+	s.mu.Unlock()
+	s.signalWarm()
+	return rep, wait()
 }
 
 // RemoveRule deletes a rule and revokes its derivations.
 func (s *System) RemoveRule(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.ruleEng.RemoveRule(name); err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	return s.log("rule.remove", namePayload{Name: name})
+	wait := s.logLocked("rule.remove", namePayload{Name: name})
+	s.mu.Unlock()
+	s.signalWarm()
+	return wait()
 }
 
 // Rules lists the registered rules.
@@ -492,56 +687,157 @@ func (s *System) Query(t interval.Time, sub profile.SubjectID, l graph.ID) enfor
 // Enter records subject sub entering location l at time t.
 func (s *System) Enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enforce.Decision, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	d, err := s.engine.Enter(t, sub, l)
 	if err != nil {
+		s.mu.Unlock()
 		return d, err
 	}
-	return d, s.log("move.enter", movePayload{T: t, S: sub, L: l})
+	wait := s.logLocked("move.enter", movePayload{T: t, S: sub, L: l})
+	s.mu.Unlock()
+	return d, wait()
 }
 
 // Leave records subject sub leaving its current location at time t.
 func (s *System) Leave(t interval.Time, sub profile.SubjectID) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if err := s.engine.Leave(t, sub); err != nil {
+		s.mu.Unlock()
 		return err
 	}
-	return s.log("move.leave", movePayload{T: t, S: sub})
+	wait := s.logLocked("move.leave", movePayload{T: t, S: sub})
+	s.mu.Unlock()
+	return wait()
 }
 
 // Tick advances the clock and runs the overstay monitor.
 func (s *System) Tick(t interval.Time) ([]audit.Alert, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	raised, err := s.engine.Tick(t)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, err
 	}
-	return raised, s.log("tick", tickPayload{T: t})
+	wait := s.logLocked("tick", tickPayload{T: t})
+	s.mu.Unlock()
+	return raised, wait()
+}
+
+// Reading is one positioning sample for the ingest path: where subject
+// Subject was observed at logical time Time.
+type Reading struct {
+	Time    interval.Time
+	Subject profile.SubjectID
+	At      geometry.Point
+}
+
+// ObserveOutcome reports the application of one Reading from a batch.
+type ObserveOutcome struct {
+	// Decision is the Def.-7 outcome when the reading produced an entry.
+	Decision enforce.Decision
+	// Moved reports whether the reading produced a movement (an entry or
+	// an exit); a reading that keeps the subject where it was is a no-op.
+	Moved bool
+	// Err is the per-reading application error (e.g. a time regression);
+	// the rest of the batch is unaffected.
+	Err error
 }
 
 // ObserveReading ingests one positioning sample: the coordinate is
 // resolved to a primitive location (or outside) and converted into the
 // corresponding movement, if any. The coordinate itself is discarded —
 // the §1 privacy boundary.
+//
+// The subject's current location is read under the write lock, in the
+// same critical section that applies the movement, so concurrent
+// positioning feeds cannot derive an Enter/Leave from a stale location.
 func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geometry.Point) (enforce.Decision, bool, error) {
 	if s.resolver == nil {
 		return enforce.Decision{}, false, errors.New("core: no boundaries configured")
 	}
-	loc := graph.ID(s.resolver.Resolve(at))
-	cur, inside := s.moves.CurrentLocation(sub)
-	switch {
-	case loc == "" && !inside:
-		return enforce.Decision{}, false, nil
-	case loc == "" && inside:
-		return enforce.Decision{}, true, s.Leave(t, sub)
-	case inside && loc == cur:
-		return enforce.Decision{}, false, nil
-	default:
-		d, err := s.Enter(t, sub, loc)
-		return d, err == nil, err
+	s.mu.Lock()
+	out, recs := s.applyBatch([]Reading{{Time: t, Subject: sub, At: at}})
+	wait := s.logGroupLocked(recs)
+	s.mu.Unlock()
+	if out[0].Err != nil {
+		return out[0].Decision, false, out[0].Err
 	}
+	return out[0].Decision, out[0].Moved, wait()
+}
+
+// ObserveBatch ingests a batch of positioning samples in one critical
+// section: the write lock is taken once, each reading is resolved and
+// applied in order (reading the subject's current location under the
+// lock), and every resulting movement is logged as a single WAL group —
+// one fsync for the whole batch instead of one per movement. This is the
+// high-rate ingest path for positioning feeds that deliver thousands of
+// Enter/Leave readings per second.
+//
+// Per-reading failures (e.g. a time regression) are reported in the
+// corresponding ObserveOutcome.Err and do not abort the batch; only the
+// movements that applied are logged. The returned error is the batch
+// durability error: if non-nil, the in-memory state includes the batch
+// but the WAL group was not acknowledged.
+func (s *System) ObserveBatch(readings []Reading) ([]ObserveOutcome, error) {
+	if s.resolver == nil {
+		return nil, errors.New("core: no boundaries configured")
+	}
+	if len(readings) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	out, recs := s.applyBatch(readings)
+	wait := s.logGroupLocked(recs)
+	s.mu.Unlock()
+	return out, wait()
+}
+
+// applyBatch applies each reading against the movement state and returns
+// the per-reading outcomes plus the WAL records of the movements that
+// were actually applied, in apply order. Callers hold the write lock.
+func (s *System) applyBatch(readings []Reading) ([]ObserveOutcome, []storage.Record) {
+	out := make([]ObserveOutcome, len(readings))
+	recs := make([]storage.Record, 0, len(readings))
+	for i, r := range readings {
+		loc := graph.ID(s.resolver.Resolve(r.At))
+		cur, inside := s.moves.CurrentLocation(r.Subject)
+		switch {
+		case loc == "" && !inside:
+			// Outside and observed outside: nothing to record.
+		case loc == "" && inside:
+			if err := s.engine.Leave(r.Time, r.Subject); err != nil {
+				out[i].Err = err
+				continue
+			}
+			out[i].Moved = true
+			if s.wal != nil && !s.replaying {
+				rec, err := encodeRecord("move.leave", movePayload{T: r.Time, S: r.Subject})
+				if err != nil {
+					out[i].Err = err
+					continue
+				}
+				recs = append(recs, rec)
+			}
+		case inside && loc == cur:
+			// Still in the same room: a no-op sample.
+		default:
+			d, err := s.engine.Enter(r.Time, r.Subject, loc)
+			out[i].Decision = d
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			out[i].Moved = true
+			if s.wal != nil && !s.replaying {
+				rec, err := encodeRecord("move.enter", movePayload{T: r.Time, S: r.Subject, L: loc})
+				if err != nil {
+					out[i].Err = err
+					continue
+				}
+				recs = append(recs, rec)
+			}
+		}
+	}
+	return out, recs
 }
 
 // --- Queries -----------------------------------------------------------------
@@ -678,6 +974,15 @@ func (s *System) WhoWasIn(l graph.ID, window interval.Interval) []profile.Subjec
 // the observability hook behind the server's /v1/stats endpoint.
 func (s *System) QueryCacheStats() query.CacheStats { return s.cache.Stats() }
 
+// CommitStats reports the group committer's batching counters (zero when
+// durability or group commit is disabled).
+func (s *System) CommitStats() storage.CommitterStats {
+	if s.committer == nil {
+		return storage.CommitterStats{}
+	}
+	return s.committer.Stats()
+}
+
 // Alerts returns the alert log.
 func (s *System) Alerts() *audit.Log { return s.alerts }
 
@@ -710,6 +1015,16 @@ func (s *System) Snapshot() error {
 	defer s.mu.Unlock()
 	if s.snaps == nil || s.wal == nil {
 		return errors.New("core: durability not enabled")
+	}
+	// Drain the group committer first: the snapshot state already
+	// contains every enqueued mutation, so any record still in the queue
+	// must reach the WAL before Truncate or it would be replayed on top
+	// of a snapshot that includes it. The write lock we hold keeps new
+	// records from being enqueued behind the flush.
+	if s.committer != nil {
+		if err := s.committer.Flush(); err != nil {
+			return err
+		}
 	}
 	auths, next := s.store.Snapshot()
 	snap := snapshotState{

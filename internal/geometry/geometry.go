@@ -206,6 +206,29 @@ type Boundary struct {
 	Shape    Polygon
 }
 
+// UnitGrid lays out a side×side grid of unit-square room boundaries:
+// the room named name(r, c) covers [c, c+1]×[r, r+1], and centers —
+// row-major, index r*side+c — lie strictly inside each cell, so a
+// reading at centers[i] always resolves to room i. The movement
+// simulator, the ingest benchmarks and the batch tests share this
+// layout so boundaries, reading coordinates and room indices cannot
+// drift apart.
+func UnitGrid(side int, name func(r, c int) string) (bounds []Boundary, centers []Point) {
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			bounds = append(bounds, Boundary{
+				Location: name(r, c),
+				Shape: NewRect(
+					Point{X: float64(c), Y: float64(r)},
+					Point{X: float64(c + 1), Y: float64(r + 1)},
+				).Polygon(),
+			})
+			centers = append(centers, Point{X: float64(c) + 0.5, Y: float64(r) + 0.5})
+		}
+	}
+	return bounds, centers
+}
+
 // Resolver maps coordinates to primitive locations. The paper's tracking
 // infrastructure performs exactly this resolution before the access control
 // engine ever sees a movement; keeping it here preserves the privacy

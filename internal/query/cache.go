@@ -1,6 +1,7 @@
 package query
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -28,6 +29,12 @@ type cacheKey struct {
 // read-only by callers (Algorithm 1 never mutates a returned Result, so
 // this falls out naturally for the System query path).
 //
+// Bounded windows that cannot change the answer are served from the
+// default-window entry (interval subsumption, see Result), and the cache
+// tracks which subjects were queried most recently so a post-mutation
+// warmer can re-derive them before the first inline query pays the
+// fixpoint (RecentSubjects).
+//
 // The zero Cache is not usable; call NewCache.
 type Cache struct {
 	mu      sync.RWMutex
@@ -35,7 +42,14 @@ type Cache struct {
 	entries map[cacheKey]*Result
 	limit   int
 
-	hits, misses, flushes atomic.Uint64
+	// Recency survives epoch flushes by design: it answers "who is hot",
+	// not "what is the answer", and the warmer needs it exactly when the
+	// table was just flushed.
+	recMu  sync.Mutex
+	recSeq uint64
+	recent map[profile.SubjectID]uint64
+
+	hits, misses, flushes, subsumed atomic.Uint64
 }
 
 // DefaultCacheLimit bounds the number of memoized (subject, window) pairs
@@ -50,20 +64,35 @@ func NewCache(limit int) *Cache {
 	if limit <= 0 {
 		limit = DefaultCacheLimit
 	}
-	return &Cache{entries: make(map[cacheKey]*Result), limit: limit}
+	return &Cache{
+		entries: make(map[cacheKey]*Result),
+		recent:  make(map[profile.SubjectID]uint64),
+		limit:   limit,
+	}
 }
 
 // Result returns the memoized FindInaccessible result for (s, opts.Window)
 // at the given epoch, computing and storing it on a miss. Traced runs are
 // never cached (the trace is a debugging artifact whose cost dwarfs the
 // fixpoint); they always recompute.
+//
+// A bounded-window miss first tries interval subsumption: the window only
+// enters Algorithm 1 through the §6 clamping of entry-location
+// authorizations (GrantDuring/DepartureDuring at initiation), so when that
+// clamping is a no-op for every authorization s holds on an entry
+// location, the run is step-for-step identical to the default-window
+// [0, ∞) run and the cached default entry answers the bounded query.
+// Subsumed lookups count as hits (and in CacheStats.Subsumed).
 func (c *Cache) Result(epoch uint64, f *graph.Flat, src AuthSource, s profile.SubjectID, opts Options) *Result {
 	if opts.Trace {
 		res := FindInaccessible(f, src, s, opts)
 		return &res
 	}
-	key := cacheKey{subject: s, window: opts.window()}
+	window := opts.window()
+	key := cacheKey{subject: s, window: window}
+	defWindow := Options{}.window()
 
+	var defRes *Result
 	c.mu.RLock()
 	if c.epoch == epoch {
 		if res, ok := c.entries[key]; ok {
@@ -71,29 +100,125 @@ func (c *Cache) Result(epoch uint64, f *graph.Flat, src AuthSource, s profile.Su
 			c.hits.Add(1)
 			return res
 		}
+		if window != defWindow {
+			defRes = c.entries[cacheKey{subject: s, window: defWindow}]
+		}
 	}
 	c.mu.RUnlock()
 
+	// Recency is recorded only on the slow paths (miss or subsumption),
+	// never on plain hits: every epoch flush makes a hot subject's next
+	// query a miss, so the recency map still tracks who is hot per
+	// generation, and the parallel hit path stays free of the exclusive
+	// recMu lock.
+	if defRes != nil && windowSubsumed(f, src, s, window) {
+		c.touch(s)
+		c.hits.Add(1)
+		c.subsumed.Add(1)
+		c.put(epoch, key, defRes) // future bounded lookups are plain hits
+		return defRes
+	}
+
+	c.touch(s)
 	c.misses.Add(1)
 	res := FindInaccessible(f, src, s, opts)
+	c.put(epoch, key, &res)
+	return &res
+}
 
+// windowSubsumed reports whether the bounded window would produce exactly
+// the default-window result for subject s: clamping every authorization s
+// holds on an entry location by the window must equal clamping by [0, ∞).
+// The window appears nowhere else in Algorithm 1 (the fixpoint loop clamps
+// by neighbours' departure times, not the window), so this condition makes
+// the two runs identical. The check costs O(entries × N_a) — far below the
+// O(N_L²·N_d·N_a) fixpoint it avoids.
+func windowSubsumed(f *graph.Flat, src AuthSource, s profile.SubjectID, window interval.Interval) bool {
+	def := Options{}.window()
+	for _, e := range f.Entries {
+		for _, a := range src.For(s, f.Nodes[e]) {
+			if a.GrantDuring(window) != a.GrantDuring(def) ||
+				a.DepartureDuring(window) != a.DepartureDuring(def) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// put stores res under key, flushing first if epoch advanced. Results
+// computed under an epoch older than the table's are discarded.
+func (c *Cache) put(epoch uint64, key cacheKey, res *Result) {
 	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.epoch != epoch {
 		if epoch < c.epoch {
-			// A newer epoch already owns the table; our result is
-			// stale and must not be stored.
-			c.mu.Unlock()
-			return &res
+			// A newer epoch already owns the table; this result is stale
+			// and must not be stored.
+			return
 		}
 		c.flushes.Add(1)
 		c.entries = make(map[cacheKey]*Result)
 		c.epoch = epoch
 	}
 	if len(c.entries) < c.limit {
-		c.entries[key] = &res
+		c.entries[key] = res
 	}
-	c.mu.Unlock()
-	return &res
+}
+
+// touch records s as recently queried.
+func (c *Cache) touch(s profile.SubjectID) {
+	c.recMu.Lock()
+	c.recSeq++
+	c.recent[s] = c.recSeq
+	if len(c.recent) > c.limit {
+		// Rare: halve by recency so the map stays bounded by the roster
+		// of hot subjects, not the lifetime subject population.
+		c.pruneRecentLocked()
+	}
+	c.recMu.Unlock()
+}
+
+func (c *Cache) pruneRecentLocked() {
+	seqs := make([]uint64, 0, len(c.recent))
+	for _, seq := range c.recent {
+		seqs = append(seqs, seq)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] > seqs[j] })
+	floor := seqs[len(seqs)/2]
+	for s, seq := range c.recent {
+		if seq < floor {
+			delete(c.recent, s)
+		}
+	}
+}
+
+// RecentSubjects returns up to k subjects ordered from most to least
+// recently computed-for (a miss or a subsumption; plain hits don't
+// refresh recency) — the warm set for post-mutation re-derivation.
+func (c *Cache) RecentSubjects(k int) []profile.SubjectID {
+	if k <= 0 {
+		return nil
+	}
+	type entry struct {
+		s   profile.SubjectID
+		seq uint64
+	}
+	c.recMu.Lock()
+	all := make([]entry, 0, len(c.recent))
+	for s, seq := range c.recent {
+		all = append(all, entry{s, seq})
+	}
+	c.recMu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].seq > all[j].seq })
+	if len(all) > k {
+		all = all[:k]
+	}
+	out := make([]profile.SubjectID, len(all))
+	for i, e := range all {
+		out[i] = e.s
+	}
+	return out
 }
 
 // Invalidate drops every memoized entry regardless of epoch. The System
@@ -112,8 +237,11 @@ type CacheStats struct {
 	Hits    uint64 `json:"hits"`
 	Misses  uint64 `json:"misses"`
 	Flushes uint64 `json:"flushes"`
-	Entries int    `json:"entries"`
-	Epoch   uint64 `json:"epoch"`
+	// Subsumed counts the hits served to bounded windows from the
+	// default-window entry; they are included in Hits.
+	Subsumed uint64 `json:"subsumed"`
+	Entries  int    `json:"entries"`
+	Epoch    uint64 `json:"epoch"`
 }
 
 // Stats reports hit/miss/flush counters and the current table size.
@@ -122,10 +250,11 @@ func (c *Cache) Stats() CacheStats {
 	entries, epoch := len(c.entries), c.epoch
 	c.mu.RUnlock()
 	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Flushes: c.flushes.Load(),
-		Entries: entries,
-		Epoch:   epoch,
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+		Flushes:  c.flushes.Load(),
+		Subsumed: c.subsumed.Load(),
+		Entries:  entries,
+		Epoch:    epoch,
 	}
 }

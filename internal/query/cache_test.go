@@ -94,6 +94,115 @@ func TestCacheConcurrentEpochRace(t *testing.T) {
 	}
 }
 
+// TestCacheWindowSubsumption: a bounded window whose §6 clamp is a no-op
+// on every entry-location authorization is answered by the cached
+// default-window entry — counted as a (subsumed) hit, not a miss — while
+// a window that does clamp recomputes.
+func TestCacheWindowSubsumption(t *testing.T) {
+	// Corridor e -> m -> far; entry auths live in [10, 30] / exit [15, 40].
+	g := graph.New("corridor")
+	for _, id := range []graph.ID{"e", "m", "far"} {
+		if err := g.AddLocation(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = g.AddEdge("e", "m")
+	_ = g.AddEdge("m", "far")
+	_ = g.SetEntry("e")
+	f := graph.Expand(g)
+	st := authz.NewStore()
+	for _, id := range []graph.ID{"e", "m", "far"} {
+		if _, err := st.Add(authz.New(interval.New(10, 30), interval.New(15, 40), "u", id, authz.Unlimited)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache(0)
+	epoch := st.Version()
+
+	def := c.Result(epoch, f, st, "u", Options{})
+	if got := c.Stats(); got.Misses != 1 {
+		t.Fatalf("priming stats = %+v", got)
+	}
+
+	// [1, 100] contains every entry auth's entry and exit duration: the
+	// clamp is a no-op, so the default entry must answer it.
+	sub := c.Result(epoch, f, st, "u", Options{Window: interval.New(1, 100)})
+	if sub != def {
+		t.Error("subsumable window did not share the default-window result")
+	}
+	st1 := c.Stats()
+	if st1.Misses != 1 || st1.Subsumed != 1 || st1.Hits != 1 {
+		t.Errorf("after subsumable window: %+v", st1)
+	}
+	// The subsumed answer is now stored under the bounded key: a repeat
+	// is a plain hit.
+	_ = c.Result(epoch, f, st, "u", Options{Window: interval.New(1, 100)})
+	st2 := c.Stats()
+	if st2.Hits != 2 || st2.Subsumed != 1 || st2.Misses != 1 {
+		t.Errorf("after repeat: %+v", st2)
+	}
+
+	// [20, 100] clamps the entry duration ([10,30] -> [20,30]): must
+	// recompute, and the answers must equal direct runs.
+	bounded := c.Result(epoch, f, st, "u", Options{Window: interval.New(20, 100)})
+	if c.Stats().Misses != 2 {
+		t.Errorf("clamping window must miss: %+v", c.Stats())
+	}
+	direct := FindInaccessible(f, st, "u", Options{Window: interval.New(20, 100)})
+	if fmt.Sprint(bounded.Inaccessible) != fmt.Sprint(direct.Inaccessible) {
+		t.Errorf("bounded: cached %v != direct %v", bounded.Inaccessible, direct.Inaccessible)
+	}
+}
+
+// TestCacheSubsumptionMatchesDirect is the property form: for random
+// stores and random windows, the cache (with subsumption in play) always
+// equals a direct computation.
+func TestCacheSubsumptionMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 80; trial++ {
+		g := randomFlatGraph(rng, 3+rng.Intn(6), rng.Intn(4), 1+rng.Intn(2))
+		f := graph.Expand(g)
+		st := authz.NewStore()
+		randomAuths(rng, st, f.Nodes)
+		c := NewCache(0)
+		_ = c.Result(st.Version(), f, st, "u", Options{}) // prime the default entry
+		for rep := 0; rep < 6; rep++ {
+			lo := interval.Time(rng.Intn(60))
+			opts := Options{Window: interval.New(lo, lo+interval.Time(rng.Intn(80)))}
+			direct := FindInaccessible(f, st, "u", opts).Inaccessible
+			cached := c.Result(st.Version(), f, st, "u", opts).Inaccessible
+			if fmt.Sprint(cached) != fmt.Sprint(direct) {
+				t.Fatalf("trial %d rep %d window %v: cached %v != direct %v",
+					trial, rep, opts.Window, cached, direct)
+			}
+		}
+	}
+}
+
+// TestCacheRecentSubjects: recency order is most-recent-first, k-bounded,
+// refreshed on misses (plain hits leave it untouched, keeping the hit
+// path lock-free), and survives epoch flushes (the warmer needs it right
+// after one).
+func TestCacheRecentSubjects(t *testing.T) {
+	f := graph.Expand(randomFlatGraph(rand.New(rand.NewSource(11)), 4, 1, 1))
+	st := authz.NewStore()
+	c := NewCache(0)
+	for _, s := range []profile.SubjectID{"a", "b", "c", "a"} {
+		_ = c.Result(1, f, st, s, Options{}) // final "a" is a hit: no refresh
+	}
+	if got := fmt.Sprint(c.RecentSubjects(2)); got != "[c b]" {
+		t.Errorf("RecentSubjects(2) = %s, want [c b]", got)
+	}
+	// Epoch flush must not erase recency; the new-epoch miss lands first.
+	_ = c.Result(2, f, st, "d", Options{})
+	if got := fmt.Sprint(c.RecentSubjects(3)); got != "[d c b]" {
+		t.Errorf("after flush: %s, want [d c b]", got)
+	}
+	if got := c.RecentSubjects(0); got != nil {
+		t.Errorf("RecentSubjects(0) = %v, want nil", got)
+	}
+}
+
 // TestCacheLimit: the per-epoch table is bounded; overflow entries are
 // computed but not retained.
 func TestCacheLimit(t *testing.T) {

@@ -12,6 +12,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/wire"
 )
 
 // benchServer builds an httptest server over a 12×12 grid with full
@@ -77,6 +79,56 @@ func BenchmarkServerConcurrentInaccessible(b *testing.B) {
 				b.Errorf("HTTP %d", resp.StatusCode)
 				return
 			}
+		}
+	})
+}
+
+// BenchmarkServerBatchedIngest measures durable movement ingest end to
+// end over HTTP (fsync on every commit): one reading per /v1/enter
+// request versus 64 readings per /v1/observe/batch request. ns/op is per
+// reading in both variants; the batched path pays one HTTP round-trip,
+// one write-lock acquisition and one fsync per 64 readings.
+func BenchmarkServerBatchedIngest(b *testing.B) {
+	const batch = 64
+	subjects := make([]string, batch)
+	for i := range subjects {
+		subjects[i] = fmt.Sprintf("u%02d", i)
+	}
+
+	b.Run("enter-sequential", func(b *testing.B) {
+		client, rooms, _ := observeSite(b, 2, b.TempDir(), subjects...)
+		clock := interval.Time(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := client.Enter(clock, profile.SubjectID(subjects[i%batch]), rooms[(i/batch)%2]); err != nil {
+				b.Fatal(err)
+			}
+			if i%batch == batch-1 {
+				clock++
+			}
+		}
+	})
+
+	b.Run("observe-batch-64", func(b *testing.B) {
+		client, _, centers := observeSite(b, 2, b.TempDir(), subjects...)
+		clock := interval.Time(2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i += batch {
+			readings := make([]wire.Reading, batch)
+			room := centers[(i/batch)%2]
+			for j := range readings {
+				readings[j] = wire.Reading{Time: clock, Subject: profile.SubjectID(subjects[j]), X: room.X, Y: room.Y}
+			}
+			results, err := client.ObserveBatch(readings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, res := range results {
+				if res.Error != "" {
+					b.Fatal(res.Error)
+				}
+			}
+			clock++
 		}
 	})
 }

@@ -1,0 +1,135 @@
+package server
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/wire"
+)
+
+// observeSite builds a server over a side×side grid with unit-square
+// boundaries and full grants for the given subjects, returning the wire
+// client and the room/center layout.
+func observeSite(t testing.TB, side int, dataDir string, subjects ...string) (*wire.Client, []graph.ID, []geometry.Point) {
+	t.Helper()
+	g := graph.New("grid")
+	id := func(r, c int) graph.ID { return graph.ID(fmt.Sprintf("r%02d_%02d", r, c)) }
+	bounds, centers := geometry.UnitGrid(side, func(r, c int) string { return string(id(r, c)) })
+	var rooms []graph.ID
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			rid := id(r, c)
+			rooms = append(rooms, rid)
+			if err := g.AddLocation(rid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				_ = g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < side {
+				_ = g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	_ = g.SetEntry(id(0, 0))
+	sys, err := core.Open(core.Config{Graph: g, Boundaries: bounds, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	for _, sub := range subjects {
+		for _, room := range rooms {
+			if _, err := sys.AddAuthorization(authz.New(
+				interval.New(1, 1<<40), interval.New(1, 1<<41),
+				profile.SubjectID(sub), room, authz.Unlimited)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ts := httptest.NewServer(New(sys))
+	t.Cleanup(ts.Close)
+	return wire.NewClient(ts.URL), rooms, centers
+}
+
+// TestObserveBatchEndpoint drives the batched ingest endpoint end to end:
+// enters, a same-room no-op, a leave, a per-reading error, and a denied
+// tailgater — all in one request — then checks presence and stats.
+func TestObserveBatchEndpoint(t *testing.T) {
+	client, rooms, centers := observeSite(t, 2, t.TempDir(), "alice")
+
+	results, err := client.ObserveBatch([]wire.Reading{
+		{Time: 2, Subject: "alice", X: centers[0].X, Y: centers[0].Y},
+		{Time: 3, Subject: "alice", X: centers[0].X, Y: centers[0].Y}, // no-op
+		{Time: 4, Subject: "alice", X: centers[1].X, Y: centers[1].Y},
+		{Time: 1, Subject: "alice", X: centers[0].X, Y: centers[0].Y}, // regression
+		{Time: 5, Subject: "eve", X: centers[1].X, Y: centers[1].Y},   // tailgater
+		{Time: 6, Subject: "alice", X: -100, Y: -100},                 // leave
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 6 {
+		t.Fatalf("results = %d, want 6", len(results))
+	}
+	if !results[0].Granted || !results[0].Moved {
+		t.Errorf("reading 0: %+v", results[0])
+	}
+	if results[1].Moved {
+		t.Error("same-room reading must not move")
+	}
+	if results[3].Error == "" {
+		t.Error("time regression must surface in the result")
+	}
+	if results[4].Granted || !results[4].Moved {
+		t.Errorf("tailgater: %+v (want recorded but denied)", results[4])
+	}
+	if !results[5].Moved {
+		t.Error("leave reading must move")
+	}
+
+	where, err := client.Where("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if where.Inside {
+		t.Errorf("alice should be outside, got %+v", where)
+	}
+	occ, err := client.Occupants(rooms[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(occ) != "[eve]" {
+		t.Errorf("occupants of %s = %v, want [eve]", rooms[1], occ)
+	}
+
+	stats, err := client.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Commit.Records == 0 || stats.Commit.Batches == 0 {
+		t.Errorf("commit stats should count the batch: %+v", stats.Commit)
+	}
+	if stats.Commit.Batches > stats.Commit.Records {
+		t.Errorf("implausible commit stats: %+v", stats.Commit)
+	}
+}
+
+// TestObserveBatchEndpointNoBoundaries: a system without a resolver
+// rejects the batch as a whole.
+func TestObserveBatchEndpointNoBoundaries(t *testing.T) {
+	_, client := testServer(t, "")
+	if _, err := client.ObserveBatch([]wire.Reading{{Time: 1, Subject: "x"}}); err == nil {
+		t.Error("expected an error without boundaries")
+	}
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/authz"
 	"repro/internal/core"
+	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/profile"
@@ -53,6 +54,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /v1/enter", s.enter)
 	s.mux.HandleFunc("POST /v1/leave", s.leave)
 	s.mux.HandleFunc("POST /v1/tick", s.tick)
+	s.mux.HandleFunc("POST /v1/observe/batch", s.observeBatch)
 
 	s.mux.HandleFunc("GET /v1/queries/inaccessible", s.inaccessible)
 	s.mux.HandleFunc("GET /v1/queries/contacts", s.contacts)
@@ -254,6 +256,53 @@ func (s *Server) tick(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.TickResponse{Raised: raised})
 }
 
+// observeBatch is the high-rate ingest endpoint: a batch of positioning
+// readings is applied in one core critical section and durably logged as
+// one WAL group (a single fsync). Per-reading failures ride back in the
+// matching result; the request fails as a whole only when the batch
+// cannot be applied (no boundaries) or was not durably committed.
+func (s *Server) observeBatch(w http.ResponseWriter, r *http.Request) {
+	var req wire.ObserveBatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	readings := make([]core.Reading, len(req.Readings))
+	for i, rd := range req.Readings {
+		readings[i] = core.Reading{
+			Time:    rd.Time,
+			Subject: rd.Subject,
+			At:      geometry.Point{X: rd.X, Y: rd.Y},
+		}
+	}
+	outcomes, err := s.sys.ObserveBatch(readings)
+	if err != nil {
+		// Two distinct failures: a rejected batch (no boundaries — the
+		// client's request cannot be served, 400) versus a durability
+		// failure (the batch IS applied in memory but the WAL group was
+		// not acknowledged — 500, so clients do not re-submit and
+		// double-apply every reading).
+		if outcomes == nil {
+			writeErr(w, http.StatusBadRequest, err)
+		} else {
+			writeErr(w, http.StatusInternalServerError, err)
+		}
+		return
+	}
+	results := make([]wire.ObserveOutcome, len(outcomes))
+	for i, o := range outcomes {
+		results[i] = wire.ObserveOutcome{
+			Granted: o.Decision.Granted,
+			Auth:    o.Decision.Auth,
+			Reason:  o.Decision.Reason,
+			Moved:   o.Moved,
+		}
+		if o.Err != nil {
+			results[i].Error = o.Err.Error()
+		}
+	}
+	writeJSON(w, http.StatusOK, wire.ObserveBatchResponse{Results: results})
+}
+
 func (s *Server) inaccessible(w http.ResponseWriter, r *http.Request) {
 	subject := profile.SubjectID(r.URL.Query().Get("subject"))
 	if subject == "" {
@@ -387,8 +436,9 @@ func (s *Server) graphSpec(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
-		Clock: s.sys.Clock(),
-		Cache: s.sys.QueryCacheStats(),
+		Clock:  s.sys.Clock(),
+		Cache:  s.sys.QueryCacheStats(),
+		Commit: s.sys.CommitStats(),
 	})
 }
 

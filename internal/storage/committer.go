@@ -1,0 +1,221 @@
+// Group commit: an asynchronous committer that turns many small WAL
+// appends into few large fsyncs.
+//
+// Callers enqueue records with Commit and receive a barrier channel that
+// delivers exactly one error (nil on success) once their records are
+// durably on disk. A dedicated committer goroutine drains the queue,
+// writes everything it collected as one AppendGroup — one frame sequence,
+// one fsync — and then releases every waiter of the batch.
+//
+// Batching arises naturally from concurrency: while one fsync is in
+// flight, new Commit calls pile up in the queue and are absorbed by the
+// next batch. MaxDelay therefore defaults to zero (no artificial latency,
+// the same stance as PostgreSQL's commit_delay=0); setting it positive
+// makes the committer linger for stragglers when an ingest-heavy
+// deployment prefers bigger batches over lowest latency. MaxBatch bounds
+// how many records a single fsync may cover.
+package storage
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrCommitterClosed is returned to Commit calls issued after Close.
+var ErrCommitterClosed = errors.New("storage: committer closed")
+
+// Committer defaults.
+const (
+	DefaultMaxBatch = 1024
+	DefaultQueueLen = 4096
+)
+
+// CommitterConfig tunes a Committer. The zero value selects the defaults.
+type CommitterConfig struct {
+	// MaxBatch caps the records covered by one fsync (<= 0 selects
+	// DefaultMaxBatch).
+	MaxBatch int
+	// MaxDelay is how long the committer lingers for more records once it
+	// holds a non-full batch. Zero (the default) commits as soon as the
+	// queue is drained — batching then comes only from arrivals during
+	// the previous fsync, which keeps solo-writer latency at one fsync.
+	MaxDelay time.Duration
+	// QueueLen is the enqueue buffer in groups (<= 0 selects
+	// DefaultQueueLen). A full queue applies backpressure to Commit.
+	QueueLen int
+}
+
+// group is one Commit call: its records plus its commit barrier. A
+// flush group is an empty sentinel that must commit immediately rather
+// than linger for stragglers — Flush callers (e.g. a snapshot holding
+// the System write lock) are often the reason no straggler can arrive.
+type group struct {
+	recs  []Record
+	done  chan error
+	flush bool
+}
+
+// CommitterStats is a point-in-time snapshot of batching effectiveness.
+type CommitterStats struct {
+	// Batches is the number of fsync batches written; Records the total
+	// records they covered. Records/Batches is the mean batch size — the
+	// fsync amortization factor.
+	Batches uint64 `json:"batches"`
+	Records uint64 `json:"records"`
+}
+
+// Committer is the asynchronous group-commit front of a WAL. It is safe
+// for concurrent use. Close drains the queue before returning.
+type Committer struct {
+	wal      *WAL
+	maxBatch int
+	maxDelay time.Duration
+
+	ch     chan group
+	loopWG sync.WaitGroup
+
+	closeMu   sync.RWMutex
+	closed    bool
+	closeOnce sync.Once
+
+	batches atomic.Uint64
+	records atomic.Uint64
+}
+
+// NewCommitter starts the committer goroutine over w.
+func NewCommitter(w *WAL, cfg CommitterConfig) *Committer {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultMaxBatch
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	c := &Committer{
+		wal:      w,
+		maxBatch: cfg.MaxBatch,
+		maxDelay: cfg.MaxDelay,
+		ch:       make(chan group, cfg.QueueLen),
+	}
+	c.loopWG.Add(1)
+	go c.run()
+	return c
+}
+
+// Commit enqueues recs for the next batch and returns the commit barrier:
+// the channel delivers one error once the records are durably written
+// (nil) or the batch failed. An empty recs commits immediately. After
+// Close, the barrier delivers ErrCommitterClosed.
+//
+// Callers that need WAL order to equal apply order must serialise their
+// Commit calls themselves (core.System enqueues under its write lock).
+func (c *Committer) Commit(recs ...Record) <-chan error {
+	done := make(chan error, 1)
+	if len(recs) == 0 {
+		done <- nil
+		return done
+	}
+	c.enqueue(group{recs: recs, done: done})
+	return done
+}
+
+// Flush blocks until every group enqueued before the call is committed.
+// It never waits out MaxDelay: the sentinel forces the in-flight batch
+// to commit as soon as it is collected.
+func (c *Committer) Flush() error {
+	done := make(chan error, 1)
+	c.enqueue(group{done: done, flush: true}) // empty sentinel rides the FIFO
+	return <-done
+}
+
+func (c *Committer) enqueue(g group) {
+	c.closeMu.RLock()
+	if c.closed {
+		c.closeMu.RUnlock()
+		g.done <- ErrCommitterClosed
+		return
+	}
+	c.ch <- g
+	c.closeMu.RUnlock()
+}
+
+// Close stops accepting new commits, drains and commits everything
+// already enqueued, and waits for the committer goroutine to exit. It is
+// idempotent. It does not close the underlying WAL.
+func (c *Committer) Close() error {
+	c.closeOnce.Do(func() {
+		c.closeMu.Lock()
+		c.closed = true
+		close(c.ch)
+		c.closeMu.Unlock()
+	})
+	c.loopWG.Wait()
+	return nil
+}
+
+// Stats reports batching counters.
+func (c *Committer) Stats() CommitterStats {
+	return CommitterStats{Batches: c.batches.Load(), Records: c.records.Load()}
+}
+
+// run is the committer goroutine: collect a batch, write it with one
+// AppendGroup (one fsync), release the batch's waiters, repeat.
+func (c *Committer) run() {
+	defer c.loopWG.Done()
+	for g := range c.ch {
+		batch := []group{g}
+		n := len(g.recs)
+		urgent := g.flush
+
+		var timer *time.Timer
+		var lingering <-chan time.Time
+	collect:
+		for !urgent && n < c.maxBatch {
+			select {
+			case g2, ok := <-c.ch:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, g2)
+				n += len(g2.recs)
+				urgent = g2.flush
+			default:
+				if c.maxDelay <= 0 {
+					break collect
+				}
+				if timer == nil {
+					timer = time.NewTimer(c.maxDelay)
+					lingering = timer.C
+				}
+				select {
+				case g2, ok := <-c.ch:
+					if !ok {
+						break collect
+					}
+					batch = append(batch, g2)
+					n += len(g2.recs)
+					urgent = g2.flush
+				case <-lingering:
+					break collect
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+
+		recs := make([]Record, 0, n)
+		for _, b := range batch {
+			recs = append(recs, b.recs...)
+		}
+		err := c.wal.AppendGroup(recs)
+		if err == nil && n > 0 {
+			c.batches.Add(1)
+			c.records.Add(uint64(n))
+		}
+		for _, b := range batch {
+			b.done <- err
+		}
+	}
+}

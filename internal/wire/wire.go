@@ -22,6 +22,7 @@ import (
 	"repro/internal/profile"
 	"repro/internal/query"
 	"repro/internal/rules"
+	"repro/internal/storage"
 )
 
 // Error is the wire form of a failure.
@@ -96,10 +97,45 @@ type ResolveRequest struct {
 }
 
 // StatsResponse reports server-side query-engine statistics: the engine
-// clock and the epoch cache's effectiveness counters.
+// clock, the epoch cache's effectiveness counters, and the WAL group
+// committer's batching counters.
 type StatsResponse struct {
-	Clock interval.Time    `json:"clock"`
-	Cache query.CacheStats `json:"cache"`
+	Clock  interval.Time          `json:"clock"`
+	Cache  query.CacheStats       `json:"cache"`
+	Commit storage.CommitterStats `json:"commit"`
+}
+
+// Reading is one positioning sample for the batched ingest endpoint
+// (POST /v1/observe/batch): subject Subject observed at site coordinate
+// (X, Y) at logical time Time. The server resolves the coordinate to a
+// primitive location and discards it — the §1 privacy boundary.
+type Reading struct {
+	Time    interval.Time     `json:"time"`
+	Subject profile.SubjectID `json:"subject"`
+	X       float64           `json:"x"`
+	Y       float64           `json:"y"`
+}
+
+// ObserveBatchRequest carries one ingest batch.
+type ObserveBatchRequest struct {
+	Readings []Reading `json:"readings"`
+}
+
+// ObserveOutcome is the per-reading result of a batch: the Def.-7
+// decision when the reading produced an entry, whether a movement was
+// recorded at all, and the per-reading application error, if any.
+type ObserveOutcome struct {
+	Granted bool     `json:"granted"`
+	Auth    authz.ID `json:"auth,omitempty"`
+	Reason  string   `json:"reason,omitempty"`
+	Moved   bool     `json:"moved"`
+	Error   string   `json:"error,omitempty"`
+}
+
+// ObserveBatchResponse lists one outcome per submitted reading, in
+// order.
+type ObserveBatchResponse struct {
+	Results []ObserveOutcome `json:"results"`
 }
 
 // Client is a typed HTTP client for ltamd.
@@ -246,6 +282,15 @@ func (c *Client) Tick(t interval.Time) ([]audit.Alert, error) {
 	var out TickResponse
 	err := c.do("POST", "/v1/tick", MoveRequest{Time: t}, &out)
 	return out.Raised, err
+}
+
+// ObserveBatch submits a batch of positioning readings to the high-rate
+// ingest endpoint; the server applies them in one critical section and
+// logs them as a single WAL group. One outcome is returned per reading.
+func (c *Client) ObserveBatch(readings []Reading) ([]ObserveOutcome, error) {
+	var out ObserveBatchResponse
+	err := c.do("POST", "/v1/observe/batch", ObserveBatchRequest{Readings: readings}, &out)
+	return out.Results, err
 }
 
 // Inaccessible runs the Algorithm-1 query.
