@@ -3,6 +3,9 @@ package authz
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
+	"math/bits"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -20,39 +23,308 @@ type subjectLocation struct {
 	l graph.ID
 }
 
+// shardData is one shard's immutable index state. A published shardData
+// is never mutated: writers clone it, apply their change to the clone
+// (replacing any slice they touch with a fresh one), and publish the
+// clone through the shard's atomic pointer. Readers therefore navigate
+// the maps without any lock — the RCU discipline behind the store's
+// lock-free read path.
+//
+// byPair holds fully materialised authorizations (not IDs): because the
+// published state is immutable, For can hand the interior slice straight
+// to the caller — the Def.-7 decision path costs one map lookup and zero
+// allocations. The subject and location indexes keep ID lists and
+// materialise on read (they serve fan-out queries, not decisions).
+type shardData struct {
+	byID       map[ID]Authorization
+	bySubject  map[profile.SubjectID][]ID
+	byLocation map[graph.ID][]ID
+	byPair     map[subjectLocation][]Authorization
+}
+
+func newShardData() *shardData {
+	return &shardData{
+		byID:       make(map[ID]Authorization),
+		bySubject:  make(map[profile.SubjectID][]ID),
+		byLocation: make(map[graph.ID][]ID),
+		byPair:     make(map[subjectLocation][]Authorization),
+	}
+}
+
+// clone shallow-copies the maps. Slice values are shared with the
+// original and must be replaced — never appended to in place — by the
+// writer (see appendID/removeID).
+func (d *shardData) clone() *shardData {
+	c := &shardData{
+		byID:       make(map[ID]Authorization, len(d.byID)+1),
+		bySubject:  make(map[profile.SubjectID][]ID, len(d.bySubject)+1),
+		byLocation: make(map[graph.ID][]ID, len(d.byLocation)+1),
+		byPair:     make(map[subjectLocation][]Authorization, len(d.byPair)+1),
+	}
+	for k, v := range d.byID {
+		c.byID[k] = v
+	}
+	for k, v := range d.bySubject {
+		c.bySubject[k] = v
+	}
+	for k, v := range d.byLocation {
+		c.byLocation[k] = v
+	}
+	for k, v := range d.byPair {
+		c.byPair[k] = v
+	}
+	return c
+}
+
+// appendID replaces m[k] with a fresh slice ending in id. IDs are
+// assigned monotonically, so appending keeps every index list sorted.
+func appendID[K comparable](m map[K][]ID, k K, id ID) {
+	old := m[k]
+	next := make([]ID, len(old)+1)
+	copy(next, old)
+	next[len(old)] = id
+	m[k] = next
+}
+
+// removeID replaces m[k] with a fresh slice without id, deleting the key
+// when the list empties.
+func removeID[K comparable](m map[K][]ID, k K, id ID) {
+	old := m[k]
+	if len(old) == 1 && old[0] == id {
+		delete(m, k)
+		return
+	}
+	next := make([]ID, 0, len(old)-1)
+	for _, v := range old {
+		if v != id {
+			next = append(next, v)
+		}
+	}
+	m[k] = next
+}
+
+func (d *shardData) insert(a Authorization) {
+	d.byID[a.ID] = a
+	appendID(d.bySubject, a.Subject, a.ID)
+	appendID(d.byLocation, a.Location, a.ID)
+	key := subjectLocation{a.Subject, a.Location}
+	old := d.byPair[key]
+	next := make([]Authorization, len(old)+1)
+	copy(next, old)
+	next[len(old)] = a
+	d.byPair[key] = next
+}
+
+func (d *shardData) remove(a Authorization) {
+	delete(d.byID, a.ID)
+	removeID(d.bySubject, a.Subject, a.ID)
+	removeID(d.byLocation, a.Location, a.ID)
+	key := subjectLocation{a.Subject, a.Location}
+	old := d.byPair[key]
+	if len(old) == 1 && old[0].ID == a.ID {
+		delete(d.byPair, key)
+		return
+	}
+	next := make([]Authorization, 0, len(old)-1)
+	for _, v := range old {
+		if v.ID != a.ID {
+			next = append(next, v)
+		}
+	}
+	d.byPair[key] = next
+}
+
+// insertAll inserts a batch (IDs ascending in input order) rebuilding
+// each touched index slice exactly once, so a k-record batch into one
+// key costs O(old+k), not O(k·old).
+func (d *shardData) insertAll(batch []Authorization) {
+	subjAdds := make(map[profile.SubjectID][]ID)
+	locAdds := make(map[graph.ID][]ID)
+	pairAdds := make(map[subjectLocation][]Authorization)
+	for _, a := range batch {
+		d.byID[a.ID] = a
+		subjAdds[a.Subject] = append(subjAdds[a.Subject], a.ID)
+		locAdds[a.Location] = append(locAdds[a.Location], a.ID)
+		k := subjectLocation{a.Subject, a.Location}
+		pairAdds[k] = append(pairAdds[k], a)
+	}
+	// A concurrent single Add may have assigned (and published) a higher
+	// ID between this batch's ID assignment and its insert, so the
+	// concatenation is not guaranteed sorted — re-sort any list the
+	// guard catches (rare: only under racing writers).
+	for k, add := range subjAdds {
+		ids := concatFresh(d.bySubject[k], add)
+		if !sortedIDs(ids) {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+		d.bySubject[k] = ids
+	}
+	for k, add := range locAdds {
+		ids := concatFresh(d.byLocation[k], add)
+		if !sortedIDs(ids) {
+			sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		}
+		d.byLocation[k] = ids
+	}
+	for k, add := range pairAdds {
+		auths := concatFresh(d.byPair[k], add)
+		if !sortedAuthIDs(auths) {
+			sortAuths(auths)
+		}
+		d.byPair[k] = auths
+	}
+}
+
+func sortedIDs(ids []ID) bool {
+	for i := 1; i < len(ids); i++ {
+		if ids[i-1] > ids[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedAuthIDs(auths []Authorization) bool {
+	for i := 1; i < len(auths); i++ {
+		if auths[i-1].ID > auths[i].ID {
+			return false
+		}
+	}
+	return true
+}
+
+// concatFresh returns a fresh slice old++add — never appending in place,
+// preserving the immutability of published slices.
+func concatFresh[T any](old, add []T) []T {
+	next := make([]T, 0, len(old)+len(add))
+	next = append(next, old...)
+	return append(next, add...)
+}
+
+// collect resolves an index list against this shard's byID, preserving
+// the list's ID order (index lists are kept sorted, so no sort here —
+// this is the Def.-7 fast path).
+func (d *shardData) collect(ids []ID) []Authorization {
+	if len(ids) == 0 {
+		return nil
+	}
+	return d.appendCollect(make([]Authorization, 0, len(ids)), ids)
+}
+
+func (d *shardData) appendCollect(dst []Authorization, ids []ID) []Authorization {
+	for _, id := range ids {
+		if a, ok := d.byID[id]; ok {
+			dst = append(dst, a)
+		}
+	}
+	return dst
+}
+
+// shard is one lock stripe: the mutex serialises writers; readers only
+// load the data pointer.
+type shard struct {
+	mu      sync.Mutex
+	data    atomic.Pointer[shardData]
+	version atomic.Uint64
+}
+
 // Store is the authorization database of Fig. 3: all authorizations
 // defined by administrators plus those derived by rules, indexed for the
 // three access paths the engine needs — by (subject, location) for access
 // checks, by location for Algorithm 1, and by subject for per-user
-// queries. Store is safe for concurrent use.
+// queries.
+//
+// The store is sharded by subject hash into a power-of-two number of
+// stripes. Mutations lock only their subject's shard, clone that shard's
+// index maps, and publish the new state through an atomic pointer;
+// readers never take a lock — For/BySubject touch exactly one shard's
+// published data, while ByLocation/All/Subjects/FindConflicts fan out
+// over every shard. A View captures all shard pointers at once for
+// callers that need a stable multi-read snapshot (the core read path).
+//
+// Store is safe for concurrent use.
 type Store struct {
-	mu         sync.RWMutex
-	nextID     ID
-	byID       map[ID]Authorization
-	bySubject  map[profile.SubjectID][]ID
-	byLocation map[graph.ID][]ID
-	byPair     map[subjectLocation][]ID
+	shards []shard
+	mask   uint64
+	seed   maphash.Seed
 
-	// version counts mutations. Query caches key their memoized results
-	// on it, so it must be bumped by every path that changes the stored
-	// set — including rule-engine derivations and conflict resolution,
-	// which go through Add/Revoke.
+	// wideMu serialises whole-store writers (AddAll, Restore) against
+	// each other: AddAll assigns its batch's IDs before touching any
+	// shard, and without this lock a concurrent Restore could reset the
+	// ID watermark underneath the batch. Lock order: wideMu before any
+	// shard mutex. Single-shard writers (Add, Revoke) take only their
+	// shard's mutex — they assign under it, so they cannot straddle a
+	// Restore, which holds every shard.
+	wideMu sync.Mutex
+
+	// lastID is the highest assigned authorization ID; Add allocates by
+	// atomic increment, so IDs stay unique and monotonic across shards.
+	lastID atomic.Uint64
+
+	// version is the store's mutation epoch: the per-shard counters
+	// aggregated at write time (every mutating operation bumps its
+	// shard's counter and this total once). Query caches key memoized
+	// results on it, so it must move for every path that changes the
+	// stored set — including rule-engine derivations and conflict
+	// resolution, which go through Add/Revoke.
 	version atomic.Uint64
+}
+
+// DefaultShardCount returns the shard count NewStore picks: GOMAXPROCS
+// rounded up to a power of two, clamped to [1, 64].
+func DefaultShardCount() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > 64 {
+		n = 64
+	}
+	return 1 << bits.Len(uint(n-1))
 }
 
 // Version returns the store's mutation epoch: it increases on every
 // change to the stored authorization set and is stable between changes.
 func (st *Store) Version() uint64 { return st.version.Load() }
 
-// NewStore returns an empty authorization database.
-func NewStore() *Store {
-	return &Store{
-		nextID:     1,
-		byID:       make(map[ID]Authorization),
-		bySubject:  make(map[profile.SubjectID][]ID),
-		byLocation: make(map[graph.ID][]ID),
-		byPair:     make(map[subjectLocation][]ID),
+// NewStore returns an empty authorization database with
+// DefaultShardCount shards.
+func NewStore() *Store { return NewStoreWithShards(0) }
+
+// NewStoreWithShards returns an empty store with the given shard count,
+// rounded up to a power of two (n <= 0 selects DefaultShardCount).
+func NewStoreWithShards(n int) *Store {
+	if n <= 0 {
+		n = DefaultShardCount()
 	}
+	n = 1 << bits.Len(uint(n-1))
+	st := &Store{
+		shards: make([]shard, n),
+		mask:   uint64(n - 1),
+		seed:   maphash.MakeSeed(),
+	}
+	for i := range st.shards {
+		st.shards[i].data.Store(newShardData())
+	}
+	return st
+}
+
+// ShardCount returns the number of lock stripes.
+func (st *Store) ShardCount() int { return len(st.shards) }
+
+// shardFor maps a subject to its shard. Every index key embedding the
+// subject (byPair, bySubject) lives wholly in that shard, so the Def.-7
+// lookup For(s, l) touches exactly one stripe.
+func (st *Store) shardFor(s profile.SubjectID) *shard {
+	return &st.shards[maphash.String(st.seed, string(s))&st.mask]
+}
+
+// bump publishes next as sh's state and moves both the shard's and the
+// store's version. Callers hold sh.mu.
+func (st *Store) bump(sh *shard, next *shardData) {
+	sh.data.Store(next)
+	sh.version.Add(1)
+	st.version.Add(1)
 }
 
 // Add normalizes, validates and inserts the authorization, returning the
@@ -62,62 +334,88 @@ func (st *Store) Add(a Authorization) (Authorization, error) {
 	if err := a.Validate(); err != nil {
 		return Authorization{}, err
 	}
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	a.ID = st.nextID
-	st.nextID++
-	st.insertLocked(a)
-	st.version.Add(1)
+	sh := st.shardFor(a.Subject)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	a.ID = ID(st.lastID.Add(1))
+	next := sh.data.Load().clone()
+	next.insert(a)
+	st.bump(sh, next)
 	return a, nil
 }
 
-func (st *Store) insertLocked(a Authorization) {
-	st.byID[a.ID] = a
-	st.bySubject[a.Subject] = append(st.bySubject[a.Subject], a.ID)
-	st.byLocation[a.Location] = append(st.byLocation[a.Location], a.ID)
-	key := subjectLocation{a.Subject, a.Location}
-	st.byPair[key] = append(st.byPair[key], a.ID)
-}
-
-// Get returns the authorization with the given ID.
-func (st *Store) Get(id ID) (Authorization, error) {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	a, ok := st.byID[id]
-	if !ok {
-		return Authorization{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+// AddAll normalizes, validates and inserts a batch of authorizations,
+// returning the stored values with their assigned IDs in input order.
+// Validation is all-or-nothing and happens before any insert. Each
+// touched shard is cloned exactly once, so bulk writers (rule
+// derivation, conflict resolution sweeps) pay O(shard) copy-on-write
+// cost per batch instead of per record.
+func (st *Store) AddAll(auths []Authorization) ([]Authorization, error) {
+	if len(auths) == 0 {
+		return nil, nil
 	}
-	return a, nil
+	st.wideMu.Lock()
+	defer st.wideMu.Unlock()
+	out := make([]Authorization, len(auths))
+	for i, a := range auths {
+		a = a.Normalize()
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		out[i] = a
+	}
+	// Assign IDs in input order, then group by shard so each stripe is
+	// cloned and published once.
+	byShard := make(map[*shard][]int)
+	for i := range out {
+		out[i].ID = ID(st.lastID.Add(1))
+		sh := st.shardFor(out[i].Subject)
+		byShard[sh] = append(byShard[sh], i)
+	}
+	for sh, idxs := range byShard {
+		batch := make([]Authorization, len(idxs))
+		for j, i := range idxs {
+			batch[j] = out[i]
+		}
+		sh.mu.Lock()
+		next := sh.data.Load().clone()
+		next.insertAll(batch)
+		st.bump(sh, next)
+		sh.mu.Unlock()
+	}
+	return out, nil
+}
+
+// Get returns the authorization with the given ID. The ID alone does not
+// identify a shard, so Get scans the published data of every stripe —
+// lock-free, and off the Def.-7 hot path (decisions use For).
+func (st *Store) Get(id ID) (Authorization, error) {
+	for i := range st.shards {
+		if a, ok := st.shards[i].data.Load().byID[id]; ok {
+			return a, nil
+		}
+	}
+	return Authorization{}, fmt.Errorf("%w: %d", ErrNotFound, id)
 }
 
 // Revoke removes the authorization with the given ID.
 func (st *Store) Revoke(id ID) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	a, ok := st.byID[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNotFound, id)
-	}
-	st.removeLocked(a)
-	st.version.Add(1)
-	return nil
-}
-
-func (st *Store) removeLocked(a Authorization) {
-	delete(st.byID, a.ID)
-	st.bySubject[a.Subject] = dropID(st.bySubject[a.Subject], a.ID)
-	st.byLocation[a.Location] = dropID(st.byLocation[a.Location], a.ID)
-	key := subjectLocation{a.Subject, a.Location}
-	st.byPair[key] = dropID(st.byPair[key], a.ID)
-}
-
-func dropID(ids []ID, id ID) []ID {
-	for i, v := range ids {
-		if v == id {
-			return append(ids[:i], ids[i+1:]...)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		cur := sh.data.Load()
+		a, ok := cur.byID[id]
+		if !ok {
+			sh.mu.Unlock()
+			continue
 		}
+		next := cur.clone()
+		next.remove(a)
+		st.bump(sh, next)
+		sh.mu.Unlock()
+		return nil
 	}
-	return ids
+	return fmt.Errorf("%w: %d", ErrNotFound, id)
 }
 
 // RevokeDerivedBy removes every authorization derived by the named rule
@@ -125,93 +423,78 @@ func dropID(ids []ID, id ID) []ID {
 // re-deriving, implementing Example 1's automatic revocation when the
 // underlying profile changes.
 func (st *Store) RevokeDerivedBy(rule string) int {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	var victims []Authorization
-	for _, a := range st.byID {
-		if a.DerivedBy == rule {
-			victims = append(victims, a)
+	removed := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		cur := sh.data.Load()
+		var victims []Authorization
+		for _, a := range cur.byID {
+			if a.DerivedBy == rule {
+				victims = append(victims, a)
+			}
 		}
+		if len(victims) > 0 {
+			next := cur.clone()
+			for _, a := range victims {
+				next.remove(a)
+			}
+			st.bump(sh, next)
+			removed += len(victims)
+		}
+		sh.mu.Unlock()
 	}
-	for _, a := range victims {
-		st.removeLocked(a)
-	}
-	if len(victims) > 0 {
-		st.version.Add(1)
-	}
-	return len(victims)
+	return removed
 }
 
 // For returns the authorizations for subject s at location l, sorted by
 // ID — the lookup behind every access request (Def. 7 checks "there
 // exists at least one location temporal authorization" for the pair).
+// It reads one shard's published state without locking or allocating:
+// the returned slice is the immutable published index itself and must be
+// treated as read-only.
 func (st *Store) For(s profile.SubjectID, l graph.ID) []Authorization {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.collectLocked(st.byPair[subjectLocation{s, l}])
+	return st.shardFor(s).data.Load().byPair[subjectLocation{s, l}]
+}
+
+// AppendFor appends the authorizations for (s, l) to dst, in ID order —
+// the batched form of For for callers that gather many lookups into one
+// owned backing slice (Algorithm 1's per-location gather).
+func (st *Store) AppendFor(dst []Authorization, s profile.SubjectID, l graph.ID) []Authorization {
+	return append(dst, st.shardFor(s).data.Load().byPair[subjectLocation{s, l}]...)
 }
 
 // BySubject returns all authorizations for subject s, sorted by ID.
 func (st *Store) BySubject(s profile.SubjectID) []Authorization {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.collectLocked(st.bySubject[s])
+	d := st.shardFor(s).data.Load()
+	return d.collect(d.bySubject[s])
 }
 
 // ByLocation returns all authorizations on location l, sorted by ID —
 // Algorithm 1 iterates "for each location-temporal authorization a of l".
+// A location's holders hash to many shards, so this fans out and merges.
 func (st *Store) ByLocation(l graph.ID) []Authorization {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.collectLocked(st.byLocation[l])
-}
-
-func (st *Store) collectLocked(ids []ID) []Authorization {
-	if len(ids) == 0 {
-		return nil
-	}
-	out := make([]Authorization, 0, len(ids))
-	for _, id := range ids {
-		if a, ok := st.byID[id]; ok {
-			out = append(out, a)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return st.View().ByLocation(l)
 }
 
 // Subjects returns every subject holding at least one authorization,
 // sorted — the domain of per-subject analyses like "who can access l".
 func (st *Store) Subjects() []profile.SubjectID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]profile.SubjectID, 0, len(st.bySubject))
-	for s, ids := range st.bySubject {
-		if len(ids) > 0 {
-			out = append(out, s)
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return st.View().Subjects()
 }
 
 // All returns every authorization sorted by ID.
 func (st *Store) All() []Authorization {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	out := make([]Authorization, 0, len(st.byID))
-	for _, a := range st.byID {
-		out = append(out, a)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
-	return out
+	return st.View().All()
 }
 
 // Len returns the number of stored authorizations.
 func (st *Store) Len() int {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return len(st.byID)
+	n := 0
+	for i := range st.shards {
+		n += len(st.shards[i].data.Load().byID)
+	}
+	return n
 }
 
 // Snapshot returns all authorizations plus the next-ID watermark for
@@ -221,44 +504,242 @@ func (st *Store) Snapshot() ([]Authorization, ID) {
 }
 
 func (st *Store) peekNextID() ID {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
-	return st.nextID
+	return ID(st.lastID.Load() + 1)
 }
 
 // Restore replaces the store contents. Authorizations keep their IDs;
 // nextID resumes above the largest restored ID (or the provided watermark
 // if higher), so IDs are never reused after recovery.
 func (st *Store) Restore(auths []Authorization, nextID ID) error {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.version.Add(1) // bump first: even a failed restore mutates the maps
-	st.byID = make(map[ID]Authorization, len(auths))
-	st.bySubject = make(map[profile.SubjectID][]ID)
-	st.byLocation = make(map[graph.ID][]ID)
-	st.byPair = make(map[subjectLocation][]ID)
-	st.nextID = 1
-	for _, a := range auths {
-		if a.ID == 0 {
-			return errors.New("authz: restore: authorization without ID")
+	// Lock every stripe in order: restore is a whole-store mutation.
+	st.wideMu.Lock()
+	defer st.wideMu.Unlock()
+	for i := range st.shards {
+		st.shards[i].mu.Lock()
+	}
+	defer func() {
+		for i := range st.shards {
+			st.shards[i].mu.Unlock()
 		}
-		if _, dup := st.byID[a.ID]; dup {
-			return fmt.Errorf("authz: restore: duplicate ID %d", a.ID)
+	}()
+
+	fresh := make([]*shardData, len(st.shards))
+	for i := range fresh {
+		fresh[i] = newShardData()
+	}
+	seen := make(map[ID]bool, len(auths))
+	var last ID
+	err := func() error {
+		for _, a := range auths {
+			if a.ID == 0 {
+				return errors.New("authz: restore: authorization without ID")
+			}
+			if seen[a.ID] {
+				return fmt.Errorf("authz: restore: duplicate ID %d", a.ID)
+			}
+			seen[a.ID] = true
+			a = a.Normalize()
+			if err := a.Validate(); err != nil {
+				return fmt.Errorf("authz: restore %d: %w", a.ID, err)
+			}
+			fresh[maphash.String(st.seed, string(a.Subject))&st.mask].insert(a)
+			if a.ID > last {
+				last = a.ID
+			}
 		}
-		a = a.Normalize()
-		if err := a.Validate(); err != nil {
-			return fmt.Errorf("authz: restore %d: %w", a.ID, err)
+		return nil
+	}()
+	if err != nil {
+		// Even a failed restore clears the store (the pre-shard code
+		// mutated in place); publish the partial rebuild and bump the
+		// epoch so caches never serve the old state.
+		for i := range st.shards {
+			st.shards[i].data.Store(newShardData())
+			st.shards[i].version.Add(1)
 		}
-		st.insertLocked(a)
-		if a.ID >= st.nextID {
-			st.nextID = a.ID + 1
+		st.version.Add(1)
+		return err
+	}
+	// Restore input order is arbitrary — sort each index list by ID to
+	// re-establish the sorted invariant insertion relies on.
+	for _, d := range fresh {
+		sortIDLists(d.bySubject)
+		sortIDLists(d.byLocation)
+		for _, auths := range d.byPair {
+			sortAuths(auths)
 		}
 	}
-	if nextID > st.nextID {
-		st.nextID = nextID
+	for i := range st.shards {
+		st.shards[i].data.Store(fresh[i])
+		st.shards[i].version.Add(1)
 	}
+	st.version.Add(1)
+	if nextID > 0 && nextID-1 > last {
+		last = nextID - 1
+	}
+	st.lastID.Store(uint64(last))
 	return nil
 }
+
+func sortIDLists[K comparable](m map[K][]ID) {
+	for _, ids := range m {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+}
+
+// ShardStat describes one stripe for the stats endpoint.
+type ShardStat struct {
+	Auths   int    `json:"auths"`
+	Version uint64 `json:"version"`
+}
+
+// StoreStats is a point-in-time snapshot of the sharded store's shape:
+// size, epoch, and the per-stripe balance behind the lock-free read
+// path's fan-out costs.
+type StoreStats struct {
+	Shards   int         `json:"shards"`
+	Auths    int         `json:"auths"`
+	Version  uint64      `json:"version"`
+	PerShard []ShardStat `json:"per_shard,omitempty"`
+}
+
+// Stats reports shard count, total size, the aggregated version, and
+// per-shard fill — the observability hook behind /v1/stats.
+func (st *Store) Stats() StoreStats {
+	out := StoreStats{
+		Shards:   len(st.shards),
+		Version:  st.version.Load(),
+		PerShard: make([]ShardStat, len(st.shards)),
+	}
+	for i := range st.shards {
+		n := len(st.shards[i].data.Load().byID)
+		out.Auths += n
+		out.PerShard[i] = ShardStat{Auths: n, Version: st.shards[i].version.Load()}
+	}
+	return out
+}
+
+// --- Views ---------------------------------------------------------------
+
+// View is an immutable snapshot of the whole store: the published data of
+// every shard, captured at one instant. All reads on a View are lock-free
+// and stable — concurrent Store mutations publish new shard states but
+// never touch the captured ones, so a View answers every query from
+// exactly the state it captured (the property the core read path's
+// RCU-style snapshots are built on).
+//
+// A View captured while mutations are in flight is consistent per shard;
+// callers needing a cross-shard-consistent cut must serialise the capture
+// against writers (core.System captures under its write lock).
+type View struct {
+	data    []*shardData
+	seed    maphash.Seed
+	mask    uint64
+	version uint64
+}
+
+// View captures the current published state of every shard.
+func (st *Store) View() *View {
+	v := &View{
+		data:    make([]*shardData, len(st.shards)),
+		seed:    st.seed,
+		mask:    st.mask,
+		version: st.version.Load(),
+	}
+	for i := range st.shards {
+		v.data[i] = st.shards[i].data.Load()
+	}
+	return v
+}
+
+// Version returns the store epoch observed at capture time.
+func (v *View) Version() uint64 { return v.version }
+
+func (v *View) shardFor(s profile.SubjectID) *shardData {
+	return v.data[maphash.String(v.seed, string(s))&v.mask]
+}
+
+// For returns the authorizations for subject s at location l, in ID
+// order, as of the capture. The returned slice is the view's immutable
+// index itself — read-only, zero-allocation.
+func (v *View) For(s profile.SubjectID, l graph.ID) []Authorization {
+	return v.shardFor(s).byPair[subjectLocation{s, l}]
+}
+
+// AppendFor appends the authorizations for (s, l) to dst in ID order —
+// see Store.AppendFor.
+func (v *View) AppendFor(dst []Authorization, s profile.SubjectID, l graph.ID) []Authorization {
+	return append(dst, v.shardFor(s).byPair[subjectLocation{s, l}]...)
+}
+
+// BySubject returns all authorizations for subject s, in ID order.
+func (v *View) BySubject(s profile.SubjectID) []Authorization {
+	d := v.shardFor(s)
+	return d.collect(d.bySubject[s])
+}
+
+// ByLocation returns all authorizations on location l, in ID order,
+// merged across shards.
+func (v *View) ByLocation(l graph.ID) []Authorization {
+	var out []Authorization
+	for _, d := range v.data {
+		out = d.appendCollect(out, d.byLocation[l])
+	}
+	sortAuths(out)
+	return out
+}
+
+// Get returns the authorization with the given ID.
+func (v *View) Get(id ID) (Authorization, error) {
+	for _, d := range v.data {
+		if a, ok := d.byID[id]; ok {
+			return a, nil
+		}
+	}
+	return Authorization{}, fmt.Errorf("%w: %d", ErrNotFound, id)
+}
+
+// All returns every authorization sorted by ID.
+func (v *View) All() []Authorization {
+	out := make([]Authorization, 0, v.Len())
+	for _, d := range v.data {
+		for _, a := range d.byID {
+			out = append(out, a)
+		}
+	}
+	sortAuths(out)
+	return out
+}
+
+// Len returns the number of authorizations in the view.
+func (v *View) Len() int {
+	n := 0
+	for _, d := range v.data {
+		n += len(d.byID)
+	}
+	return n
+}
+
+// Subjects returns every subject holding at least one authorization,
+// sorted.
+func (v *View) Subjects() []profile.SubjectID {
+	var out []profile.SubjectID
+	for _, d := range v.data {
+		for s, ids := range d.bySubject {
+			if len(ids) > 0 {
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func sortAuths(a []Authorization) {
+	sort.Slice(a, func(i, j int) bool { return a[i].ID < a[j].ID })
+}
+
+// --- Conflicts -----------------------------------------------------------
 
 // Conflict describes two authorizations for the same (subject, location)
 // whose windows interact in a way the paper flags as needing resolution
@@ -279,12 +760,17 @@ type Conflict struct {
 // durations. The paper leaves *resolution* to future work; detection makes
 // human error visible (one of LTAM's stated goals).
 func (st *Store) FindConflicts() []Conflict {
-	st.mu.RLock()
-	defer st.mu.RUnlock()
+	return st.View().FindConflicts()
+}
+
+// FindConflicts scans the captured state — see Store.FindConflicts.
+func (v *View) FindConflicts() []Conflict {
 	var out []Conflict
-	keys := make([]subjectLocation, 0, len(st.byPair))
-	for k := range st.byPair {
-		keys = append(keys, k)
+	var keys []subjectLocation
+	for _, d := range v.data {
+		for k := range d.byPair {
+			keys = append(keys, k)
+		}
 	}
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].s != keys[j].s {
@@ -293,7 +779,7 @@ func (st *Store) FindConflicts() []Conflict {
 		return keys[i].l < keys[j].l
 	})
 	for _, k := range keys {
-		auths := st.collectLocked(st.byPair[k])
+		auths := v.shardFor(k.s).byPair[k]
 		for i := 0; i < len(auths); i++ {
 			for j := i + 1; j < len(auths); j++ {
 				a, b := auths[i], auths[j]

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/authz"
+	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/profile"
@@ -162,6 +163,179 @@ func TestConcurrentReadersAndWriters(t *testing.T) {
 		if fmt.Sprint(got) != fmt.Sprint(want) {
 			t.Errorf("%s: cached %v != fresh %v", sub, got, want)
 		}
+	}
+}
+
+// TestSnapshotViewMatchesFreshAtEveryEpoch is the lock-free read path's
+// core invariant, checked mid-flight rather than only at quiescence:
+// whatever view a reader loads, the memoized Algorithm-1 answer served
+// from that view equals a from-scratch fixpoint over the very same
+// immutable snapshot — at every epoch, while AddAuthorization,
+// RevokeAuthorization, and ObserveBatch churn underneath. Run with
+// -race this also proves the view capture and the sync.Map memo are
+// properly published.
+func TestSnapshotViewMatchesFreshAtEveryEpoch(t *testing.T) {
+	const side = 4
+	g := graph.New("grid")
+	id := func(r, c int) graph.ID { return graph.ID(fmt.Sprintf("r%03d_%03d", r, c)) }
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if err := g.AddLocation(id(r, c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				_ = g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < side {
+				_ = g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	_ = g.SetEntry(id(0, 0))
+	bounds, centers := geometry.UnitGrid(side, func(r, c int) string {
+		return fmt.Sprintf("r%03d_%03d", r, c)
+	})
+	sys, err := Open(Config{Graph: g, Boundaries: bounds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Close()
+
+	rooms := sys.Flat().Nodes
+	subs := []profile.SubjectID{"u00", "u01", "u02"}
+	for _, sub := range subs {
+		for _, room := range rooms[:len(rooms)/2] {
+			if _, err := sys.AddAuthorization(authz.New(
+				interval.New(1, 1<<30), interval.New(1, 1<<31), sub, room, authz.Unlimited)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	const iters = 200
+	var wg sync.WaitGroup
+
+	// Readers: at every loaded view, the cached answer must equal a fresh
+	// fixpoint over the same snapshot — exact equality, no racing epoch.
+	for _, sub := range subs {
+		wg.Add(1)
+		go func(sub profile.SubjectID) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				v := sys.currentView()
+				got := v.result(sub, query.Options{}).Inaccessible
+				fresh := query.FindInaccessible(v.flat, v.auths, sub, query.Options{}).Inaccessible
+				if fmt.Sprint(got) != fmt.Sprint(fresh) {
+					t.Errorf("%s epoch %d: view-cached %v != view-fresh %v", sub, v.epoch, got, fresh)
+					return
+				}
+				// A second load at the same epoch must share the memo.
+				if v2 := sys.currentView(); v2.epoch == v.epoch {
+					if again := v2.result(sub, query.Options{}).Inaccessible; fmt.Sprint(again) != fmt.Sprint(got) {
+						t.Errorf("%s epoch %d: re-read changed: %v != %v", sub, v.epoch, again, got)
+						return
+					}
+				}
+			}
+		}(sub)
+	}
+
+	// Writer 1: authorization churn on the far half of the grid — every
+	// op moves the epoch and publishes a new view.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			room := rooms[len(rooms)/2+i%(len(rooms)/2)]
+			a, err := sys.AddAuthorization(authz.New(
+				interval.New(1, 1<<30), interval.New(1, 1<<31), subs[i%len(subs)], room, authz.Unlimited))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if i%2 == 0 {
+				if _, err := sys.RevokeAuthorization(a.ID); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	// Writer 2: positioning batches bounce a dedicated subject between
+	// two rooms — movement churn that must NOT move the epoch or flush
+	// the memo, while exercising the batched write path.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			readings := []Reading{
+				{Time: 2, Subject: "walker", At: centers[i%2]},
+				{Time: 2, Subject: "walker", At: centers[(i+1)%2]},
+			}
+			if _, err := sys.ObserveBatch(readings); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+
+	// Quiesced: the published view agrees with the live store.
+	for _, sub := range subs {
+		got := sys.Inaccessible(sub)
+		want := freshInaccessible(sys, sub)
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			t.Errorf("%s: view %v != live %v", sub, got, want)
+		}
+	}
+	if vs := sys.ViewStats(); vs.Publishes == 0 || vs.Epoch == 0 || vs.AuthShards < 1 {
+		t.Errorf("view stats = %+v", vs)
+	}
+}
+
+// TestRelaxedDurabilityRecovers: with Config.RelaxedDurability mutations
+// ack at enqueue; after a clean Close (which drains the committer) a
+// reopened System recovers every acknowledged mutation — the relaxed
+// mode narrows the durability window, it never reorders the WAL.
+func TestRelaxedDurabilityRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(Config{Graph: graph.NTUCampus(), DataDir: dir, RelaxedDurability: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutSubject(profile.Subject{ID: "Alice"}); err != nil {
+		t.Fatal(err)
+	}
+	var last authz.Authorization
+	for i := 0; i < 10; i++ {
+		if last, err = s.AddAuthorization(authz.New(
+			interval.New(1, 40), interval.New(2, 60), "Alice", graph.CAIS, authz.Unlimited)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := s.CommitStats(); !st.Relaxed {
+		t.Errorf("commit stats not relaxed: %+v", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := Open(Config{Graph: graph.NTUCampus(), DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := len(r.AuthorizationsFor("Alice", graph.CAIS)); got != 10 {
+		t.Errorf("recovered %d authorizations, want 10", got)
+	}
+	if _, err := r.AuthStore().Get(last.ID); err != nil {
+		t.Errorf("last acked authorization lost: %v", err)
 	}
 }
 

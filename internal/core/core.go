@@ -17,6 +17,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -69,6 +70,18 @@ type Config struct {
 	// fsyncing a non-full batch (0 = commit as soon as the queue drains;
 	// batching then comes from arrivals during the previous fsync).
 	CommitMaxDelay time.Duration
+	// RelaxedDurability acknowledges mutations as soon as their WAL
+	// records are accepted by the group committer's queue instead of
+	// after the shared fsync. The loss window on a crash is bounded by
+	// the committer queue plus one in-flight batch; what survives is
+	// always a prefix of the acknowledged mutations (WAL order still
+	// equals apply order). Snapshot and Close still flush durably.
+	// Effective only when group commit is engaged (SyncEvery <= 1 and
+	// group commit not disabled); background write failures surface in
+	// CommitStats.SyncFailures and from Close, and once one batch is
+	// lost the committer stops writing later (already-acknowledged)
+	// batches so the surviving WAL stays a prefix.
+	RelaxedDurability bool
 	// DisableCacheWarm turns off the background warmer that re-derives
 	// Algorithm-1 results for recently-queried subjects after an
 	// epoch-changing mutation, so the first post-mutation query pays the
@@ -85,22 +98,30 @@ const DefaultWarmSubjects = 8
 // System is the central control station.
 //
 // Concurrency: mutations take the write lock, which serialises them so
-// that WAL order equals apply order. The write lock covers only the
-// in-memory apply and the enqueue of the WAL record; the fsync happens
-// on the group committer's goroutine, and the mutation waits on its
-// commit barrier after releasing the lock — so concurrent mutations
-// share fsyncs and readers never queue behind disk. Pure queries take
-// only the read lock and execute in parallel with each other — they
-// never see a half-applied mutation because every mutation holds the
-// write lock across all the stores it touches. A mutation is
-// acknowledged (its method returns nil) only after its records are
-// durably on disk. Per-subject Algorithm-1 results are
-// memoized in an epoch-keyed cache; the epoch is derived from the
-// authorization store's and profile database's mutation versions, so
-// any change — including rule re-derivations triggered by profile
-// watchers — invalidates exactly the stale generation.
+// that WAL order equals apply order. The write lock covers the in-memory
+// apply, the enqueue of the WAL record, and the publication of a fresh
+// read view; the fsync happens on the group committer's goroutine, and
+// the mutation waits on its commit barrier after releasing the lock — so
+// concurrent mutations share fsyncs and readers never queue behind disk.
+// A mutation is acknowledged (its method returns nil) only after its
+// records are durably on disk (or, with Config.RelaxedDurability, once
+// they are queued for the shared fsync).
+//
+// Pure queries acquire no lock at all: each loads the current readView —
+// an immutable capture of the sharded authorization store plus the
+// epoch-pinned Algorithm-1 memo table — and runs entirely against that
+// snapshot (see view.go). Per-subject Algorithm-1 results are memoized
+// per view; the epoch is derived from the authorization store's and
+// profile database's mutation versions, so any change — including rule
+// re-derivations triggered by profile watchers — retires exactly the
+// stale generation with its view.
 type System struct {
 	mu sync.RWMutex
+
+	// view is the published snapshot all pure queries run against;
+	// publishes counts publications (ViewStats).
+	view      atomic.Pointer[readView]
+	publishes atomic.Uint64
 
 	root     *graph.Graph
 	flat     *graph.Flat
@@ -136,13 +157,6 @@ type System struct {
 // Algorithm-1 result.
 func (s *System) epoch() uint64 {
 	return s.store.Version() + s.profiles.Version()
-}
-
-// result returns the (memoized) Algorithm-1 result for sub under opts.
-// Callers must treat the returned Result as read-only — it is shared
-// between goroutines.
-func (s *System) result(sub profile.SubjectID, opts query.Options) *query.Result {
-	return s.cache.Result(s.epoch(), s.flat, s.store, sub, opts)
 }
 
 // record payloads.
@@ -278,11 +292,18 @@ func Open(cfg Config) (*System, error) {
 		// would silently fsync every batch and defeat the setting.
 		if !cfg.DisableGroupCommit && sync == 1 {
 			s.committer = storage.NewCommitter(s.wal, storage.CommitterConfig{
-				MaxBatch: cfg.CommitMaxBatch,
-				MaxDelay: cfg.CommitMaxDelay,
+				MaxBatch:     cfg.CommitMaxBatch,
+				MaxDelay:     cfg.CommitMaxDelay,
+				AckOnEnqueue: cfg.RelaxedDurability,
 			})
 		}
 	}
+
+	// Publish the initial read view: from here on every pure query runs
+	// against a published snapshot.
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
 
 	if !cfg.DisableCacheWarm {
 		s.warmK = cfg.WarmSubjects
@@ -409,17 +430,20 @@ func encodeRecord(typ string, v any) (storage.Record, error) {
 	return storage.Record{Type: typ, Data: data}, nil
 }
 
-// logLocked stages one mutation record for durability. Callers hold the
-// write lock, which is what makes WAL order equal apply order: records
-// are enqueued (or appended) in lock-hold order. The returned wait
-// function is the commit barrier — call it AFTER releasing the write
-// lock, so the fsync (shared with every other mutation in the same
-// group-commit batch) never blocks readers or other writers.
+// logLocked stages one mutation record for durability and publishes the
+// post-mutation read view. Callers hold the write lock, which is what
+// makes WAL order equal apply order: records are enqueued (or appended)
+// in lock-hold order, and the view published here always reflects every
+// record staged so far. The returned wait function is the commit barrier
+// — call it AFTER releasing the write lock, so the fsync (shared with
+// every other mutation in the same group-commit batch) never blocks
+// readers or other writers.
 //
 // With the committer disabled the append happens inline, preserving the
 // pre-group-commit syncEvery semantics; the barrier then just reports
 // the append's outcome.
 func (s *System) logLocked(typ string, v any) func() error {
+	s.publishLocked()
 	if s.wal == nil || s.replaying {
 		return waitNil
 	}
@@ -437,6 +461,7 @@ func (s *System) logLocked(typ string, v any) func() error {
 // logGroupLocked is logLocked for a pre-encoded record group: the whole
 // group is enqueued as one unit, costing one fsync.
 func (s *System) logGroupLocked(recs []storage.Record) func() error {
+	s.publishLocked()
 	if s.wal == nil || s.replaying || len(recs) == 0 {
 		return waitNil
 	}
@@ -493,9 +518,9 @@ func (s *System) WarmNow() {
 			return
 		default:
 		}
-		s.mu.RLock()
-		_ = s.result(sub, query.Options{})
-		s.mu.RUnlock()
+		// Re-load the view per subject so a warm pass racing further
+		// mutations always heats the freshest generation.
+		_ = s.currentView().result(sub, query.Options{})
 	}
 }
 
@@ -527,17 +552,14 @@ func (s *System) RemoveSubject(id profile.SubjectID) error {
 	return wait()
 }
 
-// GetSubject returns a user profile.
+// GetSubject returns a user profile. Profile reads go to the live,
+// internally-synchronized database — no System lock.
 func (s *System) GetSubject(id profile.SubjectID) (profile.Subject, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.profiles.Get(id)
 }
 
 // Subjects lists all subject IDs.
 func (s *System) Subjects() []profile.SubjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.profiles.Subjects()
 }
 
@@ -580,25 +602,21 @@ func (s *System) RevokeAuthorization(id authz.ID) (int, error) {
 	return n, wait()
 }
 
-// Authorizations lists every stored authorization.
+// Authorizations lists every stored authorization, as of the published
+// read view.
 func (s *System) Authorizations() []authz.Authorization {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.All()
+	return s.currentView().auths.All()
 }
 
 // AuthorizationsFor lists the authorizations of subject sub at location l.
 func (s *System) AuthorizationsFor(sub profile.SubjectID, l graph.ID) []authz.Authorization {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.For(sub, l)
+	return s.currentView().auths.For(sub, l)
 }
 
-// Conflicts reports duplicate/overlapping/adjacent authorization pairs.
+// Conflicts reports duplicate/overlapping/adjacent authorization pairs,
+// scanning one consistent store snapshot.
 func (s *System) Conflicts() []authz.Conflict {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.store.FindConflicts()
+	return s.currentView().auths.FindConflicts()
 }
 
 // ResolveConflicts applies the strategy to every detected conflict among
@@ -668,20 +686,18 @@ func (s *System) RuleEngine() *rules.Engine { return s.ruleEng }
 // --- Enforcement -----------------------------------------------------------
 
 // Request evaluates the access request (t, sub, l) — Definition 6/7.
-// Requests are pure reads of the authorization and movement databases
-// (plus a monotonic clock advance), so they run under the read lock, in
-// parallel with each other and with every other query.
+// Requests are pure reads evaluated against the published view's
+// authorization snapshot (plus an atomic monotonic clock advance), so a
+// fan-in of concurrent card-reader requests shares no mutex: the only
+// lock on any decision path is the movement database's internal read
+// lock, and only for entry-count-limited authorizations.
 func (s *System) Request(t interval.Time, sub profile.SubjectID, l graph.ID) enforce.Decision {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.Request(t, sub, l)
+	return s.engine.RequestIn(s.currentView().auths, t, sub, l)
 }
 
 // Query is Request without side effects.
 func (s *System) Query(t interval.Time, sub profile.SubjectID, l graph.ID) enforce.Decision {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.engine.Query(t, sub, l)
+	return s.engine.QueryIn(s.currentView().auths, t, sub, l)
 }
 
 // Enter records subject sub entering location l at time t.
@@ -843,38 +859,32 @@ func (s *System) applyBatch(readings []Reading) ([]ObserveOutcome, []storage.Rec
 // --- Queries -----------------------------------------------------------------
 
 // Inaccessible runs Algorithm 1 for the subject over the whole site.
-// Repeated queries between mutations are served from the epoch cache;
-// the returned slice is shared with other callers and must be treated
-// as read-only.
+// Repeated queries between mutations are served from the view's memo
+// table with zero lock acquisitions; the returned slice is shared with
+// other callers and must be treated as read-only.
 func (s *System) Inaccessible(sub profile.SubjectID) []graph.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.result(sub, query.Options{}).Inaccessible
+	return s.currentView().result(sub, query.Options{}).Inaccessible
 }
 
 // InaccessibleTrace runs Algorithm 1 with a Table-2-style trace. Traced
 // runs always recompute (the trace is the product, not the answer).
 func (s *System) InaccessibleTrace(sub profile.SubjectID) query.Result {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.FindInaccessible(s.flat, s.store, sub, query.Options{Trace: true})
+	v := s.currentView()
+	return query.FindInaccessible(v.flat, v.auths, sub, query.Options{Trace: true})
 }
 
 // InaccessibleDuring restricts Algorithm 1 to visits starting within
 // window (§6's access request duration). Like Inaccessible, the
 // returned slice is shared with other callers — read-only.
 func (s *System) InaccessibleDuring(sub profile.SubjectID, window interval.Interval) []graph.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.result(sub, query.Options{Window: window}).Inaccessible
+	return s.currentView().result(sub, query.Options{Window: window}).Inaccessible
 }
 
 // Accessible is the complement query of §5. It shares the memoized
 // Algorithm-1 run with Inaccessible rather than recomputing it.
 func (s *System) Accessible(sub profile.SubjectID) []graph.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.AccessibleFrom(s.flat, s.result(sub, query.Options{}))
+	v := s.currentView()
+	return query.AccessibleFrom(v.flat, v.result(sub, query.Options{}))
 }
 
 // EarliestAccess returns the earliest time sub can be inside l via an
@@ -882,16 +892,14 @@ func (s *System) Accessible(sub profile.SubjectID) []graph.ID {
 // memoized Algorithm-1 state: T^g(l) is exactly the set of instants at
 // which sub can be granted entry to l along some authorized route.
 func (s *System) EarliestAccess(sub profile.SubjectID, l graph.ID) (interval.Time, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.earliestAccessRLocked(sub, l)
+	return s.currentView().earliestAccess(sub, l)
 }
 
-func (s *System) earliestAccessRLocked(sub profile.SubjectID, l graph.ID) (interval.Time, bool) {
-	if _, known := s.flat.Index[l]; !known {
+func (v *readView) earliestAccess(sub profile.SubjectID, l graph.ID) (interval.Time, bool) {
+	if _, known := v.flat.Index[l]; !known {
 		return 0, false
 	}
-	return s.result(sub, query.Options{}).States[l].Grant.Earliest()
+	return v.result(sub, query.Options{}).States[l].Grant.Earliest()
 }
 
 // WhoCanAccess returns every known subject (profiles plus authorization
@@ -899,14 +907,13 @@ func (s *System) earliestAccessRLocked(sub profile.SubjectID, l graph.ID) (inter
 // subject's reachability comes from its memoized Algorithm-1 run, so on
 // a warm cache the inverse query costs one map lookup per subject.
 func (s *System) WhoCanAccess(l graph.ID) []profile.SubjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if _, known := s.flat.Index[l]; !known {
+	v := s.currentView()
+	if _, known := v.flat.Index[l]; !known {
 		return nil
 	}
-	subjects := append(s.profiles.Subjects(), s.store.Subjects()...)
+	subjects := append(v.profiles.Subjects(), v.auths.Subjects()...)
 	out := query.WhoCanAccessBy(subjects, func(sub profile.SubjectID) bool {
-		_, ok := s.earliestAccessRLocked(sub, l)
+		_, ok := v.earliestAccess(sub, l)
 		return ok
 	})
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -915,58 +922,47 @@ func (s *System) WhoCanAccess(l graph.ID) []profile.SubjectID {
 
 // InaccessibleMultilevel runs the Lemma-1 hierarchical solver.
 func (s *System) InaccessibleMultilevel(sub profile.SubjectID) query.MultilevelResult {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.FindInaccessibleMultilevel(s.root, s.store, sub)
+	v := s.currentView()
+	return query.FindInaccessibleMultilevel(v.root, v.auths, sub)
 }
 
 // CheckRoute evaluates the §6 authorized-route definition.
 func (s *System) CheckRoute(sub profile.SubjectID, r graph.Route, window interval.Interval) query.RouteCheck {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.CheckRoute(s.store, sub, r, window)
+	return query.CheckRoute(s.currentView().auths, sub, r, window)
 }
 
 // CheckItinerary validates a concrete visit schedule (explicit arrive and
 // depart times per location) against topology and authorizations.
 func (s *System) CheckItinerary(sub profile.SubjectID, visits []query.Visit) query.ItineraryCheck {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return query.CheckItinerary(s.flat, s.store, sub, visits)
+	v := s.currentView()
+	return query.CheckItinerary(v.flat, v.auths, sub, visits)
 }
 
-// WhereIs reports a subject's current location.
+// WhereIs reports a subject's current location. Presence and history
+// queries read the live, internally-synchronized movement database — no
+// System lock; a query overlapping an in-flight movement linearizes to
+// one side of it.
 func (s *System) WhereIs(sub profile.SubjectID) (graph.ID, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.engine.WhereIs(sub)
 }
 
 // Occupants reports who is inside a location now.
 func (s *System) Occupants(l graph.ID) []profile.SubjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.engine.Occupants(l)
 }
 
 // ContactsOf runs the §1 contact-tracing query.
 func (s *System) ContactsOf(sub profile.SubjectID, window interval.Interval) []movement.Contact {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.moves.ContactsOf(sub, window)
 }
 
 // History returns a subject's stints.
 func (s *System) History(sub profile.SubjectID) []movement.Stint {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.moves.History(sub)
 }
 
 // WhoWasIn returns the subjects present in l during window.
 func (s *System) WhoWasIn(l graph.ID, window interval.Interval) []profile.SubjectID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	return s.moves.WhoWasIn(l, window)
 }
 

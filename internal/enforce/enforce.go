@@ -47,16 +47,30 @@ func (d Decision) String() string {
 	return "denied: " + d.Reason
 }
 
+// AuthSource supplies the authorizations of (s, l) for Def.-7
+// evaluation; *authz.Store and *authz.View satisfy it. The engine's
+// decision paths take it explicitly so the core read path can evaluate
+// against an immutable store snapshot instead of the live database.
+type AuthSource interface {
+	For(s profile.SubjectID, l graph.ID) []authz.Authorization
+}
+
 // Engine is the access control engine. It owns a logical clock that only
 // moves forward; all enforcement is deterministic in the event sequence.
 // Engine is safe for concurrent use.
 //
-// Concurrency: movements (Enter, Leave, Tick, SetClock) take the write
+// Concurrency: movements (Enter, Leave, Tick, SetClock) take the engine
 // lock — they must be atomic with respect to each other because a
 // movement is a read-modify-write of the movement database. Pure
-// decisions (Request, Query) take only the read lock and run in parallel
-// with each other; the logical clock they advance is an atomic
-// monotonic maximum, and the stores they read are internally locked.
+// decisions (Request, Query, RequestIn, QueryIn) acquire no engine lock
+// at all: the logical clock they advance is an atomic monotonic maximum,
+// the authorization source is lock-free (a sharded store read or an
+// immutable view), the alert log is internally synchronized, and the
+// only remaining shared read — the movement database's entry counter,
+// consulted just for entry-count-limited authorizations — takes that
+// database's internal read lock. A decision that overlaps an in-flight
+// movement linearizes to one side of it or the other, exactly as a
+// request arriving a moment earlier or later would.
 type Engine struct {
 	mu     sync.RWMutex
 	root   *graph.Graph
@@ -131,19 +145,26 @@ func (e *Engine) advance(t interval.Time) error {
 // authorization for (s, l) has tis <= t <= tie and s has entered l during
 // [tis, tie] fewer than n times. Denials are recorded in the alert log.
 func (e *Engine) Request(t interval.Time, s profile.SubjectID, l graph.ID) Decision {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
+	return e.RequestIn(e.store, t, s, l)
+}
+
+// RequestIn is Request evaluated against an explicit authorization
+// source — the zero-lock decision path. The core System passes the
+// current read view's store snapshot here, so a card-reader fan-in of
+// concurrent requests shares no mutex at all.
+func (e *Engine) RequestIn(src AuthSource, t interval.Time, s profile.SubjectID, l graph.ID) Decision {
 	if err := e.advance(t); err != nil {
 		return e.deny(t, s, l, err.Error(), false)
 	}
-	return e.evaluate(t, s, l, true)
+	return e.evaluate(src, t, s, l, true)
 }
 
-// evaluate applies Def. 7. When raiseAlerts is false the evaluation is a
-// pure query (used by what-if tooling). It reads only internally-locked
-// stores, so it is safe under either side of e.mu.
-func (e *Engine) evaluate(t interval.Time, s profile.SubjectID, l graph.ID, raiseAlerts bool) Decision {
-	auths := e.store.For(s, l)
+// evaluate applies Def. 7 against src. When raiseAlerts is false the
+// evaluation is a pure query (used by what-if tooling). Everything it
+// reads is immutable, atomic, or internally synchronized, so it needs no
+// engine lock on any path.
+func (e *Engine) evaluate(src AuthSource, t interval.Time, s profile.SubjectID, l graph.ID, raiseAlerts bool) Decision {
+	auths := src.For(s, l)
 	if len(auths) == 0 {
 		return e.maybeDeny(t, s, l, fmt.Sprintf("no authorization specifies %s's access to %s", s, l), false, raiseAlerts)
 	}
@@ -186,9 +207,13 @@ func (e *Engine) deny(t interval.Time, s profile.SubjectID, l graph.ID, reason s
 // Query evaluates Def. 7 without side effects: no clock movement, no
 // alerts. It answers "would (t, s, l) be authorized right now?".
 func (e *Engine) Query(t interval.Time, s profile.SubjectID, l graph.ID) Decision {
-	e.mu.RLock()
-	defer e.mu.RUnlock()
-	return e.evaluate(t, s, l, false)
+	return e.QueryIn(e.store, t, s, l)
+}
+
+// QueryIn is Query against an explicit authorization source — see
+// RequestIn.
+func (e *Engine) QueryIn(src AuthSource, t interval.Time, s profile.SubjectID, l graph.ID) Decision {
+	return e.evaluate(src, t, s, l, false)
 }
 
 // Enter records subject s physically entering location l at time t. LTAM
@@ -233,8 +258,9 @@ func (e *Engine) Enter(t interval.Time, s profile.SubjectID, l graph.ID) (Decisi
 		}
 	}
 
-	// Authorization check (Def. 7).
-	d := e.evaluate(t, s, l, false)
+	// Authorization check (Def. 7) — against the live store: movements
+	// must see their own write-path state.
+	d := e.evaluate(e.store, t, s, l, false)
 	if !d.Granted {
 		kind := audit.UnauthorizedEntry
 		e.alerts.Raise(audit.Alert{Time: t, Kind: kind, Subject: s, Location: l,

@@ -19,9 +19,42 @@ import (
 )
 
 // AuthSource supplies the authorizations of a subject on a location;
-// *authz.Store satisfies it.
+// *authz.Store and *authz.View satisfy it.
 type AuthSource interface {
 	For(s profile.SubjectID, l graph.ID) []authz.Authorization
+}
+
+// appendSource is the allocation-free gather an AuthSource may optionally
+// provide (both *authz.Store and *authz.View do): FindInaccessible batches
+// its per-location lookups into one backing slice instead of one
+// allocation per location.
+type appendSource interface {
+	AppendFor(dst []authz.Authorization, s profile.SubjectID, l graph.ID) []authz.Authorization
+}
+
+// gatherAuths collects src.For(s, l) for every node of f. With an
+// appendSource the N_L per-location slices share one backing array
+// (sub-sliced by offset after the gather, since appends may reallocate).
+func gatherAuths(f *graph.Flat, src AuthSource, s profile.SubjectID) [][]authz.Authorization {
+	n := len(f.Nodes)
+	auths := make([][]authz.Authorization, n)
+	as, ok := src.(appendSource)
+	if !ok {
+		for i, id := range f.Nodes {
+			auths[i] = src.For(s, id)
+		}
+		return auths
+	}
+	var flat []authz.Authorization
+	offs := make([]int, n+1)
+	for i, id := range f.Nodes {
+		flat = as.AppendFor(flat, s, id)
+		offs[i+1] = len(flat)
+	}
+	for i := range auths {
+		auths[i] = flat[offs[i]:offs[i+1]:offs[i+1]]
+	}
+	return auths
 }
 
 // State is the Algorithm-1 per-location state: the boolean flag, the
@@ -100,10 +133,7 @@ func FindInaccessible(f *graph.Flat, src AuthSource, s profile.SubjectID, opts O
 	states := make([]State, n) // line 1: T^g = T^d = null, flag = false
 
 	res := Result{States: make(map[graph.ID]State, n)}
-	auths := make([][]authz.Authorization, n)
-	for i, id := range f.Nodes {
-		auths[i] = src.For(s, id)
-	}
+	auths := gatherAuths(f, src, s)
 
 	if opts.Trace {
 		res.Trace = append(res.Trace, snapshot("", f, states))
@@ -137,8 +167,10 @@ func FindInaccessible(f *graph.Flat, src AuthSource, s profile.SubjectID, opts O
 
 	// Lines 14–34: fixpoint loop. Each sweep snapshots the flagged set
 	// and processes it in node order, which keeps the run deterministic.
+	// One flagged buffer is reused across sweeps.
+	flagged := make([]int, 0, n)
 	for {
-		var flagged []int
+		flagged = flagged[:0]
 		for i := range states {
 			if states[i].Flag {
 				flagged = append(flagged, i)
@@ -156,7 +188,8 @@ func FindInaccessible(f *graph.Flat, src AuthSource, s profile.SubjectID, opts O
 			for _, nb := range f.Adj[li] {
 				t = t.Union(states[nb].Depart)
 			}
-			for _, w := range t.Intervals() { // line 19
+			for wi := 0; wi < t.Len(); wi++ { // line 19 (At avoids Intervals' copy)
+				w := t.At(wi)
 				for _, a := range auths[li] { // line 20
 					g := a.GrantDuring(w) // line 21
 					if !g.IsEmpty() {     // line 22

@@ -12,18 +12,44 @@ import (
 
 // cacheKey identifies one memoized FindInaccessible run: the subject and
 // the §6 access request window (the zero window is the Def.-8 default
-// [0, ∞)). The epoch is not part of the key — the whole cache is flushed
-// when the epoch moves, so stale generations never accumulate.
+// [0, ∞)). The epoch is not part of the key — each epoch owns its own
+// generation table, so stale generations never mix with fresh ones.
 type cacheKey struct {
 	subject profile.SubjectID
 	window  interval.Interval
 }
 
+// generation is one epoch's memo table. Lookups and inserts go through a
+// sync.Map so the hit path is lock-free: a hot query costs one atomic
+// generation load plus one sync.Map read, with no mutex to bounce between
+// cores. count bounds the table (it may overshoot the limit by a few
+// entries under concurrent misses, which only wastes a little memory).
+type generation struct {
+	epoch   uint64
+	entries sync.Map // cacheKey -> *Result
+	count   atomic.Int64
+}
+
+func (g *generation) store(key cacheKey, res *Result, limit int) {
+	if int(g.count.Load()) >= limit {
+		return
+	}
+	if _, loaded := g.entries.LoadOrStore(key, res); !loaded {
+		g.count.Add(1)
+	}
+}
+
 // Cache memoizes Algorithm-1 results per (subject, window) at a given
 // epoch. The epoch is supplied by the caller — typically the sum of the
-// authorization store's and profile database's mutation versions — and any
-// lookup with a different epoch flushes the memo table first, so a cached
-// Result is always equal to a fresh recomputation at the current state.
+// authorization store's and profile database's mutation versions — and
+// each epoch owns an immutable-once-superseded generation table, so a
+// cached Result is always equal to a fresh recomputation at the state it
+// was keyed to.
+//
+// The hit path acquires no mutex: the current generation hangs off an
+// atomic pointer and its table is a sync.Map. Epoch moves install a new
+// generation by compare-and-swap; lookups at an older epoch run against a
+// detached table and never pollute the current one.
 //
 // Cached Results are shared between goroutines and must be treated as
 // read-only by callers (Algorithm 1 never mutates a returned Result, so
@@ -37,10 +63,8 @@ type cacheKey struct {
 //
 // The zero Cache is not usable; call NewCache.
 type Cache struct {
-	mu      sync.RWMutex
-	epoch   uint64
-	entries map[cacheKey]*Result
-	limit   int
+	cur   atomic.Pointer[generation]
+	limit int
 
 	// Recency survives epoch flushes by design: it answers "who is hot",
 	// not "what is the answer", and the warmer needs it exactly when the
@@ -64,15 +88,49 @@ func NewCache(limit int) *Cache {
 	if limit <= 0 {
 		limit = DefaultCacheLimit
 	}
-	return &Cache{
-		entries: make(map[cacheKey]*Result),
-		recent:  make(map[profile.SubjectID]uint64),
-		limit:   limit,
+	c := &Cache{
+		recent: make(map[profile.SubjectID]uint64),
+		limit:  limit,
+	}
+	c.cur.Store(&generation{})
+	return c
+}
+
+// Generation pins the memo table of one epoch. The core read path stores
+// a Generation in each published readView so that cache hits skip even
+// the epoch comparison: the view is the epoch.
+type Generation struct {
+	c *Cache
+	g *generation
+}
+
+// Generation returns the memo table for the given epoch, installing a
+// fresh one if epoch is newer than the current generation. An epoch older
+// than the current one gets a detached table: its results are computed
+// and memoized for the caller that holds the handle, but never published
+// — a stale generation cannot overwrite a newer one.
+func (c *Cache) Generation(epoch uint64) Generation {
+	for {
+		g := c.cur.Load()
+		switch {
+		case g.epoch == epoch:
+			return Generation{c: c, g: g}
+		case epoch < g.epoch:
+			return Generation{c: c, g: &generation{epoch: epoch}}
+		}
+		ng := &generation{epoch: epoch}
+		if c.cur.CompareAndSwap(g, ng) {
+			c.flushes.Add(1)
+			return Generation{c: c, g: ng}
+		}
 	}
 }
 
+// Epoch returns the generation's epoch.
+func (gen Generation) Epoch() uint64 { return gen.g.epoch }
+
 // Result returns the memoized FindInaccessible result for (s, opts.Window)
-// at the given epoch, computing and storing it on a miss. Traced runs are
+// in this generation, computing and storing it on a miss. Traced runs are
 // never cached (the trace is a debugging artifact whose cost dwarfs the
 // fixpoint); they always recompute.
 //
@@ -83,47 +141,48 @@ func NewCache(limit int) *Cache {
 // location, the run is step-for-step identical to the default-window
 // [0, ∞) run and the cached default entry answers the bounded query.
 // Subsumed lookups count as hits (and in CacheStats.Subsumed).
-func (c *Cache) Result(epoch uint64, f *graph.Flat, src AuthSource, s profile.SubjectID, opts Options) *Result {
+func (gen Generation) Result(f *graph.Flat, src AuthSource, s profile.SubjectID, opts Options) *Result {
+	c, g := gen.c, gen.g
 	if opts.Trace {
 		res := FindInaccessible(f, src, s, opts)
 		return &res
 	}
 	window := opts.window()
 	key := cacheKey{subject: s, window: window}
-	defWindow := Options{}.window()
-
-	var defRes *Result
-	c.mu.RLock()
-	if c.epoch == epoch {
-		if res, ok := c.entries[key]; ok {
-			c.mu.RUnlock()
-			c.hits.Add(1)
-			return res
-		}
-		if window != defWindow {
-			defRes = c.entries[cacheKey{subject: s, window: defWindow}]
-		}
+	if v, ok := g.entries.Load(key); ok {
+		c.hits.Add(1)
+		return v.(*Result)
 	}
-	c.mu.RUnlock()
 
 	// Recency is recorded only on the slow paths (miss or subsumption),
 	// never on plain hits: every epoch flush makes a hot subject's next
 	// query a miss, so the recency map still tracks who is hot per
 	// generation, and the parallel hit path stays free of the exclusive
 	// recMu lock.
-	if defRes != nil && windowSubsumed(f, src, s, window) {
-		c.touch(s)
-		c.hits.Add(1)
-		c.subsumed.Add(1)
-		c.put(epoch, key, defRes) // future bounded lookups are plain hits
-		return defRes
+	if defWindow := (Options{}).window(); window != defWindow {
+		if v, ok := g.entries.Load(cacheKey{subject: s, window: defWindow}); ok && windowSubsumed(f, src, s, window) {
+			defRes := v.(*Result)
+			c.touch(s)
+			c.hits.Add(1)
+			c.subsumed.Add(1)
+			g.store(key, defRes, c.limit) // future bounded lookups are plain hits
+			return defRes
+		}
 	}
 
 	c.touch(s)
 	c.misses.Add(1)
 	res := FindInaccessible(f, src, s, opts)
-	c.put(epoch, key, &res)
+	g.store(key, &res, c.limit)
 	return &res
+}
+
+// Result returns the memoized FindInaccessible result for (s, opts.Window)
+// at the given epoch — Generation(epoch).Result. Callers that query the
+// same epoch repeatedly (the core System) hold the Generation instead and
+// skip the epoch resolution.
+func (c *Cache) Result(epoch uint64, f *graph.Flat, src AuthSource, s profile.SubjectID, opts Options) *Result {
+	return c.Generation(epoch).Result(f, src, s, opts)
 }
 
 // windowSubsumed reports whether the bounded window would produce exactly
@@ -144,26 +203,6 @@ func windowSubsumed(f *graph.Flat, src AuthSource, s profile.SubjectID, window i
 		}
 	}
 	return true
-}
-
-// put stores res under key, flushing first if epoch advanced. Results
-// computed under an epoch older than the table's are discarded.
-func (c *Cache) put(epoch uint64, key cacheKey, res *Result) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.epoch != epoch {
-		if epoch < c.epoch {
-			// A newer epoch already owns the table; this result is stale
-			// and must not be stored.
-			return
-		}
-		c.flushes.Add(1)
-		c.entries = make(map[cacheKey]*Result)
-		c.epoch = epoch
-	}
-	if len(c.entries) < c.limit {
-		c.entries[key] = res
-	}
 }
 
 // touch records s as recently queried.
@@ -221,15 +260,19 @@ func (c *Cache) RecentSubjects(k int) []profile.SubjectID {
 	return out
 }
 
-// Invalidate drops every memoized entry regardless of epoch. The System
-// does not need it (every state change it serves is covered by a
-// version counter); it exists for callers embedding Cache over an
-// AuthSource without one.
+// Invalidate drops every memoized entry regardless of epoch by installing
+// a fresh generation at the current epoch. The System does not need it
+// (every state change it serves is covered by a version counter); it
+// exists for callers embedding Cache over an AuthSource without one.
+// Callers still holding a Generation handle keep their pinned table.
 func (c *Cache) Invalidate() {
-	c.mu.Lock()
-	c.entries = make(map[cacheKey]*Result)
-	c.flushes.Add(1)
-	c.mu.Unlock()
+	for {
+		g := c.cur.Load()
+		if c.cur.CompareAndSwap(g, &generation{epoch: g.epoch}) {
+			c.flushes.Add(1)
+			return
+		}
+	}
 }
 
 // CacheStats is a point-in-time snapshot of cache effectiveness.
@@ -246,15 +289,13 @@ type CacheStats struct {
 
 // Stats reports hit/miss/flush counters and the current table size.
 func (c *Cache) Stats() CacheStats {
-	c.mu.RLock()
-	entries, epoch := len(c.entries), c.epoch
-	c.mu.RUnlock()
+	g := c.cur.Load()
 	return CacheStats{
 		Hits:     c.hits.Load(),
 		Misses:   c.misses.Load(),
 		Flushes:  c.flushes.Load(),
 		Subsumed: c.subsumed.Load(),
-		Entries:  entries,
-		Epoch:    epoch,
+		Entries:  int(g.count.Load()),
+		Epoch:    g.epoch,
 	}
 }

@@ -199,6 +199,11 @@ func (e *Engine) deriveLocked(r Rule) (Report, error) {
 	sort.Slice(locations, func(i, j int) bool { return locations[i] < locations[j] })
 	n := ops.Entries.Apply(base.MaxEntries)
 
+	// Validate-or-skip first, then store the survivors as one batch —
+	// the sharded store clones each touched stripe once per batch, so a
+	// rule deriving thousands of authorizations stays O(batch), not
+	// O(batch × store).
+	var pending []authz.Authorization
 	for _, s := range subjects {
 		for _, l := range locations {
 			for _, eIv := range entrySet.Intervals() {
@@ -220,15 +225,16 @@ func (e *Engine) deriveLocked(r Rule) (Report, error) {
 						})
 						continue
 					}
-					stored, err := e.store.Add(a)
-					if err != nil {
-						return rep, fmt.Errorf("rules: rule %q: store: %w", r.Name, err)
-					}
-					rep.Derived = append(rep.Derived, stored)
+					pending = append(pending, a)
 				}
 			}
 		}
 	}
+	stored, err := e.store.AddAll(pending)
+	if err != nil {
+		return rep, fmt.Errorf("rules: rule %q: store: %w", r.Name, err)
+	}
+	rep.Derived = append(rep.Derived, stored...)
 	return rep, nil
 }
 

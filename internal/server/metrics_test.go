@@ -1,0 +1,103 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/profile"
+)
+
+// TestBucketFor pins the histogram's bucket edges: bucket i covers
+// [2^(i-1), 2^i) microseconds, with everything sub-microsecond in bucket
+// 0 and the tail clamped to the last bucket.
+func TestBucketFor(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{500 * time.Nanosecond, 0},
+		{time.Microsecond, 1},
+		{3 * time.Microsecond, 2},
+		{1024 * time.Microsecond, 11},
+		{time.Hour, latBuckets - 1},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.d); got != c.want {
+			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestHistogramQuantiles: percentiles come back as power-of-two upper
+// bounds of the right bucket.
+func TestHistogramQuantiles(t *testing.T) {
+	var h histogram
+	if h.quantile(0.5) != 0 {
+		t.Error("empty histogram must report 0")
+	}
+	// 90 fast requests (~2µs) and 10 slow ones (~1ms).
+	for i := 0; i < 90; i++ {
+		h.observe(2 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.observe(time.Millisecond)
+	}
+	if p50 := h.quantile(0.50); p50 != 4 {
+		t.Errorf("p50 = %dµs, want 4 (bucket [2, 4))", p50)
+	}
+	if p99 := h.quantile(0.99); p99 != 1024 {
+		t.Errorf("p99 = %dµs, want 1024 (1ms lands in bucket [512, 1024))", p99)
+	}
+	st := h.stats()
+	if st.Count != 100 || st.MeanMicro < 90 || st.MeanMicro > 120 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestStatsEndpointHistograms: every served route shows up in /v1/stats
+// with its request count, alongside the sharded-store and read-view
+// counters.
+func TestStatsEndpointHistograms(t *testing.T) {
+	_, c := testServer(t, "")
+
+	if err := c.PutSubject(profile.Subject{ID: "Alice"}); err != nil {
+		t.Fatal(err)
+	}
+	const requests = 5
+	for i := 0; i < requests; i++ {
+		if _, err := c.Request(2, "Alice", graph.CAIS); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, ok := st.Endpoints["POST /v1/request"]
+	if !ok {
+		t.Fatalf("no histogram for POST /v1/request: %v", st.Endpoints)
+	}
+	if req.Count != requests {
+		t.Errorf("request count = %d, want %d", req.Count, requests)
+	}
+	if req.P50Micro <= 0 || req.P99Micro < req.P50Micro {
+		t.Errorf("bad percentiles: %+v", req)
+	}
+	if sub, ok := st.Endpoints["POST /v1/subjects"]; !ok || sub.Count != 1 {
+		t.Errorf("subjects histogram = %+v, ok=%v", sub, ok)
+	}
+	if _, ok := st.Endpoints["POST /v1/tick"]; ok {
+		t.Error("unserved route must not appear")
+	}
+
+	// Sharded-store and view stats ride along.
+	if st.Authz.Shards < 1 {
+		t.Errorf("authz stats = %+v", st.Authz)
+	}
+	if st.View.AuthShards != st.Authz.Shards || st.View.Publishes == 0 {
+		t.Errorf("view stats = %+v", st.View)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/authz"
 	"repro/internal/core"
@@ -22,13 +23,14 @@ import (
 
 // Server wraps a System with an http.Handler.
 type Server struct {
-	sys *core.System
-	mux *http.ServeMux
+	sys     *core.System
+	mux     *http.ServeMux
+	metrics *metrics
 }
 
 // New builds the handler set over sys.
 func New(sys *core.System) *Server {
-	s := &Server{sys: sys, mux: http.NewServeMux()}
+	s := &Server{sys: sys, mux: http.NewServeMux(), metrics: newMetrics()}
 	s.routes()
 	return s
 }
@@ -36,38 +38,49 @@ func New(sys *core.System) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
+// handle registers the route with a latency-recording wrapper; every
+// request's duration lands in the pattern's histogram (see metrics.go).
+func (s *Server) handle(pattern string, h http.HandlerFunc) {
+	hist := s.metrics.register(pattern)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.observe(time.Since(start))
+	})
+}
+
 func (s *Server) routes() {
-	s.mux.HandleFunc("POST /v1/subjects", s.putSubject)
-	s.mux.HandleFunc("GET /v1/subjects", s.listSubjects)
-	s.mux.HandleFunc("GET /v1/subjects/{id}", s.getSubject)
-	s.mux.HandleFunc("DELETE /v1/subjects/{id}", s.removeSubject)
+	s.handle("POST /v1/subjects", s.putSubject)
+	s.handle("GET /v1/subjects", s.listSubjects)
+	s.handle("GET /v1/subjects/{id}", s.getSubject)
+	s.handle("DELETE /v1/subjects/{id}", s.removeSubject)
 
-	s.mux.HandleFunc("POST /v1/authorizations", s.addAuthorization)
-	s.mux.HandleFunc("GET /v1/authorizations", s.listAuthorizations)
-	s.mux.HandleFunc("DELETE /v1/authorizations/{id}", s.revokeAuthorization)
+	s.handle("POST /v1/authorizations", s.addAuthorization)
+	s.handle("GET /v1/authorizations", s.listAuthorizations)
+	s.handle("DELETE /v1/authorizations/{id}", s.revokeAuthorization)
 
-	s.mux.HandleFunc("POST /v1/rules", s.addRule)
-	s.mux.HandleFunc("GET /v1/rules", s.listRules)
-	s.mux.HandleFunc("DELETE /v1/rules/{name}", s.removeRule)
+	s.handle("POST /v1/rules", s.addRule)
+	s.handle("GET /v1/rules", s.listRules)
+	s.handle("DELETE /v1/rules/{name}", s.removeRule)
 
-	s.mux.HandleFunc("POST /v1/request", s.request)
-	s.mux.HandleFunc("POST /v1/enter", s.enter)
-	s.mux.HandleFunc("POST /v1/leave", s.leave)
-	s.mux.HandleFunc("POST /v1/tick", s.tick)
-	s.mux.HandleFunc("POST /v1/observe/batch", s.observeBatch)
+	s.handle("POST /v1/request", s.request)
+	s.handle("POST /v1/enter", s.enter)
+	s.handle("POST /v1/leave", s.leave)
+	s.handle("POST /v1/tick", s.tick)
+	s.handle("POST /v1/observe/batch", s.observeBatch)
 
-	s.mux.HandleFunc("GET /v1/queries/inaccessible", s.inaccessible)
-	s.mux.HandleFunc("GET /v1/queries/contacts", s.contacts)
-	s.mux.HandleFunc("GET /v1/queries/reach", s.reach)
-	s.mux.HandleFunc("GET /v1/queries/whocan", s.whocan)
-	s.mux.HandleFunc("GET /v1/conflicts", s.conflicts)
-	s.mux.HandleFunc("POST /v1/conflicts/resolve", s.resolveConflicts)
-	s.mux.HandleFunc("GET /v1/where", s.where)
-	s.mux.HandleFunc("GET /v1/occupants", s.occupants)
-	s.mux.HandleFunc("GET /v1/alerts", s.alerts)
-	s.mux.HandleFunc("GET /v1/graph", s.graphSpec)
-	s.mux.HandleFunc("GET /v1/stats", s.stats)
-	s.mux.HandleFunc("POST /v1/snapshot", s.snapshot)
+	s.handle("GET /v1/queries/inaccessible", s.inaccessible)
+	s.handle("GET /v1/queries/contacts", s.contacts)
+	s.handle("GET /v1/queries/reach", s.reach)
+	s.handle("GET /v1/queries/whocan", s.whocan)
+	s.handle("GET /v1/conflicts", s.conflicts)
+	s.handle("POST /v1/conflicts/resolve", s.resolveConflicts)
+	s.handle("GET /v1/where", s.where)
+	s.handle("GET /v1/occupants", s.occupants)
+	s.handle("GET /v1/alerts", s.alerts)
+	s.handle("GET /v1/graph", s.graphSpec)
+	s.handle("GET /v1/stats", s.stats)
+	s.handle("POST /v1/snapshot", s.snapshot)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -435,10 +448,18 @@ func (s *Server) graphSpec(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
+	vs := s.sys.ViewStats()
 	writeJSON(w, http.StatusOK, wire.StatsResponse{
 		Clock:  s.sys.Clock(),
 		Cache:  s.sys.QueryCacheStats(),
 		Commit: s.sys.CommitStats(),
+		Authz:  s.sys.AuthStore().Stats(),
+		View: wire.ViewStats{
+			Epoch:      vs.Epoch,
+			Publishes:  vs.Publishes,
+			AuthShards: vs.AuthShards,
+		},
+		Endpoints: s.metrics.snapshot(),
 	})
 }
 

@@ -45,6 +45,18 @@ type CommitterConfig struct {
 	// QueueLen is the enqueue buffer in groups (<= 0 selects
 	// DefaultQueueLen). A full queue applies backpressure to Commit.
 	QueueLen int
+	// AckOnEnqueue is the relaxed-durability mode: Commit's barrier is
+	// released as soon as the records are accepted into the queue, not
+	// after their fsync. The records still reach the WAL in enqueue
+	// order on the committer goroutine, so a crash loses at most the
+	// queued-but-unsynced suffix — what survives is always a prefix of
+	// the acknowledged records, never a reordering. The loss window is
+	// bounded by QueueLen groups plus one in-flight batch. Flush (and
+	// therefore Close) remains fully durable: its barrier is released
+	// only after the fsync covering everything enqueued before it.
+	// Background fsync failures are counted in Stats().SyncFailures and
+	// retained in Err.
+	AckOnEnqueue bool
 }
 
 // group is one Commit call: its records plus its commit barrier. A
@@ -64,14 +76,21 @@ type CommitterStats struct {
 	// fsync amortization factor.
 	Batches uint64 `json:"batches"`
 	Records uint64 `json:"records"`
+	// Relaxed reports whether AckOnEnqueue is on; SyncFailures counts
+	// batches whose background write failed — in relaxed mode those
+	// records were acknowledged but are not durable, so a non-zero count
+	// demands operator attention (see Err for the most recent failure).
+	Relaxed      bool   `json:"relaxed,omitempty"`
+	SyncFailures uint64 `json:"sync_failures,omitempty"`
 }
 
 // Committer is the asynchronous group-commit front of a WAL. It is safe
 // for concurrent use. Close drains the queue before returning.
 type Committer struct {
-	wal      *WAL
-	maxBatch int
-	maxDelay time.Duration
+	wal          *WAL
+	maxBatch     int
+	maxDelay     time.Duration
+	ackOnEnqueue bool
 
 	ch     chan group
 	loopWG sync.WaitGroup
@@ -80,8 +99,10 @@ type Committer struct {
 	closed    bool
 	closeOnce sync.Once
 
-	batches atomic.Uint64
-	records atomic.Uint64
+	batches  atomic.Uint64
+	records  atomic.Uint64
+	syncErrs atomic.Uint64
+	lastErr  atomic.Pointer[error]
 }
 
 // NewCommitter starts the committer goroutine over w.
@@ -93,10 +114,11 @@ func NewCommitter(w *WAL, cfg CommitterConfig) *Committer {
 		cfg.QueueLen = DefaultQueueLen
 	}
 	c := &Committer{
-		wal:      w,
-		maxBatch: cfg.MaxBatch,
-		maxDelay: cfg.MaxDelay,
-		ch:       make(chan group, cfg.QueueLen),
+		wal:          w,
+		maxBatch:     cfg.MaxBatch,
+		maxDelay:     cfg.MaxDelay,
+		ackOnEnqueue: cfg.AckOnEnqueue,
+		ch:           make(chan group, cfg.QueueLen),
 	}
 	c.loopWG.Add(1)
 	go c.run()
@@ -105,8 +127,10 @@ func NewCommitter(w *WAL, cfg CommitterConfig) *Committer {
 
 // Commit enqueues recs for the next batch and returns the commit barrier:
 // the channel delivers one error once the records are durably written
-// (nil) or the batch failed. An empty recs commits immediately. After
-// Close, the barrier delivers ErrCommitterClosed.
+// (nil) or the batch failed. With AckOnEnqueue the barrier is released
+// as soon as the records are queued — durability follows asynchronously
+// in enqueue order. An empty recs commits immediately. After Close, the
+// barrier delivers ErrCommitterClosed.
 //
 // Callers that need WAL order to equal apply order must serialise their
 // Commit calls themselves (core.System enqueues under its write lock).
@@ -114,6 +138,12 @@ func (c *Committer) Commit(recs ...Record) <-chan error {
 	done := make(chan error, 1)
 	if len(recs) == 0 {
 		done <- nil
+		return done
+	}
+	if c.ackOnEnqueue {
+		// The group carries no barrier; the committer reports its write
+		// outcome through the failure counters instead.
+		done <- c.enqueue(group{recs: recs})
 		return done
 	}
 	c.enqueue(group{recs: recs, done: done})
@@ -129,20 +159,28 @@ func (c *Committer) Flush() error {
 	return <-done
 }
 
-func (c *Committer) enqueue(g group) {
+// enqueue queues g, reporting ErrCommitterClosed (to the caller and, when
+// present, the group's barrier) after Close.
+func (c *Committer) enqueue(g group) error {
 	c.closeMu.RLock()
 	if c.closed {
 		c.closeMu.RUnlock()
-		g.done <- ErrCommitterClosed
-		return
+		if g.done != nil {
+			g.done <- ErrCommitterClosed
+		}
+		return ErrCommitterClosed
 	}
 	c.ch <- g
 	c.closeMu.RUnlock()
+	return nil
 }
 
 // Close stops accepting new commits, drains and commits everything
 // already enqueued, and waits for the committer goroutine to exit. It is
-// idempotent. It does not close the underlying WAL.
+// idempotent. It does not close the underlying WAL. In relaxed mode it
+// returns the latched background write error, if any — the one channel
+// through which an acknowledged-but-lost write can still reach the
+// caller at shutdown.
 func (c *Committer) Close() error {
 	c.closeOnce.Do(func() {
 		c.closeMu.Lock()
@@ -151,12 +189,30 @@ func (c *Committer) Close() error {
 		c.closeMu.Unlock()
 	})
 	c.loopWG.Wait()
+	if c.ackOnEnqueue {
+		return c.Err()
+	}
 	return nil
 }
 
 // Stats reports batching counters.
 func (c *Committer) Stats() CommitterStats {
-	return CommitterStats{Batches: c.batches.Load(), Records: c.records.Load()}
+	return CommitterStats{
+		Batches:      c.batches.Load(),
+		Records:      c.records.Load(),
+		Relaxed:      c.ackOnEnqueue,
+		SyncFailures: c.syncErrs.Load(),
+	}
+}
+
+// Err returns the most recent background write failure (nil when every
+// batch so far has been written). In relaxed mode this is the only place
+// a lost write surfaces, since the commit barrier acked at enqueue.
+func (c *Committer) Err() error {
+	if p := c.lastErr.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 // run is the committer goroutine: collect a batch, write it with one
@@ -209,13 +265,32 @@ func (c *Committer) run() {
 		for _, b := range batch {
 			recs = append(recs, b.recs...)
 		}
-		err := c.wal.AppendGroup(recs)
+		// Relaxed mode latches the first write failure and stops writing:
+		// later batches were already acknowledged, and appending them
+		// after a dropped batch would leave the WAL with a hole — the
+		// survivors must be a PREFIX of the acked sequence, so once a
+		// batch is lost everything behind it is dropped too (and counted
+		// in SyncFailures; Flush and Close surface the latched error).
+		var err error
+		if c.ackOnEnqueue {
+			if p := c.lastErr.Load(); p != nil {
+				err = *p
+			}
+		}
+		if err == nil {
+			err = c.wal.AppendGroup(recs)
+		}
 		if err == nil && n > 0 {
 			c.batches.Add(1)
 			c.records.Add(uint64(n))
+		} else if err != nil {
+			c.syncErrs.Add(1)
+			c.lastErr.Store(&err)
 		}
 		for _, b := range batch {
-			b.done <- err
+			if b.done != nil {
+				b.done <- err
+			}
 		}
 	}
 }

@@ -96,13 +96,38 @@ type ResolveRequest struct {
 	Strategy string `json:"strategy"`
 }
 
-// StatsResponse reports server-side query-engine statistics: the engine
-// clock, the epoch cache's effectiveness counters, and the WAL group
-// committer's batching counters.
+// EndpointStats is one route's latency distribution: request count, mean,
+// and p50/p95/p99 in microseconds (percentiles are power-of-two bucket
+// upper bounds).
+type EndpointStats struct {
+	Count     uint64 `json:"count"`
+	MeanMicro int64  `json:"mean_us"`
+	P50Micro  int64  `json:"p50_us"`
+	P95Micro  int64  `json:"p95_us"`
+	P99Micro  int64  `json:"p99_us"`
+}
+
+// ViewStats reports the server's snapshot read path: the published view's
+// epoch, how many views have been published, and the authorization
+// store's shard count.
+type ViewStats struct {
+	Epoch      uint64 `json:"epoch"`
+	Publishes  uint64 `json:"publishes"`
+	AuthShards int    `json:"auth_shards"`
+}
+
+// StatsResponse reports server-side statistics: the engine clock, the
+// epoch cache's effectiveness counters, the WAL group committer's
+// batching counters, the sharded authorization store's shape, the
+// snapshot read path's view counters, and per-endpoint latency
+// histograms.
 type StatsResponse struct {
-	Clock  interval.Time          `json:"clock"`
-	Cache  query.CacheStats       `json:"cache"`
-	Commit storage.CommitterStats `json:"commit"`
+	Clock     interval.Time            `json:"clock"`
+	Cache     query.CacheStats         `json:"cache"`
+	Commit    storage.CommitterStats   `json:"commit"`
+	Authz     authz.StoreStats         `json:"authz"`
+	View      ViewStats                `json:"view"`
+	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
 }
 
 // Reading is one positioning sample for the batched ingest endpoint

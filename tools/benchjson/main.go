@@ -1,0 +1,83 @@
+// Command benchjson converts `go test -bench -benchmem` output on stdin
+// into machine-readable JSON on stdout, one object per benchmark result:
+//
+//	{"name": "BenchmarkParallelRequest/parallel-rwlock-8",
+//	 "runs": 100, "ns_per_op": 812.5, "b_per_op": 48, "allocs_per_op": 1}
+//
+// CI pipes the Parallel* read-path benchmarks through it and uploads the
+// result as BENCH_parallel.json, so the perf trajectory of the lock-free
+// read path is tracked across PRs without scraping logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// parseLine parses one `Benchmark...` output line. Format:
+//
+//	BenchmarkName-8  100  812.5 ns/op  48 B/op  1 allocs/op
+//
+// Extra metrics (e.g. records/fsync) are ignored.
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{Name: fields[0], Runs: runs}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			r.NsPerOp, err = strconv.ParseFloat(val, 64)
+		case "B/op":
+			r.BPerOp, err = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			r.AllocsPerOp, err = strconv.ParseInt(val, 10, 64)
+		default:
+			err = nil // unknown metric: skip
+		}
+		if err != nil {
+			return result{}, false
+		}
+	}
+	return r, r.NsPerOp > 0
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
