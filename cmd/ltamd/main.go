@@ -14,9 +14,16 @@
 // {"Location": ..., "Shape": [{"X":..,"Y":..}, ...]}), enabling the
 // positioning front-end and the batched ingest endpoint
 // POST /v1/observe/batch.
+//
+// With -replica-of the daemon boots as a read-only follower of another
+// ltamd: it bootstraps from the primary's state snapshot, tails the
+// primary's WAL over GET /v1/replication/wal, and serves the full query
+// surface (mutations return 403). A follower that falls behind a WAL
+// compaction exits with an error; restarting it re-bootstraps.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +35,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/server"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -38,7 +46,13 @@ func main() {
 	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
 	boundsPath := flag.String("bounds", "", "room boundary JSON (enables /v1/observe/batch)")
 	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
+	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8525): boot as a read-only replica")
 	flag.Parse()
+
+	if *replicaOf != "" {
+		runReplica(*addr, *replicaOf)
+		return
+	}
 
 	var bounds []geometry.Boundary
 	if *boundsPath != "" {
@@ -83,6 +97,28 @@ func main() {
 		fmt.Printf("ltamd: durable storage in %s\n", *data)
 	}
 	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+}
+
+// runReplica boots a read-only follower: bootstrap from the primary,
+// start the tail loop, and serve the query surface.
+func runReplica(addr, primary string) {
+	client := wire.NewClient(primary)
+	rep, err := core.NewReplica(client.ReplicationSource())
+	if err != nil {
+		log.Fatalf("bootstrap from %s: %v", primary, err)
+	}
+	defer rep.Close()
+	go func() {
+		// Run returns only on a terminal condition: divergence, or the
+		// primary compacting past our position (re-bootstrap by restart).
+		if err := rep.Run(context.Background()); err != nil {
+			log.Fatalf("replication: %v", err)
+		}
+	}()
+	sys := rep.System()
+	fmt.Printf("ltamd: replica of %s serving %q (%d primitive locations) on %s, bootstrapped at seq %d\n",
+		primary, sys.Graph().Name(), len(sys.Flat().Nodes), addr, rep.AppliedSeq())
+	log.Fatal(http.ListenAndServe(addr, server.NewReplica(rep)))
 }
 
 // snapshotExists reports whether the data directory already holds a

@@ -138,6 +138,24 @@ type System struct {
 	committer *storage.Committer
 	snaps     *storage.SnapshotStore
 	replaying bool
+	walPath   string
+	// baseSeq is the global sequence number of the first record in the
+	// current WAL: the count of records compacted into the latest
+	// snapshot. Global seq = baseSeq + position in the WAL; it is the
+	// coordinate system of the replication stream. Written only under
+	// the write lock (Snapshot) or during Open.
+	baseSeq atomic.Uint64
+
+	// readOnly marks a follower System: every public mutator returns
+	// ErrReadOnly, and the only mutation path is the replication apply
+	// loop (Replica.ApplyRecord), which dispatches to the unexported
+	// mutators directly. Set once at construction, never changed.
+	readOnly bool
+	// autoDerive mirrors Config.AutoDerive so a replica can be built
+	// with the exact derivation behavior of its primary (derived
+	// authorizations are not logged — both sides must re-derive them
+	// identically from profile.put/rule.add records).
+	autoDerive bool
 
 	// Cache warming: mutations that move the epoch poke warmCh; a
 	// background goroutine re-derives Algorithm-1 for the hottest
@@ -175,6 +193,12 @@ type (
 
 // snapshotState is the persisted full state.
 type snapshotState struct {
+	// Seq is the global sequence number of the first WAL record NOT
+	// covered by this snapshot — the cumulative count of records
+	// compacted into it. It keeps snapshot numbering monotonic across
+	// compactions (the WAL's own counter resets on Truncate) and anchors
+	// the replication stream's coordinate system.
+	Seq        uint64                `json:"seq"`
 	Graph      graph.Spec            `json:"graph"`
 	Profiles   []profile.Subject     `json:"profiles"`
 	Auths      []authz.Authorization `json:"auths"`
@@ -184,15 +208,21 @@ type snapshotState struct {
 	Clock      interval.Time         `json:"clock"`
 }
 
-// Open builds a System from cfg, recovering from DataDir when set.
-func Open(cfg Config) (*System, error) {
-	s := &System{
+// newBareSystem allocates the empty databases every System starts from.
+func newBareSystem() *System {
+	return &System{
 		profiles: profile.NewDB(),
 		store:    authz.NewStore(),
 		moves:    movement.NewDB(),
-		alerts:   audit.NewLog(cfg.AlertLimit),
+		alerts:   audit.NewLog(0),
 		cache:    query.NewCache(0),
 	}
+}
+
+// Open builds a System from cfg, recovering from DataDir when set.
+func Open(cfg Config) (*System, error) {
+	s := newBareSystem()
+	s.alerts = audit.NewLog(cfg.AlertLimit)
 
 	var snap snapshotState
 	haveSnap := false
@@ -235,41 +265,22 @@ func Open(cfg Config) (*System, error) {
 		s.resolver = r
 	}
 
-	eng, err := enforce.New(s.root, s.store, s.moves, s.alerts)
-	if err != nil {
+	if err := s.initEngines(cfg.AutoDerive); err != nil {
 		return nil, err
 	}
-	s.engine = eng
-	s.ruleEng = rules.NewEngine(s.store, s.profiles, s.root, cfg.AutoDerive)
 
 	// Restore the snapshot state.
 	if haveSnap {
-		if err := s.profiles.Restore(snap.Profiles); err != nil {
-			return nil, fmt.Errorf("core: recover profiles: %w", err)
-		}
-		if err := s.store.Restore(snap.Auths, snap.NextAuthID); err != nil {
-			return nil, fmt.Errorf("core: recover auths: %w", err)
-		}
-		for _, spec := range snap.Rules {
-			r, err := spec.Compile()
-			if err != nil {
-				return nil, fmt.Errorf("core: recover rule %q: %w", spec.Name, err)
-			}
-			if err := s.ruleEng.RestoreRule(r); err != nil {
-				return nil, err
-			}
-		}
-		if err := s.moves.Restore(snap.Events); err != nil {
-			return nil, fmt.Errorf("core: recover movements: %w", err)
-		}
-		if err := s.engine.SetClock(snap.Clock); err != nil {
+		if err := s.restoreSnapshot(snap); err != nil {
 			return nil, err
 		}
+		s.baseSeq.Store(snap.Seq)
 	}
 
 	// Replay the WAL suffix, then open it for appending.
 	if cfg.DataDir != "" {
 		walPath := filepath.Join(cfg.DataDir, "wal.log")
+		s.walPath = walPath
 		s.replaying = true
 		_, err := storage.Replay(walPath, s.apply)
 		s.replaying = false
@@ -305,17 +316,60 @@ func Open(cfg Config) (*System, error) {
 	s.publishLocked()
 	s.mu.Unlock()
 
-	if !cfg.DisableCacheWarm {
-		s.warmK = cfg.WarmSubjects
-		if s.warmK <= 0 {
-			s.warmK = DefaultWarmSubjects
-		}
-		s.warmCh = make(chan struct{}, 1)
-		s.warmStop = make(chan struct{})
-		s.warmWG.Add(1)
-		go s.warmLoop()
-	}
+	s.startWarm(cfg.DisableCacheWarm, cfg.WarmSubjects)
 	return s, nil
+}
+
+// initEngines wires the access control and rule engines over the graph
+// and databases, recording the derivation mode for replication.
+func (s *System) initEngines(autoDerive bool) error {
+	eng, err := enforce.New(s.root, s.store, s.moves, s.alerts)
+	if err != nil {
+		return err
+	}
+	s.engine = eng
+	s.autoDerive = autoDerive
+	s.ruleEng = rules.NewEngine(s.store, s.profiles, s.root, autoDerive)
+	return nil
+}
+
+// restoreSnapshot loads a persisted (or replication-bootstrap) state
+// into the empty databases.
+func (s *System) restoreSnapshot(snap snapshotState) error {
+	if err := s.profiles.Restore(snap.Profiles); err != nil {
+		return fmt.Errorf("core: recover profiles: %w", err)
+	}
+	if err := s.store.Restore(snap.Auths, snap.NextAuthID); err != nil {
+		return fmt.Errorf("core: recover auths: %w", err)
+	}
+	for _, spec := range snap.Rules {
+		r, err := spec.Compile()
+		if err != nil {
+			return fmt.Errorf("core: recover rule %q: %w", spec.Name, err)
+		}
+		if err := s.ruleEng.RestoreRule(r); err != nil {
+			return err
+		}
+	}
+	if err := s.moves.Restore(snap.Events); err != nil {
+		return fmt.Errorf("core: recover movements: %w", err)
+	}
+	return s.engine.SetClock(snap.Clock)
+}
+
+// startWarm boots the background cache warmer unless disabled.
+func (s *System) startWarm(disabled bool, k int) {
+	if disabled {
+		return
+	}
+	s.warmK = k
+	if s.warmK <= 0 {
+		s.warmK = DefaultWarmSubjects
+	}
+	s.warmCh = make(chan struct{}, 1)
+	s.warmStop = make(chan struct{})
+	s.warmWG.Add(1)
+	go s.warmLoop()
 }
 
 // Close stops the cache warmer, drains the group committer, and closes
@@ -340,7 +394,10 @@ func (s *System) Close() error {
 	return s.closeErr
 }
 
-// apply dispatches one WAL record during recovery.
+// apply dispatches one WAL record: during recovery (replaying the local
+// log suffix) and on a replica (applying the shipped stream). It calls
+// the unexported mutators so the dispatch works on read-only followers,
+// whose public mutators are gated by ErrReadOnly.
 func (s *System) apply(rec storage.Record) error {
 	switch rec.Type {
 	case "profile.put":
@@ -348,67 +405,67 @@ func (s *System) apply(rec storage.Record) error {
 		if err := json.Unmarshal(rec.Data, &sub); err != nil {
 			return err
 		}
-		return s.PutSubject(sub)
+		return s.putSubject(sub)
 	case "profile.remove":
 		var p subjPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		return s.RemoveSubject(p.ID)
+		return s.removeSubject(p.ID)
 	case "authz.add":
 		var a authz.Authorization
 		if err := json.Unmarshal(rec.Data, &a); err != nil {
 			return err
 		}
 		a.ID = 0 // re-assigned deterministically
-		_, err := s.AddAuthorization(a)
+		_, err := s.addAuthorization(a)
 		return err
 	case "authz.resolve":
 		var p strategyPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		_, err := s.ResolveConflicts(authz.Strategy(p.Strategy))
+		_, err := s.resolveConflicts(authz.Strategy(p.Strategy))
 		return err
 	case "authz.revoke":
 		var p idPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		_, err := s.RevokeAuthorization(p.ID)
+		_, err := s.revokeAuthorization(p.ID)
 		return err
 	case "rule.add":
 		var spec rules.Spec
 		if err := json.Unmarshal(rec.Data, &spec); err != nil {
 			return err
 		}
-		_, err := s.AddRule(spec)
+		_, err := s.addRule(spec)
 		return err
 	case "rule.remove":
 		var p namePayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		return s.RemoveRule(p.Name)
+		return s.removeRule(p.Name)
 	case "move.enter":
 		var p movePayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		_, err := s.Enter(p.T, p.S, p.L)
+		_, err := s.enter(p.T, p.S, p.L)
 		return err
 	case "move.leave":
 		var p movePayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		return s.Leave(p.T, p.S)
+		return s.leave(p.T, p.S)
 	case "tick":
 		var p tickPayload
 		if err := json.Unmarshal(rec.Data, &p); err != nil {
 			return err
 		}
-		_, err := s.Tick(p.T)
+		_, err := s.tick(p.T)
 		return err
 	default:
 		return fmt.Errorf("core: unknown record type %q", rec.Type)
@@ -528,6 +585,13 @@ func (s *System) WarmNow() {
 
 // PutSubject inserts or updates a user profile.
 func (s *System) PutSubject(sub profile.Subject) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.putSubject(sub)
+}
+
+func (s *System) putSubject(sub profile.Subject) error {
 	s.mu.Lock()
 	if err := s.profiles.Put(sub); err != nil {
 		s.mu.Unlock()
@@ -541,6 +605,13 @@ func (s *System) PutSubject(sub profile.Subject) error {
 
 // RemoveSubject deletes a user profile.
 func (s *System) RemoveSubject(id profile.SubjectID) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.removeSubject(id)
+}
+
+func (s *System) removeSubject(id profile.SubjectID) error {
 	s.mu.Lock()
 	if err := s.profiles.Remove(id); err != nil {
 		s.mu.Unlock()
@@ -568,6 +639,13 @@ func (s *System) Subjects() []profile.SubjectID {
 // AddAuthorization validates that the location is a primitive location of
 // the site graph, stores the authorization, and logs it.
 func (s *System) AddAuthorization(a authz.Authorization) (authz.Authorization, error) {
+	if s.readOnly {
+		return authz.Authorization{}, ErrReadOnly
+	}
+	return s.addAuthorization(a)
+}
+
+func (s *System) addAuthorization(a authz.Authorization) (authz.Authorization, error) {
 	s.mu.Lock()
 	if _, ok := s.flat.Index[a.Location]; !ok {
 		s.mu.Unlock()
@@ -590,6 +668,13 @@ func (s *System) AddAuthorization(a authz.Authorization) (authz.Authorization, e
 // RevokeAuthorization revokes an authorization and everything derived
 // from it, returning how many were removed.
 func (s *System) RevokeAuthorization(id authz.ID) (int, error) {
+	if s.readOnly {
+		return 0, ErrReadOnly
+	}
+	return s.revokeAuthorization(id)
+}
+
+func (s *System) revokeAuthorization(id authz.ID) (int, error) {
 	s.mu.Lock()
 	n, err := s.ruleEng.RevokeBase(id)
 	if err != nil {
@@ -623,6 +708,13 @@ func (s *System) Conflicts() []authz.Conflict {
 // administrator-defined authorizations (the paper's two §4 options:
 // combining, or discarding one). The resolution is durably logged.
 func (s *System) ResolveConflicts(strategy authz.Strategy) ([]authz.Resolution, error) {
+	if s.readOnly {
+		return nil, ErrReadOnly
+	}
+	return s.resolveConflicts(strategy)
+}
+
+func (s *System) resolveConflicts(strategy authz.Strategy) ([]authz.Resolution, error) {
 	s.mu.Lock()
 	res, err := s.store.ResolveConflicts(strategy)
 	if err != nil || len(res) == 0 {
@@ -639,6 +731,13 @@ func (s *System) ResolveConflicts(strategy authz.Strategy) ([]authz.Resolution, 
 
 // AddRule compiles, registers and immediately derives the rule.
 func (s *System) AddRule(spec rules.Spec) (rules.Report, error) {
+	if s.readOnly {
+		return rules.Report{}, ErrReadOnly
+	}
+	return s.addRule(spec)
+}
+
+func (s *System) addRule(spec rules.Spec) (rules.Report, error) {
 	s.mu.Lock()
 	r, err := spec.Compile()
 	if err != nil {
@@ -658,6 +757,13 @@ func (s *System) AddRule(spec rules.Spec) (rules.Report, error) {
 
 // RemoveRule deletes a rule and revokes its derivations.
 func (s *System) RemoveRule(name string) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.removeRule(name)
+}
+
+func (s *System) removeRule(name string) error {
 	s.mu.Lock()
 	if err := s.ruleEng.RemoveRule(name); err != nil {
 		s.mu.Unlock()
@@ -702,6 +808,13 @@ func (s *System) Query(t interval.Time, sub profile.SubjectID, l graph.ID) enfor
 
 // Enter records subject sub entering location l at time t.
 func (s *System) Enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enforce.Decision, error) {
+	if s.readOnly {
+		return enforce.Decision{}, ErrReadOnly
+	}
+	return s.enter(t, sub, l)
+}
+
+func (s *System) enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enforce.Decision, error) {
 	s.mu.Lock()
 	d, err := s.engine.Enter(t, sub, l)
 	if err != nil {
@@ -715,6 +828,13 @@ func (s *System) Enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enfo
 
 // Leave records subject sub leaving its current location at time t.
 func (s *System) Leave(t interval.Time, sub profile.SubjectID) error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	return s.leave(t, sub)
+}
+
+func (s *System) leave(t interval.Time, sub profile.SubjectID) error {
 	s.mu.Lock()
 	if err := s.engine.Leave(t, sub); err != nil {
 		s.mu.Unlock()
@@ -727,6 +847,13 @@ func (s *System) Leave(t interval.Time, sub profile.SubjectID) error {
 
 // Tick advances the clock and runs the overstay monitor.
 func (s *System) Tick(t interval.Time) ([]audit.Alert, error) {
+	if s.readOnly {
+		return nil, ErrReadOnly
+	}
+	return s.tick(t)
+}
+
+func (s *System) tick(t interval.Time) ([]audit.Alert, error) {
 	s.mu.Lock()
 	raised, err := s.engine.Tick(t)
 	if err != nil {
@@ -767,6 +894,9 @@ type ObserveOutcome struct {
 // same critical section that applies the movement, so concurrent
 // positioning feeds cannot derive an Enter/Leave from a stale location.
 func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geometry.Point) (enforce.Decision, bool, error) {
+	if s.readOnly {
+		return enforce.Decision{}, false, ErrReadOnly
+	}
 	if s.resolver == nil {
 		return enforce.Decision{}, false, errors.New("core: no boundaries configured")
 	}
@@ -794,6 +924,9 @@ func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geome
 // durability error: if non-nil, the in-memory state includes the batch
 // but the WAL group was not acknowledged.
 func (s *System) ObserveBatch(readings []Reading) ([]ObserveOutcome, error) {
+	if s.readOnly {
+		return nil, ErrReadOnly
+	}
 	if s.resolver == nil {
 		return nil, errors.New("core: no boundaries configured")
 	}
@@ -1007,19 +1140,45 @@ func (s *System) Clock() interval.Time { return s.engine.Now() }
 // Snapshot persists the full state and compacts the WAL. It requires
 // durability to be enabled.
 func (s *System) Snapshot() error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.snaps == nil || s.wal == nil {
 		return errors.New("core: durability not enabled")
 	}
-	// Drain the group committer first: the snapshot state already
-	// contains every enqueued mutation, so any record still in the queue
-	// must reach the WAL before Truncate or it would be replayed on top
-	// of a snapshot that includes it. The write lock we hold keeps new
-	// records from being enqueued behind the flush.
+	snap, err := s.snapshotStateLocked()
+	if err != nil {
+		return err
+	}
+	// Number the snapshot with the CUMULATIVE record count, not the
+	// current WAL length: the WAL counter resets on every Truncate, so
+	// per-compaction numbering would eventually go backwards and make
+	// SnapshotStore.Latest pick a stale snapshot. The cumulative base is
+	// also the global sequence the replication stream resumes from.
+	newBase := s.baseSeq.Load() + s.wal.Len()
+	snap.Seq = newBase
+	if err := s.snaps.Save(newBase, snap, 2); err != nil {
+		return err
+	}
+	if err := s.wal.Truncate(); err != nil {
+		return err
+	}
+	s.baseSeq.Store(newBase)
+	return nil
+}
+
+// snapshotStateLocked captures the full state as one consistent cut.
+// Callers hold the write lock. It drains the group committer first: the
+// captured state already contains every enqueued mutation, so any record
+// still in the queue must reach the WAL before the capture's sequence
+// number is read (and, for Snapshot, before Truncate). The write lock
+// keeps new records from being enqueued behind the flush.
+func (s *System) snapshotStateLocked() (snapshotState, error) {
 	if s.committer != nil {
 		if err := s.committer.Flush(); err != nil {
-			return err
+			return snapshotState{}, err
 		}
 	}
 	auths, next := s.store.Snapshot()
@@ -1034,12 +1193,78 @@ func (s *System) Snapshot() error {
 	for _, r := range s.ruleEng.Rules() {
 		spec, ok := rules.SpecOf(r)
 		if !ok {
-			return fmt.Errorf("core: rule %q uses customized operators and cannot be persisted", r.Name)
+			return snapshotState{}, fmt.Errorf("core: rule %q uses customized operators and cannot be persisted", r.Name)
 		}
 		snap.Rules = append(snap.Rules, spec)
 	}
-	if err := s.snaps.Save(s.wal.Len(), snap, 2); err != nil {
-		return err
+	return snap, nil
+}
+
+// --- Replication (primary side) ----------------------------------------
+
+// ReplicationInfo describes the primary's position in the global record
+// sequence: BaseSeq is the sequence of the first record in the current
+// WAL (everything before it is compacted into the latest snapshot), and
+// TotalSeq the sequence after the last FSYNCED record — the stream ships
+// only durable records, so a primary crash can never retract a sequence
+// number a follower has already applied.
+type ReplicationInfo struct {
+	Durable  bool   `json:"durable"`
+	BaseSeq  uint64 `json:"base_seq"`
+	TotalSeq uint64 `json:"total_seq"`
+}
+
+// ReplicationInfo reports the log-shipping coordinates. The read lock
+// makes the (BaseSeq, TotalSeq) pair a consistent cut against a
+// concurrent Snapshot compaction — and because Snapshot truncates the
+// WAL and publishes the new base inside one write critical section, a
+// reader that loads an unchanged BaseSeq AFTER reading log bytes knows
+// no compaction preceded those reads (the stream handlers rely on this
+// to validate each batch before shipping it).
+func (s *System) ReplicationInfo() ReplicationInfo {
+	if s.wal == nil {
+		return ReplicationInfo{}
 	}
-	return s.wal.Truncate()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	base := s.baseSeq.Load()
+	return ReplicationInfo{Durable: true, BaseSeq: base, TotalSeq: base + s.wal.DurableLen()}
+}
+
+// WALPath returns the live log's file path (empty without durability) —
+// what a same-host follower or the replication stream endpoint tails.
+func (s *System) WALPath() string { return s.walPath }
+
+// CaptureBootstrap captures the full state a follower needs to start
+// replicating: the marshaled snapshot state, the global sequence number
+// the follower should tail from, and the primary's derivation mode
+// (derived authorizations are not logged, so the follower must re-derive
+// them exactly like the primary). The capture flushes the group
+// committer, so every acknowledged mutation is either inside the state
+// or after seq in the WAL — never both, never neither.
+func (s *System) CaptureBootstrap() (seq uint64, autoDerive bool, state json.RawMessage, err error) {
+	if s.wal == nil {
+		return 0, false, nil, errors.New("core: replication requires durability (set Config.DataDir)")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, err := s.snapshotStateLocked()
+	if err != nil {
+		return 0, false, nil, err
+	}
+	// The captured state includes every applied mutation, so the capture
+	// sequence must count all of them — and they must be durable, or a
+	// crash could retract records the bootstrap already claims. A
+	// relaxed fsync cadence (SyncEvery > 1) can leave an unsynced tail;
+	// sync it now.
+	if err := s.wal.Sync(); err != nil {
+		return 0, false, nil, err
+	}
+	seq = s.baseSeq.Load() + s.wal.DurableLen()
+	snap.Seq = seq
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return 0, false, nil, err
+	}
+	return seq, s.autoDerive, data, nil
 }

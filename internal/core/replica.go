@@ -1,0 +1,367 @@
+// Read-only replica mode: a follower System whose only mutation path is
+// the primary's WAL, shipped record by record and applied in log order.
+//
+// The design is classic primary/follower log shipping: one durable log,
+// deterministic replay. A follower bootstraps from a snapshot of the
+// primary's state (tagged with the global sequence number of the next
+// WAL record), then tails the log from that sequence, applying each
+// record through the same dispatch that crash recovery uses. Every
+// applied record publishes a fresh readView, so ALL existing lock-free
+// query paths work unchanged on the follower — a replica serves exactly
+// the snapshots the primary would have served at the same sequence
+// number. Public mutators return ErrReadOnly; consistency is therefore
+// "a prefix of the primary's history, with bounded staleness" (see
+// DESIGN.md D11).
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/storage"
+)
+
+// ErrReadOnly is returned by every public mutator of a replica System.
+// The only mutation path on a follower is Replica.ApplyRecord.
+var ErrReadOnly = errors.New("core: read-only replica (mutate on the primary)")
+
+// ErrBootstrapRequired reports that the primary compacted its WAL past
+// the replica's applied position: the stream cannot be resumed, and the
+// follower must be rebuilt from a fresh bootstrap (in the daemon:
+// restart the process).
+var ErrBootstrapRequired = errors.New("core: replica fell behind a WAL compaction; fresh bootstrap required")
+
+// ReplicaSource is where a follower pulls its state and stream from. The
+// wire package adapts the HTTP client to it; LocalSource adapts a
+// same-process primary (tests, tools).
+type ReplicaSource interface {
+	// Bootstrap returns the primary's full state (the marshaled snapshot
+	// a replica System is built from), the global sequence number the
+	// follower should tail from, and the primary's rule-derivation mode.
+	Bootstrap() (seq uint64, autoDerive bool, state json.RawMessage, err error)
+	// Tail streams records with global sequence numbers >= from, in
+	// order, calling apply for each. It returns nil on a benign stream
+	// end (the follower reconnects and resumes from its applied
+	// sequence), storage.ErrSeqGap when from has been compacted away,
+	// ctx.Err() on cancellation, and any error apply returned.
+	Tail(ctx context.Context, from uint64, apply func(storage.Record) error) error
+	// PrimarySeq reports the primary's current TotalSeq, for lag.
+	PrimarySeq(ctx context.Context) (uint64, error)
+}
+
+// Replica is a read-only follower: a System fed exclusively by the
+// primary's WAL stream. Queries on System() are served from published
+// readViews exactly as on the primary; ApplyRecord is the apply loop's
+// single entry point.
+type Replica struct {
+	sys *System
+	src ReplicaSource
+
+	appliedSeq atomic.Uint64
+	primarySeq atomic.Uint64
+	connected  atomic.Bool
+	applyErr   atomic.Pointer[error]
+}
+
+// NewReplica bootstraps a follower from src: it fetches the primary's
+// state, builds a read-only System from it, and positions the applied
+// sequence at the bootstrap point. Call Run to start tailing.
+func NewReplica(src ReplicaSource) (*Replica, error) {
+	seq, autoDerive, state, err := src.Bootstrap()
+	if err != nil {
+		return nil, fmt.Errorf("core: replica bootstrap: %w", err)
+	}
+	sys, err := openReplicaSystem(state, autoDerive)
+	if err != nil {
+		return nil, err
+	}
+	r := &Replica{sys: sys, src: src}
+	r.appliedSeq.Store(seq)
+	r.primarySeq.Store(seq)
+	return r, nil
+}
+
+// openReplicaSystem builds the follower System from a marshaled
+// bootstrap state: same restore path as crash recovery, but with no
+// DataDir (the primary's WAL is the only log) and the read-only gate on.
+func openReplicaSystem(state json.RawMessage, autoDerive bool) (*System, error) {
+	var snap snapshotState
+	if err := json.Unmarshal(state, &snap); err != nil {
+		return nil, fmt.Errorf("core: decode bootstrap state: %w", err)
+	}
+	s := newBareSystem()
+	s.readOnly = true
+	g, err := graph.FromSpec(snap.Graph)
+	if err != nil {
+		return nil, fmt.Errorf("core: bootstrap graph: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	s.root = g
+	s.flat = graph.Expand(g)
+	if err := s.initEngines(autoDerive); err != nil {
+		return nil, err
+	}
+	if err := s.restoreSnapshot(snap); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.publishLocked()
+	s.mu.Unlock()
+	s.startWarm(false, 0)
+	return s, nil
+}
+
+// System returns the query facade. All pure queries (Request, Query,
+// Inaccessible*, Accessible, WhoCanAccess, presence, history, ...) work
+// exactly as on a primary; mutators return ErrReadOnly.
+func (r *Replica) System() *System { return r.sys }
+
+// AppliedSeq is the global sequence number of the next record to apply:
+// every record before it is reflected in the published readView.
+func (r *Replica) AppliedSeq() uint64 { return r.appliedSeq.Load() }
+
+// ApplyRecord applies one shipped WAL record and publishes the
+// post-apply readView. Records MUST be applied in global sequence order
+// — the caller (the Run loop, or a test harness) owns that ordering. An
+// application error means the follower has diverged from the primary's
+// deterministic replay; it is latched and terminal.
+func (r *Replica) ApplyRecord(rec storage.Record) error {
+	if err := r.sys.apply(rec); err != nil {
+		err = fmt.Errorf("core: replica apply (seq %d, %s): %w", r.appliedSeq.Load(), rec.Type, err)
+		r.applyErr.Store(&err)
+		return err
+	}
+	seq := r.appliedSeq.Add(1)
+	storeMax(&r.primarySeq, seq)
+	return nil
+}
+
+// Err returns the latched apply divergence, if any.
+func (r *Replica) Err() error {
+	if p := r.applyErr.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// ReplicaStatus is the follower's replication position for /v1/stats.
+type ReplicaStatus struct {
+	// AppliedSeq is the next global sequence to apply; PrimarySeq the
+	// primary's TotalSeq as of the last observation; Lag the difference.
+	AppliedSeq uint64 `json:"applied_seq"`
+	PrimarySeq uint64 `json:"primary_seq"`
+	Lag        uint64 `json:"lag"`
+	// Connected reports whether the tail loop currently holds a stream.
+	Connected bool `json:"connected"`
+}
+
+// Status reports the replication position. When ctx is non-nil it
+// refreshes PrimarySeq from the source best-effort (errors leave the
+// last observation in place), so lag is exact when the primary is
+// reachable and bounded-stale otherwise. Pass nil ctx for a purely
+// local answer (no round-trip to the primary) — served from the last
+// observation maintained by the apply loop.
+func (r *Replica) Status(ctx context.Context) ReplicaStatus {
+	if ctx != nil && r.src != nil {
+		if seq, err := r.src.PrimarySeq(ctx); err == nil {
+			storeMax(&r.primarySeq, seq)
+		}
+	}
+	applied := r.appliedSeq.Load()
+	primary := r.primarySeq.Load()
+	lag := uint64(0)
+	if primary > applied {
+		lag = primary - applied
+	}
+	return ReplicaStatus{
+		AppliedSeq: applied,
+		PrimarySeq: primary,
+		Lag:        lag,
+		Connected:  r.connected.Load(),
+	}
+}
+
+// RunConfig tunes the tail loop.
+type RunConfig struct {
+	// RetryMin/RetryMax bound the reconnect backoff (defaults 100ms/2s).
+	RetryMin, RetryMax time.Duration
+}
+
+// Run is the follower apply loop: tail from the applied sequence, apply
+// every record, reconnect with backoff on benign stream ends. It returns
+// nil when ctx is canceled, ErrBootstrapRequired when the primary
+// compacted past our position, and the apply error on divergence.
+func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
+	retryMin, retryMax := 100*time.Millisecond, 2*time.Second
+	if len(cfg) > 0 {
+		if cfg[0].RetryMin > 0 {
+			retryMin = cfg[0].RetryMin
+		}
+		if cfg[0].RetryMax > 0 {
+			retryMax = cfg[0].RetryMax
+		}
+	}
+	backoff := retryMin
+	for {
+		// Observe the primary's position with a bounded wait: an
+		// unreachable primary must cost one timeout, not an unbounded
+		// dial hang, before the reconnect backoff takes over.
+		seqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		if seq, err := r.src.PrimarySeq(seqCtx); err == nil {
+			storeMax(&r.primarySeq, seq)
+		}
+		cancel()
+		r.connected.Store(true)
+		err := r.src.Tail(ctx, r.appliedSeq.Load(), r.ApplyRecord)
+		r.connected.Store(false)
+		switch {
+		case ctx.Err() != nil:
+			return nil
+		case errors.Is(err, storage.ErrSeqGap):
+			return fmt.Errorf("%w (applied %d)", ErrBootstrapRequired, r.appliedSeq.Load())
+		case r.Err() != nil:
+			return r.Err()
+		}
+		if err == nil {
+			// A clean stream end means the primary rotated or closed the
+			// stream; resume promptly.
+			backoff = retryMin
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > retryMax {
+			backoff = retryMax
+		}
+	}
+}
+
+// Close shuts the follower System down.
+func (r *Replica) Close() error { return r.sys.Close() }
+
+// storeMax advances a monotonic atomic to at least v.
+func storeMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// --- Same-process source -----------------------------------------------
+
+// LocalSource feeds a follower from a primary living in the same
+// process, by tailing its WAL file directly — the test harness's and
+// tooling's source. Poll is the idle polling cadence (default 2ms).
+type LocalSource struct {
+	Primary *System
+	Poll    time.Duration
+}
+
+// Bootstrap captures the primary's live state.
+func (l *LocalSource) Bootstrap() (uint64, bool, json.RawMessage, error) {
+	return l.Primary.CaptureBootstrap()
+}
+
+// PrimarySeq reports the primary's durable record count.
+func (l *LocalSource) PrimarySeq(context.Context) (uint64, error) {
+	info := l.Primary.ReplicationInfo()
+	if !info.Durable {
+		return 0, errors.New("core: primary is not durable")
+	}
+	return info.TotalSeq, nil
+}
+
+// Tail follows the primary's WAL file from global sequence `from`. On a
+// compaction underneath the tailer it returns nil — the reconnect
+// re-resolves the base and detects a real gap, exactly like the HTTP
+// stream ending. Like the HTTP stream handler, it ships only durable
+// (fsynced) records, and it validates after reading a batch — before
+// applying any of it — that no compaction raced the reads: Truncate
+// reuses the inode and frames carry no sequence number, so unvalidated
+// reads could hand back new-epoch bytes under old-epoch coordinates.
+func (l *LocalSource) Tail(ctx context.Context, from uint64, apply func(storage.Record) error) error {
+	info := l.Primary.ReplicationInfo()
+	if !info.Durable {
+		return errors.New("core: primary is not durable")
+	}
+	if from < info.BaseSeq || from > info.TotalSeq {
+		return storage.ErrSeqGap
+	}
+	t, err := storage.OpenTailer(l.Primary.WALPath())
+	if err != nil {
+		return err
+	}
+	defer t.Close()
+	poll := l.Poll
+	if poll <= 0 {
+		poll = 2 * time.Millisecond
+	}
+	skip := from - info.BaseSeq
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		cur := l.Primary.ReplicationInfo()
+		if cur.BaseSeq != info.BaseSeq {
+			return nil // compacted underneath us: reconnect and re-resolve
+		}
+		limit := cur.TotalSeq - info.BaseSeq
+		for skip > 0 && t.Seq() < limit {
+			want := skip
+			if rest := limit - t.Seq(); rest < want {
+				want = rest
+			}
+			n, err := t.Skip(want)
+			skip -= n
+			if err != nil || n == 0 {
+				if errors.Is(err, storage.ErrWALReset) {
+					return nil
+				}
+				break
+			}
+		}
+		var batch []storage.Record
+		if skip == 0 {
+			for t.Seq() < limit {
+				rec, err := t.Next()
+				if errors.Is(err, storage.ErrNoRecord) {
+					break
+				}
+				if errors.Is(err, storage.ErrWALReset) {
+					return nil
+				}
+				if err != nil {
+					return err
+				}
+				batch = append(batch, rec)
+			}
+		}
+		if cur2 := l.Primary.ReplicationInfo(); cur2.BaseSeq != info.BaseSeq {
+			return nil // reads raced a compaction: discard unapplied
+		}
+		for _, rec := range batch {
+			if err := apply(rec); err != nil {
+				return err
+			}
+		}
+		if len(batch) > 0 {
+			continue // drain the backlog without sleeping
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package replicatest
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// BenchmarkReplicaApply measures the follower's apply throughput on a
+// movement-dominated stream (the high-rate shape: positioning batches
+// turned into move.enter records): records are pre-generated on a
+// durable primary, then pumped through Replica.ApplyRecord one by one,
+// exactly as the tail loop does. ns/op is the per-record apply cost —
+// its inverse is the maximum primary write rate a single follower can
+// sustain with bounded lag.
+func BenchmarkReplicaApply(b *testing.B) {
+	g, bounds, centers := GridSite(b, 3)
+	p, err := core.Open(core.Config{Graph: g, Boundaries: bounds, DataDir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+
+	rep, err := core.NewReplica(&core.LocalSource{Primary: p})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rep.Close()
+
+	// Generate exactly b.N movement records: one walker bouncing between
+	// two rooms yields one move.enter per reading.
+	const batch = 512
+	for produced := 0; produced < b.N; {
+		n := b.N - produced
+		if n > batch {
+			n = batch
+		}
+		readings := make([]core.Reading, n)
+		for j := range readings {
+			readings[j] = core.Reading{Time: 2, Subject: "walker", At: centers[(produced+j)%2]}
+		}
+		if _, err := p.ObserveBatch(readings); err != nil {
+			b.Fatal(err)
+		}
+		produced += n
+	}
+	if got := p.ReplicationInfo().TotalSeq; got != uint64(b.N) {
+		b.Fatalf("generated %d records, want %d", got, b.N)
+	}
+
+	tl, err := storage.OpenTailer(p.WALPath())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer tl.Close()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := tl.Next()
+		if err != nil {
+			if errors.Is(err, storage.ErrNoRecord) {
+				b.Fatalf("stream dry at %d of %d", i, b.N)
+			}
+			b.Fatal(err)
+		}
+		if err := rep.ApplyRecord(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	elapsed := b.Elapsed().Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(b.N)/elapsed, "records/sec")
+	}
+	if rep.AppliedSeq() != uint64(b.N) {
+		b.Fatalf("applied %d of %d", rep.AppliedSeq(), b.N)
+	}
+}

@@ -1,0 +1,208 @@
+// Replication endpoints: the primary side of the log-shipping protocol.
+//
+//	GET /v1/replication/snapshot      bootstrap state + sequence
+//	GET /v1/replication/wal?from=N    long-lived frame stream
+//	GET /v1/replication/status        position (primary or replica role)
+//
+// The WAL stream is a chunked, indefinitely-long response of
+// length-prefixed frames in exactly the log's on-disk layout. The
+// handler tails the live log file, flushing whatever is durable and then
+// polling for growth; it ends the stream (cleanly) when the log is
+// compacted underneath it, and the follower reconnects and re-resolves
+// its position — a follower that fell behind the compaction gets HTTP
+// 410 and must re-bootstrap.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/storage"
+	"repro/internal/wire"
+)
+
+// defaultWALPoll is the stream handler's idle polling cadence.
+const defaultWALPoll = 25 * time.Millisecond
+
+func (s *Server) replicationSnapshot(w http.ResponseWriter, _ *http.Request) {
+	seq, autoDerive, state, err := s.sys.CaptureBootstrap()
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.BootstrapResponse{Seq: seq, AutoDerive: autoDerive, State: state})
+}
+
+func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
+	// The dedicated status endpoint refreshes lag against the primary,
+	// but with a hard bound: a follower must answer about itself even
+	// when its primary is unreachable.
+	ctx, cancel := context.WithTimeout(r.Context(), 500*time.Millisecond)
+	defer cancel()
+	st := s.replicationWireStatus(ctx)
+	if st == nil {
+		writeErr(w, http.StatusBadRequest, errors.New("replication requires durability (start with -data)"))
+		return
+	}
+	writeJSON(w, http.StatusOK, *st)
+}
+
+// replicationWireStatus builds the node's wire-level replication
+// status: replica role when this server fronts a follower, primary role
+// when the system is durable, nil otherwise. A nil ctx skips the
+// primary-seq refresh (used by /v1/stats, which must never block on a
+// remote primary).
+func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationStatus {
+	if s.rep != nil {
+		st := s.rep.Status(ctx)
+		return &wire.ReplicationStatus{
+			Role:       "replica",
+			AppliedSeq: st.AppliedSeq,
+			PrimarySeq: st.PrimarySeq,
+			Lag:        st.Lag,
+			Connected:  st.Connected,
+		}
+	}
+	info := s.sys.ReplicationInfo()
+	if !info.Durable {
+		return nil
+	}
+	return &wire.ReplicationStatus{
+		Role:     "primary",
+		Durable:  true,
+		BaseSeq:  info.BaseSeq,
+		TotalSeq: info.TotalSeq,
+	}
+}
+
+func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
+	info := s.sys.ReplicationInfo()
+	if !info.Durable {
+		writeErr(w, http.StatusBadRequest, errors.New("replication requires durability (start with -data)"))
+		return
+	}
+	from := uint64(0)
+	if v := r.URL.Query().Get("from"); v != "" {
+		var err error
+		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from"))
+			return
+		}
+	}
+	if from < info.BaseSeq {
+		// The requested position is inside the latest snapshot: the
+		// follower fell behind a compaction and must re-bootstrap.
+		writeErr(w, http.StatusGone, fmt.Errorf("seq %d compacted into snapshot (base %d): bootstrap again", from, info.BaseSeq))
+		return
+	}
+	if from > info.TotalSeq {
+		// The follower claims records the primary does not (durably)
+		// have — a diverged follower (e.g. it applied records a primary
+		// crash retracted). Resuming would splice histories; rebuild.
+		writeErr(w, http.StatusGone, fmt.Errorf("seq %d is ahead of the primary's durable history (%d): bootstrap again", from, info.TotalSeq))
+		return
+	}
+
+	t, err := storage.OpenTailer(s.sys.WALPath())
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	defer t.Close()
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Replication-From", strconv.FormatUint(from, 10))
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush() // commit the headers so the follower knows it's live
+	}
+
+	poll := s.walPoll
+	if poll <= 0 {
+		poll = defaultWALPoll
+	}
+	ctx := r.Context()
+	skip := from - info.BaseSeq
+	// Each round: read a batch of frames from the file, then VALIDATE
+	// that the base did not move before shipping a single byte of it.
+	// WAL.Truncate reuses the inode and frames carry no sequence number,
+	// so a compaction racing the reads could otherwise hand us
+	// new-epoch bytes under old-epoch coordinates. Snapshot truncates
+	// and publishes the new base inside one write critical section, and
+	// ReplicationInfo reads under the read lock — so an unchanged
+	// BaseSeq observed AFTER the reads proves no truncation preceded
+	// them (see ReplicationInfo's doc comment).
+	for {
+		cur := s.sys.ReplicationInfo()
+		if cur.BaseSeq != info.BaseSeq {
+			// Compacted underneath us: everything already streamed is a
+			// correct prefix. End cleanly; the follower reconnects, and
+			// its next `from` is either >= the new base (resume) or
+			// behind it (410, re-bootstrap).
+			return
+		}
+		// Ship only durable records: limit is the fsynced boundary as of
+		// this round.
+		limit := cur.TotalSeq - info.BaseSeq
+		for skip > 0 && t.Seq() < limit {
+			n, err := t.Skip(minU64(skip, limit-t.Seq()))
+			skip -= n
+			if err != nil || n == 0 {
+				if err != nil && !errors.Is(err, storage.ErrNoRecord) {
+					return
+				}
+				break
+			}
+		}
+		var batch [][]byte
+		var batchBytes int
+		if skip == 0 {
+			for t.Seq() < limit && batchBytes < maxStreamBatchBytes {
+				body, err := t.NextBody()
+				if errors.Is(err, storage.ErrNoRecord) {
+					break
+				}
+				if err != nil {
+					return // reset or I/O error: follower reconnects
+				}
+				batch = append(batch, body)
+				batchBytes += len(body)
+			}
+		}
+		if cur2 := s.sys.ReplicationInfo(); cur2.BaseSeq != info.BaseSeq {
+			return // reads raced a compaction: discard the batch unsent
+		}
+		for _, body := range batch {
+			if _, err := w.Write(storage.Frame(body)); err != nil {
+				return // client went away
+			}
+		}
+		if len(batch) > 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue // drain the backlog without sleeping
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(poll):
+		}
+	}
+}
+
+// maxStreamBatchBytes bounds how many frame bytes one validation round
+// holds in memory before shipping.
+const maxStreamBatchBytes = 4 << 20
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

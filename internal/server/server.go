@@ -26,12 +26,29 @@ type Server struct {
 	sys     *core.System
 	mux     *http.ServeMux
 	metrics *metrics
+	// rep is set when this server fronts a read-only follower: queries
+	// are served from the replica's published views, mutations return
+	// 403 (core.ErrReadOnly), and /v1/replication/status reports the
+	// replica role.
+	rep *core.Replica
+	// walPoll overrides the replication stream's idle polling cadence
+	// (tests set it low; 0 selects defaultWALPoll).
+	walPoll time.Duration
 }
 
 // New builds the handler set over sys.
 func New(sys *core.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), metrics: newMetrics()}
 	s.routes()
+	return s
+}
+
+// NewReplica builds the handler set over a read-only follower: the full
+// query surface served from rep's System, with mutations rejected by
+// the core's ErrReadOnly gate.
+func NewReplica(rep *core.Replica) *Server {
+	s := New(rep.System())
+	s.rep = rep
 	return s
 }
 
@@ -81,6 +98,12 @@ func (s *Server) routes() {
 	s.handle("GET /v1/graph", s.graphSpec)
 	s.handle("GET /v1/stats", s.stats)
 	s.handle("POST /v1/snapshot", s.snapshot)
+
+	s.handle("GET /v1/replication/snapshot", s.replicationSnapshot)
+	s.handle("GET /v1/replication/status", s.replicationStatus)
+	// The WAL stream is long-lived; registering it unwrapped keeps one
+	// endless request from skewing the latency histograms.
+	s.mux.HandleFunc("GET /v1/replication/wal", s.replicationWAL)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -109,7 +132,7 @@ func (s *Server) putSubject(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.PutSubject(sub); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, sub)
@@ -144,7 +167,7 @@ func (s *Server) addAuthorization(w http.ResponseWriter, r *http.Request) {
 	a.ID = 0
 	stored, err := s.sys.AddAuthorization(a)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, stored)
@@ -191,7 +214,7 @@ func (s *Server) addRule(w http.ResponseWriter, r *http.Request) {
 	}
 	rep, err := s.sys.AddRule(spec)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.RuleResponse{Derived: rep.Derived, Skips: rep.Skips})
@@ -236,7 +259,7 @@ func (s *Server) enter(w http.ResponseWriter, r *http.Request) {
 	}
 	d, err := s.sys.Enter(m.Time, m.Subject, m.Location)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.DecisionResponse{
@@ -250,7 +273,7 @@ func (s *Server) leave(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := s.sys.Leave(m.Time, m.Subject); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -263,7 +286,7 @@ func (s *Server) tick(w http.ResponseWriter, r *http.Request) {
 	}
 	raised, err := s.sys.Tick(m.Time)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, wire.TickResponse{Raised: raised})
@@ -295,7 +318,7 @@ func (s *Server) observeBatch(w http.ResponseWriter, r *http.Request) {
 		// not acknowledged — 500, so clients do not re-submit and
 		// double-apply every reading).
 		if outcomes == nil {
-			writeErr(w, http.StatusBadRequest, err)
+			writeErr(w, statusFor(err), err)
 		} else {
 			writeErr(w, http.StatusInternalServerError, err)
 		}
@@ -407,7 +430,7 @@ func (s *Server) resolveConflicts(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := s.sys.ResolveConflicts(strategy)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	if res == nil {
@@ -459,13 +482,14 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 			Publishes:  vs.Publishes,
 			AuthShards: vs.AuthShards,
 		},
-		Endpoints: s.metrics.snapshot(),
+		Endpoints:   s.metrics.snapshot(),
+		Replication: s.replicationWireStatus(nil),
 	})
 }
 
 func (s *Server) snapshot(w http.ResponseWriter, _ *http.Request) {
 	if err := s.sys.Snapshot(); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeErr(w, statusFor(err), err)
 		return
 	}
 	writeJSON(w, http.StatusOK, struct{}{})
@@ -474,6 +498,9 @@ func (s *Server) snapshot(w http.ResponseWriter, _ *http.Request) {
 func statusFor(err error) int {
 	if errors.Is(err, authz.ErrNotFound) || errors.Is(err, profile.ErrNotFound) {
 		return http.StatusNotFound
+	}
+	if errors.Is(err, core.ErrReadOnly) {
+		return http.StatusForbidden
 	}
 	return http.StatusBadRequest
 }

@@ -39,8 +39,8 @@ type Record struct {
 // body, body bytes.
 const frameHeader = 8
 
-// maxFrameSize guards recovery against garbage length prefixes.
-const maxFrameSize = 16 << 20
+// MaxFrameSize guards recovery against garbage length prefixes.
+const MaxFrameSize = 16 << 20
 
 // ErrCorrupt reports a framing or checksum error in the middle of a log
 // (as opposed to a torn tail, which is silently truncated).
@@ -104,7 +104,7 @@ func scanLog(f *os.File) (end int64, n uint64, err error) {
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length == 0 || length > maxFrameSize {
+		if length == 0 || length > MaxFrameSize {
 			return off, n, nil // garbage length: treat as torn tail
 		}
 		body := make([]byte, length)
@@ -129,7 +129,7 @@ func encodeFrame(rec Record) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: encode record: %w", err)
 	}
-	if len(body) > maxFrameSize {
+	if len(body) > MaxFrameSize {
 		return nil, fmt.Errorf("storage: record of %d bytes exceeds frame limit", len(body))
 	}
 	return body, nil
@@ -224,6 +224,20 @@ func (w *WAL) Len() uint64 {
 	return w.seq
 }
 
+// DurableLen returns the number of records known to be fsynced. It is
+// the replication stream's upper bound: a record that is in the file
+// but not yet synced must not be shipped, because a crash could retract
+// it and the primary would then rewrite that sequence number with a
+// different record — a follower that applied the retracted one would
+// diverge undetectably. Conservative by construction: records appended
+// since the last explicit fsync are not counted even if the OS has
+// already flushed them.
+func (w *WAL) DurableLen() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq - uint64(w.pending)
+}
+
 // Close flushes and closes the log.
 func (w *WAL) Close() error {
 	w.mu.Lock()
@@ -238,41 +252,61 @@ func (w *WAL) Close() error {
 // Replay reads every intact record from the log at path in append order.
 // It opens the file read-only and does not truncate.
 func Replay(path string, fn func(Record) error) (uint64, error) {
+	st, err := ReplayTail(path, fn)
+	return st.NextSeq, err
+}
+
+// ReplayTail is Replay, but it additionally reports where the scan
+// stopped: the byte offset after the last intact frame and whether a
+// trailing partial frame follows it. A tailer handed TailState.Offset
+// can re-read the partial frame once the writer finishes it, instead of
+// the offset being silently swallowed (the pre-replication behavior).
+func ReplayTail(path string, fn func(Record) error) (TailState, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		if errors.Is(err, os.ErrNotExist) {
-			return 0, nil
+			return TailState{}, nil
 		}
-		return 0, err
+		return TailState{}, err
 	}
 	defer f.Close()
+	size := int64(0)
+	if fi, err := f.Stat(); err == nil {
+		size = fi.Size()
+	}
 	r := bufio.NewReader(f)
-	var n uint64
+	var st TailState
+	stop := func() TailState {
+		st.PartialBytes = size - st.Offset
+		st.Partial = st.PartialBytes > 0
+		return st
+	}
 	var hdr [frameHeader]byte
 	for {
 		if _, err := io.ReadFull(r, hdr[:]); err != nil {
-			return n, nil
+			return stop(), nil
 		}
 		length := binary.LittleEndian.Uint32(hdr[0:4])
 		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length == 0 || length > maxFrameSize {
-			return n, nil
+		if length == 0 || length > MaxFrameSize {
+			return stop(), nil
 		}
 		body := make([]byte, length)
 		if _, err := io.ReadFull(r, body); err != nil {
-			return n, nil
+			return stop(), nil
 		}
 		if crc32.ChecksumIEEE(body) != sum {
-			return n, nil
+			return stop(), nil
 		}
 		var rec Record
 		if err := json.Unmarshal(body, &rec); err != nil {
-			return n, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			return stop(), fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		if err := fn(rec); err != nil {
-			return n, err
+			return stop(), err
 		}
-		n++
+		st.NextSeq++
+		st.Offset += frameHeader + int64(length)
 	}
 }
 

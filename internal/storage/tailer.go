@@ -1,0 +1,197 @@
+// Log shipping: a Tailer follows a live WAL file that another process
+// (or another goroutine) is appending to, yielding each intact frame in
+// order. It is the replication primitive behind read-only replicas: the
+// primary streams frames to the follower, and the follower's Tailer-like
+// client applies them to its own copy of the state.
+//
+// The tail of a live WAL is routinely "torn": the writer may have pushed
+// only part of a frame through its buffered writer, or a crash may have
+// cut a frame short. A Tailer never treats an incomplete or
+// checksum-failing tail as corruption — it stops at the last valid
+// checksum, reports the partial frame's byte offset via State, and
+// re-reads the same offset on the next call, succeeding once the writer
+// completes the frame.
+package storage
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// ErrNoRecord reports that the log currently ends before the next
+// complete frame: either exactly at a frame boundary (a clean tail) or
+// inside a partially-written frame (a torn tail — see Tailer.State).
+// Callers should retry after the writer has made progress.
+var ErrNoRecord = errors.New("storage: no complete record available yet")
+
+// ErrWALReset reports that the log file shrank below the tailer's read
+// position — the writer truncated it (snapshot compaction). The tailer
+// cannot continue; the follower must re-resolve its position against the
+// primary's base sequence (and re-bootstrap if it fell behind it).
+var ErrWALReset = errors.New("storage: wal reset underneath tailer")
+
+// ErrSeqGap reports that a requested replication sequence number has
+// been compacted into a snapshot and is no longer in the WAL. The
+// follower must bootstrap from a snapshot instead of tailing.
+var ErrSeqGap = errors.New("storage: requested sequence compacted into a snapshot")
+
+// TailState describes where a scan over a log stopped.
+type TailState struct {
+	// NextSeq is the number of complete frames consumed: the file-local
+	// sequence number of the next frame to read.
+	NextSeq uint64
+	// Offset is the byte offset of the first unconsumed byte — the start
+	// of the trailing partial frame when Partial is set, otherwise the
+	// clean end of the log. A tailer that re-reads from Offset once the
+	// writer finishes the frame observes it exactly once.
+	Offset int64
+	// Partial reports that PartialBytes bytes of an incomplete (or
+	// not-yet-checksum-valid) frame follow Offset.
+	Partial      bool
+	PartialBytes int64
+}
+
+// Frame encodes one frame body into its wire form: 4-byte little-endian
+// length, 4-byte CRC32 (IEEE), body. It is the exact on-disk layout, so
+// a replication stream is byte-compatible with the log it was read from.
+func Frame(body []byte) []byte {
+	out := make([]byte, frameHeader+len(body))
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(out[4:8], crc32.ChecksumIEEE(body))
+	copy(out[frameHeader:], body)
+	return out
+}
+
+// Tailer reads frames from a WAL file that may still be growing. It is
+// not safe for concurrent use by multiple goroutines (wrap externally);
+// it IS safe to run against a file another goroutine or process appends
+// to, because it only ever reads bytes behind a validated checksum.
+type Tailer struct {
+	f    *os.File
+	path string
+	// off is the byte offset of the next unread frame; seq counts the
+	// complete frames consumed so far (file-local, starting at 0).
+	off int64
+	seq uint64
+	// partialBytes is the torn-tail size observed by the last failed
+	// read, for State.
+	partialBytes int64
+}
+
+// OpenTailer opens the log at path for following. The file must exist
+// (the writer creates it on OpenWAL); a follower that starts before its
+// primary should retry.
+func OpenTailer(path string) (*Tailer, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open tailer: %w", err)
+	}
+	return &Tailer{f: f, path: path}, nil
+}
+
+// Close releases the underlying file.
+func (t *Tailer) Close() error { return t.f.Close() }
+
+// Seq returns the file-local sequence number of the next frame to read.
+func (t *Tailer) Seq() uint64 { return t.seq }
+
+// State reports the tailer's position, including a trailing partial
+// frame's offset and size as of the most recent read attempt.
+func (t *Tailer) State() TailState {
+	return TailState{
+		NextSeq:      t.seq,
+		Offset:       t.off,
+		Partial:      t.partialBytes > 0,
+		PartialBytes: t.partialBytes,
+	}
+}
+
+// NextBody returns the next frame's body, advancing the tailer. It
+// returns ErrNoRecord when the log ends before the next complete,
+// checksum-valid frame (retry later; State reports how many bytes of a
+// partial frame are pending), and ErrWALReset when the file shrank below
+// the current position.
+func (t *Tailer) NextBody() ([]byte, error) {
+	st, err := t.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size < t.off {
+		return nil, ErrWALReset
+	}
+	avail := size - t.off
+	if avail < frameHeader {
+		return nil, t.noRecord(avail)
+	}
+	var hdr [frameHeader]byte
+	if _, err := t.f.ReadAt(hdr[:], t.off); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > MaxFrameSize {
+		// On a live log a garbage length can only be an in-flight write
+		// reaching disk out of order; treat it as a torn tail and let the
+		// writer finish. (True mid-log corruption parks the tailer here —
+		// the same stop-at-last-valid-checksum stance recovery takes.)
+		return nil, t.noRecord(avail)
+	}
+	if avail < frameHeader+int64(length) {
+		return nil, t.noRecord(avail)
+	}
+	body := make([]byte, length)
+	if _, err := t.f.ReadAt(body, t.off+frameHeader); err != nil {
+		return nil, err
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, t.noRecord(avail)
+	}
+	t.off += frameHeader + int64(length)
+	t.seq++
+	t.partialBytes = 0
+	return body, nil
+}
+
+// noRecord records the torn-tail size for State and returns ErrNoRecord.
+func (t *Tailer) noRecord(avail int64) error {
+	t.partialBytes = avail
+	return ErrNoRecord
+}
+
+// Next decodes the next frame into a Record. Framing-level waits surface
+// as ErrNoRecord/ErrWALReset from NextBody; a frame that passes its
+// checksum but does not decode is real corruption (ErrCorrupt).
+func (t *Tailer) Next() (Record, error) {
+	body, err := t.NextBody()
+	if err != nil {
+		return Record{}, err
+	}
+	var rec Record
+	if err := json.Unmarshal(body, &rec); err != nil {
+		return Record{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return rec, nil
+}
+
+// Skip consumes up to n frames without decoding them, returning how many
+// it consumed. It stops early (with a nil error) at a clean or torn
+// tail; callers resume by polling. It is how a follower seeks to its
+// resume sequence after a restart.
+func (t *Tailer) Skip(n uint64) (uint64, error) {
+	var skipped uint64
+	for skipped < n {
+		if _, err := t.NextBody(); err != nil {
+			if errors.Is(err, ErrNoRecord) {
+				return skipped, nil
+			}
+			return skipped, err
+		}
+		skipped++
+	}
+	return skipped, nil
+}

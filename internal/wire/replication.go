@@ -1,0 +1,171 @@
+// Replication over the wire: the follower side of the log-shipping
+// protocol. A ReplicationSource adapts the HTTP client to the
+// core.ReplicaSource contract — bootstrap from GET
+// /v1/replication/snapshot, then tail GET /v1/replication/wal?from=N, a
+// long-lived chunked stream of length-prefixed frames in exactly the
+// WAL's on-disk layout (4-byte little-endian length, 4-byte CRC32,
+// JSON body).
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/storage"
+)
+
+// BootstrapResponse carries the primary's full state for a follower:
+// the marshaled core snapshot, the global sequence number to tail from,
+// and the primary's rule-derivation mode (the follower must re-derive
+// exactly like the primary, since derived authorizations are not
+// logged).
+type BootstrapResponse struct {
+	Seq        uint64          `json:"seq"`
+	AutoDerive bool            `json:"auto_derive"`
+	State      json.RawMessage `json:"state"`
+}
+
+// ReplicationStatus reports a node's position in the replication
+// stream. Role is "primary" (BaseSeq/TotalSeq populated) or "replica"
+// (AppliedSeq/PrimarySeq/Lag/Connected populated).
+type ReplicationStatus struct {
+	Role       string `json:"role"`
+	Durable    bool   `json:"durable,omitempty"`
+	BaseSeq    uint64 `json:"base_seq,omitempty"`
+	TotalSeq   uint64 `json:"total_seq,omitempty"`
+	AppliedSeq uint64 `json:"applied_seq,omitempty"`
+	PrimarySeq uint64 `json:"primary_seq,omitempty"`
+	Lag        uint64 `json:"lag,omitempty"`
+	Connected  bool   `json:"connected,omitempty"`
+}
+
+// ReplicationStatus fetches a node's replication position.
+func (c *Client) ReplicationStatus() (ReplicationStatus, error) {
+	var out ReplicationStatus
+	err := c.do("GET", "/v1/replication/status", nil, &out)
+	return out, err
+}
+
+// ReplicationSource adapts the client to the follower's pull contract
+// (core.ReplicaSource). Build one with Client.ReplicationSource.
+type ReplicationSource struct {
+	c *Client
+}
+
+// ReplicationSource returns the follower-side adapter for this client.
+func (c *Client) ReplicationSource() *ReplicationSource {
+	return &ReplicationSource{c: c}
+}
+
+// Bootstrap fetches the primary's full state.
+func (s *ReplicationSource) Bootstrap() (uint64, bool, json.RawMessage, error) {
+	var out BootstrapResponse
+	if err := s.c.do("GET", "/v1/replication/snapshot", nil, &out); err != nil {
+		return 0, false, nil, err
+	}
+	return out.Seq, out.AutoDerive, out.State, nil
+}
+
+// PrimarySeq reports the primary's durable record count.
+func (s *ReplicationSource) PrimarySeq(ctx context.Context) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, "GET", s.c.BaseURL+"/v1/replication/status", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := s.c.HTTP.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("wire: replication status: HTTP %d", resp.StatusCode)
+	}
+	var st ReplicationStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		return 0, err
+	}
+	return st.TotalSeq, nil
+}
+
+// Tail opens the long-lived WAL stream at global sequence `from` and
+// applies each frame's record in order. It returns nil when the server
+// ends the stream (the caller reconnects and resumes from its applied
+// sequence), storage.ErrSeqGap when the requested sequence has been
+// compacted into a snapshot (HTTP 410), ctx.Err() on cancellation, and
+// any error apply returned. A frame that fails its checksum aborts the
+// stream with an error — the reconnect re-reads it from the log.
+func (s *ReplicationSource) Tail(ctx context.Context, from uint64, apply func(storage.Record) error) error {
+	url := s.c.BaseURL + "/v1/replication/wal?from=" + strconv.FormatUint(from, 10)
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := s.c.HTTP.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusGone:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<16))
+		return storage.ErrSeqGap
+	default:
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		var e Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return fmt.Errorf("wire: replication stream: %s", e.Error)
+		}
+		return fmt.Errorf("wire: replication stream: HTTP %d", resp.StatusCode)
+	}
+
+	br := bufio.NewReader(resp.Body)
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			// EOF (clean or torn mid-frame): benign stream end; the
+			// reconnect resumes from the applied sequence, so a torn
+			// HTTP read can never skip or double-apply a record.
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(hdr[0:4])
+		sum := binary.LittleEndian.Uint32(hdr[4:8])
+		if length == 0 || length > storage.MaxFrameSize {
+			return fmt.Errorf("wire: replication stream: bad frame length %d", length)
+		}
+		body := make([]byte, length)
+		if _, err := io.ReadFull(br, body); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return nil // torn mid-frame: reconnect re-reads it
+		}
+		if crc32.ChecksumIEEE(body) != sum {
+			return fmt.Errorf("wire: replication stream: frame checksum mismatch")
+		}
+		var rec storage.Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			return fmt.Errorf("wire: replication stream: decode record: %w", err)
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+	}
+}

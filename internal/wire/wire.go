@@ -128,6 +128,10 @@ type StatsResponse struct {
 	Authz     authz.StoreStats         `json:"authz"`
 	View      ViewStats                `json:"view"`
 	Endpoints map[string]EndpointStats `json:"endpoints,omitempty"`
+	// Replication is present on durable primaries (role "primary",
+	// log-shipping coordinates) and on replicas (role "replica",
+	// applied sequence and lag).
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 // Reading is one positioning sample for the batched ingest endpoint
