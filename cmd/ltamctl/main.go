@@ -27,21 +27,31 @@
 //	alerts [since]                     alert log
 //	graph                              fetch the site graph
 //	snapshot                           persist and compact
+//	watch [-from N] [-count N] [-subject S] [-location L]
+//	      [-kinds k1,k2] [-alerts-since N]
+//	                                   follow the committed-event feed
+//	                                   (live monitoring; -from 0 replays
+//	                                   the retained history first)
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
+	"strings"
 
 	"repro/internal/authz"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/profile"
 	"repro/internal/rules"
+	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
@@ -348,8 +358,95 @@ func run(c *wire.Client, args []string) error {
 			return err
 		}
 		fmt.Println("snapshot written")
+	case "watch":
+		return watch(c, rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
 	return nil
+}
+
+// watch follows the committed-event feed, printing one line per event.
+// With -count it exits once that many record events have arrived (the
+// smoke test's "did every committed record reach a subscriber" check).
+func watch(c *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	from := fs.Uint64("from", 0, "first record sequence to deliver (0 = everything the server retains)")
+	count := fs.Uint64("count", 0, "exit after this many record events (0 = follow forever)")
+	subject := fs.String("subject", "", "only events about this subject")
+	location := fs.String("location", "", "only events at this location")
+	kinds := fs.String("kinds", "", "comma-separated event kinds (e.g. enter,leave,alert)")
+	alertsSince := fs.Int64("alerts-since", -1, "also deliver retained alerts after this sequence (-1 = live alerts only)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := wire.StreamSubscribeOptions{
+		From:     *from,
+		Subject:  profile.SubjectID(*subject),
+		Location: graph.ID(*location),
+	}
+	if *kinds != "" {
+		for _, k := range strings.Split(*kinds, ",") {
+			opts.Kinds = append(opts.Kinds, stream.EventKind(strings.TrimSpace(k)))
+		}
+	}
+	if *alertsSince >= 0 {
+		since := uint64(*alertsSince)
+		opts.AlertsSince = &since
+	}
+	es, err := c.Subscribe(context.Background(), opts)
+	if err != nil {
+		return err
+	}
+	defer es.Close()
+	var records uint64
+	for {
+		ev, err := es.Next()
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(formatEvent(ev))
+		switch {
+		case ev.Kind == stream.KindError:
+			return fmt.Errorf("feed ended: %s", ev.Error)
+		case ev.Record != nil:
+			records++
+			if *count > 0 && records >= *count {
+				return nil
+			}
+		}
+	}
+}
+
+// formatEvent renders one feed event as a log line.
+func formatEvent(ev stream.Event) string {
+	switch ev.Kind {
+	case stream.KindAlert:
+		return fmt.Sprintf("alert#%d %s", ev.AlertSeq, ev.Alert)
+	case stream.KindError:
+		return fmt.Sprintf("error at seq %d: %s", ev.Seq, ev.Error)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %s", ev.Seq, ev.Kind)
+	if ev.Time != 0 {
+		fmt.Fprintf(&b, " t=%s", ev.Time)
+	}
+	switch {
+	case ev.Subject != "" && ev.Location != "":
+		fmt.Fprintf(&b, " %s@%s", ev.Subject, ev.Location)
+	case ev.Subject != "":
+		fmt.Fprintf(&b, " %s", ev.Subject)
+	case ev.Location != "":
+		fmt.Fprintf(&b, " @%s", ev.Location)
+	}
+	if ev.Auth != 0 {
+		fmt.Fprintf(&b, " a%d", ev.Auth)
+	}
+	if ev.Name != "" {
+		fmt.Fprintf(&b, " %s", ev.Name)
+	}
+	return b.String()
 }

@@ -19,7 +19,16 @@
 // ltamd: it bootstraps from the primary's state snapshot, tails the
 // primary's WAL over GET /v1/replication/wal, and serves the full query
 // surface (mutations return 403). A follower that falls behind a WAL
-// compaction exits with an error; restarting it re-bootstraps.
+// compaction self-heals: it re-bootstraps from the primary in place,
+// serving queries throughout. With -follow-lag-max the follower also
+// arms a read barrier: queries return HTTP 503 (with a Retry-After)
+// whenever replication staleness exceeds the bound, so stale answers
+// are refused instead of served.
+//
+// A durable primary additionally serves the streaming endpoints: POST
+// /v1/stream/observe (long-lived NDJSON ingest with durable acks — see
+// ltamsim -stream) and GET /v1/stream/events (the committed-event feed
+// — see ltamctl watch).
 package main
 
 import (
@@ -30,6 +39,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/geometry"
@@ -47,10 +57,11 @@ func main() {
 	boundsPath := flag.String("bounds", "", "room boundary JSON (enables /v1/observe/batch)")
 	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
 	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8525): boot as a read-only replica")
+	followLagMax := flag.Duration("follow-lag-max", 0, "replica read barrier: 503 queries when replication staleness exceeds this (0 = serve regardless)")
 	flag.Parse()
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf)
+		runReplica(*addr, *replicaOf, *followLagMax)
 		return
 	}
 
@@ -101,7 +112,7 @@ func main() {
 
 // runReplica boots a read-only follower: bootstrap from the primary,
 // start the tail loop, and serve the query surface.
-func runReplica(addr, primary string) {
+func runReplica(addr, primary string, followLagMax time.Duration) {
 	client := wire.NewClient(primary)
 	rep, err := core.NewReplica(client.ReplicationSource())
 	if err != nil {
@@ -109,16 +120,22 @@ func runReplica(addr, primary string) {
 	}
 	defer rep.Close()
 	go func() {
-		// Run returns only on a terminal condition: divergence, or the
-		// primary compacting past our position (re-bootstrap by restart).
+		// Run self-heals across primary compactions (in-place
+		// re-bootstrap), so it returns only on a terminal condition:
+		// divergence, or a primary that is no longer the same site.
 		if err := rep.Run(context.Background()); err != nil {
 			log.Fatalf("replication: %v", err)
 		}
 	}()
 	sys := rep.System()
+	srv := server.NewReplica(rep)
+	if followLagMax > 0 {
+		srv.SetFollowLagMax(followLagMax)
+		fmt.Printf("ltamd: read barrier armed: 503 when staleness exceeds %s\n", followLagMax)
+	}
 	fmt.Printf("ltamd: replica of %s serving %q (%d primitive locations) on %s, bootstrapped at seq %d\n",
 		primary, sys.Graph().Name(), len(sys.Flat().Nodes), addr, rep.AppliedSeq())
-	log.Fatal(http.ListenAndServe(addr, server.NewReplica(rep)))
+	log.Fatal(http.ListenAndServe(addr, srv))
 }
 
 // snapshotExists reports whether the data directory already holds a

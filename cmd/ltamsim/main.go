@@ -17,13 +17,25 @@
 // via System.ObserveBatch in chunks of N, exercising the group-commit
 // write path (one write-lock acquisition and one WAL fsync per chunk).
 // With -data the system is durable, so the fsync amortization is real.
+//
+// With -stream <base-url> the crowd drives a RUNNING ltamd instead of
+// an in-process system: subjects and grants are registered over the
+// JSON API, then every movement rides one long-lived POST
+// /v1/stream/observe connection as NDJSON frames, with the server's
+// cumulative acks reporting the durable record sequence. The target
+// daemon must serve the same grid site — write it first with
+// -emit-site and boot ltamd with the produced graph.json/bounds.json.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"time"
 
 	"repro/internal/audit"
@@ -33,6 +45,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/profile"
+	"repro/internal/wire"
 )
 
 func main() {
@@ -46,7 +59,21 @@ func main() {
 	tailgaters := flag.Float64("tailgaters", 0.05, "fraction of users with no authorizations")
 	batch := flag.Int("batch", 0, "readings per ObserveBatch call (0 = direct Enter path)")
 	data := flag.String("data", "", "data directory (enables WAL durability + group commit)")
+	streamURL := flag.String("stream", "", "drive a running ltamd over POST /v1/stream/observe at this base URL")
+	emitSite := flag.String("emit-site", "", "write the grid site (graph.json, bounds.json) for ltamd to this directory and exit")
 	flag.Parse()
+
+	if *emitSite != "" {
+		if err := EmitSite(*emitSite, *side); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("site files for the %dx%d grid written to %s\n", *side, *side, *emitSite)
+		return
+	}
+	if *streamURL != "" {
+		runStream(*streamURL, *side, *users, *steps, *seed, *overstayers, *tailgaters)
+		return
+	}
 
 	g, rooms := GridBuilding(*side)
 	cfg := core.Config{Graph: g, DataDir: *data}
@@ -94,6 +121,162 @@ func main() {
 				cs.Records, cs.Batches, float64(cs.Records)/float64(cs.Batches))
 		}
 	}
+}
+
+// EmitSite writes the grid site's graph.json and bounds.json into dir,
+// ready for `ltamd -graph dir/graph.json -bounds dir/bounds.json` —
+// the deployment half of -stream mode.
+func EmitSite(dir string, side int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	g, _ := GridBuilding(side)
+	spec, err := json.MarshalIndent(graph.ToSpec(g), "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "graph.json"), spec, 0o644); err != nil {
+		return err
+	}
+	bounds, err := json.MarshalIndent(GridBoundaries(side), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "bounds.json"), bounds, 0o644)
+}
+
+// runStream drives a running ltamd: populate over the JSON API, then
+// stream the random walk down one long-lived ingest connection,
+// flushing once per simulation step and closing for the final durable
+// ack.
+func runStream(base string, side, users, steps int, seed int64, overstayFrac, tailgateFrac float64) {
+	client := wire.NewClient(base)
+	g, rooms := GridBuilding(side)
+	rng := rand.New(rand.NewSource(seed))
+	horizon := interval.Time(int64(steps) * 4)
+
+	stats, err := PopulateRemote(client, rng, rooms, users, overstayFrac, tailgateFrac, horizon)
+	if err != nil {
+		log.Fatalf("populate %s: %v (does the daemon serve the -emit-site grid?)", base, err)
+	}
+
+	obs, err := client.StreamObserve(context.Background())
+	if err != nil {
+		log.Fatalf("open ingest stream: %v", err)
+	}
+	centers := RoomCenters(side, rooms)
+	start := time.Now()
+	clock := interval.Time(1)
+	var sent uint64
+	for s := 0; s < steps; s++ {
+		for i := range stats.Walkers {
+			w := &stats.Walkers[i]
+			var target graph.ID
+			if w.Room < 0 {
+				target = rooms[0] // enter at the entry room
+			} else {
+				ns := g.Neighbors(rooms[w.Room])
+				target = ns[rng.Intn(len(ns))]
+			}
+			at := centers[target]
+			if err := obs.Send(wire.Reading{Time: clock, Subject: w.ID, X: at.X, Y: at.Y}); err != nil {
+				log.Fatalf("send: %v", err)
+			}
+			sent++
+			for j, room := range rooms {
+				if room == target {
+					w.Room = j
+					break
+				}
+			}
+		}
+		// One flush per step: frames pipeline to the server while the
+		// walk keeps generating — acks flow back asynchronously.
+		if err := obs.Flush(); err != nil {
+			log.Fatalf("flush: %v", err)
+		}
+		clock++
+		if s%16 == 15 {
+			// Tick travels on its own request, racing the pipelined
+			// frames; advancing the monitor clock past queued readings
+			// would make their times regress. The cumulative ack says
+			// exactly when the stream has drained.
+			if err := waitForAck(obs, sent); err != nil {
+				log.Fatalf("await acks before tick: %v", err)
+			}
+			if _, err := client.Tick(clock); err != nil {
+				log.Fatalf("tick: %v", err)
+			}
+			clock++
+		}
+	}
+	ack, err := obs.Close()
+	if err != nil {
+		log.Fatalf("close stream: %v (last ack %+v)", err, ack)
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("building: %dx%d grid (%d rooms), remote daemon %s\n", side, side, len(rooms), base)
+	fmt.Printf("users: %d (%d overstay-prone, %d tailgaters)\n", users, stats.Overstayers, stats.Tailgaters)
+	fmt.Printf("ingest: one streaming connection, %d frames in %v (%.0f frames/sec)\n",
+		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Printf("acked: %d frames durable up to record seq %d\n", ack.Acked, ack.Seq)
+	fmt.Printf("entries granted: %d, denied: %d, errors: %d\n", ack.Granted, ack.Denied, ack.Errors)
+	if st, err := client.Stats(); err == nil && st.Stream != nil {
+		ing := st.Stream.Ingest
+		if ing.Chunks > 0 {
+			fmt.Printf("server chunking: %d frames in %d ObserveBatch calls (mean chunk %.1f)\n",
+				ing.Frames, ing.Chunks, float64(ing.Frames)/float64(ing.Chunks))
+		}
+	}
+}
+
+// waitForAck blocks until the server's cumulative ack covers the first
+// n frames of the stream (or the stream dies).
+func waitForAck(obs *wire.StreamObserver, n uint64) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for obs.Ack().Acked < n {
+		if err := obs.Err(); err != nil {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("acks stalled at %d of %d", obs.Ack().Acked, n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// PopulateRemote is Populate against a running daemon: same crowd
+// composition, same RNG draw order, registered over the JSON API.
+func PopulateRemote(c *wire.Client, rng *rand.Rand, rooms []graph.ID, users int, overstayFrac, tailgateFrac float64, horizon interval.Time) (PopulateStats, error) {
+	var st PopulateStats
+	for i := 0; i < users; i++ {
+		w := Walker{ID: profile.SubjectID(fmt.Sprintf("u%04d", i)), Room: -1}
+		if err := c.PutSubject(profile.Subject{ID: w.ID}); err != nil {
+			return st, err
+		}
+		roll := rng.Float64()
+		switch {
+		case roll < tailgateFrac:
+			st.Tailgaters++
+		case roll < tailgateFrac+overstayFrac:
+			st.Overstayers++
+			for _, room := range rooms {
+				if _, err := c.AddAuthorization(authz.New(interval.New(1, horizon/4), interval.New(1, horizon/4), w.ID, room, authz.Unlimited)); err != nil {
+					return st, err
+				}
+			}
+		default:
+			for _, room := range rooms {
+				if _, err := c.AddAuthorization(authz.New(interval.New(1, horizon), interval.New(1, horizon), w.ID, room, authz.Unlimited)); err != nil {
+					return st, err
+				}
+			}
+		}
+		st.Walkers = append(st.Walkers, w)
+	}
+	return st, nil
 }
 
 // GridBuilding builds a side×side grid of rooms with 4-neighbour

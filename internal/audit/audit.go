@@ -90,7 +90,8 @@ type Log struct {
 	alerts  []Alert
 	nextSeq uint64
 	limit   int
-	subs    []Subscriber
+	subs    map[uint64]Subscriber
+	nextSub uint64
 }
 
 // DefaultLimit bounds the retained alerts when NewLog is given a
@@ -106,11 +107,23 @@ func NewLog(limit int) *Log {
 	return &Log{limit: limit, nextSeq: 1}
 }
 
-// Subscribe registers a subscriber for future alerts.
-func (l *Log) Subscribe(s Subscriber) {
+// Subscribe registers a subscriber for future alerts and returns a
+// cancel function that removes it again (e.g. when an event-bus feed
+// detaches). Subscribers run synchronously on the raising goroutine.
+func (l *Log) Subscribe(s Subscriber) (cancel func()) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	l.subs = append(l.subs, s)
+	if l.subs == nil {
+		l.subs = make(map[uint64]Subscriber)
+	}
+	id := l.nextSub
+	l.nextSub++
+	l.subs[id] = s
+	return func() {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		delete(l.subs, id)
+	}
 }
 
 // Raise appends an alert and notifies subscribers, returning the stored
@@ -123,7 +136,10 @@ func (l *Log) Raise(a Alert) Alert {
 	if len(l.alerts) > l.limit {
 		l.alerts = l.alerts[len(l.alerts)-l.limit:]
 	}
-	subs := l.subs
+	subs := make([]Subscriber, 0, len(l.subs))
+	for _, s := range l.subs {
+		subs = append(subs, s)
+	}
 	l.mu.Unlock()
 	for _, s := range subs {
 		s(a)
@@ -174,6 +190,15 @@ func (l *Log) Since(seq uint64) []Alert {
 	out := make([]Alert, len(l.alerts)-i)
 	copy(out, l.alerts[i:])
 	return out
+}
+
+// LastSeq returns the sequence number of the most recently raised alert
+// (0 when none has been raised). It is the "live only" resume point for
+// a subscriber that wants no backlog.
+func (l *Log) LastSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nextSeq - 1
 }
 
 // Len returns the number of retained alerts.

@@ -139,6 +139,12 @@ type System struct {
 	snaps     *storage.SnapshotStore
 	replaying bool
 	walPath   string
+	// commitCh is the durability wakeup: a token is dropped (non-blocking)
+	// whenever records may have become durable (a commit barrier resolved,
+	// an inline append returned, a snapshot moved the base). Consumers —
+	// the event bus pump, same-process tailers — use it to chase the WAL
+	// without polling; it is a hint, not a count.
+	commitCh chan struct{}
 	// baseSeq is the global sequence number of the first record in the
 	// current WAL: the count of records compacted into the latest
 	// snapshot. Global seq = baseSeq + position in the WAL; it is the
@@ -216,6 +222,21 @@ func newBareSystem() *System {
 		moves:    movement.NewDB(),
 		alerts:   audit.NewLog(0),
 		cache:    query.NewCache(0),
+		commitCh: make(chan struct{}, 1),
+	}
+}
+
+// CommitNotify returns the durability wakeup channel: a receive means
+// the durable frontier (ReplicationInfo().TotalSeq) may have advanced
+// since the last receive. Sends are collapsed (capacity 1), so consumers
+// must re-check the frontier after every wakeup rather than count them.
+func (s *System) CommitNotify() <-chan struct{} { return s.commitCh }
+
+// notifyCommit drops a wakeup token; never blocks.
+func (s *System) notifyCommit() {
+	select {
+	case s.commitCh <- struct{}{}:
+	default:
 	}
 }
 
@@ -510,9 +531,18 @@ func (s *System) logLocked(typ string, v any) func() error {
 	}
 	if s.committer != nil {
 		ch := s.committer.Commit(rec)
-		return func() error { return <-ch }
+		return func() error { return s.notifyAfter(<-ch) }
 	}
-	return waitErr(s.wal.Append(rec))
+	return waitErr(s.notifyAfter(s.wal.Append(rec)))
+}
+
+// notifyAfter forwards a commit outcome, waking durability followers on
+// success.
+func (s *System) notifyAfter(err error) error {
+	if err == nil {
+		s.notifyCommit()
+	}
+	return err
 }
 
 // logGroupLocked is logLocked for a pre-encoded record group: the whole
@@ -524,9 +554,9 @@ func (s *System) logGroupLocked(recs []storage.Record) func() error {
 	}
 	if s.committer != nil {
 		ch := s.committer.Commit(recs...)
-		return func() error { return <-ch }
+		return func() error { return s.notifyAfter(<-ch) }
 	}
-	return waitErr(s.wal.AppendGroup(recs))
+	return waitErr(s.notifyAfter(s.wal.AppendGroup(recs)))
 }
 
 // --- Cache warming ------------------------------------------------------
@@ -836,11 +866,14 @@ func (s *System) Leave(t interval.Time, sub profile.SubjectID) error {
 
 func (s *System) leave(t interval.Time, sub profile.SubjectID) error {
 	s.mu.Lock()
+	// The departed location rides in the record for event-feed consumers
+	// (a location filter must see leaves too); replay ignores it.
+	from, _ := s.moves.CurrentLocation(sub)
 	if err := s.engine.Leave(t, sub); err != nil {
 		s.mu.Unlock()
 		return err
 	}
-	wait := s.logLocked("move.leave", movePayload{T: t, S: sub})
+	wait := s.logLocked("move.leave", movePayload{T: t, S: sub, L: from})
 	s.mu.Unlock()
 	return wait()
 }
@@ -880,6 +913,10 @@ type ObserveOutcome struct {
 	// Moved reports whether the reading produced a movement (an entry or
 	// an exit); a reading that keeps the subject where it was is a no-op.
 	Moved bool
+	// Entered distinguishes the movement kind: true for an entry (the
+	// Decision is that entry's Def.-7 outcome), false for an exit (the
+	// Decision is zero — leaving is not an access decision).
+	Entered bool
 	// Err is the per-reading application error (e.g. a time regression);
 	// the rest of the batch is unaffected.
 	Err error
@@ -959,7 +996,8 @@ func (s *System) applyBatch(readings []Reading) ([]ObserveOutcome, []storage.Rec
 			}
 			out[i].Moved = true
 			if s.wal != nil && !s.replaying {
-				rec, err := encodeRecord("move.leave", movePayload{T: r.Time, S: r.Subject})
+				// cur is the departed location, for the event feed.
+				rec, err := encodeRecord("move.leave", movePayload{T: r.Time, S: r.Subject, L: cur})
 				if err != nil {
 					out[i].Err = err
 					continue
@@ -976,6 +1014,7 @@ func (s *System) applyBatch(readings []Reading) ([]ObserveOutcome, []storage.Rec
 				continue
 			}
 			out[i].Moved = true
+			out[i].Entered = true
 			if s.wal != nil && !s.replaying {
 				rec, err := encodeRecord("move.enter", movePayload{T: r.Time, S: r.Subject, L: loc})
 				if err != nil {
@@ -1166,6 +1205,8 @@ func (s *System) Snapshot() error {
 		return err
 	}
 	s.baseSeq.Store(newBase)
+	// The base moved: wake followers so they re-resolve their position.
+	s.notifyCommit()
 	return nil
 }
 

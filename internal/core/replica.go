@@ -15,6 +15,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,9 +33,17 @@ var ErrReadOnly = errors.New("core: read-only replica (mutate on the primary)")
 
 // ErrBootstrapRequired reports that the primary compacted its WAL past
 // the replica's applied position: the stream cannot be resumed, and the
-// follower must be rebuilt from a fresh bootstrap (in the daemon:
-// restart the process).
+// follower must be rebuilt from a fresh bootstrap. Run self-heals this
+// case in place (Rebootstrap) unless RunConfig.DisableSelfHeal is set,
+// in which case it returns this error and the operator restarts the
+// daemon.
 var ErrBootstrapRequired = errors.New("core: replica fell behind a WAL compaction; fresh bootstrap required")
+
+// ErrBootstrapMismatch reports a re-bootstrap whose state is not a later
+// point of the same primary's history — a different site graph or a
+// different rule-derivation mode. Applying it in place would splice two
+// unrelated histories, so the error is terminal: rebuild the follower.
+var ErrBootstrapMismatch = errors.New("core: bootstrap state does not match this replica's site")
 
 // ReplicaSource is where a follower pulls its state and stream from. The
 // wire package adapts the HTTP client to it; LocalSource adapts a
@@ -66,6 +75,14 @@ type Replica struct {
 	primarySeq atomic.Uint64
 	connected  atomic.Bool
 	applyErr   atomic.Pointer[error]
+	// bootstraps counts state loads: 1 after NewReplica, +1 per in-place
+	// self-heal (Rebootstrap).
+	bootstraps atomic.Uint64
+	// freshAt is the wall-clock nanosecond at which the follower last
+	// KNEW it was caught up with the primary (applied >= the freshest
+	// observed primary seq). Staleness is measured from here whenever the
+	// follower cannot currently prove freshness.
+	freshAt atomic.Int64
 }
 
 // NewReplica bootstraps a follower from src: it fetches the primary's
@@ -83,7 +100,33 @@ func NewReplica(src ReplicaSource) (*Replica, error) {
 	r := &Replica{sys: sys, src: src}
 	r.appliedSeq.Store(seq)
 	r.primarySeq.Store(seq)
+	r.bootstraps.Store(1)
+	r.markFresh()
 	return r, nil
+}
+
+// markFresh records "caught up as of now" for Staleness.
+func (r *Replica) markFresh() { r.freshAt.Store(time.Now().UnixNano()) }
+
+// noteObservation records one successful observation of the primary's
+// durable sequence: the lag watermark moves, and covering it is proof of
+// freshness as of now.
+func (r *Replica) noteObservation(seq uint64) {
+	storeMax(&r.primarySeq, seq)
+	if r.appliedSeq.Load() >= r.primarySeq.Load() {
+		r.markFresh()
+	}
+}
+
+// observePrimary polls the primary's position with a bounded wait and
+// feeds a success into noteObservation; failures are silent — freshness
+// then simply stops renewing, which is exactly what Staleness measures.
+func (r *Replica) observePrimary(ctx context.Context) {
+	seqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	if seq, err := r.src.PrimarySeq(seqCtx); err == nil {
+		r.noteObservation(seq)
+	}
 }
 
 // openReplicaSystem builds the follower System from a marshaled
@@ -139,7 +182,7 @@ func (r *Replica) ApplyRecord(rec storage.Record) error {
 		return err
 	}
 	seq := r.appliedSeq.Add(1)
-	storeMax(&r.primarySeq, seq)
+	r.noteObservation(seq)
 	return nil
 }
 
@@ -160,6 +203,13 @@ type ReplicaStatus struct {
 	Lag        uint64 `json:"lag"`
 	// Connected reports whether the tail loop currently holds a stream.
 	Connected bool `json:"connected"`
+	// Bootstraps counts state loads (1 = the initial bootstrap; more
+	// means Run self-healed across a primary compaction).
+	Bootstraps uint64 `json:"bootstraps"`
+	// Staleness is how long the follower has been unable to prove it is
+	// caught up (0 when it can) — the quantity a -follow-lag-max read
+	// barrier bounds.
+	Staleness time.Duration `json:"staleness_ns"`
 }
 
 // Status reports the replication position. When ctx is non-nil it
@@ -171,7 +221,7 @@ type ReplicaStatus struct {
 func (r *Replica) Status(ctx context.Context) ReplicaStatus {
 	if ctx != nil && r.src != nil {
 		if seq, err := r.src.PrimarySeq(ctx); err == nil {
-			storeMax(&r.primarySeq, seq)
+			r.noteObservation(seq)
 		}
 	}
 	applied := r.appliedSeq.Load()
@@ -185,21 +235,53 @@ func (r *Replica) Status(ctx context.Context) ReplicaStatus {
 		PrimarySeq: primary,
 		Lag:        lag,
 		Connected:  r.connected.Load(),
+		Bootstraps: r.bootstraps.Load(),
+		Staleness:  r.Staleness(),
 	}
+}
+
+// Staleness reports how long the follower has gone without PROOF that
+// it is caught up with its primary. Proof is an actual observation —
+// applying a record that covers the newest known primary sequence, or a
+// successful PrimarySeq poll the applied position covers — never the
+// mere absence of traffic: an open stream with a silent peer looks
+// identical to a blackholed one, so an idle connection must not renew
+// freshness on its own (the Run loop's Refresh poll does, as long as
+// the primary actually answers). This is the quantity the
+// -follow-lag-max read barrier compares against its bound; set the
+// bound above the refresh cadence.
+func (r *Replica) Staleness() time.Duration {
+	return time.Duration(time.Now().UnixNano() - r.freshAt.Load())
 }
 
 // RunConfig tunes the tail loop.
 type RunConfig struct {
 	// RetryMin/RetryMax bound the reconnect backoff (defaults 100ms/2s).
 	RetryMin, RetryMax time.Duration
+	// Refresh is the cadence at which the loop re-observes the primary's
+	// TotalSeq while a stream is open (default 1s). The observation is
+	// what makes Lag and Staleness honest under a saturated stream: the
+	// stream itself only proves how far the follower got, not how far the
+	// primary is.
+	Refresh time.Duration
+	// DisableSelfHeal restores the pre-self-heal contract: when the
+	// primary compacts past the follower's position, Run returns
+	// ErrBootstrapRequired instead of re-bootstrapping in place.
+	DisableSelfHeal bool
 }
 
 // Run is the follower apply loop: tail from the applied sequence, apply
-// every record, reconnect with backoff on benign stream ends. It returns
-// nil when ctx is canceled, ErrBootstrapRequired when the primary
-// compacted past our position, and the apply error on divergence.
+// every record, reconnect with backoff on benign stream ends. When the
+// primary compacts past the follower's position it self-heals: a fresh
+// bootstrap is fetched and restored IN PLACE (same System, same served
+// pointer — queries keep working throughout, serving the last applied
+// state until the new one is published). It returns nil when ctx is
+// canceled, the apply error on divergence, ErrBootstrapMismatch when a
+// re-bootstrap came from a different site, and ErrBootstrapRequired only
+// with RunConfig.DisableSelfHeal set.
 func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
-	retryMin, retryMax := 100*time.Millisecond, 2*time.Second
+	retryMin, retryMax, refresh := 100*time.Millisecond, 2*time.Second, time.Second
+	disableSelfHeal := false
 	if len(cfg) > 0 {
 		if cfg[0].RetryMin > 0 {
 			retryMin = cfg[0].RetryMin
@@ -207,17 +289,35 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 		if cfg[0].RetryMax > 0 {
 			retryMax = cfg[0].RetryMax
 		}
+		if cfg[0].Refresh > 0 {
+			refresh = cfg[0].Refresh
+		}
+		disableSelfHeal = cfg[0].DisableSelfHeal
 	}
+
+	// Periodic primary-seq observation, independent of the (blocking)
+	// Tail call, so lag and staleness stay honest mid-stream.
+	refCtx, refCancel := context.WithCancel(ctx)
+	defer refCancel()
+	go func() {
+		ticker := time.NewTicker(refresh)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-refCtx.Done():
+				return
+			case <-ticker.C:
+				r.observePrimary(refCtx)
+			}
+		}
+	}()
+
 	backoff := retryMin
 	for {
 		// Observe the primary's position with a bounded wait: an
 		// unreachable primary must cost one timeout, not an unbounded
 		// dial hang, before the reconnect backoff takes over.
-		seqCtx, cancel := context.WithTimeout(ctx, 2*time.Second)
-		if seq, err := r.src.PrimarySeq(seqCtx); err == nil {
-			storeMax(&r.primarySeq, seq)
-		}
-		cancel()
+		r.observePrimary(ctx)
 		r.connected.Store(true)
 		err := r.src.Tail(ctx, r.appliedSeq.Load(), r.ApplyRecord)
 		r.connected.Store(false)
@@ -225,7 +325,23 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 		case ctx.Err() != nil:
 			return nil
 		case errors.Is(err, storage.ErrSeqGap):
-			return fmt.Errorf("%w (applied %d)", ErrBootstrapRequired, r.appliedSeq.Load())
+			if disableSelfHeal {
+				return fmt.Errorf("%w (applied %d)", ErrBootstrapRequired, r.appliedSeq.Load())
+			}
+			// Self-heal: the records between our position and the new
+			// base are gone from the log, but their effects are inside
+			// the primary's current state — load that state in place and
+			// resume tailing from its sequence.
+			if herr := r.Rebootstrap(); herr != nil {
+				if errors.Is(herr, ErrBootstrapMismatch) {
+					return herr
+				}
+				// Transient (primary unreachable mid-heal): back off and
+				// retry the heal on the next pass.
+			} else {
+				backoff = retryMin
+				continue
+			}
 		case r.Err() != nil:
 			return r.Err()
 		}
@@ -243,6 +359,69 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 			backoff = retryMax
 		}
 	}
+}
+
+// Rebootstrap fetches a fresh bootstrap from the source and restores it
+// into the follower IN PLACE: the same System keeps serving (readers see
+// the pre-heal view until the restored state is published in one write
+// critical section), and the applied sequence jumps to the bootstrap
+// point. It is how Run survives the primary compacting past the
+// follower's position without a daemon restart. The bootstrap must come
+// from the same site (graph and derivation mode); anything else returns
+// ErrBootstrapMismatch.
+func (r *Replica) Rebootstrap() error {
+	seq, autoDerive, state, err := r.src.Bootstrap()
+	if err != nil {
+		return fmt.Errorf("core: replica re-bootstrap: %w", err)
+	}
+	if autoDerive != r.sys.autoDerive {
+		return fmt.Errorf("%w: derivation mode changed (primary autoDerive=%v)", ErrBootstrapMismatch, autoDerive)
+	}
+	if err := r.sys.rebootstrap(state); err != nil {
+		return err
+	}
+	r.appliedSeq.Store(seq)
+	storeMax(&r.primarySeq, seq)
+	r.bootstraps.Add(1)
+	r.markFresh()
+	return nil
+}
+
+// rebootstrap replaces a follower System's state with a marshaled
+// bootstrap snapshot, in place: profiles, authorizations, rules,
+// movements and the clock are restored wholesale under the write lock
+// and a fresh view is published, exactly like crash recovery — but into
+// a System that concurrent readers keep querying throughout.
+func (s *System) rebootstrap(state json.RawMessage) error {
+	var snap snapshotState
+	if err := json.Unmarshal(state, &snap); err != nil {
+		return fmt.Errorf("core: decode re-bootstrap state: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// The graph is immutable after Open and every engine is wired over
+	// it: a bootstrap with a different site cannot be applied in place.
+	cur, err := json.Marshal(graph.ToSpec(s.root))
+	if err != nil {
+		return err
+	}
+	next, err := json.Marshal(snap.Graph)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(cur, next) {
+		return fmt.Errorf("%w: site graph changed", ErrBootstrapMismatch)
+	}
+	// Restore replaces every database wholesale (each bumps its version,
+	// so the epoch moves and no memoized answer survives); rules are
+	// reset first because the restored store already holds their derived
+	// rows.
+	s.ruleEng.Reset()
+	if err := s.restoreSnapshot(snap); err != nil {
+		return fmt.Errorf("core: re-bootstrap restore: %w", err)
+	}
+	s.publishLocked()
+	return nil
 }
 
 // Close shuts the follower System down.

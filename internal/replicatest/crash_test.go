@@ -149,8 +149,10 @@ func TestReplicaCrashResumeEveryFrameBoundary(t *testing.T) {
 }
 
 // TestReplicaGapRequiresBootstrap: a follower that falls behind a WAL
-// compaction cannot resume the stream — Run must surface
-// ErrBootstrapRequired, and a fresh bootstrap recovers.
+// compaction cannot resume the stream — with self-heal disabled, Run
+// must surface ErrBootstrapRequired, and a fresh bootstrap recovers.
+// (The self-heal default is covered by TestReplicaRunSelfHeals in
+// internal/core.)
 func TestReplicaGapRequiresBootstrap(t *testing.T) {
 	g, bounds, _ := GridSite(t, 2)
 	h := New(t, g, bounds)
@@ -201,7 +203,7 @@ func TestReplicaGapRequiresBootstrap(t *testing.T) {
 		t.Fatal("re-bootstrap timed out")
 	}
 
-	if err := h.Replica.Run(ctx, core.RunConfig{RetryMin: time.Millisecond}); !errors.Is(err, core.ErrBootstrapRequired) {
+	if err := h.Replica.Run(ctx, core.RunConfig{RetryMin: time.Millisecond, DisableSelfHeal: true}); !errors.Is(err, core.ErrBootstrapRequired) {
 		t.Fatalf("Run = %v, want ErrBootstrapRequired", err)
 	}
 }

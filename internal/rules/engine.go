@@ -94,6 +94,18 @@ func (e *Engine) RestoreRule(r Rule) error {
 	return nil
 }
 
+// Reset forgets every registered rule WITHOUT revoking derived
+// authorizations — the restore primitive: a replica re-bootstrapping in
+// place replaces the whole authorization store wholesale, so the derived
+// rows are already gone, and the fresh snapshot's rules are re-registered
+// with RestoreRule.
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.rules = make(map[string]Rule)
+	e.order = nil
+}
+
 // RemoveRule deletes the rule and revokes everything it derived.
 func (e *Engine) RemoveRule(name string) error {
 	e.mu.Lock()

@@ -60,11 +60,13 @@ func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationSta
 	if s.rep != nil {
 		st := s.rep.Status(ctx)
 		return &wire.ReplicationStatus{
-			Role:       "replica",
-			AppliedSeq: st.AppliedSeq,
-			PrimarySeq: st.PrimarySeq,
-			Lag:        st.Lag,
-			Connected:  st.Connected,
+			Role:        "replica",
+			AppliedSeq:  st.AppliedSeq,
+			PrimarySeq:  st.PrimarySeq,
+			Lag:         st.Lag,
+			Connected:   st.Connected,
+			Bootstraps:  st.Bootstraps,
+			StalenessNS: st.Staleness,
 		}
 	}
 	info := s.sys.ReplicationInfo()

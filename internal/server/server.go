@@ -34,6 +34,11 @@ type Server struct {
 	// walPoll overrides the replication stream's idle polling cadence
 	// (tests set it low; 0 selects defaultWALPoll).
 	walPoll time.Duration
+	// stream holds the streaming-endpoint machinery (ingest counters,
+	// lazily-built event bus); maxLag arms the replica read barrier
+	// (SetFollowLagMax).
+	stream streamState
+	maxLag time.Duration
 }
 
 // New builds the handler set over sys.
@@ -59,7 +64,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // request's duration lands in the pattern's histogram (see metrics.go).
 func (s *Server) handle(pattern string, h http.HandlerFunc) {
 	hist := s.metrics.register(pattern)
+	exempt := lagExempt(pattern)
 	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if !exempt && s.barred(w) {
+			return
+		}
 		start := time.Now()
 		h(w, r)
 		hist.observe(time.Since(start))
@@ -101,9 +110,12 @@ func (s *Server) routes() {
 
 	s.handle("GET /v1/replication/snapshot", s.replicationSnapshot)
 	s.handle("GET /v1/replication/status", s.replicationStatus)
-	// The WAL stream is long-lived; registering it unwrapped keeps one
-	// endless request from skewing the latency histograms.
+	// The WAL stream and the /v1/stream/* connections are long-lived;
+	// registering them unwrapped keeps one endless request from skewing
+	// the latency histograms.
 	s.mux.HandleFunc("GET /v1/replication/wal", s.replicationWAL)
+	s.mux.HandleFunc("POST /v1/stream/observe", s.streamObserve)
+	s.mux.HandleFunc("GET /v1/stream/events", s.streamEvents)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -484,6 +496,7 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		},
 		Endpoints:   s.metrics.snapshot(),
 		Replication: s.replicationWireStatus(nil),
+		Stream:      s.streamStats(),
 	})
 }
 

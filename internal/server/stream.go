@@ -1,0 +1,278 @@
+// Streaming endpoints: the long-lived faces of the ingest and event
+// subsystems (internal/stream).
+//
+//	POST /v1/stream/observe        NDJSON ObserveFrame in, Ack out
+//	GET  /v1/stream/events?from=N  NDJSON committed-event feed
+//
+// Both are full-duplex/indefinite connections and are registered
+// unwrapped, like the replication WAL stream, so one endless request
+// does not skew the latency histograms. The observe stream requires
+// HTTP/1.x full duplex (acks flow while the request body is still
+// arriving); the event feed is plain chunked response streaming.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/profile"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// streamState is the server's lazily-built streaming machinery: ingest
+// counters exist from construction (they are just atomics), the event
+// bus is built on the first subscription because it pins the alert-log
+// feed and needs a durable primary.
+type streamState struct {
+	ingest    stream.IngestCounters
+	ingestCfg stream.IngestConfig
+
+	busMu  sync.Mutex
+	bus    *stream.Bus
+	busCfg stream.BusConfig
+}
+
+// eventBus returns the shared bus, building it on first use.
+func (s *Server) eventBus() (*stream.Bus, error) {
+	if s.rep != nil {
+		return nil, errors.New("event feed is served by the primary (followers have no local log)")
+	}
+	st := &s.stream
+	st.busMu.Lock()
+	defer st.busMu.Unlock()
+	if st.bus == nil {
+		b, err := stream.NewBus(s.sys, st.busCfg)
+		if err != nil {
+			return nil, err
+		}
+		st.bus = b
+	}
+	return st.bus, nil
+}
+
+// Close releases the server's background machinery (today: the event
+// bus and its alert-log subscription). The Server remains usable as an
+// http.Handler for non-streaming routes afterwards.
+func (s *Server) Close() {
+	st := &s.stream
+	st.busMu.Lock()
+	defer st.busMu.Unlock()
+	if st.bus != nil {
+		st.bus.Close()
+		st.bus = nil
+	}
+}
+
+// streamStats assembles the /v1/stats streaming section: always the
+// ingest counters, plus the bus counters once a subscriber has forced
+// the bus into existence.
+func (s *Server) streamStats() *wire.StreamStats {
+	if s.rep != nil {
+		return nil
+	}
+	st := &s.stream
+	out := &wire.StreamStats{Ingest: st.ingest.Snapshot()}
+	st.busMu.Lock()
+	if st.bus != nil {
+		bs := st.bus.Stats()
+		out.Bus = &bs
+	}
+	st.busMu.Unlock()
+	return out
+}
+
+// flushWriter pushes every buffered ack through the HTTP response as
+// soon as the ingestor writes it: the ingestor flushes its own buffer
+// once per ack line, so each Write here is one ack (or a coalesced few).
+type flushWriter struct {
+	w  http.ResponseWriter
+	rc *http.ResponseController
+}
+
+func (f flushWriter) Write(p []byte) (int, error) {
+	n, err := f.w.Write(p)
+	if err == nil {
+		err = f.rc.Flush()
+	}
+	return n, err
+}
+
+// streamObserve services POST /v1/stream/observe: one long-lived NDJSON
+// connection of observation frames, chunked into ObserveBatch calls,
+// answered with cumulative durable acks (see internal/stream/ingest.go
+// for the framing and crash contract).
+func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
+	rc := http.NewResponseController(w)
+	// Acks must reach the client while its request body is still open;
+	// without full duplex Go's HTTP/1.x server would cut the body off at
+	// the first response write. This applies to the ERROR responses too:
+	// the client is mid-way through an endless chunked upload, and
+	// without duplex+flush its transport sits on the refusal until the
+	// upload ends — i.e. forever.
+	duplexErr := rc.EnableFullDuplex()
+	refuse := func(code int, err error) {
+		writeErr(w, code, err)
+		_ = rc.Flush()
+	}
+	if s.rep != nil {
+		refuse(http.StatusForbidden, core.ErrReadOnly)
+		return
+	}
+	if duplexErr != nil {
+		refuse(http.StatusInternalServerError, fmt.Errorf("streaming ingest unsupported: %w", duplexErr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush() // commit headers so the client knows the stream is live
+	ing := &stream.Ingestor{Target: s.sys, Config: s.stream.ingestCfg, Counters: &s.stream.ingest}
+	// The terminal condition already rode to the client in the final ack
+	// (or the client is gone); there is no HTTP status left to change.
+	_ = ing.Run(r.Body, flushWriter{w: w, rc: rc})
+	// Consume the body's trailing framing (the ingestor stops at the End
+	// frame, before the chunked terminator): with full duplex the server
+	// leaves the unread tail to us, and an unread tail makes the next
+	// request's read on this keep-alive connection race it.
+	_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, 256<<10))
+}
+
+// parseSubscribeOptions decodes the event-feed query parameters:
+// from=<seq>, subject=<id>, location=<id>, kinds=<k1,k2,...>,
+// alerts_since=<seq> (presence enables the retained-alert backlog),
+// buffer=<n>.
+func parseSubscribeOptions(r *http.Request) (stream.SubscribeOptions, error) {
+	q := r.URL.Query()
+	var opts stream.SubscribeOptions
+	if v := q.Get("from"); v != "" {
+		from, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad from: %w", err)
+		}
+		opts.From = from
+	}
+	opts.Filter.Subject = profile.SubjectID(q.Get("subject"))
+	opts.Filter.Location = graph.ID(q.Get("location"))
+	if v := q.Get("kinds"); v != "" {
+		for _, k := range strings.Split(v, ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				opts.Filter.Kinds = append(opts.Filter.Kinds, stream.EventKind(k))
+			}
+		}
+	}
+	if v := q.Get("alerts_since"); v != "" {
+		since, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("bad alerts_since: %w", err)
+		}
+		opts.AlertsSince = &since
+	}
+	if v := q.Get("buffer"); v != "" {
+		buf, err := strconv.Atoi(v)
+		if err != nil || buf < 0 {
+			return opts, fmt.Errorf("bad buffer")
+		}
+		opts.Buffer = buf
+	}
+	return opts, nil
+}
+
+// streamEvents services GET /v1/stream/events: an NDJSON feed of
+// committed events from the shared bus. The connection ends when the
+// subscription does — slow-consumer eviction and compaction arrive as
+// in-band KindError frames before the close; a From behind the horizon
+// is HTTP 410 up front.
+func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
+	bus, err := s.eventBus()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, err := parseSubscribeOptions(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	sub, err := bus.Subscribe(opts)
+	if err != nil {
+		if errors.Is(err, stream.ErrCompacted) {
+			writeErr(w, http.StatusGone, err)
+			return
+		}
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer sub.Close()
+
+	rc := http.NewResponseController(w)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	_ = rc.Flush()
+
+	bw := bufio.NewWriterSize(w, 32<<10)
+	enc := json.NewEncoder(bw)
+	done := r.Context().Done()
+	for {
+		ev, err := sub.Next(done)
+		if err != nil {
+			// Terminated (client gone, eviction after its in-band frame
+			// drained, bus closed): flush whatever is buffered and end.
+			_ = bw.Flush()
+			return
+		}
+		if err := enc.Encode(ev); err != nil {
+			return
+		}
+		// Batch while the queue has backlog; flush on every drain so a
+		// quiet feed delivers each event immediately.
+		if sub.Pending() == 0 {
+			if bw.Flush() != nil || rc.Flush() != nil {
+				return
+			}
+		}
+	}
+}
+
+// SetFollowLagMax arms the replica read barrier: queries on a follower
+// whose replication staleness exceeds max are rejected with HTTP 503
+// and a Retry-After, so load balancers fail over to a fresher node
+// instead of serving arbitrarily old answers. Zero disables the
+// barrier. Call before serving traffic; /v1/stats and
+// /v1/replication/* stay exempt (operators need them most exactly when
+// the barrier trips).
+func (s *Server) SetFollowLagMax(max time.Duration) { s.maxLag = max }
+
+// lagExempt reports routes the read barrier never applies to.
+func lagExempt(pattern string) bool {
+	return strings.Contains(pattern, "/v1/stats") || strings.Contains(pattern, "/v1/replication/")
+}
+
+// barred enforces the follow-lag barrier; it reports true after writing
+// the 503.
+func (s *Server) barred(w http.ResponseWriter) bool {
+	if s.rep == nil || s.maxLag <= 0 {
+		return false
+	}
+	stale := s.rep.Staleness()
+	if stale <= s.maxLag {
+		return false
+	}
+	retry := int(s.maxLag / time.Second)
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	writeErr(w, http.StatusServiceUnavailable,
+		fmt.Errorf("replica stale for %s (max %s): retry on this node or fail over to the primary", stale.Round(time.Millisecond), s.maxLag))
+	return true
+}

@@ -1,0 +1,673 @@
+// The committed-event bus: one shared pump tails the primary's WAL —
+// the committed history, in exactly the order every replica applies it —
+// decodes each durable record into an Event, and fans it out to
+// subscribers. Alerts from the audit log ride the same feed in their own
+// sequence space.
+//
+// Fan-out discipline:
+//
+//   - One shared storage.Tailer pump serves every subscriber's live
+//     phase; it wakes on the System's commit notifications and falls
+//     back to polling, so feed latency is bounded by the commit barrier,
+//     not a poll interval.
+//   - Each subscriber owns a bounded queue. The pump never blocks on a
+//     subscriber: a queue that is full when a live event arrives gets
+//     the subscriber EVICTED (ErrSlowConsumer, with an in-band KindError
+//     frame naming the sequence to resubscribe from). The log is the
+//     buffer of record — an evicted client loses nothing by
+//     resubscribing from its last seen sequence.
+//   - A subscriber behind the live position catches up from the WAL
+//     itself on its own goroutine (the log IS the replay buffer), then
+//     splices into the live feed under the bus lock with no gap and no
+//     duplicate. Only the compaction horizon limits how far back a
+//     subscription can start (ErrCompacted → HTTP 410).
+package stream
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/storage"
+)
+
+// Bus defaults.
+const (
+	DefaultSubscriberBuffer = 1024
+	DefaultBusPoll          = 25 * time.Millisecond
+)
+
+// ErrSlowConsumer reports an eviction: the subscriber's queue was full
+// when a live event arrived. Resubscribe from the last seen sequence.
+var ErrSlowConsumer = errors.New("stream: slow consumer evicted")
+
+// ErrCompacted reports that the requested range starts before the
+// compaction horizon: those records live only inside a snapshot now.
+var ErrCompacted = errors.New("stream: requested events compacted into a snapshot")
+
+// ErrBusClosed reports a subscription ended by Bus.Close or
+// Subscription.Close.
+var ErrBusClosed = errors.New("stream: subscription closed")
+
+// BusConfig tunes the bus. The zero value selects the defaults.
+type BusConfig struct {
+	// SubscriberBuffer is the per-subscriber queue length (<= 0 selects
+	// DefaultSubscriberBuffer). A subscriber whose queue is full when a
+	// live event arrives is evicted.
+	SubscriberBuffer int
+	// Poll is the pump's idle fallback cadence (<= 0 selects
+	// DefaultBusPoll); the commit notification channel is the primary
+	// wakeup.
+	Poll time.Duration
+}
+
+// BusStats is a point-in-time snapshot of the bus counters.
+type BusStats struct {
+	// Subscribers is the live fan-out width; CatchingUp counts
+	// subscriptions still replaying history from the log (backpressured,
+	// not evictable); TotalSubscribers counts every subscription ever
+	// accepted.
+	Subscribers      int    `json:"subscribers"`
+	CatchingUp       int    `json:"catching_up,omitempty"`
+	TotalSubscribers uint64 `json:"total_subscribers"`
+	// Published counts committed records the pump decoded onto the feed;
+	// Alerts the audit alerts that joined it; Delivered the events
+	// actually handed to subscriber queues (catch-up and live).
+	Published uint64 `json:"published"`
+	Alerts    uint64 `json:"alerts"`
+	Delivered uint64 `json:"delivered"`
+	// Evicted counts slow-consumer evictions; Lost counts events a
+	// compaction removed before the pump could read them.
+	Evicted uint64 `json:"evicted"`
+	Lost    uint64 `json:"lost,omitempty"`
+}
+
+// Bus fans the committed-event feed out to subscribers.
+type Bus struct {
+	sys *core.System
+	cfg BusConfig
+
+	mu      sync.Mutex
+	subs    map[*Subscription]struct{}
+	nextSeq uint64 // the live pump's next record sequence
+	pumping bool
+	pumpGen uint64
+	feeds   int // subscriptions still in their catch-up phase
+	closed  bool
+
+	cancelAlerts func()
+
+	totalSubs, published, alertsPub atomic.Uint64
+	delivered, evicted, lost        atomic.Uint64
+}
+
+// NewBus builds a bus over a durable primary. The WAL is the feed's
+// source of truth, so a system without durability (or a follower, which
+// has no local log) cannot host one.
+func NewBus(sys *core.System, cfg BusConfig) (*Bus, error) {
+	if !sys.ReplicationInfo().Durable {
+		return nil, errors.New("stream: the event bus requires a durable primary (set Config.DataDir)")
+	}
+	if cfg.SubscriberBuffer <= 0 {
+		cfg.SubscriberBuffer = DefaultSubscriberBuffer
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = DefaultBusPoll
+	}
+	b := &Bus{sys: sys, cfg: cfg, subs: make(map[*Subscription]struct{})}
+	b.cancelAlerts = sys.Alerts().Subscribe(b.publishAlert)
+	return b, nil
+}
+
+// Close detaches the alert feed and terminates every subscription.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	b.closed = true
+	b.pumpGen++ // retire the pump
+	b.pumping = false
+	subs := make([]*Subscription, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.subs = make(map[*Subscription]struct{})
+	b.mu.Unlock()
+	if b.cancelAlerts != nil {
+		b.cancelAlerts()
+	}
+	for _, s := range subs {
+		s.fail(ErrBusClosed, Event{Kind: KindError, Seq: s.next, Error: ErrBusClosed.Error()})
+	}
+}
+
+// Stats reports the bus counters.
+func (b *Bus) Stats() BusStats {
+	b.mu.Lock()
+	live, feeds := len(b.subs), b.feeds
+	b.mu.Unlock()
+	return BusStats{
+		Subscribers:      live,
+		CatchingUp:       feeds,
+		TotalSubscribers: b.totalSubs.Load(),
+		Published:        b.published.Load(),
+		Alerts:           b.alertsPub.Load(),
+		Delivered:        b.delivered.Load(),
+		Evicted:          b.evicted.Load(),
+		Lost:             b.lost.Load(),
+	}
+}
+
+// SubscribeOptions positions and filters one subscription.
+type SubscribeOptions struct {
+	// From is the first record sequence to deliver. 0 is the
+	// start-of-retained-history sentinel: it subscribes from the
+	// compaction horizon, wherever it is (never ErrCompacted). An
+	// explicit nonzero From below the horizon IS refused — that client
+	// tracked a position, and silently skipping the compacted gap would
+	// hide real loss from it. The current TotalSeq delivers only new
+	// events.
+	From uint64
+	// Filter drops events the subscriber does not want.
+	Filter Filter
+	// AlertsSince, when non-nil, additionally delivers the audit log's
+	// retained alerts with AlertSeq > *AlertsSince at attach time (the
+	// log is bounded, so this is best effort). Nil delivers live alerts
+	// only. Either way, alert delivery still requires the filter to
+	// admit KindAlert.
+	AlertsSince *uint64
+	// Buffer overrides the per-subscriber queue length (0 = bus default).
+	Buffer int
+}
+
+// Subscribe attaches a subscriber. An explicit From before the
+// compaction horizon fails with ErrCompacted (the state up to the
+// horizon lives in snapshots; bootstrap a replica instead); From 0
+// means "everything retained" and clamps to the horizon.
+func (b *Bus) Subscribe(opts SubscribeOptions) (*Subscription, error) {
+	info := b.sys.ReplicationInfo()
+	if opts.From == 0 {
+		opts.From = info.BaseSeq
+	}
+	if opts.From < info.BaseSeq {
+		return nil, fmt.Errorf("%w: seq %d precedes the horizon %d; resubscribe from %d",
+			ErrCompacted, opts.From, info.BaseSeq, info.BaseSeq)
+	}
+	buf := opts.Buffer
+	if buf <= 0 {
+		buf = b.cfg.SubscriberBuffer
+	}
+	s := &Subscription{
+		bus:    b,
+		filter: opts.Filter,
+		q:      make(chan Event, buf),
+		quit:   make(chan struct{}),
+		next:   opts.From,
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrBusClosed
+	}
+	b.feeds++
+	b.totalSubs.Add(1)
+	if !b.pumping {
+		// The pump serves only the LIVE edge: it resumes at the durable
+		// head, and a subscriber behind it catches up from the log itself
+		// (blocking sends — backpressure), so a long replay can never
+		// flood the live queues and evict its own subscriber.
+		b.startPumpLocked(info.TotalSeq)
+	}
+	b.mu.Unlock()
+	go s.feed(opts.AlertsSince)
+	return s, nil
+}
+
+// resolveTailer opens the live log positioned at global sequence next,
+// given the base the caller observed. It validates AFTER the skip — the
+// same read-then-validate stance as the replication stream handler —
+// that no compaction raced the positioning: `Truncate` reuses the inode
+// and frames carry no sequence numbers, so only an unchanged BaseSeq
+// proves the skipped frames were the intended ones (a short skip is the
+// same interference seen from the other side: every frame below the
+// durable frontier is fully on disk, so an honest file never runs out).
+// Returns nil on any interference; the caller retries after re-reading
+// ReplicationInfo.
+func (b *Bus) resolveTailer(next, base uint64) *storage.Tailer {
+	nt, err := storage.OpenTailer(b.sys.WALPath())
+	if err != nil {
+		return nil
+	}
+	want := next - base
+	n, err := nt.Skip(want)
+	if err != nil || n != want || b.sys.ReplicationInfo().BaseSeq != base {
+		nt.Close()
+		return nil
+	}
+	return nt
+}
+
+// startPumpLocked boots the shared live pump at record sequence `at`.
+// Callers hold b.mu.
+func (b *Bus) startPumpLocked(at uint64) {
+	b.pumping = true
+	b.nextSeq = at
+	b.pumpGen++
+	go b.pump(b.pumpGen)
+}
+
+// pump is the shared live loop: follow the durable frontier of the WAL,
+// decode each record once, fan it out. It exits when the bus goes idle
+// (no subscribers, no catch-ups) or a newer generation replaces it.
+func (b *Bus) pump(gen uint64) {
+	var t *storage.Tailer
+	var base uint64
+	defer func() {
+		if t != nil {
+			t.Close()
+		}
+	}()
+	notify := b.sys.CommitNotify()
+	for {
+		b.mu.Lock()
+		if b.pumpGen != gen {
+			b.mu.Unlock()
+			return
+		}
+		if len(b.subs) == 0 && b.feeds == 0 {
+			b.pumping = false
+			b.mu.Unlock()
+			return
+		}
+		next := b.nextSeq
+		b.mu.Unlock()
+
+		info := b.sys.ReplicationInfo()
+		if t == nil || base != info.BaseSeq {
+			if t != nil {
+				t.Close()
+				t = nil
+			}
+			if next < info.BaseSeq {
+				// A compaction consumed records the pump had not read yet:
+				// those events are gone from the feed (the state they
+				// built is in the snapshot). Count and move on.
+				b.lost.Add(info.BaseSeq - next)
+				b.mu.Lock()
+				if b.pumpGen == gen && b.nextSeq < info.BaseSeq {
+					b.nextSeq = info.BaseSeq
+				}
+				b.mu.Unlock()
+				next = info.BaseSeq
+			}
+			if nt := b.resolveTailer(next, info.BaseSeq); nt != nil {
+				t, base = nt, info.BaseSeq
+			}
+		}
+
+		progressed := false
+		if t != nil {
+			limit := info.TotalSeq - base // ship only durable records
+			for t.Seq() < limit {
+				rec, err := t.Next()
+				if err != nil {
+					// ErrNoRecord: the durable frontier outran the visible
+					// file for a moment; ErrWALReset (or anything else):
+					// re-resolve the base next round.
+					if !errors.Is(err, storage.ErrNoRecord) {
+						t.Close()
+						t = nil
+					}
+					break
+				}
+				seq := base + t.Seq() - 1
+				ev, derr := DecodeEvent(seq, rec)
+				if derr != nil {
+					// Undecodable records still occupy their sequence slot;
+					// skip it rather than stalling the feed.
+					b.lost.Add(1)
+					ev = Event{}
+				}
+				b.publishRecord(gen, seq, ev, derr == nil)
+				progressed = true
+			}
+		}
+		if !progressed {
+			select {
+			case <-notify:
+			case <-time.After(b.cfg.Poll):
+			}
+		}
+	}
+}
+
+// publishRecord advances the live position past seq and fans ev out to
+// every live subscriber (when ok). Delivery never blocks: a full queue
+// evicts its subscriber.
+func (b *Bus) publishRecord(gen, seq uint64, ev Event, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.pumpGen != gen {
+		return
+	}
+	b.nextSeq = seq + 1
+	if !ok {
+		return
+	}
+	b.published.Add(1)
+	for sub := range b.subs {
+		if seq < sub.next {
+			continue // its catch-up already delivered this one
+		}
+		if !sub.filter.Match(ev) {
+			sub.next = seq + 1
+			continue
+		}
+		select {
+		case sub.q <- ev:
+			sub.next = seq + 1
+			b.delivered.Add(1)
+		default:
+			// The cursor must NOT advance past the dropped event: the
+			// eviction notice names sub.next as the resume point, and seq
+			// is the first sequence this subscriber never received.
+			sub.next = seq
+			b.evictLocked(sub)
+		}
+	}
+}
+
+// publishAlert fans one audit alert out to the live subscribers. It runs
+// synchronously on the raising goroutine (inside the mutation), so an
+// alert always precedes the record event of the movement that raised it.
+func (b *Bus) publishAlert(a audit.Alert) {
+	ev := alertEvent(a)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.alertsPub.Add(1)
+	for sub := range b.subs {
+		if sub.alertGate || a.Seq <= sub.lastAlert {
+			// Gated: the subscription is still delivering its retained
+			// backlog; this alert is in the log and the backlog loop will
+			// pick it up in order.
+			continue
+		}
+		sub.lastAlert = a.Seq
+		if !sub.filter.Match(ev) {
+			continue
+		}
+		select {
+		case sub.q <- ev:
+			b.delivered.Add(1)
+		default:
+			b.evictLocked(sub)
+		}
+	}
+}
+
+// alertEvent is the feed shape of one audit alert.
+func alertEvent(a audit.Alert) Event {
+	return Event{
+		Kind:     KindAlert,
+		Time:     a.Time,
+		Subject:  a.Subject,
+		Location: a.Location,
+		AlertSeq: a.Seq,
+		Alert:    &a,
+	}
+}
+
+// evictLocked removes a slow consumer. Callers hold b.mu and must have
+// left sub.next at the first UNDELIVERED sequence — it is the resume
+// coordinate the terminal frame promises.
+func (b *Bus) evictLocked(sub *Subscription) {
+	delete(b.subs, sub)
+	b.evicted.Add(1)
+	err := fmt.Errorf("%w at seq %d; resubscribe from there", ErrSlowConsumer, sub.next)
+	go sub.fail(err, Event{Kind: KindError, Seq: sub.next, Error: err.Error()})
+}
+
+// remove detaches sub (Subscription.Close).
+func (b *Bus) remove(sub *Subscription) {
+	b.mu.Lock()
+	delete(b.subs, sub)
+	b.mu.Unlock()
+}
+
+// --- Subscription --------------------------------------------------------
+
+// Subscription is one subscriber's end of the feed.
+type Subscription struct {
+	bus    *Bus
+	filter Filter
+	q      chan Event
+	quit   chan struct{}
+
+	failOnce sync.Once
+	err      atomic.Pointer[error]
+	// terminal holds the latched in-band closing frame (eviction notice,
+	// bus shutdown); Next hands it out after the queue drains, so it can
+	// never be lost to a full queue.
+	terminal atomic.Pointer[Event]
+
+	// next is the next record sequence this subscriber needs. Owned by
+	// the feed goroutine during catch-up, by the pump (under bus.mu)
+	// once live. lastAlert is the same cursor for the alert space;
+	// alertGate suppresses live alert delivery while the retained
+	// backlog is still being replayed (both under bus.mu).
+	next      uint64
+	lastAlert uint64
+	alertGate bool
+}
+
+// fail terminates the subscription: latch the error and the in-band
+// terminal frame, wake every reader. The frame is handed out by Next
+// after the queued events drain — NOT enqueued, because the queue being
+// full is exactly how evictions happen.
+func (s *Subscription) fail(err error, terminal Event) {
+	s.failOnce.Do(func() {
+		s.err.Store(&err)
+		if terminal.Kind != "" {
+			s.terminal.Store(&terminal)
+		}
+		close(s.quit)
+	})
+}
+
+// Err returns the terminal error once the subscription has ended.
+func (s *Subscription) Err() error {
+	if p := s.err.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+// Close detaches the subscription. Pending events are discarded; a
+// Close during catch-up stops the feed goroutine via quit, which also
+// releases its pending-feed count.
+func (s *Subscription) Close() {
+	s.bus.remove(s)
+	s.fail(ErrBusClosed, Event{})
+}
+
+// Next returns the next event. Queued events are always drained before a
+// terminal error is reported, so an evicted subscriber still sees its
+// in-band KindError frame. done, when non-nil, aborts the wait (e.g. an
+// HTTP request's Context().Done()).
+func (s *Subscription) Next(done <-chan struct{}) (Event, error) {
+	// Drain before reporting termination.
+	select {
+	case ev := <-s.q:
+		return ev, nil
+	default:
+	}
+	select {
+	case ev := <-s.q:
+		return ev, nil
+	case <-s.quit:
+		// Raced delivery: drain once more.
+		select {
+		case ev := <-s.q:
+			return ev, nil
+		default:
+		}
+		// The queue is dry: hand out the latched terminal frame (once),
+		// then the terminal error.
+		if t := s.terminal.Swap(nil); t != nil {
+			return *t, nil
+		}
+		if err := s.Err(); err != nil {
+			return Event{}, err
+		}
+		return Event{}, ErrBusClosed
+	case <-done:
+		return Event{}, errors.New("stream: subscriber canceled")
+	}
+}
+
+// Pending reports how many events are queued — the HTTP handler flushes
+// its response when the queue drains.
+func (s *Subscription) Pending() int { return len(s.q) }
+
+// closedNow reports whether the subscription already terminated.
+func (s *Subscription) closedNow() bool {
+	select {
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// feed is the catch-up goroutine: read [next, live) straight from the
+// WAL — the log is the replay buffer — then splice into the live feed
+// under the bus lock with no gap and no duplicate.
+func (s *Subscription) feed(alertsSince *uint64) {
+	b := s.bus
+	var t *storage.Tailer
+	var base uint64
+	defer func() {
+		if t != nil {
+			t.Close()
+		}
+		b.mu.Lock()
+		b.feeds--
+		b.mu.Unlock()
+	}()
+
+	send := func(ev Event) bool {
+		select {
+		case s.q <- ev:
+			b.delivered.Add(1)
+			return true
+		case <-s.quit:
+			return false
+		}
+	}
+
+	for {
+		if s.closedNow() {
+			return
+		}
+		// Try to go live: if the shared pump's position is at (or before)
+		// ours, registration is gap-free — the pump skips below s.next.
+		b.mu.Lock()
+		if b.closed {
+			b.mu.Unlock()
+			s.fail(ErrBusClosed, Event{})
+			return
+		}
+		if s.next >= b.nextSeq {
+			// Position the alert cursor: explicit resume point (backlog
+			// replay, gated below), or "live only" = everything already
+			// retained is old news.
+			var cursor uint64
+			if alertsSince != nil {
+				cursor = *alertsSince
+				s.alertGate = true
+			} else {
+				s.lastAlert = b.sys.Alerts().LastSeq()
+			}
+			b.subs[s] = struct{}{}
+			b.mu.Unlock()
+			if alertsSince == nil {
+				return
+			}
+			// Replay the retained-alert backlog in order. The gate makes
+			// live alerts wait their turn: while it is up, publishAlert
+			// skips this subscription, and anything raised meanwhile is in
+			// the log for the next round. The gate drops only in a round
+			// that proved (under the bus lock, where publishAlert runs)
+			// that the log holds nothing past the cursor — so the splice
+			// to live delivery has no gap, no duplicate, and no reordering.
+			for {
+				for _, a := range b.sys.Alerts().Since(cursor) {
+					cursor = a.Seq
+					if ev := alertEvent(a); s.filter.Match(ev) && !send(ev) {
+						return
+					}
+				}
+				b.mu.Lock()
+				if b.sys.Alerts().LastSeq() <= cursor {
+					s.lastAlert = cursor
+					s.alertGate = false
+					b.mu.Unlock()
+					return
+				}
+				b.mu.Unlock()
+			}
+		}
+		target := b.nextSeq
+		b.mu.Unlock()
+
+		// Catch up from the log: every record below target is durable and
+		// on disk (the pump read it from this same file), unless a
+		// compaction truncated it away — then re-resolve.
+		info := b.sys.ReplicationInfo()
+		if t == nil || base != info.BaseSeq {
+			if t != nil {
+				t.Close()
+				t = nil
+			}
+			if s.next < info.BaseSeq {
+				err := fmt.Errorf("%w: seq %d precedes the horizon %d; resubscribe from %d",
+					ErrCompacted, s.next, info.BaseSeq, info.BaseSeq)
+				s.fail(err, Event{Kind: KindError, Seq: info.BaseSeq, Error: err.Error()})
+				return
+			}
+			nt := b.resolveTailer(s.next, info.BaseSeq)
+			if nt == nil {
+				time.Sleep(time.Millisecond)
+				continue
+			}
+			t, base = nt, info.BaseSeq
+		}
+		for s.next < target {
+			rec, err := t.Next()
+			if err != nil {
+				// Any miss — including ErrNoRecord, which an uninterfered
+				// file cannot produce here (every record below target is
+				// durable and on disk) — means the log changed underneath
+				// us. Re-resolve from the top of the loop, which also
+				// re-checks closedNow, instead of spinning on this fd.
+				t.Close()
+				t = nil
+				time.Sleep(time.Millisecond)
+				break
+			}
+			ev, derr := DecodeEvent(s.next, rec)
+			s.next++
+			if derr != nil {
+				continue // same stance as the pump: skip the slot
+			}
+			if !s.filter.Match(ev) {
+				continue
+			}
+			if !send(ev) {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package stream
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/profile"
+)
+
+// TestTornStreamAckedPrefixDurable is the ingest crash contract, proved
+// at every byte offset: cut the connection after k bytes and the frames
+// that arrived complete — exactly the acked prefix — are durable across
+// a restart, and nothing else is.
+//
+// "Complete" includes a frame whose closing newline was cut but whose
+// JSON object arrived whole (a strict prefix of a JSON object can never
+// parse, so the boundary is unambiguous).
+func TestTornStreamAckedPrefixDurable(t *testing.T) {
+	// The canonical stream: six valid readings walking two subjects
+	// through the 2x2 grid.
+	_, _, centers := gridSystem(t, 2, t.TempDir(), "alice", "bob")
+	frames := []ObserveFrame{
+		{Time: 2, Subject: "alice", X: centers[0].X, Y: centers[0].Y},
+		{Time: 3, Subject: "bob", X: centers[0].X, Y: centers[0].Y},
+		{Time: 4, Subject: "alice", X: centers[1].X, Y: centers[1].Y},
+		{Time: 5, Subject: "bob", X: centers[2].X, Y: centers[2].Y},
+		{Time: 6, Subject: "alice", X: centers[3].X, Y: centers[3].Y},
+		{Time: 7, Subject: "bob", X: centers[1].X, Y: centers[1].Y},
+	}
+	var lines [][]byte
+	var input []byte
+	for _, f := range frames {
+		line := frameLine(t, f)
+		lines = append(lines, line)
+		input = append(input, line...)
+	}
+
+	// completeAt(k): how many frames arrived whole in input[:k].
+	completeAt := func(k int) uint64 {
+		var n uint64
+		pos := 0
+		for _, line := range lines {
+			end := pos + len(line)
+			switch {
+			case k >= end, k == end-1: // full line, or full JSON minus its newline
+				n++
+			default:
+				return n
+			}
+			pos = end
+		}
+		return n
+	}
+
+	step := 1
+	if testing.Short() {
+		step = 7
+	}
+	for k := 0; k <= len(input); k += step {
+		dir := t.TempDir()
+		sys, _, _ := gridSystem(t, 2, dir, "alice", "bob")
+
+		var out bytes.Buffer
+		ing := &Ingestor{Target: sys, Config: IngestConfig{MaxChunk: 2}}
+		if err := ing.Run(bytes.NewReader(input[:k]), &out); err != nil {
+			t.Fatalf("k=%d: run: %v", k, err)
+		}
+		acks := parseAcks(t, out.Bytes())
+		final := acks[len(acks)-1]
+		want := completeAt(k)
+		if final.Acked != want {
+			t.Fatalf("k=%d: acked %d frames, %d arrived complete", k, final.Acked, want)
+		}
+		if got := sys.ReplicationInfo().TotalSeq; final.Seq != got {
+			t.Fatalf("k=%d: final ack seq %d != durable frontier %d", k, final.Seq, got)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatalf("k=%d: close: %v", k, err)
+		}
+
+		// Restart from the directory: the durable state must be the acked
+		// prefix — no more, no less. (No snapshot was ever taken, so the
+		// graph config rides along like a fresh ltamd boot would supply.)
+		reGraph, reBounds, _, _ := gridParts(t, 2)
+		re, err := core.Open(core.Config{Graph: reGraph, Boundaries: reBounds, DataDir: dir})
+		if err != nil {
+			t.Fatalf("k=%d: reopen: %v", k, err)
+		}
+		if got := re.ReplicationInfo().TotalSeq; got != final.Seq {
+			t.Fatalf("k=%d: reopened frontier %d, acked seq %d", k, got, final.Seq)
+		}
+		// Reference: the acked prefix applied to a fresh system.
+		ref, _, _ := gridSystem(t, 2, t.TempDir(), "alice", "bob")
+		if want > 0 {
+			readings := make([]core.Reading, 0, want)
+			for _, f := range frames[:want] {
+				readings = append(readings, core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}})
+			}
+			outcomes, err := ref.ObserveBatch(readings)
+			if err != nil {
+				t.Fatalf("k=%d: reference apply: %v", k, err)
+			}
+			for i, o := range outcomes {
+				if o.Err != nil {
+					t.Fatalf("k=%d: reference reading %d: %v", k, i, o.Err)
+				}
+			}
+		}
+		for _, sub := range []profile.SubjectID{"alice", "bob"} {
+			gotLoc, gotIn := re.WhereIs(sub)
+			wantLoc, wantIn := ref.WhereIs(sub)
+			if gotLoc != wantLoc || gotIn != wantIn {
+				t.Fatalf("k=%d: %s at %q/%v after restart, reference %q/%v",
+					k, sub, gotLoc, gotIn, wantLoc, wantIn)
+			}
+		}
+		if got, want := re.Movements().Len(), ref.Movements().Len(); got != want {
+			t.Fatalf("k=%d: %d movements after restart, reference %d", k, got, want)
+		}
+		_ = re.Close()
+	}
+}

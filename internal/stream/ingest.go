@@ -1,0 +1,298 @@
+// Streaming ingest: one long-lived connection replaces thousands of
+// HTTP round-trips. The client writes NDJSON ObserveFrame lines; the
+// server chunks them into ObserveBatch calls — one write-lock
+// acquisition and one WAL group (one fsync) per chunk — under a
+// MaxChunk/MaxDelay policy mirroring the group committer's knobs, and
+// answers with cumulative Ack lines carrying the durable record
+// sequence.
+//
+// Framing is crash-oriented by construction: a line is applied if and
+// only if it arrived complete. A connection cut mid-line drops exactly
+// the torn suffix (a strict prefix of a JSON object is never valid
+// JSON, so it cannot be mistaken for a frame); everything before it is
+// flushed, acked and — because ObserveBatch's barrier acks after the
+// shared fsync — durable. The torn-stream test asserts this at every
+// byte offset.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/storage"
+)
+
+// Ingest defaults.
+const (
+	DefaultMaxChunk = 1024
+	DefaultQueueLen = 4096
+)
+
+// IngestTarget is what the ingestor drives: core.System satisfies it.
+type IngestTarget interface {
+	// ObserveBatch applies one chunk (one critical section, one WAL
+	// group); the returned error is the batch durability/rejection error.
+	ObserveBatch(readings []core.Reading) ([]core.ObserveOutcome, error)
+	// ReplicationInfo supplies the durable record sequence for acks.
+	ReplicationInfo() core.ReplicationInfo
+}
+
+// IngestConfig tunes the chunking policy. The zero value selects the
+// defaults.
+type IngestConfig struct {
+	// MaxChunk caps the readings one ObserveBatch call (one fsync) may
+	// cover (<= 0 selects DefaultMaxChunk).
+	MaxChunk int
+	// MaxDelay is how long a non-full chunk lingers for more frames once
+	// at least one is pending. Zero (the default) flushes as soon as the
+	// decode queue momentarily drains — batching then comes from frames
+	// arriving during the previous chunk's fsync, the same natural
+	// batching stance as the group committer's commit_delay=0.
+	MaxDelay time.Duration
+	// QueueLen is the decoded-frame buffer between the connection reader
+	// and the chunker (<= 0 selects DefaultQueueLen). A full queue
+	// applies backpressure to the connection.
+	QueueLen int
+}
+
+// IngestStats is a point-in-time snapshot of the ingest counters.
+type IngestStats struct {
+	// Conns is the number of live ingest connections; TotalConns counts
+	// every connection ever accepted.
+	Conns      int64  `json:"conns"`
+	TotalConns uint64 `json:"total_conns"`
+	// Frames counts observation frames applied; Chunks the ObserveBatch
+	// calls they were folded into — Frames/Chunks is the round-trip
+	// amortization factor.
+	Frames uint64 `json:"frames"`
+	Chunks uint64 `json:"chunks"`
+	// Granted/Denied/Moved/Errors aggregate the per-reading outcomes.
+	Granted uint64 `json:"granted"`
+	Denied  uint64 `json:"denied"`
+	Moved   uint64 `json:"moved"`
+	Errors  uint64 `json:"errors,omitempty"`
+}
+
+// IngestCounters aggregates ingest activity across connections (the
+// server holds one for /v1/stats). All methods are safe for concurrent
+// use; a nil receiver is a no-op sink.
+type IngestCounters struct {
+	conns                        atomic.Int64
+	totalConns, frames, chunks   atomic.Uint64
+	granted, denied, moved, errs atomic.Uint64
+}
+
+// Snapshot returns the current counter values.
+func (c *IngestCounters) Snapshot() IngestStats {
+	if c == nil {
+		return IngestStats{}
+	}
+	return IngestStats{
+		Conns:      c.conns.Load(),
+		TotalConns: c.totalConns.Load(),
+		Frames:     c.frames.Load(),
+		Chunks:     c.chunks.Load(),
+		Granted:    c.granted.Load(),
+		Denied:     c.denied.Load(),
+		Moved:      c.moved.Load(),
+		Errors:     c.errs.Load(),
+	}
+}
+
+// Ingestor runs ingest connections against one target.
+type Ingestor struct {
+	Target IngestTarget
+	Config IngestConfig
+	// Counters, when set, aggregates activity across this ingestor's
+	// connections.
+	Counters *IngestCounters
+}
+
+// Run services one ingest connection: decode frames from r, chunk,
+// apply, ack to w. It returns when the stream ends — cleanly (an End
+// frame), torn (EOF or a partial line: the pending chunk is still
+// flushed and acked, so the ack stream always states exactly what
+// survived), or on a terminal target error (reported to the client in a
+// final Ack and returned). Per-reading application errors are counted
+// in the acks and do not end the stream.
+func (ing *Ingestor) Run(r io.Reader, w io.Writer) error {
+	cfg := ing.Config
+	if cfg.MaxChunk <= 0 {
+		cfg.MaxChunk = DefaultMaxChunk
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = DefaultQueueLen
+	}
+	if ing.Counters != nil {
+		ing.Counters.conns.Add(1)
+		ing.Counters.totalConns.Add(1)
+		defer ing.Counters.conns.Add(-1)
+	}
+
+	// The reader goroutine owns the connection's read side: it decodes
+	// lines into the frame queue and stops at the first torn or End
+	// frame. Decoupling decode from apply is what lets frames pile up
+	// while a chunk's fsync is in flight — the natural batching.
+	frames := make(chan core.Reading, cfg.QueueLen)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		defer close(frames)
+		sc := bufio.NewScanner(r)
+		sc.Buffer(make([]byte, 0, 64<<10), int(storage.MaxFrameSize))
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var f ObserveFrame
+			if err := json.Unmarshal(line, &f); err != nil {
+				return // torn or garbage line: stop reading, keep what we have
+			}
+			if f.End {
+				return
+			}
+			frames <- core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}}
+		}
+	}()
+
+	bw := bufio.NewWriterSize(w, 32<<10)
+	var cum Ack
+	chunk := make([]core.Reading, 0, cfg.MaxChunk)
+	writeAck := func() error {
+		line, err := json.Marshal(cum)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(line, '\n')); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	fail := func(err error) error {
+		// Terminal: tell the client (best effort) and stop without acking
+		// anything further; the deferred join below drains the reader.
+		cum.Final, cum.Error = true, err.Error()
+		_ = writeAck()
+		return err
+	}
+	flush := func() error {
+		if len(chunk) == 0 {
+			return nil
+		}
+		outcomes, err := ing.Target.ObserveBatch(chunk)
+		if err != nil {
+			return fail(err)
+		}
+		for _, o := range outcomes {
+			switch {
+			case o.Err != nil:
+				cum.Errors++
+				cum.LastError = o.Err.Error()
+			case o.Entered && o.Decision.Granted:
+				cum.Moved++
+				cum.Granted++
+			case o.Entered:
+				cum.Moved++
+				cum.Denied++
+			case o.Moved:
+				// An exit: a movement, but not an entry decision — it
+				// counts in Moved only.
+				cum.Moved++
+			}
+		}
+		cum.Acked += uint64(len(chunk))
+		cum.Seq = ing.Target.ReplicationInfo().TotalSeq
+		if ing.Counters != nil {
+			ing.Counters.frames.Add(uint64(len(chunk)))
+			ing.Counters.chunks.Add(1)
+		}
+		chunk = chunk[:0]
+		return writeAck()
+	}
+
+	defer ing.tally(&cum)
+	// Never leave the reader goroutine behind: every exit path unblocks
+	// any pending channel send and waits for the reader to let go of the
+	// connection, so an HTTP handler returning can never race a leftover
+	// body read against the server's connection reuse.
+	defer func() {
+		go func() {
+			for range frames {
+			}
+		}()
+		<-readerDone
+	}()
+	for {
+		rd, ok := <-frames
+		if !ok {
+			break
+		}
+		chunk = append(chunk, rd)
+		closed := false
+		var timer *time.Timer
+	collect:
+		for len(chunk) < cfg.MaxChunk {
+			select {
+			case rd, ok := <-frames:
+				if !ok {
+					closed = true
+					break collect
+				}
+				chunk = append(chunk, rd)
+			default:
+				if cfg.MaxDelay <= 0 {
+					break collect
+				}
+				if timer == nil {
+					timer = time.NewTimer(cfg.MaxDelay)
+				}
+				select {
+				case rd, ok := <-frames:
+					if !ok {
+						closed = true
+						break collect
+					}
+					chunk = append(chunk, rd)
+				case <-timer.C:
+					break collect
+				}
+			}
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		if err := flush(); err != nil {
+			return err
+		}
+		if closed {
+			break
+		}
+	}
+	if err := flush(); err != nil {
+		return err
+	}
+	// The final ack always states the durable frontier, even for a
+	// connection that shipped no frames — "your prefix is durable up to
+	// Seq" stays true and gives idle clients a resume coordinate.
+	cum.Final, cum.Seq = true, ing.Target.ReplicationInfo().TotalSeq
+	_ = writeAck() // the peer of a torn stream is usually gone; best effort
+	return nil
+}
+
+// tally folds a finished connection's cumulative ack into the shared
+// counters.
+func (ing *Ingestor) tally(cum *Ack) {
+	if ing.Counters == nil {
+		return
+	}
+	ing.Counters.granted.Add(cum.Granted)
+	ing.Counters.denied.Add(cum.Denied)
+	ing.Counters.moved.Add(cum.Moved)
+	ing.Counters.errs.Add(cum.Errors)
+}

@@ -1,0 +1,157 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// frameLine marshals one ObserveFrame as its NDJSON wire line.
+func frameLine(t testing.TB, f ObserveFrame) []byte {
+	t.Helper()
+	line, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(line, '\n')
+}
+
+// parseAcks decodes every ack line the server wrote.
+func parseAcks(t testing.TB, out []byte) []Ack {
+	t.Helper()
+	var acks []Ack
+	for _, line := range bytes.Split(out, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var a Ack
+		if err := json.Unmarshal(line, &a); err != nil {
+			t.Fatalf("bad ack line %q: %v", line, err)
+		}
+		acks = append(acks, a)
+	}
+	if len(acks) == 0 {
+		t.Fatal("no acks written")
+	}
+	return acks
+}
+
+// TestIngestAcksAndChunks runs one clean connection end to end: acks are
+// cumulative, the final ack is marked, per-reading outcomes are counted,
+// and the chunking policy folds multiple frames into few ObserveBatch
+// calls.
+func TestIngestAcksAndChunks(t *testing.T) {
+	sys, _, centers := gridSystem(t, 2, t.TempDir(), "alice")
+
+	var in bytes.Buffer
+	in.Write(frameLine(t, ObserveFrame{Time: 2, Subject: "alice", X: centers[0].X, Y: centers[0].Y}))
+	in.Write(frameLine(t, ObserveFrame{Time: 3, Subject: "alice", X: centers[1].X, Y: centers[1].Y}))
+	in.Write(frameLine(t, ObserveFrame{Time: 1, Subject: "alice", X: centers[0].X, Y: centers[0].Y})) // regression: per-reading error
+	in.Write(frameLine(t, ObserveFrame{Time: 4, Subject: "eve", X: centers[1].X, Y: centers[1].Y}))   // tailgater: denied
+	in.Write(frameLine(t, ObserveFrame{Time: 5, Subject: "alice", X: -100, Y: -100}))                 // leaves: a movement, not a denial
+	in.Write(frameLine(t, ObserveFrame{End: true}))
+
+	var counters IngestCounters
+	var out bytes.Buffer
+	ing := &Ingestor{Target: sys, Config: IngestConfig{MaxChunk: 2}, Counters: &counters}
+	if err := ing.Run(&in, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	acks := parseAcks(t, out.Bytes())
+	final := acks[len(acks)-1]
+	if !final.Final {
+		t.Fatalf("last ack not final: %+v", final)
+	}
+	if final.Acked != 5 || final.Granted != 2 || final.Denied != 1 || final.Errors != 1 {
+		t.Fatalf("final ack = %+v, want acked 5 granted 2 denied 1 errors 1", final)
+	}
+	if final.Moved != 4 {
+		t.Fatalf("moved = %d, want 4 (2 granted entries + 1 tailgating entry + 1 exit; the exit must NOT count as denied)", final.Moved)
+	}
+	if final.LastError == "" {
+		t.Fatal("per-reading failure not surfaced in LastError")
+	}
+	if got := sys.ReplicationInfo().TotalSeq; final.Seq != got {
+		t.Fatalf("final ack seq %d != durable frontier %d", final.Seq, got)
+	}
+	// Cumulative: acked never decreases, every non-final ack covers a
+	// strict prefix.
+	var prev uint64
+	for _, a := range acks {
+		if a.Acked < prev {
+			t.Fatalf("acks not cumulative: %v", acks)
+		}
+		prev = a.Acked
+	}
+	st := counters.Snapshot()
+	if st.Frames != 5 || st.Chunks < 2 {
+		t.Fatalf("counters = %+v, want 5 frames in >= 2 chunks (MaxChunk 2)", st)
+	}
+	if st.Moved != 4 || st.Denied != 1 {
+		t.Fatalf("counters = %+v, want moved 4 denied 1", st)
+	}
+	if st.TotalConns != 1 || st.Conns != 0 {
+		t.Fatalf("connection counters = %+v", st)
+	}
+}
+
+// TestIngestTornLineStops: a line that does not parse (a torn JSON
+// prefix, or garbage) ends the connection, and everything before it is
+// still flushed and acked.
+func TestIngestTornLineStops(t *testing.T) {
+	sys, _, centers := gridSystem(t, 2, t.TempDir(), "alice")
+
+	var in bytes.Buffer
+	in.Write(frameLine(t, ObserveFrame{Time: 2, Subject: "alice", X: centers[0].X, Y: centers[0].Y}))
+	in.WriteString(`{"time": 3, "subject": "ali`) // torn mid-frame
+
+	var out bytes.Buffer
+	ing := &Ingestor{Target: sys, Config: IngestConfig{}}
+	if err := ing.Run(&in, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	acks := parseAcks(t, out.Bytes())
+	final := acks[len(acks)-1]
+	if final.Acked != 1 || !final.Final {
+		t.Fatalf("final ack = %+v, want exactly the pre-tear frame acked", final)
+	}
+	if loc, inside := sys.WhereIs("alice"); !inside || loc != "r00_00" {
+		t.Fatalf("pre-tear frame not applied: alice at %q inside=%v", loc, inside)
+	}
+}
+
+// TestIngestEmptyStream: a connection that ends before any frame still
+// gets its final ack.
+func TestIngestEmptyStream(t *testing.T) {
+	sys, _, _ := gridSystem(t, 2, t.TempDir())
+	var out bytes.Buffer
+	ing := &Ingestor{Target: sys}
+	if err := ing.Run(strings.NewReader(""), &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	acks := parseAcks(t, out.Bytes())
+	if len(acks) != 1 || !acks[0].Final || acks[0].Acked != 0 {
+		t.Fatalf("acks = %+v, want one empty final ack", acks)
+	}
+}
+
+// TestIngestSharedVocabulary: the ObserveFrame wire names match the
+// batched endpoint's wire.Reading names, so the two ingest paths speak
+// one dialect.
+func TestIngestSharedVocabulary(t *testing.T) {
+	line := frameLine(t, ObserveFrame{Time: interval.Time(7), Subject: profile.SubjectID("s"), X: 1.5, Y: 2.5})
+	var m map[string]any
+	if err := json.Unmarshal(line, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"time", "subject", "x", "y"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("frame JSON missing %q: %s", key, line)
+		}
+	}
+}

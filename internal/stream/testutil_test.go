@@ -1,0 +1,68 @@
+package stream
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+)
+
+// gridParts builds the side×side grid site: the graph, unit-square room
+// boundaries, rooms in row-major order, and one in-room coordinate per
+// room. Each call returns a fresh graph (Open takes ownership).
+func gridParts(t testing.TB, side int) (*graph.Graph, []geometry.Boundary, []graph.ID, []geometry.Point) {
+	t.Helper()
+	g := graph.New("grid")
+	id := func(r, c int) graph.ID { return graph.ID(fmt.Sprintf("r%02d_%02d", r, c)) }
+	bounds, centers := geometry.UnitGrid(side, func(r, c int) string { return string(id(r, c)) })
+	var rooms []graph.ID
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			rooms = append(rooms, id(r, c))
+			if err := g.AddLocation(id(r, c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				_ = g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < side {
+				_ = g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	if err := g.SetEntry(id(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return g, bounds, rooms, centers
+}
+
+// gridSystem boots a durable side×side grid site with unit-square room
+// boundaries (so the positioning/ingest pipeline works) and full grants
+// for the given subjects.
+func gridSystem(t testing.TB, side int, dataDir string, subjects ...profile.SubjectID) (*core.System, []graph.ID, []geometry.Point) {
+	t.Helper()
+	g, bounds, rooms, centers := gridParts(t, side)
+	sys, err := core.Open(core.Config{Graph: g, Boundaries: bounds, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	for _, sub := range subjects {
+		for _, room := range rooms {
+			if _, err := sys.AddAuthorization(authz.New(
+				interval.New(1, 1<<40), interval.New(1, 1<<41), sub, room, authz.Unlimited)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sys, rooms, centers
+}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/storage"
 )
@@ -44,6 +45,12 @@ type ReplicationStatus struct {
 	PrimarySeq uint64 `json:"primary_seq,omitempty"`
 	Lag        uint64 `json:"lag,omitempty"`
 	Connected  bool   `json:"connected,omitempty"`
+	// Bootstraps counts a replica's state loads (>1 = it self-healed in
+	// place across a primary compaction); Staleness is how long it has
+	// been unable to prove it is caught up — the quantity the
+	// -follow-lag-max read barrier bounds.
+	Bootstraps  uint64        `json:"bootstraps,omitempty"`
+	StalenessNS time.Duration `json:"staleness_ns,omitempty"`
 }
 
 // ReplicationStatus fetches a node's replication position.

@@ -1,0 +1,306 @@
+// Streaming client: the two long-lived connections of internal/stream.
+//
+// StreamObserver drives POST /v1/stream/observe — frames are PIPELINED:
+// Send buffers and never waits for an ack, so the per-reading cost is a
+// JSON encode, not an HTTP round-trip; acks are tracked on a background
+// goroutine and the latest cumulative position is always available via
+// Ack. EventStream iterates GET /v1/stream/events line by line.
+package wire
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/profile"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// StreamObserver is one live ingest connection. Send/Flush/Close are
+// safe for one goroutine (the writer); Ack and Err may be called from
+// any goroutine.
+type StreamObserver struct {
+	pw *io.PipeWriter
+	bw *bufio.Writer
+
+	mu     sync.Mutex // guards bw/pw and closed
+	closed bool
+
+	ackMu sync.Mutex
+	last  stream.Ack
+
+	err  error // terminal error, set before done closes
+	done chan struct{}
+}
+
+// StreamObserve opens the long-lived ingest stream. The returned
+// observer buffers frames (32 KiB) — call Flush to push a partial
+// buffer, Close to finish cleanly and collect the final ack. Canceling
+// ctx tears the connection (the server still flushes and durably acks
+// every complete frame it received).
+func (c *Client) StreamObserve(ctx context.Context) (*StreamObserver, error) {
+	pr, pw := io.Pipe()
+	req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+"/v1/stream/observe", pr)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		pw.Close()
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		pw.Close()
+		var e Error
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("wire: stream observe: %s", e.Error)
+		}
+		return nil, fmt.Errorf("wire: stream observe: HTTP %d", resp.StatusCode)
+	}
+	o := &StreamObserver{pw: pw, bw: bufio.NewWriterSize(pw, 32<<10), done: make(chan struct{})}
+	go o.readAcks(resp.Body)
+	return o, nil
+}
+
+// readAcks owns the response side: track the latest cumulative ack,
+// terminate on the final one (or a cut stream).
+func (o *StreamObserver) readAcks(body io.ReadCloser) {
+	defer close(o.done)
+	defer body.Close()
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 4<<10), 1<<20)
+	for sc.Scan() {
+		var a stream.Ack
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			o.err = fmt.Errorf("wire: stream observe: bad ack: %w", err)
+			return
+		}
+		o.ackMu.Lock()
+		o.last = a
+		o.ackMu.Unlock()
+		if a.Final {
+			if a.Error != "" {
+				o.err = fmt.Errorf("wire: stream observe: %s", a.Error)
+			}
+			return
+		}
+	}
+	// The ack stream ended without a final frame: server or network
+	// failure. The last ack still states exactly what is durable.
+	if err := sc.Err(); err != nil {
+		o.err = fmt.Errorf("wire: stream observe: ack stream: %w", err)
+	} else {
+		o.err = fmt.Errorf("wire: stream observe: ack stream ended without final ack")
+	}
+}
+
+// Send encodes one reading onto the stream. It does not wait for an ack
+// and may buffer; an error reports a terminated stream (see Err) or a
+// transport failure.
+func (o *StreamObserver) Send(r Reading) error {
+	select {
+	case <-o.done:
+		if o.err != nil {
+			return o.err
+		}
+		return errors.New("wire: stream observe: stream already finished")
+	default:
+	}
+	line, err := json.Marshal(stream.ObserveFrame{Time: r.Time, Subject: r.Subject, X: r.X, Y: r.Y})
+	if err != nil {
+		return err
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return errors.New("wire: stream observe: send after Close")
+	}
+	if _, err := o.bw.Write(line); err != nil {
+		return err
+	}
+	return o.bw.WriteByte('\n')
+}
+
+// Flush pushes buffered frames to the server.
+func (o *StreamObserver) Flush() error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return nil
+	}
+	return o.bw.Flush()
+}
+
+// Ack returns the latest cumulative ack: the first Ack.Acked frames of
+// this stream are applied and durable up to record sequence Ack.Seq.
+func (o *StreamObserver) Ack() stream.Ack {
+	o.ackMu.Lock()
+	defer o.ackMu.Unlock()
+	return o.last
+}
+
+// Err returns the terminal error once the stream has ended (nil on a
+// clean finish).
+func (o *StreamObserver) Err() error {
+	select {
+	case <-o.done:
+		return o.err
+	default:
+		return nil
+	}
+}
+
+// Close finishes the stream cleanly: flush, send the End frame, wait
+// for the server's final ack, and return it. The returned ack is the
+// connection's complete durable outcome.
+func (o *StreamObserver) Close() (stream.Ack, error) {
+	o.mu.Lock()
+	if !o.closed {
+		o.closed = true
+		end, _ := json.Marshal(stream.ObserveFrame{End: true})
+		_, werr := o.bw.Write(append(end, '\n'))
+		if ferr := o.bw.Flush(); werr == nil {
+			werr = ferr
+		}
+		if werr != nil {
+			o.pw.CloseWithError(werr)
+		} else {
+			o.pw.Close()
+		}
+	}
+	o.mu.Unlock()
+	<-o.done
+	return o.Ack(), o.err
+}
+
+// Abort cuts the connection without an End frame — a simulated client
+// crash. The server flushes and acks the complete frames it received;
+// the final ack (if the read side survived long enough to see one)
+// states the durable prefix.
+func (o *StreamObserver) Abort() {
+	o.mu.Lock()
+	if !o.closed {
+		o.closed = true
+		_ = o.bw.Flush()
+		o.pw.CloseWithError(errors.New("wire: stream observe: aborted"))
+	}
+	o.mu.Unlock()
+	<-o.done
+}
+
+// StreamSubscribeOptions positions and filters an event subscription.
+type StreamSubscribeOptions struct {
+	// From is the first record sequence to deliver. 0 = everything the
+	// server retains (from the compaction horizon, wherever it is); an
+	// explicit nonzero From behind the horizon is refused with
+	// storage.ErrSeqGap.
+	From uint64
+	// Subject/Location/Kinds filter the feed server-side.
+	Subject  profile.SubjectID
+	Location graph.ID
+	Kinds    []stream.EventKind
+	// AlertsSince, when non-nil, also delivers the retained alert backlog
+	// with AlertSeq > the value.
+	AlertsSince *uint64
+	// Buffer overrides the server-side per-subscriber queue length.
+	Buffer int
+}
+
+// EventStream iterates one subscription's NDJSON feed.
+type EventStream struct {
+	body io.ReadCloser
+	sc   *bufio.Scanner
+}
+
+// Subscribe opens the committed-event feed. A From behind the
+// compaction horizon returns storage.ErrSeqGap (the server's HTTP 410);
+// bootstrap a replica instead. Cancel ctx or Close the stream to
+// detach.
+func (c *Client) Subscribe(ctx context.Context, opts StreamSubscribeOptions) (*EventStream, error) {
+	q := url.Values{}
+	if opts.From > 0 {
+		q.Set("from", strconv.FormatUint(opts.From, 10))
+	}
+	if opts.Subject != "" {
+		q.Set("subject", string(opts.Subject))
+	}
+	if opts.Location != "" {
+		q.Set("location", string(opts.Location))
+	}
+	if len(opts.Kinds) > 0 {
+		kinds := make([]string, len(opts.Kinds))
+		for i, k := range opts.Kinds {
+			kinds[i] = string(k)
+		}
+		q.Set("kinds", strings.Join(kinds, ","))
+	}
+	if opts.AlertsSince != nil {
+		q.Set("alerts_since", strconv.FormatUint(*opts.AlertsSince, 10))
+	}
+	if opts.Buffer > 0 {
+		q.Set("buffer", strconv.Itoa(opts.Buffer))
+	}
+	u := c.BaseURL + "/v1/stream/events"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, "GET", u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+		resp.Body.Close()
+		var e Error
+		msg := fmt.Sprintf("HTTP %d", resp.StatusCode)
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		if resp.StatusCode == http.StatusGone {
+			return nil, fmt.Errorf("wire: subscribe: %w: %s", storage.ErrSeqGap, msg)
+		}
+		return nil, fmt.Errorf("wire: subscribe: %s", msg)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 16<<10), int(storage.MaxFrameSize))
+	return &EventStream{body: resp.Body, sc: sc}, nil
+}
+
+// Next returns the next event. io.EOF reports a server-side end of
+// feed; a stream.KindError event (delivered before the close) carries
+// the reason — slow-consumer eviction or compaction — and the sequence
+// to resubscribe from.
+func (es *EventStream) Next() (stream.Event, error) {
+	if !es.sc.Scan() {
+		if err := es.sc.Err(); err != nil {
+			return stream.Event{}, err
+		}
+		return stream.Event{}, io.EOF
+	}
+	var ev stream.Event
+	if err := json.Unmarshal(es.sc.Bytes(), &ev); err != nil {
+		return stream.Event{}, fmt.Errorf("wire: subscribe: bad event: %w", err)
+	}
+	return ev, nil
+}
+
+// Close detaches the subscription.
+func (es *EventStream) Close() error { return es.body.Close() }

@@ -23,6 +23,7 @@ import (
 	"repro/internal/query"
 	"repro/internal/rules"
 	"repro/internal/storage"
+	"repro/internal/stream"
 )
 
 // Error is the wire form of a failure.
@@ -132,6 +133,17 @@ type StatsResponse struct {
 	// log-shipping coordinates) and on replicas (role "replica",
 	// applied sequence and lag).
 	Replication *ReplicationStatus `json:"replication,omitempty"`
+	// Stream reports the streaming-ingest counters and (once a
+	// subscriber exists) the committed-event bus counters. Absent on
+	// replicas, which serve neither half.
+	Stream *StreamStats `json:"stream,omitempty"`
+}
+
+// StreamStats is the /v1/stats streaming section: the long-lived ingest
+// connections' aggregate counters and the event bus's fan-out counters.
+type StreamStats struct {
+	Ingest stream.IngestStats `json:"ingest"`
+	Bus    *stream.BusStats   `json:"bus,omitempty"`
 }
 
 // Reading is one positioning sample for the batched ingest endpoint
