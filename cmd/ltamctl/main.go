@@ -28,10 +28,11 @@
 //	graph                              fetch the site graph
 //	snapshot                           persist and compact
 //	watch [-from N] [-count N] [-subject S] [-location L]
-//	      [-kinds k1,k2] [-alerts-since N]
+//	      [-kinds k1,k2] [-alerts-since N] [-wire ndjson|binary]
 //	                                   follow the committed-event feed
 //	                                   (live monitoring; -from 0 replays
-//	                                   the retained history first)
+//	                                   the retained history first; -wire
+//	                                   binary selects the framed feed)
 package main
 
 import (
@@ -377,13 +378,19 @@ func watch(c *wire.Client, args []string) error {
 	location := fs.String("location", "", "only events at this location")
 	kinds := fs.String("kinds", "", "comma-separated event kinds (e.g. enter,leave,alert)")
 	alertsSince := fs.Int64("alerts-since", -1, "also deliver retained alerts after this sequence (-1 = live alerts only)")
+	wireFmt := fs.String("wire", "ndjson", "feed framing: ndjson or binary")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	wf, err := wire.ParseWireFormat(*wireFmt)
+	if err != nil {
 		return err
 	}
 	opts := wire.StreamSubscribeOptions{
 		From:     *from,
 		Subject:  profile.SubjectID(*subject),
 		Location: graph.ID(*location),
+		Wire:     wf,
 	}
 	if *kinds != "" {
 		for _, k := range strings.Split(*kinds, ",") {

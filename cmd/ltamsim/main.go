@@ -60,6 +60,7 @@ func main() {
 	batch := flag.Int("batch", 0, "readings per ObserveBatch call (0 = direct Enter path)")
 	data := flag.String("data", "", "data directory (enables WAL durability + group commit)")
 	streamURL := flag.String("stream", "", "drive a running ltamd over POST /v1/stream/observe at this base URL")
+	wireFmt := flag.String("wire", "ndjson", "stream framing: ndjson or binary")
 	emitSite := flag.String("emit-site", "", "write the grid site (graph.json, bounds.json) for ltamd to this directory and exit")
 	flag.Parse()
 
@@ -71,7 +72,11 @@ func main() {
 		return
 	}
 	if *streamURL != "" {
-		runStream(*streamURL, *side, *users, *steps, *seed, *overstayers, *tailgaters)
+		wf, err := wire.ParseWireFormat(*wireFmt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runStream(*streamURL, wf, *side, *users, *steps, *seed, *overstayers, *tailgaters)
 		return
 	}
 
@@ -149,7 +154,7 @@ func EmitSite(dir string, side int) error {
 // stream the random walk down one long-lived ingest connection,
 // flushing once per simulation step and closing for the final durable
 // ack.
-func runStream(base string, side, users, steps int, seed int64, overstayFrac, tailgateFrac float64) {
+func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int64, overstayFrac, tailgateFrac float64) {
 	client := wire.NewClient(base)
 	g, rooms := GridBuilding(side)
 	rng := rand.New(rand.NewSource(seed))
@@ -160,7 +165,7 @@ func runStream(base string, side, users, steps int, seed int64, overstayFrac, ta
 		log.Fatalf("populate %s: %v (does the daemon serve the -emit-site grid?)", base, err)
 	}
 
-	obs, err := client.StreamObserve(context.Background())
+	obs, err := client.StreamObserveWire(context.Background(), wf)
 	if err != nil {
 		log.Fatalf("open ingest stream: %v", err)
 	}
@@ -218,8 +223,8 @@ func runStream(base string, side, users, steps int, seed int64, overstayFrac, ta
 
 	fmt.Printf("building: %dx%d grid (%d rooms), remote daemon %s\n", side, side, len(rooms), base)
 	fmt.Printf("users: %d (%d overstay-prone, %d tailgaters)\n", users, stats.Overstayers, stats.Tailgaters)
-	fmt.Printf("ingest: one streaming connection, %d frames in %v (%.0f frames/sec)\n",
-		sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
+	fmt.Printf("ingest: one streaming connection (%s wire), %d frames in %v (%.0f frames/sec)\n",
+		wf, sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
 	fmt.Printf("acked: %d frames durable up to record seq %d\n", ack.Acked, ack.Seq)
 	fmt.Printf("entries granted: %d, denied: %d, errors: %d\n", ack.Granted, ack.Denied, ack.Errors)
 	if st, err := client.Stats(); err == nil && st.Stream != nil {

@@ -138,41 +138,47 @@ func BenchmarkServerBatchedIngest(b *testing.B) {
 // long-lived streaming connection (fsync on every commit), against the
 // same site and traffic shape as BenchmarkServerBatchedIngest. ns/op is
 // per reading. Frames are pipelined — no per-chunk round-trip wait —
-// so the HTTP cost is one JSON line each way and the fsync amortizes
+// so the transport cost is one frame each way and the fsync amortizes
 // over the server's natural chunking; the final Close waits for the
 // last durable ack, so the measurement still covers full durability.
+// The sub-benchmarks compare the two negotiated framings: NDJSON (one
+// JSON line per frame) versus the binary length+CRC framing.
 func BenchmarkStreamIngest(b *testing.B) {
 	const batch = 64
 	subjects := make([]string, batch)
 	for i := range subjects {
 		subjects[i] = fmt.Sprintf("u%02d", i)
 	}
-	client, _, centers := observeSite(b, 2, b.TempDir(), subjects...)
-	obs, err := client.StreamObserve(context.Background())
-	if err != nil {
-		b.Fatal(err)
-	}
-	clock := interval.Time(2)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		room := centers[(i/batch)%2]
-		if err := obs.Send(wire.Reading{Time: clock, Subject: profile.SubjectID(subjects[i%batch]), X: room.X, Y: room.Y}); err != nil {
-			b.Fatal(err)
-		}
-		if i%batch == batch-1 {
-			clock++
-		}
-	}
-	ack, err := obs.Close()
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.StopTimer()
-	if ack.Acked != uint64(b.N) {
-		b.Fatalf("acked %d of %d frames", ack.Acked, b.N)
-	}
-	if ack.Errors > 0 {
-		b.Fatalf("%d per-reading errors (last: %s)", ack.Errors, ack.LastError)
+	for _, wf := range []wire.WireFormat{wire.WireNDJSON, wire.WireBinary} {
+		b.Run(string(wf), func(b *testing.B) {
+			client, _, centers := observeSite(b, 2, b.TempDir(), subjects...)
+			obs, err := client.StreamObserveWire(context.Background(), wf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			clock := interval.Time(2)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				room := centers[(i/batch)%2]
+				if err := obs.Send(wire.Reading{Time: clock, Subject: profile.SubjectID(subjects[i%batch]), X: room.X, Y: room.Y}); err != nil {
+					b.Fatal(err)
+				}
+				if i%batch == batch-1 {
+					clock++
+				}
+			}
+			ack, err := obs.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			if ack.Acked != uint64(b.N) {
+				b.Fatalf("acked %d of %d frames", ack.Acked, b.N)
+			}
+			if ack.Errors > 0 {
+				b.Fatalf("%d per-reading errors (last: %s)", ack.Errors, ack.LastError)
+			}
+		})
 	}
 }
 

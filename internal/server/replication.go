@@ -130,6 +130,7 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx := r.Context()
 	skip := from - info.BaseSeq
+	var batch []byte // reused wire-form batch buffer (see Tailer.AppendNext)
 	// Each round: read a batch of frames from the file, then VALIDATE
 	// that the base did not move before shipping a single byte of it.
 	// WAL.Truncate reuses the inode and frames carry no sequence number,
@@ -161,30 +162,29 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 				break
 			}
 		}
-		var batch [][]byte
-		var batchBytes int
+		batch = batch[:0]
 		if skip == 0 {
-			for t.Seq() < limit && batchBytes < maxStreamBatchBytes {
-				body, err := t.NextBody()
+			for t.Seq() < limit && len(batch) < maxStreamBatchBytes {
+				next, err := t.AppendNext(batch)
 				if errors.Is(err, storage.ErrNoRecord) {
 					break
 				}
 				if err != nil {
 					return // reset or I/O error: follower reconnects
 				}
-				batch = append(batch, body)
-				batchBytes += len(body)
+				// The appended bytes are the frame's exact wire form (the
+				// on-disk layout IS the protocol), so the batch buffer is
+				// shipped verbatim and reused round after round.
+				batch = next
 			}
 		}
 		if cur2 := s.sys.ReplicationInfo(); cur2.BaseSeq != info.BaseSeq {
 			return // reads raced a compaction: discard the batch unsent
 		}
-		for _, body := range batch {
-			if _, err := w.Write(storage.Frame(body)); err != nil {
+		if len(batch) > 0 {
+			if _, err := w.Write(batch); err != nil {
 				return // client went away
 			}
-		}
-		if len(batch) > 0 {
 			if flusher != nil {
 				flusher.Flush()
 			}

@@ -28,19 +28,37 @@ import (
 	"repro/internal/profile"
 	"repro/internal/stream"
 	"repro/internal/wire"
+	"repro/internal/wire/frame"
 )
 
 // streamState is the server's lazily-built streaming machinery: ingest
-// counters exist from construction (they are just atomics), the event
-// bus is built on the first subscription because it pins the alert-log
-// feed and needs a durable primary.
+// counters exist from construction (they are just atomics), the shared
+// ingestor is built on the first observe connection (all connections
+// feed its ONE chunker, so concurrent streams share ObserveBatch
+// calls), and the event bus is built on the first subscription because
+// it pins the alert-log feed and needs a durable primary.
 type streamState struct {
 	ingest    stream.IngestCounters
 	ingestCfg stream.IngestConfig
 
+	ingMu sync.Mutex
+	ing   *stream.Ingestor
+
 	busMu  sync.Mutex
 	bus    *stream.Bus
 	busCfg stream.BusConfig
+}
+
+// ingestor returns the server's shared ingestor, building it on first
+// use.
+func (s *Server) ingestor() *stream.Ingestor {
+	st := &s.stream
+	st.ingMu.Lock()
+	defer st.ingMu.Unlock()
+	if st.ing == nil {
+		st.ing = &stream.Ingestor{Target: s.sys, Config: st.ingestCfg, Counters: &st.ingest}
+	}
+	return st.ing
 }
 
 // eventBus returns the shared bus, building it on first use.
@@ -108,10 +126,15 @@ func (f flushWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// streamObserve services POST /v1/stream/observe: one long-lived NDJSON
-// connection of observation frames, chunked into ObserveBatch calls,
-// answered with cumulative durable acks (see internal/stream/ingest.go
-// for the framing and crash contract).
+// streamObserve services POST /v1/stream/observe: one long-lived
+// connection of observation frames, chunked into ObserveBatch calls by
+// the SHARED chunker (all concurrent connections fold into combined
+// batches), answered with cumulative durable acks (see
+// internal/stream/ingest.go for the chunker and crash contract).
+//
+// Framing is negotiated by the request Content-Type: the default is
+// NDJSON; application/x-ltam-frame selects the binary framing for both
+// directions (observe frames in, ack frames out).
 func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
 	rc := http.NewResponseController(w)
 	// Acks must reach the client while its request body is still open;
@@ -133,13 +156,26 @@ func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
 		refuse(http.StatusInternalServerError, fmt.Errorf("streaming ingest unsupported: %w", duplexErr))
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	binary := strings.HasPrefix(r.Header.Get("Content-Type"), frame.ContentType)
+	if binary {
+		w.Header().Set("Content-Type", frame.ContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush() // commit headers so the client knows the stream is live
-	ing := &stream.Ingestor{Target: s.sys, Config: s.stream.ingestCfg, Counters: &s.stream.ingest}
+	ing := s.ingestor()
 	// The terminal condition already rode to the client in the final ack
 	// (or the client is gone); there is no HTTP status left to change.
-	_ = ing.Run(r.Body, flushWriter{w: w, rc: rc})
+	if binary {
+		or := frame.NewObserveReader(r.Body)
+		aw := frame.NewAckWriter(flushWriter{w: w, rc: rc})
+		_ = ing.RunFramed(or, aw)
+		or.Release()
+		aw.Release()
+	} else {
+		_ = ing.Run(r.Body, flushWriter{w: w, rc: rc})
+	}
 	// Consume the body's trailing framing (the ingestor stops at the End
 	// frame, before the chunked terminator): with full duplex the server
 	// leaves the unread tail to us, and an unread tail makes the next
@@ -187,11 +223,12 @@ func parseSubscribeOptions(r *http.Request) (stream.SubscribeOptions, error) {
 	return opts, nil
 }
 
-// streamEvents services GET /v1/stream/events: an NDJSON feed of
-// committed events from the shared bus. The connection ends when the
-// subscription does — slow-consumer eviction and compaction arrive as
-// in-band KindError frames before the close; a From behind the horizon
-// is HTTP 410 up front.
+// streamEvents services GET /v1/stream/events: a feed of committed
+// events from the shared bus — NDJSON by default, the binary framing
+// when the request Accept header asks for application/x-ltam-frame.
+// The connection ends when the subscription does — slow-consumer
+// eviction and compaction arrive as in-band KindError frames before the
+// close; a From behind the horizon is HTTP 410 up front.
 func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	bus, err := s.eventBus()
 	if err != nil {
@@ -214,13 +251,26 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sub.Close()
 
+	binary := strings.Contains(r.Header.Get("Accept"), frame.ContentType)
 	rc := http.NewResponseController(w)
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	if binary {
+		w.Header().Set("Content-Type", frame.ContentType)
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
 	w.WriteHeader(http.StatusOK)
 	_ = rc.Flush()
 
 	bw := bufio.NewWriterSize(w, 32<<10)
-	enc := json.NewEncoder(bw)
+	var write func(*stream.Event) error
+	if binary {
+		ew := frame.NewEventWriter(bw)
+		defer ew.Release()
+		write = ew.WriteEvent
+	} else {
+		enc := json.NewEncoder(bw)
+		write = func(ev *stream.Event) error { return enc.Encode(ev) }
+	}
 	done := r.Context().Done()
 	for {
 		ev, err := sub.Next(done)
@@ -230,7 +280,7 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 			_ = bw.Flush()
 			return
 		}
-		if err := enc.Encode(ev); err != nil {
+		if err := write(&ev); err != nil {
 			return
 		}
 		// Batch while the queue has backlog; flush on every drain so a

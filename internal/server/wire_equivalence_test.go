@@ -1,0 +1,121 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/replicatest"
+	"repro/internal/stream"
+	"repro/internal/wire"
+)
+
+// TestWireFormatsEquivalent drives the IDENTICAL workload over the
+// NDJSON and binary framings — one streaming ingest connection each —
+// and holds the two servers to byte-identical WALs, identical final
+// acks, identical from-sequence-0 subscriber replays (each read back
+// over its own framing), and identical answers from the replication
+// test battery's query sweep. The framing must be a pure transport
+// choice: nothing downstream of the codec may be able to tell which one
+// carried the movement history.
+func TestWireFormatsEquivalent(t *testing.T) {
+	type result struct {
+		ack    stream.Ack
+		wal    []byte
+		replay []json.RawMessage
+		fresh  []byte
+		cached []byte
+	}
+	subjects := []profile.SubjectID{"alice", "bob", "eve"}
+	var rooms []graph.ID
+
+	run := func(t *testing.T, wf wire.WireFormat) result {
+		sys, _, client, siteRooms, centers := streamSite(t, 2, t.TempDir(), "alice", "bob")
+		rooms = siteRooms
+		obs, err := client.StreamObserveWire(context.Background(), wf)
+		if err != nil {
+			t.Fatalf("%s: open stream: %v", wf, err)
+		}
+		for _, r := range []wire.Reading{
+			{Time: 2, Subject: "alice", X: centers[0].X, Y: centers[0].Y},
+			{Time: 3, Subject: "bob", X: centers[0].X, Y: centers[0].Y},
+			{Time: 4, Subject: "alice", X: centers[1].X, Y: centers[1].Y},
+			{Time: 1, Subject: "alice", X: centers[0].X, Y: centers[0].Y}, // regression: per-reading error
+			{Time: 5, Subject: "eve", X: centers[2].X, Y: centers[2].Y},   // tailgater: denied
+			{Time: 6, Subject: "bob", X: centers[3].X, Y: centers[3].Y},
+			{Time: 7, Subject: "alice", X: -50, Y: -50}, // leaves the site
+		} {
+			if err := obs.Send(r); err != nil {
+				t.Fatalf("%s: send: %v", wf, err)
+			}
+		}
+		ack, err := obs.Close()
+		if err != nil {
+			t.Fatalf("%s: close: %v", wf, err)
+		}
+
+		// Replay the full committed history back over the same framing.
+		total := sys.ReplicationInfo().TotalSeq
+		es, err := client.Subscribe(context.Background(), wire.StreamSubscribeOptions{From: 0, Wire: wf})
+		if err != nil {
+			t.Fatalf("%s: subscribe: %v", wf, err)
+		}
+		defer es.Close()
+		var replay []json.RawMessage
+		for uint64(len(replay)) < total {
+			ev, err := es.Next()
+			if err != nil {
+				t.Fatalf("%s: replay ended after %d of %d events: %v", wf, len(replay), total, err)
+			}
+			if ev.Kind == stream.KindAlert {
+				continue // alerts have their own sequence space; not part of the record replay
+			}
+			line, err := json.Marshal(ev)
+			if err != nil {
+				t.Fatalf("%s: marshal event: %v", wf, err)
+			}
+			replay = append(replay, line)
+		}
+
+		walBytes, err := os.ReadFile(sys.WALPath())
+		if err != nil {
+			t.Fatalf("%s: read wal: %v", wf, err)
+		}
+		return result{
+			ack:    ack,
+			wal:    walBytes,
+			replay: replay,
+			fresh:  replicatest.FreshAnswers(sys, subjects, siteRooms, interval.Time(8)),
+			cached: replicatest.CachedAnswers(sys, subjects, siteRooms, interval.Time(8)),
+		}
+	}
+
+	nd := run(t, wire.WireNDJSON)
+	bin := run(t, wire.WireBinary)
+
+	if nd.ack != bin.ack {
+		t.Errorf("final acks differ:\n  ndjson: %+v\n  binary: %+v", nd.ack, bin.ack)
+	}
+	if !bytes.Equal(nd.wal, bin.wal) {
+		t.Errorf("WALs differ: ndjson %d bytes, binary %d bytes", len(nd.wal), len(bin.wal))
+	}
+	if len(nd.replay) != len(bin.replay) {
+		t.Fatalf("replays differ in length: ndjson %d, binary %d", len(nd.replay), len(bin.replay))
+	}
+	for i := range nd.replay {
+		if !bytes.Equal(nd.replay[i], bin.replay[i]) {
+			t.Errorf("replay event %d differs:\n  ndjson: %s\n  binary: %s", i, nd.replay[i], bin.replay[i])
+		}
+	}
+	if !bytes.Equal(nd.fresh, bin.fresh) {
+		t.Errorf("fresh query answers differ across framings (%d rooms)", len(rooms))
+	}
+	if !bytes.Equal(nd.cached, bin.cached) {
+		t.Errorf("cached query answers differ across framings")
+	}
+}

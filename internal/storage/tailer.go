@@ -157,6 +157,59 @@ func (t *Tailer) NextBody() ([]byte, error) {
 	return body, nil
 }
 
+// AppendNext appends the next frame — header AND body, the exact wire
+// form Frame produces — onto dst and returns the extended slice. It is
+// the allocation-free shipping primitive: a caller that keeps reusing
+// the returned slice reads an entire replication batch with zero
+// steady-state allocations, because the bytes on disk already ARE the
+// bytes on the wire. The frame's checksum is validated before the
+// append is kept; errors are exactly NextBody's (dst is returned
+// unextended on any error).
+func (t *Tailer) AppendNext(dst []byte) ([]byte, error) {
+	st, err := t.f.Stat()
+	if err != nil {
+		return dst, err
+	}
+	size := st.Size()
+	if size < t.off {
+		return dst, ErrWALReset
+	}
+	avail := size - t.off
+	if avail < frameHeader {
+		return dst, t.noRecord(avail)
+	}
+	var hdr [frameHeader]byte
+	if _, err := t.f.ReadAt(hdr[:], t.off); err != nil {
+		return dst, err
+	}
+	length := binary.LittleEndian.Uint32(hdr[0:4])
+	sum := binary.LittleEndian.Uint32(hdr[4:8])
+	if length == 0 || length > MaxFrameSize {
+		return dst, t.noRecord(avail)
+	}
+	if avail < frameHeader+int64(length) {
+		return dst, t.noRecord(avail)
+	}
+	base := len(dst)
+	need := base + int(frameHeader) + int(length)
+	for cap(dst) < need {
+		dst = append(dst[:cap(dst)], 0) // grow by append's policy, no fresh slice
+	}
+	dst = dst[:need]
+	copy(dst[base:], hdr[:])
+	body := dst[base+frameHeader:]
+	if _, err := t.f.ReadAt(body, t.off+frameHeader); err != nil {
+		return dst[:base], err
+	}
+	if crc32.ChecksumIEEE(body) != sum {
+		return dst[:base], t.noRecord(avail)
+	}
+	t.off += frameHeader + int64(length)
+	t.seq++
+	t.partialBytes = 0
+	return dst, nil
+}
+
 // noRecord records the torn-tail size for State and returns ErrNoRecord.
 func (t *Tailer) noRecord(avail int64) error {
 	t.partialBytes = avail

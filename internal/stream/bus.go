@@ -24,6 +24,7 @@
 package stream
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
@@ -84,6 +85,11 @@ type BusStats struct {
 	// compaction removed before the pump could read them.
 	Evicted uint64 `json:"evicted"`
 	Lost    uint64 `json:"lost,omitempty"`
+	// DecodeSkips counts committed records whose event decode was
+	// skipped entirely because every consumer at that moment was
+	// filtered to alerts only (the monitoring fast path: alert-only
+	// watchers cost no record decodes).
+	DecodeSkips uint64 `json:"decode_skips,omitempty"`
 }
 
 // Bus fans the committed-event feed out to subscribers.
@@ -103,6 +109,7 @@ type Bus struct {
 
 	totalSubs, published, alertsPub atomic.Uint64
 	delivered, evicted, lost        atomic.Uint64
+	decodeSkips                     atomic.Uint64
 }
 
 // NewBus builds a bus over a durable primary. The WAL is the feed's
@@ -157,7 +164,24 @@ func (b *Bus) Stats() BusStats {
 		Delivered:        b.delivered.Load(),
 		Evicted:          b.evicted.Load(),
 		Lost:             b.lost.Load(),
+		DecodeSkips:      b.decodeSkips.Load(),
 	}
+}
+
+// alertOnly reports a filter that can never match a record event: an
+// explicit kind list containing only KindAlert. (KindError frames are
+// not pump events, and alerts ride publishAlert — so a subscriber
+// behind such a filter needs no record decodes at all.)
+func alertOnly(f Filter) bool {
+	if len(f.Kinds) == 0 {
+		return false
+	}
+	for _, k := range f.Kinds {
+		if k != KindAlert {
+			return false
+		}
+	}
+	return true
 }
 
 // SubscribeOptions positions and filters one subscription.
@@ -311,7 +335,7 @@ func (b *Bus) pump(gen uint64) {
 		if t != nil {
 			limit := info.TotalSeq - base // ship only durable records
 			for t.Seq() < limit {
-				rec, err := t.Next()
+				body, err := t.NextBody()
 				if err != nil {
 					// ErrNoRecord: the durable frontier outran the visible
 					// file for a moment; ErrWALReset (or anything else):
@@ -323,7 +347,18 @@ func (b *Bus) pump(gen uint64) {
 					break
 				}
 				seq := base + t.Seq() - 1
-				ev, derr := DecodeEvent(seq, rec)
+				if b.publishSkipped(gen, seq) {
+					// Alert-only fast path: nobody live can match a record
+					// event, so neither the record nor the event was decoded.
+					progressed = true
+					continue
+				}
+				var rec storage.Record
+				var ev Event
+				derr := json.Unmarshal(body, &rec)
+				if derr == nil {
+					ev, derr = DecodeEvent(seq, rec)
+				}
 				if derr != nil {
 					// Undecodable records still occupy their sequence slot;
 					// skip it rather than stalling the feed.
@@ -341,6 +376,35 @@ func (b *Bus) pump(gen uint64) {
 			}
 		}
 	}
+}
+
+// publishSkipped is the alert-only fast path: when every live
+// subscriber is filtered to alerts only, a record event can match no
+// one — so the pump advances past seq WITHOUT decoding the record at
+// all. The check and the advance happen under one lock acquisition
+// (publishAlert and Subscribe take the same lock), so a record-hungry
+// subscriber can never register between them; it returns false when
+// such a subscriber exists and the caller must decode and publish
+// normally.
+func (b *Bus) publishSkipped(gen, seq uint64) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.pumpGen != gen {
+		return true // retired pump: the replacement re-reads this record
+	}
+	for sub := range b.subs {
+		if !alertOnly(sub.filter) {
+			return false
+		}
+	}
+	b.nextSeq = seq + 1
+	for sub := range b.subs {
+		if seq >= sub.next {
+			sub.next = seq + 1
+		}
+	}
+	b.decodeSkips.Add(1)
+	return true
 }
 
 // publishRecord advances the live position past seq and fans ev out to
@@ -644,7 +708,22 @@ func (s *Subscription) feed(alertsSince *uint64) {
 			}
 			t, base = nt, info.BaseSeq
 		}
+		skipDecodes := alertOnly(s.filter)
 		for s.next < target {
+			if skipDecodes {
+				// Alert-only subscriber: no record event below target can
+				// match its filter, so the catch-up consumes the frames
+				// without decoding records or events at all.
+				if _, err := t.NextBody(); err != nil {
+					t.Close()
+					t = nil
+					time.Sleep(time.Millisecond)
+					break
+				}
+				s.next++
+				b.decodeSkips.Add(1)
+				continue
+			}
 			rec, err := t.Next()
 			if err != nil {
 				// Any miss — including ErrNoRecord, which an uninterfered

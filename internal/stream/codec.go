@@ -1,0 +1,99 @@
+// Ingest codecs: the framing of one ingest connection, abstracted so
+// the chunker never knows what bytes look like on the wire. NDJSON is
+// the default and the debugging surface (one JSON object per line, the
+// format this package launched with); the negotiated binary framing
+// lives in internal/wire/frame and plugs into the same two interfaces.
+//
+// Both codecs share one crash contract: a frame is applied if and only
+// if it arrived complete. A torn tail — a cut line, a cut binary frame,
+// a checksum mismatch — ends the input exactly at the last complete
+// frame; it is an end of stream, not an error, and the acked prefix
+// stands. The torn-stream tests assert this at every byte offset for
+// both framings.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+
+	"repro/internal/storage"
+)
+
+// FrameReader decodes the client→server side of an ingest connection.
+// Implementations are driven by one goroutine.
+type FrameReader interface {
+	// ReadFrame decodes the next observe frame into f. Any error ends
+	// the input: io.EOF for a clean end, anything else for a torn or
+	// garbage tail — in every case the complete prefix before the error
+	// is what the connection delivered, and it will be applied and
+	// acked.
+	ReadFrame(f *ObserveFrame) error
+}
+
+// AckWriter encodes the server→client side: cumulative Ack frames.
+// WriteAck must deliver (flush) the ack — the client uses each one as a
+// durable-position statement, so buffering an ack indefinitely would
+// lie about the frontier. Implementations are driven by one goroutine.
+type AckWriter interface {
+	WriteAck(a *Ack) error
+}
+
+// NDJSONFrameReader reads ObserveFrame lines (one JSON object per
+// line). A line that does not parse is a torn tail: a strict prefix of
+// a JSON object is never valid JSON, so an incomplete line cannot be
+// mistaken for a frame.
+type NDJSONFrameReader struct {
+	sc *bufio.Scanner
+}
+
+// NewNDJSONFrameReader wraps r in the line decoder.
+func NewNDJSONFrameReader(r io.Reader) *NDJSONFrameReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), int(storage.MaxFrameSize))
+	return &NDJSONFrameReader{sc: sc}
+}
+
+// ReadFrame decodes the next line into f.
+func (r *NDJSONFrameReader) ReadFrame(f *ObserveFrame) error {
+	for r.sc.Scan() {
+		line := r.sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		*f = ObserveFrame{}
+		if err := json.Unmarshal(line, f); err != nil {
+			return err // torn or garbage line: the prefix stands
+		}
+		return nil
+	}
+	if err := r.sc.Err(); err != nil {
+		return err
+	}
+	return io.EOF
+}
+
+// NDJSONAckWriter writes Ack lines, flushing each one.
+type NDJSONAckWriter struct {
+	bw *bufio.Writer
+}
+
+// NewNDJSONAckWriter wraps w in the line encoder.
+func NewNDJSONAckWriter(w io.Writer) *NDJSONAckWriter {
+	return &NDJSONAckWriter{bw: bufio.NewWriterSize(w, 32<<10)}
+}
+
+// WriteAck encodes and flushes one cumulative ack.
+func (w *NDJSONAckWriter) WriteAck(a *Ack) error {
+	line, err := json.Marshal(a)
+	if err != nil {
+		return err
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		return err
+	}
+	if err := w.bw.WriteByte('\n'); err != nil {
+		return err
+	}
+	return w.bw.Flush()
+}

@@ -1,30 +1,42 @@
 // Streaming ingest: one long-lived connection replaces thousands of
-// HTTP round-trips. The client writes NDJSON ObserveFrame lines; the
-// server chunks them into ObserveBatch calls — one write-lock
-// acquisition and one WAL group (one fsync) per chunk — under a
-// MaxChunk/MaxDelay policy mirroring the group committer's knobs, and
-// answers with cumulative Ack lines carrying the durable record
-// sequence.
+// HTTP round-trips, and ONE shared chunker replaces per-connection
+// chunkers — N concurrent connections feed a single gather loop that
+// folds their queued readings into combined ObserveBatch calls, so the
+// write-lock acquisition and the WAL group (one fsync) amortize across
+// connections the same way the group committer amortizes fsyncs across
+// writers.
 //
-// Framing is crash-oriented by construction: a line is applied if and
-// only if it arrived complete. A connection cut mid-line drops exactly
-// the torn suffix (a strict prefix of a JSON object is never valid
-// JSON, so it cannot be mistaken for a frame); everything before it is
-// flushed, acked and — because ObserveBatch's barrier acks after the
-// shared fsync — durable. The torn-stream test asserts this at every
-// byte offset.
+// Per-connection anatomy:
+//
+//	FrameReader ──reader goroutine──▶ frames chan ──┐
+//	                                                ├─▶ shared chunker ─▶ ObserveBatch
+//	AckWriter  ◀──writer goroutine◀── cumulative Ack┘
+//
+// The chunker gathers round-robin — each gather round starts at the
+// next connection, so a firehose connection cannot starve a trickle —
+// and records which span of the combined batch belongs to which
+// connection. After the batch's commit barrier it folds each span's
+// outcomes into that connection's cumulative Ack (carrying the durable
+// TotalSeq) and wakes its writer. Acks coalesce: a writer that falls
+// behind delivers only the latest cumulative ack, which by construction
+// covers every ack it skipped.
+//
+// Framing is crash-oriented by construction: a frame is applied if and
+// only if it arrived complete (see codec.go). A connection cut mid-frame
+// drops exactly the torn suffix; everything before it is flushed, acked
+// and — because ObserveBatch's barrier acks after the shared fsync —
+// durable. The torn-stream tests assert this at every byte offset, in
+// both codecs, including two connections sharing one chunker.
 package stream
 
 import (
-	"bufio"
-	"encoding/json"
 	"io"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/geometry"
-	"repro/internal/storage"
 )
 
 // Ingest defaults.
@@ -50,14 +62,24 @@ type IngestConfig struct {
 	MaxChunk int
 	// MaxDelay is how long a non-full chunk lingers for more frames once
 	// at least one is pending. Zero (the default) flushes as soon as the
-	// decode queue momentarily drains — batching then comes from frames
-	// arriving during the previous chunk's fsync, the same natural
-	// batching stance as the group committer's commit_delay=0.
+	// queues momentarily drain — batching then comes from frames arriving
+	// during the previous chunk's fsync, the same natural batching stance
+	// as the group committer's commit_delay=0.
 	MaxDelay time.Duration
-	// QueueLen is the decoded-frame buffer between the connection reader
-	// and the chunker (<= 0 selects DefaultQueueLen). A full queue
-	// applies backpressure to the connection.
+	// QueueLen is the decoded-frame buffer between each connection reader
+	// and the shared chunker (<= 0 selects DefaultQueueLen). A full queue
+	// applies backpressure to that connection.
 	QueueLen int
+}
+
+func (c IngestConfig) normalized() IngestConfig {
+	if c.MaxChunk <= 0 {
+		c.MaxChunk = DefaultMaxChunk
+	}
+	if c.QueueLen <= 0 {
+		c.QueueLen = DefaultQueueLen
+	}
+	return c
 }
 
 // IngestStats is a point-in-time snapshot of the ingest counters.
@@ -68,7 +90,8 @@ type IngestStats struct {
 	TotalConns uint64 `json:"total_conns"`
 	// Frames counts observation frames applied; Chunks the ObserveBatch
 	// calls they were folded into — Frames/Chunks is the round-trip
-	// amortization factor.
+	// amortization factor, and with concurrent connections one chunk may
+	// span several of them.
 	Frames uint64 `json:"frames"`
 	Chunks uint64 `json:"chunks"`
 	// Granted/Denied/Moved/Errors aggregate the per-reading outcomes.
@@ -104,195 +127,381 @@ func (c *IngestCounters) Snapshot() IngestStats {
 	}
 }
 
-// Ingestor runs ingest connections against one target.
+// Ingestor runs ingest connections against one target. The exported
+// fields configure it; the rest is the shared chunker's state, built
+// lazily when the first connection registers — a struct literal is a
+// ready-to-use Ingestor. The server holds ONE ingestor for all of its
+// connections; each Run/RunFramed call registers one connection with
+// the shared chunker.
 type Ingestor struct {
 	Target IngestTarget
 	Config IngestConfig
 	// Counters, when set, aggregates activity across this ingestor's
 	// connections.
 	Counters *IngestCounters
+
+	mu      sync.Mutex
+	conns   []*ingestConn
+	rr      int // round-robin gather start, rotated every round
+	running bool
+	wake    chan struct{} // 1-buffered: frames queued or a reader finished
 }
 
-// Run services one ingest connection: decode frames from r, chunk,
-// apply, ack to w. It returns when the stream ends — cleanly (an End
-// frame), torn (EOF or a partial line: the pending chunk is still
-// flushed and acked, so the ack stream always states exactly what
-// survived), or on a terminal target error (reported to the client in a
-// final Ack and returned). Per-reading application errors are counted
-// in the acks and do not end the stream.
+// ingestConn is one registered connection's chunker-facing state.
+type ingestConn struct {
+	// frames carries decoded readings from the connection's reader
+	// goroutine to the shared chunker; the reader closes it at end of
+	// input (End frame, clean EOF, or torn tail).
+	frames chan core.Reading
+
+	mu   sync.Mutex
+	cum  Ack   // cumulative ack, folded by the chunker
+	err  error // terminal error (batch failure), set before done closes
+	dead bool  // ack delivery failed: discard instead of applying
+
+	ackCh chan struct{} // 1-buffered: cum advanced, deliver it
+	done  chan struct{} // closed by the chunker after the final fold
+
+	// Chunker-local (never touched by other goroutines):
+	srcClosed bool // frames observed closed and drained
+	finalized bool
+}
+
+func (c *ingestConn) isDead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// signal wakes the chunker (coalescing: a pending token is enough).
+func (ing *Ingestor) signal() {
+	select {
+	case ing.wake <- struct{}{}:
+	default:
+	}
+}
+
+// register adds a connection, booting the shared chunker if idle.
+func (ing *Ingestor) register(c *ingestConn) {
+	ing.mu.Lock()
+	if ing.wake == nil {
+		ing.wake = make(chan struct{}, 1)
+	}
+	ing.conns = append(ing.conns, c)
+	if !ing.running {
+		ing.running = true
+		go ing.chunker(ing.Config.normalized())
+	}
+	ing.mu.Unlock()
+	ing.signal()
+}
+
+// Run services one NDJSON ingest connection: decode frames from r,
+// hand them to the shared chunker, ack to w. See RunFramed for the
+// lifecycle contract.
 func (ing *Ingestor) Run(r io.Reader, w io.Writer) error {
-	cfg := ing.Config
-	if cfg.MaxChunk <= 0 {
-		cfg.MaxChunk = DefaultMaxChunk
-	}
-	if cfg.QueueLen <= 0 {
-		cfg.QueueLen = DefaultQueueLen
-	}
+	return ing.RunFramed(NewNDJSONFrameReader(r), NewNDJSONAckWriter(w))
+}
+
+// RunFramed services one ingest connection over an arbitrary codec. It
+// returns when the stream ends — cleanly (an End frame), torn (EOF or a
+// partial frame: the pending readings are still applied and acked, so
+// the ack stream always states exactly what survived), or on a terminal
+// target error (reported to the client in a final Ack and returned).
+// Per-reading application errors are counted in the acks and do not end
+// the stream.
+func (ing *Ingestor) RunFramed(fr FrameReader, aw AckWriter) error {
+	cfg := ing.Config.normalized()
 	if ing.Counters != nil {
 		ing.Counters.conns.Add(1)
 		ing.Counters.totalConns.Add(1)
 		defer ing.Counters.conns.Add(-1)
 	}
 
+	c := &ingestConn{
+		frames: make(chan core.Reading, cfg.QueueLen),
+		ackCh:  make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	ing.register(c)
+
 	// The reader goroutine owns the connection's read side: it decodes
-	// lines into the frame queue and stops at the first torn or End
-	// frame. Decoupling decode from apply is what lets frames pile up
-	// while a chunk's fsync is in flight — the natural batching.
-	frames := make(chan core.Reading, cfg.QueueLen)
+	// frames into the connection's queue and stops at the first torn or
+	// End frame. Decoupling decode from apply is what lets frames pile
+	// up while a chunk's fsync is in flight — the natural batching.
 	readerDone := make(chan struct{})
 	go func() {
 		defer close(readerDone)
-		defer close(frames)
-		sc := bufio.NewScanner(r)
-		sc.Buffer(make([]byte, 0, 64<<10), int(storage.MaxFrameSize))
-		for sc.Scan() {
-			line := sc.Bytes()
-			if len(line) == 0 {
-				continue
-			}
-			var f ObserveFrame
-			if err := json.Unmarshal(line, &f); err != nil {
-				return // torn or garbage line: stop reading, keep what we have
+		defer func() {
+			close(c.frames)
+			ing.signal()
+		}()
+		var f ObserveFrame
+		for {
+			if err := fr.ReadFrame(&f); err != nil {
+				return // clean or torn end: the complete prefix stands
 			}
 			if f.End {
 				return
 			}
-			frames <- core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}}
+			c.frames <- core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}}
+			ing.signal()
 		}
 	}()
-
-	bw := bufio.NewWriterSize(w, 32<<10)
-	var cum Ack
-	chunk := make([]core.Reading, 0, cfg.MaxChunk)
-	writeAck := func() error {
-		line, err := json.Marshal(cum)
-		if err != nil {
-			return err
-		}
-		if _, err := bw.Write(append(line, '\n')); err != nil {
-			return err
-		}
-		return bw.Flush()
-	}
-	fail := func(err error) error {
-		// Terminal: tell the client (best effort) and stop without acking
-		// anything further; the deferred join below drains the reader.
-		cum.Final, cum.Error = true, err.Error()
-		_ = writeAck()
-		return err
-	}
-	flush := func() error {
-		if len(chunk) == 0 {
-			return nil
-		}
-		outcomes, err := ing.Target.ObserveBatch(chunk)
-		if err != nil {
-			return fail(err)
-		}
-		for _, o := range outcomes {
-			switch {
-			case o.Err != nil:
-				cum.Errors++
-				cum.LastError = o.Err.Error()
-			case o.Entered && o.Decision.Granted:
-				cum.Moved++
-				cum.Granted++
-			case o.Entered:
-				cum.Moved++
-				cum.Denied++
-			case o.Moved:
-				// An exit: a movement, but not an entry decision — it
-				// counts in Moved only.
-				cum.Moved++
-			}
-		}
-		cum.Acked += uint64(len(chunk))
-		cum.Seq = ing.Target.ReplicationInfo().TotalSeq
-		if ing.Counters != nil {
-			ing.Counters.frames.Add(uint64(len(chunk)))
-			ing.Counters.chunks.Add(1)
-		}
-		chunk = chunk[:0]
-		return writeAck()
-	}
-
-	defer ing.tally(&cum)
 	// Never leave the reader goroutine behind: every exit path unblocks
 	// any pending channel send and waits for the reader to let go of the
 	// connection, so an HTTP handler returning can never race a leftover
-	// body read against the server's connection reuse.
+	// body read against the server's connection reuse. (The chunker may
+	// drain concurrently; a closed-and-drained channel satisfies both.)
 	defer func() {
 		go func() {
-			for range frames {
+			for range c.frames {
 			}
 		}()
 		<-readerDone
 	}()
+
+	// The writer loop: deliver each advance of the cumulative ack. The
+	// chunker's final fold closes done; the terminal ack is written
+	// exactly once, there (best effort — the peer of a torn stream is
+	// usually gone).
+	var werr error
 	for {
-		rd, ok := <-frames
-		if !ok {
-			break
+		select {
+		case <-c.ackCh:
+			c.mu.Lock()
+			a := c.cum
+			c.mu.Unlock()
+			if a.Final || werr != nil {
+				continue // the done path owns the terminal ack
+			}
+			if err := aw.WriteAck(&a); err != nil {
+				// The client cannot hear us: stop acking and have the
+				// chunker discard (not apply) everything still queued.
+				werr = err
+				c.mu.Lock()
+				c.dead = true
+				c.mu.Unlock()
+			}
+		case <-c.done:
+			c.mu.Lock()
+			a, terr := c.cum, c.err
+			c.mu.Unlock()
+			if werr == nil {
+				_ = aw.WriteAck(&a)
+			}
+			if terr != nil {
+				return terr
+			}
+			return werr
 		}
-		chunk = append(chunk, rd)
-		closed := false
-		var timer *time.Timer
-	collect:
-		for len(chunk) < cfg.MaxChunk {
-			select {
-			case rd, ok := <-frames:
-				if !ok {
-					closed = true
-					break collect
-				}
-				chunk = append(chunk, rd)
-			default:
-				if cfg.MaxDelay <= 0 {
-					break collect
-				}
-				if timer == nil {
-					timer = time.NewTimer(cfg.MaxDelay)
-				}
+	}
+}
+
+// chunker is the shared gather/apply loop: one per Ingestor, running
+// while any connection is registered.
+func (ing *Ingestor) chunker(cfg IngestConfig) {
+	type span struct {
+		c *ingestConn
+		n int
+	}
+	batch := make([]core.Reading, 0, cfg.MaxChunk)
+	var spans []span
+
+	// gather pulls queued readings into batch, round-robin across the
+	// registered connections, recording which span belongs to whom and
+	// which connections finished their input. Returns false when no
+	// connection remains (the chunker retires). Called with ing.mu NOT
+	// held.
+	gather := func() bool {
+		ing.mu.Lock()
+		defer ing.mu.Unlock()
+		n := len(ing.conns)
+		if n == 0 {
+			ing.running = false
+			return false
+		}
+		ing.rr++
+		start := ing.rr % n
+		for i := 0; i < n && len(batch) < cfg.MaxChunk; i++ {
+			c := ing.conns[(start+i)%n]
+			if c.srcClosed {
+				continue
+			}
+			cnt, discard := 0, c.isDead()
+		drain:
+			for len(batch) < cfg.MaxChunk {
 				select {
-				case rd, ok := <-frames:
+				case rd, ok := <-c.frames:
 					if !ok {
-						closed = true
-						break collect
+						c.srcClosed = true
+						break drain
 					}
-					chunk = append(chunk, rd)
-				case <-timer.C:
-					break collect
+					if discard {
+						continue
+					}
+					batch = append(batch, rd)
+					cnt++
+				default:
+					break drain
+				}
+			}
+			if cnt > 0 {
+				if len(spans) > 0 && spans[len(spans)-1].c == c {
+					spans[len(spans)-1].n += cnt
+				} else {
+					spans = append(spans, span{c, cnt})
 				}
 			}
 		}
-		if timer != nil {
+		return true
+	}
+
+	for {
+		// Consume a pending wake token before gathering: anything that
+		// arrives after this point leaves a fresh token, so the blocking
+		// wait below can never miss work.
+		select {
+		case <-ing.wake:
+		default:
+		}
+		batch, spans = batch[:0], spans[:0]
+		if !gather() {
+			return
+		}
+		if cfg.MaxDelay > 0 && len(batch) > 0 && len(batch) < cfg.MaxChunk {
+			// Linger for more frames, re-gathering on every wake until
+			// the chunk fills or the delay elapses.
+			timer := time.NewTimer(cfg.MaxDelay)
+		linger:
+			for len(batch) < cfg.MaxChunk {
+				select {
+				case <-ing.wake:
+					if !gather() {
+						timer.Stop()
+						return
+					}
+				case <-timer.C:
+					break linger
+				}
+			}
 			timer.Stop()
 		}
-		if err := flush(); err != nil {
-			return err
+
+		worked := len(batch) > 0
+		if len(batch) > 0 {
+			outcomes, err := ing.Target.ObserveBatch(batch)
+			if err != nil {
+				// Terminal: the batch was rejected (or applied in memory
+				// but not durably acknowledged). Every connection with a
+				// span in it gets the error as its final ack.
+				for _, sp := range spans {
+					ing.finalize(sp.c, err)
+				}
+			} else {
+				seq := ing.Target.ReplicationInfo().TotalSeq
+				off := 0
+				for _, sp := range spans {
+					sp.c.mu.Lock()
+					foldOutcomes(&sp.c.cum, outcomes[off:off+sp.n])
+					sp.c.cum.Acked += uint64(sp.n)
+					sp.c.cum.Seq = seq
+					sp.c.mu.Unlock()
+					select {
+					case sp.c.ackCh <- struct{}{}:
+					default:
+					}
+					off += sp.n
+				}
+				if ing.Counters != nil {
+					ing.Counters.frames.Add(uint64(len(batch)))
+					ing.Counters.chunks.Add(1)
+				}
+			}
 		}
-		if closed {
-			break
+
+		// Finalize every connection whose input ended and whose last
+		// frames (if any) were in the batch just folded.
+		ing.mu.Lock()
+		var finished []*ingestConn
+		live := ing.conns[:0]
+		for _, c := range ing.conns {
+			if c.srcClosed && !c.finalized {
+				c.finalized = true
+				finished = append(finished, c)
+			} else if !c.finalized {
+				live = append(live, c)
+			}
+		}
+		for i := len(live); i < len(ing.conns); i++ {
+			ing.conns[i] = nil
+		}
+		ing.conns = live
+		ing.mu.Unlock()
+		for _, c := range finished {
+			ing.finalize(c, nil)
+			worked = true
+		}
+
+		if !worked {
+			// Nothing queued, nothing finished: sleep until a reader
+			// signals. The token protocol above guarantees any frame
+			// enqueued since the last gather left a token here.
+			<-ing.wake
 		}
 	}
-	if err := flush(); err != nil {
-		return err
-	}
-	// The final ack always states the durable frontier, even for a
-	// connection that shipped no frames — "your prefix is durable up to
-	// Seq" stays true and gives idle clients a resume coordinate.
-	cum.Final, cum.Seq = true, ing.Target.ReplicationInfo().TotalSeq
-	_ = writeAck() // the peer of a torn stream is usually gone; best effort
-	return nil
 }
 
-// tally folds a finished connection's cumulative ack into the shared
-// counters.
-func (ing *Ingestor) tally(cum *Ack) {
-	if ing.Counters == nil {
+// finalize seals a connection's cumulative ack — the terminal Seq is the
+// durable frontier even for a connection that shipped no frames, so an
+// idle client still gets a resume coordinate — tallies it into the
+// shared counters, and releases the writer. Safe to call twice (batch
+// failure then the closed-source sweep): only the first call acts.
+func (ing *Ingestor) finalize(c *ingestConn, err error) {
+	c.mu.Lock()
+	if c.cum.Final {
+		c.mu.Unlock()
 		return
 	}
-	ing.Counters.granted.Add(cum.Granted)
-	ing.Counters.denied.Add(cum.Denied)
-	ing.Counters.moved.Add(cum.Moved)
-	ing.Counters.errs.Add(cum.Errors)
+	c.cum.Final = true
+	if err != nil {
+		c.err = err
+		c.cum.Error = err.Error()
+		// Anything still queued on a failed connection is discarded,
+		// not applied: the client was just told its stream is over.
+		c.dead = true
+	} else {
+		c.cum.Seq = ing.Target.ReplicationInfo().TotalSeq
+	}
+	cum := c.cum
+	c.mu.Unlock()
+	if ing.Counters != nil {
+		ing.Counters.granted.Add(cum.Granted)
+		ing.Counters.denied.Add(cum.Denied)
+		ing.Counters.moved.Add(cum.Moved)
+		ing.Counters.errs.Add(cum.Errors)
+	}
+	close(c.done)
+}
+
+// foldOutcomes accumulates one span's per-reading outcomes into a
+// connection's cumulative ack.
+func foldOutcomes(cum *Ack, outcomes []core.ObserveOutcome) {
+	for _, o := range outcomes {
+		switch {
+		case o.Err != nil:
+			cum.Errors++
+			cum.LastError = o.Err.Error()
+		case o.Entered && o.Decision.Granted:
+			cum.Moved++
+			cum.Granted++
+		case o.Entered:
+			cum.Moved++
+			cum.Denied++
+		case o.Moved:
+			// An exit: a movement, but not an entry decision — it
+			// counts in Moved only.
+			cum.Moved++
+		}
+	}
 }

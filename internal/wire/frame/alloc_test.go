@@ -1,0 +1,99 @@
+package frame
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// loopReader replays one byte slice forever: an endless stream of valid
+// frames for steady-state measurements.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (lr *loopReader) Read(p []byte) (int, error) {
+	if lr.off == len(lr.data) {
+		lr.off = 0
+	}
+	n := copy(p, lr.data[lr.off:])
+	lr.off += n
+	return n, nil
+}
+
+// TestObserveDecodeZeroAlloc holds the binary ingest read loop to zero
+// steady-state allocations: with the body buffer grown and the subject
+// intern table warm, decoding a frame allocates nothing.
+func TestObserveDecodeZeroAlloc(t *testing.T) {
+	frames := []stream.ObserveFrame{
+		{Time: 2, Subject: "alice", X: 0.5, Y: 0.5},
+		{Time: 3, Subject: "bob", X: 1.5, Y: 0.5},
+		{Time: 4, Subject: "carol", X: 0.5, Y: 1.5},
+		{Time: 5, Subject: "alice", X: 1.5, Y: 1.5},
+	}
+	input, _ := encodeObserveStream(t, frames)
+	or := NewObserveReader(&loopReader{data: input})
+	defer or.Release()
+	var f stream.ObserveFrame
+	for i := 0; i < 2*len(frames); i++ { // warm: buffer growth + intern misses
+		if err := or.ReadFrame(&f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := or.ReadFrame(&f); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("binary observe decode allocates %.1f times per frame, want 0", allocs)
+	}
+}
+
+// TestAckEncodeZeroAlloc holds the pooled ack encode path to zero
+// steady-state allocations.
+func TestAckEncodeZeroAlloc(t *testing.T) {
+	aw := NewAckWriter(io.Discard)
+	defer aw.Release()
+	a := stream.Ack{Acked: 41, Seq: 97, Granted: 30, Denied: 7, Moved: 37, Errors: 4, LastError: "time 3 precedes engine clock 9"}
+	if err := aw.WriteAck(&a); err != nil { // warm: buffer growth
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		a.Acked++
+		a.Seq++
+		if err := aw.WriteAck(&a); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ack encode allocates %.1f times per ack, want 0", allocs)
+	}
+}
+
+// TestEventEncodeZeroAlloc holds the pooled event encode path to zero
+// steady-state allocations for record events (alert events marshal
+// their payload and are allowed to allocate).
+func TestEventEncodeZeroAlloc(t *testing.T) {
+	ew := NewEventWriter(io.Discard)
+	defer ew.Release()
+	ev := stream.Event{
+		Seq: 12, Kind: stream.KindEnter, Time: 2, Subject: "alice", Location: "r00_00",
+		Record: &storage.Record{Type: "move.enter", Data: []byte(`{"T":2,"S":"alice","L":"r00_00"}`)},
+	}
+	if err := ew.WriteEvent(&ev); err != nil { // warm: buffer growth
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		ev.Seq++
+		if err := ew.WriteEvent(&ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("event encode allocates %.1f times per event, want 0", allocs)
+	}
+}

@@ -1,0 +1,106 @@
+package frame
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// BenchmarkFrameObserveEncode: one observe frame appended to a reused
+// buffer — the client's per-reading encode cost.
+func BenchmarkFrameObserveEncode(b *testing.B) {
+	f := stream.ObserveFrame{Time: 2, Subject: "u42", X: 0.5, Y: 1.5}
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := AppendObserve(buf[:0], &f)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf = out
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+// BenchmarkFrameObserveDecode: the server's per-frame decode cost at
+// steady state (body buffer grown, subject intern table warm).
+func BenchmarkFrameObserveDecode(b *testing.B) {
+	frames := make([]stream.ObserveFrame, 64)
+	for i := range frames {
+		frames[i] = stream.ObserveFrame{Time: 2, Subject: "u42", X: 0.5, Y: 1.5}
+	}
+	input, ends := encodeObserveStream(b, frames)
+	or := NewObserveReader(&loopReader{data: input})
+	defer or.Release()
+	var f stream.ObserveFrame
+	b.SetBytes(int64(ends[0]))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := or.ReadFrame(&f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameAckEncode: one cumulative ack through the pooled
+// writer — the server's per-ack cost.
+func BenchmarkFrameAckEncode(b *testing.B) {
+	aw := NewAckWriter(io.Discard)
+	defer aw.Release()
+	a := stream.Ack{Acked: 41, Seq: 97, Granted: 30, Denied: 7, Moved: 37}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Acked++
+		if err := aw.WriteAck(&a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameEventEncode: one record event through the pooled
+// writer — the feed's per-subscriber per-event cost.
+func BenchmarkFrameEventEncode(b *testing.B) {
+	ew := NewEventWriter(io.Discard)
+	defer ew.Release()
+	ev := stream.Event{
+		Seq: 12, Kind: stream.KindEnter, Time: 2, Subject: "alice", Location: "r00_00",
+		Record: &storage.Record{Type: "move.enter", Data: []byte(`{"T":2,"S":"alice","L":"r00_00"}`)},
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Seq++
+		if err := ew.WriteEvent(&ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameEventDecode: one record event decoded on the client,
+// including the defensive copies the decoded event owns.
+func BenchmarkFrameEventDecode(b *testing.B) {
+	ev := stream.Event{
+		Seq: 12, Kind: stream.KindEnter, Time: 2, Subject: "alice", Location: "r00_00",
+		Record: &storage.Record{Type: "move.enter", Data: []byte(`{"T":2,"S":"alice","L":"r00_00"}`)},
+	}
+	framed, err := AppendEvent(nil, &ev)
+	if err != nil {
+		b.Fatal(err)
+	}
+	er := NewEventReader(&loopReader{data: framed})
+	defer er.Release()
+	var got stream.Event
+	b.SetBytes(int64(len(framed)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := er.Next(&got); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package frame
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// TestObserveRoundTrip: every field of every frame survives the encode →
+// RawReader → decode path, including the End flag, empty subjects,
+// non-ASCII subjects and negative times.
+func TestObserveRoundTrip(t *testing.T) {
+	frames := []stream.ObserveFrame{
+		{Time: 2, Subject: "alice", X: 0.5, Y: 1.5},
+		{Time: -7, Subject: "badge-404", X: -3.25, Y: 0},
+		{Time: 1 << 40, Subject: "ünïcode→subject", X: 1e300, Y: -1e-300},
+		{Time: 9, Subject: "alice", X: 2.5, Y: 2.5}, // repeat: exercises the intern table
+		{Subject: ""},
+		{End: true},
+	}
+	var buf []byte
+	for i := range frames {
+		out, err := AppendObserve(buf, &frames[i])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		buf = out
+	}
+	or := NewObserveReader(bytes.NewReader(buf))
+	defer or.Release()
+	for i := range frames {
+		var got stream.ObserveFrame
+		if err := or.ReadFrame(&got); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got != frames[i] {
+			t.Fatalf("frame %d = %+v, want %+v", i, got, frames[i])
+		}
+	}
+	var extra stream.ObserveFrame
+	if err := or.ReadFrame(&extra); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+// TestAckRoundTrip: all counters, both flag bits and both error strings
+// survive the wire.
+func TestAckRoundTrip(t *testing.T) {
+	acks := []stream.Ack{
+		{},
+		{Acked: 1, Seq: 2, Granted: 3, Denied: 4, Moved: 5, Errors: 6, LastError: "time 1 precedes clock 3"},
+		{Acked: 1 << 60, Seq: ^uint64(0), Final: true, Error: "system closed"},
+	}
+	var buf []byte
+	for i := range acks {
+		out, err := AppendAck(buf, &acks[i])
+		if err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		buf = out
+	}
+	rr := NewRawReader(bytes.NewReader(buf))
+	defer rr.Release()
+	for i := range acks {
+		body, err := rr.Next()
+		if err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		var got stream.Ack
+		if err := DecodeAck(body, &got); err != nil {
+			t.Fatalf("ack %d: %v", i, err)
+		}
+		if got != acks[i] {
+			t.Fatalf("ack %d = %+v, want %+v", i, got, acks[i])
+		}
+	}
+}
+
+// TestEventRoundTrip: one event of every kind — including one carrying a
+// verbatim WAL record and one carrying an alert payload — round-trips
+// through EventWriter/EventReader with every field intact.
+func TestEventRoundTrip(t *testing.T) {
+	events := []stream.Event{
+		{Seq: 0, Kind: stream.KindEnter, Time: 2, Subject: "alice", Location: "r00_00",
+			Record: &storage.Record{Type: "move.enter", Data: []byte(`{"T":2,"S":"alice","L":"r00_00"}`)}},
+		{Seq: 1, Kind: stream.KindLeave, Time: 3, Subject: "alice", Location: "r00_00"},
+		{Seq: 2, Kind: stream.KindGrant, Subject: "bob", Location: "r00_01", Auth: 7},
+		{Seq: 3, Kind: stream.KindRevoke, Auth: 7},
+		{Seq: 4, Kind: stream.KindResolve, Auth: 9},
+		{Seq: 5, Kind: stream.KindRuleAdd, Name: "no-tailgate"},
+		{Seq: 6, Kind: stream.KindRuleRemove, Name: "no-tailgate"},
+		{Seq: 7, Kind: stream.KindProfilePut, Subject: "carol"},
+		{Seq: 8, Kind: stream.KindProfileRemove, Subject: "carol"},
+		{Seq: 9, Kind: stream.KindTick, Time: 11},
+		{Seq: 10, Kind: stream.KindAlert, AlertSeq: 3,
+			Alert: &audit.Alert{Seq: 3, Time: 5, Kind: audit.UnauthorizedEntry, Subject: "eve", Location: "r00_01", Detail: "no authorization"}},
+		{Seq: 11, Kind: stream.KindError, Error: "slow consumer evicted"},
+	}
+	if len(events) != len(eventKinds)-1 {
+		t.Fatalf("test covers %d kinds, wire table has %d", len(events), len(eventKinds)-1)
+	}
+	var buf bytes.Buffer
+	ew := NewEventWriter(&buf)
+	defer ew.Release()
+	for i := range events {
+		if err := ew.WriteEvent(&events[i]); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+	}
+	er := NewEventReader(bytes.NewReader(buf.Bytes()))
+	defer er.Release()
+	for i := range events {
+		var got stream.Event
+		if err := er.Next(&got); err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, events[i]) {
+			t.Fatalf("event %d = %+v, want %+v", i, got, events[i])
+		}
+	}
+	var extra stream.Event
+	if err := er.Next(&extra); err != io.EOF {
+		t.Fatalf("after last event: %v, want io.EOF", err)
+	}
+
+	var unknown stream.Event
+	unknown.Kind = "made-up"
+	if _, err := AppendEvent(nil, &unknown); err == nil {
+		t.Fatal("encoding an unknown kind succeeded")
+	}
+}
+
+// TestRawReaderTornEveryOffset proves the frame-boundary contract at
+// every byte offset: cutting a valid stream after k bytes yields exactly
+// the frames that arrived complete, then io.EOF on a frame boundary and
+// io.ErrUnexpectedEOF anywhere else.
+func TestRawReaderTornEveryOffset(t *testing.T) {
+	var input []byte
+	var ends []int // cumulative end offset of each frame
+	for i, f := range []stream.ObserveFrame{
+		{Time: 2, Subject: "alice", X: 0.5, Y: 0.5},
+		{Time: 3, Subject: "bob", X: 1.5, Y: 0.5},
+		{Time: 4, Subject: "carol", X: 0.5, Y: 1.5},
+	} {
+		out, err := AppendObserve(input, &f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		input = out
+		ends = append(ends, len(input))
+	}
+	completeAt := func(k int) int {
+		n := 0
+		for _, end := range ends {
+			if k >= end {
+				n++
+			}
+		}
+		return n
+	}
+	for k := 0; k <= len(input); k++ {
+		rr := NewRawReader(bytes.NewReader(input[:k]))
+		n := 0
+		var err error
+		for {
+			if _, err = rr.Next(); err != nil {
+				break
+			}
+			n++
+		}
+		rr.Release()
+		if want := completeAt(k); n != want {
+			t.Fatalf("k=%d: %d frames decoded, %d arrived complete", k, n, want)
+		}
+		onBoundary := k == 0
+		for _, end := range ends {
+			if k == end {
+				onBoundary = true
+			}
+		}
+		if onBoundary && err != io.EOF {
+			t.Fatalf("k=%d (boundary): err = %v, want io.EOF", k, err)
+		}
+		if !onBoundary && !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("k=%d (mid-frame): err = %v, want io.ErrUnexpectedEOF", k, err)
+		}
+	}
+}
+
+// TestRawReaderRejectsGarbage: a corrupted body fails the checksum, and
+// impossible length headers fail without allocating the claimed size.
+func TestRawReaderRejectsGarbage(t *testing.T) {
+	f := stream.ObserveFrame{Time: 2, Subject: "alice", X: 1, Y: 1}
+	good, err := AppendObserve(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := append([]byte(nil), good...)
+	corrupt[len(corrupt)-1] ^= 0x40
+	rr := NewRawReader(bytes.NewReader(corrupt))
+	if _, err := rr.Next(); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted body: %v, want ErrChecksum", err)
+	}
+	rr.Release()
+
+	for _, length := range []uint32{0, storage.MaxFrameSize + 1, ^uint32(0)} {
+		hdr := make([]byte, header)
+		binary.LittleEndian.PutUint32(hdr[0:4], length)
+		rr := NewRawReader(bytes.NewReader(hdr))
+		if _, err := rr.Next(); !errors.Is(err, ErrFrameLength) {
+			t.Fatalf("length %d: %v, want ErrFrameLength", length, err)
+		}
+		rr.Release()
+	}
+}
+
+// TestDecodeRejectsWrongTag: each decoder refuses the other stream's
+// frames instead of misreading them.
+func TestDecodeRejectsWrongTag(t *testing.T) {
+	a := stream.Ack{Acked: 1}
+	ackBody, err := AppendAck(nil, &a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ackBody = ackBody[header:] // strip the frame header: decoders take bodies
+
+	var f stream.ObserveFrame
+	obsBody, err := AppendObserve(nil, &f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obsBody = obsBody[header:]
+
+	var ev stream.Event
+	if err := DecodeEvent(ackBody, &ev); err == nil {
+		t.Fatal("DecodeEvent accepted an ack body")
+	}
+	if err := DecodeAck(obsBody, &a); err == nil {
+		t.Fatal("DecodeAck accepted an observe body")
+	}
+	// The observe tag check lives in ReadFrame: feed it a full ack frame.
+	full, err := AppendAck(nil, &stream.Ack{Acked: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := NewObserveReader(bytes.NewReader(full))
+	defer or.Release()
+	if err := or.ReadFrame(&f); err == nil {
+		t.Fatal("ObserveReader accepted an ack frame")
+	}
+}
+
+// TestAppendRejectsOversizeFields: string fields beyond the u16 length
+// prefix fail cleanly and leave dst unchanged.
+func TestAppendRejectsOversizeFields(t *testing.T) {
+	long := strings.Repeat("x", 1<<16)
+	f := stream.ObserveFrame{Subject: "ok"}
+	a := stream.Ack{Error: long}
+	if out, err := AppendAck(nil, &a); err == nil {
+		t.Fatal("oversize ack error string encoded")
+	} else if len(out) != 0 {
+		t.Fatalf("failed encode left %d bytes on dst", len(out))
+	}
+	ev := stream.Event{Kind: stream.KindError, Error: long}
+	if _, err := AppendEvent(nil, &ev); err == nil {
+		t.Fatal("oversize event error string encoded")
+	}
+	f.Subject = "ok"
+	if _, err := AppendObserve(nil, &f); err != nil {
+		t.Fatalf("control frame failed: %v", err)
+	}
+}

@@ -1,0 +1,98 @@
+package frame
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/storage"
+	"repro/internal/stream"
+)
+
+// fuzzSeeds returns a valid frame of each stream type — full wire form,
+// header included — for seeding the corpora.
+func fuzzSeeds(f *testing.F) [][]byte {
+	f.Helper()
+	obs, err := AppendObserve(nil, &stream.ObserveFrame{Time: 2, Subject: "alice", X: 0.5, Y: 1.5})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ack, err := AppendAck(nil, &stream.Ack{Acked: 3, Seq: 9, Granted: 2, Denied: 1, Final: true, LastError: "e"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ev, err := AppendEvent(nil, &stream.Event{
+		Seq: 4, Kind: stream.KindAlert, AlertSeq: 1,
+		Alert: &audit.Alert{Seq: 1, Kind: audit.UnauthorizedEntry, Subject: "eve", Detail: "no grant"},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rec, err := AppendEvent(nil, &stream.Event{
+		Seq: 5, Kind: stream.KindEnter, Subject: "alice", Location: "r00_00",
+		Record: &storage.Record{Type: "move.enter", Data: []byte(`{"T":2,"S":"alice","L":"r00_00"}`)},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	return [][]byte{obs, ack, ev, rec}
+}
+
+// FuzzRawReader: arbitrary bytes through the frame reader never panic,
+// never yield an over-long body, and always terminate — every input is a
+// finite stream, so the loop ends at its torn tail.
+func FuzzRawReader(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed)
+		f.Add(seed[:len(seed)-3]) // torn body
+		f.Add(seed[:5])           // torn header
+	}
+	corrupt := append([]byte(nil), fuzzSeeds(f)[0]...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt)
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rr := NewRawReader(bytes.NewReader(data))
+		defer rr.Release()
+		for {
+			body, err := rr.Next()
+			if err != nil {
+				return
+			}
+			if len(body) == 0 || len(body) > storage.MaxFrameSize {
+				t.Fatalf("frame body of %d bytes escaped the length check", len(body))
+			}
+		}
+	})
+}
+
+// FuzzDecoders: arbitrary bodies through every payload decoder never
+// panic — a checksum-valid frame from a hostile peer decodes to an
+// error, not a crash. Successful observe/ack decodes must re-encode
+// (the decoded fields are within the format's own limits).
+func FuzzDecoders(f *testing.F) {
+	for _, seed := range fuzzSeeds(f) {
+		f.Add(seed[header:]) // decoders take bodies, not framed bytes
+	}
+	f.Add([]byte{tagObserve})
+	f.Add([]byte{tagAck})
+	f.Add([]byte{tagEvent, 1})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		var obs stream.ObserveFrame
+		or := NewObserveReader(bytes.NewReader(nil))
+		defer or.Release()
+		if err := decodeObserve(body, &obs, or.intern); err == nil {
+			if _, err := AppendObserve(nil, &obs); err != nil {
+				t.Fatalf("decoded observe frame does not re-encode: %v", err)
+			}
+		}
+		var ack stream.Ack
+		if err := DecodeAck(body, &ack); err == nil {
+			if _, err := AppendAck(nil, &ack); err != nil {
+				t.Fatalf("decoded ack does not re-encode: %v", err)
+			}
+		}
+		var ev stream.Event
+		_ = DecodeEvent(body, &ev)
+	})
+}

@@ -1,0 +1,111 @@
+package frame
+
+// Grid-site test helpers, mirroring internal/stream's (those are
+// in-package test code and cannot be imported from here).
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/authz"
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/profile"
+	"repro/internal/stream"
+)
+
+// gridParts builds the side×side grid site: graph, unit-square room
+// boundaries, rooms in row-major order, one in-room coordinate per room.
+func gridParts(t testing.TB, side int) (*graph.Graph, []geometry.Boundary, []graph.ID, []geometry.Point) {
+	t.Helper()
+	g := graph.New("grid")
+	id := func(r, c int) graph.ID { return graph.ID(fmt.Sprintf("r%02d_%02d", r, c)) }
+	bounds, centers := geometry.UnitGrid(side, func(r, c int) string { return string(id(r, c)) })
+	var rooms []graph.ID
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			rooms = append(rooms, id(r, c))
+			if err := g.AddLocation(id(r, c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for r := 0; r < side; r++ {
+		for c := 0; c < side; c++ {
+			if r+1 < side {
+				_ = g.AddEdge(id(r, c), id(r+1, c))
+			}
+			if c+1 < side {
+				_ = g.AddEdge(id(r, c), id(r, c+1))
+			}
+		}
+	}
+	if err := g.SetEntry(id(0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	return g, bounds, rooms, centers
+}
+
+// gridSystem boots a durable side×side grid site with full grants for
+// the given subjects.
+func gridSystem(t testing.TB, side int, dataDir string, subjects ...profile.SubjectID) (*core.System, []graph.ID, []geometry.Point) {
+	t.Helper()
+	g, bounds, rooms, centers := gridParts(t, side)
+	sys, err := core.Open(core.Config{Graph: g, Boundaries: bounds, DataDir: dataDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { _ = sys.Close() })
+	for _, sub := range subjects {
+		for _, room := range rooms {
+			if _, err := sys.AddAuthorization(authz.New(
+				interval.New(1, 1<<40), interval.New(1, 1<<41), sub, room, authz.Unlimited)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return sys, rooms, centers
+}
+
+// encodeObserveStream encodes frames back to back, returning the stream
+// and each frame's cumulative end offset.
+func encodeObserveStream(t testing.TB, frames []stream.ObserveFrame) ([]byte, []int) {
+	t.Helper()
+	var input []byte
+	var ends []int
+	for i := range frames {
+		out, err := AppendObserve(input, &frames[i])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		input = out
+		ends = append(ends, len(input))
+	}
+	return input, ends
+}
+
+// parseBinaryAcks decodes every framed ack the server wrote.
+func parseBinaryAcks(t testing.TB, out []byte) []stream.Ack {
+	t.Helper()
+	rr := NewRawReader(bytes.NewReader(out))
+	defer rr.Release()
+	var acks []stream.Ack
+	for {
+		body, err := rr.Next()
+		if err != nil {
+			break
+		}
+		var a stream.Ack
+		if err := DecodeAck(body, &a); err != nil {
+			t.Fatalf("bad ack frame: %v", err)
+		}
+		acks = append(acks, a)
+	}
+	if len(acks) == 0 {
+		t.Fatal("no acks written")
+	}
+	return acks
+}

@@ -1,0 +1,249 @@
+package frame
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geometry"
+	"repro/internal/profile"
+	"repro/internal/stream"
+)
+
+// TestTornBinaryStreamAckedPrefixDurable is the ingest crash contract
+// under the binary framing, proved at every byte offset: cut the
+// connection after k bytes and the frames that arrived complete —
+// exactly the acked prefix — are durable across a restart, and nothing
+// else is. The binary boundary is sharper than NDJSON's: a frame counts
+// if and only if its last byte arrived (length, CRC and body all
+// present), so completeAt has no newline special case.
+func TestTornBinaryStreamAckedPrefixDurable(t *testing.T) {
+	_, _, centers := gridSystem(t, 2, t.TempDir(), "alice", "bob")
+	frames := []stream.ObserveFrame{
+		{Time: 2, Subject: "alice", X: centers[0].X, Y: centers[0].Y},
+		{Time: 3, Subject: "bob", X: centers[0].X, Y: centers[0].Y},
+		{Time: 4, Subject: "alice", X: centers[1].X, Y: centers[1].Y},
+		{Time: 5, Subject: "bob", X: centers[2].X, Y: centers[2].Y},
+		{Time: 6, Subject: "alice", X: centers[3].X, Y: centers[3].Y},
+		{Time: 7, Subject: "bob", X: centers[1].X, Y: centers[1].Y},
+	}
+	input, ends := encodeObserveStream(t, frames)
+
+	completeAt := func(k int) uint64 {
+		var n uint64
+		for _, end := range ends {
+			if k >= end {
+				n++
+			}
+		}
+		return n
+	}
+
+	step := 1
+	if testing.Short() {
+		step = 13
+	}
+	for k := 0; k <= len(input); k += step {
+		dir := t.TempDir()
+		sys, _, _ := gridSystem(t, 2, dir, "alice", "bob")
+
+		var out bytes.Buffer
+		ing := &stream.Ingestor{Target: sys, Config: stream.IngestConfig{MaxChunk: 2}}
+		or := NewObserveReader(bytes.NewReader(input[:k]))
+		aw := NewAckWriter(&out)
+		if err := ing.RunFramed(or, aw); err != nil {
+			t.Fatalf("k=%d: run: %v", k, err)
+		}
+		or.Release()
+		aw.Release()
+		acks := parseBinaryAcks(t, out.Bytes())
+		final := acks[len(acks)-1]
+		if !final.Final {
+			t.Fatalf("k=%d: last ack not final: %+v", k, final)
+		}
+		want := completeAt(k)
+		if final.Acked != want {
+			t.Fatalf("k=%d: acked %d frames, %d arrived complete", k, final.Acked, want)
+		}
+		if got := sys.ReplicationInfo().TotalSeq; final.Seq != got {
+			t.Fatalf("k=%d: final ack seq %d != durable frontier %d", k, final.Seq, got)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatalf("k=%d: close: %v", k, err)
+		}
+
+		// Restart from the directory: the durable state must be the acked
+		// prefix — no more, no less.
+		reGraph, reBounds, _, _ := gridParts(t, 2)
+		re, err := core.Open(core.Config{Graph: reGraph, Boundaries: reBounds, DataDir: dir})
+		if err != nil {
+			t.Fatalf("k=%d: reopen: %v", k, err)
+		}
+		if got := re.ReplicationInfo().TotalSeq; got != final.Seq {
+			t.Fatalf("k=%d: reopened frontier %d, acked seq %d", k, got, final.Seq)
+		}
+		ref, _, _ := gridSystem(t, 2, t.TempDir(), "alice", "bob")
+		if want > 0 {
+			readings := make([]core.Reading, 0, want)
+			for _, f := range frames[:want] {
+				readings = append(readings, core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}})
+			}
+			outcomes, err := ref.ObserveBatch(readings)
+			if err != nil {
+				t.Fatalf("k=%d: reference apply: %v", k, err)
+			}
+			for i, o := range outcomes {
+				if o.Err != nil {
+					t.Fatalf("k=%d: reference reading %d: %v", k, i, o.Err)
+				}
+			}
+		}
+		for _, sub := range []profile.SubjectID{"alice", "bob"} {
+			gotLoc, gotIn := re.WhereIs(sub)
+			wantLoc, wantIn := ref.WhereIs(sub)
+			if gotLoc != wantLoc || gotIn != wantIn {
+				t.Fatalf("k=%d: %s at %q/%v after restart, reference %q/%v",
+					k, sub, gotLoc, gotIn, wantLoc, wantIn)
+			}
+		}
+		if got, want := re.Movements().Len(), ref.Movements().Len(); got != want {
+			t.Fatalf("k=%d: %d movements after restart, reference %d", k, got, want)
+		}
+		_ = re.Close()
+	}
+}
+
+// TestSharedChunkerTornConnection: two concurrent binary connections
+// feed ONE ingestor (one shared chunker), one is cut at every frame
+// boundary and mid-frame offset while the other completes cleanly. The
+// torn connection's final ack covers exactly its complete frames, the
+// clean connection acks everything, and the durable state across a
+// restart is the union of both acked prefixes. The two connections move
+// disjoint subjects at one shared timestamp, so the interleaving the
+// chunker picks cannot change the outcome.
+func TestSharedChunkerTornConnection(t *testing.T) {
+	_, _, centers := gridSystem(t, 2, t.TempDir(), "alice", "bob")
+	mkFrames := func(sub profile.SubjectID) []stream.ObserveFrame {
+		return []stream.ObserveFrame{
+			{Time: 2, Subject: sub, X: centers[0].X, Y: centers[0].Y},
+			{Time: 2, Subject: sub, X: centers[1].X, Y: centers[1].Y},
+			{Time: 2, Subject: sub, X: centers[3].X, Y: centers[3].Y},
+			{Time: 2, Subject: sub, X: centers[2].X, Y: centers[2].Y},
+		}
+	}
+	tornFrames := mkFrames("alice")
+	cleanFrames := append(mkFrames("bob"), stream.ObserveFrame{End: true})
+	tornInput, tornEnds := encodeObserveStream(t, tornFrames)
+	cleanInput, _ := encodeObserveStream(t, cleanFrames)
+
+	completeAt := func(k int) uint64 {
+		var n uint64
+		for _, end := range tornEnds {
+			if k >= end {
+				n++
+			}
+		}
+		return n
+	}
+
+	// Every frame boundary plus one mid-frame offset per frame.
+	var cuts []int
+	prev := 0
+	for _, end := range tornEnds {
+		cuts = append(cuts, prev+(end-prev)/2, end)
+		prev = end
+	}
+	cuts = append([]int{0}, cuts...)
+
+	for _, k := range cuts {
+		dir := t.TempDir()
+		sys, _, _ := gridSystem(t, 2, dir, "alice", "bob")
+		ing := &stream.Ingestor{Target: sys, Config: stream.IngestConfig{MaxChunk: 3}}
+
+		run := func(in []byte, out *bytes.Buffer) error {
+			or := NewObserveReader(bytes.NewReader(in))
+			defer or.Release()
+			aw := NewAckWriter(out)
+			defer aw.Release()
+			return ing.RunFramed(or, aw)
+		}
+		var tornOut, cleanOut bytes.Buffer
+		var wg sync.WaitGroup
+		var tornErr, cleanErr error
+		wg.Add(2)
+		go func() { defer wg.Done(); tornErr = run(tornInput[:k], &tornOut) }()
+		go func() { defer wg.Done(); cleanErr = run(cleanInput, &cleanOut) }()
+		wg.Wait()
+		if tornErr != nil || cleanErr != nil {
+			t.Fatalf("k=%d: run: torn=%v clean=%v", k, tornErr, cleanErr)
+		}
+
+		tornAcks := parseBinaryAcks(t, tornOut.Bytes())
+		cleanAcks := parseBinaryAcks(t, cleanOut.Bytes())
+		tornFinal := tornAcks[len(tornAcks)-1]
+		cleanFinal := cleanAcks[len(cleanAcks)-1]
+		if !tornFinal.Final || !cleanFinal.Final {
+			t.Fatalf("k=%d: finals not marked: torn=%+v clean=%+v", k, tornFinal, cleanFinal)
+		}
+		if want := completeAt(k); tornFinal.Acked != want {
+			t.Fatalf("k=%d: torn conn acked %d frames, %d arrived complete", k, tornFinal.Acked, want)
+		}
+		// The clean connection's End frame is consumed, not counted.
+		if want := uint64(len(cleanFrames) - 1); cleanFinal.Acked != want {
+			t.Fatalf("k=%d: clean conn acked %d frames, want %d", k, cleanFinal.Acked, want)
+		}
+		if cleanFinal.Error != "" || tornFinal.Error != "" {
+			t.Fatalf("k=%d: terminal errors: torn=%q clean=%q", k, tornFinal.Error, cleanFinal.Error)
+		}
+		total := sys.ReplicationInfo().TotalSeq
+		if tornFinal.Seq > total || cleanFinal.Seq > total {
+			t.Fatalf("k=%d: ack seqs %d/%d beyond durable frontier %d", k, tornFinal.Seq, cleanFinal.Seq, total)
+		}
+		if err := sys.Close(); err != nil {
+			t.Fatalf("k=%d: close: %v", k, err)
+		}
+
+		// Restart: the union of both acked prefixes, nothing else. Disjoint
+		// subjects make the reference order-independent.
+		reGraph, reBounds, _, _ := gridParts(t, 2)
+		re, err := core.Open(core.Config{Graph: reGraph, Boundaries: reBounds, DataDir: dir})
+		if err != nil {
+			t.Fatalf("k=%d: reopen: %v", k, err)
+		}
+		if got := re.ReplicationInfo().TotalSeq; got != total {
+			t.Fatalf("k=%d: reopened frontier %d, want %d", k, got, total)
+		}
+		ref, _, _ := gridSystem(t, 2, t.TempDir(), "alice", "bob")
+		var readings []core.Reading
+		for _, f := range tornFrames[:tornFinal.Acked] {
+			readings = append(readings, core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}})
+		}
+		for _, f := range cleanFrames[:cleanFinal.Acked] {
+			readings = append(readings, core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}})
+		}
+		if len(readings) > 0 {
+			outcomes, err := ref.ObserveBatch(readings)
+			if err != nil {
+				t.Fatalf("k=%d: reference apply: %v", k, err)
+			}
+			for i, o := range outcomes {
+				if o.Err != nil {
+					t.Fatalf("k=%d: reference reading %d: %v", k, i, o.Err)
+				}
+			}
+		}
+		for _, sub := range []profile.SubjectID{"alice", "bob"} {
+			gotLoc, gotIn := re.WhereIs(sub)
+			wantLoc, wantIn := ref.WhereIs(sub)
+			if gotLoc != wantLoc || gotIn != wantIn {
+				t.Fatalf("k=%d: %s at %q/%v after restart, reference %q/%v",
+					k, sub, gotLoc, gotIn, wantLoc, wantIn)
+			}
+		}
+		if got, want := re.Movements().Len(), ref.Movements().Len(); got != want {
+			t.Fatalf("k=%d: %d movements after restart, reference %d", k, got, want)
+		}
+		_ = re.Close()
+	}
+}

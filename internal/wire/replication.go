@@ -10,16 +10,16 @@ package wire
 import (
 	"bufio"
 	"context"
-	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"hash/crc32"
 	"io"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/storage"
+	"repro/internal/wire/frame"
 )
 
 // BootstrapResponse carries the primary's full state for a follower:
@@ -140,32 +140,25 @@ func (s *ReplicationSource) Tail(ctx context.Context, from uint64, apply func(st
 		return fmt.Errorf("wire: replication stream: HTTP %d", resp.StatusCode)
 	}
 
+	// The stream is the WAL's own binary framing, so it is read with the
+	// shared frame reader — one reused body buffer for the life of the
+	// connection (the record decode copies what it keeps, so aliasing the
+	// buffer across frames is safe).
 	br := bufio.NewReader(resp.Body)
-	var hdr [8]byte
+	fr := frame.NewRawReader(br)
 	for {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			// EOF (clean or torn mid-frame): benign stream end; the
-			// reconnect resumes from the applied sequence, so a torn
-			// HTTP read can never skip or double-apply a record.
+		body, err := fr.Next()
+		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
 			}
-			return nil
-		}
-		length := binary.LittleEndian.Uint32(hdr[0:4])
-		sum := binary.LittleEndian.Uint32(hdr[4:8])
-		if length == 0 || length > storage.MaxFrameSize {
-			return fmt.Errorf("wire: replication stream: bad frame length %d", length)
-		}
-		body := make([]byte, length)
-		if _, err := io.ReadFull(br, body); err != nil {
-			if ctx.Err() != nil {
-				return ctx.Err()
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				// EOF (clean or torn mid-frame): benign stream end; the
+				// reconnect resumes from the applied sequence, so a torn
+				// HTTP read can never skip or double-apply a record.
+				return nil
 			}
-			return nil // torn mid-frame: reconnect re-reads it
-		}
-		if crc32.ChecksumIEEE(body) != sum {
-			return fmt.Errorf("wire: replication stream: frame checksum mismatch")
+			return fmt.Errorf("wire: replication stream: %w", err)
 		}
 		var rec storage.Record
 		if err := json.Unmarshal(body, &rec); err != nil {

@@ -24,7 +24,31 @@ import (
 	"repro/internal/profile"
 	"repro/internal/storage"
 	"repro/internal/stream"
+	"repro/internal/wire/frame"
 )
+
+// WireFormat selects a streaming connection's framing: NDJSON (the
+// default and the debugging surface) or the negotiated binary framing
+// of internal/wire/frame.
+type WireFormat string
+
+const (
+	WireNDJSON WireFormat = "ndjson"
+	WireBinary WireFormat = "binary"
+)
+
+// ParseWireFormat maps a -wire flag value to a WireFormat ("" selects
+// NDJSON).
+func ParseWireFormat(s string) (WireFormat, error) {
+	switch s {
+	case "", string(WireNDJSON):
+		return WireNDJSON, nil
+	case string(WireBinary):
+		return WireBinary, nil
+	default:
+		return "", fmt.Errorf("wire: unknown wire format %q (want %q or %q)", s, WireNDJSON, WireBinary)
+	}
+}
 
 // StreamObserver is one live ingest connection. Send/Flush/Close are
 // safe for one goroutine (the writer); Ack and Err may be called from
@@ -33,8 +57,10 @@ type StreamObserver struct {
 	pw *io.PipeWriter
 	bw *bufio.Writer
 
-	mu     sync.Mutex // guards bw/pw and closed
+	mu     sync.Mutex // guards bw/pw, enc and closed
 	closed bool
+	binary bool
+	enc    []byte // reused binary encode buffer (under mu)
 
 	ackMu sync.Mutex
 	last  stream.Ack
@@ -43,19 +69,32 @@ type StreamObserver struct {
 	done chan struct{}
 }
 
-// StreamObserve opens the long-lived ingest stream. The returned
-// observer buffers frames (32 KiB) — call Flush to push a partial
-// buffer, Close to finish cleanly and collect the final ack. Canceling
-// ctx tears the connection (the server still flushes and durably acks
-// every complete frame it received).
+// StreamObserve opens the long-lived ingest stream over NDJSON. The
+// returned observer buffers frames (32 KiB) — call Flush to push a
+// partial buffer, Close to finish cleanly and collect the final ack.
+// Canceling ctx tears the connection (the server still flushes and
+// durably acks every complete frame it received).
 func (c *Client) StreamObserve(ctx context.Context) (*StreamObserver, error) {
+	return c.StreamObserveWire(ctx, WireNDJSON)
+}
+
+// StreamObserveWire opens the ingest stream with an explicit framing:
+// WireBinary negotiates the length-prefixed binary codec for both
+// directions (observe frames out, acks back), WireNDJSON the default
+// line framing. Everything else matches StreamObserve.
+func (c *Client) StreamObserveWire(ctx context.Context, wf WireFormat) (*StreamObserver, error) {
 	pr, pw := io.Pipe()
 	req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+"/v1/stream/observe", pr)
 	if err != nil {
 		pw.Close()
 		return nil, err
 	}
-	req.Header.Set("Content-Type", "application/x-ndjson")
+	binary := wf == WireBinary
+	if binary {
+		req.Header.Set("Content-Type", frame.ContentType)
+	} else {
+		req.Header.Set("Content-Type", "application/x-ndjson")
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		pw.Close()
@@ -71,7 +110,12 @@ func (c *Client) StreamObserve(ctx context.Context) (*StreamObserver, error) {
 		}
 		return nil, fmt.Errorf("wire: stream observe: HTTP %d", resp.StatusCode)
 	}
-	o := &StreamObserver{pw: pw, bw: bufio.NewWriterSize(pw, 32<<10), done: make(chan struct{})}
+	if binary && !strings.HasPrefix(resp.Header.Get("Content-Type"), frame.ContentType) {
+		resp.Body.Close()
+		pw.Close()
+		return nil, fmt.Errorf("wire: stream observe: server does not speak %s", frame.ContentType)
+	}
+	o := &StreamObserver{pw: pw, bw: bufio.NewWriterSize(pw, 32<<10), binary: binary, done: make(chan struct{})}
 	go o.readAcks(resp.Body)
 	return o, nil
 }
@@ -81,6 +125,42 @@ func (c *Client) StreamObserve(ctx context.Context) (*StreamObserver, error) {
 func (o *StreamObserver) readAcks(body io.ReadCloser) {
 	defer close(o.done)
 	defer body.Close()
+	// note stores each decoded ack; it reports whether to keep reading.
+	note := func(a stream.Ack) bool {
+		o.ackMu.Lock()
+		o.last = a
+		o.ackMu.Unlock()
+		if a.Final {
+			if a.Error != "" {
+				o.err = fmt.Errorf("wire: stream observe: %s", a.Error)
+			}
+			return false
+		}
+		return true
+	}
+	if o.binary {
+		fr := frame.NewRawReader(bufio.NewReader(body))
+		defer fr.Release()
+		for {
+			raw, err := fr.Next()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+					o.err = fmt.Errorf("wire: stream observe: ack stream ended without final ack")
+				} else {
+					o.err = fmt.Errorf("wire: stream observe: ack stream: %w", err)
+				}
+				return
+			}
+			var a stream.Ack
+			if err := frame.DecodeAck(raw, &a); err != nil {
+				o.err = fmt.Errorf("wire: stream observe: bad ack: %w", err)
+				return
+			}
+			if !note(a) {
+				return
+			}
+		}
+	}
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 4<<10), 1<<20)
 	for sc.Scan() {
@@ -89,13 +169,7 @@ func (o *StreamObserver) readAcks(body io.ReadCloser) {
 			o.err = fmt.Errorf("wire: stream observe: bad ack: %w", err)
 			return
 		}
-		o.ackMu.Lock()
-		o.last = a
-		o.ackMu.Unlock()
-		if a.Final {
-			if a.Error != "" {
-				o.err = fmt.Errorf("wire: stream observe: %s", a.Error)
-			}
+		if !note(a) {
 			return
 		}
 	}
@@ -106,6 +180,28 @@ func (o *StreamObserver) readAcks(body io.ReadCloser) {
 	} else {
 		o.err = fmt.Errorf("wire: stream observe: ack stream ended without final ack")
 	}
+}
+
+// writeFrame encodes one observe frame onto the buffered stream.
+// Callers hold o.mu.
+func (o *StreamObserver) writeFrame(f *stream.ObserveFrame) error {
+	if o.binary {
+		out, err := frame.AppendObserve(o.enc[:0], f)
+		if err != nil {
+			return err
+		}
+		o.enc = out[:0]
+		_, err = o.bw.Write(out)
+		return err
+	}
+	line, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	if _, err := o.bw.Write(line); err != nil {
+		return err
+	}
+	return o.bw.WriteByte('\n')
 }
 
 // Send encodes one reading onto the stream. It does not wait for an ack
@@ -120,19 +216,13 @@ func (o *StreamObserver) Send(r Reading) error {
 		return errors.New("wire: stream observe: stream already finished")
 	default:
 	}
-	line, err := json.Marshal(stream.ObserveFrame{Time: r.Time, Subject: r.Subject, X: r.X, Y: r.Y})
-	if err != nil {
-		return err
-	}
+	f := stream.ObserveFrame{Time: r.Time, Subject: r.Subject, X: r.X, Y: r.Y}
 	o.mu.Lock()
 	defer o.mu.Unlock()
 	if o.closed {
 		return errors.New("wire: stream observe: send after Close")
 	}
-	if _, err := o.bw.Write(line); err != nil {
-		return err
-	}
-	return o.bw.WriteByte('\n')
+	return o.writeFrame(&f)
 }
 
 // Flush pushes buffered frames to the server.
@@ -171,8 +261,7 @@ func (o *StreamObserver) Close() (stream.Ack, error) {
 	o.mu.Lock()
 	if !o.closed {
 		o.closed = true
-		end, _ := json.Marshal(stream.ObserveFrame{End: true})
-		_, werr := o.bw.Write(append(end, '\n'))
+		werr := o.writeFrame(&stream.ObserveFrame{End: true})
 		if ferr := o.bw.Flush(); werr == nil {
 			werr = ferr
 		}
@@ -218,12 +307,17 @@ type StreamSubscribeOptions struct {
 	AlertsSince *uint64
 	// Buffer overrides the server-side per-subscriber queue length.
 	Buffer int
+	// Wire selects the feed framing: WireNDJSON (the default) or
+	// WireBinary (negotiated via Accept: application/x-ltam-frame).
+	Wire WireFormat
 }
 
-// EventStream iterates one subscription's NDJSON feed.
+// EventStream iterates one subscription's feed (NDJSON lines or binary
+// frames, fixed at Subscribe time).
 type EventStream struct {
 	body io.ReadCloser
-	sc   *bufio.Scanner
+	sc   *bufio.Scanner // NDJSON mode
+	fr   *frame.EventReader
 }
 
 // Subscribe opens the committed-event feed. A From behind the
@@ -262,6 +356,10 @@ func (c *Client) Subscribe(ctx context.Context, opts StreamSubscribeOptions) (*E
 	if err != nil {
 		return nil, err
 	}
+	binary := opts.Wire == WireBinary
+	if binary {
+		req.Header.Set("Accept", frame.ContentType)
+	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
 		return nil, err
@@ -279,6 +377,13 @@ func (c *Client) Subscribe(ctx context.Context, opts StreamSubscribeOptions) (*E
 		}
 		return nil, fmt.Errorf("wire: subscribe: %s", msg)
 	}
+	if binary {
+		if !strings.HasPrefix(resp.Header.Get("Content-Type"), frame.ContentType) {
+			resp.Body.Close()
+			return nil, fmt.Errorf("wire: subscribe: server does not speak %s", frame.ContentType)
+		}
+		return &EventStream{body: resp.Body, fr: frame.NewEventReader(bufio.NewReaderSize(resp.Body, 16<<10))}, nil
+	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 16<<10), int(storage.MaxFrameSize))
 	return &EventStream{body: resp.Body, sc: sc}, nil
@@ -289,6 +394,16 @@ func (c *Client) Subscribe(ctx context.Context, opts StreamSubscribeOptions) (*E
 // the reason — slow-consumer eviction or compaction — and the sequence
 // to resubscribe from.
 func (es *EventStream) Next() (stream.Event, error) {
+	if es.fr != nil {
+		var ev stream.Event
+		if err := es.fr.Next(&ev); err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return stream.Event{}, io.EOF
+			}
+			return stream.Event{}, fmt.Errorf("wire: subscribe: bad event: %w", err)
+		}
+		return ev, nil
+	}
 	if !es.sc.Scan() {
 		if err := es.sc.Err(); err != nil {
 			return stream.Event{}, err
@@ -303,4 +418,10 @@ func (es *EventStream) Next() (stream.Event, error) {
 }
 
 // Close detaches the subscription.
-func (es *EventStream) Close() error { return es.body.Close() }
+func (es *EventStream) Close() error {
+	if es.fr != nil {
+		es.fr.Release()
+		es.fr = nil
+	}
+	return es.body.Close()
+}
