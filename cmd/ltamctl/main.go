@@ -370,6 +370,9 @@ func run(c *wire.Client, args []string) error {
 // watch follows the committed-event feed, printing one line per event.
 // With -count it exits once that many record events have arrived (the
 // smoke test's "did every committed record reach a subscriber" check).
+// With -resume the feed self-heals: any disconnect — server restart,
+// eviction, network cut — is repaired by resubscribing from the exact
+// next sequence, so the printed feed stays gapless and duplicate-free.
 func watch(c *wire.Client, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	from := fs.Uint64("from", 0, "first record sequence to deliver (0 = everything the server retains)")
@@ -379,6 +382,8 @@ func watch(c *wire.Client, args []string) error {
 	kinds := fs.String("kinds", "", "comma-separated event kinds (e.g. enter,leave,alert)")
 	alertsSince := fs.Int64("alerts-since", -1, "also deliver retained alerts after this sequence (-1 = live alerts only)")
 	wireFmt := fs.String("wire", "ndjson", "feed framing: ndjson or binary")
+	resume := fs.Bool("resume", false, "auto-reconnect from the last delivered sequence on any feed failure")
+	patience := fs.Duration("patience", wire.DefaultResumePatience, "with -resume: how long one repair keeps retrying")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -401,14 +406,26 @@ func watch(c *wire.Client, args []string) error {
 		since := uint64(*alertsSince)
 		opts.AlertsSince = &since
 	}
-	es, err := c.Subscribe(context.Background(), opts)
-	if err != nil {
-		return err
+	var next func() (stream.Event, error)
+	var closeFeed func() error
+	if *resume {
+		rs, err := c.SubscribeResume(context.Background(), opts)
+		if err != nil {
+			return err
+		}
+		rs.Patience = *patience
+		next, closeFeed = rs.Next, rs.Close
+	} else {
+		es, err := c.Subscribe(context.Background(), opts)
+		if err != nil {
+			return err
+		}
+		next, closeFeed = es.Next, es.Close
 	}
-	defer es.Close()
+	defer closeFeed()
 	var records uint64
 	for {
-		ev, err := es.Next()
+		ev, err := next()
 		if errors.Is(err, io.EOF) {
 			return nil
 		}
@@ -418,6 +435,8 @@ func watch(c *wire.Client, args []string) error {
 		fmt.Println(formatEvent(ev))
 		switch {
 		case ev.Kind == stream.KindError:
+			// Only the plain feed surfaces these; -resume consumes them
+			// internally and resubscribes.
 			return fmt.Errorf("feed ended: %s", ev.Error)
 		case ev.Record != nil:
 			records++

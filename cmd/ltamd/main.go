@@ -34,11 +34,14 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
@@ -47,6 +50,50 @@ import (
 	"repro/internal/server"
 	"repro/internal/wire"
 )
+
+// drainTimeout bounds the graceful phase of shutdown: after SIGTERM the
+// daemon stops accepting, drains the streaming plane (final acks,
+// subscriber resume frames), and gives in-flight requests this long
+// before cutting the remaining connections.
+const drainTimeout = 10 * time.Second
+
+// serveUntilSignal runs the HTTP server until SIGTERM/SIGINT, then
+// executes the graceful-drain sequence:
+//
+//  1. srv.BeginDrain() — readyz flips unready (load balancers stop
+//     routing here), new streaming connections are refused, the shared
+//     ingest chunker flushes and emits final acks, subscriber feeds end
+//     with in-band resume-seq frames.
+//  2. http.Server.Shutdown — stop accepting, wait (bounded) for
+//     request/response handlers to finish.
+//  3. http.Server.Close — cut whatever is left (streaming handlers
+//     whose clients never hang up block in body reads; their final acks
+//     were already written in step 1).
+//
+// It returns once the listener is fully down; the caller then closes
+// the System, flushing the committer so the WAL is clean on disk.
+func serveUntilSignal(addr string, srv *server.Server) {
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately via the default handler
+	log.Print("signal received: draining")
+	srv.BeginDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	_ = httpSrv.Close()
+	log.Print("drained")
+}
 
 func main() {
 	log.SetFlags(0)
@@ -58,10 +105,11 @@ func main() {
 	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
 	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8525): boot as a read-only replica")
 	followLagMax := flag.Duration("follow-lag-max", 0, "replica read barrier: 503 queries when replication staleness exceeds this (0 = serve regardless)")
+	captureTimeout := flag.Duration("capture-timeout", 0, "bound on bootstrap-state capture and status refresh (0 = 500ms default)")
 	flag.Parse()
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf, *followLagMax)
+		runReplica(*addr, *replicaOf, *followLagMax, *captureTimeout)
 		return
 	}
 
@@ -107,12 +155,18 @@ func main() {
 	if *data != "" {
 		fmt.Printf("ltamd: durable storage in %s\n", *data)
 	}
-	log.Fatal(http.ListenAndServe(*addr, server.New(sys)))
+	srv := server.New(sys)
+	if *captureTimeout > 0 {
+		srv.SetCaptureTimeout(*captureTimeout)
+	}
+	serveUntilSignal(*addr, srv)
+	// The deferred sys.Close() flushes the committer: every ack the drain
+	// emitted is backed by a clean, recoverable WAL.
 }
 
 // runReplica boots a read-only follower: bootstrap from the primary,
 // start the tail loop, and serve the query surface.
-func runReplica(addr, primary string, followLagMax time.Duration) {
+func runReplica(addr, primary string, followLagMax, captureTimeout time.Duration) {
 	client := wire.NewClient(primary)
 	rep, err := core.NewReplica(client.ReplicationSource())
 	if err != nil {
@@ -133,9 +187,12 @@ func runReplica(addr, primary string, followLagMax time.Duration) {
 		srv.SetFollowLagMax(followLagMax)
 		fmt.Printf("ltamd: read barrier armed: 503 when staleness exceeds %s\n", followLagMax)
 	}
+	if captureTimeout > 0 {
+		srv.SetCaptureTimeout(captureTimeout)
+	}
 	fmt.Printf("ltamd: replica of %s serving %q (%d primitive locations) on %s, bootstrapped at seq %d\n",
 		primary, sys.Graph().Name(), len(sys.Flat().Nodes), addr, rep.AppliedSeq())
-	log.Fatal(http.ListenAndServe(addr, srv))
+	serveUntilSignal(addr, srv)
 }
 
 // snapshotExists reports whether the data directory already holds a

@@ -25,6 +25,16 @@
 // cumulative acks reporting the durable record sequence. The target
 // daemon must serve the same grid site — write it first with
 // -emit-site and boot ltamd with the produced graph.json/bounds.json.
+//
+// With -chaos (requires -stream) the ingest connection is routed
+// through an in-process chaos TCP proxy (internal/fault) that hard-cuts
+// it every -chaos-interval, and the observer is the resumable session
+// client: each cut reconnects, re-sends the un-acked suffix, and the
+// server deduplicates — the run must end with every frame applied
+// exactly once, which is exactly what the final ack asserts. Control
+// requests (populate, ticks) go directly to the daemon and are retried,
+// so the run also survives the daemon itself being killed and
+// restarted mid-flight.
 package main
 
 import (
@@ -34,6 +44,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net/url"
 	"os"
 	"path/filepath"
 	"time"
@@ -41,10 +52,12 @@ import (
 	"repro/internal/audit"
 	"repro/internal/authz"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/profile"
+	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
@@ -62,6 +75,8 @@ func main() {
 	streamURL := flag.String("stream", "", "drive a running ltamd over POST /v1/stream/observe at this base URL")
 	wireFmt := flag.String("wire", "ndjson", "stream framing: ndjson or binary")
 	emitSite := flag.String("emit-site", "", "write the grid site (graph.json, bounds.json) for ltamd to this directory and exit")
+	chaos := flag.Bool("chaos", false, "with -stream: route ingest through a connection-killing chaos proxy and use the resumable session client")
+	chaosInterval := flag.Duration("chaos-interval", 500*time.Millisecond, "with -chaos: how often the proxy hard-cuts every connection")
 	flag.Parse()
 
 	if *emitSite != "" {
@@ -76,8 +91,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		runStream(*streamURL, wf, *side, *users, *steps, *seed, *overstayers, *tailgaters)
+		runStream(*streamURL, wf, *side, *users, *steps, *seed, *overstayers, *tailgaters, *chaos, *chaosInterval)
 		return
+	}
+	if *chaos {
+		log.Fatal("-chaos requires -stream")
 	}
 
 	g, rooms := GridBuilding(*side)
@@ -150,11 +168,23 @@ func EmitSite(dir string, side int) error {
 	return os.WriteFile(filepath.Join(dir, "bounds.json"), bounds, 0o644)
 }
 
+// observer is the ingest-stream surface runStream drives: the plain
+// StreamObserver, or the resumable session client in -chaos mode.
+type observer interface {
+	Send(wire.Reading) error
+	Flush() error
+	Ack() stream.Ack
+	Err() error
+	Close() (stream.Ack, error)
+}
+
 // runStream drives a running ltamd: populate over the JSON API, then
 // stream the random walk down one long-lived ingest connection,
 // flushing once per simulation step and closing for the final durable
-// ack.
-func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int64, overstayFrac, tailgateFrac float64) {
+// ack. In chaos mode the connection goes through a kill-happy proxy and
+// the resumable client repairs it; the final ack must still cover every
+// frame exactly once.
+func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int64, overstayFrac, tailgateFrac float64, chaos bool, chaosInterval time.Duration) {
 	client := wire.NewClient(base)
 	g, rooms := GridBuilding(side)
 	rng := rand.New(rand.NewSource(seed))
@@ -165,9 +195,61 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 		log.Fatalf("populate %s: %v (does the daemon serve the -emit-site grid?)", base, err)
 	}
 
-	obs, err := client.StreamObserveWire(context.Background(), wf)
-	if err != nil {
-		log.Fatalf("open ingest stream: %v", err)
+	var obs observer
+	var prox *fault.Proxy
+	ackDeadline := 30 * time.Second
+	if chaos {
+		u, err := url.Parse(base)
+		if err != nil || u.Host == "" {
+			log.Fatalf("parse -stream url %q: %v", base, err)
+		}
+		prox, err = fault.NewProxy("127.0.0.1:0", u.Host)
+		if err != nil {
+			log.Fatalf("start chaos proxy: %v", err)
+		}
+		defer prox.Close()
+		stopKills := make(chan struct{})
+		defer close(stopKills)
+		go func() {
+			t := time.NewTicker(chaosInterval)
+			defer t.Stop()
+			for {
+				select {
+				case <-stopKills:
+					return
+				case <-t.C:
+					prox.KillAll()
+				}
+			}
+		}()
+		ro, err := wire.NewClient("http://" + prox.Addr()).StreamObserveResumable(context.Background(), wf)
+		if err != nil {
+			log.Fatalf("open resumable ingest stream: %v", err)
+		}
+		obs = ro
+		ackDeadline = 90 * time.Second // rides out daemon kills/restarts too
+		fmt.Printf("chaos: proxy %s -> %s, cutting every connection every %s\n", prox.Addr(), u.Host, chaosInterval)
+	} else {
+		o, err := client.StreamObserveWire(context.Background(), wf)
+		if err != nil {
+			log.Fatalf("open ingest stream: %v", err)
+		}
+		obs = o
+	}
+	// tick advances the monitor clock on its own request, directly
+	// against the daemon. Chaos mode retries it: the daemon may be down
+	// mid-restart when the tick fires.
+	tick := func(t interval.Time) error {
+		_, err := client.Tick(t)
+		if !chaos {
+			return err
+		}
+		deadline := time.Now().Add(ackDeadline)
+		for err != nil && time.Now().Before(deadline) {
+			time.Sleep(200 * time.Millisecond)
+			_, err = client.Tick(t)
+		}
+		return err
 	}
 	centers := RoomCenters(side, rooms)
 	start := time.Now()
@@ -206,10 +288,10 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 			// frames; advancing the monitor clock past queued readings
 			// would make their times regress. The cumulative ack says
 			// exactly when the stream has drained.
-			if err := waitForAck(obs, sent); err != nil {
+			if err := waitForAck(obs, sent, ackDeadline); err != nil {
 				log.Fatalf("await acks before tick: %v", err)
 			}
-			if _, err := client.Tick(clock); err != nil {
+			if err := tick(clock); err != nil {
 				log.Fatalf("tick: %v", err)
 			}
 			clock++
@@ -227,6 +309,11 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 		wf, sent, elapsed.Round(time.Millisecond), float64(sent)/elapsed.Seconds())
 	fmt.Printf("acked: %d frames durable up to record seq %d\n", ack.Acked, ack.Seq)
 	fmt.Printf("entries granted: %d, denied: %d, errors: %d\n", ack.Granted, ack.Denied, ack.Errors)
+	if prox != nil {
+		ro := obs.(*wire.ResumableObserver)
+		fmt.Printf("chaos: %d connections cut by the proxy, %d reconnects, session %s\n",
+			prox.Killed(), ro.Reconnects(), ro.Session())
+	}
 	if st, err := client.Stats(); err == nil && st.Stream != nil {
 		ing := st.Stream.Ingest
 		if ing.Chunks > 0 {
@@ -237,9 +324,9 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 }
 
 // waitForAck blocks until the server's cumulative ack covers the first
-// n frames of the stream (or the stream dies).
-func waitForAck(obs *wire.StreamObserver, n uint64) error {
-	deadline := time.Now().Add(30 * time.Second)
+// n frames of the stream (or the stream dies, or patience runs out).
+func waitForAck(obs observer, n uint64, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
 	for obs.Ack().Acked < n {
 		if err := obs.Err(); err != nil {
 			return err

@@ -90,6 +90,10 @@ type Config struct {
 	// WarmSubjects caps how many recently-queried subjects the warmer
 	// re-derives per mutation (0 = DefaultWarmSubjects).
 	WarmSubjects int
+	// WALWrap, when non-nil, wraps the WAL's backing file before any I/O
+	// — the fault-injection seam (see internal/fault). Production leaves
+	// it nil.
+	WALWrap func(storage.File) storage.File
 }
 
 // DefaultWarmSubjects is the default size of the post-mutation warm set.
@@ -312,7 +316,7 @@ func Open(cfg Config) (*System, error) {
 		if sync <= 0 {
 			sync = 1
 		}
-		s.wal, err = storage.OpenWAL(walPath, sync)
+		s.wal, err = storage.OpenWALWith(walPath, sync, cfg.WALWrap)
 		if err != nil {
 			return nil, err
 		}
@@ -493,6 +497,40 @@ func (s *System) apply(rec storage.Record) error {
 	}
 }
 
+// mutationGate is the admission check every public mutator runs BEFORE
+// applying anything in memory. A follower rejects with ErrReadOnly; a
+// primary whose group committer has latched a write or fsync failure
+// rejects with ErrWALPoisoned — the in-memory state must not advance
+// past a log that can no longer record it (fsyncgate: the failed sync is
+// never retried). Pure queries are not gated: they serve the published
+// view, which reflects only mutations that were still being logged.
+func (s *System) mutationGate() error {
+	if s.readOnly {
+		return ErrReadOnly
+	}
+	if s.committer != nil && s.committer.Poisoned() {
+		return fmt.Errorf("%w: %v", storage.ErrWALPoisoned, s.committer.Err())
+	}
+	return nil
+}
+
+// Poisoned reports whether the WAL committer has latched a write/fsync
+// failure and the System is degraded to read-only (mutations fail with
+// ErrWALPoisoned; queries keep serving the published view). Always false
+// without group commit.
+func (s *System) Poisoned() bool {
+	return s.committer != nil && s.committer.Poisoned()
+}
+
+// CommitErr returns the committer's latched background failure — the
+// root cause behind Poisoned — or nil when healthy (or not durable).
+func (s *System) CommitErr() error {
+	if s.committer == nil {
+		return nil
+	}
+	return s.committer.Err()
+}
+
 // waitNil and waitErr are ready-made commit barriers for the synchronous
 // paths.
 var waitNil = func() error { return nil }
@@ -537,10 +575,18 @@ func (s *System) logLocked(typ string, v any) func() error {
 }
 
 // notifyAfter forwards a commit outcome, waking durability followers on
-// success.
+// success. A failed barrier is tagged with ErrWALPoisoned when the
+// committer has latched: the barrier that carried the ORIGINAL
+// write/fsync failure is just as poisoned as every one behind it, and
+// callers (the server's 503 mapping in particular) should not have to
+// distinguish the first victim from the stragglers.
 func (s *System) notifyAfter(err error) error {
 	if err == nil {
 		s.notifyCommit()
+		return nil
+	}
+	if !errors.Is(err, storage.ErrWALPoisoned) && s.Poisoned() {
+		return fmt.Errorf("%w (%w)", storage.ErrWALPoisoned, err)
 	}
 	return err
 }
@@ -615,8 +661,8 @@ func (s *System) WarmNow() {
 
 // PutSubject inserts or updates a user profile.
 func (s *System) PutSubject(sub profile.Subject) error {
-	if s.readOnly {
-		return ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return err
 	}
 	return s.putSubject(sub)
 }
@@ -635,8 +681,8 @@ func (s *System) putSubject(sub profile.Subject) error {
 
 // RemoveSubject deletes a user profile.
 func (s *System) RemoveSubject(id profile.SubjectID) error {
-	if s.readOnly {
-		return ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return err
 	}
 	return s.removeSubject(id)
 }
@@ -669,8 +715,8 @@ func (s *System) Subjects() []profile.SubjectID {
 // AddAuthorization validates that the location is a primitive location of
 // the site graph, stores the authorization, and logs it.
 func (s *System) AddAuthorization(a authz.Authorization) (authz.Authorization, error) {
-	if s.readOnly {
-		return authz.Authorization{}, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return authz.Authorization{}, err
 	}
 	return s.addAuthorization(a)
 }
@@ -698,8 +744,8 @@ func (s *System) addAuthorization(a authz.Authorization) (authz.Authorization, e
 // RevokeAuthorization revokes an authorization and everything derived
 // from it, returning how many were removed.
 func (s *System) RevokeAuthorization(id authz.ID) (int, error) {
-	if s.readOnly {
-		return 0, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return 0, err
 	}
 	return s.revokeAuthorization(id)
 }
@@ -738,8 +784,8 @@ func (s *System) Conflicts() []authz.Conflict {
 // administrator-defined authorizations (the paper's two §4 options:
 // combining, or discarding one). The resolution is durably logged.
 func (s *System) ResolveConflicts(strategy authz.Strategy) ([]authz.Resolution, error) {
-	if s.readOnly {
-		return nil, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return nil, err
 	}
 	return s.resolveConflicts(strategy)
 }
@@ -761,8 +807,8 @@ func (s *System) resolveConflicts(strategy authz.Strategy) ([]authz.Resolution, 
 
 // AddRule compiles, registers and immediately derives the rule.
 func (s *System) AddRule(spec rules.Spec) (rules.Report, error) {
-	if s.readOnly {
-		return rules.Report{}, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return rules.Report{}, err
 	}
 	return s.addRule(spec)
 }
@@ -787,8 +833,8 @@ func (s *System) addRule(spec rules.Spec) (rules.Report, error) {
 
 // RemoveRule deletes a rule and revokes its derivations.
 func (s *System) RemoveRule(name string) error {
-	if s.readOnly {
-		return ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return err
 	}
 	return s.removeRule(name)
 }
@@ -838,8 +884,8 @@ func (s *System) Query(t interval.Time, sub profile.SubjectID, l graph.ID) enfor
 
 // Enter records subject sub entering location l at time t.
 func (s *System) Enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enforce.Decision, error) {
-	if s.readOnly {
-		return enforce.Decision{}, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return enforce.Decision{}, err
 	}
 	return s.enter(t, sub, l)
 }
@@ -858,8 +904,8 @@ func (s *System) enter(t interval.Time, sub profile.SubjectID, l graph.ID) (enfo
 
 // Leave records subject sub leaving its current location at time t.
 func (s *System) Leave(t interval.Time, sub profile.SubjectID) error {
-	if s.readOnly {
-		return ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return err
 	}
 	return s.leave(t, sub)
 }
@@ -880,8 +926,8 @@ func (s *System) leave(t interval.Time, sub profile.SubjectID) error {
 
 // Tick advances the clock and runs the overstay monitor.
 func (s *System) Tick(t interval.Time) ([]audit.Alert, error) {
-	if s.readOnly {
-		return nil, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return nil, err
 	}
 	return s.tick(t)
 }
@@ -931,8 +977,8 @@ type ObserveOutcome struct {
 // same critical section that applies the movement, so concurrent
 // positioning feeds cannot derive an Enter/Leave from a stale location.
 func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geometry.Point) (enforce.Decision, bool, error) {
-	if s.readOnly {
-		return enforce.Decision{}, false, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return enforce.Decision{}, false, err
 	}
 	if s.resolver == nil {
 		return enforce.Decision{}, false, errors.New("core: no boundaries configured")
@@ -961,8 +1007,8 @@ func (s *System) ObserveReading(t interval.Time, sub profile.SubjectID, at geome
 // durability error: if non-nil, the in-memory state includes the batch
 // but the WAL group was not acknowledged.
 func (s *System) ObserveBatch(readings []Reading) ([]ObserveOutcome, error) {
-	if s.readOnly {
-		return nil, ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return nil, err
 	}
 	if s.resolver == nil {
 		return nil, errors.New("core: no boundaries configured")
@@ -1179,8 +1225,8 @@ func (s *System) Clock() interval.Time { return s.engine.Now() }
 // Snapshot persists the full state and compacts the WAL. It requires
 // durability to be enabled.
 func (s *System) Snapshot() error {
-	if s.readOnly {
-		return ErrReadOnly
+	if err := s.mutationGate(); err != nil {
+		return err
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync/atomic"
 	"time"
 
@@ -268,6 +269,25 @@ type RunConfig struct {
 	// primary compacts past the follower's position, Run returns
 	// ErrBootstrapRequired instead of re-bootstrapping in place.
 	DisableSelfHeal bool
+	// DisableJitter makes the reconnect backoff exact (tests). By default
+	// each wait is equal-jittered — half fixed, half uniform-random — so
+	// a fleet of followers cut loose by one primary restart does not
+	// reconnect in lockstep and stampede it.
+	DisableJitter bool
+}
+
+// jitterSleep waits out d with equal jitter (d/2 fixed + uniform [0,d/2])
+// unless disabled, honouring ctx. Returns false when ctx ended first.
+func jitterSleep(ctx context.Context, d time.Duration, disable bool) bool {
+	if !disable && d > 1 {
+		d = d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+	}
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
 }
 
 // Run is the follower apply loop: tail from the applied sequence, apply
@@ -281,7 +301,7 @@ type RunConfig struct {
 // with RunConfig.DisableSelfHeal set.
 func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 	retryMin, retryMax, refresh := 100*time.Millisecond, 2*time.Second, time.Second
-	disableSelfHeal := false
+	disableSelfHeal, disableJitter := false, false
 	if len(cfg) > 0 {
 		if cfg[0].RetryMin > 0 {
 			retryMin = cfg[0].RetryMin
@@ -293,6 +313,7 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 			refresh = cfg[0].Refresh
 		}
 		disableSelfHeal = cfg[0].DisableSelfHeal
+		disableJitter = cfg[0].DisableJitter
 	}
 
 	// Periodic primary-seq observation, independent of the (blocking)
@@ -350,10 +371,8 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 			// stream; resume promptly.
 			backoff = retryMin
 		}
-		select {
-		case <-ctx.Done():
+		if !jitterSleep(ctx, backoff, disableJitter) {
 			return nil
-		case <-time.After(backoff):
 		}
 		if backoff *= 2; backoff > retryMax {
 			backoff = retryMax

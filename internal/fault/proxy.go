@@ -1,0 +1,174 @@
+// The chaos TCP proxy: a transparent forwarder with levers for the
+// failures a network actually produces — connections reset mid-stream,
+// packets delayed, bytes silently swallowed. Streaming clients point at
+// the proxy instead of the server; tests and `ltamsim -chaos` pull the
+// levers and assert the resume protocol holds.
+package fault
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Proxy forwards TCP connections to a target address. Safe for
+// concurrent use.
+type Proxy struct {
+	lis    net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	delay     atomic.Int64 // per-chunk forwarding delay, nanoseconds
+	blackhole atomic.Bool  // accept and read, forward nothing
+	closed    atomic.Bool
+
+	accepted atomic.Uint64
+	killed   atomic.Uint64
+}
+
+// NewProxy listens on listenAddr (e.g. "127.0.0.1:0") and forwards every
+// connection to target.
+func NewProxy(listenAddr, target string) (*Proxy, error) {
+	lis, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{lis: lis, target: target, conns: make(map[net.Conn]struct{})}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the proxy's listening address, for building client URLs.
+func (p *Proxy) Addr() string { return p.lis.Addr().String() }
+
+// Accepted reports connections accepted; Killed reports connections
+// severed by KillAll.
+func (p *Proxy) Accepted() uint64 { return p.accepted.Load() }
+func (p *Proxy) Killed() uint64   { return p.killed.Load() }
+
+// SetDelay inserts d before every forwarded chunk (both directions).
+func (p *Proxy) SetDelay(d time.Duration) { p.delay.Store(int64(d)) }
+
+// SetBlackhole toggles blackhole mode: established and new connections
+// stay open and readable, but nothing is forwarded in either direction —
+// the peer sees a stall, not an error.
+func (p *Proxy) SetBlackhole(on bool) { p.blackhole.Store(on) }
+
+// KillAll severs every live connection (client and upstream sides),
+// returning how many pairs were cut. New connections are still accepted
+// afterwards — this is a reset, not a shutdown.
+func (p *Proxy) KillAll() int {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	p.killed.Add(uint64(len(conns) / 2))
+	return len(conns) / 2
+}
+
+// Close stops accepting and severs everything.
+func (p *Proxy) Close() error {
+	p.closed.Store(true)
+	err := p.lis.Close()
+	p.KillAll()
+	return err
+}
+
+func (p *Proxy) acceptLoop() {
+	for {
+		c, err := p.lis.Accept()
+		if err != nil {
+			return
+		}
+		p.accepted.Add(1)
+		go p.serve(c)
+	}
+}
+
+func (p *Proxy) track(c net.Conn) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed.Load() {
+		return false
+	}
+	p.conns[c] = struct{}{}
+	return true
+}
+
+func (p *Proxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}
+
+func (p *Proxy) serve(client net.Conn) {
+	upstream, err := net.Dial("tcp", p.target)
+	if err != nil {
+		client.Close()
+		return
+	}
+	if !p.track(client) || !p.track(upstream) {
+		client.Close()
+		upstream.Close()
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); p.pump(upstream, client) }()
+	go func() { defer wg.Done(); p.pump(client, upstream) }()
+	wg.Wait()
+	p.untrack(client)
+	p.untrack(upstream)
+	client.Close()
+	upstream.Close()
+}
+
+// pump copies src→dst chunk by chunk, honouring the chaos levers between
+// chunks. Small buffer on purpose: more lever checkpoints per byte.
+func (p *Proxy) pump(dst, src net.Conn) {
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if d := time.Duration(p.delay.Load()); d > 0 {
+				time.Sleep(d)
+			}
+			if !p.blackhole.Load() {
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					// Half-close so the peer's reader sees EOF while any
+					// in-flight opposite-direction copy finishes.
+					closeRead(src)
+					return
+				}
+			}
+		}
+		if err != nil {
+			closeWrite(dst)
+			return
+		}
+	}
+}
+
+func closeWrite(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseWrite()
+		return
+	}
+	c.Close()
+}
+
+func closeRead(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.CloseRead()
+		return
+	}
+	c.Close()
+}

@@ -1,0 +1,108 @@
+// Health and readiness: the two probes an orchestrator (or a load
+// balancer) points at a node, plus the graceful-drain entry point.
+//
+//	GET /v1/healthz   liveness: the process serves HTTP. Always 200.
+//	GET /v1/readyz    readiness: this node should receive traffic.
+//
+// Liveness and readiness deliberately diverge under failure: a node
+// with a poisoned WAL committer is alive (queries still serve, the
+// operator can inspect /v1/stats) but NOT ready (mutations 503) — so a
+// probe that restarts on liveness failure leaves it up for diagnosis,
+// while the balancer routes writes elsewhere.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Role   string `json:"role"`
+	Reason string `json:"reason,omitempty"`
+}
+
+func (s *Server) role() string {
+	if s.rep != nil {
+		return "replica"
+	}
+	return "primary"
+}
+
+// healthz is the liveness probe: reachable process, always 200.
+func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Role: s.role()})
+}
+
+// readyz is the readiness probe: 200 while this node should receive
+// traffic, 503 (with Retry-After) otherwise.
+func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+	if err := s.readyErr(); err != nil {
+		w.Header().Set("X-Ready", "false")
+		writeErr(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Role: s.role()})
+}
+
+// readyErr reports why the node is not ready, nil when it is:
+//
+//   - draining: BeginDrain ran; connections are being flushed off.
+//   - primary: the WAL committer is poisoned (a write/fsync failed —
+//     mutations are refused until restart), or the event bus was closed
+//     out from under live use.
+//   - replica: the follower loop reported a terminal error, or the
+//     replica's staleness exceeds the armed follow-lag bound.
+func (s *Server) readyErr() error {
+	if s.draining.Load() {
+		return errors.New("draining: connections are being flushed off this node")
+	}
+	if s.rep != nil {
+		if err := s.rep.Err(); err != nil {
+			return fmt.Errorf("replica failed: %w", err)
+		}
+		if s.maxLag > 0 {
+			if stale := s.rep.Staleness(); stale > s.maxLag {
+				return fmt.Errorf("replica stale for %s (max %s)", stale.Round(time.Millisecond), s.maxLag)
+			}
+		}
+		return nil
+	}
+	if s.sys.Poisoned() {
+		return fmt.Errorf("WAL committer poisoned: %w", s.sys.CommitErr())
+	}
+	st := &s.stream
+	st.busMu.Lock()
+	bus := st.bus
+	st.busMu.Unlock()
+	if bus != nil && bus.Closed() {
+		return errors.New("event bus closed")
+	}
+	return nil
+}
+
+// BeginDrain starts a graceful shutdown of the streaming plane: readyz
+// flips unready, new streaming connections are refused with 503 +
+// Retry-After, the shared ingest chunker gathers/applies/acks
+// everything already queued and seals every ingest connection with a
+// final ack (ErrDraining, durable Seq, session Resume), and every
+// subscriber feed ends with an in-band KindError frame naming the
+// sequence to resubscribe from. BeginDrain blocks until the chunker has
+// retired; pair it with http.Server.Shutdown for the request/response
+// plane. Idempotent.
+func (s *Server) BeginDrain() {
+	s.draining.Store(true)
+	st := &s.stream
+	st.ingMu.Lock()
+	ing := st.ing
+	st.ingMu.Unlock()
+	if ing != nil {
+		ing.Drain()
+	}
+	s.Close() // ends subscriber feeds with their resume-seq error frames
+}
+
+// Draining reports whether BeginDrain has run.
+func (s *Server) Draining() bool { return s.draining.Load() }

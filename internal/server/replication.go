@@ -15,6 +15,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
@@ -28,20 +29,59 @@ import (
 // defaultWALPoll is the stream handler's idle polling cadence.
 const defaultWALPoll = 25 * time.Millisecond
 
-func (s *Server) replicationSnapshot(w http.ResponseWriter, _ *http.Request) {
-	seq, autoDerive, state, err := s.sys.CaptureBootstrap()
-	if err != nil {
-		writeErr(w, statusFor(err), err)
-		return
+// defaultCaptureTimeout bounds how long the replication handlers wait
+// on the primary: the bootstrap state capture (which takes the write
+// lock) and the status endpoint's primary-seq refresh.
+const defaultCaptureTimeout = 500 * time.Millisecond
+
+// SetCaptureTimeout overrides the bootstrap-capture/status bound
+// (<= 0 keeps the 500ms default). Call before serving traffic.
+func (s *Server) SetCaptureTimeout(d time.Duration) { s.captureTimeout = d }
+
+func (s *Server) captureBound() time.Duration {
+	if s.captureTimeout > 0 {
+		return s.captureTimeout
 	}
-	writeJSON(w, http.StatusOK, wire.BootstrapResponse{Seq: seq, AutoDerive: autoDerive, State: state})
+	return defaultCaptureTimeout
+}
+
+func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	// CaptureBootstrap takes the primary's write lock; a capture stuck
+	// behind a long mutation burst must not hang the follower's
+	// bootstrap forever. On timeout the follower gets 503 + Retry-After
+	// and tries again (the capture goroutine finishes harmlessly in the
+	// background — its result is simply dropped).
+	type captured struct {
+		seq        uint64
+		autoDerive bool
+		state      json.RawMessage
+		err        error
+	}
+	ch := make(chan captured, 1)
+	go func() {
+		seq, autoDerive, state, err := s.sys.CaptureBootstrap()
+		ch <- captured{seq, autoDerive, state, err}
+	}()
+	bound := s.captureBound()
+	select {
+	case c := <-ch:
+		if c.err != nil {
+			writeErr(w, statusFor(c.err), c.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, wire.BootstrapResponse{Seq: c.seq, AutoDerive: c.autoDerive, State: c.state})
+	case <-time.After(bound):
+		writeErr(w, http.StatusServiceUnavailable,
+			fmt.Errorf("bootstrap capture exceeded %s (primary busy): retry", bound))
+	case <-r.Context().Done():
+	}
 }
 
 func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
 	// The dedicated status endpoint refreshes lag against the primary,
 	// but with a hard bound: a follower must answer about itself even
 	// when its primary is unreachable.
-	ctx, cancel := context.WithTimeout(r.Context(), 500*time.Millisecond)
+	ctx, cancel := context.WithTimeout(r.Context(), s.captureBound())
 	defer cancel()
 	st := s.replicationWireStatus(ctx)
 	if st == nil {

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/authz"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/profile"
 	"repro/internal/rules"
+	"repro/internal/storage"
 	"repro/internal/wire"
 )
 
@@ -39,6 +41,12 @@ type Server struct {
 	// (SetFollowLagMax).
 	stream streamState
 	maxLag time.Duration
+	// draining flips on BeginDrain: readyz goes unready and new streaming
+	// connections are refused while in-flight work finishes.
+	draining atomic.Bool
+	// captureTimeout bounds CaptureBootstrap in the replication handlers
+	// (0 selects defaultCaptureTimeout; see SetCaptureTimeout).
+	captureTimeout time.Duration
 }
 
 // New builds the handler set over sys.
@@ -108,6 +116,9 @@ func (s *Server) routes() {
 	s.handle("GET /v1/stats", s.stats)
 	s.handle("POST /v1/snapshot", s.snapshot)
 
+	s.handle("GET /v1/healthz", s.healthz)
+	s.handle("GET /v1/readyz", s.readyz)
+
 	s.handle("GET /v1/replication/snapshot", s.replicationSnapshot)
 	s.handle("GET /v1/replication/status", s.replicationStatus)
 	// The WAL stream and the /v1/stream/* connections are long-lived;
@@ -125,6 +136,12 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
+	// Every 503 is a retryable condition (drain, poisoned committer,
+	// stale replica, busy capture): tell load balancers when to come
+	// back. Callers that computed a better hint set the header first.
+	if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, code, wire.Error{Error: err.Error()})
 }
 
@@ -514,6 +531,13 @@ func statusFor(err error) int {
 	}
 	if errors.Is(err, core.ErrReadOnly) {
 		return http.StatusForbidden
+	}
+	if errors.Is(err, storage.ErrWALPoisoned) {
+		// The committer refuses further commits (fsyncgate): the node is
+		// degraded to read-only. 503 so clients retry AGAINST ANOTHER
+		// NODE — the poison never clears without a restart — while this
+		// node's pure queries keep serving.
+		return http.StatusServiceUnavailable
 	}
 	return http.StatusBadRequest
 }

@@ -40,6 +40,9 @@ import (
 type streamState struct {
 	ingest    stream.IngestCounters
 	ingestCfg stream.IngestConfig
+	// sessions maps X-Ltam-Session tokens to ingest resume sessions
+	// (exactly-once across reconnects; see internal/stream/session.go).
+	sessions stream.SessionRegistry
 
 	ingMu sync.Mutex
 	ing   *stream.Ingestor
@@ -152,10 +155,15 @@ func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
 		refuse(http.StatusForbidden, core.ErrReadOnly)
 		return
 	}
+	if s.draining.Load() {
+		refuse(http.StatusServiceUnavailable, errors.New("draining: reconnect to another node (or retry after restart)"))
+		return
+	}
 	if duplexErr != nil {
 		refuse(http.StatusInternalServerError, fmt.Errorf("streaming ingest unsupported: %w", duplexErr))
 		return
 	}
+	sess := s.stream.sessions.Get(r.Header.Get(wire.SessionHeader))
 	binary := strings.HasPrefix(r.Header.Get("Content-Type"), frame.ContentType)
 	if binary {
 		w.Header().Set("Content-Type", frame.ContentType)
@@ -170,11 +178,13 @@ func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
 	if binary {
 		or := frame.NewObserveReader(r.Body)
 		aw := frame.NewAckWriter(flushWriter{w: w, rc: rc})
-		_ = ing.RunFramed(or, aw)
+		_ = ing.RunFramedSession(or, aw, sess)
 		or.Release()
 		aw.Release()
 	} else {
-		_ = ing.Run(r.Body, flushWriter{w: w, rc: rc})
+		_ = ing.RunFramedSession(
+			stream.NewNDJSONFrameReader(r.Body),
+			stream.NewNDJSONAckWriter(flushWriter{w: w, rc: rc}), sess)
 	}
 	// Consume the body's trailing framing (the ingestor stops at the End
 	// frame, before the chunked terminator): with full duplex the server
@@ -302,9 +312,13 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 // the barrier trips).
 func (s *Server) SetFollowLagMax(max time.Duration) { s.maxLag = max }
 
-// lagExempt reports routes the read barrier never applies to.
+// lagExempt reports routes the read barrier never applies to: the
+// operator surface, and the probes — healthz must answer 200 from a
+// live process no matter what, and readyz computes its own (richer)
+// staleness verdict.
 func lagExempt(pattern string) bool {
-	return strings.Contains(pattern, "/v1/stats") || strings.Contains(pattern, "/v1/replication/")
+	return strings.Contains(pattern, "/v1/stats") || strings.Contains(pattern, "/v1/replication/") ||
+		strings.Contains(pattern, "/v1/healthz") || strings.Contains(pattern, "/v1/readyz")
 }
 
 // barred enforces the follow-lag barrier; it reports true after writing

@@ -18,6 +18,7 @@ package storage
 
 import (
 	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,17 @@ import (
 
 // ErrCommitterClosed is returned to Commit calls issued after Close.
 var ErrCommitterClosed = errors.New("storage: committer closed")
+
+// ErrWALPoisoned is delivered to every commit barrier after a write or
+// fsync failure has poisoned the committer. The failed batch itself gets
+// the underlying error; everything after it gets this. The poisoning is
+// permanent for the life of the committer: a failed fsync means the
+// kernel may have dropped dirty pages while clearing the error state, so
+// retrying the sync and seeing it "succeed" proves nothing about the
+// earlier write (the fsyncgate lesson). The only safe recovery is to
+// stop, scan the log from disk, and start over from what actually
+// survived.
+var ErrWALPoisoned = errors.New("storage: WAL poisoned by failed write or fsync")
 
 // Committer defaults.
 const (
@@ -82,6 +94,9 @@ type CommitterStats struct {
 	// demands operator attention (see Err for the most recent failure).
 	Relaxed      bool   `json:"relaxed,omitempty"`
 	SyncFailures uint64 `json:"sync_failures,omitempty"`
+	// Poisoned reports that a write or fsync failed and the committer has
+	// permanently stopped writing (see ErrWALPoisoned).
+	Poisoned bool `json:"poisoned,omitempty"`
 }
 
 // Committer is the asynchronous group-commit front of a WAL. It is safe
@@ -177,10 +192,11 @@ func (c *Committer) enqueue(g group) error {
 
 // Close stops accepting new commits, drains and commits everything
 // already enqueued, and waits for the committer goroutine to exit. It is
-// idempotent. It does not close the underlying WAL. In relaxed mode it
-// returns the latched background write error, if any — the one channel
-// through which an acknowledged-but-lost write can still reach the
-// caller at shutdown.
+// idempotent. It does not close the underlying WAL. It returns the
+// latched background write error, if any — in relaxed mode the one
+// channel through which an acknowledged-but-lost write can still reach
+// the caller at shutdown, and in durable mode the poison that already
+// failed every barrier since.
 func (c *Committer) Close() error {
 	c.closeOnce.Do(func() {
 		c.closeMu.Lock()
@@ -189,10 +205,7 @@ func (c *Committer) Close() error {
 		c.closeMu.Unlock()
 	})
 	c.loopWG.Wait()
-	if c.ackOnEnqueue {
-		return c.Err()
-	}
-	return nil
+	return c.Err()
 }
 
 // Stats reports batching counters.
@@ -202,7 +215,14 @@ func (c *Committer) Stats() CommitterStats {
 		Records:      c.records.Load(),
 		Relaxed:      c.ackOnEnqueue,
 		SyncFailures: c.syncErrs.Load(),
+		Poisoned:     c.Poisoned(),
 	}
+}
+
+// Poisoned reports whether a write or fsync failure has permanently
+// stopped the committer (see ErrWALPoisoned).
+func (c *Committer) Poisoned() bool {
+	return c.lastErr.Load() != nil
 }
 
 // Err returns the most recent background write failure (nil when every
@@ -265,16 +285,23 @@ func (c *Committer) run() {
 		for _, b := range batch {
 			recs = append(recs, b.recs...)
 		}
-		// Relaxed mode latches the first write failure and stops writing:
-		// later batches were already acknowledged, and appending them
-		// after a dropped batch would leave the WAL with a hole — the
-		// survivors must be a PREFIX of the acked sequence, so once a
-		// batch is lost everything behind it is dropped too (and counted
-		// in SyncFailures; Flush and Close surface the latched error).
+		// The first write failure latches and the committer stops writing
+		// — in BOTH durability modes. Appending after a dropped batch
+		// would leave the WAL with a hole, so once a batch is lost
+		// everything behind it is dropped too: the survivors on disk are
+		// always a PREFIX of the sequence handed to the committer. And a
+		// failed fsync is never retried (fsyncgate): the kernel may have
+		// discarded the dirty pages while clearing its error bit, so a
+		// "successful" retry proves nothing. Relaxed mode surfaces the
+		// original failure through Flush/Close/Err; durable mode fails
+		// the in-flight barrier with the underlying error and every
+		// later barrier with ErrWALPoisoned.
 		var err error
-		if c.ackOnEnqueue {
-			if p := c.lastErr.Load(); p != nil {
+		if p := c.lastErr.Load(); p != nil {
+			if c.ackOnEnqueue {
 				err = *p
+			} else {
+				err = fmt.Errorf("%w: %v", ErrWALPoisoned, *p)
 			}
 		}
 		if err == nil {

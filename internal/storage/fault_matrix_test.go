@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fault"
+)
+
+// matrixOutcome is one fault-matrix run: how far the acked prefix got,
+// the first barrier error, and whether the probe commit issued after the
+// failure saw the poison latch.
+type matrixOutcome struct {
+	acked    int   // leading barriers that acked nil
+	firstErr error // first non-nil barrier error
+	poisoned bool  // post-failure probe got ErrWALPoisoned
+}
+
+// matrixWorkload is the canonical crash-matrix workload: a durable
+// committer (syncEvery=1, no relaxed acks) committing records m0..m{n-1}
+// one at a time, waiting out every barrier. Sequential commits mean the
+// nil-acked set is by construction a prefix; the run records where it
+// ends. After the first failure one probe commit checks the poison
+// latch.
+func matrixWorkload(t *testing.T, path string, n int, wrap func(File) File) matrixOutcome {
+	t.Helper()
+	w, err := OpenWALWith(path, 1, wrap)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	c := NewCommitter(w, CommitterConfig{})
+	var out matrixOutcome
+	for i := 0; i < n; i++ {
+		if err := <-c.Commit(rec(t, "m", i)); err != nil {
+			out.firstErr = err
+			break
+		}
+		out.acked++
+	}
+	if out.firstErr != nil {
+		out.poisoned = errors.Is(<-c.Commit(rec(t, "m", n)), ErrWALPoisoned)
+		if !c.Poisoned() || !c.Stats().Poisoned {
+			t.Errorf("committer not marked poisoned after %v", out.firstErr)
+		}
+		if c.Close() == nil {
+			t.Error("Close() returned nil after a latched failure")
+		}
+	} else if err := c.Close(); err != nil {
+		t.Fatalf("clean close: %v", err)
+	}
+	_ = w.Close()
+	return out
+}
+
+// recoveredPrefix reopens path fresh (no fault wrapper — the "disk" is
+// healthy again after the crash) and asserts the surviving records are
+// exactly m0..m{k-1} for some k, returning k.
+func recoveredPrefix(t *testing.T, path string) int {
+	t.Helper()
+	next := 0
+	_, err := Replay(path, func(r Record) error {
+		var got int
+		if err := json.Unmarshal(r.Data, &got); err != nil {
+			return err
+		}
+		if r.Type != "m" || got != next {
+			return fmt.Errorf("record %d: got type %q payload %d", next, r.Type, got)
+		}
+		next++
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay after fault: %v", err)
+	}
+	return next
+}
+
+// TestFaultMatrixAckedPrefixDurable runs the crash matrix: a counting
+// pass discovers every file-level write and sync the workload performs,
+// then the workload is re-run once per (site × fault kind) with that
+// exact operation failing — EIO, ENOSPC, and a torn (short) write at
+// each write site; EIO at each sync site. The contract under every
+// single fault: the barriers that acked nil are durable (recovery yields
+// at least that prefix, contents intact, never a reordering or a
+// phantom), and the committer is permanently poisoned from the failure
+// on.
+func TestFaultMatrixAckedPrefixDurable(t *testing.T) {
+	const n = 6
+
+	// Counting pass: no rules, discover the injection sites.
+	var counter *fault.File
+	cleanDir := t.TempDir()
+	out := matrixWorkload(t, filepath.Join(cleanDir, "wal"), n, func(f File) File {
+		counter = fault.NewFile(f)
+		return counter
+	})
+	if out.firstErr != nil || out.acked != n {
+		t.Fatalf("counting pass failed: acked %d, err %v", out.acked, out.firstErr)
+	}
+	if got := recoveredPrefix(t, filepath.Join(cleanDir, "wal")); got != n {
+		t.Fatalf("clean run recovered %d records, want %d", got, n)
+	}
+	writes, syncs := counter.Counts()
+	if writes == 0 || syncs == 0 {
+		t.Fatalf("workload exercised no injection sites (writes=%d syncs=%d)", writes, syncs)
+	}
+
+	run := func(name string, rule fault.Rule, wantErr error) {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal")
+			out := matrixWorkload(t, path, n, func(f File) File {
+				return fault.NewFile(f, rule)
+			})
+			if out.firstErr == nil {
+				// The armed site fired after the last barrier (the
+				// close-path sync): no barrier may have lied, so every
+				// record must have been acked and must survive.
+				if out.acked != n {
+					t.Fatalf("no barrier error yet only %d/%d acked", out.acked, n)
+				}
+			} else {
+				if !errors.Is(out.firstErr, wantErr) {
+					t.Fatalf("first barrier error = %v, want %v", out.firstErr, wantErr)
+				}
+				if !out.poisoned {
+					t.Fatalf("commit after failure did not return ErrWALPoisoned")
+				}
+			}
+			if got := recoveredPrefix(t, path); got < out.acked {
+				t.Fatalf("recovered %d records < acked prefix %d: durability lie", got, out.acked)
+			}
+		})
+	}
+
+	for i := uint64(1); i <= writes; i++ {
+		run(fmt.Sprintf("write%d-eio", i), fault.Rule{Op: fault.OpWrite, Nth: i, Err: fault.ErrIO, Short: -1}, fault.ErrIO)
+		run(fmt.Sprintf("write%d-enospc", i), fault.Rule{Op: fault.OpWrite, Nth: i, Err: fault.ErrNoSpace, Short: -1}, fault.ErrNoSpace)
+		run(fmt.Sprintf("write%d-torn", i), fault.Rule{Op: fault.OpWrite, Nth: i, Err: fault.ErrIO, Short: 3}, fault.ErrIO)
+	}
+	for i := uint64(1); i <= syncs; i++ {
+		run(fmt.Sprintf("sync%d-eio", i), fault.Rule{Op: fault.OpSync, Nth: i, Err: fault.ErrIO}, fault.ErrIO)
+	}
+}
+
+// TestFaultMatrixRelaxedLatch is the relaxed-durability corner: with
+// AckOnEnqueue every barrier acks nil up front, so the ONLY channels
+// through which a lost write can surface are Flush, Close, Err and the
+// failure counters. A sync fault must latch into all four. The rule arms
+// the FIRST sync because relaxed commits batch nondeterministically —
+// one fsync may cover all four records — but whatever the batching,
+// sync #1 is the one that covers record m0.
+func TestFaultMatrixRelaxedLatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal")
+	w, err := OpenWALWith(path, 1, func(f File) File {
+		return fault.NewFile(f, fault.Rule{Op: fault.OpSync, Nth: 1, Err: fault.ErrIO})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	c := NewCommitter(w, CommitterConfig{AckOnEnqueue: true})
+	for i := 0; i < 4; i++ {
+		if err := <-c.Commit(rec(t, "m", i)); err != nil {
+			t.Fatalf("relaxed barrier %d: %v", i, err)
+		}
+	}
+	if err := c.Flush(); !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("Flush = %v, want the injected EIO", err)
+	}
+	if !c.Poisoned() || c.Stats().SyncFailures == 0 {
+		t.Fatalf("stats = %+v, want poisoned with sync failures", c.Stats())
+	}
+	if err := c.Close(); !errors.Is(err, fault.ErrIO) {
+		t.Fatalf("Close = %v, want the injected EIO", err)
+	}
+	// The acked-but-lost suffix is gone, but what survived is a prefix.
+	if got := recoveredPrefix(t, path); got > 4 {
+		t.Fatalf("recovered %d phantom records", got)
+	}
+}

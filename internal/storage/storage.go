@@ -46,10 +46,22 @@ const MaxFrameSize = 16 << 20
 // (as opposed to a torn tail, which is silently truncated).
 var ErrCorrupt = errors.New("storage: corrupt log record")
 
+// File is the surface the WAL needs from its backing file. *os.File
+// satisfies it; fault-injection tests substitute a wrapper that fails
+// chosen writes and syncs (see internal/fault) through OpenWALWith.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
+
 // WAL is an append-only write-ahead log. It is safe for concurrent use.
 type WAL struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    File
 	w    *bufio.Writer
 	path string
 	// seq is the number of records ever appended (including recovered).
@@ -63,9 +75,21 @@ type WAL struct {
 // OpenWAL opens (creating if needed) the log at path. syncEvery=1 gives
 // per-append durability; larger values batch fsyncs.
 func OpenWAL(path string, syncEvery int) (*WAL, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	return OpenWALWith(path, syncEvery, nil)
+}
+
+// OpenWALWith is OpenWAL with a file wrapper: when wrap is non-nil the
+// opened handle is passed through it before any I/O, so a caller can
+// interpose deterministic faults (or instrumentation) on every write,
+// sync, seek and truncate the log performs.
+func OpenWALWith(path string, syncEvery int, wrap func(File) File) (*WAL, error) {
+	osf, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	var f File = osf
+	if wrap != nil {
+		f = wrap(f)
 	}
 	w := &WAL{f: f, path: path, syncEvery: syncEvery}
 	// Scan to count records and find the valid end; truncate a torn tail.
@@ -91,7 +115,7 @@ func OpenWAL(path string, syncEvery int) (*WAL, error) {
 // after the last intact frame and the number of intact frames. A
 // malformed tail is reported as a truncation point, not an error; only a
 // checksum mismatch in a *complete* frame is ErrCorrupt.
-func scanLog(f *os.File) (end int64, n uint64, err error) {
+func scanLog(f File) (end int64, n uint64, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return 0, 0, err
 	}

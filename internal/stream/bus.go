@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,6 +36,14 @@ import (
 	"repro/internal/core"
 	"repro/internal/storage"
 )
+
+// retryJitter sleeps roughly a millisecond, randomized over [0.5ms,
+// 1.5ms), before a catch-up retry. The jitter de-synchronizes the many
+// catch-up goroutines that all miss the same tail flush at once, so
+// they do not re-stampede the log in lockstep.
+func retryJitter() {
+	time.Sleep(500*time.Microsecond + time.Duration(rand.Int63n(int64(time.Millisecond))))
+}
 
 // Bus defaults.
 const (
@@ -148,6 +157,14 @@ func (b *Bus) Close() {
 	for _, s := range subs {
 		s.fail(ErrBusClosed, Event{Kind: KindError, Seq: s.next, Error: ErrBusClosed.Error()})
 	}
+}
+
+// Closed reports whether Close has run (readiness: a closed bus serves
+// no feeds).
+func (b *Bus) Closed() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.closed
 }
 
 // Stats reports the bus counters.
@@ -703,7 +720,7 @@ func (s *Subscription) feed(alertsSince *uint64) {
 			}
 			nt := b.resolveTailer(s.next, info.BaseSeq)
 			if nt == nil {
-				time.Sleep(time.Millisecond)
+				retryJitter()
 				continue
 			}
 			t, base = nt, info.BaseSeq
@@ -717,7 +734,7 @@ func (s *Subscription) feed(alertsSince *uint64) {
 				if _, err := t.NextBody(); err != nil {
 					t.Close()
 					t = nil
-					time.Sleep(time.Millisecond)
+					retryJitter()
 					break
 				}
 				s.next++
@@ -733,7 +750,7 @@ func (s *Subscription) feed(alertsSince *uint64) {
 				// re-checks closedNow, instead of spinning on this fd.
 				t.Close()
 				t = nil
-				time.Sleep(time.Millisecond)
+				retryJitter()
 				break
 			}
 			ev, derr := DecodeEvent(s.next, rec)

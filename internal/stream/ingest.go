@@ -30,6 +30,7 @@
 package stream
 
 import (
+	"errors"
 	"io"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,12 @@ import (
 	"repro/internal/core"
 	"repro/internal/geometry"
 )
+
+// ErrDraining is the terminal ack error of connections ended by a
+// graceful drain: everything gathered before the drain is applied,
+// acked and durable; the client should reconnect (and, with a session,
+// resume from Ack.Resume) once the server is back.
+var ErrDraining = errors.New("stream: server draining")
 
 // Ingest defaults.
 const (
@@ -145,6 +152,16 @@ type Ingestor struct {
 	rr      int // round-robin gather start, rotated every round
 	running bool
 	wake    chan struct{} // 1-buffered: frames queued or a reader finished
+	// drainDone is closed when the chunker retires while a Drain waits.
+	drainDone chan struct{}
+	draining  atomic.Bool
+}
+
+// connFrame is one decoded reading plus its session frame sequence
+// (zero without a session).
+type connFrame struct {
+	rd  core.Reading
+	seq uint64
 }
 
 // ingestConn is one registered connection's chunker-facing state.
@@ -152,7 +169,9 @@ type ingestConn struct {
 	// frames carries decoded readings from the connection's reader
 	// goroutine to the shared chunker; the reader closes it at end of
 	// input (End frame, clean EOF, or torn tail).
-	frames chan core.Reading
+	frames chan connFrame
+	// sess is the resume session, nil for sessionless connections.
+	sess *IngestSession
 
 	mu   sync.Mutex
 	cum  Ack   // cumulative ack, folded by the chunker
@@ -211,6 +230,24 @@ func (ing *Ingestor) Run(r io.Reader, w io.Writer) error {
 // Per-reading application errors are counted in the acks and do not end
 // the stream.
 func (ing *Ingestor) RunFramed(fr FrameReader, aw AckWriter) error {
+	return ing.RunFramedSession(fr, aw, nil)
+}
+
+// RunFramedSession is RunFramed with an optional resume session. A
+// non-nil sess attaches the connection to the session (stealing it from
+// a dead predecessor) and writes the hello ack — Resume = the session's
+// durable frame high-water — BEFORE reading any frame, so a resuming
+// client learns what to re-send first. Frames then carry their session
+// sequence and anything the session already gathered is deduplicated.
+func (ing *Ingestor) RunFramedSession(fr FrameReader, aw AckWriter, sess *IngestSession) error {
+	if ing.draining.Load() {
+		a := Ack{Final: true, Error: ErrDraining.Error()}
+		if sess != nil {
+			a.Resume = sess.Applied()
+		}
+		_ = aw.WriteAck(&a)
+		return ErrDraining
+	}
 	cfg := ing.Config.normalized()
 	if ing.Counters != nil {
 		ing.Counters.conns.Add(1)
@@ -219,9 +256,18 @@ func (ing *Ingestor) RunFramed(fr FrameReader, aw AckWriter) error {
 	}
 
 	c := &ingestConn{
-		frames: make(chan core.Reading, cfg.QueueLen),
+		frames: make(chan connFrame, cfg.QueueLen),
+		sess:   sess,
 		ackCh:  make(chan struct{}, 1),
 		done:   make(chan struct{}),
+	}
+	if sess != nil {
+		sess.attach(c)
+		defer sess.detach(c)
+		hello := Ack{Resume: sess.Applied(), Seq: ing.Target.ReplicationInfo().TotalSeq}
+		if err := aw.WriteAck(&hello); err != nil {
+			return err
+		}
 	}
 	ing.register(c)
 
@@ -244,7 +290,10 @@ func (ing *Ingestor) RunFramed(fr FrameReader, aw AckWriter) error {
 			if f.End {
 				return
 			}
-			c.frames <- core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}}
+			c.frames <- connFrame{
+				rd:  core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}},
+				seq: f.Seq,
+			}
 			ing.signal()
 		}
 	}()
@@ -304,6 +353,10 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 	type span struct {
 		c *ingestConn
 		n int
+		// last is the highest session frame sequence gathered into this
+		// span; skip the highest deduplicated (already-gathered) sequence
+		// observed while building it. Both zero for sessionless frames.
+		last, skip uint64
 	}
 	batch := make([]core.Reading, 0, cfg.MaxChunk)
 	var spans []span
@@ -318,7 +371,7 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 		defer ing.mu.Unlock()
 		n := len(ing.conns)
 		if n == 0 {
-			ing.running = false
+			ing.retireLocked()
 			return false
 		}
 		ing.rr++
@@ -329,10 +382,11 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 				continue
 			}
 			cnt, discard := 0, c.isDead()
+			var last, skip uint64
 		drain:
 			for len(batch) < cfg.MaxChunk {
 				select {
-				case rd, ok := <-c.frames:
+				case fr, ok := <-c.frames:
 					if !ok {
 						c.srcClosed = true
 						break drain
@@ -340,17 +394,38 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 					if discard {
 						continue
 					}
-					batch = append(batch, rd)
+					if c.sess != nil && fr.seq != 0 {
+						if fr.seq <= c.sess.hw {
+							// A resume overlap: an earlier connection's
+							// batch already gathered (and, the chunker
+							// being serial, already applied) this frame.
+							// Record it so the ack still covers it.
+							if fr.seq > skip {
+								skip = fr.seq
+							}
+							continue
+						}
+						c.sess.hw = fr.seq
+						last = fr.seq
+					}
+					batch = append(batch, fr.rd)
 					cnt++
 				default:
 					break drain
 				}
 			}
-			if cnt > 0 {
+			if cnt > 0 || skip > 0 {
 				if len(spans) > 0 && spans[len(spans)-1].c == c {
-					spans[len(spans)-1].n += cnt
+					sp := &spans[len(spans)-1]
+					sp.n += cnt
+					if last > sp.last {
+						sp.last = last
+					}
+					if skip > sp.skip {
+						sp.skip = skip
+					}
 				} else {
-					spans = append(spans, span{c, cnt})
+					spans = append(spans, span{c, cnt, last, skip})
 				}
 			}
 		}
@@ -388,9 +463,18 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 			timer.Stop()
 		}
 
-		worked := len(batch) > 0
-		if len(batch) > 0 {
-			outcomes, err := ing.Target.ObserveBatch(batch)
+		worked := len(batch) > 0 || len(spans) > 0
+		if len(batch) > 0 || len(spans) > 0 {
+			var outcomes []core.ObserveOutcome
+			var err error
+			if len(batch) > 0 {
+				outcomes, err = ing.Target.ObserveBatch(batch)
+			}
+			// A batch may be empty while spans exist: a resume overlap
+			// deduplicated every gathered frame. The fold still runs so
+			// the ack's Resume advances over the deduplicated suffix —
+			// safe because the chunker is serial, so whatever batch first
+			// gathered those frames has already committed and folded.
 			if err != nil {
 				// Terminal: the batch was rejected (or applied in memory
 				// but not durably acknowledged). Every connection with a
@@ -402,10 +486,20 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 				seq := ing.Target.ReplicationInfo().TotalSeq
 				off := 0
 				for _, sp := range spans {
+					resume := sp.last
+					if sp.skip > resume {
+						resume = sp.skip
+					}
+					if resume > 0 && sp.c.sess != nil {
+						sp.c.sess.advanceApplied(resume)
+					}
 					sp.c.mu.Lock()
 					foldOutcomes(&sp.c.cum, outcomes[off:off+sp.n])
 					sp.c.cum.Acked += uint64(sp.n)
 					sp.c.cum.Seq = seq
+					if resume > sp.c.cum.Resume {
+						sp.c.cum.Resume = resume
+					}
 					sp.c.mu.Unlock()
 					select {
 					case sp.c.ackCh <- struct{}{}:
@@ -413,7 +507,7 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 					}
 					off += sp.n
 				}
-				if ing.Counters != nil {
+				if ing.Counters != nil && len(batch) > 0 {
 					ing.Counters.frames.Add(uint64(len(batch)))
 					ing.Counters.chunks.Add(1)
 				}
@@ -443,6 +537,26 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 			worked = true
 		}
 
+		if ing.draining.Load() && len(batch) == 0 {
+			// Graceful drain: everything queued at drain time has been
+			// gathered, applied and folded (the empty gather proves it).
+			// Seal every remaining connection with ErrDraining — its
+			// terminal ack carries the durable Seq and the session Resume,
+			// exactly what a client needs to reconnect later — and retire.
+			ing.mu.Lock()
+			remaining := ing.conns
+			ing.conns = nil
+			ing.retireLocked()
+			ing.mu.Unlock()
+			for _, c := range remaining {
+				if !c.finalized {
+					c.finalized = true
+					ing.finalize(c, ErrDraining)
+				}
+			}
+			return
+		}
+
 		if !worked {
 			// Nothing queued, nothing finished: sleep until a reader
 			// signals. The token protocol above guarantees any frame
@@ -450,6 +564,38 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 			<-ing.wake
 		}
 	}
+}
+
+// retireLocked marks the chunker stopped and releases any Drain waiter.
+// Caller holds ing.mu.
+func (ing *Ingestor) retireLocked() {
+	ing.running = false
+	if ing.drainDone != nil {
+		close(ing.drainDone)
+		ing.drainDone = nil
+	}
+}
+
+// Drain gracefully stops streaming ingest: new connections are refused
+// with a terminal ErrDraining ack, everything already queued is
+// gathered, applied and folded, every live connection receives a final
+// ack (ErrDraining plus its durable Seq and session Resume coordinate),
+// and Drain returns once the shared chunker has retired. Idempotent,
+// and a no-op when the chunker is idle.
+func (ing *Ingestor) Drain() {
+	ing.draining.Store(true)
+	ing.mu.Lock()
+	if !ing.running {
+		ing.mu.Unlock()
+		return
+	}
+	if ing.drainDone == nil {
+		ing.drainDone = make(chan struct{})
+	}
+	done := ing.drainDone
+	ing.mu.Unlock()
+	ing.signal()
+	<-done
 }
 
 // finalize seals a connection's cumulative ack — the terminal Seq is the
@@ -464,6 +610,15 @@ func (ing *Ingestor) finalize(c *ingestConn, err error) {
 		return
 	}
 	c.cum.Final = true
+	if c.sess != nil {
+		// The terminal ack always states the session's durable frame
+		// high-water — even for a connection whose every frame was a
+		// deduplicated resend (no fold ever touched its cum), the client
+		// must learn where to resume from.
+		if r := c.sess.Applied(); r > c.cum.Resume {
+			c.cum.Resume = r
+		}
+	}
 	if err != nil {
 		c.err = err
 		c.cum.Error = err.Error()

@@ -1,0 +1,138 @@
+// Ingest sessions: the server-kept resume state that upgrades streaming
+// ingest from at-most-once-per-connection to exactly-once-per-session.
+//
+// A session outlives its connections. The client names one with an
+// opaque token, numbers every frame with a session-scoped sequence
+// (ObserveFrame.Seq), and keeps the un-acked suffix buffered. On
+// reconnect the server's hello ack reports Applied — the session's
+// durable frame high-water — and the client re-sends only Seq >
+// Applied. The server dedupes the overlap a second time at gather (the
+// hello races in-flight folds of the previous connection), so a frame
+// is applied exactly once no matter where the connection died:
+//
+//	client buffer:  [trimmed | un-acked suffix]
+//	                         ^ Ack.Resume          (fold-time, durable)
+//	server dedupe:                 gather high-water (chunker-local)
+//
+// Exactly-once holds across connection kills while the server process
+// lives. Across a server restart the registry is empty, Applied restarts
+// at 0, and delivery degrades to at-least-once for the un-acked window —
+// re-applied movement readings are no-op samples unless the clock moved,
+// and the WAL's replay equivalence is unaffected (see DESIGN.md D14).
+package stream
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// IngestSession is one logical ingest stream's resume state. Create via
+// SessionRegistry.Get; pass to Ingestor.RunFramedSession.
+type IngestSession struct {
+	// applied is the durable high-water: the largest ObserveFrame.Seq
+	// whose effects are fsynced. Advanced only at fold time, after the
+	// chunk's commit barrier.
+	applied atomic.Uint64
+	// hw is the gather high-water — the largest Seq already pulled into
+	// a chunk. It dedupes re-sent frames that race the previous
+	// connection's in-flight batch. Chunker-goroutine only: the chunker
+	// is the single gather/fold thread, which is what makes the
+	// dedupe-then-apply sequence atomic without a lock.
+	hw uint64
+
+	mu  sync.Mutex
+	cur *ingestConn // the attached live connection, if any
+}
+
+// Applied returns the session's durable frame high-water.
+func (s *IngestSession) Applied() uint64 { return s.applied.Load() }
+
+// advanceApplied moves the durable high-water monotonically.
+func (s *IngestSession) advanceApplied(seq uint64) {
+	for {
+		cur := s.applied.Load()
+		if seq <= cur || s.applied.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// attach makes c the session's live connection, stealing the session
+// from any previous connection: the old connection is marked dead so the
+// chunker discards (rather than applies) whatever it still has queued —
+// the client has moved on and will re-send everything un-acked on the
+// new connection.
+func (s *IngestSession) attach(c *ingestConn) {
+	s.mu.Lock()
+	old := s.cur
+	s.cur = c
+	s.mu.Unlock()
+	if old != nil && old != c {
+		old.mu.Lock()
+		old.dead = true
+		old.mu.Unlock()
+	}
+}
+
+// detach clears the attachment if c still holds it.
+func (s *IngestSession) detach(c *ingestConn) {
+	s.mu.Lock()
+	if s.cur == c {
+		s.cur = nil
+	}
+	s.mu.Unlock()
+}
+
+// maxSessions bounds the registry; beyond it, detached sessions are
+// evicted (arbitrary order — an evicted session degrades its client to
+// a fresh session, i.e. at-least-once for the un-acked window, the same
+// contract as a server restart).
+const maxSessions = 4096
+
+// SessionRegistry maps resume tokens to sessions. The server holds one
+// per Ingestor. In-memory by design: the WAL already persists the data;
+// the registry persists only dedupe state, whose loss is a documented
+// degradation, not corruption.
+type SessionRegistry struct {
+	mu sync.Mutex
+	m  map[string]*IngestSession
+}
+
+// Get returns the session for token, creating it on first use. An empty
+// token returns nil (no session).
+func (r *SessionRegistry) Get(token string) *IngestSession {
+	if token == "" {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.m == nil {
+		r.m = make(map[string]*IngestSession)
+	}
+	if s, ok := r.m[token]; ok {
+		return s
+	}
+	if len(r.m) >= maxSessions {
+		for k, s := range r.m {
+			s.mu.Lock()
+			detached := s.cur == nil
+			s.mu.Unlock()
+			if detached {
+				delete(r.m, k)
+				if len(r.m) < maxSessions {
+					break
+				}
+			}
+		}
+	}
+	s := &IngestSession{}
+	r.m[token] = s
+	return s
+}
+
+// Len reports the number of live sessions (stats).
+func (r *SessionRegistry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}

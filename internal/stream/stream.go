@@ -45,6 +45,12 @@ type ObserveFrame struct {
 	// chunk, writes a final Ack, and closes. An abruptly cut connection
 	// gets the same flush, minus the ack delivery.
 	End bool `json:"end,omitempty"`
+	// Seq is the frame's 1-based position in its ingest SESSION (not
+	// connection): a resuming client re-sends the un-acked suffix with
+	// the original sequence numbers and the server deduplicates anything
+	// it already applied (see IngestSession). Zero means "no session
+	// sequencing" — the pre-resume wire.
+	Seq uint64 `json:"fseq,omitempty"`
 }
 
 // Ack is one server→client line on the ingest stream, written after
@@ -77,8 +83,18 @@ type Ack struct {
 	Final bool `json:"final,omitempty"`
 	// Error is a terminal connection failure: the chunk was applied in
 	// memory but NOT durably acknowledged (or the system rejected the
-	// stream). The client must not retry the un-acked suffix blindly.
+	// stream). Without a session the client must not retry the un-acked
+	// suffix blindly — it cannot know which of those frames applied. A
+	// session (Resume) is exactly the coordinate that makes the retry
+	// safe: re-send from Resume+1 and the server dedupes the overlap.
 	Error string `json:"error,omitempty"`
+	// Resume is the session-scoped durable high-water: every frame of
+	// this ingest session with ObserveFrame.Seq <= Resume is applied and
+	// durable. The first ack of a session connection (the "hello", sent
+	// before any frame is read) carries the resume point a reconnecting
+	// client should re-send from. Zero when the connection has no
+	// session.
+	Resume uint64 `json:"resume,omitempty"`
 }
 
 // EventKind classifies a bus event.

@@ -208,6 +208,12 @@ func (c *cursor) take(n int) []byte {
 	return out
 }
 
+// rem reports whether un-decoded bytes remain. Trailing fields appended
+// by newer writers decode behind a rem() check, so a body produced by an
+// older writer (or a hand-crafted test frame) still parses — the new
+// fields just stay zero.
+func (c *cursor) rem() bool { return c.err == nil && c.off < len(c.b) }
+
 func (c *cursor) u8() byte {
 	if b := c.take(1); b != nil {
 		return b[0]

@@ -4,10 +4,14 @@
 // either framing; ObserveWriter and AckReader are the client halves.
 //
 // Observe body:  tag=1 | flags u8 (bit0 End) | time i64 | x f64 | y f64
-//                | subject str16
+//                | subject str16 | fseq u64
 // Ack body:      tag=2 | flags u8 (bit0 Final) | acked u64 | seq u64
 //                | granted u64 | denied u64 | moved u64 | errors u64
-//                | lastError str16 | error str16
+//                | lastError str16 | error str16 | resume u64
+//
+// The trailing fseq/resume fields carry the resume-session coordinates
+// (stream.ObserveFrame.Seq / stream.Ack.Resume). They sit at the body
+// END and decode only when present, so pre-session bodies still parse.
 package frame
 
 import (
@@ -39,6 +43,7 @@ func AppendObserve(dst []byte, f *stream.ObserveFrame) ([]byte, error) {
 	if dst, err = appendStr16(dst, string(f.Subject)); err != nil {
 		return dst[:base], err
 	}
+	dst = appendU64(dst, f.Seq)
 	return end(dst, base)
 }
 
@@ -54,6 +59,10 @@ func decodeObserve(body []byte, f *stream.ObserveFrame, intern func([]byte) prof
 	f.X = c.f64()
 	f.Y = c.f64()
 	subj := c.str16()
+	f.Seq = 0
+	if c.rem() {
+		f.Seq = c.u64()
+	}
 	if c.err != nil {
 		return c.err
 	}
@@ -127,6 +136,7 @@ func AppendAck(dst []byte, a *stream.Ack) ([]byte, error) {
 	if dst, err = appendStr16(dst, a.Error); err != nil {
 		return dst[:base], err
 	}
+	dst = appendU64(dst, a.Resume)
 	return end(dst, base)
 }
 
@@ -149,6 +159,9 @@ func DecodeAck(body []byte, a *stream.Ack) error {
 	}
 	a.LastError = string(c.str16())
 	a.Error = string(c.str16())
+	if c.rem() {
+		a.Resume = c.u64()
+	}
 	return c.err
 }
 

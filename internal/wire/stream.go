@@ -65,9 +65,20 @@ type StreamObserver struct {
 	ackMu sync.Mutex
 	last  stream.Ack
 
+	// hello receives the FIRST ack of a session connection — the server's
+	// resume coordinate, written before it reads any frame. Nil on
+	// sessionless connections.
+	hello chan stream.Ack
+
 	err  error // terminal error, set before done closes
 	done chan struct{}
 }
+
+// SessionHeader carries the ingest resume-session token on the stream
+// observe request: connections presenting the same token share one
+// server-side IngestSession (hello ack + frame dedupe — exactly-once
+// across reconnects).
+const SessionHeader = "X-Ltam-Session"
 
 // StreamObserve opens the long-lived ingest stream over NDJSON. The
 // returned observer buffers frames (32 KiB) — call Flush to push a
@@ -83,6 +94,14 @@ func (c *Client) StreamObserve(ctx context.Context) (*StreamObserver, error) {
 // directions (observe frames out, acks back), WireNDJSON the default
 // line framing. Everything else matches StreamObserve.
 func (c *Client) StreamObserveWire(ctx context.Context, wf WireFormat) (*StreamObserver, error) {
+	return c.streamObserveSession(ctx, wf, "")
+}
+
+// streamObserveSession opens the ingest stream, optionally naming a
+// resume session. With a session token the server writes a hello ack
+// (its Resume is the re-send coordinate) before reading any frame, and
+// the observer delivers it on o.hello.
+func (c *Client) streamObserveSession(ctx context.Context, wf WireFormat, session string) (*StreamObserver, error) {
 	pr, pw := io.Pipe()
 	req, err := http.NewRequestWithContext(ctx, "POST", c.BaseURL+"/v1/stream/observe", pr)
 	if err != nil {
@@ -94,6 +113,9 @@ func (c *Client) StreamObserveWire(ctx context.Context, wf WireFormat) (*StreamO
 		req.Header.Set("Content-Type", frame.ContentType)
 	} else {
 		req.Header.Set("Content-Type", "application/x-ndjson")
+	}
+	if session != "" {
+		req.Header.Set(SessionHeader, session)
 	}
 	resp, err := c.HTTP.Do(req)
 	if err != nil {
@@ -116,6 +138,9 @@ func (c *Client) StreamObserveWire(ctx context.Context, wf WireFormat) (*StreamO
 		return nil, fmt.Errorf("wire: stream observe: server does not speak %s", frame.ContentType)
 	}
 	o := &StreamObserver{pw: pw, bw: bufio.NewWriterSize(pw, 32<<10), binary: binary, done: make(chan struct{})}
+	if session != "" {
+		o.hello = make(chan stream.Ack, 1)
+	}
 	go o.readAcks(resp.Body)
 	return o, nil
 }
@@ -126,10 +151,17 @@ func (o *StreamObserver) readAcks(body io.ReadCloser) {
 	defer close(o.done)
 	defer body.Close()
 	// note stores each decoded ack; it reports whether to keep reading.
+	first := true
 	note := func(a stream.Ack) bool {
 		o.ackMu.Lock()
 		o.last = a
 		o.ackMu.Unlock()
+		if first {
+			first = false
+			if o.hello != nil {
+				o.hello <- a
+			}
+		}
 		if a.Final {
 			if a.Error != "" {
 				o.err = fmt.Errorf("wire: stream observe: %s", a.Error)
@@ -223,6 +255,18 @@ func (o *StreamObserver) Send(r Reading) error {
 		return errors.New("wire: stream observe: send after Close")
 	}
 	return o.writeFrame(&f)
+}
+
+// sendSeq encodes one session-numbered frame onto the stream (the
+// resumable observer's send path; Seq rides the frame to the server's
+// dedupe).
+func (o *StreamObserver) sendSeq(f *stream.ObserveFrame) error {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.closed {
+		return errors.New("wire: stream observe: send after Close")
+	}
+	return o.writeFrame(f)
 }
 
 // Flush pushes buffered frames to the server.
