@@ -93,13 +93,17 @@ func (p *Proxy) acceptLoop() {
 	}
 }
 
-func (p *Proxy) track(c net.Conn) bool {
+// trackPair registers both sides of a forwarding pair atomically, so a
+// racing Close/KillAll either sees the whole pair or none of it — never
+// a tracked-but-closed half that would linger in p.conns forever.
+func (p *Proxy) trackPair(client, upstream net.Conn) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.closed.Load() {
 		return false
 	}
-	p.conns[c] = struct{}{}
+	p.conns[client] = struct{}{}
+	p.conns[upstream] = struct{}{}
 	return true
 }
 
@@ -115,7 +119,7 @@ func (p *Proxy) serve(client net.Conn) {
 		client.Close()
 		return
 	}
-	if !p.track(client) || !p.track(upstream) {
+	if !p.trackPair(client, upstream) {
 		client.Close()
 		upstream.Close()
 		return

@@ -478,8 +478,17 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 			if err != nil {
 				// Terminal: the batch was rejected (or applied in memory
 				// but not durably acknowledged). Every connection with a
-				// span in it gets the error as its final ack.
+				// span in it gets the error as its final ack, and every
+				// session involved rolls its gather high-water back to the
+				// durable mark — the frames gathered into this failed batch
+				// were never durably applied, so when the client resumes and
+				// re-sends them they must be re-gathered, not deduplicated
+				// as already applied. (hw is chunker-local, and this IS the
+				// chunker goroutine, so the write is race-free.)
 				for _, sp := range spans {
+					if sp.c.sess != nil {
+						sp.c.sess.hw = sp.c.sess.Applied()
+					}
 					ing.finalize(sp.c, err)
 				}
 			} else {
@@ -553,6 +562,13 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 					c.finalized = true
 					ing.finalize(c, ErrDraining)
 				}
+				// No chunker gathers these queues anymore: drain-and-discard
+				// each until its reader closes it, so a reader mid-send on a
+				// full queue can never stay blocked behind a retired chunker.
+				go func(frames chan connFrame) {
+					for range frames {
+					}
+				}(c.frames)
 			}
 			return
 		}

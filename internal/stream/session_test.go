@@ -1,0 +1,102 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+)
+
+// faultableTarget is an in-memory IngestTarget whose next batch can be
+// scripted to fail terminally — the WAL-failure stand-in for resume
+// tests.
+type faultableTarget struct {
+	mu       sync.Mutex
+	applied  []interval.Time
+	failNext bool
+	seq      uint64
+}
+
+func (ft *faultableTarget) ObserveBatch(readings []core.Reading) ([]core.ObserveOutcome, error) {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if ft.failNext {
+		ft.failNext = false
+		return nil, errors.New("injected batch failure")
+	}
+	for _, r := range readings {
+		ft.applied = append(ft.applied, r.Time)
+	}
+	ft.seq += uint64(len(readings))
+	return make([]core.ObserveOutcome, len(readings)), nil
+}
+
+func (ft *faultableTarget) ReplicationInfo() core.ReplicationInfo {
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	return core.ReplicationInfo{Durable: true, TotalSeq: ft.seq}
+}
+
+// TestSessionResumeAfterBatchFailureReapplies: a terminal ObserveBatch
+// failure must roll the session's gather high-water back to the durable
+// mark, so the frames the failed batch swallowed are re-applied when the
+// client resumes — not deduplicated as "already applied", which would
+// falsely ack data that never became durable.
+func TestSessionResumeAfterBatchFailureReapplies(t *testing.T) {
+	tgt := &faultableTarget{failNext: true}
+	ing := &Ingestor{Target: tgt}
+	var reg SessionRegistry
+	sess := reg.Get("resume-tok")
+
+	send := func(seqs ...uint64) []Ack {
+		t.Helper()
+		var in bytes.Buffer
+		for _, s := range seqs {
+			in.Write(frameLine(t, ObserveFrame{Time: interval.Time(s), Subject: "alice", X: 0.5, Y: 0.5, Seq: s}))
+		}
+		in.Write(frameLine(t, ObserveFrame{End: true}))
+		var out bytes.Buffer
+		_ = ing.RunFramedSession(NewNDJSONFrameReader(&in), NewNDJSONAckWriter(&out), sess)
+		return parseAcks(t, out.Bytes())
+	}
+
+	// Connection 1: the batch holding (a prefix of) these frames fails
+	// terminally — however the chunker split them, nothing is durable.
+	acks := send(1, 2, 3)
+	if final := acks[len(acks)-1]; final.Error == "" {
+		t.Fatalf("first connection's final ack carries no error: %+v", acks)
+	}
+	if got := sess.Applied(); got != 0 {
+		t.Fatalf("durable high-water after failed batch = %d, want 0", got)
+	}
+
+	// Connection 2 resumes: the hello reports Resume 0, so the client
+	// re-sends everything. Without the gather high-water rollback these
+	// frames satisfy seq <= hw, get skipped as resume overlap, and the
+	// final ack claims Resume 3 with zero readings applied.
+	acks = send(1, 2, 3)
+	if hello := acks[0]; hello.Resume != 0 {
+		t.Fatalf("hello resume = %d, want 0 (nothing durable yet)", hello.Resume)
+	}
+	final := acks[len(acks)-1]
+	if !final.Final || final.Error != "" {
+		t.Fatalf("resumed connection did not finish cleanly: %+v", final)
+	}
+	if final.Resume != 3 || final.Acked != 3 {
+		t.Fatalf("final ack = %+v, want resume 3 acked 3", final)
+	}
+	tgt.mu.Lock()
+	applied := append([]interval.Time(nil), tgt.applied...)
+	tgt.mu.Unlock()
+	if len(applied) != 3 {
+		t.Fatalf("applied times %v, want the three resent readings exactly once each", applied)
+	}
+	for i, tm := range applied {
+		if tm != interval.Time(i+1) {
+			t.Fatalf("applied times %v, want 1,2,3 in order", applied)
+		}
+	}
+}

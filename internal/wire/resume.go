@@ -374,6 +374,12 @@ type ResumableEventStream struct {
 	next       uint64 // next record sequence to request
 	alertsSeen uint64 // highest AlertSeq delivered
 	reconnects uint64
+	// stalledSince is when repairs started making no progress (no event
+	// delivered, no resume coordinate advanced); zero while progressing.
+	// It bounds the otherwise-unbounded repair loop in Next: each redial
+	// gets a fresh Patience, so a server that accepts subscriptions but
+	// fails every delivery would spin forever without it.
+	stalledSince time.Time
 }
 
 // SubscribeResume opens a self-healing subscription. opts.From seeds
@@ -432,9 +438,24 @@ func (rs *ResumableEventStream) redial() error {
 	}
 }
 
+// noteStall records one repair with nothing delivered since the last
+// progress and reports whether the no-progress window has exhausted
+// Patience (at which point Next surfaces the failure instead of
+// spinning forever).
+func (rs *ResumableEventStream) noteStall() bool {
+	if rs.stalledSince.IsZero() {
+		rs.stalledSince = time.Now()
+		return false
+	}
+	return time.Since(rs.stalledSince) > rs.Patience
+}
+
 // Next returns the next event, transparently repairing the feed on
 // failure. KindError frames are consumed (they carry the resume
 // coordinate, which Next honors) and never surface to the caller.
+// Repairs that make no progress — no event delivered, no resume
+// coordinate advanced — stop after a Patience-long window and return
+// the underlying failure.
 func (rs *ResumableEventStream) Next() (stream.Event, error) {
 	for {
 		if rs.es == nil {
@@ -448,6 +469,9 @@ func (rs *ResumableEventStream) Next() (stream.Event, error) {
 			// restart): resubscribe from the exact next sequence.
 			rs.es.Close()
 			rs.es = nil
+			if rs.noteStall() {
+				return stream.Event{}, fmt.Errorf("wire: resumable subscribe: no progress after %v: %w", rs.Patience, err)
+			}
 			continue
 		}
 		switch {
@@ -456,11 +480,14 @@ func (rs *ResumableEventStream) Next() (stream.Event, error) {
 			// the sequence to resubscribe from (for compaction, the
 			// oldest retained — skipping ahead is the documented
 			// contract; for eviction, the next undelivered).
-			if ev.Seq > rs.next {
-				rs.next = ev.Seq
-			}
 			rs.es.Close()
 			rs.es = nil
+			if ev.Seq > rs.next {
+				rs.next = ev.Seq
+				rs.stalledSince = time.Time{} // the coordinate moved: progress
+			} else if rs.noteStall() {
+				return stream.Event{}, fmt.Errorf("wire: resumable subscribe: no progress after %v: %s", rs.Patience, ev.Error)
+			}
 			continue
 		case ev.Kind == stream.KindAlert:
 			if ev.AlertSeq > rs.alertsSeen {
@@ -472,6 +499,7 @@ func (rs *ResumableEventStream) Next() (stream.Event, error) {
 				rs.next = ev.Seq + 1
 			}
 		}
+		rs.stalledSince = time.Time{}
 		return ev, nil
 	}
 }
