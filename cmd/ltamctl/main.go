@@ -33,6 +33,18 @@
 //	                                   (live monitoring; -from 0 replays
 //	                                   the retained history first; -wire
 //	                                   binary selects the framed feed)
+//	status <url> [url...]              fleet replication table: role,
+//	                                   term, sequence, lag, staleness
+//	promote [-force] [-follow-lag-max d] <url> [peer-url...]
+//	                                   promote the follower at <url> to
+//	                                   primary; refuses when the follower
+//	                                   looks stale or a live primary with
+//	                                   an equal-or-higher term is
+//	                                   reachable among the peers (-force
+//	                                   overrides both guards)
+//
+// -server accepts a comma-separated endpoint list; watch -resume then
+// follows the fleet's current primary across a failover.
 package main
 
 import (
@@ -46,6 +58,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"repro/internal/authz"
 	"repro/internal/graph"
@@ -59,20 +73,24 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ltamctl: ")
-	server := flag.String("server", "http://localhost:8525", "ltamd base URL")
+	server := flag.String("server", "http://localhost:8525", "ltamd base URL (comma-separated list enables client-side failover for watch -resume)")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	c := wire.NewClient(*server)
-	if err := run(c, args); err != nil {
+	endpoints := wire.SplitEndpoints(*server)
+	if len(endpoints) == 0 {
+		log.Fatal("empty -server")
+	}
+	c := wire.NewClient(endpoints[0])
+	if err := run(c, endpoints, args); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(c *wire.Client, args []string) error {
+func run(c *wire.Client, endpoints []string, args []string) error {
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "subject":
@@ -360,10 +378,89 @@ func run(c *wire.Client, args []string) error {
 		}
 		fmt.Println("snapshot written")
 	case "watch":
-		return watch(c, rest)
+		return watch(c, endpoints, rest)
+	case "status":
+		return fleetStatus(rest)
+	case "promote":
+		return promote(rest)
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+	return nil
+}
+
+// fleetStatus prints one replication-status row per endpoint: the
+// operator's one-glance view when deciding which follower to promote.
+func fleetStatus(urls []string) error {
+	if len(urls) == 0 {
+		return fmt.Errorf("status <url> [url...]")
+	}
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "ENDPOINT\tROLE\tTERM\tSEQ\tLAG\tSTALENESS")
+	for _, u := range urls {
+		st, err := wire.NewClient(strings.TrimRight(u, "/")).ReplicationStatus()
+		if err != nil {
+			fmt.Fprintf(tw, "%s\tunreachable\t-\t-\t-\t%v\n", u, err)
+			continue
+		}
+		seq := st.TotalSeq
+		if st.Role == "replica" {
+			seq = st.AppliedSeq
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\n",
+			u, st.Role, st.Term, seq, st.Lag, st.StalenessNS.Round(time.Millisecond))
+	}
+	return tw.Flush()
+}
+
+// promote converts the follower at the target URL into the primary.
+// Two guards protect against the classic failover mistakes, both
+// overridable with -force:
+//
+//   - staleness: a follower that has not proven itself caught up within
+//     -follow-lag-max may be missing acked records — promoting it would
+//     silently truncate the acked history.
+//   - rival primary: if any peer still answers as a live primary with an
+//     equal-or-higher term, promotion would manufacture a split brain on
+//     purpose; fail over only when the old primary is actually gone.
+func promote(args []string) error {
+	fs := flag.NewFlagSet("promote", flag.ContinueOnError)
+	force := fs.Bool("force", false, "skip the staleness and rival-primary guards")
+	lagMax := fs.Duration("follow-lag-max", time.Second, "refuse promotion when the follower's staleness exceeds this")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) < 1 {
+		return fmt.Errorf("promote [-force] [-follow-lag-max d] <url> [peer-url...]")
+	}
+	target, peers := strings.TrimRight(rest[0], "/"), rest[1:]
+	c := wire.NewClient(target)
+	st, err := c.ReplicationStatus()
+	if err != nil {
+		return fmt.Errorf("probe %s: %w", target, err)
+	}
+	if st.Role == "replica" && !*force {
+		if stale := st.StalenessNS; stale > *lagMax {
+			return fmt.Errorf("%s has been stale for %s (max %s): it may be missing acked records; catch it up, pick another follower, or -force",
+				target, stale.Round(time.Millisecond), *lagMax)
+		}
+		for _, p := range peers {
+			pst, perr := wire.NewClient(strings.TrimRight(p, "/")).ReplicationStatus()
+			if perr != nil {
+				continue // unreachable peer is exactly the failover case
+			}
+			if pst.Role == "primary" && pst.Term >= st.Term {
+				return fmt.Errorf("%s still answers as a live primary (term %d): promoting %s would split the brain; stop it first or -force",
+					p, pst.Term, target)
+			}
+		}
+	}
+	resp, err := c.Promote()
+	if err != nil {
+		return fmt.Errorf("promote %s: %w", target, err)
+	}
+	fmt.Printf("%s promoted: role=%s term=%d seq=%d\n", target, resp.Role, resp.Term, resp.Seq)
 	return nil
 }
 
@@ -372,8 +469,10 @@ func run(c *wire.Client, args []string) error {
 // smoke test's "did every committed record reach a subscriber" check).
 // With -resume the feed self-heals: any disconnect — server restart,
 // eviction, network cut — is repaired by resubscribing from the exact
-// next sequence, so the printed feed stays gapless and duplicate-free.
-func watch(c *wire.Client, args []string) error {
+// next sequence, so the printed feed stays gapless and duplicate-free;
+// given a multi-endpoint -server it also re-probes the fleet on each
+// repair and follows the new primary across a failover.
+func watch(c *wire.Client, endpoints []string, args []string) error {
 	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
 	from := fs.Uint64("from", 0, "first record sequence to deliver (0 = everything the server retains)")
 	count := fs.Uint64("count", 0, "exit after this many record events (0 = follow forever)")
@@ -409,7 +508,17 @@ func watch(c *wire.Client, args []string) error {
 	var next func() (stream.Event, error)
 	var closeFeed func() error
 	if *resume {
-		rs, err := c.SubscribeResume(context.Background(), opts)
+		var rs *wire.ResumableEventStream
+		var err error
+		if len(endpoints) > 1 {
+			fc, ferr := wire.NewFailoverClient(endpoints...)
+			if ferr != nil {
+				return ferr
+			}
+			rs, err = fc.SubscribeResume(context.Background(), opts)
+		} else {
+			rs, err = c.SubscribeResume(context.Background(), opts)
+		}
 		if err != nil {
 			return err
 		}

@@ -52,7 +52,7 @@ func TestRunFullAdminFlow(t *testing.T) {
 		{"revoke", "1"},
 	}
 	for _, args := range steps {
-		if err := run(c, args); err != nil {
+		if err := run(c, nil, args); err != nil {
 			t.Fatalf("run(%v): %v", args, err)
 		}
 	}
@@ -60,10 +60,10 @@ func TestRunFullAdminFlow(t *testing.T) {
 
 func TestRunGrantUnlimitedDefault(t *testing.T) {
 	c := testClient(t)
-	if err := run(c, []string{"subject", "x"}); err != nil {
+	if err := run(c, nil, []string{"subject", "x"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(c, []string{"grant", "x", "CAIS", "[5, 20]", "[15, 50]"}); err != nil {
+	if err := run(c, nil, []string{"grant", "x", "CAIS", "[5, 20]", "[15, 50]"}); err != nil {
 		t.Fatal(err)
 	}
 	auths, err := c.Authorizations("x", "CAIS")
@@ -77,13 +77,13 @@ func TestRunGrantUnlimitedDefault(t *testing.T) {
 
 func TestRunContactsWindow(t *testing.T) {
 	c := testClient(t)
-	_ = run(c, []string{"subject", "a"})
-	_ = run(c, []string{"grant", "a", "SCE.GO", "[1, 100]", "[1, 200]"})
-	_ = run(c, []string{"enter", "5", "a", "SCE.GO"})
-	if err := run(c, []string{"contacts", "a", "0", "100"}); err != nil {
+	_ = run(c, nil, []string{"subject", "a"})
+	_ = run(c, nil, []string{"grant", "a", "SCE.GO", "[1, 100]", "[1, 200]"})
+	_ = run(c, nil, []string{"enter", "5", "a", "SCE.GO"})
+	if err := run(c, nil, []string{"contacts", "a", "0", "100"}); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(c, []string{"contacts", "a", "x", "y"}); err == nil {
+	if err := run(c, nil, []string{"contacts", "a", "x", "y"}); err == nil {
 		t.Error("bad window should fail")
 	}
 }
@@ -119,7 +119,7 @@ func TestRunUsageErrors(t *testing.T) {
 		{"resolve", "coin-flip"},
 	}
 	for _, args := range bad {
-		if err := run(c, args); err == nil {
+		if err := run(c, nil, args); err == nil {
 			t.Errorf("run(%v) should fail", args)
 		}
 	}
@@ -128,15 +128,15 @@ func TestRunUsageErrors(t *testing.T) {
 func TestRunServerSideFailures(t *testing.T) {
 	c := testClient(t)
 	// Revoking an unknown id reaches the server and fails there.
-	if err := run(c, []string{"revoke", "999"}); err == nil {
+	if err := run(c, nil, []string{"revoke", "999"}); err == nil {
 		t.Error("revoke 999 should fail")
 	}
 	// Granting at an unknown location fails server-side.
-	if err := run(c, []string{"grant", "a", "Mars", "[1, 2]", "[1, 5]"}); err == nil {
+	if err := run(c, nil, []string{"grant", "a", "Mars", "[1, 2]", "[1, 5]"}); err == nil {
 		t.Error("grant at Mars should fail")
 	}
 	// Rule with a bad operator fails server-side.
-	if err := run(c, []string{"rule", "r", "1", "7", "-", "-", "Nope_Of"}); err == nil {
+	if err := run(c, nil, []string{"rule", "r", "1", "7", "-", "-", "Nope_Of"}); err == nil {
 		t.Error("bad rule should fail")
 	}
 }

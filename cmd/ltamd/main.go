@@ -25,6 +25,14 @@
 // whenever replication staleness exceeds the bound, so stale answers
 // are refused instead of served.
 //
+// -replica-of accepts a comma-separated fleet list: on every
+// (re)connect the follower probes the list and tails whichever live
+// endpoint answers as the highest-term primary, so it re-targets by
+// itself after a failover. Giving a follower -data arms POST
+// /v1/admin/promote (ltamctl promote): the follower can then be
+// converted in place into the new primary, writing its new lineage
+// (first snapshot + fresh WAL) into that directory.
+//
 // A durable primary additionally serves the streaming endpoints: POST
 // /v1/stream/observe (long-lived NDJSON ingest with durable acks — see
 // ltamsim -stream) and GET /v1/stream/events (the committed-event feed
@@ -103,13 +111,13 @@ func main() {
 	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
 	boundsPath := flag.String("bounds", "", "room boundary JSON (enables /v1/observe/batch)")
 	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
-	replicaOf := flag.String("replica-of", "", "primary base URL (e.g. http://primary:8525): boot as a read-only replica")
+	replicaOf := flag.String("replica-of", "", "primary base URL(s), comma-separated (e.g. http://a:8525,http://b:8525): boot as a read-only replica that follows the highest-term live primary")
 	followLagMax := flag.Duration("follow-lag-max", 0, "replica read barrier: 503 queries when replication staleness exceeds this (0 = serve regardless)")
 	captureTimeout := flag.Duration("capture-timeout", 0, "bound on bootstrap-state capture and status refresh (0 = 500ms default)")
 	flag.Parse()
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf, *followLagMax, *captureTimeout)
+		runReplica(*addr, *replicaOf, *data, *followLagMax, *captureTimeout)
 		return
 	}
 
@@ -164,19 +172,26 @@ func main() {
 	// emitted is backed by a clean, recoverable WAL.
 }
 
-// runReplica boots a read-only follower: bootstrap from the primary,
-// start the tail loop, and serve the query surface.
-func runReplica(addr, primary string, followLagMax, captureTimeout time.Duration) {
-	client := wire.NewClient(primary)
-	rep, err := core.NewReplica(client.ReplicationSource())
+// runReplica boots a read-only follower: bootstrap from the primary
+// fleet, start the tail loop, and serve the query surface. With a data
+// directory the promotion endpoint is armed.
+func runReplica(addr, primaries, dataDir string, followLagMax, captureTimeout time.Duration) {
+	urls := wire.SplitEndpoints(primaries)
+	src, err := wire.NewMultiSource(urls)
 	if err != nil {
-		log.Fatalf("bootstrap from %s: %v", primary, err)
+		log.Fatalf("replica: %v", err)
+	}
+	rep, err := core.NewReplica(src)
+	if err != nil {
+		log.Fatalf("bootstrap from %s: %v", primaries, err)
 	}
 	defer rep.Close()
 	go func() {
 		// Run self-heals across primary compactions (in-place
-		// re-bootstrap), so it returns only on a terminal condition:
-		// divergence, or a primary that is no longer the same site.
+		// re-bootstrap) and failovers (the source re-resolves the
+		// primary), so it returns only on a terminal condition —
+		// divergence, a primary that is no longer the same site — or
+		// cleanly (nil) after this node is promoted.
 		if err := rep.Run(context.Background()); err != nil {
 			log.Fatalf("replication: %v", err)
 		}
@@ -190,8 +205,12 @@ func runReplica(addr, primary string, followLagMax, captureTimeout time.Duration
 	if captureTimeout > 0 {
 		srv.SetCaptureTimeout(captureTimeout)
 	}
+	if dataDir != "" {
+		srv.SetPromoteDir(dataDir)
+		fmt.Printf("ltamd: promotion armed: POST /v1/admin/promote writes the new lineage into %s\n", dataDir)
+	}
 	fmt.Printf("ltamd: replica of %s serving %q (%d primitive locations) on %s, bootstrapped at seq %d\n",
-		primary, sys.Graph().Name(), len(sys.Flat().Nodes), addr, rep.AppliedSeq())
+		primaries, sys.Graph().Name(), len(sys.Flat().Nodes), addr, rep.AppliedSeq())
 	serveUntilSignal(addr, srv)
 }
 

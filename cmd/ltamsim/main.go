@@ -72,7 +72,7 @@ func main() {
 	tailgaters := flag.Float64("tailgaters", 0.05, "fraction of users with no authorizations")
 	batch := flag.Int("batch", 0, "readings per ObserveBatch call (0 = direct Enter path)")
 	data := flag.String("data", "", "data directory (enables WAL durability + group commit)")
-	streamURL := flag.String("stream", "", "drive a running ltamd over POST /v1/stream/observe at this base URL")
+	streamURL := flag.String("stream", "", "drive a running ltamd over POST /v1/stream/observe at this base URL (comma-separated list enables client-side failover)")
 	wireFmt := flag.String("wire", "ndjson", "stream framing: ndjson or binary")
 	emitSite := flag.String("emit-site", "", "write the grid site (graph.json, bounds.json) for ltamd to this directory and exit")
 	chaos := flag.Bool("chaos", false, "with -stream: route ingest through a connection-killing chaos proxy and use the resumable session client")
@@ -185,7 +185,25 @@ type observer interface {
 // the resumable client repairs it; the final ack must still cover every
 // frame exactly once.
 func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int64, overstayFrac, tailgateFrac float64, chaos bool, chaosInterval time.Duration) {
+	// A comma-separated -stream list arms client-side failover: the
+	// resumable ingest session re-probes the fleet on every repair, so
+	// the walk rides through a primary promotion mid-stream.
+	endpoints := wire.SplitEndpoints(base)
+	if len(endpoints) == 0 {
+		log.Fatalf("empty -stream url")
+	}
+	base = endpoints[0]
+	var fc *wire.FailoverClient
 	client := wire.NewClient(base)
+	if len(endpoints) > 1 {
+		var err error
+		if fc, err = wire.NewFailoverClient(endpoints...); err != nil {
+			log.Fatalf("failover client: %v", err)
+		}
+		if c, err := fc.Probe(context.Background()); err == nil {
+			client = c
+		}
+	}
 	g, rooms := GridBuilding(side)
 	rng := rand.New(rand.NewSource(seed))
 	horizon := interval.Time(int64(steps) * 4)
@@ -229,6 +247,13 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 		obs = ro
 		ackDeadline = 90 * time.Second // rides out daemon kills/restarts too
 		fmt.Printf("chaos: proxy %s -> %s, cutting every connection every %s\n", prox.Addr(), u.Host, chaosInterval)
+	} else if fc != nil {
+		ro, err := fc.StreamObserveResumable(context.Background(), wf)
+		if err != nil {
+			log.Fatalf("open failover ingest stream: %v", err)
+		}
+		obs = ro
+		ackDeadline = 90 * time.Second // rides out a failover window too
 	} else {
 		o, err := client.StreamObserveWire(context.Background(), wf)
 		if err != nil {
@@ -241,12 +266,19 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 	// mid-restart when the tick fires.
 	tick := func(t interval.Time) error {
 		_, err := client.Tick(t)
-		if !chaos {
+		if !chaos && fc == nil {
 			return err
 		}
+		// Tick is idempotent (the clock only moves forward), so retrying
+		// across a restart or a failover cannot double-apply anything.
 		deadline := time.Now().Add(ackDeadline)
 		for err != nil && time.Now().Before(deadline) {
 			time.Sleep(200 * time.Millisecond)
+			if fc != nil {
+				if c, perr := fc.Probe(context.Background()); perr == nil {
+					client = c
+				}
+			}
 			_, err = client.Tick(t)
 		}
 		return err
@@ -313,6 +345,10 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 		ro := obs.(*wire.ResumableObserver)
 		fmt.Printf("chaos: %d connections cut by the proxy, %d reconnects, session %s\n",
 			prox.Killed(), ro.Reconnects(), ro.Session())
+	} else if fc != nil {
+		ro := obs.(*wire.ResumableObserver)
+		fmt.Printf("failover: %d reconnects, session %s, final primary %s\n",
+			ro.Reconnects(), ro.Session(), fc.Current().BaseURL)
 	}
 	if st, err := client.Stats(); err == nil && st.Stream != nil {
 		ing := st.Stream.Ingest

@@ -136,6 +136,7 @@ type System struct {
 	engine   *enforce.Engine
 	ruleEng  *rules.Engine
 	resolver *geometry.Resolver
+	bounds   []geometry.Boundary
 	cache    *query.Cache
 
 	wal       *storage.WAL
@@ -159,8 +160,20 @@ type System struct {
 	// readOnly marks a follower System: every public mutator returns
 	// ErrReadOnly, and the only mutation path is the replication apply
 	// loop (Replica.ApplyRecord), which dispatches to the unexported
-	// mutators directly. Set once at construction, never changed.
-	readOnly bool
+	// mutators directly. Set at construction; cleared exactly once by
+	// promotion (Replica.Promote), which is why it is atomic — the
+	// mutation gate reads it without the write lock.
+	readOnly atomic.Bool
+	// term is the promotion epoch this System writes at: 1 for a
+	// primary that has never failed over, bumped by every promotion.
+	// It is persisted in snapshots and stamped on the replication
+	// control plane; followers use it to fence stale primaries.
+	term atomic.Uint64
+	// fencedBy latches the higher term this primary has learned of
+	// (via replication-plane gossip), 0 while unfenced. A fenced
+	// primary refuses every mutation with ErrFenced: some follower has
+	// been promoted past it, and writing here would split the brain.
+	fencedBy atomic.Uint64
 	// autoDerive mirrors Config.AutoDerive so a replica can be built
 	// with the exact derivation behavior of its primary (derived
 	// authorizations are not logged — both sides must re-derive them
@@ -208,7 +221,10 @@ type snapshotState struct {
 	// compacted into it. It keeps snapshot numbering monotonic across
 	// compactions (the WAL's own counter resets on Truncate) and anchors
 	// the replication stream's coordinate system.
-	Seq        uint64                `json:"seq"`
+	Seq uint64 `json:"seq"`
+	// Term is the promotion epoch the state was written under. Absent
+	// (0) in pre-failover snapshots; Open normalizes that to 1.
+	Term       uint64                `json:"term,omitempty"`
 	Graph      graph.Spec            `json:"graph"`
 	Profiles   []profile.Subject     `json:"profiles"`
 	Auths      []authz.Authorization `json:"auths"`
@@ -216,6 +232,10 @@ type snapshotState struct {
 	Rules      []rules.Spec          `json:"rules"`
 	Events     []movement.Event      `json:"events"`
 	Clock      interval.Time         `json:"clock"`
+	// Boundaries carries the coordinate front-end's geometry so a
+	// follower bootstrapped from this state can resolve raw readings
+	// after a promotion. Absent for systems without boundaries.
+	Boundaries []geometry.Boundary `json:"boundaries,omitempty"`
 }
 
 // newBareSystem allocates the empty databases every System starts from.
@@ -248,6 +268,7 @@ func (s *System) notifyCommit() {
 func Open(cfg Config) (*System, error) {
 	s := newBareSystem()
 	s.alerts = audit.NewLog(cfg.AlertLimit)
+	s.term.Store(1)
 
 	var snap snapshotState
 	haveSnap := false
@@ -288,6 +309,7 @@ func Open(cfg Config) (*System, error) {
 			return nil, err
 		}
 		s.resolver = r
+		s.bounds = cfg.Boundaries
 	}
 
 	if err := s.initEngines(cfg.AutoDerive); err != nil {
@@ -300,6 +322,9 @@ func Open(cfg Config) (*System, error) {
 			return nil, err
 		}
 		s.baseSeq.Store(snap.Seq)
+		if snap.Term > 0 {
+			s.term.Store(snap.Term)
+		}
 	}
 
 	// Replay the WAL suffix, then open it for appending.
@@ -378,6 +403,17 @@ func (s *System) restoreSnapshot(snap snapshotState) error {
 	}
 	if err := s.moves.Restore(snap.Events); err != nil {
 		return fmt.Errorf("core: recover movements: %w", err)
+	}
+	// Config.Boundaries wins; otherwise adopt the geometry the snapshot
+	// carries so a follower (or a restart without the geometry file) can
+	// still resolve raw readings.
+	if s.resolver == nil && len(snap.Boundaries) > 0 {
+		r, err := geometry.NewResolver(snap.Boundaries)
+		if err != nil {
+			return fmt.Errorf("core: recover boundaries: %w", err)
+		}
+		s.resolver = r
+		s.bounds = snap.Boundaries
 	}
 	return s.engine.SetClock(snap.Clock)
 }
@@ -505,14 +541,48 @@ func (s *System) apply(rec storage.Record) error {
 // never retried). Pure queries are not gated: they serve the published
 // view, which reflects only mutations that were still being logged.
 func (s *System) mutationGate() error {
-	if s.readOnly {
+	if s.readOnly.Load() {
 		return ErrReadOnly
+	}
+	if by := s.fencedBy.Load(); by != 0 {
+		return fmt.Errorf("%w (term %d fenced by term %d)", ErrFenced, s.term.Load(), by)
 	}
 	if s.committer != nil && s.committer.Poisoned() {
 		return fmt.Errorf("%w: %v", storage.ErrWALPoisoned, s.committer.Err())
 	}
 	return nil
 }
+
+// ErrFenced is returned by every mutator of a primary that has learned —
+// through replication-plane term gossip — of a higher promotion term.
+// Some follower has been promoted past this node; continuing to accept
+// writes would split the brain, so the node flips itself read-only. A
+// fenced primary keeps serving queries from its published view and can
+// rejoin the fleet only by re-bootstrapping as a follower of the new
+// primary.
+var ErrFenced = errors.New("core: primary fenced by a higher promotion term")
+
+// Term returns the promotion epoch this System writes at (1 for a
+// primary that has never failed over; followers mirror their primary's
+// term).
+func (s *System) Term() uint64 { return s.term.Load() }
+
+// Fence latches the fenced state if term is strictly higher than this
+// System's own promotion term, returning whether the node is now (or
+// already was) fenced. Fencing is one-way: there is no unfence — a stale
+// primary's only way back is re-bootstrapping as a follower.
+func (s *System) Fence(term uint64) bool {
+	if term > s.term.Load() {
+		storeMax(&s.fencedBy, term)
+	}
+	return s.fencedBy.Load() != 0
+}
+
+// Fenced reports whether a higher promotion term has been observed.
+func (s *System) Fenced() bool { return s.fencedBy.Load() != 0 }
+
+// FencedBy returns the higher term that fenced this node (0 = unfenced).
+func (s *System) FencedBy() uint64 { return s.fencedBy.Load() }
 
 // Poisoned reports whether the WAL committer has latched a write/fsync
 // failure and the System is degraded to read-only (mutations fail with
@@ -1270,12 +1340,14 @@ func (s *System) snapshotStateLocked() (snapshotState, error) {
 	}
 	auths, next := s.store.Snapshot()
 	snap := snapshotState{
+		Term:       s.term.Load(),
 		Graph:      graph.ToSpec(s.root),
 		Profiles:   s.profiles.Snapshot(),
 		Auths:      auths,
 		NextAuthID: next,
 		Events:     s.moves.Snapshot(),
 		Clock:      s.engine.Now(),
+		Boundaries: s.bounds,
 	}
 	for _, r := range s.ruleEng.Rules() {
 		spec, ok := rules.SpecOf(r)
@@ -1299,6 +1371,8 @@ type ReplicationInfo struct {
 	Durable  bool   `json:"durable"`
 	BaseSeq  uint64 `json:"base_seq"`
 	TotalSeq uint64 `json:"total_seq"`
+	// Term is the promotion epoch the records are written under.
+	Term uint64 `json:"term"`
 }
 
 // ReplicationInfo reports the log-shipping coordinates. The read lock
@@ -1315,7 +1389,7 @@ func (s *System) ReplicationInfo() ReplicationInfo {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	base := s.baseSeq.Load()
-	return ReplicationInfo{Durable: true, BaseSeq: base, TotalSeq: base + s.wal.DurableLen()}
+	return ReplicationInfo{Durable: true, BaseSeq: base, TotalSeq: base + s.wal.DurableLen(), Term: s.term.Load()}
 }
 
 // WALPath returns the live log's file path (empty without durability) —

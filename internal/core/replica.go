@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +40,14 @@ var ErrReadOnly = errors.New("core: read-only replica (mutate on the primary)")
 // in which case it returns this error and the operator restarts the
 // daemon.
 var ErrBootstrapRequired = errors.New("core: replica fell behind a WAL compaction; fresh bootstrap required")
+
+// ErrStaleTerm reports replication input from a primary whose promotion
+// term is lower than the highest one this follower has seen: a
+// resurrected stale primary is still shipping its pre-failover history.
+// The frames are rejected WITHOUT being applied and without latching a
+// divergence — the follower simply drops the stream and re-resolves
+// toward the highest-term primary.
+var ErrStaleTerm = errors.New("core: replication stream from a stale primary (lower promotion term)")
 
 // ErrBootstrapMismatch reports a re-bootstrap whose state is not a later
 // point of the same primary's history — a different site graph or a
@@ -64,6 +73,20 @@ type ReplicaSource interface {
 	PrimarySeq(ctx context.Context) (uint64, error)
 }
 
+// TermedSource is the optional ReplicaSource extension for fencing: a
+// source that knows which promotion term its current stream was shipped
+// under implements it, and the Run loop refuses records whose stream
+// term is lower than the highest term the follower has ever seen. A
+// source that does not implement it (or reports 0) is trusted — the
+// pre-failover behavior.
+type TermedSource interface {
+	// SourceTerm returns the promotion term of the most recently opened
+	// Tail stream (0 = unknown). One stream is always shipped under one
+	// term — the primary ends the stream if its term changes — so a
+	// per-stream term is a per-frame term.
+	SourceTerm() uint64
+}
+
 // Replica is a read-only follower: a System fed exclusively by the
 // primary's WAL stream. Queries on System() are served from published
 // readViews exactly as on the primary; ApplyRecord is the apply loop's
@@ -84,6 +107,19 @@ type Replica struct {
 	// observed primary seq). Staleness is measured from here whenever the
 	// follower cannot currently prove freshness.
 	freshAt atomic.Int64
+
+	// termHigh is the highest promotion term this follower has ever
+	// seen — from its bootstrap state and from every tailed stream.
+	// Records shipped under a lower term are fenced (ErrStaleTerm).
+	termHigh atomic.Uint64
+	// promoted latches once Promote has converted this follower into a
+	// primary in place; the Run loop refuses to (re)start after it.
+	promoted atomic.Bool
+	// runMu guards the tail loop's cancellation plumbing so Promote can
+	// stop a concurrently-running Run and wait for it to exit.
+	runMu     sync.Mutex
+	runCancel context.CancelFunc
+	runDone   chan struct{}
 }
 
 // NewReplica bootstraps a follower from src: it fetches the primary's
@@ -102,6 +138,7 @@ func NewReplica(src ReplicaSource) (*Replica, error) {
 	r.appliedSeq.Store(seq)
 	r.primarySeq.Store(seq)
 	r.bootstraps.Store(1)
+	r.termHigh.Store(sys.Term())
 	r.markFresh()
 	return r, nil
 }
@@ -139,7 +176,11 @@ func openReplicaSystem(state json.RawMessage, autoDerive bool) (*System, error) 
 		return nil, fmt.Errorf("core: decode bootstrap state: %w", err)
 	}
 	s := newBareSystem()
-	s.readOnly = true
+	s.readOnly.Store(true)
+	s.term.Store(1)
+	if snap.Term > 0 {
+		s.term.Store(snap.Term)
+	}
 	g, err := graph.FromSpec(snap.Graph)
 	if err != nil {
 		return nil, fmt.Errorf("core: bootstrap graph: %w", err)
@@ -186,6 +227,31 @@ func (r *Replica) ApplyRecord(rec storage.Record) error {
 	r.noteObservation(seq)
 	return nil
 }
+
+// ApplyTermRecord is ApplyRecord with the fencing check: a record
+// shipped under a promotion term lower than the highest one this
+// follower has seen is refused with ErrStaleTerm — nothing is applied
+// and no divergence is latched, because a stale primary's stream is an
+// expected (and recoverable) fleet condition, not corruption. A record
+// from an equal or higher term is applied and advances the highest-seen
+// term. term 0 means "source has no term plane" and is trusted.
+func (r *Replica) ApplyTermRecord(term uint64, rec storage.Record) error {
+	if term > 0 {
+		if high := r.termHigh.Load(); term < high {
+			return fmt.Errorf("%w: stream term %d < highest seen %d", ErrStaleTerm, term, high)
+		}
+		storeMax(&r.termHigh, term)
+		storeMax(&r.sys.term, term)
+	}
+	return r.ApplyRecord(rec)
+}
+
+// Term returns the highest promotion term this follower has seen.
+func (r *Replica) Term() uint64 { return r.termHigh.Load() }
+
+// Promoted reports whether Promote has converted this follower into a
+// primary.
+func (r *Replica) Promoted() bool { return r.promoted.Load() }
 
 // Err returns the latched apply divergence, if any.
 func (r *Replica) Err() error {
@@ -300,6 +366,27 @@ func jitterSleep(ctx context.Context, d time.Duration, disable bool) bool {
 // re-bootstrap came from a different site, and ErrBootstrapRequired only
 // with RunConfig.DisableSelfHeal set.
 func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
+	if r.promoted.Load() {
+		return nil
+	}
+	// Register the loop's cancellation plumbing so Promote can stop a
+	// running tail loop and wait for it to drain before converting the
+	// follower in place.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	r.runMu.Lock()
+	r.runCancel, r.runDone = cancel, done
+	r.runMu.Unlock()
+	defer func() {
+		r.runMu.Lock()
+		if r.runDone == done {
+			r.runCancel, r.runDone = nil, nil
+		}
+		r.runMu.Unlock()
+		close(done)
+	}()
+
 	retryMin, retryMax, refresh := 100*time.Millisecond, 2*time.Second, time.Second
 	disableSelfHeal, disableJitter := false, false
 	if len(cfg) > 0 {
@@ -333,6 +420,18 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 		}
 	}()
 
+	// When the source carries the term plane, every record passes the
+	// fencing check before it is applied: a stream shipped under a term
+	// lower than the highest seen is a resurrected stale primary, and
+	// its records must be dropped (ErrStaleTerm ends the stream; the
+	// reconnect re-resolves toward the highest-term primary).
+	apply := r.ApplyRecord
+	if ts, ok := r.src.(TermedSource); ok {
+		apply = func(rec storage.Record) error {
+			return r.ApplyTermRecord(ts.SourceTerm(), rec)
+		}
+	}
+
 	backoff := retryMin
 	for {
 		// Observe the primary's position with a bounded wait: an
@@ -340,7 +439,7 @@ func (r *Replica) Run(ctx context.Context, cfg ...RunConfig) error {
 		// dial hang, before the reconnect backoff takes over.
 		r.observePrimary(ctx)
 		r.connected.Store(true)
-		err := r.src.Tail(ctx, r.appliedSeq.Load(), r.ApplyRecord)
+		err := r.src.Tail(ctx, r.appliedSeq.Load(), apply)
 		r.connected.Store(false)
 		switch {
 		case ctx.Err() != nil:
@@ -396,8 +495,22 @@ func (r *Replica) Rebootstrap() error {
 	if autoDerive != r.sys.autoDerive {
 		return fmt.Errorf("%w: derivation mode changed (primary autoDerive=%v)", ErrBootstrapMismatch, autoDerive)
 	}
+	// Fencing covers bootstraps too: restoring a stale primary's state
+	// would rewind the follower past history a higher-term primary has
+	// already extended.
+	var probe struct {
+		Term uint64 `json:"term"`
+	}
+	_ = json.Unmarshal(state, &probe)
+	if high := r.termHigh.Load(); probe.Term > 0 && probe.Term < high {
+		return fmt.Errorf("%w: bootstrap term %d < highest seen %d", ErrStaleTerm, probe.Term, high)
+	}
 	if err := r.sys.rebootstrap(state); err != nil {
 		return err
+	}
+	if probe.Term > 0 {
+		storeMax(&r.termHigh, probe.Term)
+		storeMax(&r.sys.term, probe.Term)
 	}
 	r.appliedSeq.Store(seq)
 	storeMax(&r.primarySeq, seq)
@@ -470,6 +583,11 @@ type LocalSource struct {
 func (l *LocalSource) Bootstrap() (uint64, bool, json.RawMessage, error) {
 	return l.Primary.CaptureBootstrap()
 }
+
+// SourceTerm reports the primary's live promotion term: a same-process
+// source reads it directly, so the fencing check always sees the term
+// the next record will be written under.
+func (l *LocalSource) SourceTerm() uint64 { return l.Primary.Term() }
 
 // PrimarySeq reports the primary's durable record count.
 func (l *LocalSource) PrimarySeq(context.Context) (uint64, error) {

@@ -1,0 +1,52 @@
+// Operator plane: the guarded failover trigger.
+//
+//	POST /v1/admin/promote    convert this follower into the primary
+//
+// Promotion is deliberately an explicit operator action (via ltamctl
+// promote or an orchestrator), not an automatic election: the staleness
+// and rival-primary guards live in the CLI where the operator can
+// -force past them, while the server enforces only the invariants that
+// must never be forced — the node must be a follower, and it must have
+// been armed with a data directory for the new lineage.
+package server
+
+import (
+	"errors"
+	"net/http"
+
+	"repro/internal/wire"
+)
+
+// SetPromoteDir arms POST /v1/admin/promote: dir becomes the new
+// primary lineage's data directory (snapshots + fresh WAL) if this
+// follower is ever promoted. An unarmed follower refuses promotion —
+// a promoted primary without durability could not serve replication.
+// Call before serving traffic.
+func (s *Server) SetPromoteDir(dir string) { s.promoteDir = dir }
+
+// adminPromote converts the follower into a primary in place under a
+// new promotion term (core.Replica.Promote). Idempotent: promoting an
+// already-promoted node reports the established term with 200.
+func (s *Server) adminPromote(w http.ResponseWriter, _ *http.Request) {
+	if s.rep == nil {
+		writeErr(w, http.StatusConflict, errors.New("not a follower: this node is already a primary"))
+		return
+	}
+	if s.rep.Promoted() {
+		info := s.sys.ReplicationInfo()
+		writeJSON(w, http.StatusOK, wire.PromoteResponse{Role: "primary", Term: s.sys.Term(), Seq: info.TotalSeq})
+		return
+	}
+	if s.promoteDir == "" {
+		writeErr(w, http.StatusForbidden,
+			errors.New("promotion not armed: restart the follower with -data to give the new lineage a directory"))
+		return
+	}
+	term, err := s.rep.Promote(s.promoteDir)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	info := s.sys.ReplicationInfo()
+	writeJSON(w, http.StatusOK, wire.PromoteResponse{Role: "primary", Term: term, Seq: info.TotalSeq})
+}

@@ -9,6 +9,12 @@
 // operator can inspect /v1/stats) but NOT ready (mutations 503) — so a
 // probe that restarts on liveness failure leaves it up for diagnosis,
 // while the balancer routes writes elsewhere.
+//
+// Both probes stamp the node's role and promotion term on the
+// X-Ltam-Role / X-Ltam-Term headers (body too), so failover clients can
+// pick the live primary from a HEAD-cheap probe; the readyz request may
+// carry the caller's highest seen term, which fences a stale primary
+// (see gossipTerm).
 package server
 
 import (
@@ -21,45 +27,73 @@ import (
 type healthResponse struct {
 	Status string `json:"status"`
 	Role   string `json:"role"`
+	Term   uint64 `json:"term,omitempty"`
 	Reason string `json:"reason,omitempty"`
 }
 
+// role reports this node's current replication role: "replica" while
+// following, "fenced" for a primary that has learned of a higher
+// promotion term, "primary" otherwise (including a promoted replica).
 func (s *Server) role() string {
-	if s.rep != nil {
+	if s.isFollower() {
 		return "replica"
+	}
+	if s.sys.Fenced() {
+		return "fenced"
 	}
 	return "primary"
 }
 
+// term reports the node's promotion epoch: the highest term a follower
+// has seen, the term a primary writes at.
+func (s *Server) term() uint64 {
+	if s.isFollower() {
+		return s.rep.Term()
+	}
+	return s.sys.Term()
+}
+
+// roleHeaders stamps the node's role and term on the response.
+func (s *Server) roleHeaders(w http.ResponseWriter) {
+	w.Header().Set(wireRoleHeader, s.role())
+	if t := s.term(); t > 0 {
+		w.Header().Set(wireTermHeader, formatTerm(t))
+	}
+}
+
 // healthz is the liveness probe: reachable process, always 200.
 func (s *Server) healthz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Role: s.role()})
+	s.roleHeaders(w)
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Role: s.role(), Term: s.term()})
 }
 
 // readyz is the readiness probe: 200 while this node should receive
 // traffic, 503 (with Retry-After) otherwise.
-func (s *Server) readyz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	s.gossipTerm(r)
+	s.roleHeaders(w)
 	if err := s.readyErr(); err != nil {
 		w.Header().Set("X-Ready", "false")
 		writeErr(w, http.StatusServiceUnavailable, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Role: s.role()})
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ready", Role: s.role(), Term: s.term()})
 }
 
 // readyErr reports why the node is not ready, nil when it is:
 //
 //   - draining: BeginDrain ran; connections are being flushed off.
 //   - primary: the WAL committer is poisoned (a write/fsync failed —
-//     mutations are refused until restart), or the event bus was closed
-//     out from under live use.
+//     mutations are refused until restart), the node was fenced by a
+//     higher promotion term (a newer primary exists; route there), or
+//     the event bus was closed out from under live use.
 //   - replica: the follower loop reported a terminal error, or the
 //     replica's staleness exceeds the armed follow-lag bound.
 func (s *Server) readyErr() error {
 	if s.draining.Load() {
 		return errors.New("draining: connections are being flushed off this node")
 	}
-	if s.rep != nil {
+	if s.isFollower() {
 		if err := s.rep.Err(); err != nil {
 			return fmt.Errorf("replica failed: %w", err)
 		}
@@ -69,6 +103,10 @@ func (s *Server) readyErr() error {
 			}
 		}
 		return nil
+	}
+	if s.sys.Fenced() {
+		return fmt.Errorf("fenced: a primary with term %d exists (this node's term is %d)",
+			s.sys.FencedBy(), s.sys.Term())
 	}
 	if s.sys.Poisoned() {
 		return fmt.Errorf("WAL committer poisoned: %w", s.sys.CommitErr())

@@ -29,6 +29,31 @@ import (
 // defaultWALPoll is the stream handler's idle polling cadence.
 const defaultWALPoll = 25 * time.Millisecond
 
+// Header names shared with the wire package (aliased so the handlers
+// read naturally).
+const (
+	wireTermHeader = wire.TermHeader
+	wireRoleHeader = wire.RoleHeader
+)
+
+func formatTerm(t uint64) string { return strconv.FormatUint(t, 10) }
+
+// gossipTerm ingests the request's X-Ltam-Term header — the highest
+// promotion term the caller has seen. A primary that hears of a higher
+// term has been superseded and fences itself (core.System.Fence):
+// mutations start failing with ErrFenced and the role flips to
+// "fenced". This is the split-brain close: a resurrected stale primary
+// is fenced by the very first probe any term-aware client or follower
+// sends it. Followers ignore the gossip here — their term tracking
+// rides the replication stream itself (core.ApplyTermRecord).
+func (s *Server) gossipTerm(r *http.Request) {
+	t, _ := strconv.ParseUint(r.Header.Get(wireTermHeader), 10, 64)
+	if t == 0 || s.isFollower() {
+		return
+	}
+	s.sys.Fence(t)
+}
+
 // defaultCaptureTimeout bounds how long the replication handlers wait
 // on the primary: the bootstrap state capture (which takes the write
 // lock) and the status endpoint's primary-seq refresh.
@@ -46,6 +71,7 @@ func (s *Server) captureBound() time.Duration {
 }
 
 func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.gossipTerm(r)
 	// CaptureBootstrap takes the primary's write lock; a capture stuck
 	// behind a long mutation burst must not hang the follower's
 	// bootstrap forever. On timeout the follower gets 503 + Retry-After
@@ -69,7 +95,10 @@ func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, statusFor(c.err), c.err)
 			return
 		}
-		writeJSON(w, http.StatusOK, wire.BootstrapResponse{Seq: c.seq, AutoDerive: c.autoDerive, State: c.state})
+		s.roleHeaders(w)
+		writeJSON(w, http.StatusOK, wire.BootstrapResponse{
+			Seq: c.seq, AutoDerive: c.autoDerive, State: c.state, Term: s.sys.Term(),
+		})
 	case <-time.After(bound):
 		writeErr(w, http.StatusServiceUnavailable,
 			fmt.Errorf("bootstrap capture exceeded %s (primary busy): retry", bound))
@@ -78,6 +107,7 @@ func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
+	s.gossipTerm(r)
 	// The dedicated status endpoint refreshes lag against the primary,
 	// but with a hard bound: a follower must answer about itself even
 	// when its primary is unreachable.
@@ -88,6 +118,7 @@ func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("replication requires durability (start with -data)"))
 		return
 	}
+	s.roleHeaders(w)
 	writeJSON(w, http.StatusOK, *st)
 }
 
@@ -97,10 +128,11 @@ func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
 // primary-seq refresh (used by /v1/stats, which must never block on a
 // remote primary).
 func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationStatus {
-	if s.rep != nil {
+	if s.isFollower() {
 		st := s.rep.Status(ctx)
 		return &wire.ReplicationStatus{
 			Role:        "replica",
+			Term:        s.rep.Term(),
 			AppliedSeq:  st.AppliedSeq,
 			PrimarySeq:  st.PrimarySeq,
 			Lag:         st.Lag,
@@ -113,8 +145,13 @@ func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationSta
 	if !info.Durable {
 		return nil
 	}
+	role := "primary"
+	if s.sys.Fenced() {
+		role = "fenced"
+	}
 	return &wire.ReplicationStatus{
-		Role:     "primary",
+		Role:     role,
+		Term:     info.Term,
 		Durable:  true,
 		BaseSeq:  info.BaseSeq,
 		TotalSeq: info.TotalSeq,
@@ -122,6 +159,7 @@ func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationSta
 }
 
 func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
+	s.gossipTerm(r)
 	info := s.sys.ReplicationInfo()
 	if !info.Durable {
 		writeErr(w, http.StatusBadRequest, errors.New("replication requires durability (start with -data)"))
@@ -156,9 +194,15 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 	}
 	defer t.Close()
 
+	// The whole stream is served under ONE promotion term, stamped on
+	// the response header before the first frame: the follower fences on
+	// it per-record, and the handler ends the stream the moment the term
+	// moves (or this node is fenced) so the header can never go stale.
+	startTerm := s.sys.Term()
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Replication-From", strconv.FormatUint(from, 10))
+	w.Header().Set(wireTermHeader, formatTerm(startTerm))
 	w.WriteHeader(http.StatusOK)
 	if flusher != nil {
 		flusher.Flush() // commit the headers so the follower knows it's live
@@ -181,6 +225,12 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 	// BaseSeq observed AFTER the reads proves no truncation preceded
 	// them (see ReplicationInfo's doc comment).
 	for {
+		if s.sys.Term() != startTerm || s.sys.Fenced() {
+			// The term the header promised no longer holds (this node was
+			// fenced, or promoted mid-stream): end cleanly. The follower's
+			// reconnect re-reads the term from the fresh header.
+			return
+		}
 		cur := s.sys.ReplicationInfo()
 		if cur.BaseSeq != info.BaseSeq {
 			// Compacted underneath us: everything already streamed is a

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net/http"
 	"strconv"
 	"sync/atomic"
@@ -47,7 +48,17 @@ type Server struct {
 	// captureTimeout bounds CaptureBootstrap in the replication handlers
 	// (0 selects defaultCaptureTimeout; see SetCaptureTimeout).
 	captureTimeout time.Duration
+	// promoteDir arms POST /v1/admin/promote on a follower: the data
+	// directory the new primary lineage is written into (see
+	// SetPromoteDir).
+	promoteDir string
 }
+
+// isFollower reports whether this server currently fronts a read-only
+// follower. A promoted replica is NOT a follower: after Promote the
+// same handlers serve the full primary surface, so every role check
+// goes through here rather than testing s.rep directly.
+func (s *Server) isFollower() bool { return s.rep != nil && !s.rep.Promoted() }
 
 // New builds the handler set over sys.
 func New(sys *core.System) *Server {
@@ -119,6 +130,8 @@ func (s *Server) routes() {
 	s.handle("GET /v1/healthz", s.healthz)
 	s.handle("GET /v1/readyz", s.readyz)
 
+	s.handle("POST /v1/admin/promote", s.adminPromote)
+
 	s.handle("GET /v1/replication/snapshot", s.replicationSnapshot)
 	s.handle("GET /v1/replication/status", s.replicationStatus)
 	// The WAL stream and the /v1/stream/* connections are long-lived;
@@ -140,9 +153,16 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 	// stale replica, busy capture): tell load balancers when to come
 	// back. Callers that computed a better hint set the header first.
 	if code == http.StatusServiceUnavailable && w.Header().Get("Retry-After") == "" {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfter(1))
 	}
 	writeJSON(w, code, wire.Error{Error: err.Error()})
+}
+
+// retryAfter jitters a Retry-After hint across [min, 2*min]: a fleet of
+// clients bounced by the same 503 (a drain, a failover window) must not
+// re-arrive in one synchronized wave.
+func retryAfter(min int) string {
+	return strconv.Itoa(min + rand.Intn(min+1))
 }
 
 func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -531,6 +551,11 @@ func statusFor(err error) int {
 	}
 	if errors.Is(err, core.ErrReadOnly) {
 		return http.StatusForbidden
+	}
+	if errors.Is(err, core.ErrFenced) {
+		// A fenced primary must shed its writers to the new primary: 503
+		// (retry elsewhere), not 403 (the client did nothing wrong).
+		return http.StatusServiceUnavailable
 	}
 	if errors.Is(err, storage.ErrWALPoisoned) {
 		// The committer refuses further commits (fsyncgate): the node is

@@ -66,7 +66,7 @@ func (s *Server) ingestor() *stream.Ingestor {
 
 // eventBus returns the shared bus, building it on first use.
 func (s *Server) eventBus() (*stream.Bus, error) {
-	if s.rep != nil {
+	if s.isFollower() {
 		return nil, errors.New("event feed is served by the primary (followers have no local log)")
 	}
 	st := &s.stream
@@ -99,7 +99,7 @@ func (s *Server) Close() {
 // ingest counters, plus the bus counters once a subscriber has forced
 // the bus into existence.
 func (s *Server) streamStats() *wire.StreamStats {
-	if s.rep != nil {
+	if s.isFollower() {
 		return nil
 	}
 	st := &s.stream
@@ -151,7 +151,7 @@ func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, code, err)
 		_ = rc.Flush()
 	}
-	if s.rep != nil {
+	if s.isFollower() {
 		refuse(http.StatusForbidden, core.ErrReadOnly)
 		return
 	}
@@ -318,13 +318,14 @@ func (s *Server) SetFollowLagMax(max time.Duration) { s.maxLag = max }
 // staleness verdict.
 func lagExempt(pattern string) bool {
 	return strings.Contains(pattern, "/v1/stats") || strings.Contains(pattern, "/v1/replication/") ||
-		strings.Contains(pattern, "/v1/healthz") || strings.Contains(pattern, "/v1/readyz")
+		strings.Contains(pattern, "/v1/healthz") || strings.Contains(pattern, "/v1/readyz") ||
+		strings.Contains(pattern, "/v1/admin/")
 }
 
 // barred enforces the follow-lag barrier; it reports true after writing
 // the 503.
 func (s *Server) barred(w http.ResponseWriter) bool {
-	if s.rep == nil || s.maxLag <= 0 {
+	if !s.isFollower() || s.maxLag <= 0 {
 		return false
 	}
 	stale := s.rep.Staleness()
@@ -335,7 +336,7 @@ func (s *Server) barred(w http.ResponseWriter) bool {
 	if retry < 1 {
 		retry = 1
 	}
-	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	w.Header().Set("Retry-After", retryAfter(retry))
 	writeErr(w, http.StatusServiceUnavailable,
 		fmt.Errorf("replica stale for %s (max %s): retry on this node or fail over to the primary", stale.Round(time.Millisecond), s.maxLag))
 	return true

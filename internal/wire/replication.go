@@ -16,11 +16,24 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/storage"
 	"repro/internal/wire/frame"
 )
+
+// TermHeader carries the promotion term on the replication plane: as a
+// response header it stamps the term a status answer or WAL stream was
+// served under; as a request header it gossips the highest term the
+// caller has seen, which is how a resurrected stale primary learns it
+// has been fenced.
+const TermHeader = "X-Ltam-Term"
+
+// RoleHeader mirrors the role field of /v1/readyz and
+// /v1/replication/status ("primary", "replica" or "fenced") so
+// orchestration can pick a promotion target from headers alone.
+const RoleHeader = "X-Ltam-Role"
 
 // BootstrapResponse carries the primary's full state for a follower:
 // the marshaled core snapshot, the global sequence number to tail from,
@@ -31,13 +44,19 @@ type BootstrapResponse struct {
 	Seq        uint64          `json:"seq"`
 	AutoDerive bool            `json:"auto_derive"`
 	State      json.RawMessage `json:"state"`
+	// Term is the promotion epoch the state was captured under (also
+	// embedded in State; surfaced here for the failover machinery).
+	Term uint64 `json:"term,omitempty"`
 }
 
 // ReplicationStatus reports a node's position in the replication
 // stream. Role is "primary" (BaseSeq/TotalSeq populated) or "replica"
 // (AppliedSeq/PrimarySeq/Lag/Connected populated).
 type ReplicationStatus struct {
-	Role       string `json:"role"`
+	Role string `json:"role"`
+	// Term is the node's promotion epoch: the term a primary writes at
+	// (or was fenced out of), the highest term a replica has seen.
+	Term       uint64 `json:"term,omitempty"`
 	Durable    bool   `json:"durable,omitempty"`
 	BaseSeq    uint64 `json:"base_seq,omitempty"`
 	TotalSeq   uint64 `json:"total_seq,omitempty"`
@@ -64,11 +83,39 @@ func (c *Client) ReplicationStatus() (ReplicationStatus, error) {
 // (core.ReplicaSource). Build one with Client.ReplicationSource.
 type ReplicationSource struct {
 	c *Client
+	// high is the highest promotion term this source has observed. It
+	// rides every replication request as the TermHeader gossip: probing
+	// a resurrected stale primary with a higher term is what fences it.
+	// MultiSource shares one cell across its whole endpoint list.
+	high *atomic.Uint64
+	// streamTerm is the term of the most recently opened Tail stream —
+	// the fencing input (core.TermedSource).
+	streamTerm atomic.Uint64
 }
 
 // ReplicationSource returns the follower-side adapter for this client.
 func (c *Client) ReplicationSource() *ReplicationSource {
-	return &ReplicationSource{c: c}
+	return &ReplicationSource{c: c, high: new(atomic.Uint64)}
+}
+
+// SourceTerm reports the term of the last opened WAL stream (0 before
+// the first stream, or against a pre-term primary).
+func (s *ReplicationSource) SourceTerm() uint64 { return s.streamTerm.Load() }
+
+// noteTerm advances the gossip cell.
+func (s *ReplicationSource) noteTerm(term uint64) {
+	for {
+		cur := s.high.Load()
+		if term <= cur || s.high.CompareAndSwap(cur, term) {
+			return
+		}
+	}
+}
+
+// headerTerm parses a TermHeader value (0 when absent or malformed).
+func headerTerm(h http.Header) uint64 {
+	t, _ := strconv.ParseUint(h.Get(TermHeader), 10, 64)
+	return t
 }
 
 // Bootstrap fetches the primary's full state.
@@ -77,29 +124,44 @@ func (s *ReplicationSource) Bootstrap() (uint64, bool, json.RawMessage, error) {
 	if err := s.c.do("GET", "/v1/replication/snapshot", nil, &out); err != nil {
 		return 0, false, nil, err
 	}
+	s.noteTerm(out.Term)
 	return out.Seq, out.AutoDerive, out.State, nil
 }
 
-// PrimarySeq reports the primary's durable record count.
-func (s *ReplicationSource) PrimarySeq(ctx context.Context) (uint64, error) {
+// Status fetches the node's replication status with the term gossip
+// attached, recording any higher term it reports.
+func (s *ReplicationSource) Status(ctx context.Context) (ReplicationStatus, error) {
+	var st ReplicationStatus
 	req, err := http.NewRequestWithContext(ctx, "GET", s.c.BaseURL+"/v1/replication/status", nil)
 	if err != nil {
-		return 0, err
+		return st, err
+	}
+	if t := s.high.Load(); t > 0 {
+		req.Header.Set(TermHeader, strconv.FormatUint(t, 10))
 	}
 	resp, err := s.c.HTTP.Do(req)
 	if err != nil {
-		return 0, err
+		return st, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if err != nil {
-		return 0, err
+		return st, err
 	}
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("wire: replication status: HTTP %d", resp.StatusCode)
+		return st, fmt.Errorf("wire: replication status: HTTP %d", resp.StatusCode)
 	}
-	var st ReplicationStatus
 	if err := json.Unmarshal(data, &st); err != nil {
+		return st, err
+	}
+	s.noteTerm(st.Term)
+	return st, nil
+}
+
+// PrimarySeq reports the primary's durable record count.
+func (s *ReplicationSource) PrimarySeq(ctx context.Context) (uint64, error) {
+	st, err := s.Status(ctx)
+	if err != nil {
 		return 0, err
 	}
 	return st.TotalSeq, nil
@@ -118,6 +180,9 @@ func (s *ReplicationSource) Tail(ctx context.Context, from uint64, apply func(st
 	if err != nil {
 		return err
 	}
+	if t := s.high.Load(); t > 0 {
+		req.Header.Set(TermHeader, strconv.FormatUint(t, 10))
+	}
 	resp, err := s.c.HTTP.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -126,6 +191,15 @@ func (s *ReplicationSource) Tail(ctx context.Context, from uint64, apply func(st
 		return err
 	}
 	defer resp.Body.Close()
+	// One stream is shipped entirely under one term (the handler ends
+	// the stream if its term changes), so the header term covers every
+	// frame that follows.
+	if t := headerTerm(resp.Header); t > 0 {
+		s.streamTerm.Store(t)
+		s.noteTerm(t)
+	} else {
+		s.streamTerm.Store(0)
+	}
 	switch resp.StatusCode {
 	case http.StatusOK:
 	case http.StatusGone:

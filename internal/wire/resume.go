@@ -67,6 +67,13 @@ type ResumableObserver struct {
 	wf      WireFormat
 	ctx     context.Context
 	session string
+	// pick, when set (FailoverClient), re-resolves the endpoint before
+	// every redial: after a failover the repair lands on the promoted
+	// primary instead of hammering the dead one. The session token is
+	// kept — but a new primary has no memory of it, so its hello resumes
+	// at 0 and the whole un-acked suffix is re-sent: the un-acked window
+	// degrades to at-least-once across promotion (DESIGN.md D15).
+	pick func() *Client
 
 	// Patience bounds how long one repair (redial + hello + re-send)
 	// may keep retrying before the observer gives up and surfaces the
@@ -112,6 +119,11 @@ func (ro *ResumableObserver) Reconnects() uint64 { return ro.reconnects }
 // re-sends the buffered frames the hello's Resume does not cover. One
 // attempt — repair() wraps it in the backoff loop.
 func (ro *ResumableObserver) redial() error {
+	if ro.pick != nil {
+		if c := ro.pick(); c != nil {
+			ro.c = c
+		}
+	}
 	obs, err := ro.c.streamObserveSession(ro.ctx, ro.wf, ro.session)
 	if err != nil {
 		return err
@@ -366,6 +378,11 @@ type ResumableEventStream struct {
 	c    *Client
 	ctx  context.Context
 	opts StreamSubscribeOptions
+	// pick, when set (FailoverClient), re-resolves the endpoint before
+	// every redial attempt, so the feed resumes from the new primary
+	// after a failover — gapless, because the redial position is the
+	// client-tracked next sequence, not server state.
+	pick func() *Client
 
 	// Patience bounds how long one repair may keep retrying.
 	Patience time.Duration
@@ -419,6 +436,11 @@ func (rs *ResumableEventStream) redial() error {
 	deadline := time.Now().Add(rs.Patience)
 	backoff := resumeBackoffMin
 	for {
+		if rs.pick != nil {
+			if c := rs.pick(); c != nil {
+				rs.c = c
+			}
+		}
 		es, err := rs.c.Subscribe(rs.ctx, opts)
 		if err == nil {
 			rs.es = es

@@ -416,6 +416,23 @@ func (c *Client) Snapshot() error {
 	return c.do("POST", "/v1/snapshot", nil, nil)
 }
 
+// PromoteResponse reports a completed promotion: the new primary's term
+// and the global sequence its new WAL lineage starts at.
+type PromoteResponse struct {
+	Role string `json:"role"`
+	Term uint64 `json:"term"`
+	Seq  uint64 `json:"seq"`
+}
+
+// Promote converts a follower into a primary in place (POST
+// /v1/admin/promote). Idempotent: promoting a promoted node returns its
+// established term.
+func (c *Client) Promote() (PromoteResponse, error) {
+	var out PromoteResponse
+	err := c.do("POST", "/v1/admin/promote", nil, &out)
+	return out, err
+}
+
 // Stats fetches server-side query-engine statistics.
 func (c *Client) Stats() (StatsResponse, error) {
 	var out StatsResponse
