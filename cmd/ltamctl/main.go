@@ -29,10 +29,16 @@
 //	snapshot                           persist and compact
 //	watch [-from N] [-count N] [-subject S] [-location L]
 //	      [-kinds k1,k2] [-alerts-since N] [-wire ndjson|binary]
+//	      [-cursor TOKEN]
 //	                                   follow the committed-event feed
 //	                                   (live monitoring; -from 0 replays
 //	                                   the retained history first; -wire
-//	                                   binary selects the framed feed)
+//	                                   binary selects the framed feed;
+//	                                   -cursor keeps a durable server-side
+//	                                   cursor: each printed record is
+//	                                   acked, and a restarted watch with
+//	                                   the same token resumes exactly
+//	                                   after the last acked record)
 //	status <url> [url...]              fleet replication table: role,
 //	                                   term, sequence, lag, staleness
 //	promote [-force] [-follow-lag-max d] <url> [peer-url...]
@@ -56,8 +62,10 @@ import (
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"text/tabwriter"
 	"time"
 
@@ -483,6 +491,7 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 	wireFmt := fs.String("wire", "ndjson", "feed framing: ndjson or binary")
 	resume := fs.Bool("resume", false, "auto-reconnect from the last delivered sequence on any feed failure")
 	patience := fs.Duration("patience", wire.DefaultResumePatience, "with -resume: how long one repair keeps retrying")
+	cursor := fs.String("cursor", "", "durable server-side cursor token: ack each printed record and resume after the last ack on restart (no -from needed)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -494,6 +503,7 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 		From:     *from,
 		Subject:  profile.SubjectID(*subject),
 		Location: graph.ID(*location),
+		Cursor:   *cursor,
 		Wire:     wf,
 	}
 	if *kinds != "" {
@@ -505,6 +515,12 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 		since := uint64(*alertsSince)
 		opts.AlertsSince = &since
 	}
+	// A signal (^C, SIGTERM) cancels the feed context: the watch exits
+	// cleanly mid-stream, with every printed record already acked when a
+	// -cursor is set — which is exactly what makes kill-and-restart
+	// resume exactly-once.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
 	var next func() (stream.Event, error)
 	var closeFeed func() error
 	if *resume {
@@ -515,9 +531,9 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 			if ferr != nil {
 				return ferr
 			}
-			rs, err = fc.SubscribeResume(context.Background(), opts)
+			rs, err = fc.SubscribeResume(ctx, opts)
 		} else {
-			rs, err = c.SubscribeResume(context.Background(), opts)
+			rs, err = c.SubscribeResume(ctx, opts)
 		}
 		if err != nil {
 			return err
@@ -525,7 +541,7 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 		rs.Patience = *patience
 		next, closeFeed = rs.Next, rs.Close
 	} else {
-		es, err := c.Subscribe(context.Background(), opts)
+		es, err := c.Subscribe(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -535,7 +551,7 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 	var records uint64
 	for {
 		ev, err := next()
-		if errors.Is(err, io.EOF) {
+		if errors.Is(err, io.EOF) || ctx.Err() != nil {
 			return nil
 		}
 		if err != nil {
@@ -543,11 +559,23 @@ func watch(c *wire.Client, endpoints []string, args []string) error {
 		}
 		fmt.Println(formatEvent(ev))
 		switch {
+		case ev.Kind == stream.KindError && ev.Seq == 0 && ev.AlertSeq > 0:
+			// Alert-gap notice: the bounded audit log dropped alerts behind
+			// the replay cursor; the feed continues at the oldest retained
+			// alert. Informational — keep watching.
 		case ev.Kind == stream.KindError:
 			// Only the plain feed surfaces these; -resume consumes them
 			// internally and resubscribes.
 			return fmt.Errorf("feed ended: %s", ev.Error)
 		case ev.Record != nil:
+			// The ack is synchronous: the cursor never runs ahead of what
+			// was actually printed, so a kill at ANY instant loses at most
+			// the line being printed — redelivered on restart.
+			if *cursor != "" {
+				if _, err := c.AckCursor(*cursor, ev.Seq); err != nil {
+					return fmt.Errorf("ack cursor: %w", err)
+				}
+			}
 			records++
 			if *count > 0 && records >= *count {
 				return nil

@@ -37,6 +37,18 @@
 // /v1/stream/observe (long-lived NDJSON ingest with durable acks — see
 // ltamsim -stream) and GET /v1/stream/events (the committed-event feed
 // — see ltamctl watch).
+//
+// A follower started with -relay CASCADES: it persists every applied
+// record into <dir>/relay.log and re-serves GET /v1/replication/wal,
+// GET /v1/replication/snapshot and GET /v1/stream/events from it — so a
+// second-tier follower or a fleet of event subscribers can point at
+// this node and add zero load on the primary. Promotion terms propagate
+// through the extra hop, so fencing works across the whole tree.
+// Subscribers on any feed-serving node can keep a DURABLE CURSOR
+// (cursor=<token> + POST /v1/stream/ack, persisted in cursors.json next
+// to the node's log): a restarted subscriber resumes exactly where its
+// last ack left off without remembering sequence numbers itself (see
+// ltamctl watch -cursor).
 package main
 
 import (
@@ -111,14 +123,18 @@ func main() {
 	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
 	boundsPath := flag.String("bounds", "", "room boundary JSON (enables /v1/observe/batch)")
 	syncEvery := flag.Int("sync", 1, "fsync every N mutations")
-	replicaOf := flag.String("replica-of", "", "primary base URL(s), comma-separated (e.g. http://a:8525,http://b:8525): boot as a read-only replica that follows the highest-term live primary")
+	replicaOf := flag.String("replica-of", "", "primary base URL(s), comma-separated (e.g. http://a:8525,http://b:8525): boot as a read-only replica that follows the highest-term live primary (the upstream may itself be a -relay follower)")
 	followLagMax := flag.Duration("follow-lag-max", 0, "replica read barrier: 503 queries when replication staleness exceeds this (0 = serve regardless)")
 	captureTimeout := flag.Duration("capture-timeout", 0, "bound on bootstrap-state capture and status refresh (0 = 500ms default)")
+	relayDir := flag.String("relay", "", "replica only: cascade directory — persist applied records into <dir>/relay.log and re-serve /v1/replication/wal, /v1/replication/snapshot and /v1/stream/events to a downstream tier")
 	flag.Parse()
 
 	if *replicaOf != "" {
-		runReplica(*addr, *replicaOf, *data, *followLagMax, *captureTimeout)
+		runReplica(*addr, *replicaOf, *data, *relayDir, *followLagMax, *captureTimeout)
 		return
+	}
+	if *relayDir != "" {
+		log.Fatal("-relay requires -replica-of: a primary already serves the replication surface from its WAL")
 	}
 
 	var bounds []geometry.Boundary
@@ -174,8 +190,10 @@ func main() {
 
 // runReplica boots a read-only follower: bootstrap from the primary
 // fleet, start the tail loop, and serve the query surface. With a data
-// directory the promotion endpoint is armed.
-func runReplica(addr, primaries, dataDir string, followLagMax, captureTimeout time.Duration) {
+// directory the promotion endpoint is armed; with a relay directory the
+// follower cascades — it re-serves the replication stream and the
+// committed-event feed to a downstream tier from its relay log.
+func runReplica(addr, primaries, dataDir, relayDir string, followLagMax, captureTimeout time.Duration) {
 	urls := wire.SplitEndpoints(primaries)
 	src, err := wire.NewMultiSource(urls)
 	if err != nil {
@@ -186,6 +204,12 @@ func runReplica(addr, primaries, dataDir string, followLagMax, captureTimeout ti
 		log.Fatalf("bootstrap from %s: %v", primaries, err)
 	}
 	defer rep.Close()
+	if relayDir != "" {
+		if err := rep.EnableRelay(relayDir, 0); err != nil {
+			log.Fatalf("relay: %v", err)
+		}
+		fmt.Printf("ltamd: cascade armed: relaying applied records into %s/relay.log for a downstream tier\n", relayDir)
+	}
 	go func() {
 		// Run self-heals across primary compactions (in-place
 		// re-bootstrap) and failovers (the source re-resolves the

@@ -201,6 +201,20 @@ func (l *Log) LastSeq() uint64 {
 	return l.nextSeq - 1
 }
 
+// OldestRetained returns the sequence number of the oldest alert still
+// in the bounded log — the alert-space retention horizon. When the log
+// is empty it returns nextSeq (the sequence the NEXT alert will get):
+// either way, every alert with Seq < OldestRetained is gone, and a
+// replay cursor behind OldestRetained-1 has provably lost alerts.
+func (l *Log) OldestRetained() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.alerts) > 0 {
+		return l.alerts[0].Seq
+	}
+	return l.nextSeq
+}
+
 // Len returns the number of retained alerts.
 func (l *Log) Len() int {
 	l.mu.RLock()

@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,6 +122,22 @@ type Replica struct {
 	runMu     sync.Mutex
 	runCancel context.CancelFunc
 	runDone   chan struct{}
+
+	// applyMu makes {apply, relay append, appliedSeq advance} one atomic
+	// step against CaptureBootstrap: a downstream bootstrap captured
+	// between the apply and the sequence advance would double-apply that
+	// record on the downstream node. Held by ApplyRecord, Rebootstrap and
+	// CaptureBootstrap.
+	applyMu sync.Mutex
+	// relay, when enabled, persists every applied record's frame so this
+	// follower can re-serve the replication stream and the committed-
+	// event feed to a downstream tier (cascading fan-out). relayDir is
+	// where relay.log (and the cursor sidecar) live.
+	relay    *storage.RelayLog
+	relayDir string
+	// notify is the apply wakeup: one token per appliedSeq advance,
+	// collapsed (capacity 1) exactly like System.CommitNotify.
+	notify chan struct{}
 }
 
 // NewReplica bootstraps a follower from src: it fetches the primary's
@@ -134,7 +152,7 @@ func NewReplica(src ReplicaSource) (*Replica, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Replica{sys: sys, src: src}
+	r := &Replica{sys: sys, src: src, notify: make(chan struct{}, 1)}
 	r.appliedSeq.Store(seq)
 	r.primarySeq.Store(seq)
 	r.bootstraps.Store(1)
@@ -218,14 +236,108 @@ func (r *Replica) AppliedSeq() uint64 { return r.appliedSeq.Load() }
 // application error means the follower has diverged from the primary's
 // deterministic replay; it is latched and terminal.
 func (r *Replica) ApplyRecord(rec storage.Record) error {
+	r.applyMu.Lock()
 	if err := r.sys.apply(rec); err != nil {
+		r.applyMu.Unlock()
 		err = fmt.Errorf("core: replica apply (seq %d, %s): %w", r.appliedSeq.Load(), rec.Type, err)
 		r.applyErr.Store(&err)
 		return err
 	}
+	if r.relay != nil {
+		// Re-persist the applied record for the downstream tier. A relay
+		// write failure latches inside the RelayLog (this node stops
+		// serving downstream) but never fails replication itself: the
+		// relay is a cache, the upstream log is the record of truth.
+		if body, err := json.Marshal(rec); err == nil {
+			_ = r.relay.Append(body)
+		}
+	}
 	seq := r.appliedSeq.Add(1)
+	r.applyMu.Unlock()
+	r.notifyApply()
 	r.noteObservation(seq)
 	return nil
+}
+
+// notifyApply drops an apply wakeup token; never blocks.
+func (r *Replica) notifyApply() {
+	select {
+	case r.notify <- struct{}{}:
+	default:
+	}
+}
+
+// ApplyNotify returns the apply wakeup channel: a receive means the
+// applied frontier may have advanced since the last receive. Sends are
+// collapsed (capacity 1) — consumers re-check AppliedSeq, they do not
+// count tokens. The follower-side twin of System.CommitNotify.
+func (r *Replica) ApplyNotify() <-chan struct{} { return r.notify }
+
+// EnableRelay arms cascading: every record applied from here on is
+// re-persisted as a frame in dir/relay.log, positioned at the current
+// applied sequence, so this follower can serve the replication stream
+// and the committed-event feed to a downstream tier. Call before Run
+// starts tailing. maxBytes bounds the file before it self-compacts
+// (<= 0 selects storage.DefaultRelayMaxBytes).
+func (r *Replica) EnableRelay(dir string, maxBytes int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("core: relay dir: %w", err)
+	}
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	if r.relay != nil {
+		return errors.New("core: relay already enabled")
+	}
+	rl, err := storage.OpenRelay(filepath.Join(dir, "relay.log"), r.appliedSeq.Load(), maxBytes)
+	if err != nil {
+		return err
+	}
+	r.relay, r.relayDir = rl, dir
+	return nil
+}
+
+// Relay returns the relay log (nil when cascading is not enabled).
+func (r *Replica) Relay() *storage.RelayLog { return r.relay }
+
+// RelayDir returns the relay directory ("" when cascading is not
+// enabled) — where per-node sidecar state (subscriber cursors) lives.
+func (r *Replica) RelayDir() string { return r.relayDir }
+
+// RelayInfo reports the relay's serving coordinates. ok is false when
+// cascading is not enabled or the relay has latched a write failure —
+// either way this node cannot serve a downstream tier right now.
+func (r *Replica) RelayInfo() (base, total uint64, ok bool) {
+	if r.relay == nil || r.relay.Err() != nil {
+		return 0, 0, false
+	}
+	base, total = r.relay.Info()
+	return base, total, true
+}
+
+// CaptureBootstrap captures the state a DOWNSTREAM follower bootstraps
+// from: this node's full state, stamped with its applied sequence. The
+// applyMu makes the cut consistent with the relay — the captured seq is
+// exactly the relay's frontier, so a downstream node that restores this
+// state and tails the relay from seq applies every record exactly once.
+// The follower-side twin of System.CaptureBootstrap (which requires a
+// WAL and therefore refuses to run on a replica).
+func (r *Replica) CaptureBootstrap() (seq uint64, autoDerive bool, state json.RawMessage, err error) {
+	r.applyMu.Lock()
+	defer r.applyMu.Unlock()
+	s := r.sys
+	s.mu.Lock()
+	snap, serr := s.snapshotStateLocked()
+	s.mu.Unlock()
+	if serr != nil {
+		return 0, false, nil, serr
+	}
+	seq = r.appliedSeq.Load()
+	snap.Seq = seq
+	data, merr := json.Marshal(snap)
+	if merr != nil {
+		return 0, false, nil, merr
+	}
+	return seq, s.autoDerive, data, nil
 }
 
 // ApplyTermRecord is ApplyRecord with the fencing check: a record
@@ -505,7 +617,9 @@ func (r *Replica) Rebootstrap() error {
 	if high := r.termHigh.Load(); probe.Term > 0 && probe.Term < high {
 		return fmt.Errorf("%w: bootstrap term %d < highest seen %d", ErrStaleTerm, probe.Term, high)
 	}
+	r.applyMu.Lock()
 	if err := r.sys.rebootstrap(state); err != nil {
+		r.applyMu.Unlock()
 		return err
 	}
 	if probe.Term > 0 {
@@ -513,6 +627,15 @@ func (r *Replica) Rebootstrap() error {
 		storeMax(&r.sys.term, probe.Term)
 	}
 	r.appliedSeq.Store(seq)
+	if r.relay != nil {
+		// The relay's history no longer joins up with the new position:
+		// restart it empty at the bootstrap point. Downstream followers
+		// see the truncation (ErrWALReset/410) and re-bootstrap from this
+		// node — the cascade self-heals tier by tier.
+		_ = r.relay.Reset(seq)
+	}
+	r.applyMu.Unlock()
+	r.notifyApply()
 	storeMax(&r.primarySeq, seq)
 	r.bootstraps.Add(1)
 	r.markFresh()
@@ -611,28 +734,47 @@ func (l *LocalSource) Tail(ctx context.Context, from uint64, apply func(storage.
 	if !info.Durable {
 		return errors.New("core: primary is not durable")
 	}
-	if from < info.BaseSeq || from > info.TotalSeq {
+	return tailFrames(ctx, from, apply, l.Primary.WALPath(), l.Poll, func() (uint64, uint64, error) {
+		cur := l.Primary.ReplicationInfo()
+		return cur.BaseSeq, cur.TotalSeq, nil
+	})
+}
+
+// tailFrames is the shared same-process tail loop: follow a frame log
+// (the primary's WAL, or a cascading follower's relay) from global
+// sequence `from`, applying each record in order. info reports the
+// log's current (base, total); an info error is terminal, a moved base
+// ends the stream cleanly (the caller reconnects and re-resolves).
+func tailFrames(ctx context.Context, from uint64, apply func(storage.Record) error,
+	path string, poll time.Duration, info func() (base, total uint64, err error)) error {
+	base0, total0, err := info()
+	if err != nil {
+		return err
+	}
+	if from < base0 || from > total0 {
 		return storage.ErrSeqGap
 	}
-	t, err := storage.OpenTailer(l.Primary.WALPath())
+	t, err := storage.OpenTailer(path)
 	if err != nil {
 		return err
 	}
 	defer t.Close()
-	poll := l.Poll
 	if poll <= 0 {
 		poll = 2 * time.Millisecond
 	}
-	skip := from - info.BaseSeq
+	skip := from - base0
 	for {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		cur := l.Primary.ReplicationInfo()
-		if cur.BaseSeq != info.BaseSeq {
+		curBase, curTotal, err := info()
+		if err != nil {
+			return err
+		}
+		if curBase != base0 {
 			return nil // compacted underneath us: reconnect and re-resolve
 		}
-		limit := cur.TotalSeq - info.BaseSeq
+		limit := curTotal - base0
 		for skip > 0 && t.Seq() < limit {
 			want := skip
 			if rest := limit - t.Seq(); rest < want {
@@ -663,7 +805,10 @@ func (l *LocalSource) Tail(ctx context.Context, from uint64, apply func(storage.
 				batch = append(batch, rec)
 			}
 		}
-		if cur2 := l.Primary.ReplicationInfo(); cur2.BaseSeq != info.BaseSeq {
+		if cur2Base, _, err := info(); err != nil || cur2Base != base0 {
+			if err != nil {
+				return err
+			}
 			return nil // reads raced a compaction: discard unapplied
 		}
 		for _, rec := range batch {
@@ -680,4 +825,49 @@ func (l *LocalSource) Tail(ctx context.Context, from uint64, apply func(storage.
 		case <-time.After(poll):
 		}
 	}
+}
+
+// RelaySource feeds a follower from a CASCADING follower in the same
+// process: bootstrap from the upstream replica's captured state, then
+// tail its relay log — the second tier of a distribution tree, without
+// HTTP (tests, tools). The upstream must have EnableRelay armed.
+type RelaySource struct {
+	Upstream *Replica
+	Poll     time.Duration
+}
+
+// Bootstrap captures the upstream follower's state at its applied
+// sequence (consistent with its relay frontier).
+func (rs *RelaySource) Bootstrap() (uint64, bool, json.RawMessage, error) {
+	return rs.Upstream.CaptureBootstrap()
+}
+
+// SourceTerm reports the upstream follower's highest seen term — the
+// term its relay frames were applied under. Fencing survives the extra
+// cascade hop because every tier re-stamps the highest term it has
+// proof of.
+func (rs *RelaySource) SourceTerm() uint64 { return rs.Upstream.Term() }
+
+// PrimarySeq reports the upstream follower's applied frontier — the
+// leaf's lag is measured against its immediate upstream, not the root.
+func (rs *RelaySource) PrimarySeq(context.Context) (uint64, error) {
+	return rs.Upstream.AppliedSeq(), nil
+}
+
+// Tail follows the upstream's relay log. A broken or disabled relay is
+// a terminal error; a relay self-compaction surfaces as ErrSeqGap on
+// the reconnect, which Run self-heals with a fresh bootstrap from the
+// upstream — the same protocol as a primary compaction, one tier down.
+func (rs *RelaySource) Tail(ctx context.Context, from uint64, apply func(storage.Record) error) error {
+	rl := rs.Upstream.Relay()
+	if rl == nil {
+		return errors.New("core: upstream follower has no relay (EnableRelay not called)")
+	}
+	return tailFrames(ctx, from, apply, rl.Path(), rs.Poll, func() (uint64, uint64, error) {
+		if err := rl.Err(); err != nil {
+			return 0, 0, err
+		}
+		base, total := rl.Info()
+		return base, total, nil
+	})
 }

@@ -176,6 +176,125 @@ func (h *Harness) CatchUp() {
 	}
 }
 
+// --- Cascading (second tier) --------------------------------------------
+
+// Cascade extends the harness with a SECOND follower tier: the harness
+// follower arms its relay log, and a leaf follower bootstraps from the
+// follower (never the primary) and pumps the relay's frames through the
+// same synchronous, stop-the-world-at-seq-k discipline the first tier
+// uses. The leaf's only upstream is the mid-tier follower — byte
+// equivalence at every shared sequence proves the extra hop loses
+// nothing.
+type Cascade struct {
+	tb testing.TB
+	// Up is the relay-armed mid-tier follower (the harness Replica);
+	// Leaf the second-tier follower fed from Up's relay.
+	Up   *core.Replica
+	Leaf *core.Replica
+
+	tailer   *storage.Tailer
+	tailBase uint64
+}
+
+// EnableCascade arms the harness follower's relay (records applied from
+// here on are re-persisted) and bootstraps a leaf follower from the
+// follower's own captured state. Call before pumping the records the
+// leaf is expected to see.
+func (h *Harness) EnableCascade() *Cascade {
+	h.tb.Helper()
+	if err := h.Replica.EnableRelay(h.tb.TempDir(), 0); err != nil {
+		h.tb.Fatal(err)
+	}
+	leaf, err := core.NewReplica(&core.RelaySource{Upstream: h.Replica})
+	if err != nil {
+		h.tb.Fatal(err)
+	}
+	h.tb.Cleanup(func() { leaf.Close() })
+	c := &Cascade{tb: h.tb, Up: h.Replica, Leaf: leaf}
+	c.RestartTailer()
+	return c
+}
+
+// RestartTailer fences a leaf crash: a brand-new tailer on the relay
+// file, positioned from nothing but the leaf's AppliedSeq.
+func (c *Cascade) RestartTailer() {
+	c.tb.Helper()
+	if c.tailer != nil {
+		c.tailer.Close()
+		c.tailer = nil
+	}
+	rl := c.Up.Relay()
+	base, _ := rl.Info()
+	if c.Leaf.AppliedSeq() < base {
+		c.tb.Fatalf("leaf at seq %d fell behind relay base %d", c.Leaf.AppliedSeq(), base)
+	}
+	t, err := storage.OpenTailer(rl.Path())
+	if err != nil {
+		c.tb.Fatal(err)
+	}
+	c.tailer = t
+	c.tailBase = base
+	need := c.Leaf.AppliedSeq() - base
+	n, err := t.Skip(need)
+	if err != nil || n != need {
+		c.tb.Fatalf("skip to leaf resume seq: skipped %d of %d: %v", n, need, err)
+	}
+	c.tb.Cleanup(func() {
+		if c.tailer != nil {
+			c.tailer.Close()
+		}
+	})
+}
+
+// Pump applies up to n relayed records to the leaf, returning how many
+// it applied (fewer when the relay is drained).
+func (c *Cascade) Pump(n uint64) uint64 {
+	c.tb.Helper()
+	var applied uint64
+	for applied < n {
+		rec, err := c.tailer.Next()
+		if errors.Is(err, storage.ErrNoRecord) {
+			return applied
+		}
+		if err != nil {
+			c.tb.Fatalf("leaf pump: %v", err)
+		}
+		if err := c.Leaf.ApplyRecord(rec); err != nil {
+			c.tb.Fatalf("leaf pump: %v", err)
+		}
+		applied++
+	}
+	return applied
+}
+
+// CatchUp pumps until the leaf has applied everything the mid-tier
+// follower has, failing the test if the relay runs dry first.
+func (c *Cascade) CatchUp() {
+	c.tb.Helper()
+	target := c.Up.AppliedSeq()
+	for c.Leaf.AppliedSeq() < target {
+		if c.Pump(target-c.Leaf.AppliedSeq()) == 0 {
+			c.tb.Fatalf("leaf catch-up stalled at seq %d of %d", c.Leaf.AppliedSeq(), target)
+		}
+	}
+	if got := c.Leaf.AppliedSeq(); got != target {
+		c.tb.Fatalf("leaf applied %d records, follower at %d", got, target)
+	}
+}
+
+// AssertEquivalent byte-compares the LEAF's served answers against a
+// fresh recomputation on the primary at the current shared sequence —
+// two hops of shipping versus zero.
+func (c *Cascade) AssertEquivalent(primary *core.System, subs []profile.SubjectID, rooms []graph.ID, t interval.Time) {
+	c.tb.Helper()
+	want := FreshAnswers(primary, subs, rooms, t)
+	got := CachedAnswers(c.Leaf.System(), subs, rooms, t)
+	if !bytes.Equal(got, want) {
+		c.tb.Fatalf("leaf diverged at seq %d:\nleaf:    %s\nprimary: %s",
+			c.Leaf.AppliedSeq(), got, want)
+	}
+}
+
 // --- The query battery --------------------------------------------------
 
 // answers is the full serialized answer set the two sides must agree on.

@@ -47,6 +47,11 @@ func (s *Server) adminPromote(w http.ResponseWriter, _ *http.Request) {
 		writeErr(w, statusFor(err), err)
 		return
 	}
+	// A cascading follower's event bus was feeding off the relay log,
+	// which stops advancing the moment the node is a primary: close it so
+	// the next subscriber rebuilds the bus over the new primary WAL.
+	// Subscribers see the close as a stream end and redial.
+	s.Close()
 	info := s.sys.ReplicationInfo()
 	writeJSON(w, http.StatusOK, wire.PromoteResponse{Role: "primary", Term: term, Seq: info.TotalSeq})
 }

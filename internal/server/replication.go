@@ -1,4 +1,4 @@
-// Replication endpoints: the primary side of the log-shipping protocol.
+// Replication endpoints: the serving side of the log-shipping protocol.
 //
 //	GET /v1/replication/snapshot      bootstrap state + sequence
 //	GET /v1/replication/wal?from=N    long-lived frame stream
@@ -11,6 +11,14 @@
 // compacted underneath it, and the follower reconnects and re-resolves
 // its position — a follower that fell behind the compaction gets HTTP
 // 410 and must re-bootstrap.
+//
+// A PRIMARY serves these from its WAL. A FOLLOWER with cascading armed
+// (core.Replica.EnableRelay) serves the same three endpoints from its
+// relay log — the distribution-tree hop: a downstream follower points
+// -replica-of at this node and never touches the primary. Frames are
+// identical bytes either way (the relay re-frames the records it
+// applied), and the term stamped on the stream is the highest term this
+// node has proof of, so fencing survives every extra hop.
 package server
 
 import (
@@ -72,11 +80,23 @@ func (s *Server) captureBound() time.Duration {
 
 func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
 	s.gossipTerm(r)
-	// CaptureBootstrap takes the primary's write lock; a capture stuck
-	// behind a long mutation burst must not hang the follower's
-	// bootstrap forever. On timeout the follower gets 503 + Retry-After
-	// and tries again (the capture goroutine finishes harmlessly in the
-	// background — its result is simply dropped).
+	// Capture takes the node's write lock; a capture stuck behind a long
+	// mutation burst must not hang the downstream bootstrap forever. On
+	// timeout the caller gets 503 + Retry-After and tries again (the
+	// capture goroutine finishes harmlessly in the background — its
+	// result is simply dropped). On a cascading follower the capture is
+	// Replica.CaptureBootstrap — the applied state cut consistently with
+	// the relay frontier; anywhere else it is the primary's.
+	capture := s.sys.CaptureBootstrap
+	term := s.sys.Term
+	if s.isFollower() {
+		if _, _, ok := s.rep.RelayInfo(); !ok {
+			writeErr(w, http.StatusBadRequest, errRelayUnarmed)
+			return
+		}
+		capture = s.rep.CaptureBootstrap
+		term = s.rep.Term
+	}
 	type captured struct {
 		seq        uint64
 		autoDerive bool
@@ -85,7 +105,7 @@ func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	ch := make(chan captured, 1)
 	go func() {
-		seq, autoDerive, state, err := s.sys.CaptureBootstrap()
+		seq, autoDerive, state, err := capture()
 		ch <- captured{seq, autoDerive, state, err}
 	}()
 	bound := s.captureBound()
@@ -97,14 +117,19 @@ func (s *Server) replicationSnapshot(w http.ResponseWriter, r *http.Request) {
 		}
 		s.roleHeaders(w)
 		writeJSON(w, http.StatusOK, wire.BootstrapResponse{
-			Seq: c.seq, AutoDerive: c.autoDerive, State: c.state, Term: s.sys.Term(),
+			Seq: c.seq, AutoDerive: c.autoDerive, State: c.state, Term: term(),
 		})
 	case <-time.After(bound):
 		writeErr(w, http.StatusServiceUnavailable,
-			fmt.Errorf("bootstrap capture exceeded %s (primary busy): retry", bound))
+			fmt.Errorf("bootstrap capture exceeded %s (node busy): retry", bound))
 	case <-r.Context().Done():
 	}
 }
+
+// errRelayUnarmed is the refusal a follower without cascading gives the
+// replication surface: it has no local log to serve a downstream tier
+// from.
+var errRelayUnarmed = errors.New("this follower does not cascade (start it with -relay to serve a downstream tier)")
 
 func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
 	s.gossipTerm(r)
@@ -130,7 +155,7 @@ func (s *Server) replicationStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationStatus {
 	if s.isFollower() {
 		st := s.rep.Status(ctx)
-		return &wire.ReplicationStatus{
+		out := &wire.ReplicationStatus{
 			Role:        "replica",
 			Term:        s.rep.Term(),
 			AppliedSeq:  st.AppliedSeq,
@@ -139,7 +164,17 @@ func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationSta
 			Connected:   st.Connected,
 			Bootstraps:  st.Bootstraps,
 			StalenessNS: st.Staleness,
+			WalConns:    s.walConns.Load(),
+			WalBytes:    s.walBytes.Load(),
 		}
+		if base, total, ok := s.rep.RelayInfo(); ok {
+			// A cascading follower publishes its relay coordinates in the
+			// primary's BaseSeq/TotalSeq slots: they mean the same thing to
+			// a downstream consumer — the servable window.
+			out.Relay = true
+			out.BaseSeq, out.TotalSeq = base, total
+		}
+		return out
 	}
 	info := s.sys.ReplicationInfo()
 	if !info.Durable {
@@ -155,50 +190,117 @@ func (s *Server) replicationWireStatus(ctx context.Context) *wire.ReplicationSta
 		Durable:  true,
 		BaseSeq:  info.BaseSeq,
 		TotalSeq: info.TotalSeq,
+		WalConns: s.walConns.Load(),
+		WalBytes: s.walBytes.Load(),
 	}
+}
+
+// servedLog abstracts the frame log a node re-serves over
+// /v1/replication/wal: the primary's WAL, or a cascading follower's
+// relay. info reports the servable (base, total) window — an info error
+// means the log can no longer be served (a latched relay write failure);
+// term is the promotion term the stream is stamped with; ended reports
+// the conditions that must terminate an open stream cleanly (term moved,
+// node fenced or promoted) so the stamped header can never go stale.
+type servedLog struct {
+	path  string
+	info  func() (base, total uint64, err error)
+	term  func() uint64
+	ended func(startTerm uint64) bool
+}
+
+// servedWAL resolves which log this node serves downstream, or an error
+// when it serves none (non-durable primary; non-cascading follower).
+func (s *Server) servedWAL() (servedLog, error) {
+	if s.isFollower() {
+		rl := s.rep.Relay()
+		if rl == nil {
+			return servedLog{}, errRelayUnarmed
+		}
+		return servedLog{
+			path: rl.Path(),
+			info: func() (uint64, uint64, error) {
+				if err := rl.Err(); err != nil {
+					return 0, 0, err
+				}
+				base, total := rl.Info()
+				return base, total, nil
+			},
+			term: s.rep.Term,
+			ended: func(startTerm uint64) bool {
+				return s.rep.Term() != startTerm || s.rep.Promoted()
+			},
+		}, nil
+	}
+	if !s.sys.ReplicationInfo().Durable {
+		return servedLog{}, errors.New("replication requires durability (start with -data)")
+	}
+	return servedLog{
+		path: s.sys.WALPath(),
+		info: func() (uint64, uint64, error) {
+			cur := s.sys.ReplicationInfo()
+			return cur.BaseSeq, cur.TotalSeq, nil
+		},
+		term: s.sys.Term,
+		ended: func(startTerm uint64) bool {
+			return s.sys.Term() != startTerm || s.sys.Fenced()
+		},
+	}, nil
 }
 
 func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 	s.gossipTerm(r)
-	info := s.sys.ReplicationInfo()
-	if !info.Durable {
-		writeErr(w, http.StatusBadRequest, errors.New("replication requires durability (start with -data)"))
+	lg, err := s.servedWAL()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	baseSeq, totalSeq, err := lg.info()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	from := uint64(0)
 	if v := r.URL.Query().Get("from"); v != "" {
-		var err error
 		if from, err = strconv.ParseUint(v, 10, 64); err != nil {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad from"))
 			return
 		}
 	}
-	if from < info.BaseSeq {
-		// The requested position is inside the latest snapshot: the
-		// follower fell behind a compaction and must re-bootstrap.
-		writeErr(w, http.StatusGone, fmt.Errorf("seq %d compacted into snapshot (base %d): bootstrap again", from, info.BaseSeq))
+	if from < baseSeq {
+		// The requested position is inside the latest snapshot (or behind
+		// a relay compaction): the consumer fell behind and must
+		// re-bootstrap from this node.
+		writeErr(w, http.StatusGone, fmt.Errorf("seq %d compacted into snapshot (base %d): bootstrap again", from, baseSeq))
 		return
 	}
-	if from > info.TotalSeq {
-		// The follower claims records the primary does not (durably)
-		// have — a diverged follower (e.g. it applied records a primary
-		// crash retracted). Resuming would splice histories; rebuild.
-		writeErr(w, http.StatusGone, fmt.Errorf("seq %d is ahead of the primary's durable history (%d): bootstrap again", from, info.TotalSeq))
+	if from > totalSeq {
+		// The consumer claims records this node does not (durably) have —
+		// a diverged follower (e.g. it applied records a primary crash
+		// retracted). Resuming would splice histories; rebuild.
+		writeErr(w, http.StatusGone, fmt.Errorf("seq %d is ahead of this node's durable history (%d): bootstrap again", from, totalSeq))
 		return
 	}
 
-	t, err := storage.OpenTailer(s.sys.WALPath())
+	t, err := storage.OpenTailer(lg.path)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	defer t.Close()
 
+	// Count the stream for the fan-out measurement: a cascading tier is
+	// working exactly when the leaf tier's consumers show up in the
+	// FOLLOWER's counters and the primary's stay flat.
+	s.walConns.Add(1)
+	defer s.walConns.Add(-1)
+
 	// The whole stream is served under ONE promotion term, stamped on
 	// the response header before the first frame: the follower fences on
 	// it per-record, and the handler ends the stream the moment the term
-	// moves (or this node is fenced) so the header can never go stale.
-	startTerm := s.sys.Term()
+	// moves (or this node is fenced/promoted) so the header can never go
+	// stale.
+	startTerm := lg.term()
 	flusher, _ := w.(http.Flusher)
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Replication-From", strconv.FormatUint(from, 10))
@@ -213,35 +315,38 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 		poll = defaultWALPoll
 	}
 	ctx := r.Context()
-	skip := from - info.BaseSeq
+	skip := from - baseSeq
 	var batch []byte // reused wire-form batch buffer (see Tailer.AppendNext)
 	// Each round: read a batch of frames from the file, then VALIDATE
 	// that the base did not move before shipping a single byte of it.
-	// WAL.Truncate reuses the inode and frames carry no sequence number,
-	// so a compaction racing the reads could otherwise hand us
-	// new-epoch bytes under old-epoch coordinates. Snapshot truncates
-	// and publishes the new base inside one write critical section, and
-	// ReplicationInfo reads under the read lock — so an unchanged
-	// BaseSeq observed AFTER the reads proves no truncation preceded
-	// them (see ReplicationInfo's doc comment).
+	// Truncation (WAL snapshot or relay compaction) reuses the inode and
+	// frames carry no sequence number, so a compaction racing the reads
+	// could otherwise hand us new-epoch bytes under old-epoch
+	// coordinates. Both logs publish base/total under the same lock their
+	// truncation holds — so an unchanged base observed AFTER the reads
+	// proves no truncation preceded them (see ReplicationInfo's and
+	// RelayLog.Info's doc comments).
 	for {
-		if s.sys.Term() != startTerm || s.sys.Fenced() {
+		if lg.ended(startTerm) {
 			// The term the header promised no longer holds (this node was
-			// fenced, or promoted mid-stream): end cleanly. The follower's
+			// fenced, or promoted mid-stream): end cleanly. The consumer's
 			// reconnect re-reads the term from the fresh header.
 			return
 		}
-		cur := s.sys.ReplicationInfo()
-		if cur.BaseSeq != info.BaseSeq {
+		curBase, curTotal, err := lg.info()
+		if err != nil {
+			return // relay latched a write failure: stop serving
+		}
+		if curBase != baseSeq {
 			// Compacted underneath us: everything already streamed is a
-			// correct prefix. End cleanly; the follower reconnects, and
+			// correct prefix. End cleanly; the consumer reconnects, and
 			// its next `from` is either >= the new base (resume) or
 			// behind it (410, re-bootstrap).
 			return
 		}
-		// Ship only durable records: limit is the fsynced boundary as of
-		// this round.
-		limit := cur.TotalSeq - info.BaseSeq
+		// Ship only records inside the published window: limit is the
+		// durable (primary) or applied (relay) boundary as of this round.
+		limit := curTotal - baseSeq
 		for skip > 0 && t.Seq() < limit {
 			n, err := t.Skip(minU64(skip, limit-t.Seq()))
 			skip -= n
@@ -260,7 +365,7 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 					break
 				}
 				if err != nil {
-					return // reset or I/O error: follower reconnects
+					return // reset or I/O error: consumer reconnects
 				}
 				// The appended bytes are the frame's exact wire form (the
 				// on-disk layout IS the protocol), so the batch buffer is
@@ -268,13 +373,14 @@ func (s *Server) replicationWAL(w http.ResponseWriter, r *http.Request) {
 				batch = next
 			}
 		}
-		if cur2 := s.sys.ReplicationInfo(); cur2.BaseSeq != info.BaseSeq {
+		if cur2Base, _, err := lg.info(); err != nil || cur2Base != baseSeq {
 			return // reads raced a compaction: discard the batch unsent
 		}
 		if len(batch) > 0 {
 			if _, err := w.Write(batch); err != nil {
 				return // client went away
 			}
+			s.walBytes.Add(uint64(len(batch)))
 			if flusher != nil {
 				flusher.Flush()
 			}

@@ -52,6 +52,12 @@ type Server struct {
 	// directory the new primary lineage is written into (see
 	// SetPromoteDir).
 	promoteDir string
+	// walConns/walBytes count the live /v1/replication/wal streams this
+	// node is serving and the frame bytes shipped over them — the
+	// fan-out measurement: a working cascade shows leaf traffic on the
+	// follower's counters while the primary's stay flat.
+	walConns atomic.Int64
+	walBytes atomic.Uint64
 }
 
 // isFollower reports whether this server currently fronts a read-only
@@ -140,6 +146,8 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/replication/wal", s.replicationWAL)
 	s.mux.HandleFunc("POST /v1/stream/observe", s.streamObserve)
 	s.mux.HandleFunc("GET /v1/stream/events", s.streamEvents)
+
+	s.handle("POST /v1/stream/ack", s.streamAck)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -50,6 +51,14 @@ type streamState struct {
 	busMu  sync.Mutex
 	bus    *stream.Bus
 	busCfg stream.BusConfig
+
+	// cursors maps subscriber cursor tokens to acked event sequences
+	// (cursor=<token> on /v1/stream/events, POST /v1/stream/ack),
+	// persisted in a sidecar next to the node's log; cursorPath overrides
+	// the sidecar location (SetCursorPath).
+	curMu      sync.Mutex
+	cursors    *stream.CursorRegistry
+	cursorPath string
 }
 
 // ingestor returns the server's shared ingestor, building it on first
@@ -64,22 +73,58 @@ func (s *Server) ingestor() *stream.Ingestor {
 	return st.ing
 }
 
-// eventBus returns the shared bus, building it on first use.
+// eventBus returns the shared bus, building it on first use. A primary
+// feeds it from its WAL; a cascading follower from its relay log (the
+// leaf tier of the distribution tree subscribes to the follower and the
+// primary never sees the connection). A follower without a relay has no
+// local log to replay and refuses.
 func (s *Server) eventBus() (*stream.Bus, error) {
-	if s.isFollower() {
-		return nil, errors.New("event feed is served by the primary (followers have no local log)")
-	}
 	st := &s.stream
 	st.busMu.Lock()
 	defer st.busMu.Unlock()
 	if st.bus == nil {
-		b, err := stream.NewBus(s.sys, st.busCfg)
+		var b *stream.Bus
+		var err error
+		if s.isFollower() {
+			if _, _, ok := s.rep.RelayInfo(); !ok {
+				return nil, errRelayUnarmed
+			}
+			b, err = stream.NewBusFrom(stream.ReplicaFeed{Rep: s.rep}, st.busCfg)
+		} else {
+			b, err = stream.NewBus(s.sys, st.busCfg)
+		}
 		if err != nil {
 			return nil, err
 		}
 		st.bus = b
 	}
 	return st.bus, nil
+}
+
+// SetCursorPath overrides where the durable subscriber-cursor sidecar
+// lives ("" keeps the default: cursors.json next to the primary's WAL,
+// or in a cascading follower's relay directory; memory-only when the
+// node has neither). Call before serving traffic.
+func (s *Server) SetCursorPath(path string) { s.stream.cursorPath = path }
+
+// cursorRegistry returns the shared durable-cursor registry, building
+// (and loading the sidecar) on first use.
+func (s *Server) cursorRegistry() *stream.CursorRegistry {
+	st := &s.stream
+	st.curMu.Lock()
+	defer st.curMu.Unlock()
+	if st.cursors == nil {
+		path := st.cursorPath
+		if path == "" {
+			if s.rep != nil && s.rep.RelayDir() != "" {
+				path = filepath.Join(s.rep.RelayDir(), "cursors.json")
+			} else if wal := s.sys.WALPath(); wal != "" {
+				path = filepath.Join(filepath.Dir(wal), "cursors.json")
+			}
+		}
+		st.cursors = stream.OpenCursors(path)
+	}
+	return st.cursors
 }
 
 // Close releases the server's background machinery (today: the event
@@ -96,14 +141,16 @@ func (s *Server) Close() {
 }
 
 // streamStats assembles the /v1/stats streaming section: always the
-// ingest counters, plus the bus counters once a subscriber has forced
-// the bus into existence.
+// ingest counters (augmented with the session registry's live/evicted
+// counts), plus the bus counters once a subscriber has forced the bus
+// into existence. Followers report it too — a cascading follower serves
+// the event feed, and its bus counters are where leaf-tier load shows.
 func (s *Server) streamStats() *wire.StreamStats {
-	if s.isFollower() {
-		return nil
-	}
 	st := &s.stream
-	out := &wire.StreamStats{Ingest: st.ingest.Snapshot()}
+	ing := st.ingest.Snapshot()
+	ing.Sessions = int64(st.sessions.Len())
+	ing.SessionEvictions = st.sessions.Evictions()
+	out := &wire.StreamStats{Ingest: ing}
 	st.busMu.Lock()
 	if st.bus != nil {
 		bs := st.bus.Stats()
@@ -196,7 +243,8 @@ func (s *Server) streamObserve(w http.ResponseWriter, r *http.Request) {
 // parseSubscribeOptions decodes the event-feed query parameters:
 // from=<seq>, subject=<id>, location=<id>, kinds=<k1,k2,...>,
 // alerts_since=<seq> (presence enables the retained-alert backlog),
-// buffer=<n>.
+// buffer=<n>. The cursor=<token> parameter is resolved by the caller
+// (it needs the cursor registry).
 func parseSubscribeOptions(r *http.Request) (stream.SubscribeOptions, error) {
 	q := r.URL.Query()
 	var opts stream.SubscribeOptions
@@ -249,6 +297,16 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	// A durable cursor resumes the feed server-side: a known token with
+	// no explicit from= starts at acked+1, so a restarted client needs
+	// only its token. An explicit from= always wins — the resumable
+	// client's redials pass the exact next sequence, and the cursor
+	// (advanced only by acks) may trail it.
+	if token := r.URL.Query().Get("cursor"); token != "" && opts.From == 0 {
+		if acked, ok := s.cursorRegistry().Resume(token); ok {
+			opts.From = acked + 1
+		}
 	}
 	sub, err := bus.Subscribe(opts)
 	if err != nil {
@@ -303,6 +361,23 @@ func (s *Server) streamEvents(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// streamAck services POST /v1/stream/ack: advance a durable subscriber
+// cursor (see cursorRegistry). Served by primaries and cascading
+// followers alike — the cursor lives on whichever node the subscriber
+// reads its feed from.
+func (s *Server) streamAck(w http.ResponseWriter, r *http.Request) {
+	var req wire.CursorAckRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	acked, err := s.cursorRegistry().Ack(req.Cursor, req.Seq)
+	if err != nil {
+		writeErr(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.CursorAckResponse{Cursor: req.Cursor, Acked: acked})
+}
+
 // SetFollowLagMax arms the replica read barrier: queries on a follower
 // whose replication staleness exceeds max are rejected with HTTP 503
 // and a Retry-After, so load balancers fail over to a fresher node
@@ -319,7 +394,7 @@ func (s *Server) SetFollowLagMax(max time.Duration) { s.maxLag = max }
 func lagExempt(pattern string) bool {
 	return strings.Contains(pattern, "/v1/stats") || strings.Contains(pattern, "/v1/replication/") ||
 		strings.Contains(pattern, "/v1/healthz") || strings.Contains(pattern, "/v1/readyz") ||
-		strings.Contains(pattern, "/v1/admin/")
+		strings.Contains(pattern, "/v1/admin/") || strings.Contains(pattern, "/v1/stream/ack")
 }
 
 // barred enforces the follow-lag barrier; it reports true after writing

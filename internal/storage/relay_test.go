@@ -1,0 +1,161 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// TestRelayAppendTailRoundTrip: appended bodies come back verbatim
+// through an ordinary Tailer — the relay file IS a WAL-layout frame log.
+func TestRelayAppendTailRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "relay.log")
+	rl, err := OpenRelay(path, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+
+	var bodies [][]byte
+	for i := 0; i < 5; i++ {
+		bodies = append(bodies, []byte(fmt.Sprintf(`{"seq": %d}`, 11+i)))
+		if err := rl.Append(bodies[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if base, total := rl.Info(); base != 10 || total != 15 {
+		t.Fatalf("Info = (%d, %d), want (10, 15)", base, total)
+	}
+
+	tl, err := OpenTailer(rl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	for i, want := range bodies {
+		got, err := tl.NextBody()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+	if _, err := tl.NextBody(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("past the frontier: %v, want ErrNoRecord", err)
+	}
+}
+
+// TestRelayResetReusesInode: Reset truncates in place, so an open
+// downstream tailer observes ErrWALReset (not a silent re-read of new
+// frames under old sequence numbers).
+func TestRelayResetReusesInode(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "relay.log")
+	rl, err := OpenRelay(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+	for i := 0; i < 3; i++ {
+		if err := rl.Append([]byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tl, err := OpenTailer(rl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if _, err := tl.NextBody(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := rl.Reset(7); err != nil {
+		t.Fatal(err)
+	}
+	if base, total := rl.Info(); base != 7 || total != 7 {
+		t.Fatalf("Info after reset = (%d, %d), want (7, 7)", base, total)
+	}
+	// A poll that observes the shrink reports ErrWALReset. (If the file
+	// regrows past the old offset before the next poll the shrink itself
+	// is invisible — that window is why every consumer re-validates
+	// Info's base after its reads, per the read-then-validate contract.)
+	if _, err := tl.NextBody(); !errors.Is(err, ErrWALReset) {
+		t.Fatalf("tailer across reset: %v, want ErrWALReset", err)
+	}
+}
+
+// TestRelaySelfCompacts: an append that would exceed maxBytes first
+// truncates the file and advances base past everything written — the
+// bounded-cache behavior that keeps a long-lived cascading follower's
+// disk use flat.
+func TestRelaySelfCompacts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "relay.log")
+	body := []byte("0123456789")
+	frameLen := int64(len(Frame(body)))
+	rl, err := OpenRelay(path, 0, 3*frameLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rl.Close()
+
+	for i := 0; i < 3; i++ {
+		if err := rl.Append(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if base, total := rl.Info(); base != 0 || total != 3 {
+		t.Fatalf("Info before compaction = (%d, %d), want (0, 3)", base, total)
+	}
+	// The fourth frame does not fit: the relay compacts to base 3 first.
+	if err := rl.Append(body); err != nil {
+		t.Fatal(err)
+	}
+	if base, total := rl.Info(); base != 3 || total != 4 {
+		t.Fatalf("Info after compaction = (%d, %d), want (3, 4)", base, total)
+	}
+
+	// The file now holds exactly one frame.
+	tl, err := OpenTailer(rl.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tl.Close()
+	if _, err := tl.NextBody(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tl.NextBody(); !errors.Is(err, ErrNoRecord) {
+		t.Fatalf("second frame after compaction: %v, want ErrNoRecord", err)
+	}
+}
+
+// TestRelayLatchesWriteFailure: after Close (or any write failure) every
+// further operation reports the latched error — a broken relay stops
+// serving downstream, it does not limp along with gaps.
+func TestRelayLatchesWriteFailure(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "relay.log")
+	rl, err := OpenRelay(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Append([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := rl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rl.Err() == nil {
+		t.Fatal("closed relay reports no error")
+	}
+	if err := rl.Append([]byte("y")); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := rl.Reset(5); err == nil {
+		t.Fatal("reset after close succeeded")
+	}
+	// The coordinates stay frozen at the pre-failure frontier.
+	if base, total := rl.Info(); base != 0 || total != 1 {
+		t.Fatalf("Info after close = (%d, %d), want (0, 1)", base, total)
+	}
+}

@@ -101,9 +101,57 @@ type BusStats struct {
 	DecodeSkips uint64 `json:"decode_skips,omitempty"`
 }
 
+// FeedSource is the log a Bus pumps from: a durable primary's WAL
+// (SystemFeed) or a cascading follower's relay log (ReplicaFeed). The
+// contract is the WAL's read-then-validate protocol: FeedInfo publishes
+// (base, total) under the same lock any truncation holds, the file at
+// FeedLogPath holds exactly total-base frames laid out as
+// storage.Frame, and a truncation reuses the inode (tailers observe
+// ErrWALReset and re-resolve).
+type FeedSource interface {
+	// FeedInfo reports the log's coordinates: base is the compaction
+	// horizon, total the durable/applied frontier. ok is false when the
+	// source cannot host a feed right now (no durability, relay broken).
+	FeedInfo() (base, total uint64, ok bool)
+	// FeedLogPath is the frame log's file path.
+	FeedLogPath() string
+	// FeedNotify is the frontier wakeup channel (collapsed sends).
+	FeedNotify() <-chan struct{}
+	// FeedAlerts is the audit log whose alerts ride the feed.
+	FeedAlerts() *audit.Log
+}
+
+// SystemFeed serves the bus from a durable primary's WAL.
+type SystemFeed struct{ Sys *core.System }
+
+func (f SystemFeed) FeedInfo() (uint64, uint64, bool) {
+	info := f.Sys.ReplicationInfo()
+	return info.BaseSeq, info.TotalSeq, info.Durable
+}
+func (f SystemFeed) FeedLogPath() string         { return f.Sys.WALPath() }
+func (f SystemFeed) FeedNotify() <-chan struct{} { return f.Sys.CommitNotify() }
+func (f SystemFeed) FeedAlerts() *audit.Log      { return f.Sys.Alerts() }
+
+// ReplicaFeed serves the bus from a cascading follower's relay log: the
+// follower re-raises every alert deterministically as it applies the
+// shipped records (the same dispatch the primary's mutations run), so
+// alerts ride the relay-backed feed in the same sequence space as on
+// the primary.
+type ReplicaFeed struct{ Rep *core.Replica }
+
+func (f ReplicaFeed) FeedInfo() (uint64, uint64, bool) { return f.Rep.RelayInfo() }
+func (f ReplicaFeed) FeedLogPath() string {
+	if rl := f.Rep.Relay(); rl != nil {
+		return rl.Path()
+	}
+	return ""
+}
+func (f ReplicaFeed) FeedNotify() <-chan struct{} { return f.Rep.ApplyNotify() }
+func (f ReplicaFeed) FeedAlerts() *audit.Log      { return f.Rep.System().Alerts() }
+
 // Bus fans the committed-event feed out to subscribers.
 type Bus struct {
-	sys *core.System
+	src FeedSource
 	cfg BusConfig
 
 	mu      sync.Mutex
@@ -122,11 +170,21 @@ type Bus struct {
 }
 
 // NewBus builds a bus over a durable primary. The WAL is the feed's
-// source of truth, so a system without durability (or a follower, which
-// has no local log) cannot host one.
+// source of truth, so a system without durability cannot host one. (A
+// cascading follower hosts a bus over its relay log instead — see
+// NewBusFrom and ReplicaFeed.)
 func NewBus(sys *core.System, cfg BusConfig) (*Bus, error) {
 	if !sys.ReplicationInfo().Durable {
 		return nil, errors.New("stream: the event bus requires a durable primary (set Config.DataDir)")
+	}
+	return NewBusFrom(SystemFeed{Sys: sys}, cfg)
+}
+
+// NewBusFrom builds a bus over any frame-log source: the primary's WAL
+// or a cascading follower's relay.
+func NewBusFrom(src FeedSource, cfg BusConfig) (*Bus, error) {
+	if _, _, ok := src.FeedInfo(); !ok {
+		return nil, errors.New("stream: the event bus requires a durable feed source (a primary WAL or a follower relay log)")
 	}
 	if cfg.SubscriberBuffer <= 0 {
 		cfg.SubscriberBuffer = DefaultSubscriberBuffer
@@ -134,8 +192,8 @@ func NewBus(sys *core.System, cfg BusConfig) (*Bus, error) {
 	if cfg.Poll <= 0 {
 		cfg.Poll = DefaultBusPoll
 	}
-	b := &Bus{sys: sys, cfg: cfg, subs: make(map[*Subscription]struct{})}
-	b.cancelAlerts = sys.Alerts().Subscribe(b.publishAlert)
+	b := &Bus{src: src, cfg: cfg, subs: make(map[*Subscription]struct{})}
+	b.cancelAlerts = src.FeedAlerts().Subscribe(b.publishAlert)
 	return b, nil
 }
 
@@ -228,13 +286,13 @@ type SubscribeOptions struct {
 // horizon lives in snapshots; bootstrap a replica instead); From 0
 // means "everything retained" and clamps to the horizon.
 func (b *Bus) Subscribe(opts SubscribeOptions) (*Subscription, error) {
-	info := b.sys.ReplicationInfo()
+	base, total, _ := b.src.FeedInfo()
 	if opts.From == 0 {
-		opts.From = info.BaseSeq
+		opts.From = base
 	}
-	if opts.From < info.BaseSeq {
+	if opts.From < base {
 		return nil, fmt.Errorf("%w: seq %d precedes the horizon %d; resubscribe from %d",
-			ErrCompacted, opts.From, info.BaseSeq, info.BaseSeq)
+			ErrCompacted, opts.From, base, base)
 	}
 	buf := opts.Buffer
 	if buf <= 0 {
@@ -259,7 +317,7 @@ func (b *Bus) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 		// head, and a subscriber behind it catches up from the log itself
 		// (blocking sends — backpressure), so a long replay can never
 		// flood the live queues and evict its own subscriber.
-		b.startPumpLocked(info.TotalSeq)
+		b.startPumpLocked(total)
 	}
 	b.mu.Unlock()
 	go s.feed(opts.AlertsSince)
@@ -277,13 +335,14 @@ func (b *Bus) Subscribe(opts SubscribeOptions) (*Subscription, error) {
 // Returns nil on any interference; the caller retries after re-reading
 // ReplicationInfo.
 func (b *Bus) resolveTailer(next, base uint64) *storage.Tailer {
-	nt, err := storage.OpenTailer(b.sys.WALPath())
+	nt, err := storage.OpenTailer(b.src.FeedLogPath())
 	if err != nil {
 		return nil
 	}
 	want := next - base
 	n, err := nt.Skip(want)
-	if err != nil || n != want || b.sys.ReplicationInfo().BaseSeq != base {
+	curBase, _, ok := b.src.FeedInfo()
+	if err != nil || n != want || !ok || curBase != base {
 		nt.Close()
 		return nil
 	}
@@ -310,7 +369,7 @@ func (b *Bus) pump(gen uint64) {
 			t.Close()
 		}
 	}()
-	notify := b.sys.CommitNotify()
+	notify := b.src.FeedNotify()
 	for {
 		b.mu.Lock()
 		if b.pumpGen != gen {
@@ -325,32 +384,41 @@ func (b *Bus) pump(gen uint64) {
 		next := b.nextSeq
 		b.mu.Unlock()
 
-		info := b.sys.ReplicationInfo()
-		if t == nil || base != info.BaseSeq {
+		srcBase, srcTotal, ok := b.src.FeedInfo()
+		if !ok {
+			// The source cannot serve right now (a follower relay latched
+			// a write failure): stall rather than publish wrong data.
+			select {
+			case <-notify:
+			case <-time.After(b.cfg.Poll):
+			}
+			continue
+		}
+		if t == nil || base != srcBase {
 			if t != nil {
 				t.Close()
 				t = nil
 			}
-			if next < info.BaseSeq {
+			if next < srcBase {
 				// A compaction consumed records the pump had not read yet:
 				// those events are gone from the feed (the state they
 				// built is in the snapshot). Count and move on.
-				b.lost.Add(info.BaseSeq - next)
+				b.lost.Add(srcBase - next)
 				b.mu.Lock()
-				if b.pumpGen == gen && b.nextSeq < info.BaseSeq {
-					b.nextSeq = info.BaseSeq
+				if b.pumpGen == gen && b.nextSeq < srcBase {
+					b.nextSeq = srcBase
 				}
 				b.mu.Unlock()
-				next = info.BaseSeq
+				next = srcBase
 			}
-			if nt := b.resolveTailer(next, info.BaseSeq); nt != nil {
-				t, base = nt, info.BaseSeq
+			if nt := b.resolveTailer(next, srcBase); nt != nil {
+				t, base = nt, srcBase
 			}
 		}
 
 		progressed := false
 		if t != nil {
-			limit := info.TotalSeq - base // ship only durable records
+			limit := srcTotal - base // ship only durable records
 			for t.Seq() < limit {
 				body, err := t.NextBody()
 				if err != nil {
@@ -664,12 +732,13 @@ func (s *Subscription) feed(alertsSince *uint64) {
 			// Position the alert cursor: explicit resume point (backlog
 			// replay, gated below), or "live only" = everything already
 			// retained is old news.
+			alerts := b.src.FeedAlerts()
 			var cursor uint64
 			if alertsSince != nil {
 				cursor = *alertsSince
 				s.alertGate = true
 			} else {
-				s.lastAlert = b.sys.Alerts().LastSeq()
+				s.lastAlert = alerts.LastSeq()
 			}
 			b.subs[s] = struct{}{}
 			b.mu.Unlock()
@@ -684,14 +753,30 @@ func (s *Subscription) feed(alertsSince *uint64) {
 			// that the log holds nothing past the cursor — so the splice
 			// to live delivery has no gap, no duplicate, and no reordering.
 			for {
-				for _, a := range b.sys.Alerts().Since(cursor) {
+				// The audit log is bounded: a cursor behind its retention
+				// horizon has provably lost alerts. Unlike the record
+				// path — where ErrCompacted/410 refuses the subscription —
+				// the alert backlog is documented as best-effort, so the
+				// loss is reported IN BAND: a non-terminal KindError frame
+				// (Seq 0, AlertSeq = the oldest seq the replay can resume
+				// at) precedes the surviving backlog instead of the gap
+				// being skipped silently.
+				if oldest := alerts.OldestRetained(); cursor+1 < oldest {
+					err := fmt.Errorf("stream: alert backlog truncated: alerts %d..%d dropped by the bounded audit log; replay resumes at alert seq %d",
+						cursor+1, oldest-1, oldest)
+					if !send(Event{Kind: KindError, AlertSeq: oldest, Error: err.Error()}) {
+						return
+					}
+					cursor = oldest - 1
+				}
+				for _, a := range alerts.Since(cursor) {
 					cursor = a.Seq
 					if ev := alertEvent(a); s.filter.Match(ev) && !send(ev) {
 						return
 					}
 				}
 				b.mu.Lock()
-				if b.sys.Alerts().LastSeq() <= cursor {
+				if alerts.LastSeq() <= cursor {
 					s.lastAlert = cursor
 					s.alertGate = false
 					b.mu.Unlock()
@@ -706,24 +791,28 @@ func (s *Subscription) feed(alertsSince *uint64) {
 		// Catch up from the log: every record below target is durable and
 		// on disk (the pump read it from this same file), unless a
 		// compaction truncated it away — then re-resolve.
-		info := b.sys.ReplicationInfo()
-		if t == nil || base != info.BaseSeq {
+		srcBase, _, ok := b.src.FeedInfo()
+		if !ok {
+			retryJitter()
+			continue
+		}
+		if t == nil || base != srcBase {
 			if t != nil {
 				t.Close()
 				t = nil
 			}
-			if s.next < info.BaseSeq {
+			if s.next < srcBase {
 				err := fmt.Errorf("%w: seq %d precedes the horizon %d; resubscribe from %d",
-					ErrCompacted, s.next, info.BaseSeq, info.BaseSeq)
-				s.fail(err, Event{Kind: KindError, Seq: info.BaseSeq, Error: err.Error()})
+					ErrCompacted, s.next, srcBase, srcBase)
+				s.fail(err, Event{Kind: KindError, Seq: srcBase, Error: err.Error()})
 				return
 			}
-			nt := b.resolveTailer(s.next, info.BaseSeq)
+			nt := b.resolveTailer(s.next, srcBase)
 			if nt == nil {
 				retryJitter()
 				continue
 			}
-			t, base = nt, info.BaseSeq
+			t, base = nt, srcBase
 		}
 		skipDecodes := alertOnly(s.filter)
 		for s.next < target {

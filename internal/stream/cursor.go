@@ -1,0 +1,187 @@
+// Durable subscriber cursors: server-kept resume state for the
+// committed-event feed. A subscriber names its cursor with an opaque
+// token (cursor=<token> on /v1/stream/events); after consuming events
+// it acks the highest event sequence it has durably processed
+// (POST /v1/stream/ack), and a later subscribe with the same token —
+// and no explicit from= — resumes at acked+1. The client no longer has
+// to remember seq across restarts: kill -9 the watcher, start it again
+// with only its token, and delivery stays exactly-once up to the acked
+// point (the un-acked suffix is redelivered, the same at-least-once
+// window every resume protocol has below its ack).
+//
+// Cursors persist in a sidecar JSON file next to the node's log
+// (cursors.json), rewritten atomically (tmp + rename) on every advance.
+// A sidecar rather than a WAL record because cursors are subscriber
+// state, not facility state: they must not perturb the replicated
+// sequence space (a follower serves cursors too, and followers cannot
+// append to the WAL), and replaying the WAL must not resurrect stale
+// cursor positions.
+package stream
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// maxCursors bounds the registry; beyond it the cursor with the oldest
+// update is evicted (its client degrades to an explicit from= resume).
+const maxCursors = 4096
+
+// cursorEntry is one persisted cursor.
+type cursorEntry struct {
+	Acked uint64 `json:"acked"`
+	// Gen orders entries by recency of update for bounded eviction —
+	// a registry-local logical clock, not wall time.
+	Gen uint64 `json:"gen"`
+}
+
+// CursorRegistry maps subscriber cursor tokens to acked event
+// sequences. Safe for concurrent use. With an empty path it is
+// memory-only (tests; ephemeral nodes) — same semantics, no restarts.
+type CursorRegistry struct {
+	mu   sync.Mutex
+	path string
+	m    map[string]cursorEntry
+	gen  uint64
+}
+
+// OpenCursors loads (or initializes) the cursor registry persisted at
+// path. A missing or unreadable file starts empty: cursor loss degrades
+// a subscriber to from=0, it never corrupts the feed.
+func OpenCursors(path string) *CursorRegistry {
+	r := &CursorRegistry{path: path, m: make(map[string]cursorEntry)}
+	if path == "" {
+		return r
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r
+	}
+	var m map[string]cursorEntry
+	if json.Unmarshal(data, &m) == nil {
+		r.m = m
+		if r.m == nil {
+			r.m = make(map[string]cursorEntry)
+		}
+		for _, e := range r.m {
+			if e.Gen > r.gen {
+				r.gen = e.Gen
+			}
+		}
+	}
+	return r
+}
+
+// Resume returns the acked sequence recorded for token, and whether the
+// token is known. A fresh subscribe with a known token starts at
+// acked+1.
+func (r *CursorRegistry) Resume(token string) (acked uint64, ok bool) {
+	if r == nil || token == "" {
+		return 0, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[token]
+	return e.Acked, ok
+}
+
+// Ack advances token's cursor to seq (monotonic: a stale ack is a
+// no-op, not a rewind) and persists the registry. Returns the cursor's
+// resulting acked sequence.
+func (r *CursorRegistry) Ack(token string, seq uint64) (uint64, error) {
+	if token == "" {
+		return 0, fmt.Errorf("stream: ack requires a cursor token")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.m[token]
+	if ok && seq <= e.Acked {
+		return e.Acked, nil
+	}
+	if !ok && len(r.m) >= maxCursors {
+		r.evictOldestLocked()
+	}
+	r.gen++
+	r.m[token] = cursorEntry{Acked: seq, Gen: r.gen}
+	if err := r.persistLocked(); err != nil {
+		return seq, err
+	}
+	return seq, nil
+}
+
+// Len reports the number of tracked cursors.
+func (r *CursorRegistry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.m)
+}
+
+// evictOldestLocked drops the least-recently-updated cursor. Callers
+// hold r.mu.
+func (r *CursorRegistry) evictOldestLocked() {
+	var oldest string
+	var oldestGen uint64
+	first := true
+	for k, e := range r.m {
+		if first || e.Gen < oldestGen {
+			oldest, oldestGen, first = k, e.Gen, false
+		}
+	}
+	if !first {
+		delete(r.m, oldest)
+	}
+}
+
+// persistLocked rewrites the sidecar atomically: marshal with sorted
+// keys (encoding/json sorts map keys, keeping the file diffable), write
+// a temp file in the same directory, fsync, rename over the old file.
+// Callers hold r.mu.
+func (r *CursorRegistry) persistLocked() error {
+	if r.path == "" {
+		return nil
+	}
+	data, err := json.Marshal(r.m)
+	if err != nil {
+		return fmt.Errorf("stream: marshal cursors: %w", err)
+	}
+	dir := filepath.Dir(r.path)
+	tmp, err := os.CreateTemp(dir, ".cursors-*.tmp")
+	if err != nil {
+		return fmt.Errorf("stream: persist cursors: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: persist cursors: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: persist cursors: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("stream: persist cursors: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), r.path); err != nil {
+		return fmt.Errorf("stream: persist cursors: %w", err)
+	}
+	return nil
+}
+
+// Tokens returns the tracked tokens sorted (tests and debugging).
+func (r *CursorRegistry) Tokens() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.m))
+	for k := range r.m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

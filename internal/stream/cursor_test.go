@@ -1,0 +1,110 @@
+package stream
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCursorAckResumePersists: acks advance monotonically, persist
+// across an OpenCursors reload (the restarted-server path), and stale
+// acks never rewind a cursor.
+func TestCursorAckResumePersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cursors.json")
+	r := OpenCursors(path)
+
+	if _, ok := r.Resume("tok"); ok {
+		t.Fatal("unknown token resumed")
+	}
+	if acked, err := r.Ack("tok", 7); err != nil || acked != 7 {
+		t.Fatalf("ack 7 = (%d, %v)", acked, err)
+	}
+	// Stale ack: no-op, reports the standing cursor.
+	if acked, err := r.Ack("tok", 3); err != nil || acked != 7 {
+		t.Fatalf("stale ack = (%d, %v), want (7, nil)", acked, err)
+	}
+	if acked, err := r.Ack("tok", 12); err != nil || acked != 12 {
+		t.Fatalf("ack 12 = (%d, %v)", acked, err)
+	}
+
+	// Reload from disk: the restarted node resumes the same cursor.
+	r2 := OpenCursors(path)
+	acked, ok := r2.Resume("tok")
+	if !ok || acked != 12 {
+		t.Fatalf("reloaded cursor = (%d, %v), want (12, true)", acked, ok)
+	}
+	// The reloaded generation keeps advancing (new acks order after old).
+	if _, err := r2.Ack("tok2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if r2.m["tok2"].Gen <= r2.m["tok"].Gen {
+		t.Fatalf("reloaded gen did not advance: tok2 gen %d <= tok gen %d",
+			r2.m["tok2"].Gen, r2.m["tok"].Gen)
+	}
+}
+
+// TestCursorAckEmptyToken: an ack without a token is an error, and a
+// nil/empty resume is safely unknown.
+func TestCursorAckEmptyToken(t *testing.T) {
+	r := OpenCursors("")
+	if _, err := r.Ack("", 1); err == nil {
+		t.Fatal("empty-token ack accepted")
+	}
+	if _, ok := r.Resume(""); ok {
+		t.Fatal("empty token resumed")
+	}
+	var nilReg *CursorRegistry
+	if _, ok := nilReg.Resume("tok"); ok {
+		t.Fatal("nil registry resumed")
+	}
+	if n := nilReg.Len(); n != 0 {
+		t.Fatalf("nil registry Len = %d", n)
+	}
+}
+
+// TestCursorOverflowEvictsOldest: past the cap, the least-recently-acked
+// cursor is displaced; fresher cursors survive.
+func TestCursorOverflowEvictsOldest(t *testing.T) {
+	r := OpenCursors("") // memory-only: same semantics, faster
+	for i := 0; i < maxCursors; i++ {
+		if _, err := r.Ack(fmt.Sprintf("tok-%04d", i), uint64(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.Ack("newcomer", 1); err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(); n != maxCursors {
+		t.Fatalf("Len = %d, want %d (bounded)", n, maxCursors)
+	}
+	if _, ok := r.Resume("tok-0000"); ok {
+		t.Fatal("oldest cursor survived the overflow")
+	}
+	if acked, ok := r.Resume("tok-0001"); !ok || acked != 2 {
+		t.Fatalf("second-oldest cursor = (%d, %v), want (2, true)", acked, ok)
+	}
+	if _, ok := r.Resume("newcomer"); !ok {
+		t.Fatal("newcomer not tracked")
+	}
+}
+
+// TestCursorCorruptFileStartsEmpty: cursor-file loss or corruption
+// degrades to from=0, it never fails the node.
+func TestCursorCorruptFileStartsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cursors.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := OpenCursors(path)
+	if n := r.Len(); n != 0 {
+		t.Fatalf("corrupt file loaded %d cursors", n)
+	}
+	// And the registry still persists over it.
+	if _, err := r.Ack("tok", 5); err != nil {
+		t.Fatal(err)
+	}
+	if acked, ok := OpenCursors(path).Resume("tok"); !ok || acked != 5 {
+		t.Fatalf("after corrupt recovery: (%d, %v), want (5, true)", acked, ok)
+	}
+}

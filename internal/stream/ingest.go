@@ -106,6 +106,11 @@ type IngestStats struct {
 	Denied  uint64 `json:"denied"`
 	Moved   uint64 `json:"moved"`
 	Errors  uint64 `json:"errors,omitempty"`
+	// Sessions is the live resume-session count and SessionEvictions the
+	// sessions reclaimed so far (idle-TTL sweeps plus overflow). Filled by
+	// the server from its SessionRegistry, not by IngestCounters.
+	Sessions         int64  `json:"sessions,omitempty"`
+	SessionEvictions uint64 `json:"session_evictions,omitempty"`
 }
 
 // IngestCounters aggregates ingest activity across connections (the
@@ -395,7 +400,7 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 						continue
 					}
 					if c.sess != nil && fr.seq != 0 {
-						if fr.seq <= c.sess.hw {
+						if fr.seq <= c.sess.hw.Load() {
 							// A resume overlap: an earlier connection's
 							// batch already gathered (and, the chunker
 							// being serial, already applied) this frame.
@@ -405,7 +410,7 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 							}
 							continue
 						}
-						c.sess.hw = fr.seq
+						c.sess.hw.Store(fr.seq)
 						last = fr.seq
 					}
 					batch = append(batch, fr.rd)
@@ -487,7 +492,7 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 				// chunker goroutine, so the write is race-free.)
 				for _, sp := range spans {
 					if sp.c.sess != nil {
-						sp.c.sess.hw = sp.c.sess.Applied()
+						sp.c.sess.hw.Store(sp.c.sess.Applied())
 					}
 					ing.finalize(sp.c, err)
 				}

@@ -24,6 +24,7 @@ package stream
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // IngestSession is one logical ingest stream's resume state. Create via
@@ -35,13 +36,18 @@ type IngestSession struct {
 	applied atomic.Uint64
 	// hw is the gather high-water — the largest Seq already pulled into
 	// a chunk. It dedupes re-sent frames that race the previous
-	// connection's in-flight batch. Chunker-goroutine only: the chunker
-	// is the single gather/fold thread, which is what makes the
-	// dedupe-then-apply sequence atomic without a lock.
-	hw uint64
+	// connection's in-flight batch. Written only by the chunker — the
+	// single gather/fold thread, which is what makes the
+	// dedupe-then-apply sequence atomic without a lock — but atomic so
+	// the registry's idle sweep can READ it: an eviction is safe only
+	// when hw == applied (nothing gathered but not yet durably acked).
+	hw atomic.Uint64
 
 	mu  sync.Mutex
 	cur *ingestConn // the attached live connection, if any
+	// idleSince is when the last connection detached (zero while one is
+	// attached); the registry's TTL sweep measures idleness from it.
+	idleSince time.Time
 }
 
 // Applied returns the session's durable frame high-water.
@@ -66,6 +72,7 @@ func (s *IngestSession) attach(c *ingestConn) {
 	s.mu.Lock()
 	old := s.cur
 	s.cur = c
+	s.idleSince = time.Time{}
 	s.mu.Unlock()
 	if old != nil && old != c {
 		old.mu.Lock()
@@ -74,28 +81,67 @@ func (s *IngestSession) attach(c *ingestConn) {
 	}
 }
 
-// detach clears the attachment if c still holds it.
+// detach clears the attachment if c still holds it, starting the idle
+// clock.
 func (s *IngestSession) detach(c *ingestConn) {
 	s.mu.Lock()
 	if s.cur == c {
 		s.cur = nil
+		s.idleSince = time.Now()
 	}
 	s.mu.Unlock()
 }
 
-// maxSessions bounds the registry; beyond it, detached sessions are
-// evicted (arbitrary order — an evicted session degrades its client to
-// a fresh session, i.e. at-least-once for the un-acked window, the same
-// contract as a server restart).
-const maxSessions = 4096
+// evictable reports whether the idle-TTL sweep may drop this session:
+// no attached connection, idle past the TTL, and a fully-acked buffer
+// (gather high-water == durable high-water — evicting a session with
+// gathered-but-unacked frames would turn the next reconnect's re-send
+// into a double apply).
+func (s *IngestSession) evictable(now time.Time, ttl time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur == nil && !s.idleSince.IsZero() &&
+		now.Sub(s.idleSince) >= ttl && s.hw.Load() == s.applied.Load()
+}
+
+// Registry bounds.
+const (
+	// maxSessions caps the registry; beyond it, detached sessions are
+	// evicted (arbitrary order — an evicted session degrades its client
+	// to a fresh session, i.e. at-least-once for the un-acked window,
+	// the same contract as a server restart).
+	maxSessions = 4096
+	// DefaultSessionIdleTTL is how long a detached, fully-acked session
+	// survives before the idle sweep reclaims it. Long enough to ride
+	// out any reconnect backoff; short enough that client churn cannot
+	// grow the registry without bound.
+	DefaultSessionIdleTTL = 15 * time.Minute
+	// sweepInterval rate-limits the idle sweep (it runs inline in Get).
+	sweepInterval = time.Second
+)
 
 // SessionRegistry maps resume tokens to sessions. The server holds one
 // per Ingestor. In-memory by design: the WAL already persists the data;
 // the registry persists only dedupe state, whose loss is a documented
-// degradation, not corruption.
+// degradation, not corruption. Detached sessions whose buffer is fully
+// acked are reclaimed after IdleTTL (swept inline by Get, rate-limited),
+// so abandoned tokens do not accumulate for the process lifetime.
 type SessionRegistry struct {
-	mu sync.Mutex
-	m  map[string]*IngestSession
+	// IdleTTL overrides the idle eviction window (0 selects
+	// DefaultSessionIdleTTL). Set before serving traffic.
+	IdleTTL time.Duration
+
+	mu        sync.Mutex
+	m         map[string]*IngestSession
+	lastSweep time.Time
+	evictions uint64
+}
+
+func (r *SessionRegistry) ttl() time.Duration {
+	if r.IdleTTL > 0 {
+		return r.IdleTTL
+	}
+	return DefaultSessionIdleTTL
 }
 
 // Get returns the session for token, creating it on first use. An empty
@@ -109,6 +155,10 @@ func (r *SessionRegistry) Get(token string) *IngestSession {
 	if r.m == nil {
 		r.m = make(map[string]*IngestSession)
 	}
+	if now := time.Now(); now.Sub(r.lastSweep) >= sweepInterval {
+		r.lastSweep = now
+		r.sweepLocked(now)
+	}
 	if s, ok := r.m[token]; ok {
 		return s
 	}
@@ -119,6 +169,7 @@ func (r *SessionRegistry) Get(token string) *IngestSession {
 			s.mu.Unlock()
 			if detached {
 				delete(r.m, k)
+				r.evictions++
 				if len(r.m) < maxSessions {
 					break
 				}
@@ -130,9 +181,37 @@ func (r *SessionRegistry) Get(token string) *IngestSession {
 	return s
 }
 
+// sweepLocked drops every evictable session. Callers hold r.mu.
+func (r *SessionRegistry) sweepLocked(now time.Time) {
+	ttl := r.ttl()
+	for k, s := range r.m {
+		if s.evictable(now, ttl) {
+			delete(r.m, k)
+			r.evictions++
+		}
+	}
+}
+
+// SweepIdle runs one idle sweep immediately (tests; the serving path
+// sweeps inline in Get) and reports the live session count after it.
+func (r *SessionRegistry) SweepIdle() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(time.Now())
+	return len(r.m)
+}
+
 // Len reports the number of live sessions (stats).
 func (r *SessionRegistry) Len() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return len(r.m)
+}
+
+// Evictions reports how many sessions the registry has dropped — idle
+// TTL sweeps and overflow evictions combined.
+func (r *SessionRegistry) Evictions() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evictions
 }

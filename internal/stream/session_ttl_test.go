@@ -1,0 +1,121 @@
+package stream
+
+import (
+	"testing"
+	"time"
+)
+
+// backdate moves a detached session's idle clock into the past, so TTL
+// tests need no sleeps.
+func backdate(s *IngestSession, d time.Duration) {
+	s.mu.Lock()
+	s.idleSince = time.Now().Add(-d)
+	s.mu.Unlock()
+}
+
+// TestSessionRegistryIdleTTLEviction is the session-leak regression: a
+// detached, fully-acked session must be reclaimed once idle past the
+// TTL, and a client presenting the evicted token afterwards gets a
+// FRESH session — Applied restarts at 0 (the documented at-least-once
+// degradation), never a stale high-water that would falsely dedupe its
+// re-sent frames.
+func TestSessionRegistryIdleTTLEviction(t *testing.T) {
+	var reg SessionRegistry
+	sess := reg.Get("tok")
+	sess.advanceApplied(42)
+	sess.hw.Store(42)
+
+	// Attached: never evictable, no matter how stale the registry thinks
+	// it is.
+	c := &ingestConn{}
+	sess.attach(c)
+	backdate(sess, 2*DefaultSessionIdleTTL) // no-op: attach zeroes idleSince
+	if n := reg.SweepIdle(); n != 1 {
+		t.Fatalf("attached session swept: %d live, want 1", n)
+	}
+
+	// Detached but inside the TTL: retained.
+	sess.detach(c)
+	if n := reg.SweepIdle(); n != 1 {
+		t.Fatalf("fresh detached session swept: %d live, want 1", n)
+	}
+
+	// Idle past the TTL with un-acked gathered frames (hw ahead of
+	// applied): retained — evicting it would double-apply the client's
+	// re-send.
+	sess.hw.Store(50)
+	backdate(sess, 2*DefaultSessionIdleTTL)
+	if n := reg.SweepIdle(); n != 1 {
+		t.Fatalf("session with un-acked frames swept: %d live, want 1", n)
+	}
+
+	// Fully acked and idle past the TTL: reclaimed.
+	sess.advanceApplied(50)
+	if n := reg.SweepIdle(); n != 0 {
+		t.Fatalf("idle session not swept: %d live, want 0", n)
+	}
+	if got := reg.Evictions(); got != 1 {
+		t.Fatalf("evictions = %d, want 1", got)
+	}
+
+	// The evicted token resumes as a brand-new session.
+	again := reg.Get("tok")
+	if again == sess {
+		t.Fatal("evicted token returned the old session")
+	}
+	if got := again.Applied(); got != 0 {
+		t.Fatalf("fresh session Applied = %d, want 0", got)
+	}
+}
+
+// TestSessionRegistryInlineSweep: the serving path itself (Get) runs the
+// sweep — no background goroutine — so idle sessions are reclaimed by
+// ordinary traffic on other tokens.
+func TestSessionRegistryInlineSweep(t *testing.T) {
+	reg := SessionRegistry{IdleTTL: time.Millisecond}
+	sess := reg.Get("stale")
+	c := &ingestConn{}
+	sess.attach(c)
+	sess.detach(c)
+	backdate(sess, time.Hour)
+	// Rewind the rate limiter so the next Get sweeps immediately.
+	reg.mu.Lock()
+	reg.lastSweep = time.Time{}
+	reg.mu.Unlock()
+
+	reg.Get("other") // unrelated traffic triggers the inline sweep
+	if got := reg.Evictions(); got != 1 {
+		t.Fatalf("evictions after inline sweep = %d, want 1", got)
+	}
+	if n := reg.Len(); n != 1 {
+		t.Fatalf("live sessions = %d, want 1 (just %q)", n, "other")
+	}
+}
+
+// TestSessionRegistryOverflowEvictsDetached: at the registry cap, a new
+// token displaces a detached session (counted as an eviction) and never
+// an attached one.
+func TestSessionRegistryOverflowEvictsDetached(t *testing.T) {
+	var reg SessionRegistry
+	// Fill to the cap: one attached session plus detached filler.
+	attached := reg.Get("attached")
+	attached.attach(&ingestConn{})
+	for i := 0; len(reg.m) < maxSessions; i++ {
+		s := reg.Get(string(rune('a')) + time.Duration(i).String())
+		c := &ingestConn{}
+		s.attach(c)
+		s.detach(c)
+	}
+
+	newcomer := reg.Get("newcomer")
+	if newcomer == nil {
+		t.Fatal("registry refused a new session at the cap")
+	}
+	if reg.Evictions() == 0 {
+		t.Fatal("overflow did not count an eviction")
+	}
+	// The attached session must have survived the displacement.
+	if reg.Get("attached") != attached {
+		t.Fatal("overflow evicted an attached session")
+	}
+}

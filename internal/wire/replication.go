@@ -70,6 +70,15 @@ type ReplicationStatus struct {
 	// -follow-lag-max read barrier bounds.
 	Bootstraps  uint64        `json:"bootstraps,omitempty"`
 	StalenessNS time.Duration `json:"staleness_ns,omitempty"`
+	// Relay reports a cascading follower: it re-serves the replication
+	// stream and the event feed from its relay log, whose servable window
+	// rides in BaseSeq/TotalSeq. WalConns/WalBytes count the live
+	// downstream WAL streams this node serves and the frame bytes shipped
+	// over them — the fan-out measurement (leaf traffic lands on the
+	// follower's counters; the primary's stay flat).
+	Relay    bool   `json:"relay,omitempty"`
+	WalConns int64  `json:"wal_conns,omitempty"`
+	WalBytes uint64 `json:"wal_bytes,omitempty"`
 }
 
 // ReplicationStatus fetches a node's replication position.
@@ -158,11 +167,17 @@ func (s *ReplicationSource) Status(ctx context.Context) (ReplicationStatus, erro
 	return st, nil
 }
 
-// PrimarySeq reports the primary's durable record count.
+// PrimarySeq reports the upstream node's shippable frontier: a
+// primary's durable record count, or — when the upstream is itself a
+// cascading follower — its applied sequence (a leaf's lag is measured
+// against its immediate upstream, not the root).
 func (s *ReplicationSource) PrimarySeq(ctx context.Context) (uint64, error) {
 	st, err := s.Status(ctx)
 	if err != nil {
 		return 0, err
+	}
+	if st.Role == "replica" {
+		return st.AppliedSeq, nil
 	}
 	return st.TotalSeq, nil
 }

@@ -473,11 +473,14 @@ func (rs *ResumableEventStream) noteStall() bool {
 }
 
 // Next returns the next event, transparently repairing the feed on
-// failure. KindError frames are consumed (they carry the resume
-// coordinate, which Next honors) and never surface to the caller.
-// Repairs that make no progress — no event delivered, no resume
-// coordinate advanced — stop after a Patience-long window and return
-// the underlying failure.
+// failure. Terminal KindError frames (eviction, compaction) are
+// consumed — they carry the resume coordinate, which Next honors —
+// and never surface to the caller. The one KindError that DOES
+// surface is the alert-gap notice (Seq 0, AlertSeq > 0): it is
+// informational, the subscription stays open, and hiding it would
+// reintroduce the silent alert loss it reports. Repairs that make no
+// progress — no event delivered, no resume coordinate advanced — stop
+// after a Patience-long window and return the underlying failure.
 func (rs *ResumableEventStream) Next() (stream.Event, error) {
 	for {
 		if rs.es == nil {
@@ -497,6 +500,21 @@ func (rs *ResumableEventStream) Next() (stream.Event, error) {
 			continue
 		}
 		switch {
+		case ev.Kind == stream.KindError && ev.Seq == 0 && ev.AlertSeq > 0:
+			// Alert-gap notice (NOT a stream end): the bounded audit log
+			// dropped alerts behind the replay cursor, and AlertSeq is the
+			// oldest alert still retained. The subscription stays open —
+			// redialing here would loop forever, because the redial's
+			// unchanged alerts_since re-detects the same gap. Advance the
+			// alert cursor to just before the oldest retained (replay
+			// resumes there) and surface the notice so the caller KNOWS
+			// alerts were lost — silent truncation is the bug this frame
+			// exists to fix.
+			if ev.AlertSeq-1 > rs.alertsSeen {
+				rs.alertsSeen = ev.AlertSeq - 1
+			}
+			rs.stalledSince = time.Time{}
+			return ev, nil
 		case ev.Kind == stream.KindError:
 			// In-band failure frame: eviction or compaction. Its Seq is
 			// the sequence to resubscribe from (for compaction, the

@@ -349,11 +349,39 @@ type StreamSubscribeOptions struct {
 	// AlertsSince, when non-nil, also delivers the retained alert backlog
 	// with AlertSeq > the value.
 	AlertsSince *uint64
+	// Cursor names a server-kept durable cursor: when From is 0, the
+	// subscription resumes at the cursor's acked sequence + 1 (everything
+	// retained, for an unknown token). Advance it with Client.AckCursor.
+	// An explicit From wins over the cursor.
+	Cursor string
 	// Buffer overrides the server-side per-subscriber queue length.
 	Buffer int
 	// Wire selects the feed framing: WireNDJSON (the default) or
 	// WireBinary (negotiated via Accept: application/x-ltam-frame).
 	Wire WireFormat
+}
+
+// CursorAckRequest advances a durable subscriber cursor: the client has
+// durably processed every event up to and including Seq.
+type CursorAckRequest struct {
+	Cursor string `json:"cursor"`
+	Seq    uint64 `json:"seq"`
+}
+
+// CursorAckResponse reports the cursor's resulting acked sequence
+// (acks are monotonic: a stale ack is a no-op, not a rewind).
+type CursorAckResponse struct {
+	Cursor string `json:"cursor"`
+	Acked  uint64 `json:"acked"`
+}
+
+// AckCursor advances the named durable cursor to seq on the node this
+// client points at. Ack against the same node the subscription reads
+// from — cursors are per-node sidecar state, not replicated.
+func (c *Client) AckCursor(cursor string, seq uint64) (CursorAckResponse, error) {
+	var out CursorAckResponse
+	err := c.do("POST", "/v1/stream/ack", CursorAckRequest{Cursor: cursor, Seq: seq}, &out)
+	return out, err
 }
 
 // EventStream iterates one subscription's feed (NDJSON lines or binary
@@ -388,6 +416,9 @@ func (c *Client) Subscribe(ctx context.Context, opts StreamSubscribeOptions) (*E
 	}
 	if opts.AlertsSince != nil {
 		q.Set("alerts_since", strconv.FormatUint(*opts.AlertsSince, 10))
+	}
+	if opts.Cursor != "" {
+		q.Set("cursor", opts.Cursor)
 	}
 	if opts.Buffer > 0 {
 		q.Set("buffer", strconv.Itoa(opts.Buffer))
