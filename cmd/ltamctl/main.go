@@ -39,6 +39,13 @@
 //	                                   acked, and a restarted watch with
 //	                                   the same token resumes exactly
 //	                                   after the last acked record)
+//	trace [-seq N] [-last N]           print per-record pipeline stage
+//	                                   clocks (where each commit spent
+//	                                   its time, decode through deliver)
+//	top [-interval d] [-n N] [-plain]  live node view: stage latencies,
+//	                                   endpoint histograms, replication
+//	                                   lag, ingest/bus counters (1s
+//	                                   refresh)
 //	status <url> [url...]              fleet replication table: role,
 //	                                   term, sequence, lag, staleness
 //	promote [-force] [-follow-lag-max d] <url> [peer-url...]
@@ -60,7 +67,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"os"
 	"os/signal"
 	"strconv"
@@ -72,6 +78,7 @@ import (
 	"repro/internal/authz"
 	"repro/internal/graph"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/rules"
 	"repro/internal/stream"
@@ -79,10 +86,15 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ltamctl: ")
+	logger := obs.NewLogger("ltamctl")
 	server := flag.String("server", "http://localhost:8525", "ltamd base URL (comma-separated list enables client-side failover for watch -resume)")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 	flag.Parse()
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	obs.SetLevel(lv)
 	args := flag.Args()
 	if len(args) == 0 {
 		flag.Usage()
@@ -90,11 +102,11 @@ func main() {
 	}
 	endpoints := wire.SplitEndpoints(*server)
 	if len(endpoints) == 0 {
-		log.Fatal("empty -server")
+		logger.Fatalf("empty -server")
 	}
 	c := wire.NewClient(endpoints[0])
 	if err := run(c, endpoints, args); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 }
 
@@ -385,6 +397,10 @@ func run(c *wire.Client, endpoints []string, args []string) error {
 			return err
 		}
 		fmt.Println("snapshot written")
+	case "trace":
+		return traceCmd(c, rest)
+	case "top":
+		return topCmd(c, rest)
 	case "watch":
 		return watch(c, endpoints, rest)
 	case "status":

@@ -1,0 +1,217 @@
+// The observability subcommands: "trace" prints raw per-record pipeline
+// stage clocks from GET /v1/trace, and "top" is a live, 1s-refresh view
+// of the node — stage latencies, endpoint histograms, replication lag,
+// ingest and bus counters — over the /v1/stats poll.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// traceCmd prints per-record stage clocks: each line is one record's
+// walk down the pipeline, every stage annotated with the delta from the
+// previous stamped stage.
+func traceCmd(c *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	seq := fs.Uint64("seq", 0, "trace one record by global sequence (0 = the most recent ones)")
+	last := fs.Int("last", 16, "without -seq: how many recent records to print")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var resp wire.TraceResponse
+	var err error
+	if *seq > 0 {
+		resp, err = c.Trace(*seq)
+	} else {
+		resp, err = c.TraceLast(*last)
+	}
+	if err != nil {
+		return err
+	}
+	if len(resp.Entries) == 0 {
+		fmt.Printf("no traces (max seq %d)\n", resp.MaxSeq)
+		return nil
+	}
+	for _, e := range resp.Entries {
+		fmt.Println(formatTrace(e))
+	}
+	return nil
+}
+
+// formatTrace renders one record's stage walk:
+//
+//	#42 decode gather+3µs apply+10µs append+2µs fsync+812µs (total 827µs)
+func formatTrace(e wire.TraceEntry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d", e.Seq)
+	var first, prev int64
+	for i, st := range e.Stamps {
+		if i == 0 {
+			first, prev = st.Nanos, st.Nanos
+			fmt.Fprintf(&b, " %s", st.Stage)
+			continue
+		}
+		fmt.Fprintf(&b, " %s+%s", st.Stage, microString(st.Nanos-prev))
+		prev = st.Nanos
+	}
+	if len(e.Stamps) > 1 {
+		fmt.Fprintf(&b, " (total %s)", microString(prev-first))
+	}
+	return b.String()
+}
+
+// microString renders nanoseconds with microsecond precision.
+func microString(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}
+
+// topCmd is the live node view: clear the terminal and redraw a stats
+// digest every interval until interrupted.
+func topCmd(c *wire.Client, args []string) error {
+	fs := flag.NewFlagSet("top", flag.ContinueOnError)
+	interval := fs.Duration("interval", time.Second, "refresh cadence")
+	iterations := fs.Int("n", 0, "exit after this many frames (0 = until ^C)")
+	plain := fs.Bool("plain", false, "do not clear the terminal between frames (logs, tests)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	var prev *wire.StatsResponse
+	var prevAt time.Time
+	for frame := 0; ; frame++ {
+		st, err := c.Stats()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		if !*plain {
+			fmt.Print("\x1b[H\x1b[2J")
+		}
+		renderTop(os.Stdout, c.BaseURL, &st, prev, now.Sub(prevAt))
+		prev, prevAt = &st, now
+		if *iterations > 0 && frame+1 >= *iterations {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(*interval):
+		}
+	}
+}
+
+// renderTop draws one top frame: node line, pipeline stage table,
+// hottest endpoints, replication and stream counters. prev (the last
+// frame) turns cumulative counters into rates.
+func renderTop(out *os.File, url string, st, prev *wire.StatsResponse, elapsed time.Duration) {
+	fmt.Fprintf(out, "ltam top — %s — clock %s — %s\n", url, st.Clock, time.Now().Format("15:04:05"))
+
+	role := "primary"
+	if st.Replication != nil && st.Replication.Role != "" {
+		role = st.Replication.Role
+	}
+	fmt.Fprintf(out, "role %s", role)
+	if r := st.Replication; r != nil {
+		if r.Term > 0 {
+			fmt.Fprintf(out, "  term %d", r.Term)
+		}
+		if r.Role == "replica" {
+			fmt.Fprintf(out, "  applied %d  lag %d  staleness %s  connected %v",
+				r.AppliedSeq, r.Lag, r.StalenessNS.Round(time.Millisecond), r.Connected)
+		} else {
+			fmt.Fprintf(out, "  wal [%d, %d]", r.BaseSeq, r.TotalSeq)
+		}
+		if r.WalConns > 0 {
+			fmt.Fprintf(out, "  downstream %d conns", r.WalConns)
+		}
+	}
+	if st.Commit.Poisoned {
+		fmt.Fprint(out, "  WAL POISONED")
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "commit batches %d records %d (%.1f rec/batch)  cache hit %s  view epoch %d\n",
+		st.Commit.Batches, st.Commit.Records, ratio(st.Commit.Records, st.Commit.Batches),
+		hitRate(st.Cache.Hits, st.Cache.Misses), st.View.Epoch)
+
+	if t := st.Trace; t != nil && len(t.Stages) > 0 {
+		fmt.Fprintf(out, "\npipeline (traced through seq %d)\n", t.MaxSeq)
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  STAGE\tCOUNT\tMEAN\tP50\tP95\tP99")
+		for _, sg := range t.Stages {
+			fmt.Fprintf(tw, "  %s\t%d\t%s\t%s\t%s\t%s\n", sg.Stage, sg.Count,
+				us(sg.MeanMicro), us(sg.P50Micro), us(sg.P95Micro), us(sg.P99Micro))
+		}
+		tw.Flush()
+	}
+
+	if len(st.Endpoints) > 0 {
+		type row struct {
+			route string
+			cur   wire.EndpointStats
+			rate  float64
+		}
+		rows := make([]row, 0, len(st.Endpoints))
+		for route, ep := range st.Endpoints {
+			r := row{route: route, cur: ep}
+			if prev != nil && elapsed > 0 {
+				if was, ok := prev.Endpoints[route]; ok && ep.Count >= was.Count {
+					r.rate = float64(ep.Count-was.Count) / elapsed.Seconds()
+				}
+			}
+			rows = append(rows, r)
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].cur.Count > rows[j].cur.Count })
+		if len(rows) > 10 {
+			rows = rows[:10]
+		}
+		fmt.Fprintln(out, "\nendpoints (top by requests)")
+		tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "  ROUTE\tCOUNT\tREQ/S\tMEAN\tP50\tP95\tP99")
+		for _, r := range rows {
+			fmt.Fprintf(tw, "  %s\t%d\t%.0f\t%s\t%s\t%s\t%s\n", r.route, r.cur.Count, r.rate,
+				us(r.cur.MeanMicro), us(r.cur.P50Micro), us(r.cur.P95Micro), us(r.cur.P99Micro))
+		}
+		tw.Flush()
+	}
+
+	if s := st.Stream; s != nil {
+		fmt.Fprintf(out, "\ningest conns %d frames %d chunks %d (%.1f frames/chunk) granted %d denied %d\n",
+			s.Ingest.Conns, s.Ingest.Frames, s.Ingest.Chunks,
+			ratio(s.Ingest.Frames, s.Ingest.Chunks), s.Ingest.Granted, s.Ingest.Denied)
+		if b := s.Bus; b != nil {
+			fmt.Fprintf(out, "bus subs %d published %d delivered %d evicted %d lost %d\n",
+				b.Subscribers, b.Published, b.Delivered, b.Evicted, b.Lost)
+		}
+	}
+}
+
+// us renders a microsecond quantity for the tables.
+func us(v int64) string {
+	return (time.Duration(v) * time.Microsecond).String()
+}
+
+func ratio(num, den uint64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func hitRate(hits, misses uint64) string {
+	if hits+misses == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
+}

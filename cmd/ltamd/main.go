@@ -56,8 +56,6 @@ import (
 	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
-	"log"
 	"net/http"
 	"os"
 	"os/signal"
@@ -67,6 +65,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geometry"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/wire"
 )
@@ -76,6 +75,9 @@ import (
 // subscriber resume frames), and gives in-flight requests this long
 // before cutting the remaining connections.
 const drainTimeout = 10 * time.Second
+
+// logger tags every daemon line; -log-level gates what is emitted.
+var logger = obs.NewLogger("ltamd")
 
 // serveUntilSignal runs the HTTP server until SIGTERM/SIGINT, then
 // executes the graceful-drain sequence:
@@ -100,24 +102,22 @@ func serveUntilSignal(addr string, srv *server.Server) {
 	go func() { errCh <- httpSrv.ListenAndServe() }()
 	select {
 	case err := <-errCh:
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	case <-ctx.Done():
 	}
 	stop() // a second signal kills immediately via the default handler
-	log.Print("signal received: draining")
+	logger.Infof("signal received: draining")
 	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
-		log.Printf("shutdown: %v", err)
+		logger.Warnf("shutdown: %v", err)
 	}
 	_ = httpSrv.Close()
-	log.Print("drained")
+	logger.Infof("drained")
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ltamd: ")
 	addr := flag.String("addr", ":8525", "listen address")
 	data := flag.String("data", "", "data directory (enables durability)")
 	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
@@ -127,24 +127,31 @@ func main() {
 	followLagMax := flag.Duration("follow-lag-max", 0, "replica read barrier: 503 queries when replication staleness exceeds this (0 = serve regardless)")
 	captureTimeout := flag.Duration("capture-timeout", 0, "bound on bootstrap-state capture and status refresh (0 = 500ms default)")
 	relayDir := flag.String("relay", "", "replica only: cascade directory — persist applied records into <dir>/relay.log and re-serve /v1/replication/wal, /v1/replication/snapshot and /v1/stream/events to a downstream tier")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 	flag.Parse()
+
+	lv, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		logger.Fatalf("%v", err)
+	}
+	obs.SetLevel(lv)
 
 	if *replicaOf != "" {
 		runReplica(*addr, *replicaOf, *data, *relayDir, *followLagMax, *captureTimeout)
 		return
 	}
 	if *relayDir != "" {
-		log.Fatal("-relay requires -replica-of: a primary already serves the replication surface from its WAL")
+		logger.Fatalf("-relay requires -replica-of: a primary already serves the replication surface from its WAL")
 	}
 
 	var bounds []geometry.Boundary
 	if *boundsPath != "" {
 		data, err := os.ReadFile(*boundsPath)
 		if err != nil {
-			log.Fatalf("read bounds: %v", err)
+			logger.Fatalf("read bounds: %v", err)
 		}
 		if err := json.Unmarshal(data, &bounds); err != nil {
-			log.Fatalf("parse bounds: %v", err)
+			logger.Fatalf("parse bounds: %v", err)
 		}
 	}
 
@@ -152,32 +159,32 @@ func main() {
 	if *graphPath != "" {
 		data, err := os.ReadFile(*graphPath)
 		if err != nil {
-			log.Fatalf("read graph: %v", err)
+			logger.Fatalf("read graph: %v", err)
 		}
 		g, err = graph.UnmarshalGraph(data)
 		if err != nil {
-			log.Fatalf("parse graph: %v", err)
+			logger.Fatalf("parse graph: %v", err)
 		}
 	} else if *data == "" || !snapshotExists(*data) {
 		g = graph.NTUCampus()
 	}
 
-	sys, err := core.Open(core.Config{
+	sys, sysErr := core.Open(core.Config{
 		Graph:      g,
 		Boundaries: bounds,
 		DataDir:    *data,
 		SyncEvery:  *syncEvery,
 		AutoDerive: true,
 	})
-	if err != nil {
-		log.Fatalf("open system: %v", err)
+	if sysErr != nil {
+		logger.Fatalf("open system: %v", sysErr)
 	}
 	defer sys.Close()
 
-	fmt.Printf("ltamd: serving %q (%d primitive locations) on %s\n",
+	logger.Infof("serving %q (%d primitive locations) on %s",
 		sys.Graph().Name(), len(sys.Flat().Nodes), *addr)
 	if *data != "" {
-		fmt.Printf("ltamd: durable storage in %s\n", *data)
+		logger.Infof("durable storage in %s", *data)
 	}
 	srv := server.New(sys)
 	if *captureTimeout > 0 {
@@ -197,18 +204,18 @@ func runReplica(addr, primaries, dataDir, relayDir string, followLagMax, capture
 	urls := wire.SplitEndpoints(primaries)
 	src, err := wire.NewMultiSource(urls)
 	if err != nil {
-		log.Fatalf("replica: %v", err)
+		logger.Fatalf("replica: %v", err)
 	}
 	rep, err := core.NewReplica(src)
 	if err != nil {
-		log.Fatalf("bootstrap from %s: %v", primaries, err)
+		logger.Fatalf("bootstrap from %s: %v", primaries, err)
 	}
 	defer rep.Close()
 	if relayDir != "" {
 		if err := rep.EnableRelay(relayDir, 0); err != nil {
-			log.Fatalf("relay: %v", err)
+			logger.Fatalf("relay: %v", err)
 		}
-		fmt.Printf("ltamd: cascade armed: relaying applied records into %s/relay.log for a downstream tier\n", relayDir)
+		logger.Infof("cascade armed: relaying applied records into %s/relay.log for a downstream tier", relayDir)
 	}
 	go func() {
 		// Run self-heals across primary compactions (in-place
@@ -217,23 +224,23 @@ func runReplica(addr, primaries, dataDir, relayDir string, followLagMax, capture
 		// divergence, a primary that is no longer the same site — or
 		// cleanly (nil) after this node is promoted.
 		if err := rep.Run(context.Background()); err != nil {
-			log.Fatalf("replication: %v", err)
+			logger.Fatalf("replication: %v", err)
 		}
 	}()
 	sys := rep.System()
 	srv := server.NewReplica(rep)
 	if followLagMax > 0 {
 		srv.SetFollowLagMax(followLagMax)
-		fmt.Printf("ltamd: read barrier armed: 503 when staleness exceeds %s\n", followLagMax)
+		logger.Infof("read barrier armed: 503 when staleness exceeds %s", followLagMax)
 	}
 	if captureTimeout > 0 {
 		srv.SetCaptureTimeout(captureTimeout)
 	}
 	if dataDir != "" {
 		srv.SetPromoteDir(dataDir)
-		fmt.Printf("ltamd: promotion armed: POST /v1/admin/promote writes the new lineage into %s\n", dataDir)
+		logger.Infof("promotion armed: POST /v1/admin/promote writes the new lineage into %s", dataDir)
 	}
-	fmt.Printf("ltamd: replica of %s serving %q (%d primitive locations) on %s, bootstrapped at seq %d\n",
+	logger.Infof("replica of %s serving %q (%d primitive locations) on %s, bootstrapped at seq %d",
 		primaries, sys.Graph().Name(), len(sys.Flat().Nodes), addr, rep.AppliedSeq())
 	serveUntilSignal(addr, srv)
 }

@@ -19,29 +19,36 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/querylang"
 )
 
+var logger = obs.NewLogger("ltamquery")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ltamquery: ")
 	graphPath := flag.String("graph", "", "location graph JSON (default: the paper's NTU campus)")
 	data := flag.String("data", "", "data directory (enables durability)")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 	flag.Parse()
+
+	if lv, err := obs.ParseLevel(*logLevel); err != nil {
+		logger.Fatalf("%v", err)
+	} else {
+		obs.SetLevel(lv)
+	}
 
 	var g *graph.Graph
 	if *graphPath != "" {
 		raw, err := os.ReadFile(*graphPath)
 		if err != nil {
-			log.Fatalf("read graph: %v", err)
+			logger.Fatalf("read graph: %v", err)
 		}
 		if g, err = graph.UnmarshalGraph(raw); err != nil {
-			log.Fatalf("parse graph: %v", err)
+			logger.Fatalf("parse graph: %v", err)
 		}
 	} else {
 		g = graph.NTUCampus()
@@ -49,7 +56,7 @@ func main() {
 
 	sys, err := core.Open(core.Config{Graph: g, DataDir: *data, AutoDerive: true})
 	if err != nil {
-		log.Fatalf("open system: %v", err)
+		logger.Fatalf("open system: %v", err)
 	}
 	defer sys.Close()
 
@@ -57,14 +64,14 @@ func main() {
 		for _, path := range flag.Args() {
 			script, err := os.ReadFile(path)
 			if err != nil {
-				log.Fatalf("read script: %v", err)
+				logger.Fatalf("read script: %v", err)
 			}
 			outputs, err := querylang.Run(sys, string(script))
 			for _, out := range outputs {
 				fmt.Println(out)
 			}
 			if err != nil {
-				log.Fatalf("%s: %v", path, err)
+				logger.Fatalf("%s: %v", path, err)
 			}
 		}
 		return
@@ -90,6 +97,6 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 }

@@ -42,7 +42,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"net/url"
 	"os"
@@ -56,14 +55,16 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/stream"
 	"repro/internal/wire"
 )
 
+// logger tags every diagnostic line; results still print to stdout.
+var logger = obs.NewLogger("ltamsim")
+
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ltamsim: ")
 	side := flag.Int("side", 8, "grid building side (side*side rooms)")
 	users := flag.Int("users", 200, "number of users")
 	steps := flag.Int("steps", 500, "movement steps per user")
@@ -77,11 +78,20 @@ func main() {
 	emitSite := flag.String("emit-site", "", "write the grid site (graph.json, bounds.json) for ltamd to this directory and exit")
 	chaos := flag.Bool("chaos", false, "with -stream: route ingest through a connection-killing chaos proxy and use the resumable session client")
 	chaosInterval := flag.Duration("chaos-interval", 500*time.Millisecond, "with -chaos: how often the proxy hard-cuts every connection")
+	sustain := flag.Duration("sustain", 0, "with -stream: sustained-load mode — drive the ingest stream for this long and emit an SLO report (throughput + per-stage p50/p95/p99) as JSON")
+	sloOut := flag.String("slo-out", "", "with -sustain: write the SLO report to this file instead of stdout")
+	logLevel := flag.String("log-level", "info", "minimum log level (debug|info|warn|error)")
 	flag.Parse()
+
+	lv, lvErr := obs.ParseLevel(*logLevel)
+	if lvErr != nil {
+		logger.Fatalf("%v", lvErr)
+	}
+	obs.SetLevel(lv)
 
 	if *emitSite != "" {
 		if err := EmitSite(*emitSite, *side); err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
 		}
 		fmt.Printf("site files for the %dx%d grid written to %s\n", *side, *side, *emitSite)
 		return
@@ -89,13 +99,20 @@ func main() {
 	if *streamURL != "" {
 		wf, err := wire.ParseWireFormat(*wireFmt)
 		if err != nil {
-			log.Fatal(err)
+			logger.Fatalf("%v", err)
+		}
+		if *sustain > 0 {
+			runSustain(*streamURL, wf, *side, *users, *seed, *overstayers, *tailgaters, *sustain, *sloOut)
+			return
 		}
 		runStream(*streamURL, wf, *side, *users, *steps, *seed, *overstayers, *tailgaters, *chaos, *chaosInterval)
 		return
 	}
 	if *chaos {
-		log.Fatal("-chaos requires -stream")
+		logger.Fatalf("-chaos requires -stream")
+	}
+	if *sustain > 0 {
+		logger.Fatalf("-sustain requires -stream")
 	}
 
 	g, rooms := GridBuilding(*side)
@@ -105,7 +122,7 @@ func main() {
 	}
 	sys, err := core.Open(cfg)
 	if err != nil {
-		log.Fatal(err)
+		logger.Fatalf("%v", err)
 	}
 	defer sys.Close()
 
@@ -190,7 +207,7 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 	// the walk rides through a primary promotion mid-stream.
 	endpoints := wire.SplitEndpoints(base)
 	if len(endpoints) == 0 {
-		log.Fatalf("empty -stream url")
+		logger.Fatalf("empty -stream url")
 	}
 	base = endpoints[0]
 	var fc *wire.FailoverClient
@@ -198,7 +215,7 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 	if len(endpoints) > 1 {
 		var err error
 		if fc, err = wire.NewFailoverClient(endpoints...); err != nil {
-			log.Fatalf("failover client: %v", err)
+			logger.Fatalf("failover client: %v", err)
 		}
 		if c, err := fc.Probe(context.Background()); err == nil {
 			client = c
@@ -210,7 +227,7 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 
 	stats, err := PopulateRemote(client, rng, rooms, users, overstayFrac, tailgateFrac, horizon)
 	if err != nil {
-		log.Fatalf("populate %s: %v (does the daemon serve the -emit-site grid?)", base, err)
+		logger.Fatalf("populate %s: %v (does the daemon serve the -emit-site grid?)", base, err)
 	}
 
 	var obs observer
@@ -219,11 +236,11 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 	if chaos {
 		u, err := url.Parse(base)
 		if err != nil || u.Host == "" {
-			log.Fatalf("parse -stream url %q: %v", base, err)
+			logger.Fatalf("parse -stream url %q: %v", base, err)
 		}
 		prox, err = fault.NewProxy("127.0.0.1:0", u.Host)
 		if err != nil {
-			log.Fatalf("start chaos proxy: %v", err)
+			logger.Fatalf("start chaos proxy: %v", err)
 		}
 		defer prox.Close()
 		stopKills := make(chan struct{})
@@ -242,7 +259,7 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 		}()
 		ro, err := wire.NewClient("http://" + prox.Addr()).StreamObserveResumable(context.Background(), wf)
 		if err != nil {
-			log.Fatalf("open resumable ingest stream: %v", err)
+			logger.Fatalf("open resumable ingest stream: %v", err)
 		}
 		obs = ro
 		ackDeadline = 90 * time.Second // rides out daemon kills/restarts too
@@ -250,14 +267,14 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 	} else if fc != nil {
 		ro, err := fc.StreamObserveResumable(context.Background(), wf)
 		if err != nil {
-			log.Fatalf("open failover ingest stream: %v", err)
+			logger.Fatalf("open failover ingest stream: %v", err)
 		}
 		obs = ro
 		ackDeadline = 90 * time.Second // rides out a failover window too
 	} else {
 		o, err := client.StreamObserveWire(context.Background(), wf)
 		if err != nil {
-			log.Fatalf("open ingest stream: %v", err)
+			logger.Fatalf("open ingest stream: %v", err)
 		}
 		obs = o
 	}
@@ -299,7 +316,7 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 			}
 			at := centers[target]
 			if err := obs.Send(wire.Reading{Time: clock, Subject: w.ID, X: at.X, Y: at.Y}); err != nil {
-				log.Fatalf("send: %v", err)
+				logger.Fatalf("send: %v", err)
 			}
 			sent++
 			for j, room := range rooms {
@@ -312,7 +329,7 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 		// One flush per step: frames pipeline to the server while the
 		// walk keeps generating — acks flow back asynchronously.
 		if err := obs.Flush(); err != nil {
-			log.Fatalf("flush: %v", err)
+			logger.Fatalf("flush: %v", err)
 		}
 		clock++
 		if s%16 == 15 {
@@ -321,17 +338,17 @@ func runStream(base string, wf wire.WireFormat, side, users, steps int, seed int
 			// would make their times regress. The cumulative ack says
 			// exactly when the stream has drained.
 			if err := waitForAck(obs, sent, ackDeadline); err != nil {
-				log.Fatalf("await acks before tick: %v", err)
+				logger.Fatalf("await acks before tick: %v", err)
 			}
 			if err := tick(clock); err != nil {
-				log.Fatalf("tick: %v", err)
+				logger.Fatalf("tick: %v", err)
 			}
 			clock++
 		}
 	}
 	ack, err := obs.Close()
 	if err != nil {
-		log.Fatalf("close stream: %v (last ack %+v)", err, ack)
+		logger.Fatalf("close stream: %v (last ack %+v)", err, ack)
 	}
 	elapsed := time.Since(start)
 

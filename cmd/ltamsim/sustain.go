@@ -1,0 +1,135 @@
+// Sustained-load mode: drive a steady random walk against a running
+// ltamd for a fixed wall-clock duration, then read the server's
+// per-stage pipeline histograms and emit an SLO report. The report is
+// the contract the CI gate (tools/benchgate) compares against the
+// committed baselines under bench/baselines/.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/wire"
+)
+
+// sustainHorizon bounds authorization validity for a sustained run. The
+// walk's monitor clock advances ~1 per step plus 1 per tick, so even a
+// long soak stays far below this.
+const sustainHorizon = interval.Time(1 << 30)
+
+// runSustain populates a crowd over the JSON API, streams the walk down
+// one ingest connection until the duration elapses, and writes the SLO
+// report to outPath ("" = stdout). Unlike runStream it is time-bound,
+// not step-bound: CI picks the wall-clock budget, not the step count.
+func runSustain(base string, wf wire.WireFormat, side, users int, seed int64, overstayFrac, tailgateFrac float64, dur time.Duration, outPath string) {
+	endpoints := wire.SplitEndpoints(base)
+	if len(endpoints) == 0 {
+		logger.Fatalf("empty -stream url")
+	}
+	client := wire.NewClient(endpoints[0])
+	g, rooms := GridBuilding(side)
+	rng := rand.New(rand.NewSource(seed))
+
+	stats, err := PopulateRemote(client, rng, rooms, users, overstayFrac, tailgateFrac, sustainHorizon)
+	if err != nil {
+		logger.Fatalf("populate %s: %v (does the daemon serve the -emit-site grid?)", endpoints[0], err)
+	}
+	o, err := client.StreamObserveWire(context.Background(), wf)
+	if err != nil {
+		logger.Fatalf("open ingest stream: %v", err)
+	}
+
+	logger.Infof("sustain: %s of load, %d users on a %dx%d grid, %s wire", dur, users, side, side, wf)
+	centers := RoomCenters(side, rooms)
+	const ackDeadline = 30 * time.Second
+	start := time.Now()
+	deadline := start.Add(dur)
+	clock := interval.Time(1)
+	var sent uint64
+	for step := 0; time.Now().Before(deadline); step++ {
+		for i := range stats.Walkers {
+			w := &stats.Walkers[i]
+			var target graph.ID
+			if w.Room < 0 {
+				target = rooms[0]
+			} else {
+				ns := g.Neighbors(rooms[w.Room])
+				target = ns[rng.Intn(len(ns))]
+			}
+			at := centers[target]
+			if err := o.Send(wire.Reading{Time: clock, Subject: w.ID, X: at.X, Y: at.Y}); err != nil {
+				logger.Fatalf("send: %v", err)
+			}
+			sent++
+			for j, room := range rooms {
+				if room == target {
+					w.Room = j
+					break
+				}
+			}
+		}
+		if err := o.Flush(); err != nil {
+			logger.Fatalf("flush: %v", err)
+		}
+		clock++
+		if step%16 == 15 {
+			// Same discipline as runStream: drain the pipelined frames
+			// before the tick so the monitor clock never passes a queued
+			// reading's timestamp.
+			if err := waitForAck(o, sent, ackDeadline); err != nil {
+				logger.Fatalf("await acks before tick: %v", err)
+			}
+			if _, err := client.Tick(clock); err != nil {
+				logger.Fatalf("tick: %v", err)
+			}
+			clock++
+		}
+	}
+	ack, err := o.Close()
+	if err != nil {
+		logger.Fatalf("close stream: %v (last ack %+v)", err, ack)
+	}
+	elapsed := time.Since(start)
+
+	st, err := client.Stats()
+	if err != nil {
+		logger.Fatalf("fetch /v1/stats after run: %v", err)
+	}
+	report := wire.SLOReport{
+		Kind:          "slo",
+		Wire:          string(wf),
+		Side:          side,
+		Users:         users,
+		DurationSec:   elapsed.Seconds(),
+		Frames:        sent,
+		ThroughputFPS: float64(sent) / elapsed.Seconds(),
+	}
+	if st.Trace != nil {
+		report.Stages = st.Trace.Stages
+	}
+	if len(report.Stages) == 0 {
+		logger.Fatalf("server reported no pipeline stage traces — SLO report would be empty")
+	}
+	logger.Infof("sustain: %d frames in %v (%.0f frames/sec), %d acked durable, %d granted %d denied",
+		sent, elapsed.Round(time.Millisecond), report.ThroughputFPS, ack.Acked, ack.Granted, ack.Denied)
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		logger.Fatalf("encode SLO report: %v", err)
+	}
+	out = append(out, '\n')
+	if outPath == "" {
+		os.Stdout.Write(out)
+		return
+	}
+	if err := os.WriteFile(outPath, out, 0o644); err != nil {
+		logger.Fatalf("write SLO report: %v", err)
+	}
+	fmt.Printf("slo report: %s\n", outPath)
+}

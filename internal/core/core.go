@@ -27,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/interval"
 	"repro/internal/movement"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/query"
 	"repro/internal/rules"
@@ -156,6 +157,16 @@ type System struct {
 	// coordinate system of the replication stream. Written only under
 	// the write lock (Snapshot) or during Open.
 	baseSeq atomic.Uint64
+	// stagedSeq is the global sequence number of the last record staged
+	// for durability (enqueued to the committer or appended inline) —
+	// the trace coordinate assigned under the write lock, ahead of the
+	// durable frontier by whatever the committer still holds. Guarded
+	// by mu.
+	stagedSeq uint64
+	// trace is the end-to-end pipeline trace every stage stamps into
+	// (see internal/obs). Always non-nil on a System built by Open or
+	// the replica bootstrap.
+	trace *obs.PipelineTrace
 
 	// readOnly marks a follower System: every public mutator returns
 	// ErrReadOnly, and the only mutation path is the replication apply
@@ -247,8 +258,12 @@ func newBareSystem() *System {
 		alerts:   audit.NewLog(0),
 		cache:    query.NewCache(0),
 		commitCh: make(chan struct{}, 1),
+		trace:    obs.NewPipelineTrace(0),
 	}
 }
+
+// Trace returns the system's pipeline trace (always non-nil).
+func (s *System) Trace() *obs.PipelineTrace { return s.trace }
 
 // CommitNotify returns the durability wakeup channel: a receive means
 // the durable frontier (ReplicationInfo().TotalSeq) may have advanced
@@ -356,8 +371,12 @@ func Open(cfg Config) (*System, error) {
 				MaxBatch:     cfg.CommitMaxBatch,
 				MaxDelay:     cfg.CommitMaxDelay,
 				AckOnEnqueue: cfg.RelaxedDurability,
+				Trace:        s.trace,
 			})
 		}
+		// The trace coordinate starts at the durable frontier: staged ==
+		// durable while nothing is queued.
+		s.stagedSeq = s.baseSeq.Load() + s.wal.Len()
 	}
 
 	// Publish the initial read view: from here on every pure query runs
@@ -637,11 +656,35 @@ func (s *System) logLocked(typ string, v any) func() error {
 	if err != nil {
 		return waitErr(err)
 	}
+	s.traceStagedOneLocked(&rec)
 	if s.committer != nil {
 		ch := s.committer.Commit(rec)
 		return func() error { return s.notifyAfter(<-ch) }
 	}
 	return waitErr(s.notifyAfter(s.wal.Append(rec)))
+}
+
+// traceStagedLocked assigns each staged record its global sequence
+// number and claims its pipeline-trace slot: the carried decode/gather
+// stamps plus the apply instant land in the ring here, under the write
+// lock — the same serialization that makes WAL order equal apply order
+// makes the claims race-free. The committer (or nobody, on the inline
+// relaxed-cadence path) stamps the later stages against these sequences.
+func (s *System) traceStagedLocked(recs []storage.Record) {
+	now := obs.Now()
+	for i := range recs {
+		s.stagedSeq++
+		recs[i].Obs.Seq = s.stagedSeq
+		s.trace.Begin(s.stagedSeq, recs[i].Obs.Stamps, now)
+	}
+}
+
+// traceStagedOneLocked is traceStagedLocked for the single-record path,
+// avoiding a slice header on the hot mutation route.
+func (s *System) traceStagedOneLocked(rec *storage.Record) {
+	s.stagedSeq++
+	rec.Obs.Seq = s.stagedSeq
+	s.trace.Begin(s.stagedSeq, rec.Obs.Stamps, obs.Now())
 }
 
 // notifyAfter forwards a commit outcome, waking durability followers on
@@ -668,6 +711,7 @@ func (s *System) logGroupLocked(recs []storage.Record) func() error {
 	if s.wal == nil || s.replaying || len(recs) == 0 {
 		return waitNil
 	}
+	s.traceStagedLocked(recs)
 	if s.committer != nil {
 		ch := s.committer.Commit(recs...)
 		return func() error { return s.notifyAfter(<-ch) }
@@ -1020,6 +1064,9 @@ type Reading struct {
 	Time    interval.Time
 	Subject profile.SubjectID
 	At      geometry.Point
+	// Stamps carries the streaming-ingest trace instants (decode,
+	// gather) by value; zero on the request/response paths.
+	Stamps obs.FrameStamps
 }
 
 // ObserveOutcome reports the application of one Reading from a batch.
@@ -1118,6 +1165,7 @@ func (s *System) applyBatch(readings []Reading) ([]ObserveOutcome, []storage.Rec
 					out[i].Err = err
 					continue
 				}
+				rec.Obs.Stamps = r.Stamps
 				recs = append(recs, rec)
 			}
 		case inside && loc == cur:
@@ -1137,6 +1185,7 @@ func (s *System) applyBatch(readings []Reading) ([]ObserveOutcome, []storage.Rec
 					out[i].Err = err
 					continue
 				}
+				rec.Obs.Stamps = r.Stamps
 				recs = append(recs, rec)
 			}
 		}

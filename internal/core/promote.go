@@ -124,9 +124,10 @@ func (s *System) promote(dataDir string, term, seq uint64, cfg PromoteConfig) er
 	s.wal = wal
 	s.walPath = walPath
 	if !cfg.DisableGroupCommit && sync == 1 {
-		s.committer = storage.NewCommitter(wal, storage.CommitterConfig{})
+		s.committer = storage.NewCommitter(wal, storage.CommitterConfig{Trace: s.trace})
 	}
 	s.baseSeq.Store(seq)
+	s.stagedSeq = seq
 	s.term.Store(term)
 	s.readOnly.Store(false)
 	s.publishLocked()

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -243,6 +244,8 @@ func (r *Replica) ApplyRecord(rec storage.Record) error {
 		r.applyErr.Store(&err)
 		return err
 	}
+	applied := r.appliedSeq.Load() + 1
+	r.sys.trace.Stamp(applied, obs.StageReplicaApply, obs.Now())
 	if r.relay != nil {
 		// Re-persist the applied record for the downstream tier. A relay
 		// write failure latches inside the RelayLog (this node stops
@@ -250,6 +253,7 @@ func (r *Replica) ApplyRecord(rec storage.Record) error {
 		// relay is a cache, the upstream log is the record of truth.
 		if body, err := json.Marshal(rec); err == nil {
 			_ = r.relay.Append(body)
+			r.sys.trace.Stamp(applied, obs.StageRelayAppend, obs.Now())
 		}
 	}
 	seq := r.appliedSeq.Add(1)

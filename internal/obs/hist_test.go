@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestHistBucketExact: values below the sub-bucketed range get one
+// bucket each, so small latencies report exactly.
+func TestHistBucketExact(t *testing.T) {
+	for us := uint64(0); us < histExact; us++ {
+		if got := histBucket(us); got != int(us) {
+			t.Errorf("histBucket(%d) = %d, want %d", us, got, us)
+		}
+		if got := histUpper(int(us)); got != int64(us) {
+			t.Errorf("histUpper(%d) = %d, want %d", us, got, us)
+		}
+	}
+}
+
+// TestHistBucketMonotone sweeps the value range and pins the layout
+// invariants: bucket indexes never decrease, every value is <= its
+// bucket's upper bound, and the upper bound maps back into the same
+// bucket (it really is the bucket's last value).
+func TestHistBucketMonotone(t *testing.T) {
+	prev := -1
+	for us := uint64(0); us < 1<<28; us = us + 1 + us/7 {
+		b := histBucket(us)
+		if b < prev {
+			t.Fatalf("histBucket(%d) = %d went backwards (prev %d)", us, b, prev)
+		}
+		prev = b
+		if b < 0 || b >= HistBuckets {
+			t.Fatalf("histBucket(%d) = %d out of range", us, b)
+		}
+		upper := histUpper(b)
+		if b < HistBuckets-1 {
+			if int64(us) > upper {
+				t.Fatalf("value %d above its bucket %d upper bound %d", us, b, upper)
+			}
+			if histBucket(uint64(upper)) != b {
+				t.Fatalf("upper bound %d of bucket %d maps to bucket %d", upper, b, histBucket(uint64(upper)))
+			}
+			if histBucket(uint64(upper)+1) != b+1 {
+				t.Fatalf("upper+1 (%d) of bucket %d maps to bucket %d, want %d", upper+1, b, histBucket(uint64(upper)+1), b+1)
+			}
+		}
+	}
+}
+
+// TestHistQuantileError: for any single recorded value in the
+// sub-bucketed range, the reported quantile overshoots by at most 1/4
+// of the value's octave base — the HDR guarantee the 4-way sub-split
+// buys (a pure power-of-two layout can overshoot by nearly 2x).
+func TestHistQuantileError(t *testing.T) {
+	for us := int64(histExact); us < 1<<22; us = us*5/4 + 1 {
+		var h Hist
+		h.ObserveMicros(us)
+		got := h.Quantile(0.99)
+		if got < us {
+			t.Fatalf("quantile(%dµs) = %d undershoots", us, got)
+		}
+		if float64(got) > float64(us)*1.25 {
+			t.Fatalf("quantile(%dµs) = %d overshoots by more than 25%%", us, got)
+		}
+	}
+}
+
+// TestHistClamp: negative and absurd values clamp instead of panicking
+// or wrapping.
+func TestHistClamp(t *testing.T) {
+	var h Hist
+	h.Observe(-time.Second)
+	h.ObserveMicros(1 << 62)
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if got := h.Quantile(0.5); got != 0 {
+		t.Errorf("p50 = %d, want 0 (negative clamps to zero bucket)", got)
+	}
+	if got := h.Quantile(0.99); got != histUpper(HistBuckets-1) {
+		t.Errorf("p99 = %d, want top bucket bound %d", got, histUpper(HistBuckets-1))
+	}
+}
+
+// TestHistStats: count, mean and the quantile ceiling (one sample's p99
+// is that sample).
+func TestHistStats(t *testing.T) {
+	var h Hist
+	if st := h.Stats(); st != (HistStats{}) {
+		t.Fatalf("empty stats = %+v", st)
+	}
+	for i := 0; i < 95; i++ {
+		h.Observe(10 * time.Microsecond)
+	}
+	for i := 0; i < 5; i++ {
+		h.Observe(100 * time.Millisecond)
+	}
+	st := h.Stats()
+	if st.Count != 100 {
+		t.Fatalf("count = %d", st.Count)
+	}
+	if st.P50Micro > 12 {
+		t.Errorf("p50 = %d, want ~10", st.P50Micro)
+	}
+	// Rank ceil(.95*100)=95 is the last fast sample; ceil(.99*100)=99 is
+	// an outlier — the ceiling rule surfaces the tail.
+	if st.P95Micro > 12 {
+		t.Errorf("p95 = %d, want ~10", st.P95Micro)
+	}
+	if st.P99Micro < 100000 || float64(st.P99Micro) > 100000*1.25 {
+		t.Errorf("p99 = %d, want within 25%% above 100000", st.P99Micro)
+	}
+	if st.MeanMicro < 5000 || st.MeanMicro > 5020 {
+		t.Errorf("mean = %d, want ~5009", st.MeanMicro)
+	}
+}
+
+// TestHistObserveAllocs: recording must be allocation-free — it rides
+// the ingest and commit hot paths.
+func TestHistObserveAllocs(t *testing.T) {
+	var h Hist
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(42 * time.Microsecond) }); n != 0 {
+		t.Errorf("Observe allocates %.1f per op, want 0", n)
+	}
+}

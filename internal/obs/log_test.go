@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// logLine pins the output shape: timestamp, padded level, component
+// tag, message.
+var logLine = regexp.MustCompile(`^\d{4}-\d{2}-\d{2}T\d{2}:\d{2}:\d{2}\.\d{3}Z (debug|info |warn |error) [a-z-]+: .+\n$`)
+
+func captureLog(t *testing.T) *strings.Builder {
+	t.Helper()
+	var sb strings.Builder
+	SetOutput(&sb)
+	old := CurrentLevel()
+	t.Cleanup(func() { SetOutput(os.Stderr); SetLevel(old) })
+	return &sb
+}
+
+func TestLoggerFormatAndLevels(t *testing.T) {
+	sb := captureLog(t)
+	SetLevel(LevelInfo)
+	l := NewLogger("wal")
+	l.Debugf("suppressed %d", 1)
+	l.Infof("opened %s", "wal.log")
+	l.Warnf("slow fsync")
+	l.Errorf("poisoned")
+	lines := strings.SplitAfter(sb.String(), "\n")
+	lines = lines[:len(lines)-1]
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (debug suppressed):\n%s", len(lines), sb.String())
+	}
+	for _, line := range lines {
+		if !logLine.MatchString(line) {
+			t.Errorf("malformed line: %q", line)
+		}
+	}
+	if !strings.Contains(lines[0], "info  wal: opened wal.log") {
+		t.Errorf("line = %q", lines[0])
+	}
+	SetLevel(LevelError)
+	sb.Reset()
+	l.Warnf("hidden")
+	l.Errorf("shown")
+	if got := sb.String(); strings.Contains(got, "hidden") || !strings.Contains(got, "shown") {
+		t.Errorf("error-level filter broken: %q", got)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "WARNING": LevelWarn, " error ": LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel must reject unknown names")
+	}
+}
+
+func TestFatalfExits(t *testing.T) {
+	sb := captureLog(t)
+	SetLevel(LevelInfo)
+	code := -1
+	oldExit := exit
+	exit = func(c int) { code = c }
+	defer func() { exit = oldExit }()
+	NewLogger("main").Fatalf("boom %d", 7)
+	if code != 1 {
+		t.Errorf("exit code = %d, want 1", code)
+	}
+	if !strings.Contains(sb.String(), "error main: boom 7") {
+		t.Errorf("fatal line = %q", sb.String())
+	}
+}

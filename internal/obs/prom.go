@@ -1,0 +1,175 @@
+// Prometheus text exposition (format version 0.0.4), hand-rolled so the
+// fleet is scrapeable with zero dependencies. A Registry holds named
+// collector functions; each scrape runs them against a MetricWriter that
+// enforces the format's family discipline (one HELP/TYPE header per
+// family, samples grouped under it) and escapes label values.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// ContentTypeProm is the scrape response content type.
+const ContentTypeProm = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one metric label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// MetricWriter accumulates one scrape's families. Collectors declare a
+// family (name, help, type) once and then emit its samples; the writer
+// renders everything in declaration order.
+type MetricWriter struct {
+	buf strings.Builder
+	err error
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// family emits the HELP/TYPE header for one metric family.
+func (w *MetricWriter) family(name, help, typ string) {
+	fmt.Fprintf(&w.buf, "# HELP %s %s\n# TYPE %s %s\n", name, escapeHelp(help), name, typ)
+}
+
+// sample emits one sample line.
+func (w *MetricWriter) sample(name string, labels []Label, value float64) {
+	w.buf.WriteString(name)
+	if len(labels) > 0 {
+		w.buf.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.buf.WriteByte(',')
+			}
+			fmt.Fprintf(&w.buf, `%s="%s"`, l.Name, escapeLabel(l.Value))
+		}
+		w.buf.WriteByte('}')
+	}
+	w.buf.WriteByte(' ')
+	w.buf.WriteString(formatValue(value))
+	w.buf.WriteByte('\n')
+}
+
+// formatValue renders a sample value (exposition floats, +Inf/-Inf/NaN).
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// Counter emits a single-sample counter family.
+func (w *MetricWriter) Counter(name, help string, value float64, labels ...Label) {
+	w.family(name, help, "counter")
+	w.sample(name, labels, value)
+}
+
+// Gauge emits a single-sample gauge family.
+func (w *MetricWriter) Gauge(name, help string, value float64, labels ...Label) {
+	w.family(name, help, "gauge")
+	w.sample(name, labels, value)
+}
+
+// GaugeVec emits a gauge family with one sample per label set.
+func (w *MetricWriter) GaugeVec(name, help string, emit func(sample func(value float64, labels ...Label))) {
+	w.family(name, help, "gauge")
+	emit(func(value float64, labels ...Label) { w.sample(name, labels, value) })
+}
+
+// CounterVec emits a counter family with one sample per label set.
+func (w *MetricWriter) CounterVec(name, help string, emit func(sample func(value float64, labels ...Label))) {
+	w.family(name, help, "counter")
+	emit(func(value float64, labels ...Label) { w.sample(name, labels, value) })
+}
+
+// Summary emits one HistStats as a summary family: the three quantiles
+// plus _sum (seconds) and _count, under the shared labels.
+func (w *MetricWriter) Summary(name, help string, emit func(sample func(st HistStats, labels ...Label))) {
+	w.family(name, help, "summary")
+	emit(func(st HistStats, labels ...Label) {
+		q := func(quantile string, us int64) {
+			ls := make([]Label, 0, len(labels)+1)
+			ls = append(ls, labels...)
+			ls = append(ls, Label{"quantile", quantile})
+			w.sample(name, ls, float64(us)/1e6)
+		}
+		q("0.5", st.P50Micro)
+		q("0.95", st.P95Micro)
+		q("0.99", st.P99Micro)
+		w.sample(name+"_sum", labels, float64(st.MeanMicro)*float64(st.Count)/1e6)
+		w.sample(name+"_count", labels, float64(st.Count))
+	})
+}
+
+// Registry is a named set of collectors — one per stats struct the
+// server adapts. Scrapes run every collector in registration order.
+type Registry struct {
+	mu    sync.Mutex
+	names []string
+	by    map[string]func(*MetricWriter)
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{by: make(map[string]func(*MetricWriter))}
+}
+
+// Register adds (or replaces) the named collector.
+func (r *Registry) Register(name string, collect func(*MetricWriter)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.by[name]; !ok {
+		r.names = append(r.names, name)
+	}
+	r.by[name] = collect
+}
+
+// Names returns the registered collector names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
+// WriteTo runs every collector and writes one scrape to w.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := append([]string(nil), r.names...)
+	by := make(map[string]func(*MetricWriter), len(r.by))
+	for k, v := range r.by {
+		by[k] = v
+	}
+	r.mu.Unlock()
+	mw := &MetricWriter{}
+	for _, name := range names {
+		by[name](mw)
+	}
+	n, err := io.WriteString(w, mw.buf.String())
+	return int64(n), err
+}

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestWriterCounterGauge pins the exposition shape of the scalar
+// families.
+func TestWriterCounterGauge(t *testing.T) {
+	w := &MetricWriter{}
+	w.Counter("ltam_frames_total", "Frames applied.", 42)
+	w.Gauge("ltam_conns", "Live connections.", 3, Label{Name: "kind", Value: "ingest"})
+	want := "# HELP ltam_frames_total Frames applied.\n" +
+		"# TYPE ltam_frames_total counter\n" +
+		"ltam_frames_total 42\n" +
+		"# HELP ltam_conns Live connections.\n" +
+		"# TYPE ltam_conns gauge\n" +
+		`ltam_conns{kind="ingest"} 3` + "\n"
+	if got := w.buf.String(); got != want {
+		t.Errorf("exposition:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriterEscaping: label values with quotes, backslashes and
+// newlines must escape per the format.
+func TestWriterEscaping(t *testing.T) {
+	w := &MetricWriter{}
+	w.Gauge("m", "help with\nnewline", 1, Label{Name: "route", Value: `GET "x\y"` + "\n"})
+	got := w.buf.String()
+	if !strings.Contains(got, `# HELP m help with\nnewline`) {
+		t.Errorf("HELP not escaped: %q", got)
+	}
+	if !strings.Contains(got, `m{route="GET \"x\\y\"\n"} 1`) {
+		t.Errorf("label not escaped: %q", got)
+	}
+}
+
+// TestWriterSummary: one HistStats becomes three quantile samples plus
+// _sum (seconds) and _count.
+func TestWriterSummary(t *testing.T) {
+	w := &MetricWriter{}
+	w.Summary("ltam_lat_seconds", "Latency.", func(sample func(st HistStats, labels ...Label)) {
+		sample(HistStats{Count: 10, MeanMicro: 100, P50Micro: 90, P95Micro: 200, P99Micro: 300},
+			Label{Name: "stage", Value: "fsync"})
+	})
+	got := w.buf.String()
+	for _, want := range []string{
+		"# TYPE ltam_lat_seconds summary",
+		`ltam_lat_seconds{stage="fsync",quantile="0.5"} 9e-05`,
+		`ltam_lat_seconds{stage="fsync",quantile="0.95"} 0.0002`,
+		`ltam_lat_seconds{stage="fsync",quantile="0.99"} 0.0003`,
+		`ltam_lat_seconds_sum{stage="fsync"} 0.001`,
+		`ltam_lat_seconds_count{stage="fsync"} 10`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("missing %q in:\n%s", want, got)
+		}
+	}
+}
+
+// TestWriterInf: non-finite values render as the format's literals.
+func TestWriterInf(t *testing.T) {
+	for v, want := range map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		math.NaN():   "NaN",
+		2.5:          "2.5",
+	} {
+		if got := formatValue(v); got != want {
+			t.Errorf("formatValue(%v) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+// TestRegistryOrder: collectors run in registration order (stable
+// scrape layout), re-registering replaces in place, Names sorts.
+func TestRegistryOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Register("b", func(w *MetricWriter) { w.Gauge("b_metric", "b", 1) })
+	r.Register("a", func(w *MetricWriter) { w.Gauge("a_metric", "a", 2) })
+	r.Register("b", func(w *MetricWriter) { w.Gauge("b_metric", "b", 3) })
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if strings.Index(got, "b_metric 3") > strings.Index(got, "a_metric 2") {
+		t.Errorf("registration order not preserved:\n%s", got)
+	}
+	if names := r.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+// sampleLine matches one exposition sample: name, optional label block,
+// value.
+var sampleLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (-?[0-9.e+-]+|[+-]Inf|NaN)$`)
+
+// parseExposition validates a scrape against the text format: every
+// line must be a comment or a well-formed sample, every sample's family
+// must have been declared by a preceding TYPE line. Returns the sample
+// count.
+func parseExposition(t *testing.T, text string) int {
+	t.Helper()
+	declared := map[string]bool{}
+	samples := 0
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(line)
+			if len(fields) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			switch fields[3] {
+			case "counter", "gauge", "summary", "histogram", "untyped":
+			default:
+				t.Fatalf("unknown metric type in %q", line)
+			}
+			declared[fields[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !sampleLine.MatchString(line) {
+			t.Fatalf("malformed sample line: %q", line)
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		family := strings.TrimSuffix(strings.TrimSuffix(name, "_sum"), "_count")
+		if !declared[name] && !declared[family] {
+			t.Fatalf("sample %q precedes its TYPE declaration", line)
+		}
+		samples++
+	}
+	return samples
+}
+
+// TestRegistryScrapeParses: a registry exercising every writer shape
+// produces a parseable scrape.
+func TestRegistryScrapeParses(t *testing.T) {
+	r := NewRegistry()
+	r.Register("all", func(w *MetricWriter) {
+		w.Counter("c_total", "counter", 1)
+		w.Gauge("g", "gauge", -2.5)
+		w.GaugeVec("gv", "gauge vec", func(sample func(v float64, labels ...Label)) {
+			sample(1, Label{Name: "role", Value: "primary"})
+			sample(0, Label{Name: "role", Value: `weird"value`})
+		})
+		w.Summary("s_seconds", "summary", func(sample func(st HistStats, labels ...Label)) {
+			sample(HistStats{Count: 3, MeanMicro: 5, P50Micro: 4, P95Micro: 9, P99Micro: 9})
+		})
+	})
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if n := parseExposition(t, sb.String()); n != 9 {
+		t.Errorf("sample count = %d, want 9:\n%s", n, sb.String())
+	}
+}
+
+// TestStageNamesDistinct guards the /metrics stage label space: names
+// must be distinct and non-empty.
+func TestStageNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, n := range StageNames() {
+		if n == "" || seen[n] {
+			t.Fatalf("bad stage name set: %v", StageNames())
+		}
+		seen[n] = true
+	}
+	if fmt.Sprint(Stage(-1)) != "unknown" || fmt.Sprint(NumStages) != "unknown" {
+		t.Error("out-of-range stages must print unknown")
+	}
+}

@@ -1,0 +1,283 @@
+// Pipeline tracing: a per-sequence stage clock over a lock-free ring.
+//
+// Every committed record flows decode → gather → apply → append → fsync
+// → publish → deliver (and replica-apply → relay-append on followers).
+// Each stage stamps the record's slot in a fixed ring keyed by the
+// record's global sequence number; the ring holds the last N records, so
+// an operator can ask "where did seq 123456 spend its 5.1µs?" while the
+// per-stage histograms aggregate the same stamps into p50/p95/p99
+// transition latencies.
+//
+// Stamping is a handful of atomic stores against a preallocated slot —
+// no lock, no allocation — and every stamp uses the process-monotonic
+// clock (Now), so a trace's stage ordering can never be inverted by a
+// wall-clock step.
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one pipeline stage. The declaration order IS the
+// pipeline order: a record's stamps are non-decreasing along it.
+type Stage int
+
+const (
+	// StageDecode: the ingest reader decoded the frame off the wire.
+	StageDecode Stage = iota
+	// StageGather: the shared chunker folded the frame into a batch.
+	StageGather
+	// StageApply: the record was produced under the write lock (the
+	// engine applied the mutation and the post-mutation view was
+	// published to readers).
+	StageApply
+	// StageAppend: the group committer began writing the record's batch
+	// to the WAL. Apply→append is the commit-queue wait.
+	StageAppend
+	// StageFsync: the batch's fsync returned — the record is durable.
+	StageFsync
+	// StagePublish: the durable commit was released to its barrier
+	// waiters (acks and the commit notification follow immediately).
+	// The RCU read view itself is published earlier, under the write
+	// lock — this stage marks when that view becomes durably backed.
+	StagePublish
+	// StageDeliver: the event bus fanned the record's event out to its
+	// subscribers.
+	StageDeliver
+	// StageReplicaApply: a follower applied the shipped record.
+	StageReplicaApply
+	// StageRelayAppend: a cascading follower re-persisted the record
+	// into its relay log for the downstream tier.
+	StageRelayAppend
+
+	NumStages
+)
+
+// stageNames is indexed by Stage.
+var stageNames = [NumStages]string{
+	"decode", "gather", "apply", "append", "fsync", "publish", "deliver",
+	"replica-apply", "relay-append",
+}
+
+func (st Stage) String() string {
+	if st < 0 || st >= NumStages {
+		return "unknown"
+	}
+	return stageNames[st]
+}
+
+// StageNames returns the stage names in pipeline order.
+func StageNames() []string {
+	out := make([]string, NumStages)
+	for i := range stageNames {
+		out[i] = stageNames[i]
+	}
+	return out
+}
+
+// traceEpoch anchors the process-monotonic trace clock.
+var traceEpoch = time.Now()
+
+// Now returns the trace clock: nanoseconds since the process started
+// tracing. It reads the runtime's monotonic clock, so stamps taken in
+// happens-before order are non-decreasing even across an NTP step.
+func Now() int64 { return int64(time.Since(traceEpoch)) }
+
+// FrameStamps carries the pre-sequence trace stamps of one reading: the
+// instants it was decoded off the wire and gathered into a batch, on the
+// trace clock. It rides the hot-path structs (stream frame, reading, WAL
+// record) by value — zero allocations. Zero fields mean "not traced on
+// that stage" (e.g. the request/response ingest paths never decode
+// frames).
+type FrameStamps struct {
+	Decode int64
+	Gather int64
+}
+
+// DefaultTraceRing is the ring size NewPipelineTrace(0) selects.
+const DefaultTraceRing = 4096
+
+// traceSlot is one record's stage clock. seq guards the stamps: readers
+// load seq, copy the stamps, and re-check seq to discard torn slots.
+type traceSlot struct {
+	seq    atomic.Uint64
+	stamps [NumStages]atomic.Int64
+}
+
+// TraceEntry is a consistent copy of one record's stage clock. Stamps
+// are trace-clock nanoseconds (see Now); zero means the stage never ran
+// for this record.
+type TraceEntry struct {
+	Seq    uint64
+	Stamps [NumStages]int64
+}
+
+// PipelineTrace is the per-sequence stage clock: a ring of the last N
+// records plus one latency histogram per stage transition. A nil
+// PipelineTrace is a valid no-op sink, so untraced paths need no checks.
+type PipelineTrace struct {
+	slots  []traceSlot
+	mask   uint64
+	maxSeq atomic.Uint64
+	// hist[st] is the latency from the nearest earlier stamped stage to
+	// st, fed as each stamp lands. hist[StageDecode] never fills (decode
+	// has no predecessor).
+	hist [NumStages]Hist
+}
+
+// NewPipelineTrace builds a trace ring of at least size slots (rounded
+// up to a power of two; <= 0 selects DefaultTraceRing).
+func NewPipelineTrace(size int) *PipelineTrace {
+	if size <= 0 {
+		size = DefaultTraceRing
+	}
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &PipelineTrace{slots: make([]traceSlot, n), mask: uint64(n - 1)}
+}
+
+// Ring returns the ring capacity (0 on a nil trace).
+func (t *PipelineTrace) Ring() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.slots)
+}
+
+// MaxSeq returns the highest sequence ever claimed.
+func (t *PipelineTrace) MaxSeq() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.maxSeq.Load()
+}
+
+func (t *PipelineTrace) noteMax(seq uint64) {
+	for {
+		cur := t.maxSeq.Load()
+		if seq <= cur || t.maxSeq.CompareAndSwap(cur, seq) {
+			return
+		}
+	}
+}
+
+// stampSlot writes one stage stamp and feeds the stage histogram with
+// the delta from the nearest earlier stamped stage.
+func (t *PipelineTrace) stampSlot(s *traceSlot, st Stage, now int64) {
+	s.stamps[st].Store(now)
+	for i := int(st) - 1; i >= 0; i-- {
+		if prev := s.stamps[i].Load(); prev > 0 {
+			if d := now - prev; d >= 0 {
+				t.hist[st].ObserveMicros(d / 1000)
+			}
+			return
+		}
+	}
+}
+
+// Begin claims seq's ring slot and records its pre-commit stamps: the
+// carried decode/gather instants plus the apply instant. The primary
+// calls it under the write lock — the same serialization that makes WAL
+// order equal apply order makes claims race-free.
+func (t *PipelineTrace) Begin(seq uint64, fs FrameStamps, applyNano int64) {
+	if t == nil || seq == 0 {
+		return
+	}
+	s := &t.slots[seq&t.mask]
+	for i := range s.stamps {
+		s.stamps[i].Store(0)
+	}
+	s.seq.Store(seq)
+	t.noteMax(seq)
+	if fs.Decode > 0 {
+		s.stamps[StageDecode].Store(fs.Decode)
+	}
+	if fs.Gather > 0 {
+		t.stampSlot(s, StageGather, fs.Gather)
+	}
+	t.stampSlot(s, StageApply, applyNano)
+}
+
+// Stamp records stage st for seq at now (trace-clock nanoseconds). A
+// slot already recycled by a newer record drops the stamp; a stamp for a
+// sequence never Begun (the follower path) claims the slot itself.
+func (t *PipelineTrace) Stamp(seq uint64, st Stage, now int64) {
+	if t == nil || seq == 0 {
+		return
+	}
+	s := &t.slots[seq&t.mask]
+	if cur := s.seq.Load(); cur != seq {
+		if cur > seq {
+			return
+		}
+		for i := range s.stamps {
+			s.stamps[i].Store(0)
+		}
+		s.seq.Store(seq)
+		t.noteMax(seq)
+	}
+	t.stampSlot(s, st, now)
+}
+
+// Trace returns a consistent copy of seq's stage clock, ok=false when
+// the ring no longer (or never) holds it.
+func (t *PipelineTrace) Trace(seq uint64) (TraceEntry, bool) {
+	if t == nil || seq == 0 {
+		return TraceEntry{}, false
+	}
+	s := &t.slots[seq&t.mask]
+	if s.seq.Load() != seq {
+		return TraceEntry{}, false
+	}
+	e := TraceEntry{Seq: seq}
+	for i := range s.stamps {
+		e.Stamps[i] = s.stamps[i].Load()
+	}
+	if s.seq.Load() != seq {
+		return TraceEntry{}, false // recycled mid-copy
+	}
+	return e, true
+}
+
+// Last returns up to n of the most recent traces, in ascending sequence
+// order.
+func (t *PipelineTrace) Last(n int) []TraceEntry {
+	if t == nil || n <= 0 {
+		return nil
+	}
+	high := t.maxSeq.Load()
+	if high == 0 {
+		return nil
+	}
+	low := uint64(1)
+	if span := uint64(len(t.slots)); high > span {
+		low = high - span + 1
+	}
+	out := make([]TraceEntry, 0, n)
+	for seq := high; seq >= low && len(out) < n; seq-- {
+		if e, ok := t.Trace(seq); ok {
+			out = append(out, e)
+		}
+	}
+	// Collected newest-first; present oldest-first.
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+// StageStats summarizes the per-stage transition histograms. Index by
+// Stage; stages that never recorded a transition have Count 0.
+func (t *PipelineTrace) StageStats() [NumStages]HistStats {
+	var out [NumStages]HistStats
+	if t == nil {
+		return out
+	}
+	for i := range t.hist {
+		out[i] = t.hist[i].Stats()
+	}
+	return out
+}

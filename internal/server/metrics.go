@@ -1,92 +1,39 @@
 // Per-endpoint latency histograms: every route records request durations
-// into a fixed set of power-of-two microsecond buckets, from which
-// /v1/stats derives p50/p95/p99. Recording is a couple of atomic adds —
-// no lock, no allocation — so instrumentation never perturbs the
-// lock-free read path it measures.
+// into HDR-style sub-bucketed microsecond buckets (obs.Hist — four
+// sub-buckets per power-of-two octave, ~25% worst-case quantile error),
+// from which /v1/stats derives p50/p95/p99. Recording is a couple of
+// atomic adds — no lock, no allocation — so instrumentation never
+// perturbs the lock-free read path it measures.
 package server
 
 import (
-	"math"
-	"math/bits"
-	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
-// latBuckets is the bucket count: bucket i covers durations in
-// [2^(i-1), 2^i) microseconds (bucket 0 is < 1µs), so the top bucket
-// absorbs everything from ~67s up — far beyond any sane request.
-const latBuckets = 27
-
 // histogram is one endpoint's latency distribution.
 type histogram struct {
-	count   atomic.Uint64
-	sumNano atomic.Uint64
-	buckets [latBuckets]atomic.Uint64
+	h obs.Hist
 }
 
-func bucketFor(d time.Duration) int {
-	us := uint64(d / time.Microsecond)
-	b := bits.Len64(us) // 0 for <1µs, else floor(log2(us))+1
-	if b >= latBuckets {
-		b = latBuckets - 1
-	}
-	return b
-}
-
-func (h *histogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	h.count.Add(1)
-	h.sumNano.Add(uint64(d))
-	h.buckets[bucketFor(d)].Add(1)
-}
-
-// quantile returns the upper bound, in microseconds, of the bucket
-// containing the p-th percentile of the recorded durations (p in (0, 1]).
-// The bound is exact to within one power of two — plenty for spotting a
-// route whose tail moved. Nearest-rank with a ceiling: at 10 samples,
-// p99 is the 10th-slowest, not the 9th — a floor would hide a single
-// slow outlier exactly on the low-traffic routes where it matters.
-func (h *histogram) quantile(p float64) int64 {
-	total := h.count.Load()
-	if total == 0 {
-		return 0
-	}
-	rank := uint64(math.Ceil(p * float64(total)))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > total {
-		rank = total
-	}
-	var cum uint64
-	for i := 0; i < latBuckets; i++ {
-		cum += h.buckets[i].Load()
-		if cum >= rank {
-			if i == 0 {
-				return 1
-			}
-			return int64(1) << i // upper bound of [2^(i-1), 2^i)
-		}
-	}
-	return int64(1) << (latBuckets - 1)
-}
+func (h *histogram) observe(d time.Duration) { h.h.Observe(d) }
 
 func (h *histogram) stats() wire.EndpointStats {
-	n := h.count.Load()
-	st := wire.EndpointStats{
-		Count:    n,
-		P50Micro: h.quantile(0.50),
-		P95Micro: h.quantile(0.95),
-		P99Micro: h.quantile(0.99),
+	return endpointStats(h.h.Stats())
+}
+
+// endpointStats adapts an obs histogram snapshot to the /v1/stats wire
+// shape, which predates the obs package and must not change.
+func endpointStats(st obs.HistStats) wire.EndpointStats {
+	return wire.EndpointStats{
+		Count:     st.Count,
+		MeanMicro: st.MeanMicro,
+		P50Micro:  st.P50Micro,
+		P95Micro:  st.P95Micro,
+		P99Micro:  st.P99Micro,
 	}
-	if n > 0 {
-		st.MeanMicro = int64(h.sumNano.Load() / n / 1000)
-	}
-	return st
 }
 
 // metrics maps route patterns to histograms. The map is populated once
@@ -108,7 +55,7 @@ func (m *metrics) register(pattern string) *histogram {
 func (m *metrics) snapshot() map[string]wire.EndpointStats {
 	out := make(map[string]wire.EndpointStats)
 	for pattern, h := range m.byRoute {
-		if h.count.Load() > 0 {
+		if h.h.Count() > 0 {
 			out[pattern] = h.stats()
 		}
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"testing"
 	"time"
 
@@ -8,35 +9,39 @@ import (
 	"repro/internal/profile"
 )
 
-// TestBucketFor pins the histogram's bucket edges: bucket i covers
-// [2^(i-1), 2^i) microseconds, with everything sub-microsecond in bucket
-// 0 and the tail clamped to the last bucket.
-func TestBucketFor(t *testing.T) {
-	cases := []struct {
-		d    time.Duration
-		want int
-	}{
-		{0, 0},
-		{500 * time.Nanosecond, 0},
-		{time.Microsecond, 1},
-		{3 * time.Microsecond, 2},
-		{1024 * time.Microsecond, 11},
-		{time.Hour, latBuckets - 1},
-	}
-	for _, c := range cases {
-		if got := bucketFor(c.d); got != c.want {
-			t.Errorf("bucketFor(%v) = %d, want %d", c.d, got, c.want)
-		}
+// TestHistogramEmpty: the zero value reports all-zero stats — no fake
+// percentiles before the first request.
+func TestHistogramEmpty(t *testing.T) {
+	var h histogram
+	st := h.stats()
+	if st.Count != 0 || st.MeanMicro != 0 || st.P50Micro != 0 || st.P95Micro != 0 || st.P99Micro != 0 {
+		t.Errorf("empty histogram stats = %+v, want all zero", st)
 	}
 }
 
-// TestHistogramQuantiles: percentiles come back as power-of-two upper
-// bounds of the right bucket.
+// TestHistogramSingleSample: with one observation every percentile is
+// that observation's bucket — nearest-rank with a ceiling never reports
+// an empty rank.
+func TestHistogramSingleSample(t *testing.T) {
+	var h histogram
+	h.observe(5 * time.Microsecond)
+	st := h.stats()
+	if st.Count != 1 {
+		t.Fatalf("count = %d, want 1", st.Count)
+	}
+	// 5µs is in the exact range, so the bucket bound is the value itself.
+	if st.P50Micro != 5 || st.P95Micro != 5 || st.P99Micro != 5 {
+		t.Errorf("single-sample percentiles = %+v, want all 5", st)
+	}
+	if st.MeanMicro != 5 {
+		t.Errorf("mean = %d, want 5", st.MeanMicro)
+	}
+}
+
+// TestHistogramQuantiles: percentiles come back as HDR sub-bucket upper
+// bounds — within ~12.5% of the true value, not a factor of two.
 func TestHistogramQuantiles(t *testing.T) {
 	var h histogram
-	if h.quantile(0.5) != 0 {
-		t.Error("empty histogram must report 0")
-	}
 	// 90 fast requests (~2µs) and 10 slow ones (~1ms).
 	for i := 0; i < 90; i++ {
 		h.observe(2 * time.Microsecond)
@@ -44,15 +49,75 @@ func TestHistogramQuantiles(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		h.observe(time.Millisecond)
 	}
-	if p50 := h.quantile(0.50); p50 != 4 {
-		t.Errorf("p50 = %dµs, want 4 (bucket [2, 4))", p50)
+	if p50 := h.h.Quantile(0.50); p50 != 2 {
+		t.Errorf("p50 = %dµs, want 2 (exact bucket)", p50)
 	}
-	if p99 := h.quantile(0.99); p99 != 1024 {
-		t.Errorf("p99 = %dµs, want 1024 (1ms lands in bucket [512, 1024))", p99)
+	// 1000µs lands in octave [512, 1024), sub-bucket [896, 1024).
+	if p99 := h.h.Quantile(0.99); p99 != 1023 {
+		t.Errorf("p99 = %dµs, want 1023 (sub-bucket [896, 1024))", p99)
 	}
 	st := h.stats()
 	if st.Count != 100 || st.MeanMicro < 90 || st.MeanMicro > 120 {
 		t.Errorf("stats = %+v", st)
+	}
+}
+
+// TestHistogramOverflow: durations beyond the top octave clamp into the
+// last bucket instead of indexing out of range, and every percentile
+// reports that bucket's bound.
+func TestHistogramOverflow(t *testing.T) {
+	var h histogram
+	h.observe(time.Hour)
+	h.observe(24 * time.Hour)
+	st := h.stats()
+	if st.Count != 2 {
+		t.Fatalf("count = %d, want 2", st.Count)
+	}
+	if st.P50Micro != st.P99Micro {
+		t.Errorf("clamped percentiles differ: %+v", st)
+	}
+	// Top bucket bound is ~134s; an hour-long "request" clamps to it.
+	if st.P99Micro < int64(1)<<26 {
+		t.Errorf("p99 = %dµs, want the top-bucket bound (>= 2^26)", st.P99Micro)
+	}
+	// Negative durations clamp to zero rather than wrapping.
+	h.observe(-time.Second)
+	if got := h.h.Count(); got != 3 {
+		t.Errorf("count after negative observe = %d, want 3", got)
+	}
+}
+
+// TestHistogramConcurrent hammers observe from several goroutines while
+// snapshotting — the race detector (CI runs this package under -race)
+// proves recording and reading never need a lock.
+func TestHistogramConcurrent(t *testing.T) {
+	var h histogram
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.observe(time.Duration(w*i%5000) * time.Microsecond)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			st := h.stats()
+			if st.P99Micro < st.P50Micro {
+				t.Errorf("snapshot inverted: %+v", st)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.h.Count(); got != workers*perWorker {
+		t.Errorf("count = %d, want %d", got, workers*perWorker)
 	}
 }
 

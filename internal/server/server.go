@@ -18,6 +18,7 @@ import (
 	"repro/internal/geometry"
 	"repro/internal/graph"
 	"repro/internal/interval"
+	"repro/internal/obs"
 	"repro/internal/profile"
 	"repro/internal/rules"
 	"repro/internal/storage"
@@ -29,6 +30,9 @@ type Server struct {
 	sys     *core.System
 	mux     *http.ServeMux
 	metrics *metrics
+	// registry adapts every stats struct to the /metrics exposition
+	// (built once in New; collectors read live counters per scrape).
+	registry *obs.Registry
 	// rep is set when this server fronts a read-only follower: queries
 	// are served from the replica's published views, mutations return
 	// 403 (core.ErrReadOnly), and /v1/replication/status reports the
@@ -70,6 +74,7 @@ func (s *Server) isFollower() bool { return s.rep != nil && !s.rep.Promoted() }
 func New(sys *core.System) *Server {
 	s := &Server{sys: sys, mux: http.NewServeMux(), metrics: newMetrics()}
 	s.routes()
+	s.registry = s.buildRegistry()
 	return s
 }
 
@@ -131,6 +136,8 @@ func (s *Server) routes() {
 	s.handle("GET /v1/alerts", s.alerts)
 	s.handle("GET /v1/graph", s.graphSpec)
 	s.handle("GET /v1/stats", s.stats)
+	s.handle("GET /v1/trace", s.traceHandler)
+	s.handle("GET /metrics", s.metricsHandler)
 	s.handle("POST /v1/snapshot", s.snapshot)
 
 	s.handle("GET /v1/healthz", s.healthz)
@@ -359,12 +366,14 @@ func (s *Server) observeBatch(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	decoded := obs.Now()
 	readings := make([]core.Reading, len(req.Readings))
 	for i, rd := range req.Readings {
 		readings[i] = core.Reading{
 			Time:    rd.Time,
 			Subject: rd.Subject,
 			At:      geometry.Point{X: rd.X, Y: rd.Y},
+			Stamps:  obs.FrameStamps{Decode: decoded},
 		}
 	}
 	outcomes, err := s.sys.ObserveBatch(readings)
@@ -542,6 +551,7 @@ func (s *Server) stats(w http.ResponseWriter, _ *http.Request) {
 		Endpoints:   s.metrics.snapshot(),
 		Replication: s.replicationWireStatus(nil),
 		Stream:      s.streamStats(),
+		Trace:       s.traceStats(),
 	})
 }
 

@@ -394,7 +394,8 @@ func (s *Server) SetFollowLagMax(max time.Duration) { s.maxLag = max }
 func lagExempt(pattern string) bool {
 	return strings.Contains(pattern, "/v1/stats") || strings.Contains(pattern, "/v1/replication/") ||
 		strings.Contains(pattern, "/v1/healthz") || strings.Contains(pattern, "/v1/readyz") ||
-		strings.Contains(pattern, "/v1/admin/") || strings.Contains(pattern, "/v1/stream/ack")
+		strings.Contains(pattern, "/v1/admin/") || strings.Contains(pattern, "/v1/stream/ack") ||
+		strings.Contains(pattern, "/v1/trace") || strings.Contains(pattern, "/metrics")
 }
 
 // barred enforces the follow-lag barrier; it reports true after writing

@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrCommitterClosed is returned to Commit calls issued after Close.
@@ -69,6 +71,9 @@ type CommitterConfig struct {
 	// Background fsync failures are counted in Stats().SyncFailures and
 	// retained in Err.
 	AckOnEnqueue bool
+	// Trace, when set, receives the append/fsync/publish stage stamps
+	// for every record carrying a traced sequence (Record.Obs.Seq).
+	Trace *obs.PipelineTrace
 }
 
 // group is one Commit call: its records plus its commit barrier. A
@@ -106,6 +111,7 @@ type Committer struct {
 	maxBatch     int
 	maxDelay     time.Duration
 	ackOnEnqueue bool
+	trace        *obs.PipelineTrace
 
 	ch     chan group
 	loopWG sync.WaitGroup
@@ -133,6 +139,7 @@ func NewCommitter(w *WAL, cfg CommitterConfig) *Committer {
 		maxBatch:     cfg.MaxBatch,
 		maxDelay:     cfg.MaxDelay,
 		ackOnEnqueue: cfg.AckOnEnqueue,
+		trace:        cfg.Trace,
 		ch:           make(chan group, cfg.QueueLen),
 	}
 	c.loopWG.Add(1)
@@ -235,6 +242,19 @@ func (c *Committer) Err() error {
 	return nil
 }
 
+// stamp records one pipeline stage for every traced record of a batch,
+// all at the same instant (the batch shares one fsync, so its records
+// share the stage clock).
+func (c *Committer) stamp(recs []Record, st obs.Stage) {
+	if c.trace == nil {
+		return
+	}
+	now := obs.Now()
+	for i := range recs {
+		c.trace.Stamp(recs[i].Obs.Seq, st, now)
+	}
+}
+
 // run is the committer goroutine: collect a batch, write it with one
 // AppendGroup (one fsync), release the batch's waiters, repeat.
 func (c *Committer) run() {
@@ -305,6 +325,7 @@ func (c *Committer) run() {
 			}
 		}
 		if err == nil {
+			c.stamp(recs, obs.StageAppend)
 			err = c.wal.AppendGroup(recs)
 		}
 		if err == nil && n > 0 {
@@ -313,6 +334,14 @@ func (c *Committer) run() {
 		} else if err != nil {
 			c.syncErrs.Add(1)
 			c.lastErr.Store(&err)
+		}
+		if err == nil {
+			// Fsync first, then publish: the publish stamp marks the
+			// instant the durable commit is about to be released to its
+			// barrier waiters, so it always precedes the bus delivery the
+			// waiters' commit notification triggers.
+			c.stamp(recs, obs.StageFsync)
+			c.stamp(recs, obs.StagePublish)
 		}
 		for _, b := range batch {
 			if b.done != nil {

@@ -24,6 +24,8 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Record is one logical WAL entry: an opaque payload tagged with a type
@@ -33,6 +35,20 @@ type Record struct {
 	Type string `json:"type"`
 	// Data is the JSON payload.
 	Data json.RawMessage `json:"data"`
+	// Obs is in-process pipeline-trace state riding the record by value
+	// (zero allocations, never serialized — a record read back from the
+	// log has a zero Obs): the record's global sequence, assigned under
+	// the producer's write lock, plus the pre-commit stage stamps.
+	Obs RecordObs `json:"-"`
+}
+
+// RecordObs is Record's tracing sidecar (see internal/obs).
+type RecordObs struct {
+	// Seq is the record's global sequence number (base + WAL position),
+	// zero when untraced.
+	Seq uint64
+	// Stamps carries the decode/gather trace-clock instants.
+	Stamps obs.FrameStamps
 }
 
 // frame layout: 4-byte little-endian length, 4-byte CRC32 (IEEE) of the

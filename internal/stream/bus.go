@@ -34,6 +34,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/storage"
 )
 
@@ -128,9 +129,10 @@ func (f SystemFeed) FeedInfo() (uint64, uint64, bool) {
 	info := f.Sys.ReplicationInfo()
 	return info.BaseSeq, info.TotalSeq, info.Durable
 }
-func (f SystemFeed) FeedLogPath() string         { return f.Sys.WALPath() }
-func (f SystemFeed) FeedNotify() <-chan struct{} { return f.Sys.CommitNotify() }
-func (f SystemFeed) FeedAlerts() *audit.Log      { return f.Sys.Alerts() }
+func (f SystemFeed) FeedLogPath() string          { return f.Sys.WALPath() }
+func (f SystemFeed) FeedNotify() <-chan struct{}  { return f.Sys.CommitNotify() }
+func (f SystemFeed) FeedAlerts() *audit.Log       { return f.Sys.Alerts() }
+func (f SystemFeed) FeedTrace() *obs.PipelineTrace { return f.Sys.Trace() }
 
 // ReplicaFeed serves the bus from a cascading follower's relay log: the
 // follower re-raises every alert deterministically as it applies the
@@ -146,13 +148,17 @@ func (f ReplicaFeed) FeedLogPath() string {
 	}
 	return ""
 }
-func (f ReplicaFeed) FeedNotify() <-chan struct{} { return f.Rep.ApplyNotify() }
-func (f ReplicaFeed) FeedAlerts() *audit.Log      { return f.Rep.System().Alerts() }
+func (f ReplicaFeed) FeedNotify() <-chan struct{}  { return f.Rep.ApplyNotify() }
+func (f ReplicaFeed) FeedAlerts() *audit.Log       { return f.Rep.System().Alerts() }
+func (f ReplicaFeed) FeedTrace() *obs.PipelineTrace { return f.Rep.System().Trace() }
 
 // Bus fans the committed-event feed out to subscribers.
 type Bus struct {
 	src FeedSource
 	cfg BusConfig
+	// trace receives the deliver stamp for every record fanned out, when
+	// the feed source exposes its pipeline trace (see feedTracer).
+	trace *obs.PipelineTrace
 
 	mu      sync.Mutex
 	subs    map[*Subscription]struct{}
@@ -193,8 +199,18 @@ func NewBusFrom(src FeedSource, cfg BusConfig) (*Bus, error) {
 		cfg.Poll = DefaultBusPoll
 	}
 	b := &Bus{src: src, cfg: cfg, subs: make(map[*Subscription]struct{})}
+	if ft, ok := src.(feedTracer); ok {
+		b.trace = ft.FeedTrace()
+	}
 	b.cancelAlerts = src.FeedAlerts().Subscribe(b.publishAlert)
 	return b, nil
+}
+
+// feedTracer is the optional FeedSource face that exposes the node's
+// pipeline trace, so bus delivery lands on the same per-sequence stage
+// clock as the commit pipeline.
+type feedTracer interface {
+	FeedTrace() *obs.PipelineTrace
 }
 
 // Close detaches the alert feed and terminates every subscription.
@@ -506,6 +522,9 @@ func (b *Bus) publishRecord(gen, seq uint64, ev Event, ok bool) {
 		return
 	}
 	b.published.Add(1)
+	// The feed's seq space is 0-based; trace sequences are 1-based
+	// (seq 0 is the untraced sentinel), so feed seq N is trace seq N+1.
+	b.trace.Stamp(seq+1, obs.StageDeliver, obs.Now())
 	for sub := range b.subs {
 		if seq < sub.next {
 			continue // its catch-up already delivered this one

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/interval"
+	"repro/internal/obs"
 )
 
 // collect reads n record events (alerts ride alongside and are returned
@@ -353,5 +354,46 @@ func TestBusCloseTerminatesSubscribers(t *testing.T) {
 	}
 	if _, err := b.Subscribe(SubscribeOptions{}); !errors.Is(err, ErrBusClosed) {
 		t.Fatalf("subscribe after close: %v, want ErrBusClosed", err)
+	}
+}
+
+// TestBusDeliverStampCorrelation: the deliver stamp must land on the
+// record that was delivered. The feed's seq space is 0-based while
+// trace sequences are 1-based, so feed seq S is trace seq S+1 —
+// stamping S instead would annotate the previous record (regression).
+func TestBusDeliverStampCorrelation(t *testing.T) {
+	sys, rooms, _ := gridSystem(t, 2, t.TempDir(), "alice")
+	b := newTestBus(t, sys, BusConfig{})
+	sub, err := b.Subscribe(SubscribeOptions{From: sys.ReplicationInfo().TotalSeq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	// A record committed while the subscriber is still catching up is
+	// delivered by the catch-up path, which never stamps deliver — only
+	// live fan-out does. Keep mutating until a delivered record carries
+	// the stamp (the subscriber has spliced to live by then).
+	var e obs.TraceEntry
+	for i := 0; ; i++ {
+		if _, err := sys.Enter(interval.Time(2+i), "alice", rooms[i%2]); err != nil {
+			t.Fatal(err)
+		}
+		live, _ := collect(t, sub, 1)
+		var ok bool
+		if e, ok = sys.Trace().Trace(live[0].Seq + 1); !ok {
+			t.Fatalf("no trace for delivered seq %d", live[0].Seq)
+		}
+		if e.Stamps[obs.StageDeliver] != 0 {
+			break
+		}
+		if i >= 500 {
+			t.Fatalf("no live delivery stamped after %d mutations: %+v", i+1, e.Stamps)
+		}
+	}
+	// The stamp rides the delivered record itself, after its publish —
+	// a stamp keyed on the 0-based feed seq would land one record early.
+	if pub := e.Stamps[obs.StagePublish]; e.Stamps[obs.StageDeliver] < pub {
+		t.Fatalf("deliver %d precedes publish %d", e.Stamps[obs.StageDeliver], pub)
 	}
 }

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geometry"
+	"repro/internal/obs"
 )
 
 // ErrDraining is the terminal ack error of connections ended by a
@@ -296,7 +297,11 @@ func (ing *Ingestor) RunFramedSession(fr FrameReader, aw AckWriter, sess *Ingest
 				return
 			}
 			c.frames <- connFrame{
-				rd:  core.Reading{Time: f.Time, Subject: f.Subject, At: geometry.Point{X: f.X, Y: f.Y}},
+				rd: core.Reading{
+					Time: f.Time, Subject: f.Subject,
+					At:     geometry.Point{X: f.X, Y: f.Y},
+					Stamps: obs.FrameStamps{Decode: obs.Now()},
+				},
 				seq: f.Seq,
 			}
 			ing.signal()
@@ -473,6 +478,12 @@ func (ing *Ingestor) chunker(cfg IngestConfig) {
 			var outcomes []core.ObserveOutcome
 			var err error
 			if len(batch) > 0 {
+				// One gather stamp covers the chunk: its readings leave
+				// their queues for the write lock together.
+				now := obs.Now()
+				for i := range batch {
+					batch[i].Stamps.Gather = now
+				}
 				outcomes, err = ing.Target.ObserveBatch(batch)
 			}
 			// A batch may be empty while spans exist: a resume overlap

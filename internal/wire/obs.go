@@ -1,0 +1,73 @@
+// Observability wire types: the /v1/stats trace section and the
+// GET /v1/trace per-record stage clocks.
+package wire
+
+import "strconv"
+
+// TraceStageStats is one pipeline stage's transition-latency summary:
+// the time from the nearest earlier traced stage to this one, over every
+// record that crossed it.
+type TraceStageStats struct {
+	Stage string `json:"stage"`
+	EndpointStats
+}
+
+// TraceStats is the /v1/stats pipeline-tracing section: per-stage
+// transition latencies in pipeline order, plus the highest traced
+// sequence (= the node's latest staged record).
+type TraceStats struct {
+	MaxSeq uint64            `json:"max_seq"`
+	Ring   int               `json:"ring"`
+	Stages []TraceStageStats `json:"stages"`
+}
+
+// TraceStamp is one stage crossing of one record, in nanoseconds on the
+// serving node's monotonic trace clock (comparable only within one
+// response).
+type TraceStamp struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// TraceEntry is one record's stage clock: every stage it crossed, in
+// pipeline order.
+type TraceEntry struct {
+	Seq    uint64       `json:"seq"`
+	Stamps []TraceStamp `json:"stamps"`
+}
+
+// TraceResponse answers GET /v1/trace: the requested per-record stage
+// clocks, ascending by sequence.
+type TraceResponse struct {
+	MaxSeq  uint64       `json:"max_seq"`
+	Entries []TraceEntry `json:"entries"`
+}
+
+// SLOReport is the output of `ltamsim -sustain`: a sustained-load run's
+// client-side throughput plus the server's per-stage pipeline latency
+// summaries. Committed baselines under bench/baselines/ use this shape,
+// and tools/benchgate compares a fresh run against them.
+type SLOReport struct {
+	Kind          string            `json:"kind"` // always "slo"
+	Wire          string            `json:"wire"`
+	Side          int               `json:"side"`
+	Users         int               `json:"users"`
+	DurationSec   float64           `json:"duration_sec"`
+	Frames        uint64            `json:"frames"`
+	ThroughputFPS float64           `json:"throughput_fps"`
+	Stages        []TraceStageStats `json:"stages"`
+}
+
+// Trace fetches one record's stage clock by global sequence number.
+func (c *Client) Trace(seq uint64) (TraceResponse, error) {
+	var out TraceResponse
+	err := c.do("GET", "/v1/trace?seq="+strconv.FormatUint(seq, 10), nil, &out)
+	return out, err
+}
+
+// TraceLast fetches the stage clocks of the n most recent records.
+func (c *Client) TraceLast(n int) (TraceResponse, error) {
+	var out TraceResponse
+	err := c.do("GET", "/v1/trace?last="+strconv.Itoa(n), nil, &out)
+	return out, err
+}

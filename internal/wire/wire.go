@@ -137,6 +137,9 @@ type StatsResponse struct {
 	// subscriber exists) the committed-event bus counters. Absent on
 	// replicas, which serve neither half.
 	Stream *StreamStats `json:"stream,omitempty"`
+	// Trace reports the pipeline-tracing stage latencies (absent until
+	// the first record is traced).
+	Trace *TraceStats `json:"trace,omitempty"`
 }
 
 // StreamStats is the /v1/stats streaming section: the long-lived ingest

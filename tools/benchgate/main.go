@@ -1,0 +1,186 @@
+// Command benchgate compares a fresh performance result against a
+// committed baseline and fails (exit 1) on regression. It understands
+// both artifact shapes this repo produces:
+//
+//   - a benchjson array (tools/benchjson): per-benchmark ns/op and
+//     allocs/op, matched by benchmark name;
+//   - an ltamsim -sustain SLO report: sustained-load throughput plus
+//     per-stage pipeline latency quantiles.
+//
+// Usage:
+//
+//	benchgate -baseline bench/baselines/slo.json -current SLO_now.json [-threshold 1.25]
+//
+// A metric regresses when it is worse than threshold× the baseline
+// (slower ns/op, lower throughput, higher stage p95/p99). Latency
+// comparisons additionally require the absolute delta to exceed
+// -floor-us, so microsecond-scale jitter on a fast stage cannot trip
+// the gate. Alloc counts are gated strictly: a zero-alloc baseline must
+// stay zero-alloc.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/wire"
+)
+
+// benchResult mirrors tools/benchjson's output object.
+type benchResult struct {
+	Name        string  `json:"name"`
+	Runs        int64   `json:"runs"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// artifact is one loaded result file: exactly one of the two fields is
+// set, keyed on the JSON's outer shape (array = benchjson, object =
+// SLO report).
+type artifact struct {
+	benches []benchResult
+	slo     *wire.SLOReport
+}
+
+func load(path string) (artifact, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return artifact{}, err
+	}
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "[") {
+		var a artifact
+		if err := json.Unmarshal(raw, &a.benches); err != nil {
+			return artifact{}, fmt.Errorf("%s: %v", path, err)
+		}
+		return a, nil
+	}
+	var rep wire.SLOReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return artifact{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if rep.Kind != "slo" {
+		return artifact{}, fmt.Errorf("%s: not a benchjson array and kind %q is not \"slo\"", path, rep.Kind)
+	}
+	return artifact{slo: &rep}, nil
+}
+
+// gateBench compares benchjson arrays by benchmark name. Baseline
+// entries missing from the current run are violations — a silently
+// dropped benchmark must not pass the gate.
+func gateBench(base, cur []benchResult, threshold float64) []string {
+	curBy := map[string]benchResult{}
+	for _, r := range cur {
+		curBy[r.Name] = r
+	}
+	var violations []string
+	for _, b := range base {
+		c, ok := curBy[b.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from current run", b.Name))
+			continue
+		}
+		if c.NsPerOp > b.NsPerOp*threshold {
+			violations = append(violations, fmt.Sprintf("%s: %.1f ns/op vs baseline %.1f (%.2fx > %.2fx threshold)",
+				b.Name, c.NsPerOp, b.NsPerOp, c.NsPerOp/b.NsPerOp, threshold))
+		}
+		if (b.AllocsPerOp == 0 && c.AllocsPerOp > 0) || float64(c.AllocsPerOp) > float64(b.AllocsPerOp)*threshold {
+			violations = append(violations, fmt.Sprintf("%s: %d allocs/op vs baseline %d",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp))
+		}
+	}
+	return violations
+}
+
+// gateSLO compares SLO reports: throughput must not fall below
+// baseline/threshold, and each baseline stage's p95/p99 must not exceed
+// threshold× baseline (with the floorUs jitter allowance). Stages with
+// too few samples on either side are skipped, not judged.
+func gateSLO(base, cur *wire.SLOReport, threshold float64, floorUs, minCount int64) []string {
+	var violations []string
+	if cur.ThroughputFPS < base.ThroughputFPS/threshold {
+		violations = append(violations, fmt.Sprintf("throughput: %.0f frames/sec vs baseline %.0f (worse than 1/%.2f)",
+			cur.ThroughputFPS, base.ThroughputFPS, threshold))
+	}
+	curBy := map[string]wire.TraceStageStats{}
+	for _, s := range cur.Stages {
+		curBy[s.Stage] = s
+	}
+	for _, b := range base.Stages {
+		if int64(b.Count) < minCount {
+			continue
+		}
+		c, ok := curBy[b.Stage]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("stage %s: present in baseline but missing from current run", b.Stage))
+			continue
+		}
+		if int64(c.Count) < minCount {
+			fmt.Printf("benchgate: stage %s: only %d samples in current run, skipping\n", b.Stage, c.Count)
+			continue
+		}
+		for _, q := range []struct {
+			name      string
+			base, cur int64
+		}{
+			{"p95", b.P95Micro, c.P95Micro},
+			{"p99", b.P99Micro, c.P99Micro},
+		} {
+			if float64(q.cur) > float64(q.base)*threshold && q.cur-q.base > floorUs {
+				violations = append(violations, fmt.Sprintf("stage %s %s: %dµs vs baseline %dµs (%.2fx > %.2fx threshold)",
+					b.Stage, q.name, q.cur, q.base, float64(q.cur)/float64(q.base), threshold))
+			}
+		}
+	}
+	return violations
+}
+
+// gate loads both artifacts and returns the violation list.
+func gate(baselinePath, currentPath string, threshold float64, floorUs, minCount int64) ([]string, error) {
+	base, err := load(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := load(currentPath)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case base.slo != nil && cur.slo != nil:
+		return gateSLO(base.slo, cur.slo, threshold, floorUs, minCount), nil
+	case base.slo == nil && cur.slo == nil:
+		return gateBench(base.benches, cur.benches, threshold), nil
+	default:
+		return nil, fmt.Errorf("artifact kind mismatch: %s and %s are not comparable", baselinePath, currentPath)
+	}
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON (benchjson array or SLO report)")
+	current := flag.String("current", "", "fresh result JSON of the same kind")
+	threshold := flag.Float64("threshold", 1.25, "regression ratio that fails the gate")
+	floorUs := flag.Int64("floor-us", 20, "SLO latency deltas below this many µs never fail (jitter allowance)")
+	minCount := flag.Int64("min-count", 50, "SLO stages with fewer samples than this are skipped")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -baseline and -current are required")
+		os.Exit(2)
+	}
+	violations, err := gate(*baseline, *current, *threshold, *floorUs, *minCount)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if len(violations) == 0 {
+		fmt.Printf("benchgate: %s within %.2fx of %s\n", *current, *threshold, *baseline)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "benchgate: REGRESSION:", v)
+	}
+	os.Exit(1)
+}

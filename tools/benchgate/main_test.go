@@ -1,0 +1,201 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFixture(t *testing.T, name, content string) string {
+	t.Helper()
+	p := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const benchBaseline = `[
+  {"name": "BenchmarkObserveBatch-8", "runs": 1000, "ns_per_op": 800, "allocs_per_op": 0},
+  {"name": "BenchmarkParallelRequest-8", "runs": 1000, "ns_per_op": 200, "allocs_per_op": 3}
+]`
+
+// TestBenchGatePasses: an identical run is not a regression.
+func TestBenchGatePasses(t *testing.T) {
+	base := writeFixture(t, "base.json", benchBaseline)
+	cur := writeFixture(t, "cur.json", benchBaseline)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("identical run flagged: %v", violations)
+	}
+}
+
+// TestBenchGateFailsOnDoubledLatency: the synthetic 2x regression the
+// gate exists to catch.
+func TestBenchGateFailsOnDoubledLatency(t *testing.T) {
+	base := writeFixture(t, "base.json", benchBaseline)
+	cur := writeFixture(t, "cur.json", `[
+  {"name": "BenchmarkObserveBatch-8", "runs": 1000, "ns_per_op": 1600, "allocs_per_op": 0},
+  {"name": "BenchmarkParallelRequest-8", "runs": 1000, "ns_per_op": 200, "allocs_per_op": 3}
+]`)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "BenchmarkObserveBatch-8") {
+		t.Fatalf("violations = %v, want one for BenchmarkObserveBatch-8", violations)
+	}
+}
+
+// TestBenchGateFailsOnNewAllocs: a zero-alloc baseline must stay
+// zero-alloc even when within the latency threshold.
+func TestBenchGateFailsOnNewAllocs(t *testing.T) {
+	base := writeFixture(t, "base.json", benchBaseline)
+	cur := writeFixture(t, "cur.json", `[
+  {"name": "BenchmarkObserveBatch-8", "runs": 1000, "ns_per_op": 810, "allocs_per_op": 1},
+  {"name": "BenchmarkParallelRequest-8", "runs": 1000, "ns_per_op": 200, "allocs_per_op": 3}
+]`)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "allocs/op") {
+		t.Fatalf("violations = %v, want one allocs/op violation", violations)
+	}
+}
+
+// TestBenchGateFailsOnMissingBenchmark: dropping a benchmark from the
+// run must not silently pass.
+func TestBenchGateFailsOnMissingBenchmark(t *testing.T) {
+	base := writeFixture(t, "base.json", benchBaseline)
+	cur := writeFixture(t, "cur.json", `[
+  {"name": "BenchmarkObserveBatch-8", "runs": 1000, "ns_per_op": 800, "allocs_per_op": 0}
+]`)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "missing") {
+		t.Fatalf("violations = %v, want one missing-benchmark violation", violations)
+	}
+}
+
+const sloBaseline = `{
+  "kind": "slo", "wire": "binary", "side": 4, "users": 64,
+  "duration_sec": 10, "frames": 100000, "throughput_fps": 10000,
+  "stages": [
+    {"stage": "apply",  "count": 100000, "mean_us": 12, "p50_us": 10, "p95_us": 40,  "p99_us": 90},
+    {"stage": "fsync",  "count": 2000,   "mean_us": 600, "p50_us": 500, "p95_us": 900, "p99_us": 1500},
+    {"stage": "deliver","count": 30,     "mean_us": 5,  "p50_us": 4,  "p95_us": 9,   "p99_us": 9}
+  ]
+}`
+
+// TestSLOGatePasses: the same report, and small jitter under the floor,
+// both pass.
+func TestSLOGatePasses(t *testing.T) {
+	base := writeFixture(t, "base.json", sloBaseline)
+	cur := writeFixture(t, "cur.json", `{
+  "kind": "slo", "wire": "binary", "side": 4, "users": 64,
+  "duration_sec": 10, "frames": 99000, "throughput_fps": 9900,
+  "stages": [
+    {"stage": "apply",  "count": 99000, "mean_us": 13, "p50_us": 11, "p95_us": 55, "p99_us": 100},
+    {"stage": "fsync",  "count": 1900,  "mean_us": 610, "p50_us": 510, "p95_us": 950, "p99_us": 1600}
+  ]
+}`)
+	// apply p95 55 vs 40 is >1.25x but only 15µs over: under the floor.
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("healthy run flagged: %v", violations)
+	}
+}
+
+// TestSLOGateFailsOnDoubledStage: a 2x p99 regression on a
+// well-sampled stage fails the gate.
+func TestSLOGateFailsOnDoubledStage(t *testing.T) {
+	base := writeFixture(t, "base.json", sloBaseline)
+	cur := writeFixture(t, "cur.json", `{
+  "kind": "slo", "wire": "binary", "side": 4, "users": 64,
+  "duration_sec": 10, "frames": 100000, "throughput_fps": 10000,
+  "stages": [
+    {"stage": "apply",  "count": 100000, "mean_us": 12, "p50_us": 10, "p95_us": 40, "p99_us": 90},
+    {"stage": "fsync",  "count": 2000,   "mean_us": 1200, "p50_us": 1000, "p95_us": 1800, "p99_us": 3000}
+  ]
+}`)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := strings.Join(violations, "\n")
+	if len(violations) != 2 || !strings.Contains(joined, "fsync p95") || !strings.Contains(joined, "fsync p99") {
+		t.Fatalf("violations = %v, want fsync p95+p99", violations)
+	}
+}
+
+// TestSLOGateFailsOnThroughputDrop: sustained throughput below
+// baseline/threshold fails.
+func TestSLOGateFailsOnThroughputDrop(t *testing.T) {
+	base := writeFixture(t, "base.json", sloBaseline)
+	cur := writeFixture(t, "cur.json", `{
+  "kind": "slo", "wire": "binary", "side": 4, "users": 64,
+  "duration_sec": 10, "frames": 50000, "throughput_fps": 5000,
+  "stages": [
+    {"stage": "apply", "count": 50000, "mean_us": 12, "p50_us": 10, "p95_us": 40, "p99_us": 90},
+    {"stage": "fsync", "count": 1000,  "mean_us": 600, "p50_us": 500, "p95_us": 900, "p99_us": 1500}
+  ]
+}`)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || !strings.Contains(violations[0], "throughput") {
+		t.Fatalf("violations = %v, want one throughput violation", violations)
+	}
+}
+
+// TestSLOGateSkipsThinStages: the deliver stage has 30 baseline samples
+// (< min-count) — even a wild current value must not be judged.
+func TestSLOGateSkipsThinStages(t *testing.T) {
+	base := writeFixture(t, "base.json", sloBaseline)
+	cur := writeFixture(t, "cur.json", `{
+  "kind": "slo", "wire": "binary", "side": 4, "users": 64,
+  "duration_sec": 10, "frames": 100000, "throughput_fps": 10000,
+  "stages": [
+    {"stage": "apply",   "count": 100000, "mean_us": 12, "p50_us": 10, "p95_us": 40, "p99_us": 90},
+    {"stage": "fsync",   "count": 2000,   "mean_us": 600, "p50_us": 500, "p95_us": 900, "p99_us": 1500},
+    {"stage": "deliver", "count": 30,     "mean_us": 5000, "p50_us": 4000, "p95_us": 9000, "p99_us": 9000}
+  ]
+}`)
+	violations, err := gate(base, cur, 1.25, 20, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("thin stage judged: %v", violations)
+	}
+}
+
+// TestGateKindMismatch: comparing an SLO report against a bench array
+// is a usage error, not a pass.
+func TestGateKindMismatch(t *testing.T) {
+	base := writeFixture(t, "base.json", sloBaseline)
+	cur := writeFixture(t, "cur.json", benchBaseline)
+	if _, err := gate(base, cur, 1.25, 20, 50); err == nil {
+		t.Fatal("kind mismatch must error")
+	}
+}
+
+// TestLoadRejectsUnknownObject: an object without kind "slo" is not
+// silently treated as an empty report.
+func TestLoadRejectsUnknownObject(t *testing.T) {
+	p := writeFixture(t, "x.json", `{"hello": "world"}`)
+	if _, err := load(p); err == nil {
+		t.Fatal("unknown object must error")
+	}
+}
